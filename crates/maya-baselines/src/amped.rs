@@ -1,0 +1,101 @@
+//! AMPeD-like analytical model.
+
+use maya_hw::ClusterSpec;
+use maya_torchlet::TrainingJob;
+
+use crate::analytical::{
+    analytical_time, is_megatron_gpt, AnalyticalKnobs, BaselineModel, BaselinePrediction,
+};
+
+/// AMPeD: a coarse operator-level analytical model. A fixed (and
+/// pessimistic) utilization factor, no compute/communication overlap, no
+/// size-dependent efficiency, and hefty per-microbatch synchronization
+/// charges produce the consistent 2-3x *over*-estimation the paper
+/// observes (Fig. 9), while the rigid modeling language supports only
+/// plain TP/PP (Table 1: no sequence parallelism, no interleaving, no
+/// distributed optimizer, no recomputation, no gradient accumulation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Amped;
+
+impl BaselineModel for Amped {
+    fn name(&self) -> &'static str {
+        "AMPeD"
+    }
+
+    fn predict(&self, job: &TrainingJob, cluster: &ClusterSpec) -> BaselinePrediction {
+        if !is_megatron_gpt(job) || !cluster.gpu.supports_bf16 {
+            return BaselinePrediction::Unsupported;
+        }
+        let p = &job.parallel;
+        if p.sequence_parallel
+            || p.virtual_stages > 1
+            || p.distributed_optimizer
+            || p.activation_recompute
+            || p.microbatch_multiplier > 1
+        {
+            return BaselinePrediction::Unsupported;
+        }
+        let cfg = match job.model.transformer() {
+            Some(c) => *c,
+            None => return BaselinePrediction::Unsupported,
+        };
+        let knobs = AnalyticalKnobs {
+            compute_efficiency: 0.22,
+            network_efficiency: 0.40,
+            dp_overlap: 0.0,
+            per_microbatch_overhead_us: 1500.0,
+            model_latency: true,
+            // Crude memory model that ignores the logits workspace, so
+            // some truly-OOM configs look feasible to it.
+            memory_model_factor: 0.9,
+            count_logits_memory: false,
+        };
+        analytical_time(job, &cfg, cluster, &knobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculon::Calculon;
+    use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig};
+    use maya_trace::Dtype;
+
+    fn job() -> TrainingJob {
+        TrainingJob {
+            model: ModelSpec::gpt3_2_7b(),
+            parallel: ParallelConfig { tp: 2, pp: 2, ..Default::default() },
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: 8,
+            world: 8,
+            gpus_per_node: 8,
+            precision: Dtype::Bf16,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn overestimates_relative_to_calculon() {
+        let c = ClusterSpec::h100(1, 8);
+        let amped = Amped.predict(&job(), &c).time().unwrap();
+        let calc = Calculon.predict(&job(), &c).time().unwrap();
+        let ratio = amped.as_secs_f64() / calc.as_secs_f64();
+        assert!(ratio > 2.0, "AMPeD/Calculon ratio {ratio}");
+    }
+
+    #[test]
+    fn rejects_advanced_knobs() {
+        let c = ClusterSpec::h100(1, 8);
+        let mut j = job();
+        j.parallel.activation_recompute = true;
+        assert_eq!(Amped.predict(&j, &c), BaselinePrediction::Unsupported);
+        let mut j2 = job();
+        j2.parallel.microbatch_multiplier = 4;
+        assert_eq!(Amped.predict(&j2, &c), BaselinePrediction::Unsupported);
+        let mut j3 = job();
+        j3.parallel.sequence_parallel = true;
+        j3.parallel.tp = 2;
+        assert_eq!(Amped.predict(&j3, &c), BaselinePrediction::Unsupported);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the Maya pipeline stages: emulation
+//! throughput, collation + dedup, estimator inference, discrete-event
+//! simulation, and the end-to-end predict path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maya::{EmulationSpec, Maya};
+use maya_collate::{collate, dedup_classes};
+use maya_estimator::{OracleEstimator, RuntimeEstimator};
+use maya_hw::ClusterSpec;
+use maya_sim::simulate;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::{Dtype, KernelKind};
+
+fn bench_job(world: u32) -> TrainingJob {
+    TrainingJob {
+        model: ModelSpec::gpt3_125m(),
+        parallel: ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() },
+        flavor: FrameworkFlavor::Megatron,
+        compile: false,
+        global_batch: 4 * world,
+        world,
+        gpus_per_node: 8,
+        precision: Dtype::Bf16,
+        iterations: 1,
+    }
+}
+
+fn emulation(c: &mut Criterion) {
+    let job = bench_job(8);
+    let gpu = ClusterSpec::h100(1, 8).gpu;
+    let (trace, _) = maya_torchlet::engine::trace_one_rank(&job, 0, gpu);
+    let events = trace.events.len() as u64;
+    let mut g = c.benchmark_group("emulation");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("one_worker_gpt125m", |b| {
+        b.iter(|| maya_torchlet::engine::trace_one_rank(&job, 0, gpu))
+    });
+    g.finish();
+}
+
+fn collation(c: &mut Criterion) {
+    let job = bench_job(8);
+    let gpu = ClusterSpec::h100(1, 8).gpu;
+    let workers: Vec<_> = (0..8)
+        .map(|r| maya_torchlet::engine::trace_one_rank(&job, r, gpu).0)
+        .collect();
+    let mut g = c.benchmark_group("collation");
+    g.bench_function("collate_8_workers", |b| {
+        b.iter(|| collate(workers.clone(), 8).expect("collates"))
+    });
+    g.bench_function("dedup_8_workers", |b| b.iter(|| dedup_classes(&workers)));
+    g.finish();
+}
+
+fn estimation(c: &mut Criterion) {
+    let cluster = ClusterSpec::h100(1, 8);
+    let oracle = OracleEstimator::new(&cluster);
+    let kernel = KernelKind::Gemm { m: 4096, n: 4096, k: 4096, dtype: Dtype::Bf16 };
+    c.bench_function("estimator/oracle_kernel_query", |b| {
+        b.iter(|| oracle.kernel_time(&kernel))
+    });
+}
+
+fn simulation(c: &mut Criterion) {
+    let cluster = ClusterSpec::h100(1, 8);
+    let oracle = OracleEstimator::new(&cluster);
+    let job = bench_job(8);
+    let workers: Vec<_> = (0..8)
+        .map(|r| maya_torchlet::engine::trace_one_rank(&job, r, cluster.gpu).0)
+        .collect();
+    let trace = collate(workers, 8).expect("collates");
+    let events = trace.total_events() as u64;
+    let mut g = c.benchmark_group("simulation");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("des_8_ranks_gpt125m", |b| {
+        b.iter(|| simulate(&trace, &cluster, &oracle).expect("simulates"))
+    });
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let cluster = ClusterSpec::h100(1, 8);
+    let maya = Maya::with_oracle(EmulationSpec {
+        selective_launch: true,
+        ..EmulationSpec::new(cluster)
+    });
+    let job = bench_job(8);
+    c.bench_function("end_to_end/predict_gpt125m_8gpu", |b| {
+        b.iter(|| maya.predict_job(&job).expect("predicts"))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = emulation, collation, estimation, simulation, end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Shared evaluation harness for the accuracy experiments (Figs. 7-9).
+
+use maya_trace::SimTime;
+
+use crate::{baselines, valid_configs, Scenario};
+use maya_search::ConfigPoint;
+use maya_torchlet::TrainingJob;
+
+/// What one system said about one configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SystemVerdict {
+    /// Predicted iteration time.
+    Time(SimTime),
+    /// Predicted out-of-memory.
+    Oom,
+    /// Configuration outside the system's modeling domain.
+    Unsupported,
+}
+
+impl SystemVerdict {
+    /// Time if predicted.
+    pub fn time(&self) -> Option<SimTime> {
+        match self {
+            SystemVerdict::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Full evaluation record for one configuration.
+#[derive(Clone, Debug)]
+pub struct ConfigEval {
+    /// The configuration.
+    pub config: ConfigPoint,
+    /// Testbed measurement (None = actually OOMs).
+    pub actual: Option<SimTime>,
+    /// Maya's verdict.
+    pub maya: SystemVerdict,
+    /// Baseline verdicts, in `baselines()` order.
+    pub baselines: Vec<(&'static str, SystemVerdict)>,
+}
+
+/// Evaluates up to `n_configs` valid configurations of a scenario with
+/// the testbed, Maya (forest estimator) and all baselines.
+pub fn evaluate_scenario(scenario: &Scenario, n_configs: usize, seed: u64) -> Vec<ConfigEval> {
+    let maya = scenario.maya(seed);
+    let systems = baselines();
+    let template = scenario.template();
+    let configs = valid_configs(scenario, n_configs);
+    let mut out = Vec::with_capacity(configs.len());
+    for config in configs {
+        let job = TrainingJob { parallel: config, ..template };
+        let actual = match maya.measure_actual(&job) {
+            Ok(Ok(m)) => Some(m.iteration_time),
+            Ok(Err(_)) => None,
+            Err(e) => panic!("testbed failed on {config}: {e}"),
+        };
+        let maya_verdict = match maya.predict_job(&job) {
+            Ok(p) => match p.iteration_time() {
+                Some(t) => SystemVerdict::Time(t),
+                None => SystemVerdict::Oom,
+            },
+            Err(_) => SystemVerdict::Unsupported,
+        };
+        let baseline_verdicts = systems
+            .iter()
+            .map(|b| {
+                let v = match b.predict(&job, &scenario.cluster) {
+                    maya_baselines::BaselinePrediction::Time(t) => SystemVerdict::Time(t),
+                    maya_baselines::BaselinePrediction::OutOfMemory => SystemVerdict::Oom,
+                    maya_baselines::BaselinePrediction::Unsupported => SystemVerdict::Unsupported,
+                };
+                (b.name(), v)
+            })
+            .collect();
+        out.push(ConfigEval {
+            config,
+            actual,
+            maya: maya_verdict,
+            baselines: baseline_verdicts,
+        });
+    }
+    out
+}
+
+/// Keeps the evaluations that actually completed, ranked fastest-first
+/// by measured time (the paper's "top N valid configurations").
+pub fn ranked_completions(evals: &[ConfigEval]) -> Vec<&ConfigEval> {
+    let mut v: Vec<&ConfigEval> = evals.iter().filter(|e| e.actual.is_some()).collect();
+    v.sort_by_key(|e| e.actual.expect("filtered"));
+    v
+}
+
+/// Absolute-percentage errors of one system over completed configs.
+pub fn system_errors(
+    evals: &[&ConfigEval],
+    system: Option<&'static str>,
+) -> Vec<f64> {
+    evals
+        .iter()
+        .filter_map(|e| {
+            let actual = e.actual?;
+            let pred = match system {
+                None => e.maya.time(),
+                Some(name) => {
+                    e.baselines.iter().find(|(n, _)| *n == name).and_then(|(_, v)| v.time())
+                }
+            }?;
+            Some(crate::ape(pred, actual))
+        })
+        .collect()
+}

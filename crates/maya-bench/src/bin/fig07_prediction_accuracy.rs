@@ -1,0 +1,61 @@
+//! Figure 7: predicted vs. actual per-iteration runtime for the top
+//! valid configurations on each deployment setup.
+
+use maya_bench::accuracy::{evaluate_scenario, ranked_completions};
+use maya_bench::{config_budget, print_series, Scenario};
+
+fn main() {
+    let budget = config_budget(36);
+    for (i, scenario) in Scenario::headline().into_iter().enumerate() {
+        eprintln!("[fig07] evaluating {} ({} configs)...", scenario.name, budget);
+        let evals = evaluate_scenario(&scenario, budget, 1000 + i as u64);
+        let ranked = ranked_completions(&evals);
+        let top: Vec<_> = ranked.iter().take(100).collect();
+        let rows: Vec<String> = top
+            .iter()
+            .enumerate()
+            .map(|(id, e)| {
+                let fmt = |v: Option<maya_trace::SimTime>| {
+                    v.map(|t| format!("{:.4}", t.as_secs_f64())).unwrap_or_else(|| "-".into())
+                };
+                let b = |name: &str| {
+                    e.baselines
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .and_then(|(_, v)| v.time())
+                };
+                format!(
+                    "{id},{},{},{},{},{},{}",
+                    fmt(e.actual),
+                    fmt(e.maya.time()),
+                    fmt(b("Proteus")),
+                    fmt(b("Calculon")),
+                    fmt(b("AMPeD")),
+                    e.config
+                )
+            })
+            .collect();
+        print_series(
+            &format!("Figure 7: {}", scenario.name),
+            "config_id,actual_s,maya_s,proteus_s,calculon_s,amped_s,config",
+            &rows,
+        );
+        // Summary: mean APE per system over the top configs.
+        let mean = |name: Option<&'static str>| {
+            let errs = maya_bench::accuracy::system_errors(&ranked, name);
+            if errs.is_empty() {
+                f64::NAN
+            } else {
+                errs.iter().sum::<f64>() / errs.len() as f64 * 100.0
+            }
+        };
+        println!(
+            "summary {}: mean APE  Maya {:.1}%  Proteus {:.1}%  Calculon {:.1}%  AMPeD {:.1}%\n",
+            scenario.name,
+            mean(None),
+            mean(Some("Proteus")),
+            mean(Some("Calculon")),
+            mean(Some("AMPeD")),
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 8: cost impact of prediction accuracy on configuration
+//! selection — each system picks its best-predicted config; we report
+//! that config's *actual* cost normalized to the actual optimum.
+
+use maya_bench::accuracy::{evaluate_scenario, SystemVerdict};
+use maya_bench::{config_budget, Scenario};
+use maya_trace::SimTime;
+
+fn main() {
+    let budget = config_budget(36);
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "setup", "Maya", "Proteus", "Calculon", "AMPeD"
+    );
+    for (i, scenario) in Scenario::headline().into_iter().enumerate() {
+        eprintln!("[fig08] evaluating {}...", scenario.name);
+        let evals = evaluate_scenario(&scenario, budget, 2000 + i as u64);
+        let optimal = evals
+            .iter()
+            .filter_map(|e| e.actual)
+            .min()
+            .expect("at least one config completes");
+
+        // Actual cost of the config each system would select.
+        let pick = |selector: &dyn Fn(&maya_bench::accuracy::ConfigEval) -> Option<SimTime>|
+         -> Option<f64> {
+            let best = evals
+                .iter()
+                .filter(|e| selector(e).is_some())
+                .min_by_key(|e| selector(e).expect("filtered"))?;
+            let actual = best.actual?; // selected config may actually OOM
+            Some(actual.as_secs_f64() / optimal.as_secs_f64())
+        };
+        let fmt = |v: Option<f64>| match v {
+            Some(r) => format!("+{:.0}%", (r - 1.0) * 100.0),
+            // Either no supported/feasible prediction, or the selected
+            // config actually OOMs on deployment.
+            None => "n/a".to_string(),
+        };
+        let maya_pick = pick(&|e| e.maya.time());
+        let base_pick = |name: &'static str| {
+            pick(&move |e| {
+                e.baselines.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
+                    SystemVerdict::Time(t) => Some(*t),
+                    _ => None,
+                })
+            })
+        };
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            scenario.name,
+            fmt(maya_pick),
+            fmt(base_pick("Proteus")),
+            fmt(base_pick("Calculon")),
+            fmt(base_pick("AMPeD")),
+        );
+    }
+    println!("\n(normalized actual cost of each system's selected config; +0% = optimal)");
+}

@@ -1,0 +1,44 @@
+//! Figure 9: cumulative distribution of absolute prediction errors per
+//! system, on the smallest and largest setups.
+
+use maya_bench::accuracy::{evaluate_scenario, ranked_completions, system_errors};
+use maya_bench::{config_budget, print_series, quantile, Scenario};
+
+fn main() {
+    let budget = config_budget(36);
+    let setups = Scenario::headline();
+    for scenario in [setups[0], setups[3]] {
+        eprintln!("[fig09] evaluating {}...", scenario.name);
+        let evals = evaluate_scenario(&scenario, budget, 3000);
+        let ranked = ranked_completions(&evals);
+        let systems: [(&str, Option<&'static str>); 4] = [
+            ("Maya", None),
+            ("Proteus", Some("Proteus")),
+            ("Calculon", Some("Calculon")),
+            ("AMPeD", Some("AMPeD")),
+        ];
+        let rows: Vec<String> = systems
+            .iter()
+            .map(|(label, key)| {
+                let mut errs: Vec<f64> =
+                    system_errors(&ranked, *key).iter().map(|e| e * 100.0).collect();
+                if errs.is_empty() {
+                    return format!("{label},-,-,-,-,-");
+                }
+                format!(
+                    "{label},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                    quantile(&mut errs, 0.10),
+                    quantile(&mut errs, 0.25),
+                    quantile(&mut errs, 0.50),
+                    quantile(&mut errs, 0.75),
+                    quantile(&mut errs, 0.90),
+                )
+            })
+            .collect();
+        print_series(
+            &format!("Figure 9: error CDF, {}", scenario.name),
+            "system,p10_err%,p25_err%,p50_err%,p75_err%,p90_err%",
+            &rows,
+        );
+    }
+}

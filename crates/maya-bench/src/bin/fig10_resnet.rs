@@ -1,0 +1,73 @@
+//! Figure 10: prediction accuracy across ResNet-152 configurations on
+//! the 8×A40 node (data configs × torch.compile).
+
+use maya_bench::{print_series, Scenario};
+use maya_hw::ClusterSpec;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+
+fn main() {
+    let cluster = ClusterSpec::a40(1, 8);
+    let scenario = Scenario {
+        name: "ResNet152 - 8xA40",
+        cluster,
+        model: ModelSpec::resnet152(),
+        global_batch: 256,
+        precision: Dtype::Fp32,
+    };
+    eprintln!("[fig10] training estimator for A40...");
+    let maya = scenario.maya(77);
+
+    let mut rows = Vec::new();
+    let mut errs = Vec::new();
+    let mut id = 0;
+    for batch in [64u32, 128, 192, 256, 384, 512] {
+        for accum in [1u32, 2] {
+            for compile in [false, true] {
+                let job = TrainingJob {
+                    model: ModelSpec::resnet152(),
+                    parallel: ParallelConfig {
+                        microbatch_multiplier: accum,
+                        ..Default::default()
+                    },
+                    flavor: FrameworkFlavor::Ddp,
+                    compile,
+                    global_batch: batch,
+                    world: 8,
+                    gpus_per_node: 8,
+                    precision: Dtype::Fp32,
+                    iterations: 1,
+                };
+                if job.validate().is_err() {
+                    continue;
+                }
+                let pred = maya.predict_job(&job).expect("pipeline runs");
+                let actual = maya.measure_actual(&job).expect("testbed runs");
+                if let (Some(p), Ok(a)) = (pred.iteration_time(), actual) {
+                    let err = maya_bench::ape(p, a.iteration_time) * 100.0;
+                    errs.push(err);
+                    rows.push(format!(
+                        "{id},{:.4},{:.4},{:.2},batch{batch}-ga{accum}{}",
+                        a.iteration_time.as_secs_f64(),
+                        p.as_secs_f64(),
+                        err,
+                        if compile { "-compile" } else { "" }
+                    ));
+                    id += 1;
+                }
+            }
+        }
+    }
+    print_series(
+        "Figure 10: ResNet152 on 8xA40",
+        "config_id,actual_s,maya_s,error%,config",
+        &rows,
+    );
+    let under5 = errs.iter().filter(|&&e| e < 5.0).count();
+    println!(
+        "summary: {}/{} configs under 5% error; median {:.2}%",
+        under5,
+        errs.len(),
+        maya_bench::quantile(&mut errs.clone(), 0.5)
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 12: predicted MFU and iteration time when scaling the
+//! data-parallel degree to thousands of GPUs (GPT-3 145.6B, TP8 PP8,
+//! fixed global batch, 64 microbatches), using selective worker launch
+//! and the analytical (ASTRA-sim-style) network model.
+
+use maya::{EmulationSpec, Maya};
+use maya_bench::print_series;
+use maya_hw::{mfu, ClusterSpec};
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+
+fn main() {
+    // Fixed parallelism: TP8 PP8, 64 microbatches; vary DP. Global batch
+    // fixed at 12288 sequences (the paper's 12K batch).
+    let global_batch = 12288u32;
+    let mut rows = Vec::new();
+    for dp in [16u32, 24, 32, 48, 96, 192] {
+        let world = 8 * 8 * dp;
+        let micro = global_batch / (dp * 64);
+        if micro == 0 || global_batch % (dp * 64) != 0 {
+            continue;
+        }
+        let cluster = ClusterSpec::h100(world / 8, 8);
+        let maya = Maya::with_oracle(EmulationSpec {
+            selective_launch: true,
+            ..EmulationSpec::new(cluster)
+        });
+        let parallel = ParallelConfig {
+            tp: 8,
+            pp: 8,
+            microbatch_multiplier: 8, // 64 microbatches
+            activation_recompute: true,
+            sequence_parallel: true,
+            distributed_optimizer: true,
+            ..Default::default()
+        };
+        let job = TrainingJob {
+            model: ModelSpec::gpt3_145_6b(),
+            parallel,
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch,
+            world,
+            gpus_per_node: 8,
+            precision: Dtype::Bf16,
+            iterations: 1,
+        };
+        eprintln!("[fig12] {} GPUs (dp {dp}, micro-bs {micro})...", world);
+        match maya.predict_job(&job) {
+            Err(e) => println!("{world} GPUs: error {e}"),
+            Ok(p) => match p.report() {
+                None => rows.push(format!("{world},OOM,-")),
+                Some(r) => {
+                    let spec = job.flops_spec().expect("transformer");
+                    let m = mfu::mfu(&spec, r.total_time.as_secs_f64(), &cluster);
+                    rows.push(format!(
+                        "{world},{:.2},{:.2}",
+                        r.total_time.as_secs_f64(),
+                        m * 100.0
+                    ));
+                }
+            },
+        }
+    }
+    print_series(
+        "Figure 12: MFU when scaling DP (GPT3-145.6B, TP8 PP8, batch 12288)",
+        "gpus,iter_time_s,mfu%",
+        &rows,
+    );
+}

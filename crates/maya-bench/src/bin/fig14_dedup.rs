@@ -1,0 +1,70 @@
+//! Figure 14: impact of dynamic worker deduplication on Maya's
+//! end-to-end runtime. Parallelism is fixed while the data-parallel
+//! degree (cluster size) grows; added DP workers are redundant, so
+//! deduplication should hold the runtime roughly flat.
+
+use maya::{EmulationSpec, Maya};
+use maya_bench::print_series;
+use maya_hw::ClusterSpec;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+use std::time::Instant;
+
+fn main() {
+    let parallel =
+        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() };
+    let mut rows = Vec::new();
+    for (label, cluster) in [
+        ("8xV100", ClusterSpec::v100(1, 8)),
+        ("16xV100", ClusterSpec::v100(2, 8)),
+        ("32xV100", ClusterSpec::v100(4, 8)),
+        ("32xH100", ClusterSpec::h100(4, 8)),
+        ("64xH100", ClusterSpec::h100(8, 8)),
+    ] {
+        let job = TrainingJob {
+            model: ModelSpec::gpt3_2_7b(),
+            parallel,
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: 4 * cluster.num_gpus(),
+            world: cluster.num_gpus(),
+            gpus_per_node: 8,
+            precision: if cluster.gpu.supports_bf16 { Dtype::Bf16 } else { Dtype::Fp16 },
+            iterations: 1,
+        };
+        eprintln!("[fig14] {}...", label);
+        let no_opt = Maya::with_oracle(EmulationSpec::without_optimizations(cluster));
+        let t0 = Instant::now();
+        let p_no = no_opt.predict_job(&job).expect("runs");
+        let without = t0.elapsed();
+
+        let with_dedup = Maya::with_oracle(EmulationSpec {
+            selective_launch: true,
+            ..EmulationSpec::new(cluster)
+        });
+        let t1 = Instant::now();
+        let p_yes = with_dedup.predict_job(&job).expect("runs");
+        let with = t1.elapsed();
+
+        // Both must agree on the prediction (fidelity-preserving).
+        let (a, b) = (
+            p_no.iteration_time().expect("fits"),
+            p_yes.iteration_time().expect("fits"),
+        );
+        let drift = (a.as_secs_f64() / b.as_secs_f64() - 1.0).abs() * 100.0;
+        rows.push(format!(
+            "{label},{:.3},{:.3},{:.0}%,{:.2}%,{},{}",
+            without.as_secs_f64(),
+            with.as_secs_f64(),
+            (1.0 - with.as_secs_f64() / without.as_secs_f64()) * 100.0,
+            drift,
+            p_no.workers_simulated,
+            p_yes.workers_simulated,
+        ));
+    }
+    print_series(
+        "Figure 14: worker-deduplication runtime impact (fixed tp2 pp2, growing DP)",
+        "setup,no_dedup_s,dedup_s,saving,prediction_drift,workers_no_dedup,workers_dedup",
+        &rows,
+    );
+}

@@ -1,0 +1,91 @@
+//! Table 2: effect of each configuration knob on compute / memory /
+//! network load, measured from emulated traces at fixed global batch.
+
+use maya_bench::Scenario;
+use maya_hw::ClusterSpec;
+use maya_torchlet::{ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::{DeviceOp, Dtype};
+
+/// Aggregate loads from one rank-0 trace.
+fn loads(job: &TrainingJob, scenario: &Scenario) -> Option<(f64, f64, f64)> {
+    if job.validate().is_err() {
+        return None;
+    }
+    let (trace, res) = maya_torchlet::engine::trace_one_rank(job, 0, scenario.cluster.gpu);
+    if res.is_err() && !trace.summary.oom {
+        return None;
+    }
+    let flops: f64 =
+        trace.kernels().filter_map(|e| e.op.as_kernel().map(|k| k.flops())).sum();
+    let mem = trace.summary.peak_mem_bytes as f64;
+    let net: f64 = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.op {
+            DeviceOp::Collective { desc } => Some(desc.bytes as f64),
+            _ => None,
+        })
+        .sum();
+    Some((flops, mem, net))
+}
+
+fn arrow(ratio: f64) -> &'static str {
+    if ratio > 1.05 {
+        "UP"
+    } else if ratio < 0.95 {
+        "DOWN"
+    } else {
+        "-"
+    }
+}
+
+fn main() {
+    let cluster = ClusterSpec::h100(1, 8);
+    let scenario = Scenario {
+        name: "GPT3 2.7B - 8xH100",
+        cluster,
+        model: ModelSpec::gpt3_2_7b(),
+        global_batch: 32,
+        precision: Dtype::Bf16,
+    };
+    let base_cfg =
+        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
+    let base_job = TrainingJob { parallel: base_cfg, ..scenario.template() };
+    let base = loads(&base_job, &scenario).expect("baseline runs");
+
+    let knobs: Vec<(&str, ParallelConfig)> = vec![
+        ("Tensor Parallel (x2)", ParallelConfig { tp: 4, pp: 1, ..base_cfg }),
+        ("Pipeline Parallel (x2)", ParallelConfig { tp: 1, pp: 4, ..base_cfg }),
+        ("Sequence Parallel", ParallelConfig { sequence_parallel: true, ..base_cfg }),
+        ("Pipeline Interleaving", ParallelConfig { virtual_stages: 2, ..base_cfg }),
+        ("Distributed Optimizer", ParallelConfig { distributed_optimizer: true, ..base_cfg }),
+        ("Activation Recompute", ParallelConfig { activation_recompute: true, ..base_cfg }),
+        ("Grad Accumulation (x2)", ParallelConfig { microbatch_multiplier: 4, ..base_cfg }),
+    ];
+    println!("Table 2: per-rank load vs baseline (tp2 pp2, fixed global batch 32)");
+    println!(
+        "{:<26} {:>9} {:>9} {:>9}   (ratio to baseline)",
+        "Knob", "Compute", "Memory", "Network"
+    );
+    for (name, cfg) in knobs {
+        let job = TrainingJob { parallel: cfg, ..scenario.template() };
+        match loads(&job, &scenario) {
+            None => println!("{name:<26}   invalid"),
+            Some((f, m, n)) => {
+                println!(
+                    "{:<26} {:>4} {:<4} {:>4} {:<4} {:>4} {:<4}  ({:.2}x, {:.2}x, {:.2}x)",
+                    name,
+                    arrow(f / base.0),
+                    "",
+                    arrow(m / base.1),
+                    "",
+                    arrow(n / base.2),
+                    "",
+                    f / base.0,
+                    m / base.1,
+                    n / base.2
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 4: framework generality — models x framework stacks that run
+//! under Maya's emulation and produce usable traces.
+
+use maya::{EmulationSpec, Maya};
+use maya_hw::ClusterSpec;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+
+fn main() {
+    let cluster = ClusterSpec::h100(1, 4);
+    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    let models: Vec<(&str, ModelSpec)> = vec![
+        ("GPT", ModelSpec::gpt3_125m()),
+        ("Llama", ModelSpec::llama2_7b()),
+        ("BERT", ModelSpec::bert_large()),
+        ("ViT", ModelSpec::vit_large()),
+        ("T5", ModelSpec::t5_large()),
+        ("ResNet", ModelSpec::resnet152()),
+    ];
+    let flavors: Vec<(&str, FrameworkFlavor, bool)> = vec![
+        ("DDP", FrameworkFlavor::Ddp, false),
+        ("DDP+compile", FrameworkFlavor::Ddp, true),
+        ("FSDP", FrameworkFlavor::Fsdp, false),
+        ("ZeRO-1", FrameworkFlavor::DeepSpeedZero { stage: 1, activation_offload: false }, false),
+        ("ZeRO-2", FrameworkFlavor::DeepSpeedZero { stage: 2, activation_offload: false }, false),
+        ("ZeRO-3", FrameworkFlavor::DeepSpeedZero { stage: 3, activation_offload: false }, false),
+        ("ZeRO-1+offload", FrameworkFlavor::DeepSpeedZero { stage: 1, activation_offload: true }, false),
+    ];
+
+    print!("{:<10}", "Model");
+    for (fname, _, _) in &flavors {
+        print!(" {fname:>14}");
+    }
+    println!();
+    for (mname, model) in &models {
+        print!("{mname:<10}");
+        for (_, flavor, compile) in &flavors {
+            let job = TrainingJob {
+                model: *model,
+                parallel: ParallelConfig::default(),
+                flavor: *flavor,
+                compile: *compile,
+                global_batch: 16,
+                world: 4,
+                gpus_per_node: 8,
+                precision: Dtype::Bf16,
+                iterations: 1,
+            };
+            let cell = match maya.predict_job(&job) {
+                Ok(p) => {
+                    if p.oom() {
+                        "OOM".to_string()
+                    } else {
+                        format!("{:.0}ms", p.iteration_time().unwrap().as_ms())
+                    }
+                }
+                Err(_) => "err".to_string(),
+            };
+            print!(" {cell:>14}");
+        }
+        println!();
+    }
+    println!("\n(every cell = emulation ran and produced a prediction; times are per iteration)");
+}

@@ -1,0 +1,21 @@
+//! Tables 7/8/9: per-kernel MAPE of the random-forest estimators on
+//! held-out validation data for H100, V100 and A40.
+
+use maya_bench::profile_scale;
+use maya_estimator::ForestEstimator;
+use maya_hw::ClusterSpec;
+
+fn main() {
+    let scale = profile_scale();
+    for (label, cluster) in [
+        ("Table 7 (H100)", ClusterSpec::h100(1, 8)),
+        ("Table 8 (V100)", ClusterSpec::v100(1, 8)),
+        ("Table 9 (A40)", ClusterSpec::a40(1, 8)),
+    ] {
+        eprintln!("[tab07-09] profiling + training on {}...", cluster.gpu.name);
+        let (_est, report) = ForestEstimator::train(&cluster, scale, 0xBEEF);
+        println!("{label} — per-kernel MAPE on a held-out 20% split");
+        println!("{}", report.to_table());
+    }
+    println!("(set MAYA_BENCH_FULL=1 for paper-scale training sweeps)");
+}

@@ -1,0 +1,409 @@
+//! Merging per-worker traces into a validated job trace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use maya_trace::{CollectiveKind, DeviceOp, JobTrace, WorkerTrace};
+
+/// Errors detected while collating traces.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CollateError {
+    /// Two workers claim the same `(comm, rank_in_comm)` slot.
+    ConflictingCommMembership {
+        /// Communicator id.
+        comm: u64,
+        /// Contested position.
+        rank_in_comm: u32,
+        /// First claimant (global rank).
+        first: u32,
+        /// Second claimant.
+        second: u32,
+    },
+    /// A worker declares a different size for a communicator than others.
+    CommSizeMismatch {
+        /// Communicator id.
+        comm: u64,
+        /// Sizes seen.
+        sizes: (u32, u32),
+    },
+    /// Participants disagree on a collective's kind or payload.
+    CollectiveMismatch {
+        /// Communicator id.
+        comm: u64,
+        /// Sequence number.
+        seq: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A communicator slot was never claimed but ops reference the group.
+    IncompleteComm {
+        /// Communicator id.
+        comm: u64,
+        /// Number of members seen vs declared size.
+        seen: u32,
+        /// Declared size.
+        declared: u32,
+    },
+    /// The merged job failed structural validation.
+    Invalid(String),
+}
+
+impl fmt::Display for CollateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollateError::ConflictingCommMembership { comm, rank_in_comm, first, second } => {
+                write!(
+                    f,
+                    "comm {comm:#x} slot {rank_in_comm} claimed by ranks {first} and {second}"
+                )
+            }
+            CollateError::CommSizeMismatch { comm, sizes } => {
+                write!(f, "comm {comm:#x} declared with sizes {} and {}", sizes.0, sizes.1)
+            }
+            CollateError::CollectiveMismatch { comm, seq, detail } => {
+                write!(f, "collective (comm {comm:#x}, seq {seq}) mismatch: {detail}")
+            }
+            CollateError::IncompleteComm { comm, seen, declared } => {
+                write!(f, "comm {comm:#x} has {seen}/{declared} members traced")
+            }
+            CollateError::Invalid(msg) => write!(f, "invalid job: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CollateError {}
+
+/// Merges worker traces into a job trace for a `world`-rank job.
+///
+/// Workers may be a subset of all ranks (selective launch, §7.4); in that
+/// case communicator membership is inferred by arithmetic (constant
+/// stride) extrapolation, which covers groups with two or more observed
+/// members. Single-observation groups are assumed rank-contiguous —
+/// callers with workload knowledge should prefer
+/// [`collate_with_known_groups`].
+pub fn collate(workers: Vec<WorkerTrace>, world: u32) -> Result<JobTrace, CollateError> {
+    collate_with_known_groups(workers, world, &BTreeMap::new())
+}
+
+/// [`collate`] with authoritative communicator membership supplied by the
+/// caller (e.g. computed from the Megatron parallelism configuration for
+/// selective launch). Known groups bypass inference; observed slots are
+/// still checked against them.
+pub fn collate_with_known_groups(
+    mut workers: Vec<WorkerTrace>,
+    world: u32,
+    known: &BTreeMap<u64, Vec<u32>>,
+) -> Result<JobTrace, CollateError> {
+    workers.sort_by_key(|w| w.rank);
+    let mut comm_sizes: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut comm_slots: BTreeMap<u64, BTreeMap<u32, u32>> = BTreeMap::new();
+
+    for w in &workers {
+        for e in &w.events {
+            if let DeviceOp::Collective { desc } = e.op {
+                match comm_sizes.get(&desc.comm_id) {
+                    None => {
+                        comm_sizes.insert(desc.comm_id, desc.nranks);
+                    }
+                    Some(&n) if n != desc.nranks => {
+                        return Err(CollateError::CommSizeMismatch {
+                            comm: desc.comm_id,
+                            sizes: (n, desc.nranks),
+                        });
+                    }
+                    _ => {}
+                }
+                let slots = comm_slots.entry(desc.comm_id).or_default();
+                match slots.get(&desc.rank_in_comm) {
+                    None => {
+                        slots.insert(desc.rank_in_comm, w.rank);
+                    }
+                    Some(&g) if g != w.rank => {
+                        return Err(CollateError::ConflictingCommMembership {
+                            comm: desc.comm_id,
+                            rank_in_comm: desc.rank_in_comm,
+                            first: g,
+                            second: w.rank,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Build dense member lists where complete; for partially-observed
+    // communicators (dedup), infer the missing global ranks only when the
+    // group structure is arithmetic (constant stride), which covers
+    // Megatron's tp/dp/pp groups; otherwise keep observed slots at their
+    // positions and fill gaps by extrapolation failure -> error.
+    let mut groups: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for (comm, slots) in &comm_slots {
+        let size = comm_sizes[comm];
+        if let Some(k) = known.get(comm) {
+            if k.len() != size as usize {
+                return Err(CollateError::CommSizeMismatch {
+                    comm: *comm,
+                    sizes: (k.len() as u32, size),
+                });
+            }
+            for (&pos, &g) in slots {
+                if k.get(pos as usize) != Some(&g) {
+                    return Err(CollateError::ConflictingCommMembership {
+                        comm: *comm,
+                        rank_in_comm: pos,
+                        first: k.get(pos as usize).copied().unwrap_or(u32::MAX),
+                        second: g,
+                    });
+                }
+            }
+            groups.insert(*comm, k.clone());
+            continue;
+        }
+        let mut members = vec![u32::MAX; size as usize];
+        for (&pos, &g) in slots {
+            if pos >= size {
+                return Err(CollateError::Invalid(format!(
+                    "comm {comm:#x}: rank_in_comm {pos} out of size {size}"
+                )));
+            }
+            members[pos as usize] = g;
+        }
+        if members.iter().any(|&m| m == u32::MAX) {
+            infer_missing_members(&mut members, world).map_err(|seen| {
+                CollateError::IncompleteComm { comm: *comm, seen, declared: size }
+            })?;
+        }
+        groups.insert(*comm, members);
+    }
+
+    let job = JobTrace { nranks: world, workers, comm_groups: groups };
+    job.validate().map_err(CollateError::Invalid)?;
+    validate_collectives(&job)?;
+    Ok(job)
+}
+
+/// Fills `u32::MAX` holes in a member list by arithmetic extrapolation
+/// from the known slots (Megatron groups have constant stride). Returns
+/// `Err(seen_count)` if no consistent stride exists.
+fn infer_missing_members(members: &mut [u32], world: u32) -> Result<(), u32> {
+    let known: Vec<(usize, u32)> =
+        members.iter().enumerate().filter(|(_, &m)| m != u32::MAX).map(|(i, &m)| (i, m)).collect();
+    let seen = known.len() as u32;
+    if known.is_empty() {
+        return Err(0);
+    }
+    if known.len() == 1 && members.len() > 1 {
+        // A single observation cannot pin the stride unless the group has
+        // stride deducible from position 0 == global rank pattern; assume
+        // contiguous ranks starting at the observed anchor.
+        let (pos, g) = known[0];
+        let base = g as i64 - pos as i64;
+        if base < 0 {
+            return Err(seen);
+        }
+        for (i, m) in members.iter_mut().enumerate() {
+            let v = base + i as i64;
+            if v < 0 || v >= world as i64 {
+                return Err(seen);
+            }
+            *m = v as u32;
+        }
+        return Ok(());
+    }
+    // Deduce stride from the first two known slots.
+    let (i0, g0) = known[0];
+    let (i1, g1) = known[1];
+    let stride = (g1 as i64 - g0 as i64) / (i1 as i64 - i0 as i64).max(1);
+    let base = g0 as i64 - stride * i0 as i64;
+    for i in 0..members.len() {
+        let v = base + stride * i as i64;
+        if v < 0 || v >= world as i64 {
+            return Err(seen);
+        }
+        let v = v as u32;
+        if members[i] != u32::MAX && members[i] != v {
+            return Err(seen);
+        }
+        members[i] = v;
+    }
+    Ok(())
+}
+
+/// Verifies that every logical collective is issued consistently by all
+/// *present* participants: same kind class, same payload, and matched
+/// send/recv pairing.
+pub fn validate_collectives(job: &JobTrace) -> Result<(), CollateError> {
+    use std::collections::HashMap;
+    // (comm, seq, pair) -> (kind-class, bytes, participant count)
+    let mut seen: HashMap<(u64, u32, (u32, u32)), (u8, u64, u32)> = HashMap::new();
+    for w in &job.workers {
+        for e in &w.events {
+            if let DeviceOp::Collective { desc } = e.op {
+                let (class, pair) = match desc.kind {
+                    CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => {
+                        (255u8, (desc.rank_in_comm.min(peer), desc.rank_in_comm.max(peer)))
+                    }
+                    k => (k.id(), (u32::MAX, u32::MAX)),
+                };
+                let key = (desc.comm_id, desc.seq, pair);
+                match seen.get_mut(&key) {
+                    None => {
+                        seen.insert(key, (class, desc.bytes, 1));
+                    }
+                    Some((c, b, n)) => {
+                        if *c != class {
+                            return Err(CollateError::CollectiveMismatch {
+                                comm: desc.comm_id,
+                                seq: desc.seq,
+                                detail: "kind mismatch between participants".into(),
+                            });
+                        }
+                        if *b != desc.bytes {
+                            return Err(CollateError::CollectiveMismatch {
+                                comm: desc.comm_id,
+                                seq: desc.seq,
+                                detail: format!("payload mismatch: {} vs {}", b, desc.bytes),
+                            });
+                        }
+                        *n += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Full collectives must be joined by every present group member.
+    for (&(comm, seq, pair), &(class, _, n)) in &seen {
+        if pair == (u32::MAX, u32::MAX) && class != 255 {
+            if let Some(members) = job.comm_groups.get(&comm) {
+                let expected = job.present_count(members);
+                if n != expected {
+                    return Err(CollateError::CollectiveMismatch {
+                        comm,
+                        seq,
+                        detail: format!("{n}/{expected} present participants joined"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_trace::{CollectiveDesc, SimTime, StreamId, TraceEvent};
+
+    fn coll_event(kind: CollectiveKind, comm: u64, seq: u32, bytes: u64, n: u32, r: u32) -> TraceEvent {
+        TraceEvent {
+            stream: StreamId::DEFAULT,
+            op: DeviceOp::Collective {
+                desc: CollectiveDesc {
+                    kind,
+                    comm_id: comm,
+                    seq,
+                    bytes,
+                    nranks: n,
+                    rank_in_comm: r,
+                },
+            },
+            host_delay: SimTime::from_us(1.0),
+        }
+    }
+
+    fn worker(rank: u32, events: Vec<TraceEvent>) -> WorkerTrace {
+        let mut w = WorkerTrace::new(rank);
+        w.events = events;
+        w
+    }
+
+    #[test]
+    fn reconstructs_comm_groups_by_slot() {
+        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
+        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 1)]);
+        let job = collate(vec![w1, w0], 2).unwrap();
+        assert_eq!(job.comm_groups[&5], vec![0, 1]);
+        assert_eq!(job.workers[0].rank, 0, "workers sorted by rank");
+    }
+
+    #[test]
+    fn non_contiguous_group_order_preserved() {
+        // dp group over ranks 1 and 3 (stride 2), rank 3 is slot 1.
+        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 9, 0, 64, 2, 0)]);
+        let w3 = worker(3, vec![coll_event(CollectiveKind::AllReduce, 9, 0, 64, 2, 1)]);
+        let job = collate(vec![w3, w1], 4).unwrap();
+        assert_eq!(job.comm_groups[&9], vec![1, 3]);
+    }
+
+    #[test]
+    fn conflicting_membership_detected() {
+        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
+        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 1, 64, 2, 0)]);
+        let err = collate(vec![w0, w1], 2).unwrap_err();
+        assert!(matches!(err, CollateError::ConflictingCommMembership { .. }), "{err}");
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
+        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 3, 1)]);
+        let err = collate(vec![w0, w1], 2).unwrap_err();
+        assert!(matches!(err, CollateError::CommSizeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn payload_mismatch_detected() {
+        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
+        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 128, 2, 1)]);
+        let err = collate(vec![w0, w1], 2).unwrap_err();
+        assert!(matches!(err, CollateError::CollectiveMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_participant_detected() {
+        // Dense 2-rank job where rank 1 skips the second collective.
+        let w0 = worker(
+            0,
+            vec![
+                coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0),
+                coll_event(CollectiveKind::AllReduce, 5, 1, 64, 2, 0),
+            ],
+        );
+        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 1)]);
+        let err = collate(vec![w0, w1], 2).unwrap_err();
+        assert!(matches!(err, CollateError::CollectiveMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn send_recv_pairs_match_by_pair_key() {
+        let w0 = worker(0, vec![coll_event(CollectiveKind::Send { peer: 1 }, 7, 0, 32, 2, 0)]);
+        let w1 = worker(1, vec![coll_event(CollectiveKind::Recv { peer: 0 }, 7, 0, 32, 2, 1)]);
+        assert!(collate(vec![w0, w1], 2).is_ok());
+    }
+
+    #[test]
+    fn sparse_collate_infers_strided_group() {
+        // Only rank 0 of an 8-rank dp group (stride 1) was emulated.
+        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 8, 0)]);
+        let job = collate(vec![w0], 8).unwrap();
+        assert_eq!(job.comm_groups[&5], vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(!job.is_dense());
+    }
+
+    #[test]
+    fn sparse_collate_infers_stride_from_two_members() {
+        // Ranks 0 and 4 of a 4-member group with stride 4.
+        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 4, 0)]);
+        let w4 = worker(4, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 4, 1)]);
+        let job = collate(vec![w0, w4], 16).unwrap();
+        assert_eq!(job.comm_groups[&5], vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn empty_job_collates() {
+        let job = collate(vec![worker(0, vec![])], 1).unwrap();
+        assert_eq!(job.total_events(), 0);
+        assert!(job.comm_groups.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Dynamic worker deduplication (§4.2) and selective launch (§7.4).
+//!
+//! In data-parallel (and tensor-parallel) training, many workers execute
+//! identical operation sequences on different data shards. The paper
+//! computes rolling hashes of each worker's operations during the first
+//! iteration, terminates redundant workers, and continues with unique
+//! ranks only.
+
+use maya_trace::{DeviceOp, JobTrace, WorkerTrace};
+
+/// One equivalence class of identical workers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DedupClass {
+    /// The rank whose trace represents the class.
+    pub representative: u32,
+    /// All member ranks (including the representative).
+    pub members: Vec<u32>,
+    /// The class signature.
+    pub signature: u64,
+}
+
+/// Structural rolling hash of a worker's operation sequence.
+///
+/// Invariant to identifiers that differ between otherwise-identical
+/// workers (raw communicator ids, device pointers, host-delay jitter);
+/// sensitive to everything that defines the workload structure: op kinds,
+/// kernel shapes, payload sizes, stream assignment, communicator *roles*
+/// (local index + size + rank-in-comm is excluded, since e.g. pipeline
+/// neighbors differ only by rank) and sequence numbers.
+pub fn signature(trace: &WorkerTrace) -> u64 {
+    use maya_hw::noise::Key;
+    use std::collections::HashMap;
+    let mut comm_index: HashMap<u64, u64> = HashMap::new();
+    let mut key = Key::new(0x5749_5245);
+    for e in &trace.events {
+        key = key.with(e.stream.0 as u64);
+        match e.op {
+            DeviceOp::KernelLaunch { kernel } => {
+                key = key.with(1).with(kernel.family_id() as u64);
+                key = key.with(kernel.flops().to_bits()).with(kernel.bytes_accessed().to_bits());
+            }
+            DeviceOp::MemcpyAsync { bytes, kind, sync } => {
+                key = key.with(2).with(bytes).with(kind as u64).with(sync as u64);
+            }
+            DeviceOp::Malloc { bytes, .. } => {
+                key = key.with(3).with(bytes);
+            }
+            DeviceOp::Free { .. } => {
+                key = key.with(4);
+            }
+            DeviceOp::EventRecord { event, version } => {
+                key = key.with(5).with(event).with(version as u64);
+            }
+            DeviceOp::StreamWaitEvent { event, version } => {
+                key = key.with(6).with(event).with(version as u64);
+            }
+            DeviceOp::EventSynchronize { event, version } => {
+                key = key.with(7).with(event).with(version as u64);
+            }
+            DeviceOp::StreamSynchronize => key = key.with(8),
+            DeviceOp::DeviceSynchronize => key = key.with(9),
+            DeviceOp::Collective { desc } => {
+                let next = comm_index.len() as u64;
+                let idx = *comm_index.entry(desc.comm_id).or_insert(next);
+                key = key
+                    .with(10)
+                    .with(idx)
+                    .with(desc.kind.id() as u64)
+                    .with(desc.bytes)
+                    .with(desc.nranks as u64)
+                    .with(desc.seq as u64);
+            }
+        }
+    }
+    key.finish()
+}
+
+/// Groups workers into equivalence classes by signature. The lowest rank
+/// of each class becomes its representative.
+pub fn dedup_classes(workers: &[WorkerTrace]) -> Vec<DedupClass> {
+    use std::collections::BTreeMap;
+    let mut by_sig: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for w in workers {
+        by_sig.entry(signature(w)).or_default().push(w.rank);
+    }
+    let mut classes: Vec<DedupClass> = by_sig
+        .into_iter()
+        .map(|(signature, mut members)| {
+            members.sort_unstable();
+            DedupClass { representative: members[0], members, signature }
+        })
+        .collect();
+    classes.sort_by_key(|c| c.representative);
+    classes
+}
+
+/// Drops redundant workers from a job, keeping one representative per
+/// class. Communicator groups are preserved in full, so downstream
+/// consumers can still size collectives correctly.
+pub fn reduce_job(job: &JobTrace, classes: &[DedupClass]) -> JobTrace {
+    let keep: std::collections::BTreeSet<u32> =
+        classes.iter().map(|c| c.representative).collect();
+    JobTrace {
+        nranks: job.nranks,
+        workers: job.workers.iter().filter(|w| keep.contains(&w.rank)).cloned().collect(),
+        comm_groups: job.comm_groups.clone(),
+    }
+}
+
+/// Megatron-aware ahead-of-time unique-rank selection (§7.4): with
+/// explicit knowledge of the parallelism configuration, the unique
+/// workers are the first data-parallel, first tensor-parallel rank of
+/// each pipeline stage.
+pub fn unique_megatron_ranks(tp: u32, dp: u32, pp: u32) -> Vec<u32> {
+    (0..pp).map(|p| p * tp * dp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_trace::{CollectiveDesc, CollectiveKind, Dtype, KernelKind, SimTime, StreamId, TraceEvent};
+
+    fn kernel_event(m: u64, host_us: f64) -> TraceEvent {
+        TraceEvent {
+            stream: StreamId::DEFAULT,
+            op: DeviceOp::KernelLaunch {
+                kernel: KernelKind::Gemm { m, n: 64, k: 64, dtype: Dtype::Bf16 },
+            },
+            host_delay: SimTime::from_us(host_us),
+        }
+    }
+
+    fn coll_event(comm: u64, rank_in_comm: u32) -> TraceEvent {
+        TraceEvent {
+            stream: StreamId::DEFAULT,
+            op: DeviceOp::Collective {
+                desc: CollectiveDesc {
+                    kind: CollectiveKind::AllReduce,
+                    comm_id: comm,
+                    seq: 0,
+                    bytes: 1024,
+                    nranks: 2,
+                    rank_in_comm,
+                },
+            },
+            host_delay: SimTime::from_us(1.0),
+        }
+    }
+
+    fn worker(rank: u32, events: Vec<TraceEvent>) -> WorkerTrace {
+        let mut w = WorkerTrace::new(rank);
+        w.events = events;
+        w
+    }
+
+    #[test]
+    fn identical_work_same_signature_despite_jitter() {
+        // Same ops, different host delays and different comm ids (as two
+        // dp peers in different tp groups would have).
+        let a = worker(0, vec![kernel_event(128, 3.0), coll_event(111, 0)]);
+        let b = worker(1, vec![kernel_event(128, 7.5), coll_event(222, 0)]);
+        assert_eq!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn different_shapes_different_signature() {
+        let a = worker(0, vec![kernel_event(128, 1.0)]);
+        let b = worker(1, vec![kernel_event(256, 1.0)]);
+        assert_ne!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn different_comm_role_differs() {
+        // Same kernel work but one rank also all-reduces.
+        let a = worker(0, vec![kernel_event(128, 1.0)]);
+        let b = worker(1, vec![kernel_event(128, 1.0), coll_event(5, 0)]);
+        assert_ne!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn classes_group_and_pick_lowest_representative() {
+        let ws = vec![
+            worker(0, vec![kernel_event(128, 1.0)]),
+            worker(1, vec![kernel_event(256, 1.0)]),
+            worker(2, vec![kernel_event(128, 9.0)]),
+            worker(3, vec![kernel_event(256, 2.0)]),
+        ];
+        let classes = dedup_classes(&ws);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].representative, 0);
+        assert_eq!(classes[0].members, vec![0, 2]);
+        assert_eq!(classes[1].representative, 1);
+        assert_eq!(classes[1].members, vec![1, 3]);
+    }
+
+    #[test]
+    fn reduce_job_keeps_representatives_and_groups() {
+        let ws = vec![
+            worker(0, vec![coll_event(5, 0)]),
+            worker(1, vec![coll_event(5, 1)]),
+        ];
+        let job = crate::collate(ws, 2).unwrap();
+        // Force both into one class signature-wise? They differ by
+        // rank_in_comm exclusion: signatures ignore rank_in_comm, so both
+        // hash identically.
+        let classes = dedup_classes(&job.workers);
+        assert_eq!(classes.len(), 1);
+        let reduced = reduce_job(&job, &classes);
+        assert_eq!(reduced.workers.len(), 1);
+        assert_eq!(reduced.nranks, 2);
+        assert_eq!(reduced.comm_groups[&5], vec![0, 1]);
+        assert!(reduced.validate().is_ok());
+    }
+
+    #[test]
+    fn megatron_unique_ranks_one_per_stage() {
+        // 8-way TP x 8-way DP x 1 PP: a single unique worker (the paper's
+        // 64-GPU example).
+        assert_eq!(unique_megatron_ranks(8, 8, 1), vec![0]);
+        // With 4 stages: first rank of each stage.
+        assert_eq!(unique_megatron_ranks(2, 2, 4), vec![0, 4, 8, 12]);
+    }
+}

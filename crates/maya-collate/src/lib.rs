@@ -1,0 +1,20 @@
+//! Trace collation and dynamic worker deduplication (§4.2).
+//!
+//! The collator merges per-worker traces into a job-level trace: it
+//! reconstructs communicator membership from `(comm_id, rank_in_comm)`
+//! pairs, and verifies that every logical collective is issued
+//! consistently by all of its participants (same kind, payload and
+//! sequence position) — the "matching across workers using communicator
+//! IDs and sequence numbers" step of the paper.
+//!
+//! Worker deduplication computes a rolling structural hash of each
+//! worker's operation sequence (invariant to rank-specific identifiers
+//! like raw communicator ids and pointers, sensitive to shapes, streams
+//! and communication structure) and groups identical workers; the
+//! simulator then runs only one representative per class.
+
+pub mod collate;
+pub mod dedup;
+
+pub use collate::{collate, collate_with_known_groups, validate_collectives, CollateError};
+pub use dedup::{dedup_classes, reduce_job, signature, unique_megatron_ranks, DedupClass};

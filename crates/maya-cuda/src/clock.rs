@@ -1,0 +1,162 @@
+//! Host-side time accounting for emulated API calls.
+//!
+//! The paper measures "wall-clock deltas between API calls during
+//! emulation" and replays them as blocking host work in the simulator
+//! (§4.2). That is faithful but non-deterministic; for reproducible tests
+//! and benches the default here is a *model* clock that charges a
+//! per-call-class dispatch cost plus deterministic jitter. A wall-clock
+//! implementation is provided for parity with the paper.
+
+use maya_hw::noise::{centered_factor, Key};
+use maya_trace::SimTime;
+
+/// Coarse classes of host work attached to an API call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HostOpClass {
+    /// Kernel or memcpy launch through the runtime API.
+    KernelLaunch,
+    /// Allocation / free bookkeeping.
+    Memory,
+    /// Event / stream management.
+    Sync,
+    /// cuBLAS / cuDNN library dispatch (heavier: heuristics, setup).
+    Library,
+    /// NCCL enqueue.
+    Nccl,
+    /// Framework-level host work injected by the application between API
+    /// calls (Python dispatch, optimizer bookkeeping, ...).
+    Framework,
+}
+
+/// Source of host-delay measurements for the emulator.
+pub trait HostClock: Send {
+    /// Time to charge for an API call of class `class`; called once per
+    /// recorded operation, in program order.
+    fn charge(&mut self, class: HostOpClass) -> SimTime;
+}
+
+/// Deterministic host-cost model.
+///
+/// Costs loosely follow measured CUDA dispatch overheads on a modern
+/// server CPU (a few microseconds per launch; more for library calls that
+/// run heuristics). `cpu_speed` scales everything, standing in for the
+/// host hardware differences discussed in §8 ("Taxonomy of CPU
+/// computation").
+#[derive(Clone, Debug)]
+pub struct ModelClock {
+    /// Multiplier on all host costs (1.0 = reference CPU).
+    pub cpu_speed: f64,
+    /// Jitter amplitude (deterministic, hash-based).
+    pub jitter: f64,
+    seed: u64,
+    calls: u64,
+}
+
+impl ModelClock {
+    /// Creates a model clock for a given seed.
+    pub fn new(seed: u64) -> Self {
+        ModelClock { cpu_speed: 1.0, jitter: 0.10, seed, calls: 0 }
+    }
+
+    /// Base cost in microseconds for each call class.
+    fn base_us(class: HostOpClass) -> f64 {
+        match class {
+            HostOpClass::KernelLaunch => 4.5,
+            HostOpClass::Memory => 2.8,
+            HostOpClass::Sync => 1.9,
+            HostOpClass::Library => 7.5,
+            HostOpClass::Nccl => 9.0,
+            HostOpClass::Framework => 12.0,
+        }
+    }
+}
+
+impl Default for ModelClock {
+    fn default() -> Self {
+        ModelClock::new(0x4D43_4C4B)
+    }
+}
+
+impl HostClock for ModelClock {
+    fn charge(&mut self, class: HostOpClass) -> SimTime {
+        self.calls += 1;
+        let f = centered_factor(
+            Key::new(self.seed).with(self.calls).with(class as u64).finish(),
+            self.jitter,
+        );
+        SimTime::from_us(Self::base_us(class) * self.cpu_speed * f)
+    }
+}
+
+/// Wall-clock host timing (the paper's approach): measures real elapsed
+/// time between successive API calls.
+#[derive(Debug)]
+pub struct WallClock {
+    last: std::time::Instant,
+}
+
+impl WallClock {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        WallClock { last: std::time::Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl HostClock for WallClock {
+    fn charge(&mut self, _class: HostOpClass) -> SimTime {
+        let now = std::time::Instant::now();
+        let dt = now.duration_since(self.last);
+        self.last = now;
+        SimTime::from_ns(dt.as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_clock_is_deterministic() {
+        let mut a = ModelClock::new(7);
+        let mut b = ModelClock::new(7);
+        for class in [HostOpClass::KernelLaunch, HostOpClass::Library, HostOpClass::Sync] {
+            assert_eq!(a.charge(class), b.charge(class));
+        }
+    }
+
+    #[test]
+    fn model_clock_scales_with_cpu_speed() {
+        let mut fast = ModelClock::new(7);
+        let mut slow = ModelClock::new(7);
+        slow.cpu_speed = 2.0;
+        let tf = fast.charge(HostOpClass::KernelLaunch);
+        let ts = slow.charge(HostOpClass::KernelLaunch);
+        // Nanosecond rounding in `SimTime` allows a tiny deviation.
+        assert!((ts.as_us() / tf.as_us() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn library_calls_cost_more_than_sync() {
+        let mut c = ModelClock::new(1);
+        c.jitter = 0.0;
+        let lib = c.charge(HostOpClass::Library);
+        let sync = c.charge(HostOpClass::Sync);
+        assert!(lib > sync);
+    }
+
+    #[test]
+    fn wall_clock_monotonic() {
+        let mut w = WallClock::new();
+        let a = w.charge(HostOpClass::KernelLaunch);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = w.charge(HostOpClass::KernelLaunch);
+        assert!(b >= a);
+        assert!(b.as_ms() >= 1.0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The per-rank virtual device: CUDA runtime API + emulator state.
+
+use std::collections::{HashMap, HashSet};
+
+use maya_hw::GpuSpec;
+use maya_trace::{DeviceOp, KernelKind, MemcpyKind, SimTime, StreamId, TraceEvent, WorkerTrace};
+
+use crate::clock::{HostClock, HostOpClass, ModelClock};
+use crate::cublas::CublasState;
+use crate::cudnn::{ConvDescState, CudnnState};
+use crate::error::{CudaError, CudaResult};
+use crate::nccl::CommState;
+
+/// An opaque CUDA stream handle. Stream 0 is the default stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CudaStream(pub(crate) u64);
+
+impl CudaStream {
+    /// The default (legacy) stream, always valid.
+    pub const DEFAULT: CudaStream = CudaStream(0);
+
+    /// Raw handle value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An opaque CUDA event handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CudaEvent(pub(crate) u64);
+
+/// A virtual device pointer returned by the emulator's allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DevicePtr(pub(crate) u64);
+
+impl DevicePtr {
+    /// Raw pointer value (non-zero for valid allocations).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Bytes the emulator reserves for the CUDA context itself, mirroring the
+/// context/cuBLAS workspace overhead a real process pays before the first
+/// user allocation.
+const CONTEXT_RESERVED_BYTES: u64 = 700 * 1024 * 1024;
+
+/// The per-rank virtual device.
+///
+/// One `CudaContext` emulates one GPU for one worker process. All API
+/// calls validate handles and resource state the way a real driver would,
+/// record trace events, and return immediately — compute is a no-op.
+pub struct CudaContext {
+    /// Global rank of the worker owning this device.
+    pub rank: u32,
+    gpu: GpuSpec,
+    clock: Box<dyn HostClock>,
+
+    // Memory allocator state.
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    allocations: HashMap<u64, u64>,
+    next_ptr: u64,
+    num_allocs: u64,
+    oom: bool,
+
+    // Stream / event registries.
+    streams: HashSet<u64>,
+    next_stream: u64,
+    events: HashMap<u64, u32>,
+    next_event: u64,
+
+    // Library handle registries (populated by the cublas/cudnn/nccl
+    // modules in this crate).
+    pub(crate) cublas: HashMap<u64, CublasState>,
+    pub(crate) cudnn: HashMap<u64, CudnnState>,
+    pub(crate) conv_descs: HashMap<u64, ConvDescState>,
+    pub(crate) comms: HashMap<u64, CommState>,
+    pub(crate) next_handle: u64,
+
+    // Trace.
+    log: Vec<TraceEvent>,
+    num_kernels: u64,
+    num_collectives: u64,
+    pending_host: SimTime,
+}
+
+impl CudaContext {
+    /// Creates a virtual device of the given spec for `rank`, with the
+    /// default deterministic host clock (seeded by rank).
+    pub fn new(rank: u32, gpu: GpuSpec) -> Self {
+        Self::with_clock(rank, gpu, Box::new(ModelClock::new(0x636C_6F63 ^ rank as u64)))
+    }
+
+    /// Creates a virtual device with a custom host clock.
+    pub fn with_clock(rank: u32, gpu: GpuSpec, clock: Box<dyn HostClock>) -> Self {
+        CudaContext {
+            rank,
+            gpu,
+            clock,
+            capacity: gpu.mem_bytes().saturating_sub(CONTEXT_RESERVED_BYTES),
+            used: 0,
+            peak: 0,
+            allocations: HashMap::new(),
+            next_ptr: 0x7f00_0000_0000,
+            num_allocs: 0,
+            oom: false,
+            streams: HashSet::new(),
+            next_stream: 1,
+            events: HashMap::new(),
+            next_event: 1,
+            cublas: HashMap::new(),
+            cudnn: HashMap::new(),
+            conv_descs: HashMap::new(),
+            comms: HashMap::new(),
+            next_handle: 1,
+            log: Vec::new(),
+            num_kernels: 0,
+            num_collectives: 0,
+            pending_host: SimTime::ZERO,
+        }
+    }
+
+    /// The GPU this context emulates.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Whether the allocator has hit an out-of-memory condition.
+    pub fn oom(&self) -> bool {
+        self.oom
+    }
+
+    /// Current / peak allocated bytes.
+    pub fn mem_used(&self) -> u64 {
+        self.used
+    }
+
+    /// Peak allocated bytes over the context lifetime.
+    pub fn mem_peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Injects framework-level host work (Python dispatch, optimizer
+    /// bookkeeping) that will be attached to the next recorded API call.
+    pub fn host_work(&mut self, t: SimTime) {
+        self.pending_host += t;
+    }
+
+    /// Records one trace event, charging host time for it.
+    pub(crate) fn record(&mut self, stream: StreamId, op: DeviceOp, class: HostOpClass) {
+        let host = self.clock.charge(class) + std::mem::take(&mut self.pending_host);
+        match op {
+            DeviceOp::KernelLaunch { .. } | DeviceOp::MemcpyAsync { .. } => {
+                self.num_kernels += 1
+            }
+            DeviceOp::Collective { .. } => self.num_collectives += 1,
+            _ => {}
+        }
+        self.log.push(TraceEvent { stream, op, host_delay: host });
+    }
+
+    /// Validates a stream handle.
+    pub(crate) fn check_stream(&self, stream: CudaStream) -> CudaResult<StreamId> {
+        if stream.0 == 0 || self.streams.contains(&stream.0) {
+            Ok(StreamId(stream.0 as u32))
+        } else {
+            Err(CudaError::InvalidResourceHandle)
+        }
+    }
+
+    /// Allocates a fresh opaque handle id (shared across libraries).
+    pub(crate) fn fresh_handle(&mut self) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    // ----- CUDA runtime: memory -----
+
+    /// `cudaMemGetInfo`: (free, total) bytes, mimicking device behavior
+    /// so frameworks can make allocator decisions (§4.1).
+    pub fn mem_get_info(&mut self) -> (u64, u64) {
+        let _ = self.clock.charge(HostOpClass::Memory);
+        (self.capacity - self.used, self.gpu.mem_bytes())
+    }
+
+    /// `cudaMalloc`.
+    pub fn malloc(&mut self, bytes: u64) -> CudaResult<DevicePtr> {
+        if bytes == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        // Real allocators round to 512-byte granules.
+        let rounded = bytes.div_ceil(512) * 512;
+        if self.used + rounded > self.capacity {
+            self.oom = true;
+            return Err(CudaError::MemoryAllocation {
+                requested: rounded,
+                free: self.capacity - self.used,
+            });
+        }
+        let ptr = self.next_ptr;
+        self.next_ptr += rounded;
+        self.used += rounded;
+        self.peak = self.peak.max(self.used);
+        self.num_allocs += 1;
+        self.allocations.insert(ptr, rounded);
+        self.record(
+            StreamId::DEFAULT,
+            DeviceOp::Malloc { bytes: rounded, ptr },
+            HostOpClass::Memory,
+        );
+        Ok(DevicePtr(ptr))
+    }
+
+    /// `cudaFree`. Double frees and unknown pointers are flagged.
+    pub fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        match self.allocations.remove(&ptr.0) {
+            Some(bytes) => {
+                self.used -= bytes;
+                self.record(StreamId::DEFAULT, DeviceOp::Free { ptr: ptr.0 }, HostOpClass::Memory);
+                Ok(())
+            }
+            None => Err(CudaError::InvalidDevicePointer),
+        }
+    }
+
+    /// `cudaMemsetAsync`.
+    pub fn memset_async(&mut self, ptr: DevicePtr, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+        if !self.allocations.contains_key(&ptr.0) {
+            return Err(CudaError::InvalidDevicePointer);
+        }
+        let s = self.check_stream(stream)?;
+        self.record(
+            s,
+            DeviceOp::KernelLaunch { kernel: KernelKind::Memset { bytes } },
+            HostOpClass::KernelLaunch,
+        );
+        Ok(())
+    }
+
+    /// `cudaMemcpyAsync`.
+    pub fn memcpy_async(
+        &mut self,
+        bytes: u64,
+        kind: MemcpyKind,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
+        let s = self.check_stream(stream)?;
+        self.record(
+            s,
+            DeviceOp::MemcpyAsync { bytes, kind, sync: false },
+            HostOpClass::KernelLaunch,
+        );
+        Ok(())
+    }
+
+    /// Synchronous `cudaMemcpy` (blocks the host).
+    pub fn memcpy(&mut self, bytes: u64, kind: MemcpyKind) -> CudaResult<()> {
+        self.record(
+            StreamId::DEFAULT,
+            DeviceOp::MemcpyAsync { bytes, kind, sync: true },
+            HostOpClass::KernelLaunch,
+        );
+        Ok(())
+    }
+
+    // ----- CUDA runtime: streams & events -----
+
+    /// `cudaStreamCreate`.
+    pub fn stream_create(&mut self) -> CudaStream {
+        let s = self.next_stream;
+        self.next_stream += 1;
+        self.streams.insert(s);
+        let _ = self.clock.charge(HostOpClass::Sync);
+        CudaStream(s)
+    }
+
+    /// `cudaStreamDestroy`.
+    pub fn stream_destroy(&mut self, stream: CudaStream) -> CudaResult<()> {
+        if self.streams.remove(&stream.0) {
+            Ok(())
+        } else {
+            Err(CudaError::InvalidResourceHandle)
+        }
+    }
+
+    /// `cudaEventCreate`.
+    pub fn event_create(&mut self) -> CudaEvent {
+        let e = self.next_event;
+        self.next_event += 1;
+        self.events.insert(e, 0);
+        let _ = self.clock.charge(HostOpClass::Sync);
+        CudaEvent(e)
+    }
+
+    /// `cudaEventDestroy`.
+    pub fn event_destroy(&mut self, event: CudaEvent) -> CudaResult<()> {
+        if self.events.remove(&event.0).is_some() {
+            Ok(())
+        } else {
+            Err(CudaError::InvalidResourceHandle)
+        }
+    }
+
+    /// `cudaEventRecord`: bumps the event's re-use version and records it
+    /// on `stream`.
+    pub fn event_record(&mut self, event: CudaEvent, stream: CudaStream) -> CudaResult<()> {
+        let s = self.check_stream(stream)?;
+        let v = self.events.get_mut(&event.0).ok_or(CudaError::InvalidResourceHandle)?;
+        *v += 1;
+        let version = *v;
+        self.record(s, DeviceOp::EventRecord { event: event.0, version }, HostOpClass::Sync);
+        Ok(())
+    }
+
+    /// `cudaStreamWaitEvent`: `stream` blocks until the event's current
+    /// version fires. Waiting on a never-recorded event is a no-op, as in
+    /// CUDA.
+    pub fn stream_wait_event(&mut self, stream: CudaStream, event: CudaEvent) -> CudaResult<()> {
+        let s = self.check_stream(stream)?;
+        let version = *self.events.get(&event.0).ok_or(CudaError::InvalidResourceHandle)?;
+        self.record(s, DeviceOp::StreamWaitEvent { event: event.0, version }, HostOpClass::Sync);
+        Ok(())
+    }
+
+    /// `cudaEventSynchronize`: host blocks until the event fires.
+    pub fn event_synchronize(&mut self, event: CudaEvent) -> CudaResult<()> {
+        let version = *self.events.get(&event.0).ok_or(CudaError::InvalidResourceHandle)?;
+        self.record(
+            StreamId::DEFAULT,
+            DeviceOp::EventSynchronize { event: event.0, version },
+            HostOpClass::Sync,
+        );
+        Ok(())
+    }
+
+    /// `cudaStreamSynchronize`.
+    pub fn stream_synchronize(&mut self, stream: CudaStream) -> CudaResult<()> {
+        let s = self.check_stream(stream)?;
+        self.record(s, DeviceOp::StreamSynchronize, HostOpClass::Sync);
+        Ok(())
+    }
+
+    /// `cudaDeviceSynchronize`.
+    pub fn device_synchronize(&mut self) {
+        self.record(StreamId::DEFAULT, DeviceOp::DeviceSynchronize, HostOpClass::Sync);
+    }
+
+    // ----- Kernel launch -----
+
+    /// `cudaLaunchKernel`: generic entry point for framework kernels that
+    /// do not go through an opaque library (elementwise ops, softmax,
+    /// layernorm, optimizers, fused Triton kernels, ...).
+    pub fn launch_kernel(&mut self, kernel: KernelKind, stream: CudaStream) -> CudaResult<()> {
+        let s = self.check_stream(stream)?;
+        self.record(s, DeviceOp::KernelLaunch { kernel }, HostOpClass::KernelLaunch);
+        Ok(())
+    }
+
+    /// Finishes emulation, yielding the recorded worker trace.
+    pub fn into_trace(self) -> WorkerTrace {
+        let mut w = WorkerTrace::new(self.rank);
+        w.summary.peak_mem_bytes = self.peak;
+        w.summary.final_mem_bytes = self.used;
+        w.summary.num_allocs = self.num_allocs;
+        w.summary.num_kernels = self.num_kernels;
+        w.summary.num_collectives = self.num_collectives;
+        w.summary.oom = self.oom;
+        w.events = self.log;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_trace::Dtype;
+
+    fn ctx() -> CudaContext {
+        CudaContext::new(0, GpuSpec::h100())
+    }
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        let mut c = ctx();
+        let (free0, total) = c.mem_get_info();
+        assert!(total > free0);
+        let p = c.malloc(1 << 20).unwrap();
+        assert_eq!(c.mem_used(), 1 << 20);
+        let (free1, _) = c.mem_get_info();
+        assert_eq!(free0 - free1, 1 << 20);
+        c.free(p).unwrap();
+        assert_eq!(c.mem_used(), 0);
+        assert_eq!(c.mem_peak(), 1 << 20);
+    }
+
+    #[test]
+    fn malloc_rounds_to_granule() {
+        let mut c = ctx();
+        c.malloc(1).unwrap();
+        assert_eq!(c.mem_used(), 512);
+    }
+
+    #[test]
+    fn double_free_flagged() {
+        let mut c = ctx();
+        let p = c.malloc(4096).unwrap();
+        c.free(p).unwrap();
+        assert_eq!(c.free(p), Err(CudaError::InvalidDevicePointer));
+    }
+
+    #[test]
+    fn oom_detected_and_sticky() {
+        let mut c = ctx();
+        let too_big = c.gpu().mem_bytes();
+        match c.malloc(too_big) {
+            Err(CudaError::MemoryAllocation { requested, .. }) => {
+                assert!(requested >= too_big)
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        assert!(c.oom());
+        // Smaller allocations still succeed after an OOM report.
+        assert!(c.malloc(1024).is_ok());
+        assert!(c.oom(), "oom flag is sticky for the trace summary");
+    }
+
+    #[test]
+    fn invalid_stream_rejected() {
+        let mut c = ctx();
+        let bogus = CudaStream(999);
+        assert_eq!(
+            c.launch_kernel(KernelKind::Memset { bytes: 4 }, bogus),
+            Err(CudaError::InvalidResourceHandle)
+        );
+        let s = c.stream_create();
+        assert!(c.launch_kernel(KernelKind::Memset { bytes: 4 }, s).is_ok());
+        c.stream_destroy(s).unwrap();
+        assert_eq!(
+            c.launch_kernel(KernelKind::Memset { bytes: 4 }, s),
+            Err(CudaError::InvalidResourceHandle)
+        );
+    }
+
+    #[test]
+    fn event_versioning() {
+        let mut c = ctx();
+        let e = c.event_create();
+        let s = c.stream_create();
+        c.event_record(e, s).unwrap();
+        c.event_record(e, s).unwrap();
+        c.stream_wait_event(CudaStream::DEFAULT, e).unwrap();
+        let trace = c.into_trace();
+        let versions: Vec<u32> = trace
+            .events
+            .iter()
+            .filter_map(|ev| match ev.op {
+                DeviceOp::EventRecord { version, .. } => Some(version),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(versions, vec![1, 2]);
+        let wait_version = trace
+            .events
+            .iter()
+            .find_map(|ev| match ev.op {
+                DeviceOp::StreamWaitEvent { version, .. } => Some(version),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(wait_version, 2, "wait binds to the latest recorded version");
+    }
+
+    #[test]
+    fn trace_records_kernels_with_host_delays() {
+        let mut c = ctx();
+        c.launch_kernel(
+            KernelKind::Gemm { m: 128, n: 128, k: 128, dtype: Dtype::Bf16 },
+            CudaStream::DEFAULT,
+        )
+        .unwrap();
+        c.host_work(SimTime::from_us(100.0));
+        c.launch_kernel(
+            KernelKind::Gemm { m: 128, n: 128, k: 128, dtype: Dtype::Bf16 },
+            CudaStream::DEFAULT,
+        )
+        .unwrap();
+        let t = c.into_trace();
+        assert_eq!(t.summary.num_kernels, 2);
+        assert!(t.events[0].host_delay > SimTime::ZERO);
+        assert!(
+            t.events[1].host_delay >= SimTime::from_us(100.0),
+            "injected framework work is attached to the next call"
+        );
+    }
+
+    #[test]
+    fn zero_byte_malloc_invalid() {
+        let mut c = ctx();
+        assert_eq!(c.malloc(0).unwrap_err(), CudaError::InvalidValue);
+    }
+}

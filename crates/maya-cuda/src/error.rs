@@ -1,0 +1,65 @@
+//! CUDA-style error codes.
+
+use std::fmt;
+
+/// Result alias for device API calls.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Error codes mirroring `cudaError_t` / library statuses.
+///
+/// The emulator "identifies and flags" misuse — invalid streams,
+/// uninitialized descriptors, double frees, out-of-memory — using each
+/// handle's tracked state (§4.1 "Resource Tracking").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CudaError {
+    /// `cudaErrorMemoryAllocation`: the device allocator is exhausted.
+    MemoryAllocation {
+        /// Bytes that were requested.
+        requested: u64,
+        /// Bytes still free when the request failed.
+        free: u64,
+    },
+    /// `cudaErrorInvalidValue`: a malformed argument.
+    InvalidValue,
+    /// `cudaErrorInvalidResourceHandle`: unknown/destroyed stream, event
+    /// or library handle.
+    InvalidResourceHandle,
+    /// `cudaErrorInvalidDevicePointer`: free of an unknown pointer or
+    /// double free.
+    InvalidDevicePointer,
+    /// `CUBLAS_STATUS_NOT_INITIALIZED` and friends: a library call used a
+    /// handle that was never created.
+    NotInitialized,
+    /// `ncclInvalidUsage`: communicator misuse (e.g. rank out of range).
+    NcclInvalidUsage,
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::MemoryAllocation { requested, free } => write!(
+                f,
+                "cudaErrorMemoryAllocation: requested {requested} bytes with {free} free"
+            ),
+            CudaError::InvalidValue => write!(f, "cudaErrorInvalidValue"),
+            CudaError::InvalidResourceHandle => write!(f, "cudaErrorInvalidResourceHandle"),
+            CudaError::InvalidDevicePointer => write!(f, "cudaErrorInvalidDevicePointer"),
+            CudaError::NotInitialized => write!(f, "CUBLAS_STATUS_NOT_INITIALIZED"),
+            CudaError::NcclInvalidUsage => write!(f, "ncclInvalidUsage"),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cuda_names() {
+        let e = CudaError::MemoryAllocation { requested: 100, free: 10 };
+        assert!(e.to_string().contains("cudaErrorMemoryAllocation"));
+        assert!(CudaError::InvalidResourceHandle.to_string().contains("InvalidResourceHandle"));
+    }
+}

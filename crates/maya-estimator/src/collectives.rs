@@ -1,0 +1,273 @@
+//! Collective-operation runtime estimation.
+//!
+//! Two reference estimators, matching §4.3 "Network Model":
+//!
+//! - [`CollectiveTable`]: nccl-tests-style profiled data over (collective,
+//!   group size, topology tier, payload) with log-log interpolation —
+//!   "profiled collective data from their target cluster";
+//! - [`AnalyticalCollectives`]: an ASTRA-sim-style hierarchical
+//!   topology-aware analytical model for scales beyond the profiled range
+//!   (the paper integrates ASTRA-sim for its 16K-GPU study, §7.4).
+
+use std::collections::BTreeMap;
+
+use maya_hw::noise::{gaussian_factor, Key};
+use maya_hw::{ClusterSpec, GroundTruthNetModel};
+use maya_trace::{CollectiveKind, SimTime};
+
+/// ASTRA-sim-style analytical collective model (ring algebra over the
+/// bottleneck link, hierarchical latency).
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticalCollectives;
+
+impl AnalyticalCollectives {
+    /// Predicts the on-the-wire time of one collective.
+    pub fn predict(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        ranks: &[u32],
+        cluster: &ClusterSpec,
+    ) -> SimTime {
+        let n = ranks.len().max(1) as f64;
+        if n <= 1.0 {
+            return SimTime::from_us(2.0);
+        }
+        let b = bytes as f64;
+        let single = cluster.single_node(ranks);
+        let link = if single { cluster.intra_link } else { cluster.inter_link };
+        let bw = link.effective_bw(b);
+        let mut nodes: Vec<u32> = ranks.iter().map(|&r| cluster.node_of(r)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let lat = if single {
+            (n - 1.0) * cluster.intra_link.latency_us
+        } else {
+            let intra = (cluster.gpus_per_node.min(ranks.len() as u32) as f64 - 1.0).max(0.0);
+            intra * cluster.intra_link.latency_us
+                + (nodes.len() as f64 - 1.0) * cluster.inter_link.latency_us
+        };
+        let bw_bytes = match kind {
+            CollectiveKind::AllReduce => 2.0 * (n - 1.0) / n * b,
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => (n - 1.0) / n * b,
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => b,
+            CollectiveKind::Send { .. } | CollectiveKind::Recv { .. } => b,
+            CollectiveKind::AllToAll => (n - 1.0) / n * b * 1.3,
+        };
+        let t = match kind {
+            CollectiveKind::Send { .. } | CollectiveKind::Recv { .. } => {
+                link.latency_us * 1e-6 + b / link.effective_bw(b)
+            }
+            _ => lat * 1e-6 + bw_bytes / bw,
+        };
+        SimTime::from_secs(t)
+    }
+}
+
+/// Key of one profiled configuration.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct TableKey {
+    kind: u8,
+    nranks: u32,
+    spans_nodes: bool,
+}
+
+/// Profiled collective timings with log-log interpolation in payload.
+#[derive(Clone, Debug)]
+pub struct CollectiveTable {
+    /// Sorted (log2 bytes, log2 time-us) curves per configuration.
+    curves: BTreeMap<TableKey, Vec<(f64, f64)>>,
+    fallback: AnalyticalCollectives,
+}
+
+impl CollectiveTable {
+    /// Profiles the cluster (via its ground-truth network) the way
+    /// `nccl-tests` would: group sizes up to the cluster, payloads from
+    /// tens of KB to tens of GB.
+    pub fn profile(cluster: &ClusterSpec, net: &GroundTruthNetModel, seed: u64) -> Self {
+        let total = cluster.num_gpus();
+        let mut sizes: Vec<u32> = vec![2, 4, 8, 16, 32, 64, 128, 256];
+        sizes.retain(|&n| n <= total);
+        if !sizes.contains(&total) && total >= 2 {
+            sizes.push(total);
+        }
+        let kinds = [
+            CollectiveKind::AllReduce,
+            CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::Broadcast,
+            CollectiveKind::Send { peer: 1 },
+            CollectiveKind::AllToAll,
+        ];
+        let mut curves: BTreeMap<TableKey, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut sample = 0u64;
+        for &n in &sizes {
+            // Packed layout (fills nodes in order) and strided layout
+            // (one rank per node), covering both topology tiers.
+            let mut layouts: Vec<Vec<u32>> = vec![(0..n).collect()];
+            if cluster.num_nodes >= n && cluster.gpus_per_node > 1 {
+                layouts.push((0..n).map(|i| i * cluster.gpus_per_node).collect());
+            }
+            for ranks in layouts {
+                let spans = !cluster.single_node(&ranks);
+                for &kind in &kinds {
+                    let key = TableKey { kind: kind.id(), nranks: n, spans_nodes: spans };
+                    let curve = curves.entry(key).or_default();
+                    if !curve.is_empty() {
+                        continue; // layout with same tier already profiled
+                    }
+                    for exp in 14..=34u32 {
+                        let bytes = 1u64 << exp;
+                        let t = net.collective_time(kind, bytes, &ranks, cluster);
+                        sample += 1;
+                        let noisy = t.scale(gaussian_factor(
+                            Key::new(seed).with(0x6E63_636C).with(sample).finish(),
+                            0.02,
+                        ));
+                        curve.push((exp as f64, noisy.as_us().max(1e-3).log2()));
+                    }
+                }
+            }
+        }
+        CollectiveTable { curves, fallback: AnalyticalCollectives }
+    }
+
+    /// Predicts the on-the-wire duration of a collective.
+    pub fn predict(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        ranks: &[u32],
+        cluster: &ClusterSpec,
+    ) -> SimTime {
+        let n = ranks.len().max(1) as u32;
+        if n <= 1 {
+            return SimTime::from_us(2.0);
+        }
+        let spans = !cluster.single_node(ranks);
+        let key = TableKey { kind: kind.id(), nranks: n, spans_nodes: spans };
+        if let Some(curve) = self.curves.get(&key) {
+            return Self::interp(curve, bytes);
+        }
+        // Nearest profiled size on the same tier, corrected by ring
+        // algebra; otherwise the analytical fallback.
+        let neighbors: Vec<&TableKey> = self
+            .curves
+            .keys()
+            .filter(|k| k.kind == kind.id() && k.spans_nodes == spans)
+            .collect();
+        if let Some(nearest) = neighbors
+            .into_iter()
+            .min_by_key(|k| (k.nranks as i64 - n as i64).unsigned_abs())
+        {
+            let base = Self::interp(&self.curves[nearest], bytes);
+            let scale = |x: u32| 2.0 * (x as f64 - 1.0) / x as f64;
+            return base.scale(scale(n) / scale(nearest.nranks));
+        }
+        self.fallback.predict(kind, bytes, ranks, cluster)
+    }
+
+    /// Piecewise-linear interpolation in (log bytes, log time).
+    fn interp(curve: &[(f64, f64)], bytes: u64) -> SimTime {
+        let x = (bytes.max(1) as f64).log2();
+        let i = curve.partition_point(|&(cx, _)| cx < x);
+        let (x0, y0, x1, y1) = if i == 0 {
+            let (a, b) = (curve[0], curve[1.min(curve.len() - 1)]);
+            (a.0, a.1, b.0, b.1)
+        } else if i >= curve.len() {
+            let (a, b) = (curve[curve.len() - 2], curve[curve.len() - 1]);
+            (a.0, a.1, b.0, b.1)
+        } else {
+            let (a, b) = (curve[i - 1], curve[i]);
+            (a.0, a.1, b.0, b.1)
+        };
+        let y = if (x1 - x0).abs() < 1e-12 {
+            y0
+        } else {
+            y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        };
+        SimTime::from_us(y.exp2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(cluster: &ClusterSpec) -> CollectiveTable {
+        CollectiveTable::profile(cluster, &GroundTruthNetModel::default(), 7)
+    }
+
+    #[test]
+    fn table_matches_ground_truth_closely_in_range() {
+        let cluster = ClusterSpec::h100(2, 8);
+        let t = table(&cluster);
+        let net = GroundTruthNetModel::default();
+        let ranks: Vec<u32> = (0..8).collect();
+        for exp in [16u32, 20, 24, 28] {
+            let bytes = 1u64 << exp;
+            let pred = t.predict(CollectiveKind::AllReduce, bytes, &ranks, &cluster);
+            let truth = net.collective_time(CollectiveKind::AllReduce, bytes, &ranks, &cluster);
+            let err = (pred.as_secs_f64() / truth.as_secs_f64() - 1.0).abs();
+            assert!(err < 0.15, "bytes {bytes}: err {err}");
+        }
+    }
+
+    #[test]
+    fn tier_distinction_matters() {
+        let cluster = ClusterSpec::h100(4, 8);
+        let t = table(&cluster);
+        let packed: Vec<u32> = (0..4).collect(); // one node
+        let strided: Vec<u32> = (0..4).map(|i| i * 8).collect(); // 4 nodes
+        let b = 1 << 26;
+        let intra = t.predict(CollectiveKind::AllReduce, b, &packed, &cluster);
+        let inter = t.predict(CollectiveKind::AllReduce, b, &strided, &cluster);
+        assert!(inter > intra * 2, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn unseen_group_size_scales_by_ring_algebra() {
+        let cluster = ClusterSpec::h100(1, 8);
+        let t = table(&cluster);
+        // 6 ranks was never profiled (2/4/8 were).
+        let ranks: Vec<u32> = (0..6).collect();
+        let pred = t.predict(CollectiveKind::AllReduce, 1 << 26, &ranks, &cluster);
+        let truth = GroundTruthNetModel::default().collective_time(
+            CollectiveKind::AllReduce,
+            1 << 26,
+            &ranks,
+            &cluster,
+        );
+        let err = (pred.as_secs_f64() / truth.as_secs_f64() - 1.0).abs();
+        assert!(err < 0.30, "err {err}");
+    }
+
+    #[test]
+    fn analytical_fallback_reasonable_at_hyperscale() {
+        let cluster = ClusterSpec::h100(2048, 8); // 16K GPUs
+        let a = AnalyticalCollectives;
+        let ranks: Vec<u32> = (0..2048).map(|i| i * 8).collect();
+        let t = a.predict(CollectiveKind::AllReduce, 1 << 30, &ranks, &cluster);
+        let truth = GroundTruthNetModel::default().collective_time(
+            CollectiveKind::AllReduce,
+            1 << 30,
+            &ranks,
+            &cluster,
+        );
+        let ratio = t.as_secs_f64() / truth.as_secs_f64();
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_bytes() {
+        let cluster = ClusterSpec::v100(2, 8);
+        let t = table(&cluster);
+        let ranks: Vec<u32> = (0..16).collect();
+        let mut last = SimTime::ZERO;
+        for exp in 15..33u32 {
+            let cur = t.predict(CollectiveKind::AllGather, 1 << exp, &ranks, &cluster);
+            assert!(cur >= last.scale(0.9), "non-monotone at 2^{exp}");
+            last = cur;
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Prediction-quality metrics: per-kernel MAPE on held-out data
+//! (recreating the paper's Tables 7-9).
+
+use std::collections::BTreeMap;
+
+use maya_trace::SimTime;
+
+/// Mean absolute percentage error of paired (prediction, truth) values.
+pub fn mape(pairs: &[(SimTime, SimTime)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|(p, t)| (p.as_secs_f64() - t.as_secs_f64()).abs() / t.as_secs_f64().max(1e-12))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+/// Per-kernel-family MAPE report (the shape of Tables 7-9).
+#[derive(Clone, Debug, Default)]
+pub struct MapeReport {
+    /// kernel name -> (test samples, MAPE as a fraction).
+    pub per_kernel: BTreeMap<&'static str, (usize, f64)>,
+}
+
+impl MapeReport {
+    /// Builds a report from named (prediction, truth) samples.
+    pub fn from_samples(samples: &[(&'static str, SimTime, SimTime)]) -> Self {
+        let mut grouped: BTreeMap<&'static str, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+        for &(name, p, t) in samples {
+            grouped.entry(name).or_default().push((p, t));
+        }
+        let per_kernel =
+            grouped.into_iter().map(|(name, v)| (name, (v.len(), mape(&v)))).collect();
+        MapeReport { per_kernel }
+    }
+
+    /// Sample-weighted overall MAPE.
+    pub fn overall(&self) -> f64 {
+        let (n, acc) = self
+            .per_kernel
+            .values()
+            .fold((0usize, 0.0f64), |(n, acc), &(c, m)| (n + c, acc + m * c as f64));
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+
+    /// MAPE of one kernel family, if present.
+    pub fn for_kernel(&self, name: &str) -> Option<f64> {
+        self.per_kernel.get(name).map(|&(_, m)| m)
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from(format!("{:<44} {:>8} {:>9}\n", "Kernel", "Samples", "MAPE"));
+        for (name, (n, m)) in &self.per_kernel {
+            s.push_str(&format!("{:<44} {:>8} {:>8.2}%\n", name, n, m * 100.0));
+        }
+        s.push_str(&format!("{:<44} {:>8} {:>8.2}%\n", "OVERALL", "", self.overall() * 100.0));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basics() {
+        let pairs = vec![
+            (SimTime::from_us(110.0), SimTime::from_us(100.0)),
+            (SimTime::from_us(90.0), SimTime::from_us(100.0)),
+        ];
+        assert!((mape(&pairs) - 0.10).abs() < 1e-9);
+        assert_eq!(mape(&[]), 0.0);
+    }
+
+    #[test]
+    fn report_groups_by_name() {
+        let samples = vec![
+            ("a", SimTime::from_us(11.0), SimTime::from_us(10.0)),
+            ("a", SimTime::from_us(9.0), SimTime::from_us(10.0)),
+            ("b", SimTime::from_us(20.0), SimTime::from_us(10.0)),
+        ];
+        let r = MapeReport::from_samples(&samples);
+        assert!((r.for_kernel("a").unwrap() - 0.10).abs() < 1e-9);
+        assert!((r.for_kernel("b").unwrap() - 1.0).abs() < 1e-9);
+        assert!((r.overall() - (0.1 * 2.0 + 1.0) / 3.0).abs() < 1e-9);
+        let table = r.to_table();
+        assert!(table.contains("OVERALL"));
+        assert!(table.contains('a') && table.contains('b'));
+    }
+}

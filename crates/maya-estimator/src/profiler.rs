@@ -1,0 +1,251 @@
+//! The transparent profiling mode (§4.3): dispatches operations on the
+//! (ground-truth) hardware and logs arguments plus observed runtimes.
+//!
+//! Measurement noise grows as kernels shrink — microsecond-scale kernels
+//! are notoriously hard to time — which is what produces the error
+//! structure of the paper's Tables 7-9: heavy-hitter GEMM/conv kernels
+//! with single-digit MAPE, tiny bookkeeping kernels with large
+//! percentage-wise (but immaterial) errors.
+
+use maya_hw::noise::{gaussian_factor, Key};
+use maya_hw::{GpuSpec, GroundTruthKernelModel};
+use maya_trace::{Dtype, KernelKind, MemcpyKind, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dataset size knob: `Test` keeps unit tests fast; `Full` approximates
+/// the paper's 42k-point sweeps for heavy-hitter kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProfileScale {
+    /// Small datasets for unit tests.
+    Test,
+    /// Bench-scale datasets.
+    Full,
+}
+
+impl ProfileScale {
+    fn gemm_samples(self) -> usize {
+        match self {
+            ProfileScale::Test => 400,
+            ProfileScale::Full => 6000,
+        }
+    }
+
+    fn family_samples(self) -> usize {
+        match self {
+            ProfileScale::Test => 120,
+            ProfileScale::Full => 1200,
+        }
+    }
+}
+
+/// Profiles kernels against the ground-truth hardware model.
+#[derive(Clone, Copy, Debug)]
+pub struct Profiler {
+    /// The GPU being profiled.
+    pub gpu: GpuSpec,
+    /// Ground-truth kernel timing ("the hardware").
+    pub kernel_model: GroundTruthKernelModel,
+    /// Seed for sweep sampling and measurement noise.
+    pub seed: u64,
+}
+
+impl Profiler {
+    /// Creates a profiler for a GPU with default ground truth.
+    pub fn new(gpu: GpuSpec, seed: u64) -> Self {
+        Profiler { gpu, kernel_model: GroundTruthKernelModel::default(), seed }
+    }
+
+    /// Measurement-noise standard deviation for an observed duration.
+    fn noise_sigma(&self, t: SimTime) -> f64 {
+        let floor = self.gpu.kernel_floor_us;
+        0.012 + 0.20 * (floor / t.as_us().max(floor)).min(1.0)
+    }
+
+    /// One "measured" sample of a kernel.
+    pub fn measure(&self, kernel: &KernelKind, sample_id: u64) -> SimTime {
+        let t = self.kernel_model.kernel_time(kernel, &self.gpu);
+        let f = gaussian_factor(
+            Key::new(self.seed).with(0x6D65_6173).with(sample_id).finish(),
+            self.noise_sigma(t),
+        );
+        t.scale(f)
+    }
+
+    /// Sweeps the kernel space, producing (kernel, measured time) pairs.
+    pub fn kernel_dataset(&self, scale: ProfileScale) -> Vec<(KernelKind, SimTime)> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6B64_7331);
+        let mut out = Vec::new();
+        let dtypes: &[Dtype] = if self.gpu.supports_bf16 {
+            &[Dtype::Fp32, Dtype::Bf16, Dtype::Fp16]
+        } else {
+            &[Dtype::Fp32, Dtype::Fp16]
+        };
+
+        let dim = |rng: &mut StdRng, lo: f64, hi: f64| -> u64 {
+            let l = rng.gen_range(lo.log2()..hi.log2());
+            // Mostly tile-aligned sizes with occasional ragged ones, like
+            // real model sweeps.
+            let v = l.exp2() as u64;
+            if rng.gen_bool(0.7) {
+                (v / 64).max(1) * 64
+            } else {
+                v.max(1)
+            }
+        };
+
+        // Heavy hitters: GEMM (plain + strided-batched + Lt).
+        for i in 0..scale.gemm_samples() {
+            let d = dtypes[rng.gen_range(0..dtypes.len())];
+            let m = dim(&mut rng, 32.0, 32768.0);
+            let n = dim(&mut rng, 32.0, 32768.0);
+            let k = dim(&mut rng, 32.0, 16384.0);
+            let kind = match i % 4 {
+                0 | 1 => KernelKind::Gemm { m, n, k, dtype: d },
+                2 => KernelKind::GemmStridedBatched {
+                    m: m.min(4096),
+                    n: n.min(4096),
+                    k: k.min(512),
+                    batch: 1 << rng.gen_range(0..8),
+                    dtype: d,
+                },
+                _ => KernelKind::LtMatmul { m, n, k, dtype: d },
+            };
+            out.push(kind);
+        }
+        // Convolutions (heavy hitters for vision).
+        for _ in 0..scale.gemm_samples() / 3 {
+            let d = dtypes[rng.gen_range(0..dtypes.len())];
+            let n = 1 << rng.gen_range(0..7);
+            let c = dim(&mut rng, 16.0, 1024.0);
+            let h = [7u64, 14, 28, 56, 112, 224][rng.gen_range(0..6)];
+            let k = dim(&mut rng, 16.0, 1024.0);
+            let r = [1u64, 3, 7][rng.gen_range(0..3)];
+            let stride = if rng.gen_bool(0.3) { 2 } else { 1 };
+            let base = KernelKind::ConvForward { n, c, h, w: h, k, r, stride, dtype: d };
+            out.push(match rng.gen_range(0..3) {
+                0 => base,
+                1 => KernelKind::ConvBackwardData { n, c, h, w: h, k, r, stride, dtype: d },
+                _ => KernelKind::ConvBackwardFilter { n, c, h, w: h, k, r, stride, dtype: d },
+            });
+        }
+        // The long tail of framework kernels.
+        for _ in 0..scale.family_samples() {
+            let d = dtypes[rng.gen_range(0..dtypes.len())];
+            let numel = dim(&mut rng, 256.0, 5.0e8);
+            let rows = dim(&mut rng, 16.0, 1.0e6);
+            let cols = dim(&mut rng, 16.0, 65536.0);
+            let toks = dim(&mut rng, 16.0, 262144.0);
+            let candidates = [
+                KernelKind::Elementwise { numel, arity: rng.gen_range(1..4), dtype: d },
+                KernelKind::VectorizedElementwise { numel, dtype: d },
+                KernelKind::FusedDropout { numel },
+                KernelKind::SoftmaxForward { rows, cols: cols.min(8192), masked: rng.gen_bool(0.5) },
+                KernelKind::SoftmaxBackward { rows, cols: cols.min(8192), masked: rng.gen_bool(0.5) },
+                KernelKind::LayerNormForward { rows, cols: cols.min(32768) },
+                KernelKind::LayerNormBackwardGamma { rows, cols: cols.min(32768) },
+                KernelKind::LayerNormBackwardInput { rows, cols: cols.min(32768) },
+                KernelKind::EmbeddingForward { tokens: toks, hidden: cols.min(16384) },
+                KernelKind::EmbeddingBackward { tokens: toks, hidden: cols.min(16384) },
+                KernelKind::CrossEntropyForward { tokens: toks.min(65536), vocab: cols },
+                KernelKind::CrossEntropyBackward { tokens: toks.min(65536), vocab: cols },
+                KernelKind::MultiTensorApply { numel, ops_per_elem: 4 },
+                KernelKind::Reduce { numel, dtype: d },
+                KernelKind::CatCopy { numel, aligned: rng.gen_bool(0.5) },
+                KernelKind::Memset { bytes: numel },
+                KernelKind::TriuTril { numel: numel.min(1 << 26) },
+                KernelKind::BatchNorm { numel, channels: cols.min(2048), forward: rng.gen_bool(0.5) },
+                KernelKind::Pool { numel: numel.min(1 << 26), window: 3, forward: rng.gen_bool(0.5) },
+                KernelKind::FusedTriton {
+                    numel,
+                    num_instrs: rng.gen_range(2..24),
+                    dtype: d,
+                },
+            ];
+            out.push(candidates[rng.gen_range(0..candidates.len())]);
+        }
+
+        out.into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let t = self.measure(&k, i as u64);
+                (k, t)
+            })
+            .collect()
+    }
+
+    /// Profiles host-device copies over a size sweep.
+    pub fn memcpy_dataset(&self, scale: ProfileScale) -> Vec<((u64, MemcpyKind), SimTime)> {
+        let n = match scale {
+            ProfileScale::Test => 60,
+            ProfileScale::Full => 400,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6D63_7079);
+        let kinds = [
+            MemcpyKind::HostToDevice,
+            MemcpyKind::DeviceToHost,
+            MemcpyKind::DeviceToDevice,
+        ];
+        (0..n)
+            .map(|i| {
+                let bytes = (rng.gen_range(10.0f64..34.0).exp2()) as u64;
+                let kind = kinds[rng.gen_range(0..kinds.len())];
+                let t = self.kernel_model.memcpy_time(bytes, kind, &self.gpu);
+                let f = gaussian_factor(
+                    Key::new(self.seed).with(0x6D63).with(i as u64).finish(),
+                    self.noise_sigma(t),
+                );
+                ((bytes, kind), t.scale(f))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_covers_all_families() {
+        let p = Profiler::new(GpuSpec::h100(), 1);
+        let ds = p.kernel_dataset(ProfileScale::Test);
+        let mut fams: Vec<u8> = ds.iter().map(|(k, _)| k.family_id()).collect();
+        fams.sort_unstable();
+        fams.dedup();
+        assert!(fams.len() >= 20, "only {} families covered", fams.len());
+        assert!(ds.len() > 400);
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        let p = Profiler::new(GpuSpec::v100(), 9);
+        let a = p.kernel_dataset(ProfileScale::Test);
+        let b = p.kernel_dataset(ProfileScale::Test);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|((ka, ta), (kb, tb))| ka == kb && ta == tb));
+    }
+
+    #[test]
+    fn noise_larger_for_short_kernels() {
+        let p = Profiler::new(GpuSpec::h100(), 1);
+        let short = SimTime::from_us(3.0);
+        let long = SimTime::from_ms(5.0);
+        assert!(p.noise_sigma(short) > 4.0 * p.noise_sigma(long));
+    }
+
+    #[test]
+    fn volta_profile_has_no_bf16() {
+        let p = Profiler::new(GpuSpec::v100(), 1);
+        let ds = p.kernel_dataset(ProfileScale::Test);
+        assert!(ds.iter().all(|(k, _)| k.dtype() != Some(Dtype::Bf16)));
+    }
+
+    #[test]
+    fn memcpy_dataset_spans_sizes() {
+        let p = Profiler::new(GpuSpec::a40(), 1);
+        let ds = p.memcpy_dataset(ProfileScale::Test);
+        let min = ds.iter().map(|((b, _), _)| *b).min().unwrap();
+        let max = ds.iter().map(|((b, _), _)| *b).max().unwrap();
+        assert!(max / min.max(1) > 1000);
+    }
+}

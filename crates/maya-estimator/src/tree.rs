@@ -1,0 +1,243 @@
+//! CART regression trees (variance-reduction splits).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Tree hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features considered at each split.
+    pub feature_frac: f64,
+    /// Maximum candidate thresholds evaluated per feature.
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_leaf: 3, feature_frac: 0.5, max_thresholds: 24 }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows `x[i]` with targets `y[i]`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty or row lengths differ from each other.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &TreeParams, rng: &mut impl Rng) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        tree.build(x, y, idx, params, 0, rng);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: Vec<u32>,
+        params: &TreeParams,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i as usize]).sum::<f64>() / idx.len() as f64;
+        if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        match self.best_split(x, y, &idx, params, rng) {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (l, r): (Vec<u32>, Vec<u32>) =
+                    idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
+                if l.len() < params.min_samples_leaf || r.len() < params.min_samples_leaf {
+                    self.nodes.push(Node::Leaf { value: mean });
+                    return self.nodes.len() - 1;
+                }
+                let me = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.build(x, y, l, params, depth + 1, rng);
+                let right = self.build(x, y, r, params, depth + 1, rng);
+                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+
+    /// Finds the (feature, threshold) minimizing child variance.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[u32],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Option<(usize, f64)> {
+        let nf = x[0].len();
+        let k = ((nf as f64 * params.feature_frac).ceil() as usize).clamp(1, nf);
+        let mut feats: Vec<usize> = (0..nf).collect();
+        feats.shuffle(rng);
+        feats.truncate(k);
+
+        let total_sum: f64 = idx.iter().map(|&i| y[i as usize]).sum();
+        let total_sq: f64 = idx.iter().map(|&i| y[i as usize] * y[i as usize]).sum();
+        let n = idx.len() as f64;
+        let parent_score = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in &feats {
+            // Candidate thresholds from sampled values.
+            let mut vals: Vec<f64> = idx
+                .iter()
+                .take(256)
+                .map(|&i| x[i as usize][f])
+                .collect();
+            vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let step = (vals.len() as f64 / params.max_thresholds as f64).max(1.0);
+            let mut t = step / 2.0;
+            while (t as usize) < vals.len() - 1 {
+                let thr = (vals[t as usize] + vals[t as usize + 1]) / 2.0;
+                let mut ls = 0.0;
+                let mut lq = 0.0;
+                let mut ln = 0.0;
+                for &i in idx {
+                    let v = y[i as usize];
+                    if x[i as usize][f] <= thr {
+                        ls += v;
+                        lq += v * v;
+                        ln += 1.0;
+                    }
+                }
+                let rn = n - ln;
+                if ln >= params.min_samples_leaf as f64 && rn >= params.min_samples_leaf as f64 {
+                    let rs = total_sum - ls;
+                    let rq = total_sq - lq;
+                    let score = (lq - ls * ls / ln) + (rq - rs * rs / rn);
+                    if best.map(|(_, _, s)| score < s).unwrap_or(score < parent_score) {
+                        best = Some((f, thr, score));
+                    }
+                }
+                t += step;
+            }
+        }
+        best.map(|(f, thr, _)| (f, thr))
+    }
+
+    /// Predicts the target for a feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for introspection).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..200).map(|i| if i < 100 { 1.0 } else { 5.0 }).collect();
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeParams { feature_frac: 1.0, ..Default::default() },
+            &mut rng(),
+        );
+        assert!((t.predict(&[10.0]) - 1.0).abs() < 0.2);
+        assert!((t.predict(&[150.0]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fits_multivariate_interaction() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![r.gen_range(0.0..10.0), r.gen_range(0.0..10.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * 2.0 + v[1]).collect();
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeParams { max_depth: 10, feature_frac: 1.0, ..Default::default() },
+            &mut r,
+        );
+        let pred = t.predict(&[5.0, 5.0]);
+        assert!((pred - 15.0).abs() < 2.0, "{pred}");
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 50];
+        let t = RegressionTree::fit(&x, &y, &TreeParams::default(), &mut rng());
+        assert_eq!(t.predict(&[7.0]), 3.0);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeParams { min_samples_leaf: 5, feature_frac: 1.0, ..Default::default() },
+            &mut rng(),
+        );
+        // With min leaf 5 on 10 points, at most one split is possible.
+        assert!(t.len() <= 3, "{}", t.len());
+    }
+}

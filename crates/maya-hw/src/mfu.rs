@@ -1,0 +1,94 @@
+//! Model-FLOPs accounting and MFU computation.
+//!
+//! Uses the standard Megatron-style accounting for transformer training
+//! FLOPs (the same expression Calculon and the paper's MFU figures rely
+//! on): `72 * B * s * l * h^2 * (1 + s/(6h) + V/(12 l h))`, with an extra
+//! forward pass when full activation recomputation is enabled.
+
+use crate::specs::ClusterSpec;
+use maya_trace::Dtype;
+
+/// Inputs for the transformer training-FLOPs formula.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelFlopsSpec {
+    /// Number of transformer layers.
+    pub layers: u64,
+    /// Hidden size.
+    pub hidden: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Sequence length.
+    pub seq_len: u64,
+    /// Global batch size (sequences per iteration).
+    pub global_batch: u64,
+    /// Whether full activation recomputation re-runs the forward pass.
+    pub activation_recompute: bool,
+}
+
+/// Total model FLOPs for one training iteration.
+pub fn model_flops_per_iteration(spec: &ModelFlopsSpec) -> f64 {
+    let b = spec.global_batch as f64;
+    let s = spec.seq_len as f64;
+    let l = spec.layers as f64;
+    let h = spec.hidden as f64;
+    let v = spec.vocab as f64;
+    // Forward+backward = 3 * forward; recompute adds one more forward.
+    let passes = if spec.activation_recompute { 4.0 } else { 3.0 };
+    let per_fwd = 24.0 * b * s * l * h * h * (1.0 + s / (6.0 * h) + v / (12.0 * l * h));
+    passes * per_fwd
+}
+
+/// Model FLOPs Utilization given an iteration time.
+///
+/// MFU conventionally excludes the recompute pass (useful FLOPs only),
+/// so callers should pass `activation_recompute: false` in `spec` when
+/// computing MFU even if the run recomputes.
+pub fn mfu(spec: &ModelFlopsSpec, iter_time_s: f64, cluster: &ClusterSpec) -> f64 {
+    let useful = model_flops_per_iteration(&ModelFlopsSpec { activation_recompute: false, ..*spec });
+    let peak = cluster.gpu.peak_flops(Dtype::Bf16) * cluster.num_gpus() as f64;
+    useful / (iter_time_s * peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt3_18b() -> ModelFlopsSpec {
+        ModelFlopsSpec {
+            layers: 40,
+            hidden: 6144,
+            vocab: 51200,
+            seq_len: 2048,
+            global_batch: 512,
+            activation_recompute: false,
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let a = model_flops_per_iteration(&gpt3_18b());
+        let b = model_flops_per_iteration(&ModelFlopsSpec { global_batch: 1024, ..gpt3_18b() });
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recompute_adds_a_pass() {
+        let base = model_flops_per_iteration(&gpt3_18b());
+        let rc =
+            model_flops_per_iteration(&ModelFlopsSpec { activation_recompute: true, ..gpt3_18b() });
+        assert!((rc / base - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mfu_band_is_plausible() {
+        // 512-sequence batch of GPT-3 18.4B on 64 H100s at 60% MFU should
+        // take on the order of a second per iteration; invert to check.
+        let cluster = ClusterSpec::h100(8, 8);
+        let spec = gpt3_18b();
+        let flops = model_flops_per_iteration(&spec);
+        let t_at_60 = flops / (0.60 * cluster.gpu.peak_flops(Dtype::Bf16) * 64.0);
+        let m = mfu(&spec, t_at_60, &cluster);
+        assert!((m - 0.60).abs() < 1e-6, "{m}");
+        assert!(t_at_60 > 0.3 && t_at_60 < 5.0, "iteration {t_at_60}s");
+    }
+}

@@ -1,0 +1,176 @@
+//! Ground-truth collective-communication timing.
+//!
+//! Implements topology-aware ring / hierarchical collective models in the
+//! spirit of nccl-tests measurements and ASTRA-sim's analytical backend:
+//! latency terms per algorithm step plus a bandwidth term using the
+//! bottleneck link's size-dependent effective bandwidth.
+
+use maya_trace::{CollectiveKind, SimTime};
+
+use crate::noise::{centered_factor, Key};
+use crate::specs::ClusterSpec;
+
+/// Deterministic "real network" timing for collectives.
+#[derive(Clone, Copy, Debug)]
+pub struct GroundTruthNetModel {
+    /// Seed for per-(collective, size) texture.
+    pub seed: u64,
+    /// Amplitude of the texture perturbation.
+    pub texture_amplitude: f64,
+}
+
+impl Default for GroundTruthNetModel {
+    fn default() -> Self {
+        GroundTruthNetModel { seed: 0x4E43_434C, texture_amplitude: 0.045 }
+    }
+}
+
+impl GroundTruthNetModel {
+    /// Builds a model with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        GroundTruthNetModel { seed, ..Default::default() }
+    }
+
+    /// On-the-wire duration of one collective over `ranks` (global ids).
+    ///
+    /// `bytes` is the per-rank payload contribution (NCCL convention:
+    /// the buffer size passed by each rank).
+    pub fn collective_time(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        ranks: &[u32],
+        cluster: &ClusterSpec,
+    ) -> SimTime {
+        let n = ranks.len().max(1) as f64;
+        if n <= 1.0 {
+            return SimTime::from_us(2.0);
+        }
+        let b = bytes as f64;
+        let single_node = cluster.single_node(ranks);
+        let (link, nodes_spanned) = if single_node {
+            (cluster.intra_link, 1u32)
+        } else {
+            let mut nodes: Vec<u32> = ranks.iter().map(|&r| cluster.node_of(r)).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            (cluster.inter_link, nodes.len() as u32)
+        };
+
+        let bw = link.effective_bw(b);
+        // Ring-step latency: (n-1) hops intra-node, hierarchical across
+        // nodes (intra ring + inter ring).
+        let steps = if single_node {
+            n - 1.0
+        } else {
+            (cluster.gpus_per_node.min(ranks.len() as u32) as f64 - 1.0).max(0.0)
+                + (nodes_spanned as f64 - 1.0)
+        };
+        let lat = if single_node {
+            steps * cluster.intra_link.latency_us
+        } else {
+            let intra_steps = (cluster.gpus_per_node.min(ranks.len() as u32) as f64 - 1.0).max(0.0);
+            intra_steps * cluster.intra_link.latency_us
+                + (nodes_spanned as f64 - 1.0) * cluster.inter_link.latency_us
+        };
+
+        // Bandwidth term per collective algebra (ring algorithms).
+        let bw_bytes = match kind {
+            CollectiveKind::AllReduce => 2.0 * (n - 1.0) / n * b,
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => (n - 1.0) / n * b,
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => b,
+            CollectiveKind::Send { .. } | CollectiveKind::Recv { .. } => b,
+            CollectiveKind::AllToAll => (n - 1.0) / n * b * 1.3,
+        };
+
+        // Point-to-point transfers use the direct link between the two
+        // ranks rather than a ring.
+        let t = match kind {
+            CollectiveKind::Send { .. } | CollectiveKind::Recv { .. } => {
+                let p2p_link = if single_node { cluster.intra_link } else { cluster.inter_link };
+                p2p_link.latency_us * 1e-6 + b / p2p_link.effective_bw(b)
+            }
+            _ => lat * 1e-6 + bw_bytes / bw,
+        };
+
+        let tex = centered_factor(
+            Key::new(self.seed)
+                .with(kind.id() as u64)
+                .with(bytes)
+                .with(ranks.len() as u64)
+                .with(single_node as u64)
+                .finish(),
+            self.texture_amplitude,
+        );
+        SimTime::from_secs(t * tex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes() {
+        let m = GroundTruthNetModel::default();
+        let c = ClusterSpec::h100(1, 8);
+        let small = m.collective_time(CollectiveKind::AllReduce, 1 << 20, &ranks(8), &c);
+        let big = m.collective_time(CollectiveKind::AllReduce, 1 << 30, &ranks(8), &c);
+        // 1024x the bytes: far more than linear in the ramp region, but
+        // bounded by the peak-bandwidth asymptote.
+        assert!(big > small * 50, "small {small} big {big}");
+        assert!(big < small * 2048, "small {small} big {big}");
+    }
+
+    #[test]
+    fn inter_node_slower_than_intra() {
+        let m = GroundTruthNetModel::default();
+        let c = ClusterSpec::h100(2, 8);
+        let intra = m.collective_time(CollectiveKind::AllReduce, 1 << 26, &ranks(8), &c);
+        let inter: Vec<u32> = (0..16).collect();
+        let cross = m.collective_time(CollectiveKind::AllReduce, 1 << 26, &inter, &c);
+        assert!(cross > intra * 2, "intra {intra} cross {cross}");
+    }
+
+    #[test]
+    fn allgather_cheaper_than_allreduce() {
+        let m = GroundTruthNetModel::default();
+        let c = ClusterSpec::v100(1, 8);
+        let ar = m.collective_time(CollectiveKind::AllReduce, 1 << 26, &ranks(8), &c);
+        let ag = m.collective_time(CollectiveKind::AllGather, 1 << 26, &ranks(8), &c);
+        assert!(ag < ar);
+    }
+
+    #[test]
+    fn p2p_send_reasonable() {
+        let m = GroundTruthNetModel::default();
+        let c = ClusterSpec::h100(2, 8);
+        // 64 MiB over 450 GB/s NVLink: on the order of 150 us.
+        let t = m.collective_time(CollectiveKind::Send { peer: 1 }, 1 << 26, &[0, 1], &c);
+        assert!(t.as_us() > 50.0 && t.as_us() < 1000.0, "{t}");
+        // Cross-node send is slower.
+        let tx = m.collective_time(CollectiveKind::Send { peer: 8 }, 1 << 26, &[0, 8], &c);
+        assert!(tx > t);
+    }
+
+    #[test]
+    fn singleton_collective_trivial() {
+        let m = GroundTruthNetModel::default();
+        let c = ClusterSpec::h100(1, 8);
+        let t = m.collective_time(CollectiveKind::AllReduce, 1 << 30, &[3], &c);
+        assert!(t.as_us() < 10.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = GroundTruthNetModel::default();
+        let c = ClusterSpec::v100(2, 8);
+        let a = m.collective_time(CollectiveKind::ReduceScatter, 123456, &ranks(16), &c);
+        let b = m.collective_time(CollectiveKind::ReduceScatter, 123456, &ranks(16), &c);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,293 @@
+//! GPU, link and cluster specifications.
+//!
+//! Presets follow the deployments in the paper's §7.1: DGX-H100 (NVLink
+//! 4.0 intra-node, 400 Gbps RoCE inter-node), DGX-V100 (cube-mesh NVLink,
+//! 100 Gbps InfiniBand) and an 8×A40 node with pairwise NVLink.
+
+use maya_trace::Dtype;
+
+/// GPU micro-architecture generation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum GpuArch {
+    /// NVIDIA Volta (V100).
+    Volta,
+    /// NVIDIA Ampere (A100/A40).
+    Ampere,
+    /// NVIDIA Hopper (H100).
+    Hopper,
+}
+
+impl GpuArch {
+    /// Stable id used to key perturbation hashes.
+    pub const fn id(self) -> u64 {
+        match self {
+            GpuArch::Volta => 1,
+            GpuArch::Ampere => 2,
+            GpuArch::Hopper => 3,
+        }
+    }
+}
+
+/// Static description of one accelerator.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize)]
+pub struct GpuSpec {
+    /// Marketing name ("H100").
+    pub name: &'static str,
+    /// Architecture generation.
+    pub arch: GpuArch,
+    /// Peak FP32 (CUDA-core) throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Peak tensor-core throughput (fp16/bf16) in TFLOP/s.
+    pub tensor_tflops: f64,
+    /// Device memory capacity in GiB.
+    pub mem_gib: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Host-device PCIe (or C2C) bandwidth in GB/s.
+    pub pcie_bw_gbps: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Minimum wall time of any kernel in microseconds (launch/drain floor).
+    pub kernel_floor_us: f64,
+    /// Whether bf16 is supported (Volta: no — the paper skips Calculon and
+    /// AMPeD on Volta for exactly this reason).
+    pub supports_bf16: bool,
+}
+
+impl GpuSpec {
+    /// Peak throughput in FLOP/s for a given operand dtype.
+    pub fn peak_flops(&self, dtype: Dtype) -> f64 {
+        if dtype.uses_tensor_cores() {
+            self.tensor_tflops * 1e12
+        } else {
+            self.fp32_tflops * 1e12
+        }
+    }
+
+    /// Memory capacity in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.mem_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
+    /// The V100 used in the paper's DGX-V100 cluster.
+    ///
+    /// Memory capacity follows the paper's stated "40GB HBM".
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100",
+            arch: GpuArch::Volta,
+            fp32_tflops: 15.7,
+            tensor_tflops: 125.0,
+            mem_gib: 40.0,
+            mem_bw_gbps: 900.0,
+            pcie_bw_gbps: 14.0,
+            sm_count: 80,
+            kernel_floor_us: 3.2,
+            supports_bf16: false,
+        }
+    }
+
+    /// The H100 SXM used in the paper's DGX-H100 cluster.
+    pub fn h100() -> Self {
+        GpuSpec {
+            name: "H100",
+            arch: GpuArch::Hopper,
+            fp32_tflops: 66.9,
+            tensor_tflops: 989.0,
+            mem_gib: 80.0,
+            mem_bw_gbps: 3350.0,
+            pcie_bw_gbps: 55.0,
+            sm_count: 132,
+            kernel_floor_us: 2.2,
+            supports_bf16: true,
+        }
+    }
+
+    /// The A40 node used in the ResNet152 experiment (Figure 10).
+    pub fn a40() -> Self {
+        GpuSpec {
+            name: "A40",
+            arch: GpuArch::Ampere,
+            fp32_tflops: 37.4,
+            tensor_tflops: 149.7,
+            mem_gib: 48.0,
+            mem_bw_gbps: 696.0,
+            pcie_bw_gbps: 24.0,
+            sm_count: 84,
+            kernel_floor_us: 2.8,
+            supports_bf16: true,
+        }
+    }
+
+    /// A100 SXM 80GB (not in the paper's testbed; provided for users).
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100",
+            arch: GpuArch::Ampere,
+            fp32_tflops: 19.5,
+            tensor_tflops: 312.0,
+            mem_gib: 80.0,
+            mem_bw_gbps: 2039.0,
+            pcie_bw_gbps: 24.0,
+            sm_count: 108,
+            kernel_floor_us: 2.5,
+            supports_bf16: true,
+        }
+    }
+}
+
+/// A point-to-point or shared interconnect link.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize)]
+pub struct LinkSpec {
+    /// Sustained bandwidth per GPU in GB/s.
+    pub bw_gbps: f64,
+    /// Per-hop latency in microseconds.
+    pub latency_us: f64,
+    /// Message size (bytes) at which half the peak bandwidth is reached;
+    /// models the small-message ramp of NCCL collectives.
+    pub half_ramp_bytes: f64,
+}
+
+impl LinkSpec {
+    /// Effective bandwidth (bytes/s) for a message of `bytes`.
+    pub fn effective_bw(&self, bytes: f64) -> f64 {
+        let peak = self.bw_gbps * 1e9;
+        let ramp = bytes / (bytes + self.half_ramp_bytes);
+        (peak * ramp).max(1.0)
+    }
+}
+
+/// A full training cluster: homogeneous GPUs in equal-size nodes.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize)]
+pub struct ClusterSpec {
+    /// Per-GPU description.
+    pub gpu: GpuSpec,
+    /// GPUs per host node.
+    pub gpus_per_node: u32,
+    /// Number of host nodes.
+    pub num_nodes: u32,
+    /// Intra-node link (NVLink).
+    pub intra_link: LinkSpec,
+    /// Inter-node link (InfiniBand / RoCE), per GPU.
+    pub inter_link: LinkSpec,
+    /// Hourly price of one GPU in dollars (used for cost objectives;
+    /// roughly Azure's on-demand pricing per the paper's cost framing).
+    pub dollars_per_gpu_hour: f64,
+}
+
+impl ClusterSpec {
+    /// Total GPU count.
+    pub fn num_gpus(&self) -> u32 {
+        self.gpus_per_node * self.num_nodes
+    }
+
+    /// Node index hosting a global rank.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        rank / self.gpus_per_node
+    }
+
+    /// Whether all of `ranks` live on one node.
+    pub fn single_node(&self, ranks: &[u32]) -> bool {
+        match ranks.first() {
+            None => true,
+            Some(&r0) => {
+                let n = self.node_of(r0);
+                ranks.iter().all(|&r| self.node_of(r) == n)
+            }
+        }
+    }
+
+    /// DGX-V100 cluster (NVLink cube-mesh, 100 Gbps InfiniBand).
+    pub fn v100(num_nodes: u32, gpus_per_node: u32) -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::v100(),
+            gpus_per_node,
+            num_nodes,
+            intra_link: LinkSpec { bw_gbps: 130.0, latency_us: 2.2, half_ramp_bytes: 4.0e6 },
+            inter_link: LinkSpec { bw_gbps: 12.5, latency_us: 5.0, half_ramp_bytes: 3.2e7 },
+            dollars_per_gpu_hour: 3.06,
+        }
+    }
+
+    /// DGX-H100 cluster (NVLink 4.0, 400 Gbps RoCE per GPU pair).
+    pub fn h100(num_nodes: u32, gpus_per_node: u32) -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::h100(),
+            gpus_per_node,
+            num_nodes,
+            intra_link: LinkSpec { bw_gbps: 450.0, latency_us: 1.6, half_ramp_bytes: 8.0e6 },
+            inter_link: LinkSpec { bw_gbps: 50.0, latency_us: 3.5, half_ramp_bytes: 6.4e7 },
+            dollars_per_gpu_hour: 12.29,
+        }
+    }
+
+    /// Single 8×A40 node with pairwise NVLink (heterogeneous links: paired
+    /// GPUs enjoy NVLink bandwidth, others fall back to PCIe).
+    pub fn a40(num_nodes: u32, gpus_per_node: u32) -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::a40(),
+            gpus_per_node,
+            num_nodes,
+            intra_link: LinkSpec { bw_gbps: 56.0, latency_us: 2.4, half_ramp_bytes: 4.0e6 },
+            inter_link: LinkSpec { bw_gbps: 12.5, latency_us: 5.0, half_ramp_bytes: 3.2e7 },
+            dollars_per_gpu_hour: 1.28,
+        }
+    }
+
+    /// A100 cluster preset.
+    pub fn a100(num_nodes: u32, gpus_per_node: u32) -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::a100(),
+            gpus_per_node,
+            num_nodes,
+            intra_link: LinkSpec { bw_gbps: 300.0, latency_us: 1.8, half_ramp_bytes: 6.0e6 },
+            inter_link: LinkSpec { bw_gbps: 25.0, latency_us: 4.0, half_ramp_bytes: 4.8e7 },
+            dollars_per_gpu_hour: 4.10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_by_dtype() {
+        let h = GpuSpec::h100();
+        assert!((h.peak_flops(Dtype::Bf16) / 989.0e12 - 1.0).abs() < 1e-12);
+        assert!((h.peak_flops(Dtype::Fp32) / 66.9e12 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_capacity() {
+        assert_eq!(GpuSpec::h100().mem_bytes(), 80 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn node_mapping() {
+        let c = ClusterSpec::h100(4, 8);
+        assert_eq!(c.num_gpus(), 32);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(7), 0);
+        assert_eq!(c.node_of(8), 1);
+        assert!(c.single_node(&[0, 3, 7]));
+        assert!(!c.single_node(&[0, 8]));
+        assert!(c.single_node(&[]));
+    }
+
+    #[test]
+    fn link_bandwidth_ramp() {
+        let l = LinkSpec { bw_gbps: 100.0, latency_us: 2.0, half_ramp_bytes: 1e6 };
+        let small = l.effective_bw(1e3);
+        let large = l.effective_bw(1e9);
+        assert!(small < large);
+        assert!(large <= 100.0e9);
+        assert!((l.effective_bw(1e6) / 1e9 - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn volta_lacks_bf16() {
+        assert!(!GpuSpec::v100().supports_bf16);
+        assert!(GpuSpec::h100().supports_bf16);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the ground-truth hardware models.
+
+use maya_hw::{ClusterSpec, GpuSpec, GroundTruthKernelModel, GroundTruthNetModel};
+use maya_trace::{CollectiveKind, Dtype, KernelKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Kernel times are deterministic, positive, and at least the launch
+    /// floor; doubling the work never makes a kernel faster by more than
+    /// the perturbation texture.
+    #[test]
+    fn kernel_time_sane(m in 1u64..16384, n in 1u64..16384, k in 1u64..8192) {
+        let model = GroundTruthKernelModel::default();
+        let gpu = GpuSpec::h100();
+        let kern = KernelKind::Gemm { m, n, k, dtype: Dtype::Bf16 };
+        let t = model.kernel_time(&kern, &gpu);
+        prop_assert_eq!(t, model.kernel_time(&kern, &gpu));
+        prop_assert!(t.as_us() >= gpu.kernel_floor_us * (1.0 - model.texture_amplitude) - 1e-6);
+        let bigger = KernelKind::Gemm { m: 2 * m, n, k, dtype: Dtype::Bf16 };
+        let tb = model.kernel_time(&bigger, &gpu);
+        // Allow the texture band plus quantization wiggle.
+        prop_assert!(
+            tb.as_secs_f64() >= t.as_secs_f64() * 0.75,
+            "2x work got >25% faster: {} -> {}", t, tb
+        );
+    }
+
+    /// Collective times are deterministic, positive, and monotone in
+    /// payload beyond the texture band.
+    #[test]
+    fn collective_time_monotone(bytes_exp in 12u32..33, n_exp in 1u32..6) {
+        let net = GroundTruthNetModel::default();
+        let cluster = ClusterSpec::h100(8, 8);
+        let n = 1u32 << n_exp;
+        let ranks: Vec<u32> = (0..n).collect();
+        let b = 1u64 << bytes_exp;
+        let t1 = net.collective_time(CollectiveKind::AllReduce, b, &ranks, &cluster);
+        let t2 = net.collective_time(CollectiveKind::AllReduce, 4 * b, &ranks, &cluster);
+        prop_assert_eq!(t1, net.collective_time(CollectiveKind::AllReduce, b, &ranks, &cluster));
+        prop_assert!(t1.as_ns() > 0);
+        prop_assert!(t2.as_secs_f64() > t1.as_secs_f64() * 0.9, "4x bytes got faster");
+    }
+
+    /// Noise helpers stay within their contracted ranges.
+    #[test]
+    fn noise_bounds(seed in any::<u64>(), amp in 0.0f64..0.5) {
+        let h = maya_hw::noise::splitmix64(seed);
+        let u = maya_hw::noise::unit(h);
+        prop_assert!((0.0..1.0).contains(&u));
+        let f = maya_hw::noise::centered_factor(h, amp);
+        prop_assert!(f >= 1.0 - amp - 1e-12 && f <= 1.0 + amp + 1e-12);
+        prop_assert!(maya_hw::noise::gaussian_factor(h, 0.05) > 0.0);
+    }
+
+    /// Memcpy time grows with size and larger transfers approach (but
+    /// never exceed) the link's peak bandwidth.
+    #[test]
+    fn memcpy_bandwidth_bounded(bytes_exp in 10u32..34) {
+        let model = GroundTruthKernelModel::default();
+        let gpu = GpuSpec::a40();
+        let b = 1u64 << bytes_exp;
+        let t = model.memcpy_time(b, maya_trace::MemcpyKind::HostToDevice, &gpu);
+        let implied_bw = b as f64 / t.as_secs_f64();
+        prop_assert!(implied_bw <= gpu.pcie_bw_gbps * 1e9 * 1.05, "bw {implied_bw}");
+        let t2 = model.memcpy_time(2 * b, maya_trace::MemcpyKind::HostToDevice, &gpu);
+        prop_assert!(t2 >= t.scale(0.9));
+    }
+}

@@ -1,0 +1,650 @@
+//! Black-box search algorithms over the unit hypercube.
+//!
+//! Implements the algorithm set of the paper's Appendix C comparison:
+//! CMA-ES (full covariance, Jacobi eigendecomposition), (1+1)-ES with
+//! the 1/5 success rule, global-best particle swarm, differential
+//! evolution with two-point crossover, random search, and exhaustive
+//! grid search. All minimize; the scheduler supplies fitness values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An ask/tell black-box optimizer over `[0,1]^d`.
+pub trait SearchAlgorithm: Send {
+    /// Next batch of candidate points to evaluate.
+    fn ask(&mut self) -> Vec<Vec<f64>>;
+    /// Reports fitness (lower is better) for the last asked batch.
+    fn tell(&mut self, points: &[Vec<f64>], fitness: &[f64]);
+    /// Whether the algorithm has exhausted its space (grid only).
+    fn exhausted(&self) -> bool {
+        false
+    }
+    /// Algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which algorithm to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AlgorithmKind {
+    /// Covariance matrix adaptation evolution strategy.
+    CmaEs,
+    /// (1+1) evolution strategy.
+    OnePlusOne,
+    /// Particle swarm optimization.
+    Pso,
+    /// Differential evolution (two-points crossover).
+    TwoPointsDe,
+    /// Uniform random search.
+    Random,
+    /// Exhaustive grid.
+    Grid,
+}
+
+impl AlgorithmKind {
+    /// Instantiates the algorithm for `dims` dimensions.
+    pub fn build(self, dims: usize, seed: u64) -> Box<dyn SearchAlgorithm> {
+        match self {
+            AlgorithmKind::CmaEs => Box::new(CmaEs::new(dims, seed)),
+            AlgorithmKind::OnePlusOne => Box::new(OnePlusOne::new(dims, seed)),
+            AlgorithmKind::Pso => Box::new(Pso::new(dims, seed)),
+            AlgorithmKind::TwoPointsDe => Box::new(TwoPointsDe::new(dims, seed)),
+            AlgorithmKind::Random => Box::new(RandomSearch::new(dims, seed)),
+            AlgorithmKind::Grid => Box::new(GridSearch::new(dims)),
+        }
+    }
+
+    /// All kinds (Fig. 16's lineup).
+    pub fn all() -> [AlgorithmKind; 6] {
+        [
+            AlgorithmKind::CmaEs,
+            AlgorithmKind::OnePlusOne,
+            AlgorithmKind::Pso,
+            AlgorithmKind::TwoPointsDe,
+            AlgorithmKind::Random,
+            AlgorithmKind::Grid,
+        ]
+    }
+}
+
+fn clamp01(v: &mut [f64]) {
+    for x in v {
+        *x = x.clamp(0.0, 1.0 - 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------- CMA-ES
+
+/// Full CMA-ES (Hansen's reference parameterization).
+pub struct CmaEs {
+    dims: usize,
+    rng: StdRng,
+    mean: Vec<f64>,
+    sigma: f64,
+    cov: Vec<Vec<f64>>,
+    eig_vec: Vec<Vec<f64>>,
+    eig_val: Vec<f64>,
+    pc: Vec<f64>,
+    ps: Vec<f64>,
+    lambda: usize,
+    mu: usize,
+    weights: Vec<f64>,
+    mueff: f64,
+    cc: f64,
+    cs: f64,
+    c1: f64,
+    cmu: f64,
+    damps: f64,
+    gen: u64,
+    pending_z: Vec<Vec<f64>>,
+}
+
+impl CmaEs {
+    /// Creates a CMA-ES centered in the cube.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        let n = dims as f64;
+        let lambda = 4 + (3.0 * n.ln()).floor() as usize;
+        let mu = lambda / 2;
+        let mut weights: Vec<f64> =
+            (0..mu).map(|i| ((mu as f64) + 0.5).ln() - ((i + 1) as f64).ln()).collect();
+        let sum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+        let mueff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+        let cc = (4.0 + mueff / n) / (n + 4.0 + 2.0 * mueff / n);
+        let cs = (mueff + 2.0) / (n + mueff + 5.0);
+        let c1 = 2.0 / ((n + 1.3).powi(2) + mueff);
+        let cmu =
+            (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((n + 2.0).powi(2) + mueff));
+        let damps = 1.0 + 2.0 * (0.0f64).max(((mueff - 1.0) / (n + 1.0)).sqrt() - 1.0) + cs;
+        let ident: Vec<Vec<f64>> =
+            (0..dims).map(|i| (0..dims).map(|j| if i == j { 1.0 } else { 0.0 }).collect()).collect();
+        CmaEs {
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+            mean: vec![0.5; dims],
+            sigma: 0.3,
+            cov: ident.clone(),
+            eig_vec: ident,
+            eig_val: vec![1.0; dims],
+            pc: vec![0.0; dims],
+            ps: vec![0.0; dims],
+            lambda,
+            mu,
+            weights,
+            mueff,
+            cc,
+            cs,
+            c1,
+            cmu,
+            damps,
+            gen: 0,
+            pending_z: Vec::new(),
+        }
+    }
+
+    fn sample_gaussian(&mut self) -> f64 {
+        // Box-Muller.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+fn jacobi_eigen(a: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = a.len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut v: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect()).collect();
+    for _sweep in 0..50 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i][j] * m[i][j];
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let (mkp, mkq) = (m[k][p], m[k][q]);
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let (mpk, mqk) = (m[p][k], m[q][k]);
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let (vkp, vkq) = (v[k][p], v[k][q]);
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..n).map(|i| m[i][i].max(1e-20)).collect();
+    (v, eig)
+}
+
+impl SearchAlgorithm for CmaEs {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        self.pending_z.clear();
+        let mut out = Vec::with_capacity(self.lambda);
+        for _ in 0..self.lambda {
+            let z: Vec<f64> = (0..self.dims).map(|_| self.sample_gaussian()).collect();
+            // y = B * diag(sqrt(D)) * z
+            let mut y = vec![0.0; self.dims];
+            for (i, yi) in y.iter_mut().enumerate() {
+                for j in 0..self.dims {
+                    *yi += self.eig_vec[i][j] * self.eig_val[j].sqrt() * z[j];
+                }
+            }
+            let mut x: Vec<f64> =
+                (0..self.dims).map(|i| self.mean[i] + self.sigma * y[i]).collect();
+            clamp01(&mut x);
+            self.pending_z.push(y);
+            out.push(x);
+        }
+        out
+    }
+
+    fn tell(&mut self, points: &[Vec<f64>], fitness: &[f64]) {
+        self.gen += 1;
+        let n = self.dims as f64;
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap_or(std::cmp::Ordering::Equal));
+        // Recompute y from the clamped x (clamping may have moved points).
+        let ys: Vec<Vec<f64>> = order
+            .iter()
+            .take(self.mu)
+            .map(|&i| {
+                (0..self.dims)
+                    .map(|d| (points[i][d] - self.mean[d]) / self.sigma)
+                    .collect()
+            })
+            .collect();
+        // Weighted mean step.
+        let y_w: Vec<f64> = (0..self.dims)
+            .map(|d| ys.iter().zip(&self.weights).map(|(y, w)| w * y[d]).sum())
+            .collect();
+        for d in 0..self.dims {
+            self.mean[d] = (self.mean[d] + self.sigma * y_w[d]).clamp(0.0, 1.0);
+        }
+        // C^{-1/2} * y_w for the sigma path.
+        let mut cinv_y = vec![0.0; self.dims];
+        for (i, ci) in cinv_y.iter_mut().enumerate() {
+            for j in 0..self.dims {
+                // B * D^{-1/2} * B^T y
+                let mut btyj = 0.0;
+                for k in 0..self.dims {
+                    btyj += self.eig_vec[k][j] * y_w[k];
+                }
+                *ci += self.eig_vec[i][j] / self.eig_val[j].sqrt() * btyj;
+            }
+        }
+        let csn = (self.cs * (2.0 - self.cs) * self.mueff).sqrt();
+        for d in 0..self.dims {
+            self.ps[d] = (1.0 - self.cs) * self.ps[d] + csn * cinv_y[d];
+        }
+        let ps_norm: f64 = self.ps.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let chin = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+        let hsig = ps_norm / (1.0 - (1.0 - self.cs).powi(2 * self.gen as i32)).sqrt() / chin
+            < 1.4 + 2.0 / (n + 1.0);
+        let ccn = (self.cc * (2.0 - self.cc) * self.mueff).sqrt();
+        for d in 0..self.dims {
+            self.pc[d] =
+                (1.0 - self.cc) * self.pc[d] + if hsig { ccn * y_w[d] } else { 0.0 };
+        }
+        // Covariance update (rank-1 + rank-mu).
+        let c1a = self.c1 * (1.0 - if hsig { 0.0 } else { self.cc * (2.0 - self.cc) });
+        for i in 0..self.dims {
+            for j in 0..self.dims {
+                let mut rank_mu = 0.0;
+                for (y, w) in ys.iter().zip(&self.weights) {
+                    rank_mu += w * y[i] * y[j];
+                }
+                self.cov[i][j] = (1.0 - c1a - self.cmu) * self.cov[i][j]
+                    + self.c1 * self.pc[i] * self.pc[j]
+                    + self.cmu * rank_mu;
+            }
+        }
+        self.sigma *= ((self.cs / self.damps) * (ps_norm / chin - 1.0)).exp();
+        self.sigma = self.sigma.clamp(1e-4, 1.0);
+        let (v, e) = jacobi_eigen(&self.cov);
+        self.eig_vec = v;
+        self.eig_val = e;
+    }
+
+    fn name(&self) -> &'static str {
+        "CMA"
+    }
+}
+
+// ------------------------------------------------------------ (1+1)-ES
+
+/// (1+1)-ES with the 1/5 success rule.
+pub struct OnePlusOne {
+    dims: usize,
+    rng: StdRng,
+    best: Vec<f64>,
+    best_fit: f64,
+    sigma: f64,
+    last_ask: Vec<f64>,
+}
+
+impl OnePlusOne {
+    /// Creates a (1+1)-ES starting from the cube center.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        OnePlusOne {
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+            best: vec![0.5; dims],
+            best_fit: f64::INFINITY,
+            sigma: 0.25,
+            last_ask: Vec::new(),
+        }
+    }
+}
+
+impl SearchAlgorithm for OnePlusOne {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        let mut x: Vec<f64> = self
+            .best
+            .iter()
+            .map(|&b| {
+                let u1: f64 = self.rng.gen_range(1e-12..1.0);
+                let u2: f64 = self.rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                b + self.sigma * z
+            })
+            .collect();
+        clamp01(&mut x);
+        self.last_ask = x.clone();
+        vec![x]
+    }
+
+    fn tell(&mut self, _points: &[Vec<f64>], fitness: &[f64]) {
+        let f = fitness[0];
+        if f < self.best_fit {
+            self.best_fit = f;
+            self.best = self.last_ask.clone();
+            self.sigma = (self.sigma * 1.5).min(0.5);
+        } else {
+            self.sigma = (self.sigma * 0.87).max(0.02);
+        }
+        let _ = self.dims;
+    }
+
+    fn name(&self) -> &'static str {
+        "OnePlusOne"
+    }
+}
+
+// ----------------------------------------------------------------- PSO
+
+/// Global-best particle swarm.
+pub struct Pso {
+    rng: StdRng,
+    pos: Vec<Vec<f64>>,
+    vel: Vec<Vec<f64>>,
+    personal_best: Vec<(Vec<f64>, f64)>,
+    global_best: (Vec<f64>, f64),
+}
+
+impl Pso {
+    /// Creates a 16-particle swarm.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let swarm = 16;
+        let pos: Vec<Vec<f64>> =
+            (0..swarm).map(|_| (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let vel: Vec<Vec<f64>> =
+            (0..swarm).map(|_| (0..dims).map(|_| rng.gen_range(-0.1..0.1)).collect()).collect();
+        let personal_best = pos.iter().map(|p| (p.clone(), f64::INFINITY)).collect();
+        Pso { rng, pos, vel, personal_best, global_best: (vec![0.5; dims], f64::INFINITY) }
+    }
+}
+
+impl SearchAlgorithm for Pso {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        self.pos.clone()
+    }
+
+    fn tell(&mut self, points: &[Vec<f64>], fitness: &[f64]) {
+        for (i, f) in fitness.iter().enumerate() {
+            if *f < self.personal_best[i].1 {
+                self.personal_best[i] = (points[i].clone(), *f);
+            }
+            if *f < self.global_best.1 {
+                self.global_best = (points[i].clone(), *f);
+            }
+        }
+        let (w, c1, c2) = (0.7, 1.5, 1.5);
+        for i in 0..self.pos.len() {
+            for d in 0..self.pos[i].len() {
+                let r1: f64 = self.rng.gen_range(0.0..1.0);
+                let r2: f64 = self.rng.gen_range(0.0..1.0);
+                self.vel[i][d] = w * self.vel[i][d]
+                    + c1 * r1 * (self.personal_best[i].0[d] - self.pos[i][d])
+                    + c2 * r2 * (self.global_best.0[d] - self.pos[i][d]);
+                self.vel[i][d] = self.vel[i][d].clamp(-0.3, 0.3);
+                self.pos[i][d] = (self.pos[i][d] + self.vel[i][d]).clamp(0.0, 1.0 - 1e-9);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PSO"
+    }
+}
+
+// ------------------------------------------------------------------ DE
+
+/// Differential evolution with two-point crossover.
+pub struct TwoPointsDe {
+    rng: StdRng,
+    pop: Vec<Vec<f64>>,
+    fit: Vec<f64>,
+    trial: Vec<Vec<f64>>,
+}
+
+impl TwoPointsDe {
+    /// Creates a 16-member population.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let np = 16;
+        let pop: Vec<Vec<f64>> =
+            (0..np).map(|_| (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        TwoPointsDe { rng, fit: vec![f64::INFINITY; np], pop, trial: Vec::new() }
+    }
+}
+
+impl SearchAlgorithm for TwoPointsDe {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        let np = self.pop.len();
+        let dims = self.pop[0].len();
+        let fscale = 0.8;
+        self.trial = (0..np)
+            .map(|i| {
+                let a = self.rng.gen_range(0..np);
+                let b = self.rng.gen_range(0..np);
+                let c = self.rng.gen_range(0..np);
+                let mut t = self.pop[i].clone();
+                // Two-point crossover segment from the mutant.
+                let p1 = self.rng.gen_range(0..dims);
+                let p2 = self.rng.gen_range(0..dims);
+                let (lo, hi) = (p1.min(p2), p1.max(p2));
+                for (d, td) in t.iter_mut().enumerate() {
+                    if d >= lo && d <= hi {
+                        *td = self.pop[a][d] + fscale * (self.pop[b][d] - self.pop[c][d]);
+                    }
+                }
+                clamp01(&mut t);
+                t
+            })
+            .collect();
+        self.trial.clone()
+    }
+
+    fn tell(&mut self, points: &[Vec<f64>], fitness: &[f64]) {
+        for i in 0..self.pop.len() {
+            if fitness[i] <= self.fit[i] {
+                self.pop[i] = points[i].clone();
+                self.fit[i] = fitness[i];
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TwoPointsDE"
+    }
+}
+
+// -------------------------------------------------------------- Random
+
+/// Uniform random search.
+pub struct RandomSearch {
+    dims: usize,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates a random searcher.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        RandomSearch { dims, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl SearchAlgorithm for RandomSearch {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        vec![(0..self.dims).map(|_| self.rng.gen_range(0.0..1.0)).collect()]
+    }
+
+    fn tell(&mut self, _points: &[Vec<f64>], _fitness: &[f64]) {}
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+// ---------------------------------------------------------------- Grid
+
+/// Exhaustive grid over the knob-index lattice.
+pub struct GridSearch {
+    dims: usize,
+    /// Coordinates per dimension (matches Table 5 cardinalities by
+    /// sampling the unit interval densely enough for any knob <= 8).
+    steps: usize,
+    cursor: u64,
+    total: u64,
+}
+
+impl GridSearch {
+    /// Creates the grid walker.
+    pub fn new(dims: usize) -> Self {
+        let steps = 8;
+        GridSearch { dims, steps, cursor: 0, total: (steps as u64).pow(dims as u32) }
+    }
+}
+
+impl SearchAlgorithm for GridSearch {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        if self.cursor >= self.total {
+            return vec![];
+        }
+        let mut idx = self.cursor;
+        self.cursor += 1;
+        let mut x = Vec::with_capacity(self.dims);
+        for _ in 0..self.dims {
+            let i = (idx % self.steps as u64) as f64;
+            idx /= self.steps as u64;
+            x.push((i + 0.5) / self.steps as f64);
+        }
+        vec![x]
+    }
+
+    fn tell(&mut self, _points: &[Vec<f64>], _fitness: &[f64]) {}
+
+    fn exhausted(&self) -> bool {
+        self.cursor >= self.total
+    }
+
+    fn name(&self) -> &'static str {
+        "Grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sphere function with optimum at 0.7^d.
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|&v| (v - 0.7) * (v - 0.7)).sum()
+    }
+
+    fn run(kind: AlgorithmKind, budget: usize) -> f64 {
+        let mut alg = kind.build(5, 42);
+        let mut best = f64::INFINITY;
+        let mut evals = 0;
+        while evals < budget && !alg.exhausted() {
+            let pts = alg.ask();
+            if pts.is_empty() {
+                break;
+            }
+            let fit: Vec<f64> = pts.iter().map(|p| sphere(p)).collect();
+            for &f in &fit {
+                best = best.min(f);
+            }
+            evals += pts.len();
+            alg.tell(&pts, &fit);
+        }
+        best
+    }
+
+    #[test]
+    fn cma_converges_on_sphere() {
+        let best = run(AlgorithmKind::CmaEs, 600);
+        assert!(best < 1e-3, "CMA best {best}");
+    }
+
+    #[test]
+    fn one_plus_one_converges() {
+        let best = run(AlgorithmKind::OnePlusOne, 600);
+        assert!(best < 1e-2, "{best}");
+    }
+
+    #[test]
+    fn pso_converges() {
+        let best = run(AlgorithmKind::Pso, 800);
+        assert!(best < 1e-2, "{best}");
+    }
+
+    #[test]
+    fn de_converges() {
+        let best = run(AlgorithmKind::TwoPointsDe, 800);
+        assert!(best < 1e-2, "{best}");
+    }
+
+    #[test]
+    fn evolutionary_beats_random_at_equal_budget() {
+        let cma = run(AlgorithmKind::CmaEs, 300);
+        let rnd = run(AlgorithmKind::Random, 300);
+        assert!(cma < rnd, "cma {cma} random {rnd}");
+    }
+
+    #[test]
+    fn grid_exhausts() {
+        let mut g = GridSearch::new(2);
+        let mut n = 0;
+        while !g.exhausted() {
+            let p = g.ask();
+            if p.is_empty() {
+                break;
+            }
+            n += p.len();
+        }
+        assert_eq!(n, 64);
+    }
+
+    #[test]
+    fn jacobi_recovers_diagonal() {
+        let a = vec![vec![4.0, 0.0], vec![0.0, 9.0]];
+        let (_v, e) = jacobi_eigen(&a);
+        let mut ev = e.clone();
+        ev.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((ev[0] - 4.0).abs() < 1e-9 && (ev[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_handles_correlated_matrix() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (v, e) = jacobi_eigen(&a);
+        // Eigenvalues 1 and 3; reconstruct A = V diag(e) V^T.
+        let mut recon = [[0.0f64; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    recon[i][j] += v[i][k] * e[k] * v[j][k];
+                }
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((recon[i][j] - a[i][j]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Maya-Search (§5): black-box training-recipe optimization over cheap
+//! emulated trials.
+//!
+//! - [`space::ConfigSpace`]: the Table 5 knob space with validity rules;
+//! - [`objective::Objective`]: evaluates one configuration through the
+//!   full Maya pipeline, yielding iteration time, MFU and dollar cost
+//!   (OOM is a first-class outcome);
+//! - [`algorithms`]: from-scratch CMA-ES, (1+1)-ES, particle swarm,
+//!   differential evolution, random and grid search (the Appendix C
+//!   comparison set);
+//! - [`scheduler::TrialScheduler`]: concurrent trial evaluation with
+//!   result caching, the fidelity-preserving pruning tactics of Table 10,
+//!   and the paper's early-stopping rule (top-5 MFU stable for 20
+//!   consecutive non-OOM trials).
+
+pub mod algorithms;
+pub mod objective;
+pub mod scheduler;
+pub mod space;
+
+pub use algorithms::{AlgorithmKind, SearchAlgorithm};
+pub use objective::{Objective, TrialOutcome, TrialRecord};
+pub use scheduler::{SearchResult, SearchStats, TrialScheduler};
+pub use space::{ConfigPoint, ConfigSpace};

@@ -1,0 +1,177 @@
+//! Trial evaluation: one configuration through the full Maya pipeline.
+
+use maya::{Maya, PredictOutcome};
+use maya_hw::mfu;
+use maya_torchlet::TrainingJob;
+use maya_trace::SimTime;
+
+use crate::space::ConfigPoint;
+
+/// Result category of one trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrialOutcome {
+    /// Config violates structural constraints (divisibility etc.).
+    Invalid,
+    /// Predicted to run out of device memory.
+    Oom,
+    /// Predicted to complete.
+    Completed {
+        /// Predicted iteration time.
+        iteration_time: SimTime,
+        /// Model FLOPs utilization.
+        mfu: f64,
+        /// Dollar cost per iteration.
+        cost: f64,
+    },
+}
+
+impl TrialOutcome {
+    /// Whether the trial produced a usable time.
+    pub fn completed(&self) -> bool {
+        matches!(self, TrialOutcome::Completed { .. })
+    }
+
+    /// Iteration time, if completed.
+    pub fn time(&self) -> Option<SimTime> {
+        match self {
+            TrialOutcome::Completed { iteration_time, .. } => Some(*iteration_time),
+            _ => None,
+        }
+    }
+
+    /// MFU, if completed.
+    pub fn mfu(&self) -> Option<f64> {
+        match self {
+            TrialOutcome::Completed { mfu, .. } => Some(*mfu),
+            _ => None,
+        }
+    }
+}
+
+/// One evaluated (or skipped) trial.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialRecord {
+    /// The evaluated configuration.
+    pub config: ConfigPoint,
+    /// Its outcome.
+    pub outcome: TrialOutcome,
+    /// How the result was obtained.
+    pub provenance: Provenance,
+}
+
+/// How a trial's result came to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Full pipeline execution.
+    Executed,
+    /// Served from the result cache.
+    Cached,
+    /// Inferred by a fidelity-preserving pruning tactic (Table 10).
+    Skipped,
+}
+
+/// Evaluates configurations for a fixed (model, cluster, batch) scenario.
+pub struct Objective<'a> {
+    /// The Maya runtime used for predictions.
+    pub maya: &'a Maya,
+    /// Job template; `parallel` is replaced per trial.
+    pub template: TrainingJob,
+}
+
+impl<'a> Objective<'a> {
+    /// Builds an objective.
+    pub fn new(maya: &'a Maya, template: TrainingJob) -> Self {
+        Objective { maya, template }
+    }
+
+    /// The job for a given point.
+    pub fn job_for(&self, config: &ConfigPoint) -> TrainingJob {
+        TrainingJob { parallel: *config, ..self.template }
+    }
+
+    /// Evaluates one configuration end to end.
+    pub fn evaluate(&self, config: &ConfigPoint) -> TrialOutcome {
+        let job = self.job_for(config);
+        if job.validate().is_err() {
+            return TrialOutcome::Invalid;
+        }
+        match self.maya.predict_job(&job) {
+            Err(_) => TrialOutcome::Invalid,
+            Ok(pred) => match pred.outcome {
+                PredictOutcome::OutOfMemory { .. } => TrialOutcome::Oom,
+                PredictOutcome::Completed(report) => {
+                    let t = report.total_time;
+                    let m = job
+                        .flops_spec()
+                        .map(|s| mfu::mfu(&s, t.as_secs_f64(), &self.maya.spec().cluster))
+                        .unwrap_or(0.0);
+                    let cost = t.as_secs_f64() / 3600.0
+                        * self.maya.spec().cluster.dollars_per_gpu_hour
+                        * job.world as f64;
+                    TrialOutcome::Completed { iteration_time: t, mfu: m, cost }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya::EmulationSpec;
+    use maya_hw::ClusterSpec;
+    use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig};
+    use maya_trace::Dtype;
+
+    fn objective_fixture() -> (Maya, TrainingJob) {
+        let cluster = ClusterSpec::h100(1, 8);
+        let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let template = TrainingJob {
+            model: ModelSpec::gpt3_125m(),
+            parallel: ParallelConfig::default(),
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: 64,
+            world: 8,
+            gpus_per_node: 8,
+            precision: Dtype::Bf16,
+            iterations: 1,
+        };
+        (maya, template)
+    }
+
+    #[test]
+    fn evaluates_valid_config() {
+        let (maya, template) = objective_fixture();
+        let obj = Objective::new(&maya, template);
+        let out = obj.evaluate(&ParallelConfig { tp: 2, ..Default::default() });
+        match out {
+            TrialOutcome::Completed { iteration_time, mfu, cost } => {
+                assert!(iteration_time > SimTime::ZERO);
+                assert!(mfu > 0.0 && mfu < 1.0, "mfu {mfu}");
+                assert!(cost > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_flagged() {
+        let (maya, template) = objective_fixture();
+        let obj = Objective::new(&maya, template);
+        // tp=8 exceeds 125M's 12 heads divisibility.
+        let out = obj.evaluate(&ParallelConfig { tp: 8, ..Default::default() });
+        assert_eq!(out, TrialOutcome::Invalid);
+    }
+
+    #[test]
+    fn better_config_has_lower_cost() {
+        let (maya, template) = objective_fixture();
+        let obj = Objective::new(&maya, template);
+        let a = obj.evaluate(&ParallelConfig::default());
+        let b = obj.evaluate(&ParallelConfig { tp: 4, pp: 2, ..Default::default() });
+        let (ta, tb) = (a.time().unwrap(), b.time().unwrap());
+        // Pure DP should beat heavy model parallelism for a 125M model.
+        assert!(ta < tb, "dp-only {ta} vs tp4pp2 {tb}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Concurrent trial scheduling with caching, fidelity-preserving pruning
+//! (Table 10) and early stopping.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use maya_trace::SimTime;
+
+use crate::algorithms::AlgorithmKind;
+use crate::objective::{Objective, Provenance, TrialOutcome, TrialRecord};
+use crate::space::{ConfigPoint, ConfigSpace};
+
+/// Counters for Fig. 15's trial-status breakdown.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Trials that ran the full pipeline.
+    pub executed: usize,
+    /// Trials answered from the result cache.
+    pub cached: usize,
+    /// Trials answered by a pruning tactic.
+    pub skipped: usize,
+    /// Structurally invalid candidates proposed by the optimizer.
+    pub invalid: usize,
+}
+
+/// Search outcome.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Best completing configuration found, with its outcome.
+    pub best: Option<(ConfigPoint, TrialOutcome)>,
+    /// Every trial in evaluation order.
+    pub trials: Vec<TrialRecord>,
+    /// Status counters.
+    pub stats: SearchStats,
+    /// Wall-clock duration of the search.
+    pub wall: Duration,
+    /// Convergence curve: best MFU after each *unique valid* config.
+    pub convergence: Vec<f64>,
+}
+
+impl SearchResult {
+    /// Best iteration time, if any config completed.
+    pub fn best_time(&self) -> Option<SimTime> {
+        self.best.as_ref().and_then(|(_, o)| o.time())
+    }
+}
+
+/// Trial scheduler: wraps an objective with caching, pruning tactics and
+/// the paper's early-stopping rule.
+pub struct TrialScheduler<'a> {
+    objective: &'a Objective<'a>,
+    space: ConfigSpace,
+    /// Enable the Table 10 pruning tactics.
+    pub pruning: bool,
+    /// Stop after the top-5 MFU set is unchanged for this many
+    /// consecutive non-OOM configs (paper: 20). `None` disables.
+    pub early_stop_patience: Option<usize>,
+    cache: HashMap<ConfigPoint, TrialOutcome>,
+    stats: SearchStats,
+    trials: Vec<TrialRecord>,
+    convergence: Vec<f64>,
+    top5: Vec<f64>,
+    stable_streak: usize,
+}
+
+impl<'a> TrialScheduler<'a> {
+    /// Creates a scheduler over the default Table 5 space.
+    pub fn new(objective: &'a Objective<'a>) -> Self {
+        TrialScheduler {
+            objective,
+            space: ConfigSpace::default(),
+            pruning: true,
+            early_stop_patience: Some(20),
+            cache: HashMap::new(),
+            stats: SearchStats::default(),
+            trials: Vec::new(),
+            convergence: Vec::new(),
+            top5: Vec::new(),
+            stable_streak: 0,
+        }
+    }
+
+    /// Replaces the search space.
+    pub fn with_space(mut self, space: ConfigSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Applies the Table 10 tactics: can this config's outcome be derived
+    /// from an already-evaluated neighbor?
+    fn prune(&self, c: &ConfigPoint) -> Option<TrialOutcome> {
+        if !self.pruning {
+            return None;
+        }
+        // Tactic 1: recomputation strictly reduces memory. If the
+        // recompute-enabled twin OOMed, this one will too.
+        if !c.activation_recompute {
+            let twin = ConfigPoint { activation_recompute: true, ..*c };
+            if self.cache.get(&twin) == Some(&TrialOutcome::Oom) {
+                return Some(TrialOutcome::Oom);
+            }
+        }
+        // Tactic 2: sequence parallelism strictly reduces memory at no
+        // communication cost. Same reasoning.
+        if !c.sequence_parallel && c.tp > 1 {
+            let twin = ConfigPoint { sequence_parallel: true, ..*c };
+            if self.cache.get(&twin) == Some(&TrialOutcome::Oom) {
+                return Some(TrialOutcome::Oom);
+            }
+        }
+        // Tactic 3: the distributed optimizer only reduces memory (same
+        // runtime to first order); if the non-sharded twin fit, reuse its
+        // runtime.
+        if c.distributed_optimizer {
+            let twin = ConfigPoint { distributed_optimizer: false, ..*c };
+            if let Some(o @ TrialOutcome::Completed { .. }) = self.cache.get(&twin) {
+                return Some(*o);
+            }
+        }
+        // Tactic 4: without pipeline parallelism, more microbatches only
+        // lose efficiency; reuse the smaller-count runtime.
+        if c.pp == 1 && c.microbatch_multiplier > 1 {
+            for smaller in self.space.microbatch_multiplier.iter().copied() {
+                if smaller < c.microbatch_multiplier {
+                    let twin = ConfigPoint { microbatch_multiplier: smaller, ..*c };
+                    if let Some(o @ TrialOutcome::Completed { .. }) = self.cache.get(&twin) {
+                        return Some(*o);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Evaluates one config through cache -> pruning -> pipeline.
+    pub fn evaluate(&mut self, c: &ConfigPoint) -> TrialOutcome {
+        if let Some(o) = self.cache.get(c) {
+            self.stats.cached += 1;
+            self.trials.push(TrialRecord { config: *c, outcome: *o, provenance: Provenance::Cached });
+            return *o;
+        }
+        let (outcome, provenance) = match self.prune(c) {
+            Some(o) => {
+                self.stats.skipped += 1;
+                (o, Provenance::Skipped)
+            }
+            None => {
+                let o = self.objective.evaluate(c);
+                if o == TrialOutcome::Invalid {
+                    self.stats.invalid += 1;
+                } else {
+                    self.stats.executed += 1;
+                }
+                (o, Provenance::Executed)
+            }
+        };
+        self.cache.insert(*c, outcome);
+        self.trials.push(TrialRecord { config: *c, outcome, provenance });
+        // Track convergence + early stopping on unique valid configs.
+        if outcome != TrialOutcome::Invalid {
+            let mfu = outcome.mfu().unwrap_or(0.0);
+            let before = self.top5.clone();
+            self.top5.push(mfu);
+            self.top5.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            self.top5.truncate(5);
+            if !matches!(outcome, TrialOutcome::Oom) {
+                if self.top5 == before {
+                    self.stable_streak += 1;
+                } else {
+                    self.stable_streak = 0;
+                }
+            }
+            let best = self.convergence.last().copied().unwrap_or(0.0).max(mfu);
+            self.convergence.push(best);
+        }
+        outcome
+    }
+
+    /// Whether the early-stopping rule fired.
+    pub fn should_stop(&self) -> bool {
+        match self.early_stop_patience {
+            Some(p) => self.stable_streak >= p,
+            None => false,
+        }
+    }
+
+    /// Fitness for the optimizer: cost (lower is better); invalid and
+    /// OOM configs are pushed far away.
+    fn fitness(outcome: &TrialOutcome) -> f64 {
+        match outcome {
+            TrialOutcome::Completed { cost, .. } => *cost,
+            TrialOutcome::Oom => 1e6,
+            TrialOutcome::Invalid => 1e7,
+        }
+    }
+
+    /// Runs a search with the given algorithm and sample budget.
+    pub fn run(mut self, kind: AlgorithmKind, budget: usize, seed: u64) -> SearchResult {
+        if kind == AlgorithmKind::Grid {
+            // Grid walks the actual discrete knob space (not a unit-cube
+            // lattice), in enumeration order, up to the budget.
+            let t0 = Instant::now();
+            for c in self.space.enumerate().into_iter().take(budget) {
+                if self.should_stop() {
+                    break;
+                }
+                self.evaluate(&c);
+            }
+            let best = self.best_completed();
+            return SearchResult {
+                best,
+                trials: self.trials,
+                stats: self.stats,
+                wall: t0.elapsed(),
+                convergence: self.convergence,
+            };
+        }
+        let t0 = Instant::now();
+        let mut alg = kind.build(ConfigSpace::DIMS, seed);
+        let mut samples = 0usize;
+        while samples < budget && !alg.exhausted() && !self.should_stop() {
+            let asks = alg.ask();
+            if asks.is_empty() {
+                break;
+            }
+            let mut fitness = Vec::with_capacity(asks.len());
+            for x in &asks {
+                let config = self.space.from_unit(x);
+                let outcome = self.evaluate(&config);
+                fitness.push(Self::fitness(&outcome));
+                samples += 1;
+                if self.should_stop() {
+                    // Fill remaining slots so tell() shapes match.
+                    while fitness.len() < asks.len() {
+                        fitness.push(1e7);
+                    }
+                    break;
+                }
+            }
+            alg.tell(&asks, &fitness);
+        }
+        let best = self.best_completed();
+        SearchResult {
+            best,
+            trials: self.trials,
+            stats: self.stats,
+            wall: t0.elapsed(),
+            convergence: self.convergence,
+        }
+    }
+
+    /// Best completing configuration evaluated so far.
+    fn best_completed(&self) -> Option<(ConfigPoint, TrialOutcome)> {
+        self.cache
+            .iter()
+            .filter(|(_, o)| o.completed())
+            .min_by(|a, b| {
+                Self::fitness(a.1)
+                    .partial_cmp(&Self::fitness(b.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(c, o)| (*c, *o))
+    }
+
+    /// Exhaustively evaluates the whole space (the paper's grid-search
+    /// reference for Fig. 11b).
+    pub fn run_grid(mut self) -> SearchResult {
+        let t0 = Instant::now();
+        self.early_stop_patience = None;
+        for c in self.space.enumerate() {
+            self.evaluate(&c);
+        }
+        let best = self.best_completed();
+        SearchResult {
+            best,
+            trials: self.trials,
+            stats: self.stats,
+            wall: t0.elapsed(),
+            convergence: self.convergence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya::{EmulationSpec, Maya};
+    use maya_hw::ClusterSpec;
+    use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+    use maya_trace::Dtype;
+
+    fn fixture() -> (Maya, TrainingJob) {
+        let cluster = ClusterSpec::h100(1, 4);
+        let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let template = TrainingJob {
+            model: ModelSpec::gpt3_125m(),
+            parallel: ParallelConfig::default(),
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: 32,
+            world: 4,
+            gpus_per_node: 8,
+            precision: Dtype::Bf16,
+            iterations: 1,
+        };
+        (maya, template)
+    }
+
+    fn small_space() -> ConfigSpace {
+        ConfigSpace {
+            tp: vec![1, 2],
+            pp: vec![1, 2],
+            microbatch_multiplier: vec![1, 2],
+            virtual_stages: vec![1],
+            activation_recompute: vec![true, false],
+            sequence_parallel: vec![false],
+            distributed_optimizer: vec![true, false],
+        }
+    }
+
+    #[test]
+    fn cache_avoids_reexecution() {
+        let (maya, template) = fixture();
+        let obj = Objective::new(&maya, template);
+        let mut sched = TrialScheduler::new(&obj).with_space(small_space());
+        let c = ParallelConfig::default();
+        sched.evaluate(&c);
+        sched.evaluate(&c);
+        assert_eq!(sched.stats.executed, 1);
+        assert_eq!(sched.stats.cached, 1);
+    }
+
+    #[test]
+    fn distributed_optimizer_tactic_skips() {
+        let (maya, template) = fixture();
+        let obj = Objective::new(&maya, template);
+        let mut sched = TrialScheduler::new(&obj).with_space(small_space());
+        let base = ParallelConfig { tp: 2, ..Default::default() };
+        let with_dopt = ParallelConfig { distributed_optimizer: true, ..base };
+        let a = sched.evaluate(&base);
+        let b = sched.evaluate(&with_dopt);
+        assert_eq!(sched.stats.skipped, 1);
+        assert_eq!(a.time(), b.time(), "tactic copies the runtime");
+    }
+
+    #[test]
+    fn recompute_oom_tactic_propagates() {
+        let (maya, mut template) = fixture();
+        // Make it OOM even with recompute: too-large model for 1 GPU.
+        template.model = ModelSpec::gpt3_2_7b();
+        template.global_batch = 256;
+        let obj = Objective::new(&maya, template);
+        let mut sched = TrialScheduler::new(&obj).with_space(small_space());
+        let recomp = ParallelConfig { activation_recompute: true, ..Default::default() };
+        let no_recomp = ParallelConfig::default();
+        assert_eq!(sched.evaluate(&recomp), TrialOutcome::Oom);
+        assert_eq!(sched.evaluate(&no_recomp), TrialOutcome::Oom);
+        assert_eq!(sched.stats.skipped, 1, "second one inferred, not executed");
+        assert_eq!(sched.stats.executed, 1);
+    }
+
+    #[test]
+    fn grid_search_finds_a_best_config() {
+        let (maya, template) = fixture();
+        let obj = Objective::new(&maya, template);
+        let sched = TrialScheduler::new(&obj).with_space(small_space());
+        let result = sched.run_grid();
+        let (best, outcome) = result.best.expect("some config completes");
+        assert!(outcome.completed());
+        assert!(best.tp * best.pp <= 4);
+        assert!(result.stats.executed > 0);
+        // Convergence curve is monotone.
+        for w in result.convergence.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn cma_search_matches_grid_within_tolerance() {
+        let (maya, template) = fixture();
+        let obj = Objective::new(&maya, template);
+        let grid =
+            TrialScheduler::new(&obj).with_space(small_space()).run_grid();
+        let cma = TrialScheduler::new(&obj)
+            .with_space(small_space())
+            .run(AlgorithmKind::CmaEs, 120, 7);
+        let gt = grid.best_time().unwrap().as_secs_f64();
+        let ct = cma.best_time().unwrap().as_secs_f64();
+        assert!(ct <= gt * 1.10, "cma {ct} vs grid {gt}");
+    }
+
+    #[test]
+    fn early_stopping_fires_on_small_spaces() {
+        let (maya, template) = fixture();
+        let obj = Objective::new(&maya, template);
+        let mut sched = TrialScheduler::new(&obj).with_space(small_space());
+        sched.early_stop_patience = Some(5);
+        let result = sched.run(AlgorithmKind::Random, 10_000, 3);
+        assert!(
+            result.trials.len() < 10_000,
+            "early stop should cut the budget, ran {}",
+            result.trials.len()
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The configuration space of Table 5.
+
+use maya_torchlet::ParallelConfig;
+
+/// One point in the knob space (a candidate training recipe).
+pub type ConfigPoint = ParallelConfig;
+
+/// The searchable knob space (defaults match the paper's Table 5).
+#[derive(Clone, Debug)]
+pub struct ConfigSpace {
+    /// Tensor-parallel degrees.
+    pub tp: Vec<u32>,
+    /// Pipeline-parallel degrees.
+    pub pp: Vec<u32>,
+    /// Microbatch multipliers.
+    pub microbatch_multiplier: Vec<u32>,
+    /// Virtual stage counts.
+    pub virtual_stages: Vec<u32>,
+    /// Activation recomputation choices.
+    pub activation_recompute: Vec<bool>,
+    /// Sequence parallelism choices.
+    pub sequence_parallel: Vec<bool>,
+    /// Distributed optimizer choices.
+    pub distributed_optimizer: Vec<bool>,
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        ConfigSpace {
+            tp: vec![1, 2, 4, 8],
+            pp: vec![1, 2, 4, 8],
+            microbatch_multiplier: vec![1, 2, 4, 6, 8],
+            virtual_stages: vec![1, 2, 4],
+            activation_recompute: vec![true, false],
+            sequence_parallel: vec![true, false],
+            distributed_optimizer: vec![true, false],
+        }
+    }
+}
+
+impl ConfigSpace {
+    /// Number of search dimensions.
+    pub const DIMS: usize = 7;
+
+    /// Total points in the Cartesian product (before validity filtering).
+    pub fn cardinality(&self) -> usize {
+        self.tp.len()
+            * self.pp.len()
+            * self.microbatch_multiplier.len()
+            * self.virtual_stages.len()
+            * self.activation_recompute.len()
+            * self.sequence_parallel.len()
+            * self.distributed_optimizer.len()
+    }
+
+    /// Maps a unit-cube vector (one coordinate per knob) to a point.
+    pub fn from_unit(&self, v: &[f64]) -> ConfigPoint {
+        fn pick<T: Copy>(choices: &[T], x: f64) -> T {
+            let i = ((x.clamp(0.0, 1.0 - 1e-9)) * choices.len() as f64) as usize;
+            choices[i.min(choices.len() - 1)]
+        }
+        ConfigPoint {
+            tp: pick(&self.tp, v[0]),
+            pp: pick(&self.pp, v[1]),
+            microbatch_multiplier: pick(&self.microbatch_multiplier, v[2]),
+            virtual_stages: pick(&self.virtual_stages, v[3]),
+            activation_recompute: pick(&self.activation_recompute, v[4]),
+            sequence_parallel: pick(&self.sequence_parallel, v[5]),
+            distributed_optimizer: pick(&self.distributed_optimizer, v[6]),
+        }
+    }
+
+    /// Enumerates every point (grid search order).
+    pub fn enumerate(&self) -> Vec<ConfigPoint> {
+        let mut out = Vec::with_capacity(self.cardinality());
+        for &tp in &self.tp {
+            for &pp in &self.pp {
+                for &mm in &self.microbatch_multiplier {
+                    for &vs in &self.virtual_stages {
+                        for &ar in &self.activation_recompute {
+                            for &sp in &self.sequence_parallel {
+                                for &dopt in &self.distributed_optimizer {
+                                    out.push(ConfigPoint {
+                                        tp,
+                                        pp,
+                                        microbatch_multiplier: mm,
+                                        virtual_stages: vs,
+                                        activation_recompute: ar,
+                                        sequence_parallel: sp,
+                                        distributed_optimizer: dopt,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_matches_paper_scale() {
+        let s = ConfigSpace::default();
+        // 4*4*5*3*2*2*2 = 1920 ~ "about 2000 points" (§7.1).
+        assert_eq!(s.cardinality(), 1920);
+        assert_eq!(s.enumerate().len(), 1920);
+    }
+
+    #[test]
+    fn unit_mapping_covers_extremes() {
+        let s = ConfigSpace::default();
+        let lo = s.from_unit(&[0.0; 7]);
+        assert_eq!((lo.tp, lo.pp), (1, 1));
+        assert!(lo.activation_recompute, "first choice is true");
+        let hi = s.from_unit(&[0.999; 7]);
+        assert_eq!((hi.tp, hi.pp), (8, 8));
+        assert_eq!(hi.microbatch_multiplier, 8);
+        assert!(!hi.distributed_optimizer);
+    }
+
+    #[test]
+    fn unit_mapping_is_total_on_the_cube() {
+        let s = ConfigSpace::default();
+        for i in 0..100 {
+            let x = i as f64 / 99.0;
+            let _ = s.from_unit(&[x; 7]); // must not panic
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let s = ConfigSpace::default();
+        let mut v = s.enumerate();
+        let n = v.len();
+        v.sort_by_key(|c| format!("{c}"));
+        v.dedup();
+        assert_eq!(v.len(), n);
+    }
+}

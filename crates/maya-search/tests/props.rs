@@ -1,0 +1,63 @@
+//! Property-based tests for the search space and algorithms.
+
+use maya_search::{AlgorithmKind, ConfigSpace, SearchAlgorithm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `from_unit` is total on the cube and always yields a point whose
+    /// every coordinate is one of the space's declared choices.
+    #[test]
+    fn from_unit_total_and_in_choices(v in proptest::collection::vec(0.0f64..1.0, 7)) {
+        let s = ConfigSpace::default();
+        let c = s.from_unit(&v);
+        prop_assert!(s.tp.contains(&c.tp));
+        prop_assert!(s.pp.contains(&c.pp));
+        prop_assert!(s.microbatch_multiplier.contains(&c.microbatch_multiplier));
+        prop_assert!(s.virtual_stages.contains(&c.virtual_stages));
+        prop_assert!(s.activation_recompute.contains(&c.activation_recompute));
+        prop_assert!(s.sequence_parallel.contains(&c.sequence_parallel));
+        prop_assert!(s.distributed_optimizer.contains(&c.distributed_optimizer));
+    }
+
+    /// Every algorithm's asks stay inside the unit cube, for any seed.
+    #[test]
+    fn asks_stay_in_cube(seed in any::<u64>()) {
+        for kind in AlgorithmKind::all() {
+            let mut alg = kind.build(7, seed);
+            for round in 0..3 {
+                let pts = alg.ask();
+                if pts.is_empty() {
+                    break;
+                }
+                for p in &pts {
+                    prop_assert_eq!(p.len(), 7);
+                    for &x in p {
+                        prop_assert!((0.0..1.0).contains(&x), "{kind:?} round {round}: {x}");
+                    }
+                }
+                let fit: Vec<f64> =
+                    pts.iter().map(|p| p.iter().map(|x| (x - 0.3).abs()).sum()).collect();
+                alg.tell(&pts, &fit);
+            }
+        }
+    }
+
+    /// Telling CMA-ES arbitrary finite fitness values never breaks its
+    /// sampling (no NaN/∞ propagation into future asks).
+    #[test]
+    fn cma_numerically_stable(fits in proptest::collection::vec(0.0f64..1e9, 16)) {
+        let mut alg = AlgorithmKind::CmaEs.build(7, 99);
+        for _ in 0..4 {
+            let pts = alg.ask();
+            let f: Vec<f64> = pts.iter().enumerate().map(|(i, _)| fits[i % fits.len()]).collect();
+            alg.tell(&pts, &f);
+            for p in alg.ask() {
+                for &x in &p {
+                    prop_assert!(x.is_finite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,805 @@
+//! The discrete-event simulation engine (Algorithms 1-3).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use maya_estimator::RuntimeEstimator;
+use maya_hw::ClusterSpec;
+use maya_trace::{
+    CollectiveDesc, CollectiveKind, DeviceOp, JobTrace, SimTime, StreamId,
+};
+
+use crate::report::SimReport;
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace was structurally invalid.
+    InvalidTrace(String),
+    /// Progress stopped with unfinished ranks (mismatched collectives or
+    /// waits that can never fire).
+    Deadlock {
+        /// Ranks that never finished.
+        stuck_ranks: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidTrace(m) => write!(f, "invalid trace: {m}"),
+            SimError::Deadlock { stuck_ranks } => {
+                write!(f, "simulation deadlocked; stuck ranks {stuck_ranks:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Key of a collective rendezvous in the network wait map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct CollKey {
+    comm: u64,
+    seq: u32,
+    pair: (u32, u32),
+}
+
+impl CollKey {
+    fn from_desc(d: &CollectiveDesc) -> Self {
+        let pair = match d.kind {
+            CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => {
+                (d.rank_in_comm.min(peer), d.rank_in_comm.max(peer))
+            }
+            _ => (u32::MAX, u32::MAX),
+        };
+        CollKey { comm: d.comm_id, seq: d.seq, pair }
+    }
+}
+
+/// An operation queued on a simulated stream.
+#[derive(Clone, Copy, Debug)]
+enum StreamOp {
+    /// Kernel / memcpy with a pre-predicted duration.
+    Timed { dur: SimTime, is_comm: bool },
+    /// `cudaEventRecord` marker.
+    Record { event: u64, version: u32 },
+    /// `cudaStreamWaitEvent` marker.
+    Wait { event: u64, version: u32 },
+    /// NCCL collective join.
+    Join { key: CollKey, desc: CollectiveDesc },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedOp {
+    ready_at: SimTime,
+    op: StreamOp,
+}
+
+/// Why a stream is not making progress.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StreamBlock {
+    Event { event: u64, version: u32 },
+    Collective,
+}
+
+#[derive(Default)]
+struct StreamSim {
+    queue: VecDeque<QueuedOp>,
+    busy_until: SimTime,
+    blocked: Option<StreamBlock>,
+}
+
+impl StreamSim {
+    fn drained(&self, now: SimTime) -> bool {
+        self.queue.is_empty() && self.blocked.is_none() && self.busy_until <= now
+    }
+}
+
+/// Why a host thread is parked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HostBlock {
+    Event { event: u64, version: u32 },
+    StreamDrain { sid: StreamId },
+    DeviceDrain { remaining: u32 },
+}
+
+struct RankSim {
+    next_op: usize,
+    host_time: SimTime,
+    host_busy: SimTime,
+    streams: HashMap<StreamId, StreamSim>,
+    blocked: Option<HostBlock>,
+    done: bool,
+    comm_busy: SimTime,
+    compute_busy: SimTime,
+}
+
+/// Heap event kinds (Algorithm 1's polymorphic events).
+#[derive(Clone, Copy, Debug)]
+enum EvKind {
+    /// Host dispatch loop (re)starts for a rank.
+    HostDispatch { wi: usize },
+    /// A stream should attempt to make progress.
+    Pump { wi: usize, sid: StreamId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HeapEv {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event-driven simulator.
+pub struct Simulator<'a> {
+    estimator: &'a dyn RuntimeEstimator,
+    cluster: &'a ClusterSpec,
+}
+
+/// Convenience entry point.
+pub fn simulate(
+    job: &JobTrace,
+    cluster: &ClusterSpec,
+    estimator: &dyn RuntimeEstimator,
+) -> Result<SimReport, SimError> {
+    Simulator { estimator, cluster }.run(job)
+}
+
+/// Mutable simulation state, split out so borrows stay tractable.
+struct State {
+    ranks: Vec<RankSim>,
+    heap: BinaryHeap<Reverse<HeapEv>>,
+    seq: u64,
+    now: SimTime,
+    events_processed: u64,
+    /// CUDA-event wait map: fired events with their fire times.
+    fired: Vec<HashMap<(u64, u32), SimTime>>,
+    /// Streams waiting on an event.
+    event_stream_waiters: Vec<HashMap<(u64, u32), Vec<StreamId>>>,
+    /// Network collective wait map.
+    collectives: HashMap<CollKey, Vec<(usize, StreamId, SimTime, CollectiveDesc)>>,
+}
+
+impl State {
+    fn push(&mut self, at: SimTime, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEv { at, seq: self.seq, kind }));
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a cluster with the given estimator.
+    pub fn new(estimator: &'a dyn RuntimeEstimator, cluster: &'a ClusterSpec) -> Self {
+        Simulator { estimator, cluster }
+    }
+
+    /// Runs the simulation (Algorithm 1's main loop).
+    pub fn run(&self, job: &JobTrace) -> Result<SimReport, SimError> {
+        job.validate().map_err(SimError::InvalidTrace)?;
+        let n = job.workers.len();
+        let mut st = State {
+            ranks: (0..n)
+                .map(|_| RankSim {
+                    next_op: 0,
+                    host_time: SimTime::ZERO,
+                    host_busy: SimTime::ZERO,
+                    streams: HashMap::new(),
+                    blocked: None,
+                    done: false,
+                    comm_busy: SimTime::ZERO,
+                    compute_busy: SimTime::ZERO,
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            events_processed: 0,
+            fired: vec![HashMap::new(); n],
+            event_stream_waiters: vec![HashMap::new(); n],
+            collectives: HashMap::new(),
+        };
+        for wi in 0..n {
+            st.push(SimTime::ZERO, EvKind::HostDispatch { wi });
+        }
+
+        while let Some(Reverse(ev)) = st.heap.pop() {
+            st.now = ev.at;
+            st.events_processed += 1;
+            match ev.kind {
+                EvKind::HostDispatch { wi } => self.host_dispatch(job, &mut st, wi),
+                EvKind::Pump { wi, sid } => self.pump(job, &mut st, wi, sid),
+            }
+        }
+
+        let stuck: Vec<u32> = st
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.done)
+            .map(|(i, _)| job.workers[i].rank)
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { stuck_ranks: stuck });
+        }
+
+        let rank_end: Vec<SimTime> = st
+            .ranks
+            .iter()
+            .map(|r| {
+                let s = r.streams.values().map(|s| s.busy_until).fold(SimTime::ZERO, SimTime::max);
+                r.host_time.max(s)
+            })
+            .collect();
+        Ok(SimReport {
+            total_time: rank_end.iter().copied().fold(SimTime::ZERO, SimTime::max),
+            rank_end_times: rank_end,
+            comm_time: st.ranks.iter().map(|r| r.comm_busy).fold(SimTime::ZERO, SimTime::max),
+            compute_time: st
+                .ranks
+                .iter()
+                .map(|r| r.compute_busy)
+                .fold(SimTime::ZERO, SimTime::max),
+            host_time: st.ranks.iter().map(|r| r.host_busy).fold(SimTime::ZERO, SimTime::max),
+            peak_mem_bytes: job.peak_mem_bytes(),
+            events_processed: st.events_processed,
+        })
+    }
+
+    /// Host dispatch loop: replays recorded host delays and runs ahead,
+    /// enqueuing async work onto streams, until it blocks or finishes.
+    fn host_dispatch(&self, job: &JobTrace, st: &mut State, wi: usize) {
+        if st.ranks[wi].blocked.is_some() || st.ranks[wi].done {
+            return;
+        }
+        let events = &job.workers[wi].events;
+        loop {
+            let pc = st.ranks[wi].next_op;
+            if pc >= events.len() {
+                st.ranks[wi].done = true;
+                return;
+            }
+            let ev = &events[pc];
+            st.ranks[wi].next_op += 1;
+            st.ranks[wi].host_time += ev.host_delay;
+            st.ranks[wi].host_busy += ev.host_delay;
+            let issue = st.ranks[wi].host_time;
+
+            match ev.op {
+                DeviceOp::Malloc { .. } | DeviceOp::Free { .. } => {}
+                DeviceOp::KernelLaunch { kernel } => {
+                    let dur = self.estimator.kernel_time(&kernel);
+                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Timed { dur, is_comm: false });
+                }
+                DeviceOp::MemcpyAsync { bytes, kind, sync } => {
+                    let dur = self.estimator.memcpy_time(bytes, kind);
+                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Timed { dur, is_comm: false });
+                    if sync {
+                        // Blocking copy: host waits for the stream to drain.
+                        if self.park_host_on_drain(st, wi, ev.stream) {
+                            return;
+                        }
+                    }
+                }
+                DeviceOp::EventRecord { event, version } => {
+                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Record { event, version });
+                }
+                DeviceOp::StreamWaitEvent { event, version } => {
+                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Wait { event, version });
+                }
+                DeviceOp::EventSynchronize { event, version } => {
+                    match st.fired[wi].get(&(event, version)).copied() {
+                        Some(t) => {
+                            st.ranks[wi].host_time = st.ranks[wi].host_time.max(t);
+                        }
+                        None if version == 0 => {} // never-recorded: no-op
+                        None => {
+                            st.ranks[wi].blocked = Some(HostBlock::Event { event, version });
+                            return;
+                        }
+                    }
+                }
+                DeviceOp::StreamSynchronize => {
+                    if self.park_host_on_drain(st, wi, ev.stream) {
+                        return;
+                    }
+                }
+                DeviceOp::DeviceSynchronize => {
+                    let now = st.ranks[wi].host_time;
+                    let pending: Vec<StreamId> = st.ranks[wi]
+                        .streams
+                        .iter()
+                        .filter(|(_, s)| !s.drained(now))
+                        .map(|(&sid, _)| sid)
+                        .collect();
+                    let mut latest = now;
+                    let mut remaining = 0u32;
+                    for sid in pending {
+                        let s = &st.ranks[wi].streams[&sid];
+                        if s.queue.is_empty() && s.blocked.is_none() {
+                            latest = latest.max(s.busy_until);
+                        } else {
+                            remaining += 1;
+                        }
+                    }
+                    st.ranks[wi].host_time = latest;
+                    if remaining > 0 {
+                        st.ranks[wi].blocked = Some(HostBlock::DeviceDrain { remaining });
+                        return;
+                    }
+                }
+                DeviceOp::Collective { desc } => {
+                    let key = CollKey::from_desc(&desc);
+                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Join { key, desc });
+                }
+            }
+        }
+    }
+
+    /// Enqueues a stream op and pumps the stream at its issue time.
+    fn enqueue(&self, st: &mut State, wi: usize, sid: StreamId, ready_at: SimTime, op: StreamOp) {
+        let s = st.ranks[wi].streams.entry(sid).or_default();
+        s.queue.push_back(QueuedOp { ready_at, op });
+        st.push(ready_at.max(st.now), EvKind::Pump { wi, sid });
+    }
+
+    /// Parks the host until a stream drains. Returns true if parked.
+    fn park_host_on_drain(&self, st: &mut State, wi: usize, sid: StreamId) -> bool {
+        let now = st.ranks[wi].host_time;
+        let s = st.ranks[wi].streams.entry(sid).or_default();
+        if s.queue.is_empty() && s.blocked.is_none() {
+            st.ranks[wi].host_time = now.max(s.busy_until);
+            false
+        } else {
+            st.ranks[wi].blocked = Some(HostBlock::StreamDrain { sid });
+            true
+        }
+    }
+
+    /// Stream progress (Algorithm 2's scheduler tick for one stream).
+    fn pump(&self, job: &JobTrace, st: &mut State, wi: usize, sid: StreamId) {
+        loop {
+            let now = st.now;
+            let s = match st.ranks[wi].streams.get_mut(&sid) {
+                Some(s) => s,
+                None => return,
+            };
+            if s.blocked.is_some() || s.busy_until > now {
+                return;
+            }
+            let front = match s.queue.front().copied() {
+                None => {
+                    // Drained: wake a host parked on this stream/device.
+                    self.notify_drain(st, wi, sid, now);
+                    return;
+                }
+                Some(f) => f,
+            };
+            if front.ready_at > now {
+                st.push(front.ready_at, EvKind::Pump { wi, sid });
+                return;
+            }
+            let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+            s.queue.pop_front();
+            match front.op {
+                StreamOp::Timed { dur, is_comm } => {
+                    s.busy_until = now + dur;
+                    if is_comm {
+                        st.ranks[wi].comm_busy += dur;
+                    } else {
+                        st.ranks[wi].compute_busy += dur;
+                    }
+                    st.push(now + dur, EvKind::Pump { wi, sid });
+                    return;
+                }
+                StreamOp::Record { event, version } => {
+                    st.fired[wi].insert((event, version), now);
+                    // Wake streams waiting on this event.
+                    if let Some(waiters) =
+                        st.event_stream_waiters[wi].remove(&(event, version))
+                    {
+                        for w in waiters {
+                            if let Some(ws) = st.ranks[wi].streams.get_mut(&w) {
+                                if ws.blocked == Some(StreamBlock::Event { event, version }) {
+                                    ws.blocked = None;
+                                    ws.busy_until = ws.busy_until.max(now);
+                                    st.push(now, EvKind::Pump { wi, sid: w });
+                                }
+                            }
+                        }
+                    }
+                    // Wake a host parked on EventSynchronize.
+                    if st.ranks[wi].blocked == Some(HostBlock::Event { event, version }) {
+                        st.ranks[wi].blocked = None;
+                        st.ranks[wi].host_time = st.ranks[wi].host_time.max(now);
+                        st.push(now, EvKind::HostDispatch { wi });
+                    }
+                }
+                StreamOp::Wait { event, version } => {
+                    if version == 0 || st.fired[wi].contains_key(&(event, version)) {
+                        // Already fired (or never-recorded no-op): the
+                        // stream ordering itself enforces the constraint.
+                        let fire =
+                            st.fired[wi].get(&(event, version)).copied().unwrap_or(SimTime::ZERO);
+                        let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+                        s.busy_until = s.busy_until.max(fire);
+                        if fire > now {
+                            st.push(fire, EvKind::Pump { wi, sid });
+                            return;
+                        }
+                    } else {
+                        let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+                        s.blocked = Some(StreamBlock::Event { event, version });
+                        st.event_stream_waiters[wi]
+                            .entry((event, version))
+                            .or_default()
+                            .push(sid);
+                        return;
+                    }
+                }
+                StreamOp::Join { key, desc } => {
+                    let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+                    s.blocked = Some(StreamBlock::Collective);
+                    st.collectives.entry(key).or_default().push((wi, sid, now, desc));
+                    let required = required_participants(job, &desc);
+                    let arrived = st.collectives[&key].len();
+                    if arrived >= required {
+                        self.resolve_collective(job, st, key);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// All participants joined: release every stream in lockstep after
+    /// the predicted wire time (Algorithm 3).
+    fn resolve_collective(&self, job: &JobTrace, st: &mut State, key: CollKey) {
+        let participants = st.collectives.remove(&key).unwrap_or_default();
+        let start = participants.iter().map(|&(_, _, t, _)| t).fold(SimTime::ZERO, SimTime::max);
+        let desc = participants[0].3;
+        let global_ranks: Vec<u32> = match desc.kind {
+            CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => {
+                match job.comm_groups.get(&desc.comm_id) {
+                    Some(members) => [desc.rank_in_comm, peer]
+                        .iter()
+                        .filter_map(|&i| members.get(i as usize).copied())
+                        .collect(),
+                    None => participants.iter().map(|&(wi, ..)| job.workers[wi].rank).collect(),
+                }
+            }
+            _ => job.comm_groups.get(&desc.comm_id).cloned().unwrap_or_default(),
+        };
+        let dur = self.estimator.collective_time(desc.kind, desc.bytes, &global_ranks, self.cluster);
+        let end = start + dur;
+        for (wi, sid, _, _) in participants {
+            let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+            s.blocked = None;
+            s.busy_until = end;
+            st.ranks[wi].comm_busy += dur;
+            st.push(end, EvKind::Pump { wi, sid });
+        }
+    }
+
+    /// A stream drained; wake hosts blocked on it.
+    fn notify_drain(&self, st: &mut State, wi: usize, sid: StreamId, now: SimTime) {
+        match st.ranks[wi].blocked {
+            Some(HostBlock::StreamDrain { sid: want }) if want == sid => {
+                st.ranks[wi].blocked = None;
+                st.ranks[wi].host_time = st.ranks[wi].host_time.max(now);
+                st.push(now, EvKind::HostDispatch { wi });
+            }
+            Some(HostBlock::DeviceDrain { remaining }) => {
+                let left = remaining.saturating_sub(1);
+                st.ranks[wi].host_time = st.ranks[wi].host_time.max(now);
+                if left == 0 {
+                    st.ranks[wi].blocked = None;
+                    st.push(now, EvKind::HostDispatch { wi });
+                } else {
+                    st.ranks[wi].blocked = Some(HostBlock::DeviceDrain { remaining: left });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Present-participant count for a collective in a possibly-sparse job.
+fn required_participants(job: &JobTrace, desc: &CollectiveDesc) -> usize {
+    let members = match job.comm_groups.get(&desc.comm_id) {
+        Some(m) => m,
+        None => return desc.kind.required_participants(desc.nranks) as usize,
+    };
+    match desc.kind {
+        CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => {
+            let mut req = 0usize;
+            for idx in [desc.rank_in_comm, peer] {
+                if let Some(&g) = members.get(idx as usize) {
+                    if job.is_present(g) {
+                        req += 1;
+                    }
+                }
+            }
+            req.max(1)
+        }
+        _ => (job.present_count(members) as usize).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_estimator::OracleEstimator;
+    use maya_trace::{Dtype, KernelKind, TraceEvent, WorkerTrace};
+    use std::collections::BTreeMap;
+
+    fn kernel(m: u64) -> DeviceOp {
+        DeviceOp::KernelLaunch {
+            kernel: KernelKind::Gemm { m, n: 1024, k: 1024, dtype: Dtype::Fp32 },
+        }
+    }
+
+    fn ev(stream: u32, op: DeviceOp, host_us: f64) -> TraceEvent {
+        TraceEvent { stream: StreamId(stream), op, host_delay: SimTime::from_us(host_us) }
+    }
+
+    fn job1(events: Vec<TraceEvent>) -> JobTrace {
+        let mut w = WorkerTrace::new(0);
+        w.events = events;
+        JobTrace { nranks: 1, workers: vec![w], comm_groups: BTreeMap::new() }
+    }
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::h100(1, 2)
+    }
+
+    #[test]
+    fn empty_trace_finishes_at_zero() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let r = simulate(&job1(vec![]), &c, &oracle).unwrap();
+        assert_eq!(r.total_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_kernel_time_is_host_plus_kernel() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let r = simulate(&job1(vec![ev(0, kernel(4096), 10.0)]), &c, &oracle).unwrap();
+        let kt = oracle.kernel_time(&KernelKind::Gemm {
+            m: 4096,
+            n: 1024,
+            k: 1024,
+            dtype: Dtype::Fp32,
+        });
+        let expect = SimTime::from_us(10.0) + kt;
+        assert_eq!(r.total_time, expect);
+        assert_eq!(r.compute_time, kt);
+    }
+
+    #[test]
+    fn host_gap_larger_than_kernel_dominates() {
+        // Many tiny kernels with huge host gaps: total ~= sum of gaps.
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let evs: Vec<TraceEvent> = (0..10)
+            .map(|_| ev(0, DeviceOp::KernelLaunch { kernel: KernelKind::Memset { bytes: 4 } }, 500.0))
+            .collect();
+        let r = simulate(&job1(evs), &c, &oracle).unwrap();
+        assert!(r.total_time >= SimTime::from_us(5000.0));
+        assert!(r.total_time < SimTime::from_us(5200.0), "{}", r.total_time);
+    }
+
+    #[test]
+    fn two_streams_overlap() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let serial = simulate(
+            &job1(vec![ev(0, kernel(8192), 1.0), ev(0, kernel(8192), 1.0)]),
+            &c,
+            &oracle,
+        )
+        .unwrap();
+        let parallel = simulate(
+            &job1(vec![ev(0, kernel(8192), 1.0), ev(1, kernel(8192), 1.0)]),
+            &c,
+            &oracle,
+        )
+        .unwrap();
+        assert!(parallel.total_time.as_secs_f64() < serial.total_time.as_secs_f64() * 0.62);
+    }
+
+    #[test]
+    fn stream_wait_event_serializes() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let dep = simulate(
+            &job1(vec![
+                ev(1, kernel(8192), 1.0),
+                ev(1, DeviceOp::EventRecord { event: 3, version: 1 }, 1.0),
+                ev(0, DeviceOp::StreamWaitEvent { event: 3, version: 1 }, 1.0),
+                ev(0, kernel(8192), 1.0),
+            ]),
+            &c,
+            &oracle,
+        )
+        .unwrap();
+        let serial = simulate(
+            &job1(vec![ev(0, kernel(8192), 1.0), ev(0, kernel(8192), 1.0)]),
+            &c,
+            &oracle,
+        )
+        .unwrap();
+        let ratio = dep.total_time.as_secs_f64() / serial.total_time.as_secs_f64();
+        assert!((0.99..1.01).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn wait_on_unrecorded_event_is_noop() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let r = simulate(
+            &job1(vec![
+                ev(0, DeviceOp::StreamWaitEvent { event: 9, version: 0 }, 1.0),
+                ev(0, kernel(1024), 1.0),
+            ]),
+            &c,
+            &oracle,
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn device_synchronize_blocks_host() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let r = simulate(
+            &job1(vec![
+                ev(0, kernel(8192), 1.0),
+                ev(1, kernel(8192), 1.0),
+                ev(0, DeviceOp::DeviceSynchronize, 1.0),
+                ev(0, kernel(8192), 1.0),
+            ]),
+            &c,
+            &oracle,
+        )
+        .unwrap();
+        // After sync, the third kernel cannot overlap: total >= 2 kernels.
+        let kt = oracle
+            .kernel_time(&KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 })
+            .as_secs_f64();
+        assert!(r.total_time.as_secs_f64() > 1.99 * kt, "{}", r.total_time);
+    }
+
+    #[test]
+    fn collective_lockstep_and_pipeline_bubble() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let coll = |rank: u32| DeviceOp::Collective {
+            desc: CollectiveDesc {
+                kind: CollectiveKind::AllReduce,
+                comm_id: 11,
+                seq: 0,
+                bytes: 1 << 24,
+                nranks: 2,
+                rank_in_comm: rank,
+            },
+        };
+        // Rank 1 computes first -> rank 0 stalls at the rendezvous.
+        let mut w0 = WorkerTrace::new(0);
+        w0.events = vec![ev(0, coll(0), 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        let mut w1 = WorkerTrace::new(1);
+        w1.events =
+            vec![ev(0, kernel(8192), 1.0), ev(0, coll(1), 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        let mut groups = BTreeMap::new();
+        groups.insert(11u64, vec![0, 1]);
+        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        let r = simulate(&job, &c, &oracle).unwrap();
+        let kt = oracle
+            .kernel_time(&KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 });
+        let wire =
+            oracle.collective_time(CollectiveKind::AllReduce, 1 << 24, &[0, 1], &c);
+        // Lockstep: both ranks end at ~ compute + wire.
+        assert!(r.rank_end_times[0] >= kt + wire, "{:?}", r.rank_end_times);
+        let d = r.rank_end_times[0].as_secs_f64() - r.rank_end_times[1].as_secs_f64();
+        assert!(d.abs() < 1e-4, "lockstep completion, delta {d}");
+        assert!(r.comm_time >= wire);
+    }
+
+    #[test]
+    fn mismatched_collective_deadlocks() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let coll = DeviceOp::Collective {
+            desc: CollectiveDesc {
+                kind: CollectiveKind::AllReduce,
+                comm_id: 11,
+                seq: 0,
+                bytes: 64,
+                nranks: 2,
+                rank_in_comm: 0,
+            },
+        };
+        let mut w0 = WorkerTrace::new(0);
+        w0.events = vec![ev(0, coll, 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        let mut w1 = WorkerTrace::new(1);
+        w1.events = vec![ev(0, kernel(64), 1.0)];
+        let mut groups = BTreeMap::new();
+        groups.insert(11u64, vec![0, 1]);
+        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        match simulate(&job, &c, &oracle) {
+            Err(SimError::Deadlock { stuck_ranks }) => assert_eq!(stuck_ranks, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_memcpy_blocks_host() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let r = simulate(
+            &job1(vec![
+                ev(0, kernel(8192), 1.0),
+                ev(
+                    0,
+                    DeviceOp::MemcpyAsync {
+                        bytes: 1 << 28,
+                        kind: maya_trace::MemcpyKind::DeviceToHost,
+                        sync: true,
+                    },
+                    1.0,
+                ),
+                ev(0, kernel(8192), 1.0),
+            ]),
+            &c,
+            &oracle,
+        )
+        .unwrap();
+        let kt = oracle
+            .kernel_time(&KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 });
+        let ct = oracle.memcpy_time(1 << 28, maya_trace::MemcpyKind::DeviceToHost);
+        assert!(r.total_time >= kt + ct + kt, "{}", r.total_time);
+    }
+
+    #[test]
+    fn sparse_collective_rendezvous() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let coll = DeviceOp::Collective {
+            desc: CollectiveDesc {
+                kind: CollectiveKind::AllReduce,
+                comm_id: 11,
+                seq: 0,
+                bytes: 1 << 20,
+                nranks: 2,
+                rank_in_comm: 0,
+            },
+        };
+        let mut w0 = WorkerTrace::new(0);
+        w0.events = vec![ev(0, coll, 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        let mut groups = BTreeMap::new();
+        groups.insert(11u64, vec![0, 1]);
+        // Rank 1 deduplicated away; rendezvous completes with rank 0 only.
+        let job = JobTrace { nranks: 2, workers: vec![w0], comm_groups: groups };
+        let r = simulate(&job, &c, &oracle).unwrap();
+        let wire = oracle.collective_time(CollectiveKind::AllReduce, 1 << 20, &[0, 1], &c);
+        assert!(r.total_time >= wire);
+    }
+}

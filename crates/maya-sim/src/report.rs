@@ -1,0 +1,60 @@
+//! Simulation output: the paper's "comprehensive simulation report".
+
+use maya_trace::SimTime;
+
+/// What a simulation run reports (Figure 5's "Simulation Report":
+/// batch time, communication time, peak memory usage).
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// End-to-end traced-region time (max over ranks).
+    pub total_time: SimTime,
+    /// Per-present-worker completion times.
+    pub rank_end_times: Vec<SimTime>,
+    /// Communication-busy time on the busiest rank.
+    pub comm_time: SimTime,
+    /// Compute-busy time on the busiest rank (summed kernel durations).
+    pub compute_time: SimTime,
+    /// Host-dispatch time on the busiest rank.
+    pub host_time: SimTime,
+    /// Peak device memory across ranks (from emulation summaries).
+    pub peak_mem_bytes: u64,
+    /// Discrete events processed (for the Fig. 13 scaling study).
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Peak memory in GiB.
+    pub fn peak_mem_gib(&self) -> f64 {
+        self.peak_mem_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Fraction of the batch spent with communication in flight on the
+    /// busiest rank (coarse overlap indicator).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_time == SimTime::ZERO {
+            0.0
+        } else {
+            self.comm_time.as_secs_f64() / self.total_time.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = SimReport {
+            total_time: SimTime::from_ms(100.0),
+            rank_end_times: vec![SimTime::from_ms(100.0)],
+            comm_time: SimTime::from_ms(25.0),
+            compute_time: SimTime::from_ms(70.0),
+            host_time: SimTime::from_ms(5.0),
+            peak_mem_bytes: 38 * 1024 * 1024 * 1024,
+            events_processed: 1000,
+        };
+        assert!((r.comm_fraction() - 0.25).abs() < 1e-9);
+        assert!((r.peak_mem_gib() - 38.0).abs() < 1e-9);
+    }
+}

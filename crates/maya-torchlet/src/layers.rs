@@ -1,0 +1,579 @@
+//! Kernel emission for transformer layers.
+//!
+//! Each method issues, through the device API, exactly the kernel
+//! sequence a Megatron-style PyTorch stack launches for that piece of the
+//! model: cuBLAS GEMMs via handle-bound calls, framework kernels
+//! (layernorm, softmax, dropout, elementwise) via `cudaLaunchKernel`, and
+//! tensor-parallel collectives via NCCL. In `compiled` mode, chains of
+//! pointwise ops collapse into fused Triton kernels with instruction
+//! counts, matching how the paper treats `torch.compile` (Appendix B).
+
+use maya_cuda::{CublasHandle, CudaContext, CudaResult, CudaStream, NcclComm};
+use maya_trace::{Dtype, KernelKind, SimTime};
+
+/// Static shape/configuration for one transformer layer's emission.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerShape {
+    /// Microbatch size (sequences).
+    pub micro_bs: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Hidden size.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Feed-forward inner size.
+    pub ffn: u64,
+    /// Vocabulary size (full, pre-TP).
+    pub vocab: u64,
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Sequence parallelism enabled.
+    pub sp: bool,
+    /// Causal attention mask.
+    pub causal: bool,
+    /// Gated (SwiGLU) MLP.
+    pub gated: bool,
+    /// Operand dtype.
+    pub dtype: Dtype,
+    /// torch.compile-style fusion.
+    pub compiled: bool,
+}
+
+impl LayerShape {
+    /// Tokens in one microbatch.
+    pub fn tokens(&self) -> u64 {
+        self.micro_bs * self.seq
+    }
+
+    /// Bytes of one full-size activation tensor (b, s, h).
+    pub fn act_tensor_bytes(&self) -> u64 {
+        self.tokens() * self.hidden * self.dtype.size_bytes()
+    }
+}
+
+/// Emits transformer kernels for one model replica shard.
+pub struct TransformerEmitter {
+    /// Layer shape.
+    pub shape: LayerShape,
+    /// cuBLAS handle (bound to the compute stream).
+    pub blas: CublasHandle,
+    /// Tensor-parallel communicator, when `tp > 1`.
+    pub tp_comm: Option<NcclComm>,
+    /// Compute stream.
+    pub compute: CudaStream,
+    /// Host-side framework overhead charged per emitted layer.
+    pub host_work_per_layer: SimTime,
+}
+
+impl TransformerEmitter {
+    fn ew(&self, ctx: &mut CudaContext, numel: u64, arity: u8) -> CudaResult<()> {
+        ctx.launch_kernel(
+            KernelKind::Elementwise { numel, arity, dtype: self.shape.dtype },
+            self.compute,
+        )
+    }
+
+    fn fused(&self, ctx: &mut CudaContext, numel: u64, num_instrs: u32) -> CudaResult<()> {
+        ctx.launch_kernel(
+            KernelKind::FusedTriton { numel, num_instrs, dtype: self.shape.dtype },
+            self.compute,
+        )
+    }
+
+    /// TP all-reduce (or the SP reduce-scatter/all-gather pair around the
+    /// block) of one activation tensor. `gather_first` controls the SP
+    /// direction for forward vs. backward emission.
+    fn tp_allreduce(&self, ctx: &mut CudaContext, bytes: u64) -> CudaResult<()> {
+        if let Some(comm) = self.tp_comm {
+            ctx.nccl_all_reduce(comm, bytes, self.compute)?;
+        }
+        Ok(())
+    }
+
+    fn sp_all_gather(&self, ctx: &mut CudaContext, bytes: u64) -> CudaResult<()> {
+        if let Some(comm) = self.tp_comm {
+            ctx.nccl_all_gather(comm, bytes, self.compute)?;
+        }
+        Ok(())
+    }
+
+    fn sp_reduce_scatter(&self, ctx: &mut CudaContext, bytes: u64) -> CudaResult<()> {
+        if let Some(comm) = self.tp_comm {
+            ctx.nccl_reduce_scatter(comm, bytes, self.compute)?;
+        }
+        Ok(())
+    }
+
+    /// Forward pass of one transformer layer.
+    pub fn forward_layer(&self, ctx: &mut CudaContext) -> CudaResult<()> {
+        let s = &self.shape;
+        let bs = s.tokens();
+        let h = s.hidden;
+        let hp = h / s.tp;
+        let ffnp = s.ffn / s.tp;
+        let heads_p = (s.heads / s.tp).max(1);
+        let d = s.dtype;
+        let act_bytes = s.act_tensor_bytes();
+        let shard_rows = if s.sp { bs / s.tp } else { bs };
+        ctx.host_work(self.host_work_per_layer);
+
+        // --- Attention block ---
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 11)?; // fused layernorm
+        } else {
+            ctx.launch_kernel(
+                KernelKind::LayerNormForward { rows: shard_rows, cols: h },
+                self.compute,
+            )?;
+        }
+        if s.sp {
+            self.sp_all_gather(ctx, act_bytes)?;
+        }
+        ctx.cublas_gemm_ex(self.blas, bs, 3 * hp, h, d)?; // QKV projection
+        if s.compiled {
+            self.fused(ctx, bs * 3 * hp, 6)?; // bias + rope + reshape
+        } else {
+            self.ew(ctx, bs * 3 * hp, 1)?;
+        }
+        // Attention scores and context (batched over heads).
+        ctx.cublas_gemm_strided_batched(
+            self.blas,
+            s.seq,
+            s.seq,
+            h / s.heads,
+            s.micro_bs * heads_p,
+            d,
+        )?;
+        let attn_numel = s.micro_bs * heads_p * s.seq * s.seq;
+        if s.compiled {
+            self.fused(ctx, attn_numel, 9)?; // fused scale+mask+softmax+dropout
+        } else {
+            ctx.launch_kernel(
+                KernelKind::SoftmaxForward {
+                    rows: s.micro_bs * heads_p * s.seq,
+                    cols: s.seq,
+                    masked: s.causal,
+                },
+                self.compute,
+            )?;
+            ctx.launch_kernel(KernelKind::FusedDropout { numel: attn_numel }, self.compute)?;
+        }
+        ctx.cublas_gemm_strided_batched(
+            self.blas,
+            s.seq,
+            h / s.heads,
+            s.seq,
+            s.micro_bs * heads_p,
+            d,
+        )?;
+        ctx.cublas_gemm_ex(self.blas, bs, h, hp, d)?; // output projection
+        if s.sp {
+            self.sp_reduce_scatter(ctx, act_bytes)?;
+        } else {
+            self.tp_allreduce(ctx, act_bytes)?;
+        }
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 8)?; // bias+dropout+residual
+        } else {
+            ctx.launch_kernel(KernelKind::FusedDropout { numel: shard_rows * h }, self.compute)?;
+            self.ew(ctx, shard_rows * h, 2)?; // residual add
+        }
+
+        // --- MLP block ---
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 11)?;
+        } else {
+            ctx.launch_kernel(
+                KernelKind::LayerNormForward { rows: shard_rows, cols: h },
+                self.compute,
+            )?;
+        }
+        if s.sp {
+            self.sp_all_gather(ctx, act_bytes)?;
+        }
+        ctx.cublas_gemm_ex(self.blas, bs, ffnp, h, d)?; // fc1
+        if s.gated {
+            ctx.cublas_gemm_ex(self.blas, bs, ffnp, h, d)?; // gate proj
+            if s.compiled {
+                self.fused(ctx, bs * ffnp, 7)?; // silu * gate
+            } else {
+                self.ew(ctx, bs * ffnp, 2)?;
+            }
+        } else if s.compiled {
+            self.fused(ctx, bs * ffnp, 5)?; // bias + gelu
+        } else {
+            self.ew(ctx, bs * ffnp, 1)?;
+        }
+        ctx.cublas_gemm_ex(self.blas, bs, h, ffnp, d)?; // fc2
+        if s.sp {
+            self.sp_reduce_scatter(ctx, act_bytes)?;
+        } else {
+            self.tp_allreduce(ctx, act_bytes)?;
+        }
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 8)?;
+        } else {
+            ctx.launch_kernel(KernelKind::FusedDropout { numel: shard_rows * h }, self.compute)?;
+            self.ew(ctx, shard_rows * h, 2)?;
+        }
+        Ok(())
+    }
+
+    /// Backward pass of one transformer layer (dgrad + wgrad GEMMs, the
+    /// reverse pointwise chain, and the mirrored TP collectives).
+    pub fn backward_layer(&self, ctx: &mut CudaContext) -> CudaResult<()> {
+        let s = &self.shape;
+        let bs = s.tokens();
+        let h = s.hidden;
+        let hp = h / s.tp;
+        let ffnp = s.ffn / s.tp;
+        let heads_p = (s.heads / s.tp).max(1);
+        let d = s.dtype;
+        let act_bytes = s.act_tensor_bytes();
+        let shard_rows = if s.sp { bs / s.tp } else { bs };
+        ctx.host_work(self.host_work_per_layer);
+
+        // --- MLP backward ---
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 7)?; // dropout+residual bwd
+        } else {
+            self.ew(ctx, shard_rows * h, 2)?;
+        }
+        if s.sp {
+            self.sp_all_gather(ctx, act_bytes)?; // gather dgrad
+        }
+        ctx.cublas_gemm_ex(self.blas, bs, ffnp, h, d)?; // fc2 dgrad
+        ctx.cublas_gemm_ex(self.blas, ffnp, h, bs, d)?; // fc2 wgrad
+        if s.compiled {
+            self.fused(ctx, bs * ffnp, 6)?; // gelu bwd
+        } else {
+            self.ew(ctx, bs * ffnp, 2)?;
+        }
+        if s.gated {
+            ctx.cublas_gemm_ex(self.blas, bs, h, ffnp, d)?; // gate dgrad
+            ctx.cublas_gemm_ex(self.blas, h, ffnp, bs, d)?; // gate wgrad
+        }
+        ctx.cublas_gemm_ex(self.blas, bs, h, ffnp, d)?; // fc1 dgrad
+        ctx.cublas_gemm_ex(self.blas, h, ffnp, bs, d)?; // fc1 wgrad
+        if s.sp {
+            self.sp_reduce_scatter(ctx, act_bytes)?;
+        } else {
+            self.tp_allreduce(ctx, act_bytes)?;
+        }
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 10)?; // layernorm bwd fused
+        } else {
+            ctx.launch_kernel(
+                KernelKind::LayerNormBackwardGamma { rows: shard_rows, cols: h },
+                self.compute,
+            )?;
+            ctx.launch_kernel(
+                KernelKind::LayerNormBackwardInput { rows: shard_rows, cols: h },
+                self.compute,
+            )?;
+        }
+
+        // --- Attention backward ---
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 7)?;
+        } else {
+            self.ew(ctx, shard_rows * h, 2)?;
+        }
+        if s.sp {
+            self.sp_all_gather(ctx, act_bytes)?;
+        }
+        ctx.cublas_gemm_ex(self.blas, bs, hp, h, d)?; // out-proj dgrad
+        ctx.cublas_gemm_ex(self.blas, hp, h, bs, d)?; // out-proj wgrad
+        // Context matmul backward (two batched GEMMs).
+        ctx.cublas_gemm_strided_batched(
+            self.blas,
+            s.seq,
+            s.seq,
+            h / s.heads,
+            s.micro_bs * heads_p,
+            d,
+        )?;
+        ctx.cublas_gemm_strided_batched(
+            self.blas,
+            s.seq,
+            h / s.heads,
+            s.seq,
+            s.micro_bs * heads_p,
+            d,
+        )?;
+        let attn_numel = s.micro_bs * heads_p * s.seq * s.seq;
+        if s.compiled {
+            self.fused(ctx, attn_numel, 8)?;
+        } else {
+            ctx.launch_kernel(
+                KernelKind::VectorizedElementwise { numel: attn_numel, dtype: d },
+                self.compute,
+            )?; // dropout bwd
+            ctx.launch_kernel(
+                KernelKind::SoftmaxBackward {
+                    rows: s.micro_bs * heads_p * s.seq,
+                    cols: s.seq,
+                    masked: s.causal,
+                },
+                self.compute,
+            )?;
+        }
+        // Scores matmul backward (two batched GEMMs).
+        ctx.cublas_gemm_strided_batched(
+            self.blas,
+            s.seq,
+            h / s.heads,
+            s.seq,
+            s.micro_bs * heads_p,
+            d,
+        )?;
+        ctx.cublas_gemm_strided_batched(
+            self.blas,
+            h / s.heads,
+            s.seq,
+            s.seq,
+            s.micro_bs * heads_p,
+            d,
+        )?;
+        ctx.cublas_gemm_ex(self.blas, bs, h, 3 * hp, d)?; // QKV dgrad
+        ctx.cublas_gemm_ex(self.blas, 3 * hp, h, bs, d)?; // QKV wgrad
+        if s.sp {
+            self.sp_reduce_scatter(ctx, act_bytes)?;
+        } else {
+            self.tp_allreduce(ctx, act_bytes)?;
+        }
+        if s.compiled {
+            self.fused(ctx, shard_rows * h, 10)?;
+        } else {
+            ctx.launch_kernel(
+                KernelKind::LayerNormBackwardGamma { rows: shard_rows, cols: h },
+                self.compute,
+            )?;
+            ctx.launch_kernel(
+                KernelKind::LayerNormBackwardInput { rows: shard_rows, cols: h },
+                self.compute,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Embedding + positional encoding forward (first pipeline block).
+    pub fn embedding_forward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
+        let s = &self.shape;
+        ctx.launch_kernel(
+            KernelKind::EmbeddingForward { tokens: s.tokens(), hidden: s.hidden },
+            self.compute,
+        )?;
+        self.ew(ctx, s.tokens() * s.hidden, 2)?; // + positional embedding
+        ctx.launch_kernel(KernelKind::FusedDropout { numel: s.tokens() * s.hidden }, self.compute)
+    }
+
+    /// Embedding backward (scatter-add of token gradients).
+    pub fn embedding_backward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
+        let s = &self.shape;
+        ctx.launch_kernel(
+            KernelKind::EmbeddingBackward { tokens: s.tokens(), hidden: s.hidden },
+            self.compute,
+        )?;
+        self.ew(ctx, s.tokens() * s.hidden, 1)
+    }
+
+    /// LM head + cross-entropy forward (last pipeline block). Emits the
+    /// vocabulary-parallel loss reduction when TP is active.
+    pub fn head_forward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
+        let s = &self.shape;
+        let tokens = s.tokens();
+        ctx.launch_kernel(KernelKind::LayerNormForward { rows: tokens, cols: s.hidden }, self.compute)?;
+        ctx.cublas_gemm_ex(self.blas, tokens, s.vocab / s.tp, s.hidden, s.dtype)?;
+        ctx.launch_kernel(
+            KernelKind::CrossEntropyForward { tokens, vocab: s.vocab / s.tp },
+            self.compute,
+        )?;
+        if s.tp > 1 {
+            // Vocab-parallel softmax statistics (max + sum).
+            self.tp_allreduce(ctx, tokens * 8)?;
+        }
+        ctx.launch_kernel(KernelKind::Reduce { numel: tokens, dtype: Dtype::Fp32 }, self.compute)
+    }
+
+    /// LM head + cross-entropy backward.
+    pub fn head_backward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
+        let s = &self.shape;
+        let tokens = s.tokens();
+        ctx.launch_kernel(
+            KernelKind::CrossEntropyBackward { tokens, vocab: s.vocab / s.tp },
+            self.compute,
+        )?;
+        ctx.cublas_gemm_ex(self.blas, tokens, s.hidden, s.vocab / s.tp, s.dtype)?; // dgrad
+        ctx.cublas_gemm_ex(self.blas, s.vocab / s.tp, s.hidden, tokens, s.dtype)?; // wgrad
+        ctx.launch_kernel(
+            KernelKind::LayerNormBackwardGamma { rows: tokens, cols: s.hidden },
+            self.compute,
+        )?;
+        ctx.launch_kernel(
+            KernelKind::LayerNormBackwardInput { rows: tokens, cols: s.hidden },
+            self.compute,
+        )
+    }
+
+    /// Adam optimizer step over `param_elems` local elements, plus the
+    /// grad-norm / loss-scale bookkeeping kernels.
+    pub fn optimizer_step(&self, ctx: &mut CudaContext, param_elems: u64) -> CudaResult<()> {
+        ctx.host_work(self.host_work_per_layer);
+        ctx.launch_kernel(
+            KernelKind::Reduce { numel: param_elems, dtype: Dtype::Fp32 },
+            self.compute,
+        )?; // grad norm
+        ctx.launch_kernel(
+            KernelKind::MultiTensorApply { numel: param_elems, ops_per_elem: 4 },
+            self.compute,
+        )?; // fused Adam
+        ctx.launch_kernel(
+            KernelKind::VectorizedElementwise { numel: param_elems, dtype: self.shape.dtype },
+            self.compute,
+        ) // master -> model param cast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_cuda::NcclUniqueId;
+    use maya_hw::GpuSpec;
+
+    fn shape(tp: u64, sp: bool, compiled: bool) -> LayerShape {
+        LayerShape {
+            micro_bs: 2,
+            seq: 128,
+            hidden: 256,
+            heads: 8,
+            ffn: 1024,
+            vocab: 1024,
+            tp,
+            sp,
+            causal: true,
+            gated: false,
+            dtype: Dtype::Bf16,
+            compiled,
+        }
+    }
+
+    fn emitter(ctx: &mut CudaContext, tp: u64, sp: bool, compiled: bool) -> TransformerEmitter {
+        let blas = ctx.cublas_create();
+        let tp_comm = if tp > 1 {
+            let uid = NcclUniqueId::from_members(&[0, 1]);
+            Some(ctx.nccl_comm_init_rank(uid, tp as u32, 0).unwrap())
+        } else {
+            None
+        };
+        TransformerEmitter {
+            shape: shape(tp, sp, compiled),
+            blas,
+            tp_comm,
+            compute: CudaStream::DEFAULT,
+            host_work_per_layer: SimTime::from_us(15.0),
+        }
+    }
+
+    fn kernel_names(ctx: CudaContext) -> Vec<&'static str> {
+        ctx.into_trace().events.iter().map(|e| e.op.name()).collect()
+    }
+
+    #[test]
+    fn forward_has_four_gemms_and_two_allreduces_with_tp() {
+        let mut ctx = CudaContext::new(0, GpuSpec::h100());
+        let e = emitter(&mut ctx, 2, false, false);
+        e.forward_layer(&mut ctx).unwrap();
+        let names = kernel_names(ctx);
+        let gemms = names.iter().filter(|n| n.starts_with("cublasGemm")).count();
+        let batched = names.iter().filter(|n| *n == &"cublasSgemmStridedBatched").count();
+        let ars = names.iter().filter(|n| *n == &"ncclAllReduce").count();
+        assert_eq!(gemms, 4, "{names:?}");
+        assert_eq!(batched, 2);
+        assert_eq!(ars, 2);
+    }
+
+    #[test]
+    fn backward_has_roughly_double_gemm_work() {
+        let mut ctx = CudaContext::new(0, GpuSpec::h100());
+        let e = emitter(&mut ctx, 1, false, false);
+        e.forward_layer(&mut ctx).unwrap();
+        let fwd_flops: f64 = {
+            let t = std::mem::replace(&mut ctx, CudaContext::new(0, GpuSpec::h100()));
+            t.into_trace().kernels().filter_map(|ev| ev.op.as_kernel().map(|k| k.flops())).sum()
+        };
+        let e2 = emitter(&mut ctx, 1, false, false);
+        e2.backward_layer(&mut ctx).unwrap();
+        let bwd_flops: f64 =
+            ctx.into_trace().kernels().filter_map(|ev| ev.op.as_kernel().map(|k| k.flops())).sum();
+        let ratio = bwd_flops / fwd_flops;
+        assert!((1.6..2.4).contains(&ratio), "bwd/fwd flops ratio {ratio}");
+    }
+
+    #[test]
+    fn sequence_parallel_swaps_allreduce_for_rs_ag() {
+        let mut ctx = CudaContext::new(0, GpuSpec::h100());
+        let e = emitter(&mut ctx, 2, true, false);
+        e.forward_layer(&mut ctx).unwrap();
+        let names = kernel_names(ctx);
+        assert!(!names.contains(&"ncclAllReduce"), "{names:?}");
+        assert_eq!(names.iter().filter(|n| *n == &"ncclAllGather").count(), 2);
+        assert_eq!(names.iter().filter(|n| *n == &"ncclReduceScatter").count(), 2);
+    }
+
+    #[test]
+    fn compiled_mode_reduces_kernel_count_keeps_gemms() {
+        let mut c_eager = CudaContext::new(0, GpuSpec::h100());
+        let e = emitter(&mut c_eager, 1, false, false);
+        e.forward_layer(&mut c_eager).unwrap();
+        e.backward_layer(&mut c_eager).unwrap();
+        let eager = kernel_names(c_eager);
+
+        let mut c_comp = CudaContext::new(0, GpuSpec::h100());
+        let e2 = emitter(&mut c_comp, 1, false, true);
+        e2.forward_layer(&mut c_comp).unwrap();
+        e2.backward_layer(&mut c_comp).unwrap();
+        let compiled = kernel_names(c_comp);
+
+        assert!(compiled.len() < eager.len(), "{} vs {}", compiled.len(), eager.len());
+        let g = |v: &Vec<&str>| v.iter().filter(|n| n.starts_with("cublas")).count();
+        assert_eq!(g(&eager), g(&compiled), "fusion must not change GEMM count");
+        assert!(compiled.contains(&"triton"));
+        assert!(!compiled.contains(&"cuApplyLayerNorm"));
+    }
+
+    #[test]
+    fn head_emits_vocab_parallel_loss_reduction() {
+        let mut ctx = CudaContext::new(0, GpuSpec::h100());
+        let e = emitter(&mut ctx, 2, false, false);
+        e.head_forward(&mut ctx).unwrap();
+        let names = kernel_names(ctx);
+        assert!(names.contains(&"nll_loss_forward_reduce_cuda_kernel_2d"));
+        assert!(names.contains(&"ncclAllReduce"));
+    }
+
+    #[test]
+    fn optimizer_step_kernels() {
+        let mut ctx = CudaContext::new(0, GpuSpec::h100());
+        let e = emitter(&mut ctx, 1, false, false);
+        e.optimizer_step(&mut ctx, 1_000_000).unwrap();
+        let names = kernel_names(ctx);
+        assert!(names.contains(&"multi_tensor_apply_kernel"));
+        assert!(names.contains(&"reduce_kernel"));
+    }
+
+    #[test]
+    fn gated_mlp_adds_gemm() {
+        let mut a = CudaContext::new(0, GpuSpec::h100());
+        let mut e = emitter(&mut a, 1, false, false);
+        e.forward_layer(&mut a).unwrap();
+        let base = kernel_names(a).iter().filter(|n| n.starts_with("cublas")).count();
+        let mut b = CudaContext::new(0, GpuSpec::h100());
+        e = emitter(&mut b, 1, false, false);
+        e.shape.gated = true;
+        e.forward_layer(&mut b).unwrap();
+        let gated = kernel_names(b).iter().filter(|n| n.starts_with("cublas")).count();
+        assert_eq!(gated, base + 1);
+    }
+}

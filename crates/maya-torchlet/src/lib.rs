@@ -1,0 +1,26 @@
+//! `torchlet`: a miniature deep-learning training framework that programs
+//! against the virtual CUDA device in `maya-cuda`.
+//!
+//! In the paper, Maya traces *unmodified* PyTorch / Megatron-LM /
+//! DeepSpeed scripts through an `LD_PRELOAD` shim. This crate is the
+//! substitute training stack for that role (DESIGN.md §2): a model zoo
+//! (GPT-3 family, Llama-2, BERT/ViT/T5, ResNet), a Megatron-style 3D
+//! parallel engine (TP, PP with 1F1B and interleaving, sequence
+//! parallelism, distributed optimizer, activation recomputation, gradient
+//! accumulation), and data-parallel flavors (DDP, DeepSpeed ZeRO 1-3 with
+//! activation offload, FSDP) — all of which express the workload purely
+//! as device API calls, exactly the surface the emulator intercepts.
+
+pub mod engine;
+pub mod frameworks;
+pub mod layers;
+pub mod memory;
+pub mod models;
+pub mod parallel;
+pub mod schedule;
+pub mod vision;
+pub mod workload;
+
+pub use models::{ModelSpec, ResNetConfig, TransformerConfig};
+pub use parallel::{ConfigError, ParallelConfig, RankTopology};
+pub use workload::{FrameworkFlavor, TrainingJob};

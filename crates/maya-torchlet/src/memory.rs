@@ -1,0 +1,177 @@
+//! Memory accounting for transformer training state.
+//!
+//! The emulator tracks every `cudaMalloc`/`cudaFree`, so peak memory and
+//! OOM events emerge from *when* the engine allocates and frees — the
+//! formulas here only size individual buffers. Activation sizing follows
+//! Korthikanti et al. ("Reducing Activation Recomputation in Large
+//! Transformer Models"): per layer, `sbh(10 + 24/t + 5as/(ht))` bytes of
+//! half-precision activations without sequence parallelism, and
+//! `sbh(34/t + 5as/(ht))` with it; full recomputation stores only the
+//! 2·sbh-byte layer input.
+
+use crate::models::TransformerConfig;
+use crate::parallel::ParallelConfig;
+
+/// Per-layer parameter elements of a transformer layer, on one
+/// tensor-parallel shard.
+pub fn layer_param_elems(cfg: &TransformerConfig, tp: u32) -> u64 {
+    let h = cfg.hidden as u64;
+    let ffn = cfg.ffn as u64;
+    let t = tp as u64;
+    let attn = 4 * h * h / t;
+    let mlp = if cfg.gated_mlp { 3 * h * ffn / t } else { 2 * h * ffn / t };
+    let norms = 4 * h;
+    attn + mlp + norms
+}
+
+/// Embedding (and tied LM head) parameter elements on one TP shard.
+pub fn embedding_param_elems(cfg: &TransformerConfig, tp: u32) -> u64 {
+    (cfg.vocab as u64 / tp as u64) * cfg.hidden as u64 + cfg.seq_len as u64 * cfg.hidden as u64
+}
+
+/// Bytes of stored activations for one layer of one microbatch.
+pub fn act_bytes_per_layer(
+    cfg: &TransformerConfig,
+    micro_bs: u32,
+    parallel: &ParallelConfig,
+) -> u64 {
+    let s = cfg.seq_len as f64;
+    let b = micro_bs as f64;
+    let h = cfg.hidden as f64;
+    let a = cfg.heads as f64;
+    let t = parallel.tp as f64;
+    let sbh = s * b * h;
+    if parallel.activation_recompute {
+        // Only the layer input survives the forward pass.
+        return (2.0 * sbh / if parallel.sequence_parallel { t } else { 1.0 }) as u64;
+    }
+    let replicated = if parallel.sequence_parallel { 10.0 / t } else { 10.0 };
+    let sharded = 24.0 / t;
+    let attn_matrices = 5.0 * a * s / (h * t);
+    (sbh * (replicated + sharded + attn_matrices)) as u64
+}
+
+/// Bytes of logits + loss workspace on the last pipeline stage for one
+/// microbatch (bf16 logits plus softmax statistics).
+pub fn logits_bytes(cfg: &TransformerConfig, micro_bs: u32, tp: u32) -> u64 {
+    let tokens = micro_bs as u64 * cfg.seq_len as u64;
+    let shard_vocab = cfg.vocab as u64 / tp as u64;
+    // Logits (2B) + fp32 softmax copy for the fused CE kernel.
+    tokens * shard_vocab * (2 + 4)
+}
+
+/// Sizes of the persistent training-state buffers on one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateBytes {
+    /// Half-precision model parameters.
+    pub params: u64,
+    /// Gradient buffer (fp32 main grads, Megatron-style).
+    pub grads: u64,
+    /// Optimizer state: fp32 master params + Adam moments.
+    pub optimizer: u64,
+}
+
+impl StateBytes {
+    /// Total persistent bytes.
+    pub fn total(&self) -> u64 {
+        self.params + self.grads + self.optimizer
+    }
+}
+
+/// Computes persistent state sizes for `param_elems` local parameter
+/// elements, honoring the distributed optimizer / ZeRO stage.
+///
+/// `zero_stage`: 0 = none, 1 = optimizer-state sharding (Megatron's
+/// distributed optimizer), 2 = +gradient sharding, 3 = +parameter
+/// sharding (FSDP).
+pub fn state_bytes(param_elems: u64, dp: u32, zero_stage: u8) -> StateBytes {
+    let dp = dp.max(1) as u64;
+    let params = if zero_stage >= 3 { 2 * param_elems / dp } else { 2 * param_elems };
+    let grads = if zero_stage >= 2 { 4 * param_elems / dp } else { 4 * param_elems };
+    let optimizer = if zero_stage >= 1 { 12 * param_elems / dp } else { 12 * param_elems };
+    StateBytes { params, grads, optimizer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+
+    fn gpt() -> TransformerConfig {
+        *ModelSpec::gpt3_2_7b().transformer().unwrap()
+    }
+
+    #[test]
+    fn layer_params_shard_by_tp() {
+        let c = gpt();
+        let full = layer_param_elems(&c, 1);
+        let half = layer_param_elems(&c, 2);
+        // Norms are replicated, so the shard is slightly more than half.
+        assert!(half > full / 2);
+        assert!(half < full * 11 / 20);
+    }
+
+    #[test]
+    fn total_params_consistent_with_model_count() {
+        let c = gpt();
+        let total = layer_param_elems(&c, 1) * c.layers as u64 + embedding_param_elems(&c, 1);
+        let reported = ModelSpec::gpt3_2_7b().num_params();
+        let ratio = total as f64 / reported as f64;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn activation_formula_matches_korthikanti() {
+        let c = gpt();
+        let p = ParallelConfig { tp: 2, ..Default::default() };
+        let b = 4u32;
+        let got = act_bytes_per_layer(&c, b, &p);
+        let (s, bb, h, a, t) =
+            (c.seq_len as f64, b as f64, c.hidden as f64, c.heads as f64, 2.0f64);
+        let want = s * bb * h * (10.0 + 24.0 / t + 5.0 * a * s / (h * t));
+        assert!((got as f64 - want).abs() / want < 1e-6);
+    }
+
+    #[test]
+    fn sequence_parallel_reduces_activations() {
+        let c = gpt();
+        let base = ParallelConfig { tp: 4, ..Default::default() };
+        let sp = ParallelConfig { tp: 4, sequence_parallel: true, ..Default::default() };
+        assert!(act_bytes_per_layer(&c, 4, &sp) < act_bytes_per_layer(&c, 4, &base));
+    }
+
+    #[test]
+    fn recompute_stores_only_inputs() {
+        let c = gpt();
+        let rc = ParallelConfig { tp: 1, activation_recompute: true, ..Default::default() };
+        let got = act_bytes_per_layer(&c, 4, &rc);
+        let want = 2 * 4 * c.seq_len as u64 * c.hidden as u64;
+        assert_eq!(got, want);
+        let full = act_bytes_per_layer(&c, 4, &ParallelConfig::default());
+        assert!(got * 10 < full, "recompute should drop >10x activation memory");
+    }
+
+    #[test]
+    fn zero_stages_shard_progressively() {
+        let n = 1_000_000u64;
+        let none = state_bytes(n, 8, 0);
+        let z1 = state_bytes(n, 8, 1);
+        let z2 = state_bytes(n, 8, 2);
+        let z3 = state_bytes(n, 8, 3);
+        assert_eq!(none.total(), 18 * n);
+        assert!(z1.optimizer == none.optimizer / 8 && z1.params == none.params);
+        assert!(z2.grads == none.grads / 8 && z2.optimizer == z1.optimizer);
+        assert!(z3.params == none.params / 8);
+        assert!(none.total() > z1.total() && z1.total() > z2.total() && z2.total() > z3.total());
+    }
+
+    #[test]
+    fn logits_dominated_by_vocab_shard() {
+        let c = gpt();
+        let full = logits_bytes(&c, 1, 1);
+        let shard = logits_bytes(&c, 1, 8);
+        assert_eq!(full / 8, shard);
+        // ~2048 tokens * 51200 vocab * 6B ≈ 600 MiB.
+        assert!(full > 500 * 1024 * 1024 && full < 800 * 1024 * 1024, "{full}");
+    }
+}

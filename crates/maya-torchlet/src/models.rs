@@ -1,0 +1,323 @@
+//! Model zoo: the architectures evaluated in the paper.
+//!
+//! GPT-3 variants (2.7B / 18.4B / 145.6B plus 1.3B for Table 3), Llama-2
+//! 7B, and the Table 4 generality set (ResNet, BERT, ViT, T5, ...). The
+//! transformer configs carry exact layer/hidden/head counts so kernel
+//! shapes match what Megatron-LM would launch.
+
+use maya_hw::ModelFlopsSpec;
+
+/// A decoder/encoder transformer configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TransformerConfig {
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Hidden size.
+    pub hidden: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Feed-forward inner size (4h for GPT, 8/3·h for SwiGLU models).
+    pub ffn: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Maximum (and emitted) sequence length.
+    pub seq_len: u32,
+    /// Whether attention is causal (decoder) — affects softmax masking.
+    pub causal: bool,
+    /// Whether the MLP is gated (SwiGLU: three matmuls instead of two).
+    pub gated_mlp: bool,
+}
+
+impl TransformerConfig {
+    /// Approximate parameter count.
+    pub fn num_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let l = self.layers as u64;
+        let v = self.vocab as u64;
+        let ffn = self.ffn as u64;
+        let attn = 4 * h * h;
+        let mlp = if self.gated_mlp { 3 * h * ffn } else { 2 * h * ffn };
+        let norms = 4 * h;
+        l * (attn + mlp + norms) + v * h + self.seq_len as u64 * h
+    }
+
+    /// FLOPs-accounting spec for a given global batch.
+    pub fn flops_spec(&self, global_batch: u32, activation_recompute: bool) -> ModelFlopsSpec {
+        ModelFlopsSpec {
+            layers: self.layers as u64,
+            hidden: self.hidden as u64,
+            vocab: self.vocab as u64,
+            seq_len: self.seq_len as u64,
+            global_batch: global_batch as u64,
+            activation_recompute,
+        }
+    }
+}
+
+/// A ResNet-style vision configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResNetConfig {
+    /// Bottleneck blocks per stage (ResNet-152: `[3, 8, 36, 3]`).
+    pub blocks: [u32; 4],
+    /// Input image resolution (square).
+    pub image_size: u32,
+    /// Number of classes.
+    pub classes: u32,
+}
+
+impl ResNetConfig {
+    /// ResNet-152.
+    pub fn resnet152() -> Self {
+        ResNetConfig { blocks: [3, 8, 36, 3], image_size: 224, classes: 1000 }
+    }
+
+    /// ResNet-50.
+    pub fn resnet50() -> Self {
+        ResNetConfig { blocks: [3, 4, 6, 3], image_size: 224, classes: 1000 }
+    }
+
+    /// Approximate parameter count (ResNet-152 ≈ 60M).
+    pub fn num_params(&self) -> u64 {
+        let mut p: u64 = 64 * 3 * 49 + 64; // stem
+        let widths = [64u64, 128, 256, 512];
+        for (i, &n) in self.blocks.iter().enumerate() {
+            let w = widths[i];
+            let inner = w;
+            let out = 4 * w;
+            // Bottleneck: 1x1 reduce, 3x3, 1x1 expand.
+            let per = inner * out + inner * inner * 9 + inner * out + 3 * out;
+            p += n as u64 * per;
+        }
+        p + 2048 * self.classes as u64
+    }
+}
+
+/// The architectures supported by the torchlet model zoo.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelSpec {
+    /// GPT-style decoder-only transformer.
+    Gpt(TransformerConfig),
+    /// Llama-style decoder (SwiGLU, untied embeddings).
+    Llama(TransformerConfig),
+    /// BERT-style encoder.
+    Bert(TransformerConfig),
+    /// Vision transformer (encoder over patches).
+    ViT(TransformerConfig),
+    /// T5-style encoder-decoder (emitted as two stacks).
+    T5(TransformerConfig),
+    /// ResNet-style CNN.
+    ResNet(ResNetConfig),
+}
+
+impl ModelSpec {
+    /// GPT-3 125M (smoke-test scale).
+    pub fn gpt3_125m() -> Self {
+        ModelSpec::Gpt(TransformerConfig {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            vocab: 51200,
+            seq_len: 1024,
+            causal: true,
+            gated_mlp: false,
+        })
+    }
+
+    /// GPT-3 1.3B (Table 3).
+    pub fn gpt3_1_3b() -> Self {
+        ModelSpec::Gpt(TransformerConfig {
+            layers: 24,
+            hidden: 2048,
+            heads: 16,
+            ffn: 8192,
+            vocab: 51200,
+            seq_len: 2048,
+            causal: true,
+            gated_mlp: false,
+        })
+    }
+
+    /// GPT-3 2.7B (§7.1).
+    pub fn gpt3_2_7b() -> Self {
+        ModelSpec::Gpt(TransformerConfig {
+            layers: 32,
+            hidden: 2560,
+            heads: 32,
+            ffn: 10240,
+            vocab: 51200,
+            seq_len: 2048,
+            causal: true,
+            gated_mlp: false,
+        })
+    }
+
+    /// GPT-3 18.4B (§7.1).
+    pub fn gpt3_18_4b() -> Self {
+        ModelSpec::Gpt(TransformerConfig {
+            layers: 40,
+            hidden: 6144,
+            heads: 48,
+            ffn: 24576,
+            vocab: 51200,
+            seq_len: 2048,
+            causal: true,
+            gated_mlp: false,
+        })
+    }
+
+    /// GPT-3 145.6B (§7.1, hyperscale experiments).
+    pub fn gpt3_145_6b() -> Self {
+        ModelSpec::Gpt(TransformerConfig {
+            layers: 80,
+            hidden: 12288,
+            heads: 96,
+            ffn: 49152,
+            vocab: 51200,
+            seq_len: 2048,
+            causal: true,
+            gated_mlp: false,
+        })
+    }
+
+    /// Llama-2 7B (Table 3's 32-GPU rows).
+    pub fn llama2_7b() -> Self {
+        ModelSpec::Llama(TransformerConfig {
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            ffn: 11008,
+            vocab: 32000,
+            seq_len: 4096,
+            causal: true,
+            gated_mlp: true,
+        })
+    }
+
+    /// BERT-large (Table 4).
+    pub fn bert_large() -> Self {
+        ModelSpec::Bert(TransformerConfig {
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ffn: 4096,
+            vocab: 30522,
+            seq_len: 512,
+            causal: false,
+            gated_mlp: false,
+        })
+    }
+
+    /// ViT-large (Table 4).
+    pub fn vit_large() -> Self {
+        ModelSpec::ViT(TransformerConfig {
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ffn: 4096,
+            vocab: 1000,
+            seq_len: 577,
+            causal: false,
+            gated_mlp: false,
+        })
+    }
+
+    /// T5-large (Table 4); layer count covers encoder+decoder halves.
+    pub fn t5_large() -> Self {
+        ModelSpec::T5(TransformerConfig {
+            layers: 48,
+            hidden: 1024,
+            heads: 16,
+            ffn: 4096,
+            vocab: 32128,
+            seq_len: 512,
+            causal: false,
+            gated_mlp: false,
+        })
+    }
+
+    /// ResNet-152 (Figure 10).
+    pub fn resnet152() -> Self {
+        ModelSpec::ResNet(ResNetConfig::resnet152())
+    }
+
+    /// The transformer config, if this is a transformer.
+    pub fn transformer(&self) -> Option<&TransformerConfig> {
+        match self {
+            ModelSpec::Gpt(c)
+            | ModelSpec::Llama(c)
+            | ModelSpec::Bert(c)
+            | ModelSpec::ViT(c)
+            | ModelSpec::T5(c) => Some(c),
+            ModelSpec::ResNet(_) => None,
+        }
+    }
+
+    /// Approximate parameter count.
+    pub fn num_params(&self) -> u64 {
+        match self {
+            ModelSpec::ResNet(c) => c.num_params(),
+            other => other.transformer().map(|t| t.num_params()).unwrap_or(0),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            ModelSpec::Gpt(c) => format!("GPT3-{:.1}B", c.num_params() as f64 / 1e9),
+            ModelSpec::Llama(c) => format!("Llama-{:.1}B", c.num_params() as f64 / 1e9),
+            ModelSpec::Bert(_) => "BERT-large".to_string(),
+            ModelSpec::ViT(_) => "ViT-large".to_string(),
+            ModelSpec::T5(_) => "T5-large".to_string(),
+            ModelSpec::ResNet(c) => format!("ResNet{}", 2 + c.blocks.iter().sum::<u32>() * 3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_model_names() {
+        let check = |m: ModelSpec, lo: f64, hi: f64| {
+            let p = m.num_params() as f64 / 1e9;
+            assert!(p > lo && p < hi, "{}: {p}B not in ({lo}, {hi})", m.name());
+        };
+        check(ModelSpec::gpt3_1_3b(), 1.2, 1.5);
+        check(ModelSpec::gpt3_2_7b(), 2.5, 2.9);
+        check(ModelSpec::gpt3_18_4b(), 17.5, 19.5);
+        check(ModelSpec::gpt3_145_6b(), 140.0, 152.0);
+        check(ModelSpec::llama2_7b(), 6.2, 7.5);
+    }
+
+    #[test]
+    fn resnet152_params_about_60m() {
+        let p = ResNetConfig::resnet152().num_params() as f64 / 1e6;
+        assert!(p > 45.0 && p < 75.0, "{p}M");
+    }
+
+    #[test]
+    fn resnet_naming() {
+        assert_eq!(ModelSpec::resnet152().name(), "ResNet152");
+        assert_eq!(ModelSpec::ResNet(ResNetConfig::resnet50()).name(), "ResNet50");
+    }
+
+    #[test]
+    fn flops_spec_carries_recompute() {
+        let t = match ModelSpec::gpt3_2_7b() {
+            ModelSpec::Gpt(c) => c,
+            _ => unreachable!(),
+        };
+        let spec = t.flops_spec(256, true);
+        assert!(spec.activation_recompute);
+        assert_eq!(spec.global_batch, 256);
+        assert_eq!(spec.layers, 32);
+    }
+
+    #[test]
+    fn transformer_accessor() {
+        assert!(ModelSpec::gpt3_125m().transformer().is_some());
+        assert!(ModelSpec::resnet152().transformer().is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Parallelism configuration (the paper's Table 5 knob space) and
+//! Megatron-style rank topology.
+
+use std::fmt;
+
+/// The training-recipe knobs Maya-Search explores (Table 5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParallelConfig {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+    /// Microbatch multiplier: `num_microbatches = multiplier * pp`.
+    pub microbatch_multiplier: u32,
+    /// Number of virtual pipeline stages per device (interleaved 1F1B).
+    pub virtual_stages: u32,
+    /// Full activation recomputation.
+    pub activation_recompute: bool,
+    /// Megatron sequence parallelism.
+    pub sequence_parallel: bool,
+    /// Distributed optimizer (ZeRO-1 style sharding of optimizer state).
+    pub distributed_optimizer: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            tp: 1,
+            pp: 1,
+            microbatch_multiplier: 1,
+            virtual_stages: 1,
+            activation_recompute: false,
+            sequence_parallel: false,
+            distributed_optimizer: false,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Number of microbatches per iteration.
+    pub fn num_microbatches(&self) -> u32 {
+        self.microbatch_multiplier * self.pp
+    }
+
+    /// Data-parallel degree for a given world size.
+    pub fn dp(&self, world: u32) -> u32 {
+        world / (self.tp * self.pp)
+    }
+}
+
+impl fmt::Display for ParallelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp{} pp{} mb×{} vs{}{}{}{}",
+            self.tp,
+            self.pp,
+            self.microbatch_multiplier,
+            self.virtual_stages,
+            if self.activation_recompute { " +recomp" } else { "" },
+            if self.sequence_parallel { " +seqpar" } else { "" },
+            if self.distributed_optimizer { " +distopt" } else { "" },
+        )
+    }
+}
+
+/// Reasons a configuration cannot run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `tp * pp` does not divide the world size.
+    WorldNotDivisible {
+        /// World size.
+        world: u32,
+        /// tp*pp product.
+        model_parallel: u32,
+    },
+    /// Global batch is not divisible by `dp * num_microbatches`.
+    BatchNotDivisible {
+        /// Global batch size.
+        global_batch: u32,
+        /// Required divisor.
+        divisor: u32,
+    },
+    /// Layer count is not divisible by `pp * virtual_stages`.
+    LayersNotDivisible {
+        /// Layer count.
+        layers: u32,
+        /// Required divisor.
+        divisor: u32,
+    },
+    /// TP degree exceeds attention heads or does not divide them.
+    HeadsNotDivisible {
+        /// Attention heads.
+        heads: u32,
+        /// Tensor-parallel degree.
+        tp: u32,
+    },
+    /// Sequence parallelism requires tensor parallelism.
+    SeqParallelNeedsTp,
+    /// Interleaving requires pipeline parallelism.
+    InterleaveNeedsPp,
+    /// TP groups should not span nodes in this topology.
+    TpSpansNodes {
+        /// Tensor-parallel degree.
+        tp: u32,
+        /// GPUs per node.
+        gpus_per_node: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::WorldNotDivisible { world, model_parallel } => {
+                write!(f, "world size {world} not divisible by tp*pp={model_parallel}")
+            }
+            ConfigError::BatchNotDivisible { global_batch, divisor } => {
+                write!(f, "global batch {global_batch} not divisible by dp*microbatches={divisor}")
+            }
+            ConfigError::LayersNotDivisible { layers, divisor } => {
+                write!(f, "{layers} layers not divisible by pp*virtual_stages={divisor}")
+            }
+            ConfigError::HeadsNotDivisible { heads, tp } => {
+                write!(f, "{heads} attention heads not divisible by tp={tp}")
+            }
+            ConfigError::SeqParallelNeedsTp => write!(f, "sequence parallelism requires tp > 1"),
+            ConfigError::InterleaveNeedsPp => {
+                write!(f, "virtual stages require pp > 1")
+            }
+            ConfigError::TpSpansNodes { tp, gpus_per_node } => {
+                write!(f, "tp={tp} spans nodes of {gpus_per_node} GPUs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Megatron rank topology: tp varies fastest, then dp, then pp.
+///
+/// Global rank `r` decomposes as
+/// `r = pp_rank * (tp * dp) + dp_rank * tp + tp_rank`.
+#[derive(Clone, Copy, Debug)]
+pub struct RankTopology {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Data-parallel degree.
+    pub dp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+}
+
+impl RankTopology {
+    /// Builds the topology for a world size and config.
+    pub fn new(config: &ParallelConfig, world: u32) -> Self {
+        RankTopology { tp: config.tp, dp: config.dp(world), pp: config.pp }
+    }
+
+    /// World size.
+    pub fn world(&self) -> u32 {
+        self.tp * self.dp * self.pp
+    }
+
+    /// Tensor-parallel rank of a global rank.
+    pub fn tp_rank(&self, rank: u32) -> u32 {
+        rank % self.tp
+    }
+
+    /// Data-parallel rank of a global rank.
+    pub fn dp_rank(&self, rank: u32) -> u32 {
+        (rank / self.tp) % self.dp
+    }
+
+    /// Pipeline-stage of a global rank.
+    pub fn pp_rank(&self, rank: u32) -> u32 {
+        rank / (self.tp * self.dp)
+    }
+
+    /// Reassembles a global rank from coordinates.
+    pub fn global_rank(&self, tp_rank: u32, dp_rank: u32, pp_rank: u32) -> u32 {
+        pp_rank * (self.tp * self.dp) + dp_rank * self.tp + tp_rank
+    }
+
+    /// Members of the tensor-parallel group containing `rank`.
+    pub fn tp_group(&self, rank: u32) -> Vec<u32> {
+        let (d, p) = (self.dp_rank(rank), self.pp_rank(rank));
+        (0..self.tp).map(|t| self.global_rank(t, d, p)).collect()
+    }
+
+    /// Members of the data-parallel group containing `rank`.
+    pub fn dp_group(&self, rank: u32) -> Vec<u32> {
+        let (t, p) = (self.tp_rank(rank), self.pp_rank(rank));
+        (0..self.dp).map(|d| self.global_rank(t, d, p)).collect()
+    }
+
+    /// Members of the pipeline group containing `rank` (stage order).
+    pub fn pp_group(&self, rank: u32) -> Vec<u32> {
+        let (t, d) = (self.tp_rank(rank), self.dp_rank(rank));
+        (0..self.pp).map(|p| self.global_rank(t, d, p)).collect()
+    }
+
+    /// The embedding group (first and last pipeline stage) for `rank`.
+    pub fn embedding_group(&self, rank: u32) -> Vec<u32> {
+        let (t, d) = (self.tp_rank(rank), self.dp_rank(rank));
+        if self.pp == 1 {
+            vec![self.global_rank(t, d, 0)]
+        } else {
+            vec![self.global_rank(t, d, 0), self.global_rank(t, d, self.pp - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn megatron_rank_order() {
+        // 2-way tp, 2-way dp, 2-way pp over 8 ranks.
+        let t = RankTopology { tp: 2, dp: 2, pp: 2 };
+        assert_eq!(t.world(), 8);
+        assert_eq!(t.tp_rank(5), 1);
+        assert_eq!(t.dp_rank(5), 0);
+        assert_eq!(t.pp_rank(5), 1);
+        assert_eq!(t.global_rank(1, 0, 1), 5);
+        assert_eq!(t.tp_group(0), vec![0, 1]);
+        assert_eq!(t.dp_group(0), vec![0, 2]);
+        assert_eq!(t.pp_group(0), vec![0, 4]);
+        assert_eq!(t.pp_group(3), vec![3, 7]);
+    }
+
+    #[test]
+    fn groups_partition_the_world() {
+        let t = RankTopology { tp: 4, dp: 2, pp: 2 };
+        let mut seen = vec![false; 16];
+        for leader in 0..16 {
+            for r in t.tp_group(leader) {
+                if t.tp_rank(leader) == 0 {
+                    seen[r as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "tp groups cover all ranks");
+        // Every rank belongs to exactly one tp group of size 4.
+        for r in 0..16 {
+            assert_eq!(t.tp_group(r).len(), 4);
+            assert!(t.tp_group(r).contains(&r));
+        }
+    }
+
+    #[test]
+    fn embedding_group_endpoints() {
+        let t = RankTopology { tp: 2, dp: 1, pp: 4 };
+        assert_eq!(t.embedding_group(0), vec![0, 6]);
+        assert_eq!(t.embedding_group(3), vec![1, 7]);
+        let single = RankTopology { tp: 1, dp: 2, pp: 1 };
+        assert_eq!(single.embedding_group(1), vec![1]);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let c = ParallelConfig { tp: 2, pp: 4, microbatch_multiplier: 2, ..Default::default() };
+        assert_eq!(c.num_microbatches(), 8);
+        assert_eq!(c.dp(32), 4);
+        let s = c.to_string();
+        assert!(s.contains("tp2") && s.contains("pp4"), "{s}");
+    }
+
+    #[test]
+    fn roundtrip_rank_decomposition() {
+        let t = RankTopology { tp: 2, dp: 4, pp: 2 };
+        for r in 0..t.world() {
+            let (tp, dp, pp) = (t.tp_rank(r), t.dp_rank(r), t.pp_rank(r));
+            assert_eq!(t.global_rank(tp, dp, pp), r);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! CNN (ResNet) kernel emission for the vision experiments (Figure 10).
+//!
+//! Emits the cuDNN descriptor/convolution call sequences, batch-norm and
+//! pooling kernels of a ResNet bottleneck stack, plus DDP gradient
+//! all-reduce — the workload shape of the paper's 8×A40 ResNet152 study.
+
+use maya_cuda::{CudaContext, CudaResult, CudaStream, CudnnConvDesc, CudnnHandle, NcclComm};
+use maya_trace::{Dtype, KernelKind, MemcpyKind, SimTime};
+
+use crate::models::ResNetConfig;
+
+/// One convolution site in the network, with its cached descriptor.
+struct ConvSite {
+    desc: CudnnConvDesc,
+    /// Output elements (for BN/ReLU sizing).
+    out_numel: u64,
+    /// Activation bytes to hold for backward.
+    act_bytes: u64,
+}
+
+/// Emits ResNet forward/backward iterations.
+pub struct ResNetEmitter {
+    cfg: ResNetConfig,
+    batch: u64,
+    dtype: Dtype,
+    compiled: bool,
+    cudnn: CudnnHandle,
+    sites: Vec<ConvSite>,
+    compute: CudaStream,
+}
+
+impl ResNetEmitter {
+    /// Builds the emitter, creating all cuDNN descriptors up front (as
+    /// PyTorch's cuDNN heuristics cache does on the first iteration).
+    pub fn new(
+        ctx: &mut CudaContext,
+        cfg: ResNetConfig,
+        batch: u64,
+        dtype: Dtype,
+        compiled: bool,
+    ) -> CudaResult<Self> {
+        let cudnn = ctx.cudnn_create();
+        let compute = CudaStream::DEFAULT;
+        ctx.cudnn_set_stream(cudnn, compute)?;
+        let mut sites = Vec::new();
+        let e = dtype.size_bytes();
+
+        let mut push = |ctx: &mut CudaContext,
+                        n: u64,
+                        c: u64,
+                        h: u64,
+                        w: u64,
+                        k: u64,
+                        r: u64,
+                        stride: u64|
+         -> CudaResult<()> {
+            let desc = ctx.cudnn_create_conv_descriptor(n, c, h, w, k, r, stride, dtype)?;
+            let (oh, ow) = (h / stride, w / stride);
+            let out_numel = n * k * oh * ow;
+            sites.push(ConvSite { desc, out_numel, act_bytes: out_numel * e });
+            Ok(())
+        };
+
+        // Stem: 7x7/2 conv on 224x224 input.
+        let img = cfg.image_size as u64;
+        push(ctx, batch, 3, img, img, 64, 7, 2)?;
+        let widths = [64u64, 128, 256, 512];
+        let mut ch_in = 64u64;
+        let mut res = img / 4; // after stem stride + maxpool
+        for (stage, &nblocks) in cfg.blocks.iter().enumerate() {
+            let w = widths[stage];
+            let out = w * 4;
+            for b in 0..nblocks as u64 {
+                let stride = if b == 0 && stage > 0 { 2 } else { 1 };
+                if b == 0 {
+                    // Downsample shortcut.
+                    push(ctx, batch, ch_in, res, res, out, 1, stride)?;
+                }
+                push(ctx, batch, ch_in, res, res, w, 1, stride)?; // 1x1 reduce
+                if stride == 2 {
+                    res /= 2;
+                }
+                push(ctx, batch, w, res, res, w, 3, 1)?; // 3x3
+                push(ctx, batch, w, res, res, out, 1, 1)?; // 1x1 expand
+                ch_in = out;
+            }
+        }
+        Ok(ResNetEmitter { cfg, batch, dtype, compiled, cudnn, sites, compute })
+    }
+
+    /// Approximate parameter elements (for optimizer/DDP sizing).
+    pub fn param_elems(&self) -> u64 {
+        self.cfg.num_params()
+    }
+
+    /// Bytes of stored activations for one forward pass.
+    pub fn act_bytes(&self) -> u64 {
+        self.sites.iter().map(|s| s.act_bytes * 2).sum()
+    }
+
+    /// One forward pass; returns the activation buffer to free after the
+    /// backward pass.
+    pub fn forward(&self, ctx: &mut CudaContext) -> CudaResult<maya_cuda::DevicePtr> {
+        // Input batch upload.
+        let img = self.cfg.image_size as u64;
+        ctx.host_work(SimTime::from_us(180.0)); // dataloader + transforms
+        ctx.memcpy_async(
+            self.batch * 3 * img * img * self.dtype.size_bytes(),
+            MemcpyKind::HostToDevice,
+            self.compute,
+        )?;
+        let buf = ctx.malloc(self.act_bytes().max(512))?;
+        for site in &self.sites {
+            ctx.cudnn_convolution_forward(self.cudnn, site.desc)?;
+            if self.compiled {
+                ctx.launch_kernel(
+                    KernelKind::FusedTriton { numel: site.out_numel, num_instrs: 9, dtype: self.dtype },
+                    self.compute,
+                )?;
+            } else {
+                ctx.launch_kernel(
+                    KernelKind::BatchNorm { numel: site.out_numel, channels: 64, forward: true },
+                    self.compute,
+                )?;
+                ctx.launch_kernel(
+                    KernelKind::VectorizedElementwise { numel: site.out_numel, dtype: self.dtype },
+                    self.compute,
+                )?;
+            }
+        }
+        // Max-pool after the stem is folded here; global avg pool + FC head.
+        ctx.launch_kernel(
+            KernelKind::Pool { numel: self.batch * 64 * 56 * 56, window: 3, forward: true },
+            self.compute,
+        )?;
+        ctx.launch_kernel(
+            KernelKind::Reduce { numel: self.batch * 2048 * 49, dtype: self.dtype },
+            self.compute,
+        )?;
+        let blas = ctx.cublas_create();
+        ctx.cublas_set_stream(blas, self.compute)?;
+        ctx.cublas_gemm_ex(blas, self.batch, self.cfg.classes as u64, 2048, self.dtype)?;
+        ctx.launch_kernel(
+            KernelKind::CrossEntropyForward { tokens: self.batch, vocab: self.cfg.classes as u64 },
+            self.compute,
+        )?;
+        Ok(buf)
+    }
+
+    /// One backward pass; frees `act_buf` at the end.
+    pub fn backward(
+        &self,
+        ctx: &mut CudaContext,
+        act_buf: maya_cuda::DevicePtr,
+    ) -> CudaResult<()> {
+        ctx.launch_kernel(
+            KernelKind::CrossEntropyBackward { tokens: self.batch, vocab: self.cfg.classes as u64 },
+            self.compute,
+        )?;
+        let blas = ctx.cublas_create();
+        ctx.cublas_set_stream(blas, self.compute)?;
+        ctx.cublas_gemm_ex(blas, self.batch, 2048, self.cfg.classes as u64, self.dtype)?;
+        ctx.launch_kernel(
+            KernelKind::Pool { numel: self.batch * 64 * 56 * 56, window: 3, forward: false },
+            self.compute,
+        )?;
+        for site in self.sites.iter().rev() {
+            if self.compiled {
+                ctx.launch_kernel(
+                    KernelKind::FusedTriton { numel: site.out_numel, num_instrs: 8, dtype: self.dtype },
+                    self.compute,
+                )?;
+            } else {
+                ctx.launch_kernel(
+                    KernelKind::VectorizedElementwise { numel: site.out_numel, dtype: self.dtype },
+                    self.compute,
+                )?;
+                ctx.launch_kernel(
+                    KernelKind::BatchNorm { numel: site.out_numel, channels: 64, forward: false },
+                    self.compute,
+                )?;
+            }
+            ctx.cudnn_convolution_backward_data(self.cudnn, site.desc)?;
+            ctx.cudnn_convolution_backward_filter(self.cudnn, site.desc)?;
+        }
+        ctx.free(act_buf)
+    }
+
+    /// DDP gradient all-reduce + SGD/Adam update.
+    pub fn optimizer_step(
+        &self,
+        ctx: &mut CudaContext,
+        dp_comm: Option<NcclComm>,
+        dp_stream: CudaStream,
+    ) -> CudaResult<()> {
+        let params = self.param_elems();
+        if let Some(comm) = dp_comm {
+            let evt = ctx.event_create();
+            ctx.event_record(evt, self.compute)?;
+            ctx.stream_wait_event(dp_stream, evt)?;
+            ctx.nccl_all_reduce(comm, params * 4, dp_stream)?;
+            let evt2 = ctx.event_create();
+            ctx.event_record(evt2, dp_stream)?;
+            ctx.stream_wait_event(self.compute, evt2)?;
+        }
+        ctx.launch_kernel(
+            KernelKind::MultiTensorApply { numel: params, ops_per_elem: 4 },
+            self.compute,
+        )?;
+        ctx.memcpy(8, MemcpyKind::DeviceToHost)?; // loss.item()
+        ctx.device_synchronize();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_hw::GpuSpec;
+
+    #[test]
+    fn resnet152_has_all_conv_sites() {
+        let mut ctx = CudaContext::new(0, GpuSpec::a40());
+        let e = ResNetEmitter::new(&mut ctx, ResNetConfig::resnet152(), 32, Dtype::Fp32, false)
+            .unwrap();
+        // 1 stem + sum(blocks)*3 bottleneck convs + 4 downsample shortcuts.
+        let expected = 1 + (3 + 8 + 36 + 3) * 3 + 4;
+        assert_eq!(e.sites.len(), expected);
+    }
+
+    #[test]
+    fn forward_backward_roundtrip_frees_activations() {
+        let mut ctx = CudaContext::new(0, GpuSpec::a40());
+        let e =
+            ResNetEmitter::new(&mut ctx, ResNetConfig::resnet50(), 16, Dtype::Fp32, false).unwrap();
+        let used0 = ctx.mem_used();
+        let buf = e.forward(&mut ctx).unwrap();
+        assert!(ctx.mem_used() > used0);
+        e.backward(&mut ctx, buf).unwrap();
+        assert_eq!(ctx.mem_used(), used0);
+        let t = ctx.into_trace();
+        let names: Vec<&str> = t.events.iter().map(|ev| ev.op.name()).collect();
+        assert!(names.contains(&"cudnnConvolutionForward"));
+        assert!(names.contains(&"cudnnConvolutionBackwardFilter"));
+        assert!(names.contains(&"cudnnConvolutionBackwardData"));
+    }
+
+    #[test]
+    fn compiled_mode_emits_triton_not_batchnorm() {
+        let mut ctx = CudaContext::new(0, GpuSpec::a40());
+        let e =
+            ResNetEmitter::new(&mut ctx, ResNetConfig::resnet50(), 16, Dtype::Fp32, true).unwrap();
+        let buf = e.forward(&mut ctx).unwrap();
+        e.backward(&mut ctx, buf).unwrap();
+        let t = ctx.into_trace();
+        let names: Vec<&str> = t.events.iter().map(|ev| ev.op.name()).collect();
+        assert!(names.contains(&"triton"));
+        assert!(!names.contains(&"cudnnBatchNormalizationForwardTraining"));
+    }
+
+    #[test]
+    fn optimizer_step_allreduces_once() {
+        let mut ctx = CudaContext::new(0, GpuSpec::a40());
+        let e =
+            ResNetEmitter::new(&mut ctx, ResNetConfig::resnet50(), 16, Dtype::Fp32, false).unwrap();
+        let uid = maya_cuda::NcclUniqueId::from_members(&[0, 1]);
+        let comm = ctx.nccl_comm_init_rank(uid, 2, 0).unwrap();
+        let dp_stream = ctx.stream_create();
+        e.optimizer_step(&mut ctx, Some(comm), dp_stream).unwrap();
+        let t = ctx.into_trace();
+        assert_eq!(t.summary.num_collectives, 1);
+        assert!(t.events.iter().any(|ev| ev.op.name() == "multi_tensor_apply_kernel"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for pipeline schedules and worker emission.
+
+use maya_torchlet::schedule::{build_schedule, StepKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (pp, stage, multiplier, chunks) schedule runs every
+    /// (microbatch, chunk) exactly once forward and once backward, with
+    /// the forward first and zero net in-flight microbatches at the end.
+    #[test]
+    fn schedule_invariants(
+        pp_exp in 0u32..4,
+        mult in 1u32..5,
+        chunks in 1u32..5,
+    ) {
+        let pp = 1u32 << pp_exp; // 1, 2, 4, 8
+        let chunks = if pp == 1 { 1 } else { chunks };
+        let num_mb = mult * pp;
+        for stage in 0..pp {
+            let steps = build_schedule(pp, stage, num_mb, chunks);
+            prop_assert_eq!(steps.len() as u32, 2 * num_mb * chunks);
+            let mut fwd = std::collections::HashSet::new();
+            let mut bwd = std::collections::HashSet::new();
+            let mut inflight: i64 = 0;
+            for s in &steps {
+                match s.kind {
+                    StepKind::Forward => {
+                        prop_assert!(fwd.insert((s.mb, s.chunk)));
+                        inflight += 1;
+                    }
+                    StepKind::Backward => {
+                        prop_assert!(fwd.contains(&(s.mb, s.chunk)));
+                        prop_assert!(bwd.insert((s.mb, s.chunk)));
+                        inflight -= 1;
+                    }
+                }
+                prop_assert!(inflight >= 0);
+            }
+            prop_assert_eq!(inflight, 0);
+            prop_assert_eq!(fwd.len(), (num_mb * chunks) as usize);
+            prop_assert_eq!(bwd.len(), (num_mb * chunks) as usize);
+        }
+    }
+
+    /// Rank topology decomposition round-trips for arbitrary shapes.
+    #[test]
+    fn topology_roundtrip(tp_exp in 0u32..4, dp_exp in 0u32..4, pp_exp in 0u32..3) {
+        let t = maya_torchlet::RankTopology {
+            tp: 1 << tp_exp,
+            dp: 1 << dp_exp,
+            pp: 1 << pp_exp,
+        };
+        for r in 0..t.world() {
+            prop_assert_eq!(t.global_rank(t.tp_rank(r), t.dp_rank(r), t.pp_rank(r)), r);
+            prop_assert!(t.tp_group(r).contains(&r));
+            prop_assert!(t.dp_group(r).contains(&r));
+            prop_assert!(t.pp_group(r).contains(&r));
+        }
+    }
+
+    /// Activation memory is monotone in microbatch size and never larger
+    /// with sequence parallelism or recomputation enabled.
+    #[test]
+    fn activation_memory_monotone(micro in 1u32..32, tp_exp in 0u32..4) {
+        let cfg = *maya_torchlet::ModelSpec::gpt3_2_7b().transformer().unwrap();
+        let tp = 1u32 << tp_exp;
+        let base = maya_torchlet::ParallelConfig { tp, ..Default::default() };
+        let a = maya_torchlet::memory::act_bytes_per_layer(&cfg, micro, &base);
+        let b = maya_torchlet::memory::act_bytes_per_layer(&cfg, micro + 1, &base);
+        prop_assert!(b >= a);
+        if tp > 1 {
+            let sp = maya_torchlet::ParallelConfig { tp, sequence_parallel: true, ..base };
+            prop_assert!(maya_torchlet::memory::act_bytes_per_layer(&cfg, micro, &sp) <= a);
+        }
+        let rc = maya_torchlet::ParallelConfig { tp, activation_recompute: true, ..base };
+        prop_assert!(maya_torchlet::memory::act_bytes_per_layer(&cfg, micro, &rc) <= a);
+    }
+}

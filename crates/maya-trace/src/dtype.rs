@@ -1,0 +1,113 @@
+//! Element data types seen at the device API boundary.
+
+use std::fmt;
+
+/// Numeric element type of a tensor or kernel operand.
+///
+/// The emulator records dtypes because they determine both memory traffic
+/// (bytes per element) and which hardware pipeline a kernel uses (e.g.
+/// tensor cores for [`Dtype::Bf16`]/[`Dtype::Fp16`] GEMMs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Dtype {
+    /// 32-bit IEEE float.
+    Fp32,
+    /// 16-bit IEEE float.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// TensorFloat-32 (fp32 storage, reduced-precision tensor-core math).
+    Tf32,
+    /// 64-bit integer (index tensors).
+    Int64,
+    /// 32-bit integer.
+    Int32,
+    /// 8-bit integer.
+    Int8,
+}
+
+impl Dtype {
+    /// Storage size of one element in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            Dtype::Fp32 | Dtype::Tf32 | Dtype::Int32 => 4,
+            Dtype::Fp16 | Dtype::Bf16 => 2,
+            Dtype::Int64 => 8,
+            Dtype::Int8 => 1,
+        }
+    }
+
+    /// Whether GEMM/conv kernels in this dtype run on tensor cores.
+    pub const fn uses_tensor_cores(self) -> bool {
+        matches!(self, Dtype::Fp16 | Dtype::Bf16 | Dtype::Tf32 | Dtype::Int8)
+    }
+
+    /// Short lowercase name used in trace exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dtype::Fp32 => "fp32",
+            Dtype::Fp16 => "fp16",
+            Dtype::Bf16 => "bf16",
+            Dtype::Tf32 => "tf32",
+            Dtype::Int64 => "int64",
+            Dtype::Int32 => "int32",
+            Dtype::Int8 => "int8",
+        }
+    }
+
+    /// Stable small integer id, used as a model feature.
+    pub const fn id(self) -> u8 {
+        match self {
+            Dtype::Fp32 => 0,
+            Dtype::Fp16 => 1,
+            Dtype::Bf16 => 2,
+            Dtype::Tf32 => 3,
+            Dtype::Int64 => 4,
+            Dtype::Int32 => 5,
+            Dtype::Int8 => 6,
+        }
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Dtype::Fp32.size_bytes(), 4);
+        assert_eq!(Dtype::Bf16.size_bytes(), 2);
+        assert_eq!(Dtype::Int64.size_bytes(), 8);
+        assert_eq!(Dtype::Int8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn tensor_core_eligibility() {
+        assert!(Dtype::Bf16.uses_tensor_cores());
+        assert!(Dtype::Tf32.uses_tensor_cores());
+        assert!(!Dtype::Fp32.uses_tensor_cores());
+        assert!(!Dtype::Int64.uses_tensor_cores());
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let all = [
+            Dtype::Fp32,
+            Dtype::Fp16,
+            Dtype::Bf16,
+            Dtype::Tf32,
+            Dtype::Int64,
+            Dtype::Int32,
+            Dtype::Int8,
+        ];
+        let mut ids: Vec<u8> = all.iter().map(|d| d.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -1,0 +1,205 @@
+//! Integer-nanosecond time type used throughout the simulator stack.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, stored as integer nanoseconds.
+///
+/// A single type is used for both instants and durations, mirroring how the
+/// discrete-event simulator in the paper advances a scalar clock
+/// (Algorithm 1). Arithmetic saturates on underflow so that ill-ordered
+/// subtractions surface as zero rather than panicking inside the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use maya_trace::SimTime;
+/// let t = SimTime::from_us(3.0) + SimTime::from_us(2.0);
+/// assert_eq!(t.as_us(), 5.0);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero instant / empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as an "infinite" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds a time from fractional microseconds.
+    pub fn from_us(us: f64) -> Self {
+        SimTime((us * 1e3).max(0.0).round() as u64)
+    }
+
+    /// Builds a time from fractional milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms * 1e6).max(0.0).round() as u64)
+    }
+
+    /// Builds a time from fractional seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime((s * 1e9).max(0.0).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; never underflows.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the time by a dimensionless factor, rounding to nanoseconds.
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime((self.0 as f64 * factor).max(0.0).round() as u64)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_us(1.0).as_ns(), 1_000);
+        assert_eq!(SimTime::from_ms(1.0).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_secs(1.0).as_ns(), 1_000_000_000);
+        assert!((SimTime::from_ms(2.5).as_ms() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(9);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_ns(4));
+        assert_eq!(SimTime::MAX + a, SimTime::MAX);
+    }
+
+    #[test]
+    fn scaling_and_ordering() {
+        let t = SimTime::from_us(10.0);
+        assert_eq!(t.scale(2.0), SimTime::from_us(20.0));
+        assert_eq!(t.scale(0.5), SimTime::from_us(5.0));
+        assert_eq!(t.max(SimTime::from_us(3.0)), t);
+        assert_eq!(t.min(SimTime::from_us(3.0)), SimTime::from_us(3.0));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: SimTime = [1.0, 2.0, 3.0].iter().map(|&u| SimTime::from_us(u)).sum();
+        assert_eq!(total, SimTime::from_us(6.0));
+        assert_eq!(format!("{}", SimTime::from_ns(12)), "12ns");
+        assert_eq!(format!("{}", SimTime::from_us(12.0)), "12.000us");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500s");
+    }
+}

@@ -1,0 +1,40 @@
+//! Maya: transparent GPU-runtime-emulation performance modeling.
+//!
+//! This is the top-level crate of the reproduction of "Maya: Optimizing
+//! Deep Learning Training Workloads using GPU Runtime Emulation"
+//! (EuroSys '26). It wires the full pipeline of Figure 5:
+//!
+//! 1. **Emulation** — unmodified training code (anything that programs
+//!    against [`maya_cuda::CudaContext`]) runs per rank on a virtual
+//!    device; every API call is recorded.
+//! 2. **Collation** — per-worker traces merge into a job trace;
+//!    collectives are matched by communicator id + sequence number;
+//!    dynamic worker deduplication drops redundant ranks.
+//! 3. **Estimation** — a pluggable [`maya_estimator::RuntimeEstimator`]
+//!    annotates operations with predicted durations.
+//! 4. **Simulation** — the event-driven simulator replays the annotated
+//!    trace over a cluster spec and produces a [`maya_sim::SimReport`].
+//!
+//! The crate also exposes the *testbed* entry point
+//! ([`Maya::measure_actual`]) backed by the independent ground-truth
+//! executor, standing in for real-hardware measurements (DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use maya::{EmulationSpec, Maya};
+//! use maya_hw::ClusterSpec;
+//! use maya_torchlet::TrainingJob;
+//!
+//! let cluster = ClusterSpec::h100(1, 1);
+//! let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+//! let job = TrainingJob::smoke();
+//! let prediction = maya.predict_job(&job).unwrap();
+//! assert!(prediction.report().is_some());
+//! ```
+
+pub mod error;
+pub mod pipeline;
+
+pub use error::MayaError;
+pub use pipeline::{EmulationSpec, Maya, PredictOutcome, Prediction, StageTimings};

@@ -1,0 +1,67 @@
+//! Prediction accuracy on Megatron-style GPT-3 training (the §7.2 flow).
+//!
+//! Trains the default random-forest estimator from profiled
+//! microbenchmarks, predicts several GPT-3 2.7B recipes on a 8×V100
+//! cluster, and compares against the ground-truth testbed — printing the
+//! per-config error like a row of Figure 7.
+//!
+//! ```text
+//! cargo run --release --example megatron_gpt3
+//! ```
+
+use maya::{EmulationSpec, Maya};
+use maya_estimator::ProfileScale;
+use maya_hw::ClusterSpec;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+
+fn main() {
+    let cluster = ClusterSpec::v100(1, 8);
+    println!("profiling kernels and training the random-forest estimator...");
+    let maya = Maya::train(EmulationSpec::new(cluster), ProfileScale::Test, 42);
+
+    let recipes = [
+        ParallelConfig { tp: 1, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig { tp: 2, pp: 1, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig { tp: 2, pp: 4, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig { tp: 4, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+    ];
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "config", "predicted", "actual", "error"
+    );
+    for parallel in recipes {
+        let job = TrainingJob {
+            model: ModelSpec::gpt3_2_7b(),
+            parallel,
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: 16,
+            world: cluster.num_gpus(),
+            gpus_per_node: cluster.gpus_per_node,
+            precision: Dtype::Fp16,
+            iterations: 1,
+        };
+        let pred = maya.predict_job(&job).expect("pipeline runs");
+        let actual = maya.measure_actual(&job).expect("testbed runs");
+        match (pred.iteration_time(), actual) {
+            (Some(p), Ok(m)) => {
+                let a = m.iteration_time;
+                let err = (p.as_secs_f64() / a.as_secs_f64() - 1.0) * 100.0;
+                println!(
+                    "{:<28} {:>12} {:>12} {:>7.2}%",
+                    parallel.to_string(),
+                    p.to_string(),
+                    a.to_string(),
+                    err
+                );
+            }
+            (None, _) => println!("{:<28} predicted OOM", parallel.to_string()),
+            (_, Err(peak)) => {
+                println!("{:<28} actual OOM at {} bytes", parallel.to_string(), peak)
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Vision workloads: ResNet-152 under DDP on an 8×A40 node (Figure 10's
+//! setting), with and without torch.compile-style fusion.
+//!
+//! ```text
+//! cargo run --release --example resnet_vision
+//! ```
+
+use maya::{EmulationSpec, Maya};
+use maya_hw::ClusterSpec;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+
+fn main() {
+    let cluster = ClusterSpec::a40(1, 8);
+    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+
+    println!("{:<30} {:>12} {:>12} {:>8}", "config", "predicted", "actual", "error");
+    for (batch, compile) in
+        [(128u32, false), (128, true), (256, false), (256, true), (512, false), (512, true)]
+    {
+        let job = TrainingJob {
+            model: ModelSpec::resnet152(),
+            parallel: ParallelConfig::default(),
+            flavor: FrameworkFlavor::Ddp,
+            compile,
+            global_batch: batch,
+            world: cluster.num_gpus(),
+            gpus_per_node: cluster.gpus_per_node,
+            precision: Dtype::Fp32,
+            iterations: 1,
+        };
+        let label = format!("batch {batch}{}", if compile { " +compile" } else { "" });
+        let pred = maya.predict_job(&job).expect("pipeline runs");
+        let actual = maya.measure_actual(&job).expect("testbed runs");
+        match (pred.iteration_time(), actual) {
+            (Some(p), Ok(m)) => {
+                let a = m.iteration_time;
+                let err = (p.as_secs_f64() / a.as_secs_f64() - 1.0) * 100.0;
+                println!("{:<30} {:>12} {:>12} {:>7.2}%", label, p.to_string(), a.to_string(), err);
+            }
+            (None, _) => println!("{label:<30} predicted OOM"),
+            (_, Err(_)) => println!("{label:<30} actual OOM"),
+        }
+    }
+}
