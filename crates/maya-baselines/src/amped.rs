@@ -64,7 +64,11 @@ mod tests {
     fn job() -> TrainingJob {
         TrainingJob {
             model: ModelSpec::gpt3_2_7b(),
-            parallel: ParallelConfig { tp: 2, pp: 2, ..Default::default() },
+            parallel: ParallelConfig {
+                tp: 2,
+                pp: 2,
+                ..Default::default()
+            },
             flavor: FrameworkFlavor::Megatron,
             compile: false,
             global_batch: 8,

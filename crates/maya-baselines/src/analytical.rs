@@ -78,10 +78,10 @@ pub fn analytical_time(
     let local_params = layer_elems * cfg.layers as f64 / pp + emb_elems;
     let opt_div = if p.distributed_optimizer { dp } else { 1.0 };
     let state = 2.0 * local_params + 4.0 * local_params + 12.0 * local_params / opt_div;
-    let act_layer =
-        maya_torchlet::memory::act_bytes_per_layer(cfg, micro_bs as u32, p) as f64;
+    let act_layer = maya_torchlet::memory::act_bytes_per_layer(cfg, micro_bs as u32, p) as f64;
     let inflight = m.min(pp);
-    let act_total = act_layer * (cfg.layers as f64 / (pp * p.virtual_stages as f64))
+    let act_total = act_layer
+        * (cfg.layers as f64 / (pp * p.virtual_stages as f64))
         * inflight
         * p.virtual_stages as f64;
     let logits = if knobs.count_logits_memory {
@@ -108,10 +108,18 @@ pub fn analytical_time(
         // (all-reduce algebra: 2(t-1)/t of the payload on the wire).
         let tp_ranks: Vec<u32> = (0..p.tp).collect();
         let intra = cluster.single_node(&tp_ranks);
-        let link = if intra { cluster.intra_link } else { cluster.inter_link };
+        let link = if intra {
+            cluster.intra_link
+        } else {
+            cluster.inter_link
+        };
         let wire = 2.0 * (tp - 1.0) / tp * bytes_per_layer
             / (link.bw_gbps * 1e9 * knobs.network_efficiency);
-        let lat = if knobs.model_latency { (tp - 1.0) * link.latency_us * 1e-6 * 8.0 } else { 0.0 };
+        let lat = if knobs.model_latency {
+            (tp - 1.0) * link.latency_us * 1e-6 * 8.0
+        } else {
+            0.0
+        };
         (wire + lat) * cfg.layers as f64 / pp * m * 2.0
     } else {
         0.0
@@ -119,7 +127,11 @@ pub fn analytical_time(
 
     // ---- pipeline bubble ----
     let chunks = p.virtual_stages.max(1) as f64;
-    let bubble = if p.pp > 1 { (pp - 1.0) / (m * chunks) } else { 0.0 };
+    let bubble = if p.pp > 1 {
+        (pp - 1.0) / (m * chunks)
+    } else {
+        0.0
+    };
     // p2p transfer cost per boundary crossing.
     let t_p2p = if p.pp > 1 {
         let boundary = micro_bs * cfg.seq_len as f64 * cfg.hidden as f64 * elem;
@@ -138,7 +150,11 @@ pub fn analytical_time(
         let grad_bytes = 4.0 * local_params;
         let dp_ranks: Vec<u32> = (0..p.dp(job.world)).map(|i| i * p.tp).collect();
         let intra = cluster.single_node(&dp_ranks);
-        let link = if intra { cluster.intra_link } else { cluster.inter_link };
+        let link = if intra {
+            cluster.intra_link
+        } else {
+            cluster.inter_link
+        };
         let wire =
             2.0 * (dp - 1.0) / dp * grad_bytes / (link.bw_gbps * 1e9 * knobs.network_efficiency);
         wire * (1.0 - knobs.dp_overlap)
@@ -200,14 +216,24 @@ mod tests {
     fn time_scales_inversely_with_efficiency() {
         let cluster = ClusterSpec::h100(1, 8);
         let cfg = *job().model.transformer().unwrap();
-        let fast = analytical_time(&job(), &cfg, &cluster, &AnalyticalKnobs {
-            compute_efficiency: 0.8,
-            ..knobs()
-        });
-        let slow = analytical_time(&job(), &cfg, &cluster, &AnalyticalKnobs {
-            compute_efficiency: 0.2,
-            ..knobs()
-        });
+        let fast = analytical_time(
+            &job(),
+            &cfg,
+            &cluster,
+            &AnalyticalKnobs {
+                compute_efficiency: 0.8,
+                ..knobs()
+            },
+        );
+        let slow = analytical_time(
+            &job(),
+            &cfg,
+            &cluster,
+            &AnalyticalKnobs {
+                compute_efficiency: 0.2,
+                ..knobs()
+            },
+        );
         assert!(slow.time().unwrap() > fast.time().unwrap().scale(1.5));
     }
 
@@ -229,10 +255,14 @@ mod tests {
     fn bubble_shrinks_with_more_microbatches() {
         let cluster = ClusterSpec::h100(1, 8);
         let cfg = *job().model.transformer().unwrap();
-        let few = analytical_time(&job(), &cfg, &cluster, &knobs()).time().unwrap();
+        let few = analytical_time(&job(), &cfg, &cluster, &knobs())
+            .time()
+            .unwrap();
         let mut j = job();
         j.parallel.microbatch_multiplier = 8;
-        let many = analytical_time(&j, &cfg, &cluster, &knobs()).time().unwrap();
+        let many = analytical_time(&j, &cfg, &cluster, &knobs())
+            .time()
+            .unwrap();
         assert!(many < few, "few-mb {few} many-mb {many}");
     }
 }

@@ -52,7 +52,12 @@ mod tests {
     fn job(world: u32) -> TrainingJob {
         TrainingJob {
             model: ModelSpec::gpt3_2_7b(),
-            parallel: ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() },
+            parallel: ParallelConfig {
+                tp: 2,
+                pp: 2,
+                microbatch_multiplier: 2,
+                ..Default::default()
+            },
             flavor: FrameworkFlavor::Megatron,
             compile: false,
             global_batch: 16,
@@ -76,7 +81,10 @@ mod tests {
     #[test]
     fn rejects_volta_and_non_gpt() {
         let v = ClusterSpec::v100(1, 8);
-        assert_eq!(Calculon.predict(&job(8), &v), BaselinePrediction::Unsupported);
+        assert_eq!(
+            Calculon.predict(&job(8), &v),
+            BaselinePrediction::Unsupported
+        );
         let c = ClusterSpec::h100(1, 8);
         let mut j = job(8);
         j.model = ModelSpec::llama2_7b();

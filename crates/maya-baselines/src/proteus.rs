@@ -15,19 +15,10 @@ use crate::analytical::{BaselineModel, BaselinePrediction};
 /// miscalibrated, reproducing the order-of-magnitude deviations of
 /// Fig. 7. Per Table 1 it cannot express sequence parallelism or
 /// gradient accumulation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Proteus {
     kernel_db: GroundTruthKernelModel,
     net: GroundTruthNetModel,
-}
-
-impl Default for Proteus {
-    fn default() -> Self {
-        Proteus {
-            kernel_db: GroundTruthKernelModel::default(),
-            net: GroundTruthNetModel::default(),
-        }
-    }
 }
 
 impl Proteus {
@@ -53,7 +44,10 @@ impl Proteus {
         } else {
             // Volta/Ampere: profiled on the right hardware; small db
             // lookup noise only.
-            t.scale(centered_factor(Key::new(0x5052).with(m).with(n).with(k).finish(), 0.05))
+            t.scale(centered_factor(
+                Key::new(0x5052).with(m).with(n).with(k).finish(),
+                0.05,
+            ))
         }
     }
 }
@@ -88,10 +82,13 @@ impl BaselineModel for Proteus {
         let layer_elems = maya_torchlet::memory::layer_param_elems(&cfg, p.tp) as u64;
         let emb = maya_torchlet::memory::embedding_param_elems(&cfg, p.tp) as u64;
         let local_params = layer_elems * cfg.layers as u64 / p.pp as u64 + emb;
-        let opt_div = if p.distributed_optimizer { dp as u64 } else { 1 };
+        let opt_div = if p.distributed_optimizer {
+            dp as u64
+        } else {
+            1
+        };
         let state = 2 * local_params + 4 * local_params + 12 * local_params / opt_div;
-        let act_layer =
-            maya_torchlet::memory::act_bytes_per_layer(&cfg, micro_bs as u32, p) as u64;
+        let act_layer = maya_torchlet::memory::act_bytes_per_layer(&cfg, micro_bs as u32, p) as u64;
         let inflight = (m_count as u32).min(p.pp) as u64;
         let acts = act_layer * cfg.layers as u64 / p.pp as u64 * inflight;
         let logits = maya_torchlet::memory::logits_bytes(&cfg, micro_bs as u32, p.tp);
@@ -111,17 +108,33 @@ impl BaselineModel for Proteus {
         // Forward GEMMs.
         layer += self.gemm_time(bs, 3 * hp, h, d, cluster);
         layer += self
-            .gemm_time(cfg.seq_len as u64, cfg.seq_len as u64, h / cfg.heads as u64, d, cluster)
+            .gemm_time(
+                cfg.seq_len as u64,
+                cfg.seq_len as u64,
+                h / cfg.heads as u64,
+                d,
+                cluster,
+            )
             .scale(micro_bs as f64 * heads_p as f64 / 64.0); // batched
         layer += self
-            .gemm_time(cfg.seq_len as u64, h / cfg.heads as u64, cfg.seq_len as u64, d, cluster)
+            .gemm_time(
+                cfg.seq_len as u64,
+                h / cfg.heads as u64,
+                cfg.seq_len as u64,
+                d,
+                cluster,
+            )
             .scale(micro_bs as f64 * heads_p as f64 / 64.0);
         layer += self.gemm_time(bs, h, hp, d, cluster);
         layer += self.gemm_time(bs, ffnp, h, d, cluster);
         layer += self.gemm_time(bs, h, ffnp, d, cluster);
         // Backward is 2x the forward GEMM work.
         let layer_total = layer.scale(3.0);
-        let recompute_factor = if p.activation_recompute { 4.0 / 3.0 } else { 1.0 };
+        let recompute_factor = if p.activation_recompute {
+            4.0 / 3.0
+        } else {
+            1.0
+        };
 
         // TP collectives (matched well by the tree).
         let act_bytes = bs * h * d.size_bytes();
@@ -142,7 +155,9 @@ impl BaselineModel for Proteus {
         let _ = stage;
 
         // Head + embedding.
-        let head = self.gemm_time(bs, cfg.vocab as u64 / p.tp as u64, h, d, cluster).scale(3.0);
+        let head = self
+            .gemm_time(bs, cfg.vocab as u64 / p.tp as u64, h, d, cluster)
+            .scale(3.0);
 
         // Pipeline: (m + p - 1) stage slots, interleaving shrinks the
         // bubble by the chunk count.
@@ -152,8 +167,9 @@ impl BaselineModel for Proteus {
         } else {
             0.0
         };
-        let mut total = (per_micro.scale(m_count as f64) + head.scale(m_count as f64 / p.pp as f64))
-            .scale(1.0 + bubble);
+        let mut total = (per_micro.scale(m_count as f64)
+            + head.scale(m_count as f64 / p.pp as f64))
+        .scale(1.0 + bubble);
 
         // DP gradient reduction, partially overlapped.
         if dp > 1 {
@@ -181,7 +197,12 @@ mod tests {
     fn job(world: u32) -> TrainingJob {
         TrainingJob {
             model: ModelSpec::gpt3_2_7b(),
-            parallel: ParallelConfig { tp: 2, pp: 2, activation_recompute: true, ..Default::default() },
+            parallel: ParallelConfig {
+                tp: 2,
+                pp: 2,
+                activation_recompute: true,
+                ..Default::default()
+            },
             flavor: FrameworkFlavor::Megatron,
             compile: false,
             global_batch: 32,
@@ -215,10 +236,16 @@ mod tests {
         let c = ClusterSpec::v100(1, 8);
         let mut j = job(8);
         j.parallel.microbatch_multiplier = 2;
-        assert_eq!(Proteus::default().predict(&j, &c), BaselinePrediction::Unsupported);
+        assert_eq!(
+            Proteus::default().predict(&j, &c),
+            BaselinePrediction::Unsupported
+        );
         let mut j2 = job(8);
         j2.parallel.sequence_parallel = true;
-        assert_eq!(Proteus::default().predict(&j2, &c), BaselinePrediction::Unsupported);
+        assert_eq!(
+            Proteus::default().predict(&j2, &c),
+            BaselinePrediction::Unsupported
+        );
     }
 
     #[test]
@@ -227,8 +254,12 @@ mod tests {
         let c = ClusterSpec::v100(4, 8);
         let mut j = job(32);
         j.model = ModelSpec::llama2_7b();
-        j.parallel =
-            ParallelConfig { tp: 2, pp: 8, activation_recompute: true, ..Default::default() };
+        j.parallel = ParallelConfig {
+            tp: 2,
+            pp: 8,
+            activation_recompute: true,
+            ..Default::default()
+        };
         j.global_batch = 16;
         assert!(Proteus::default().predict(&j, &c).time().is_some());
     }

@@ -14,7 +14,12 @@ use maya_trace::{Dtype, KernelKind};
 fn bench_job(world: u32) -> TrainingJob {
     TrainingJob {
         model: ModelSpec::gpt3_125m(),
-        parallel: ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() },
+        parallel: ParallelConfig {
+            tp: 2,
+            pp: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        },
         flavor: FrameworkFlavor::Megatron,
         compile: false,
         global_batch: 4 * world,
@@ -55,7 +60,12 @@ fn collation(c: &mut Criterion) {
 fn estimation(c: &mut Criterion) {
     let cluster = ClusterSpec::h100(1, 8);
     let oracle = OracleEstimator::new(&cluster);
-    let kernel = KernelKind::Gemm { m: 4096, n: 4096, k: 4096, dtype: Dtype::Bf16 };
+    let kernel = KernelKind::Gemm {
+        m: 4096,
+        n: 4096,
+        k: 4096,
+        dtype: Dtype::Bf16,
+    };
     c.bench_function("estimator/oracle_kernel_query", |b| {
         b.iter(|| oracle.kernel_time(&kernel))
     });

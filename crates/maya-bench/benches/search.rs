@@ -1,0 +1,84 @@
+//! Sequential vs. engine-batched config search on the Table 5 space.
+//!
+//! The batched scheduler drives speculative candidate waves through the
+//! `PredictionEngine` worker pool while committing results in proposal
+//! order; this bench measures the wall-clock payoff on a multi-core
+//! host. Both modes search the same sub-space with the same algorithm
+//! and seed, so they evaluate identical trial sequences.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maya::{EmulationSpec, Maya};
+use maya_hw::ClusterSpec;
+use maya_search::{AlgorithmKind, ConfigSpace, Objective, TrialScheduler};
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+
+fn template(world: u32) -> TrainingJob {
+    TrainingJob {
+        model: ModelSpec::gpt3_125m(),
+        parallel: ParallelConfig::default(),
+        flavor: FrameworkFlavor::Megatron,
+        compile: false,
+        global_batch: 8 * world,
+        world,
+        gpus_per_node: 8,
+        precision: Dtype::Bf16,
+        iterations: 1,
+    }
+}
+
+fn search_space() -> ConfigSpace {
+    // A Table 5 sub-space sized so one search run stays in bench budget.
+    ConfigSpace {
+        tp: vec![1, 2, 4],
+        pp: vec![1, 2],
+        microbatch_multiplier: vec![1, 2, 4],
+        virtual_stages: vec![1],
+        activation_recompute: vec![true, false],
+        sequence_parallel: vec![true, false],
+        distributed_optimizer: vec![true, false],
+    }
+}
+
+fn run_search(maya: &Maya, batched: bool) -> usize {
+    let tmpl = template(maya.spec().cluster.num_gpus());
+    let obj = Objective::new(maya, tmpl);
+    let sched = TrialScheduler::new(&obj)
+        .with_space(search_space())
+        .with_batch(8);
+    let result = if batched {
+        sched.run_batched(AlgorithmKind::Random, 48, 17)
+    } else {
+        sched.run(AlgorithmKind::Random, 48, 17)
+    };
+    result.stats.executed
+}
+
+fn search_modes(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cluster = ClusterSpec::h100(1, 8);
+    let sequential = Maya::with_oracle(EmulationSpec::new(cluster));
+    let batched = Maya::with_oracle(EmulationSpec {
+        emulation_threads: threads,
+        ..EmulationSpec::new(cluster)
+    });
+    // Fresh-cache cost is paid once per engine; steady-state search (what
+    // Fig. 15 iterates) is the interesting regime, so warm both first.
+    run_search(&sequential, false);
+    run_search(&batched, true);
+    let mut g = c.benchmark_group("search");
+    g.bench_function("sequential", |b| b.iter(|| run_search(&sequential, false)));
+    g.bench_function(&format!("engine_batched_{threads}threads"), |b| {
+        b.iter(|| run_search(&batched, true))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = search_modes
+);
+criterion_main!(benches);

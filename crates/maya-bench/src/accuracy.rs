@@ -49,7 +49,10 @@ pub fn evaluate_scenario(scenario: &Scenario, n_configs: usize, seed: u64) -> Ve
     let configs = valid_configs(scenario, n_configs);
     let mut out = Vec::with_capacity(configs.len());
     for config in configs {
-        let job = TrainingJob { parallel: config, ..template };
+        let job = TrainingJob {
+            parallel: config,
+            ..template
+        };
         let actual = match maya.measure_actual(&job) {
             Ok(Ok(m)) => Some(m.iteration_time),
             Ok(Err(_)) => None,
@@ -92,19 +95,18 @@ pub fn ranked_completions(evals: &[ConfigEval]) -> Vec<&ConfigEval> {
 }
 
 /// Absolute-percentage errors of one system over completed configs.
-pub fn system_errors(
-    evals: &[&ConfigEval],
-    system: Option<&'static str>,
-) -> Vec<f64> {
+pub fn system_errors(evals: &[&ConfigEval], system: Option<&'static str>) -> Vec<f64> {
     evals
         .iter()
         .filter_map(|e| {
             let actual = e.actual?;
             let pred = match system {
                 None => e.maya.time(),
-                Some(name) => {
-                    e.baselines.iter().find(|(n, _)| *n == name).and_then(|(_, v)| v.time())
-                }
+                Some(name) => e
+                    .baselines
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .and_then(|(_, v)| v.time()),
             }?;
             Some(crate::ape(pred, actual))
         })

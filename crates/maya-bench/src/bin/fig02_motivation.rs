@@ -62,7 +62,10 @@ fn main() {
                 precision: Dtype::Bf16,
             };
             let maya = scenario.maya_oracle();
-            let job = TrainingJob { parallel: ref_cfg, ..scenario.template() };
+            let job = TrainingJob {
+                parallel: ref_cfg,
+                ..scenario.template()
+            };
             let cell = if job.validate().is_err() {
                 "inval".to_string()
             } else {

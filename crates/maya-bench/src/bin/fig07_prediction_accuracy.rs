@@ -7,7 +7,10 @@ use maya_bench::{config_budget, print_series, Scenario};
 fn main() {
     let budget = config_budget(36);
     for (i, scenario) in Scenario::headline().into_iter().enumerate() {
-        eprintln!("[fig07] evaluating {} ({} configs)...", scenario.name, budget);
+        eprintln!(
+            "[fig07] evaluating {} ({} configs)...",
+            scenario.name, budget
+        );
         let evals = evaluate_scenario(&scenario, budget, 1000 + i as u64);
         let ranked = ranked_completions(&evals);
         let top: Vec<_> = ranked.iter().take(100).collect();
@@ -16,7 +19,8 @@ fn main() {
             .enumerate()
             .map(|(id, e)| {
                 let fmt = |v: Option<maya_trace::SimTime>| {
-                    v.map(|t| format!("{:.4}", t.as_secs_f64())).unwrap_or_else(|| "-".into())
+                    v.map(|t| format!("{:.4}", t.as_secs_f64()))
+                        .unwrap_or_else(|| "-".into())
                 };
                 let b = |name: &str| {
                     e.baselines

@@ -40,10 +40,13 @@ fn main() {
         let maya_pick = pick(&|e| e.maya.time());
         let base_pick = |name: &'static str| {
             pick(&move |e| {
-                e.baselines.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
-                    SystemVerdict::Time(t) => Some(*t),
-                    _ => None,
-                })
+                e.baselines
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .and_then(|(_, v)| match v {
+                        SystemVerdict::Time(t) => Some(*t),
+                        _ => None,
+                    })
             })
         };
         println!(

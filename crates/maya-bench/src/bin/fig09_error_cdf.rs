@@ -20,8 +20,10 @@ fn main() {
         let rows: Vec<String> = systems
             .iter()
             .map(|(label, key)| {
-                let mut errs: Vec<f64> =
-                    system_errors(&ranked, *key).iter().map(|e| e * 100.0).collect();
+                let mut errs: Vec<f64> = system_errors(&ranked, *key)
+                    .iter()
+                    .map(|e| e * 100.0)
+                    .collect();
                 if errs.is_empty() {
                     return format!("{label},-,-,-,-,-");
                 }

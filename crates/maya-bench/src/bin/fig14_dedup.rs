@@ -11,8 +11,13 @@ use maya_trace::Dtype;
 use std::time::Instant;
 
 fn main() {
-    let parallel =
-        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() };
+    let parallel = ParallelConfig {
+        tp: 2,
+        pp: 2,
+        microbatch_multiplier: 2,
+        activation_recompute: true,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for (label, cluster) in [
         ("8xV100", ClusterSpec::v100(1, 8)),
@@ -29,7 +34,11 @@ fn main() {
             global_batch: 4 * cluster.num_gpus(),
             world: cluster.num_gpus(),
             gpus_per_node: 8,
-            precision: if cluster.gpu.supports_bf16 { Dtype::Bf16 } else { Dtype::Fp16 },
+            precision: if cluster.gpu.supports_bf16 {
+                Dtype::Bf16
+            } else {
+                Dtype::Fp16
+            },
             iterations: 1,
         };
         eprintln!("[fig14] {}...", label);

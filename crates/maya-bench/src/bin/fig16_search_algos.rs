@@ -34,11 +34,16 @@ fn main() {
             "{:?},{},{}",
             kind,
             cells.join(","),
-            conv.last().map(|m| format!("{:.2}", m * 100.0)).unwrap_or_default()
+            conv.last()
+                .map(|m| format!("{:.2}", m * 100.0))
+                .unwrap_or_default()
         ));
     }
     print_series(
-        &format!("Figure 16: best MFU%% vs unique valid configs ({})", scenario.name),
+        &format!(
+            "Figure 16: best MFU%% vs unique valid configs ({})",
+            scenario.name
+        ),
         "algorithm,@25,@50,@100,@200,@300,@500,final",
         &rows,
     );

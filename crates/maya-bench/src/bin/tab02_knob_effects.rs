@@ -15,8 +15,10 @@ fn loads(job: &TrainingJob, scenario: &Scenario) -> Option<(f64, f64, f64)> {
     if res.is_err() && !trace.summary.oom {
         return None;
     }
-    let flops: f64 =
-        trace.kernels().filter_map(|e| e.op.as_kernel().map(|k| k.flops())).sum();
+    let flops: f64 = trace
+        .kernels()
+        .filter_map(|e| e.op.as_kernel().map(|k| k.flops()))
+        .sum();
     let mem = trace.summary.peak_mem_bytes as f64;
     let net: f64 = trace
         .events
@@ -48,19 +50,70 @@ fn main() {
         global_batch: 32,
         precision: Dtype::Bf16,
     };
-    let base_cfg =
-        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
-    let base_job = TrainingJob { parallel: base_cfg, ..scenario.template() };
+    let base_cfg = ParallelConfig {
+        tp: 2,
+        pp: 2,
+        microbatch_multiplier: 2,
+        ..Default::default()
+    };
+    let base_job = TrainingJob {
+        parallel: base_cfg,
+        ..scenario.template()
+    };
     let base = loads(&base_job, &scenario).expect("baseline runs");
 
     let knobs: Vec<(&str, ParallelConfig)> = vec![
-        ("Tensor Parallel (x2)", ParallelConfig { tp: 4, pp: 1, ..base_cfg }),
-        ("Pipeline Parallel (x2)", ParallelConfig { tp: 1, pp: 4, ..base_cfg }),
-        ("Sequence Parallel", ParallelConfig { sequence_parallel: true, ..base_cfg }),
-        ("Pipeline Interleaving", ParallelConfig { virtual_stages: 2, ..base_cfg }),
-        ("Distributed Optimizer", ParallelConfig { distributed_optimizer: true, ..base_cfg }),
-        ("Activation Recompute", ParallelConfig { activation_recompute: true, ..base_cfg }),
-        ("Grad Accumulation (x2)", ParallelConfig { microbatch_multiplier: 4, ..base_cfg }),
+        (
+            "Tensor Parallel (x2)",
+            ParallelConfig {
+                tp: 4,
+                pp: 1,
+                ..base_cfg
+            },
+        ),
+        (
+            "Pipeline Parallel (x2)",
+            ParallelConfig {
+                tp: 1,
+                pp: 4,
+                ..base_cfg
+            },
+        ),
+        (
+            "Sequence Parallel",
+            ParallelConfig {
+                sequence_parallel: true,
+                ..base_cfg
+            },
+        ),
+        (
+            "Pipeline Interleaving",
+            ParallelConfig {
+                virtual_stages: 2,
+                ..base_cfg
+            },
+        ),
+        (
+            "Distributed Optimizer",
+            ParallelConfig {
+                distributed_optimizer: true,
+                ..base_cfg
+            },
+        ),
+        (
+            "Activation Recompute",
+            ParallelConfig {
+                activation_recompute: true,
+                ..base_cfg
+            },
+        ),
+        (
+            "Grad Accumulation (x2)",
+            ParallelConfig {
+                microbatch_multiplier: 4,
+                ..base_cfg
+            },
+        ),
     ];
     println!("Table 2: per-rank load vs baseline (tp2 pp2, fixed global batch 32)");
     println!(
@@ -68,7 +121,10 @@ fn main() {
         "Knob", "Compute", "Memory", "Network"
     );
     for (name, cfg) in knobs {
-        let job = TrainingJob { parallel: cfg, ..scenario.template() };
+        let job = TrainingJob {
+            parallel: cfg,
+            ..scenario.template()
+        };
         match loads(&job, &scenario) {
             None => println!("{name:<26}   invalid"),
             Some((f, m, n)) => {

@@ -20,20 +20,146 @@ struct Row {
 
 fn main() {
     let rows = vec![
-        Row { model: ModelSpec::gpt3_1_3b(), name: "GPT3-1.3B", world: 8, nodes: 1, bs: 16, tp: 1, pp: 2, ga: 2 },
-        Row { model: ModelSpec::gpt3_1_3b(), name: "GPT3-1.3B", world: 8, nodes: 1, bs: 16, tp: 2, pp: 1, ga: 2 },
-        Row { model: ModelSpec::gpt3_1_3b(), name: "GPT3-1.3B", world: 8, nodes: 1, bs: 16, tp: 2, pp: 2, ga: 2 },
-        Row { model: ModelSpec::gpt3_1_3b(), name: "GPT3-1.3B", world: 8, nodes: 1, bs: 16, tp: 2, pp: 4, ga: 2 },
-        Row { model: ModelSpec::gpt3_1_3b(), name: "GPT3-1.3B", world: 8, nodes: 1, bs: 16, tp: 4, pp: 2, ga: 2 },
-        Row { model: ModelSpec::gpt3_2_7b(), name: "GPT3-2.7B", world: 8, nodes: 1, bs: 16, tp: 1, pp: 2, ga: 2 },
-        Row { model: ModelSpec::gpt3_2_7b(), name: "GPT3-2.7B", world: 8, nodes: 1, bs: 16, tp: 2, pp: 1, ga: 2 },
-        Row { model: ModelSpec::gpt3_2_7b(), name: "GPT3-2.7B", world: 8, nodes: 1, bs: 8, tp: 2, pp: 2, ga: 2 },
-        Row { model: ModelSpec::gpt3_2_7b(), name: "GPT3-2.7B", world: 8, nodes: 1, bs: 8, tp: 2, pp: 4, ga: 2 },
-        Row { model: ModelSpec::gpt3_2_7b(), name: "GPT3-2.7B", world: 8, nodes: 1, bs: 8, tp: 4, pp: 2, ga: 2 },
-        Row { model: ModelSpec::llama2_7b(), name: "Llama2-7B", world: 32, nodes: 4, bs: 16, tp: 2, pp: 8, ga: 2 },
-        Row { model: ModelSpec::llama2_7b(), name: "Llama2-7B", world: 32, nodes: 4, bs: 8, tp: 2, pp: 8, ga: 4 },
-        Row { model: ModelSpec::llama2_7b(), name: "Llama2-7B", world: 32, nodes: 4, bs: 16, tp: 4, pp: 4, ga: 2 },
-        Row { model: ModelSpec::llama2_7b(), name: "Llama2-7B", world: 32, nodes: 4, bs: 8, tp: 8, pp: 2, ga: 2 },
+        Row {
+            model: ModelSpec::gpt3_1_3b(),
+            name: "GPT3-1.3B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 1,
+            pp: 2,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_1_3b(),
+            name: "GPT3-1.3B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 2,
+            pp: 1,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_1_3b(),
+            name: "GPT3-1.3B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 2,
+            pp: 2,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_1_3b(),
+            name: "GPT3-1.3B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 2,
+            pp: 4,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_1_3b(),
+            name: "GPT3-1.3B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 4,
+            pp: 2,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_2_7b(),
+            name: "GPT3-2.7B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 1,
+            pp: 2,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_2_7b(),
+            name: "GPT3-2.7B",
+            world: 8,
+            nodes: 1,
+            bs: 16,
+            tp: 2,
+            pp: 1,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_2_7b(),
+            name: "GPT3-2.7B",
+            world: 8,
+            nodes: 1,
+            bs: 8,
+            tp: 2,
+            pp: 2,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_2_7b(),
+            name: "GPT3-2.7B",
+            world: 8,
+            nodes: 1,
+            bs: 8,
+            tp: 2,
+            pp: 4,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::gpt3_2_7b(),
+            name: "GPT3-2.7B",
+            world: 8,
+            nodes: 1,
+            bs: 8,
+            tp: 4,
+            pp: 2,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::llama2_7b(),
+            name: "Llama2-7B",
+            world: 32,
+            nodes: 4,
+            bs: 16,
+            tp: 2,
+            pp: 8,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::llama2_7b(),
+            name: "Llama2-7B",
+            world: 32,
+            nodes: 4,
+            bs: 8,
+            tp: 2,
+            pp: 8,
+            ga: 4,
+        },
+        Row {
+            model: ModelSpec::llama2_7b(),
+            name: "Llama2-7B",
+            world: 32,
+            nodes: 4,
+            bs: 16,
+            tp: 4,
+            pp: 4,
+            ga: 2,
+        },
+        Row {
+            model: ModelSpec::llama2_7b(),
+            name: "Llama2-7B",
+            world: 32,
+            nodes: 4,
+            bs: 8,
+            tp: 8,
+            pp: 2,
+            ga: 2,
+        },
     ];
 
     println!(
@@ -61,7 +187,10 @@ fn main() {
             activation_recompute: true,
             ..Default::default()
         };
-        let job = TrainingJob { parallel, ..scenario.template() };
+        let job = TrainingJob {
+            parallel,
+            ..scenario.template()
+        };
         if job.validate().is_err() {
             println!("{:<11} config {} invalid, skipped", row.name, parallel);
             continue;

@@ -21,10 +21,38 @@ fn main() {
         ("DDP", FrameworkFlavor::Ddp, false),
         ("DDP+compile", FrameworkFlavor::Ddp, true),
         ("FSDP", FrameworkFlavor::Fsdp, false),
-        ("ZeRO-1", FrameworkFlavor::DeepSpeedZero { stage: 1, activation_offload: false }, false),
-        ("ZeRO-2", FrameworkFlavor::DeepSpeedZero { stage: 2, activation_offload: false }, false),
-        ("ZeRO-3", FrameworkFlavor::DeepSpeedZero { stage: 3, activation_offload: false }, false),
-        ("ZeRO-1+offload", FrameworkFlavor::DeepSpeedZero { stage: 1, activation_offload: true }, false),
+        (
+            "ZeRO-1",
+            FrameworkFlavor::DeepSpeedZero {
+                stage: 1,
+                activation_offload: false,
+            },
+            false,
+        ),
+        (
+            "ZeRO-2",
+            FrameworkFlavor::DeepSpeedZero {
+                stage: 2,
+                activation_offload: false,
+            },
+            false,
+        ),
+        (
+            "ZeRO-3",
+            FrameworkFlavor::DeepSpeedZero {
+                stage: 3,
+                activation_offload: false,
+            },
+            false,
+        ),
+        (
+            "ZeRO-1+offload",
+            FrameworkFlavor::DeepSpeedZero {
+                stage: 1,
+                activation_offload: true,
+            },
+            false,
+        ),
     ];
 
     print!("{:<10}", "Model");

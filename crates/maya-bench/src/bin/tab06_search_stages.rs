@@ -7,7 +7,11 @@ use maya_bench::Scenario;
 use maya_search::{AlgorithmKind, Objective, TrialScheduler};
 use std::time::Duration;
 
-fn accumulate(maya: &Maya, scenario: &Scenario, optimized: bool) -> (StageTimings, Duration, usize) {
+fn accumulate(
+    maya: &Maya,
+    scenario: &Scenario,
+    optimized: bool,
+) -> (StageTimings, Duration, usize) {
     let objective = Objective::new(maya, scenario.template());
     let mut sched = TrialScheduler::new(&objective);
     sched.pruning = optimized;
@@ -21,13 +25,8 @@ fn accumulate(maya: &Maya, scenario: &Scenario, optimized: bool) -> (StageTiming
         // tractability; the paper's full grid ran >24 hours.
         let cap = maya_bench::config_budget(120);
         let space = maya_search::ConfigSpace::default();
-        let mut n = 0;
-        for c in space.enumerate() {
-            if n >= cap {
-                break;
-            }
+        for c in space.enumerate().into_iter().take(cap) {
             sched.evaluate(&c);
-            n += 1;
         }
         sched.run(AlgorithmKind::Random, 0, 0) // finalize with no extra trials
     };
@@ -46,7 +45,11 @@ fn accumulate(maya: &Maya, scenario: &Scenario, optimized: bool) -> (StageTiming
         },
         ..scenario.template()
     };
-    let rep = maya.predict_job(&rep_job).ok().map(|p| p.timings).unwrap_or_default();
+    let rep = maya
+        .predict_job(&rep_job)
+        .ok()
+        .map(|p| p.timings)
+        .unwrap_or_default();
     (rep, result.wall, result.stats.executed)
 }
 
@@ -59,13 +62,36 @@ fn main() {
     let no_maya = Maya::with_oracle(EmulationSpec::without_optimizations(scenario.cluster));
     let (no_stage, no_wall, no_exec) = accumulate(&no_maya, &scenario, false);
 
-    println!("Table 6: per-trial stage runtimes and search totals ({})", scenario.name);
+    println!(
+        "Table 6: per-trial stage runtimes and search totals ({})",
+        scenario.name
+    );
     println!("{:<22} {:>14} {:>16}", "Stage", "Maya", "No Optimization");
     let ms = |d: Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
-    println!("{:<22} {:>14} {:>16}", "Emulation", ms(opt_stage.emulation), ms(no_stage.emulation));
-    println!("{:<22} {:>14} {:>16}", "Trace collation", ms(opt_stage.collation), ms(no_stage.collation));
-    println!("{:<22} {:>14} {:>16}", "Runtime prediction", ms(opt_stage.estimation), ms(no_stage.estimation));
-    println!("{:<22} {:>14} {:>16}", "Simulation", ms(opt_stage.simulation), ms(no_stage.simulation));
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "Emulation",
+        ms(opt_stage.emulation),
+        ms(no_stage.emulation)
+    );
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "Trace collation",
+        ms(opt_stage.collation),
+        ms(no_stage.collation)
+    );
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "Runtime prediction",
+        ms(opt_stage.estimation),
+        ms(no_stage.estimation)
+    );
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "Simulation",
+        ms(opt_stage.simulation),
+        ms(no_stage.simulation)
+    );
     println!(
         "{:<22} {:>13.1}s {:>15.1}s",
         "Total search time",

@@ -109,7 +109,10 @@ impl Scenario {
 /// Profile scale from the environment: paper-scale sweeps by default,
 /// `MAYA_BENCH_FAST=1` for quick smoke runs.
 pub fn profile_scale() -> ProfileScale {
-    if std::env::var("MAYA_BENCH_FAST").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("MAYA_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         ProfileScale::Test
     } else {
         ProfileScale::Full
@@ -118,7 +121,10 @@ pub fn profile_scale() -> ProfileScale {
 
 /// Config-count budget from the environment.
 pub fn config_budget(default: usize) -> usize {
-    std::env::var("MAYA_BENCH_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("MAYA_BENCH_CONFIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Enumerates structurally-valid configurations for a scenario, sampled
@@ -128,7 +134,14 @@ pub fn valid_configs(scenario: &Scenario, limit: usize) -> Vec<ConfigPoint> {
     let all: Vec<ConfigPoint> = ConfigSpace::default()
         .enumerate()
         .into_iter()
-        .filter(|c| TrainingJob { parallel: *c, ..template }.validate().is_ok())
+        .filter(|c| {
+            TrainingJob {
+                parallel: *c,
+                ..template
+            }
+            .validate()
+            .is_ok()
+        })
         .collect();
     // Always include the "plain" tp x pp sub-space (the only recipes the
     // narrowest baselines can express), then stride-sample the rest.
@@ -146,8 +159,11 @@ pub fn valid_configs(scenario: &Scenario, limit: usize) -> Vec<ConfigPoint> {
     picked.truncate(limit / 2);
     if picked.len() < limit {
         let remaining = limit - picked.len();
-        let rest: Vec<ConfigPoint> =
-            all.iter().filter(|c| !picked.contains(c)).copied().collect();
+        let rest: Vec<ConfigPoint> = all
+            .iter()
+            .filter(|c| !picked.contains(c))
+            .copied()
+            .collect();
         if rest.len() > remaining {
             let stride = rest.len() as f64 / remaining as f64;
             picked.extend((0..remaining).map(|i| rest[(i as f64 * stride) as usize]));
@@ -160,7 +176,11 @@ pub fn valid_configs(scenario: &Scenario, limit: usize) -> Vec<ConfigPoint> {
 
 /// The three baseline systems of §7.1.
 pub fn baselines() -> Vec<Box<dyn BaselineModel>> {
-    vec![Box::new(Proteus::default()), Box::new(Calculon), Box::new(Amped)]
+    vec![
+        Box::new(Proteus::default()),
+        Box::new(Calculon),
+        Box::new(Amped),
+    ]
 }
 
 /// Absolute percentage error.
@@ -200,7 +220,12 @@ mod tests {
             assert!(configs.len() <= 50);
             let template = s.template();
             for c in &configs {
-                assert!(TrainingJob { parallel: *c, ..template }.validate().is_ok());
+                assert!(TrainingJob {
+                    parallel: *c,
+                    ..template
+                }
+                .validate()
+                .is_ok());
             }
         }
     }

@@ -51,19 +51,35 @@ pub enum CollateError {
 impl fmt::Display for CollateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CollateError::ConflictingCommMembership { comm, rank_in_comm, first, second } => {
+            CollateError::ConflictingCommMembership {
+                comm,
+                rank_in_comm,
+                first,
+                second,
+            } => {
                 write!(
                     f,
                     "comm {comm:#x} slot {rank_in_comm} claimed by ranks {first} and {second}"
                 )
             }
             CollateError::CommSizeMismatch { comm, sizes } => {
-                write!(f, "comm {comm:#x} declared with sizes {} and {}", sizes.0, sizes.1)
+                write!(
+                    f,
+                    "comm {comm:#x} declared with sizes {} and {}",
+                    sizes.0, sizes.1
+                )
             }
             CollateError::CollectiveMismatch { comm, seq, detail } => {
-                write!(f, "collective (comm {comm:#x}, seq {seq}) mismatch: {detail}")
+                write!(
+                    f,
+                    "collective (comm {comm:#x}, seq {seq}) mismatch: {detail}"
+                )
             }
-            CollateError::IncompleteComm { comm, seen, declared } => {
+            CollateError::IncompleteComm {
+                comm,
+                seen,
+                declared,
+            } => {
                 write!(f, "comm {comm:#x} has {seen}/{declared} members traced")
             }
             CollateError::Invalid(msg) => write!(f, "invalid job: {msg}"),
@@ -169,15 +185,23 @@ pub fn collate_with_known_groups(
             }
             members[pos as usize] = g;
         }
-        if members.iter().any(|&m| m == u32::MAX) {
+        if members.contains(&u32::MAX) {
             infer_missing_members(&mut members, world).map_err(|seen| {
-                CollateError::IncompleteComm { comm: *comm, seen, declared: size }
+                CollateError::IncompleteComm {
+                    comm: *comm,
+                    seen,
+                    declared: size,
+                }
             })?;
         }
         groups.insert(*comm, members);
     }
 
-    let job = JobTrace { nranks: world, workers, comm_groups: groups };
+    let job = JobTrace {
+        nranks: world,
+        workers,
+        comm_groups: groups,
+    };
     job.validate().map_err(CollateError::Invalid)?;
     validate_collectives(&job)?;
     Ok(job)
@@ -187,8 +211,12 @@ pub fn collate_with_known_groups(
 /// from the known slots (Megatron groups have constant stride). Returns
 /// `Err(seen_count)` if no consistent stride exists.
 fn infer_missing_members(members: &mut [u32], world: u32) -> Result<(), u32> {
-    let known: Vec<(usize, u32)> =
-        members.iter().enumerate().filter(|(_, &m)| m != u32::MAX).map(|(i, &m)| (i, m)).collect();
+    let known: Vec<(usize, u32)> = members
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m != u32::MAX)
+        .map(|(i, &m)| (i, m))
+        .collect();
     let seen = known.len() as u32;
     if known.is_empty() {
         return Err(0);
@@ -216,16 +244,16 @@ fn infer_missing_members(members: &mut [u32], world: u32) -> Result<(), u32> {
     let (i1, g1) = known[1];
     let stride = (g1 as i64 - g0 as i64) / (i1 as i64 - i0 as i64).max(1);
     let base = g0 as i64 - stride * i0 as i64;
-    for i in 0..members.len() {
+    for (i, slot) in members.iter_mut().enumerate() {
         let v = base + stride * i as i64;
         if v < 0 || v >= world as i64 {
             return Err(seen);
         }
         let v = v as u32;
-        if members[i] != u32::MAX && members[i] != v {
+        if *slot != u32::MAX && *slot != v {
             return Err(seen);
         }
-        members[i] = v;
+        *slot = v;
     }
     Ok(())
 }
@@ -235,15 +263,19 @@ fn infer_missing_members(members: &mut [u32], world: u32) -> Result<(), u32> {
 /// send/recv pairing.
 pub fn validate_collectives(job: &JobTrace) -> Result<(), CollateError> {
     use std::collections::HashMap;
-    // (comm, seq, pair) -> (kind-class, bytes, participant count)
-    let mut seen: HashMap<(u64, u32, (u32, u32)), (u8, u64, u32)> = HashMap::new();
+    /// Rendezvous identity: communicator, sequence, send/recv pair.
+    type CollSite = (u64, u32, (u32, u32));
+    /// What every participant must agree on: kind class, bytes, count.
+    type CollShape = (u8, u64, u32);
+    let mut seen: HashMap<CollSite, CollShape> = HashMap::new();
     for w in &job.workers {
         for e in &w.events {
             if let DeviceOp::Collective { desc } = e.op {
                 let (class, pair) = match desc.kind {
-                    CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => {
-                        (255u8, (desc.rank_in_comm.min(peer), desc.rank_in_comm.max(peer)))
-                    }
+                    CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => (
+                        255u8,
+                        (desc.rank_in_comm.min(peer), desc.rank_in_comm.max(peer)),
+                    ),
                     k => (k.id(), (u32::MAX, u32::MAX)),
                 };
                 let key = (desc.comm_id, desc.seq, pair);
@@ -295,7 +327,14 @@ mod tests {
     use super::*;
     use maya_trace::{CollectiveDesc, SimTime, StreamId, TraceEvent};
 
-    fn coll_event(kind: CollectiveKind, comm: u64, seq: u32, bytes: u64, n: u32, r: u32) -> TraceEvent {
+    fn coll_event(
+        kind: CollectiveKind,
+        comm: u64,
+        seq: u32,
+        bytes: u64,
+        n: u32,
+        r: u32,
+    ) -> TraceEvent {
         TraceEvent {
             stream: StreamId::DEFAULT,
             op: DeviceOp::Collective {
@@ -320,8 +359,14 @@ mod tests {
 
     #[test]
     fn reconstructs_comm_groups_by_slot() {
-        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
-        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 1)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)],
+        );
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 1)],
+        );
         let job = collate(vec![w1, w0], 2).unwrap();
         assert_eq!(job.comm_groups[&5], vec![0, 1]);
         assert_eq!(job.workers[0].rank, 0, "workers sorted by rank");
@@ -330,34 +375,67 @@ mod tests {
     #[test]
     fn non_contiguous_group_order_preserved() {
         // dp group over ranks 1 and 3 (stride 2), rank 3 is slot 1.
-        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 9, 0, 64, 2, 0)]);
-        let w3 = worker(3, vec![coll_event(CollectiveKind::AllReduce, 9, 0, 64, 2, 1)]);
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::AllReduce, 9, 0, 64, 2, 0)],
+        );
+        let w3 = worker(
+            3,
+            vec![coll_event(CollectiveKind::AllReduce, 9, 0, 64, 2, 1)],
+        );
         let job = collate(vec![w3, w1], 4).unwrap();
         assert_eq!(job.comm_groups[&9], vec![1, 3]);
     }
 
     #[test]
     fn conflicting_membership_detected() {
-        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
-        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 1, 64, 2, 0)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)],
+        );
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 1, 64, 2, 0)],
+        );
         let err = collate(vec![w0, w1], 2).unwrap_err();
-        assert!(matches!(err, CollateError::ConflictingCommMembership { .. }), "{err}");
+        assert!(
+            matches!(err, CollateError::ConflictingCommMembership { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn size_mismatch_detected() {
-        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
-        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 3, 1)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)],
+        );
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 3, 1)],
+        );
         let err = collate(vec![w0, w1], 2).unwrap_err();
-        assert!(matches!(err, CollateError::CommSizeMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, CollateError::CommSizeMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn payload_mismatch_detected() {
-        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)]);
-        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 128, 2, 1)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 0)],
+        );
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 128, 2, 1)],
+        );
         let err = collate(vec![w0, w1], 2).unwrap_err();
-        assert!(matches!(err, CollateError::CollectiveMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, CollateError::CollectiveMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -370,22 +448,37 @@ mod tests {
                 coll_event(CollectiveKind::AllReduce, 5, 1, 64, 2, 0),
             ],
         );
-        let w1 = worker(1, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 1)]);
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 2, 1)],
+        );
         let err = collate(vec![w0, w1], 2).unwrap_err();
-        assert!(matches!(err, CollateError::CollectiveMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, CollateError::CollectiveMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn send_recv_pairs_match_by_pair_key() {
-        let w0 = worker(0, vec![coll_event(CollectiveKind::Send { peer: 1 }, 7, 0, 32, 2, 0)]);
-        let w1 = worker(1, vec![coll_event(CollectiveKind::Recv { peer: 0 }, 7, 0, 32, 2, 1)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::Send { peer: 1 }, 7, 0, 32, 2, 0)],
+        );
+        let w1 = worker(
+            1,
+            vec![coll_event(CollectiveKind::Recv { peer: 0 }, 7, 0, 32, 2, 1)],
+        );
         assert!(collate(vec![w0, w1], 2).is_ok());
     }
 
     #[test]
     fn sparse_collate_infers_strided_group() {
         // Only rank 0 of an 8-rank dp group (stride 1) was emulated.
-        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 8, 0)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 8, 0)],
+        );
         let job = collate(vec![w0], 8).unwrap();
         assert_eq!(job.comm_groups[&5], vec![0, 1, 2, 3, 4, 5, 6, 7]);
         assert!(!job.is_dense());
@@ -394,8 +487,14 @@ mod tests {
     #[test]
     fn sparse_collate_infers_stride_from_two_members() {
         // Ranks 0 and 4 of a 4-member group with stride 4.
-        let w0 = worker(0, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 4, 0)]);
-        let w4 = worker(4, vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 4, 1)]);
+        let w0 = worker(
+            0,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 4, 0)],
+        );
+        let w4 = worker(
+            4,
+            vec![coll_event(CollectiveKind::AllReduce, 5, 0, 64, 4, 1)],
+        );
         let job = collate(vec![w0, w4], 16).unwrap();
         assert_eq!(job.comm_groups[&5], vec![0, 4, 8, 12]);
     }

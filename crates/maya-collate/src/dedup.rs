@@ -37,7 +37,9 @@ pub fn signature(trace: &WorkerTrace) -> u64 {
         match e.op {
             DeviceOp::KernelLaunch { kernel } => {
                 key = key.with(1).with(kernel.family_id() as u64);
-                key = key.with(kernel.flops().to_bits()).with(kernel.bytes_accessed().to_bits());
+                key = key
+                    .with(kernel.flops().to_bits())
+                    .with(kernel.bytes_accessed().to_bits());
             }
             DeviceOp::MemcpyAsync { bytes, kind, sync } => {
                 key = key.with(2).with(bytes).with(kind as u64).with(sync as u64);
@@ -87,7 +89,11 @@ pub fn dedup_classes(workers: &[WorkerTrace]) -> Vec<DedupClass> {
         .into_iter()
         .map(|(signature, mut members)| {
             members.sort_unstable();
-            DedupClass { representative: members[0], members, signature }
+            DedupClass {
+                representative: members[0],
+                members,
+                signature,
+            }
         })
         .collect();
     classes.sort_by_key(|c| c.representative);
@@ -98,11 +104,15 @@ pub fn dedup_classes(workers: &[WorkerTrace]) -> Vec<DedupClass> {
 /// class. Communicator groups are preserved in full, so downstream
 /// consumers can still size collectives correctly.
 pub fn reduce_job(job: &JobTrace, classes: &[DedupClass]) -> JobTrace {
-    let keep: std::collections::BTreeSet<u32> =
-        classes.iter().map(|c| c.representative).collect();
+    let keep: std::collections::BTreeSet<u32> = classes.iter().map(|c| c.representative).collect();
     JobTrace {
         nranks: job.nranks,
-        workers: job.workers.iter().filter(|w| keep.contains(&w.rank)).cloned().collect(),
+        workers: job
+            .workers
+            .iter()
+            .filter(|w| keep.contains(&w.rank))
+            .cloned()
+            .collect(),
         comm_groups: job.comm_groups.clone(),
     }
 }
@@ -118,13 +128,20 @@ pub fn unique_megatron_ranks(tp: u32, dp: u32, pp: u32) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maya_trace::{CollectiveDesc, CollectiveKind, Dtype, KernelKind, SimTime, StreamId, TraceEvent};
+    use maya_trace::{
+        CollectiveDesc, CollectiveKind, Dtype, KernelKind, SimTime, StreamId, TraceEvent,
+    };
 
     fn kernel_event(m: u64, host_us: f64) -> TraceEvent {
         TraceEvent {
             stream: StreamId::DEFAULT,
             op: DeviceOp::KernelLaunch {
-                kernel: KernelKind::Gemm { m, n: 64, k: 64, dtype: Dtype::Bf16 },
+                kernel: KernelKind::Gemm {
+                    m,
+                    n: 64,
+                    k: 64,
+                    dtype: Dtype::Bf16,
+                },
             },
             host_delay: SimTime::from_us(host_us),
         }

@@ -55,7 +55,12 @@ pub struct ModelClock {
 impl ModelClock {
     /// Creates a model clock for a given seed.
     pub fn new(seed: u64) -> Self {
-        ModelClock { cpu_speed: 1.0, jitter: 0.10, seed, calls: 0 }
+        ModelClock {
+            cpu_speed: 1.0,
+            jitter: 0.10,
+            seed,
+            calls: 0,
+        }
     }
 
     /// Base cost in microseconds for each call class.
@@ -81,7 +86,10 @@ impl HostClock for ModelClock {
     fn charge(&mut self, class: HostOpClass) -> SimTime {
         self.calls += 1;
         let f = centered_factor(
-            Key::new(self.seed).with(self.calls).with(class as u64).finish(),
+            Key::new(self.seed)
+                .with(self.calls)
+                .with(class as u64)
+                .finish(),
             self.jitter,
         );
         SimTime::from_us(Self::base_us(class) * self.cpu_speed * f)
@@ -98,7 +106,9 @@ pub struct WallClock {
 impl WallClock {
     /// Starts the clock now.
     pub fn new() -> Self {
-        WallClock { last: std::time::Instant::now() }
+        WallClock {
+            last: std::time::Instant::now(),
+        }
     }
 }
 
@@ -125,7 +135,11 @@ mod tests {
     fn model_clock_is_deterministic() {
         let mut a = ModelClock::new(7);
         let mut b = ModelClock::new(7);
-        for class in [HostOpClass::KernelLaunch, HostOpClass::Library, HostOpClass::Sync] {
+        for class in [
+            HostOpClass::KernelLaunch,
+            HostOpClass::Library,
+            HostOpClass::Sync,
+        ] {
             assert_eq!(a.charge(class), b.charge(class));
         }
     }

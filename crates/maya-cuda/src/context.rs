@@ -90,7 +90,11 @@ impl CudaContext {
     /// Creates a virtual device of the given spec for `rank`, with the
     /// default deterministic host clock (seeded by rank).
     pub fn new(rank: u32, gpu: GpuSpec) -> Self {
-        Self::with_clock(rank, gpu, Box::new(ModelClock::new(0x636C_6F63 ^ rank as u64)))
+        Self::with_clock(
+            rank,
+            gpu,
+            Box::new(ModelClock::new(0x636C_6F63 ^ rank as u64)),
+        )
     }
 
     /// Creates a virtual device with a custom host clock.
@@ -152,13 +156,15 @@ impl CudaContext {
     pub(crate) fn record(&mut self, stream: StreamId, op: DeviceOp, class: HostOpClass) {
         let host = self.clock.charge(class) + std::mem::take(&mut self.pending_host);
         match op {
-            DeviceOp::KernelLaunch { .. } | DeviceOp::MemcpyAsync { .. } => {
-                self.num_kernels += 1
-            }
+            DeviceOp::KernelLaunch { .. } | DeviceOp::MemcpyAsync { .. } => self.num_kernels += 1,
             DeviceOp::Collective { .. } => self.num_collectives += 1,
             _ => {}
         }
-        self.log.push(TraceEvent { stream, op, host_delay: host });
+        self.log.push(TraceEvent {
+            stream,
+            op,
+            host_delay: host,
+        });
     }
 
     /// Validates a stream handle.
@@ -208,7 +214,10 @@ impl CudaContext {
         self.allocations.insert(ptr, rounded);
         self.record(
             StreamId::DEFAULT,
-            DeviceOp::Malloc { bytes: rounded, ptr },
+            DeviceOp::Malloc {
+                bytes: rounded,
+                ptr,
+            },
             HostOpClass::Memory,
         );
         Ok(DevicePtr(ptr))
@@ -219,7 +228,11 @@ impl CudaContext {
         match self.allocations.remove(&ptr.0) {
             Some(bytes) => {
                 self.used -= bytes;
-                self.record(StreamId::DEFAULT, DeviceOp::Free { ptr: ptr.0 }, HostOpClass::Memory);
+                self.record(
+                    StreamId::DEFAULT,
+                    DeviceOp::Free { ptr: ptr.0 },
+                    HostOpClass::Memory,
+                );
                 Ok(())
             }
             None => Err(CudaError::InvalidDevicePointer),
@@ -227,14 +240,21 @@ impl CudaContext {
     }
 
     /// `cudaMemsetAsync`.
-    pub fn memset_async(&mut self, ptr: DevicePtr, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+    pub fn memset_async(
+        &mut self,
+        ptr: DevicePtr,
+        bytes: u64,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         if !self.allocations.contains_key(&ptr.0) {
             return Err(CudaError::InvalidDevicePointer);
         }
         let s = self.check_stream(stream)?;
         self.record(
             s,
-            DeviceOp::KernelLaunch { kernel: KernelKind::Memset { bytes } },
+            DeviceOp::KernelLaunch {
+                kernel: KernelKind::Memset { bytes },
+            },
             HostOpClass::KernelLaunch,
         );
         Ok(())
@@ -250,7 +270,11 @@ impl CudaContext {
         let s = self.check_stream(stream)?;
         self.record(
             s,
-            DeviceOp::MemcpyAsync { bytes, kind, sync: false },
+            DeviceOp::MemcpyAsync {
+                bytes,
+                kind,
+                sync: false,
+            },
             HostOpClass::KernelLaunch,
         );
         Ok(())
@@ -260,7 +284,11 @@ impl CudaContext {
     pub fn memcpy(&mut self, bytes: u64, kind: MemcpyKind) -> CudaResult<()> {
         self.record(
             StreamId::DEFAULT,
-            DeviceOp::MemcpyAsync { bytes, kind, sync: true },
+            DeviceOp::MemcpyAsync {
+                bytes,
+                kind,
+                sync: true,
+            },
             HostOpClass::KernelLaunch,
         );
         Ok(())
@@ -308,10 +336,20 @@ impl CudaContext {
     /// on `stream`.
     pub fn event_record(&mut self, event: CudaEvent, stream: CudaStream) -> CudaResult<()> {
         let s = self.check_stream(stream)?;
-        let v = self.events.get_mut(&event.0).ok_or(CudaError::InvalidResourceHandle)?;
+        let v = self
+            .events
+            .get_mut(&event.0)
+            .ok_or(CudaError::InvalidResourceHandle)?;
         *v += 1;
         let version = *v;
-        self.record(s, DeviceOp::EventRecord { event: event.0, version }, HostOpClass::Sync);
+        self.record(
+            s,
+            DeviceOp::EventRecord {
+                event: event.0,
+                version,
+            },
+            HostOpClass::Sync,
+        );
         Ok(())
     }
 
@@ -320,17 +358,33 @@ impl CudaContext {
     /// CUDA.
     pub fn stream_wait_event(&mut self, stream: CudaStream, event: CudaEvent) -> CudaResult<()> {
         let s = self.check_stream(stream)?;
-        let version = *self.events.get(&event.0).ok_or(CudaError::InvalidResourceHandle)?;
-        self.record(s, DeviceOp::StreamWaitEvent { event: event.0, version }, HostOpClass::Sync);
+        let version = *self
+            .events
+            .get(&event.0)
+            .ok_or(CudaError::InvalidResourceHandle)?;
+        self.record(
+            s,
+            DeviceOp::StreamWaitEvent {
+                event: event.0,
+                version,
+            },
+            HostOpClass::Sync,
+        );
         Ok(())
     }
 
     /// `cudaEventSynchronize`: host blocks until the event fires.
     pub fn event_synchronize(&mut self, event: CudaEvent) -> CudaResult<()> {
-        let version = *self.events.get(&event.0).ok_or(CudaError::InvalidResourceHandle)?;
+        let version = *self
+            .events
+            .get(&event.0)
+            .ok_or(CudaError::InvalidResourceHandle)?;
         self.record(
             StreamId::DEFAULT,
-            DeviceOp::EventSynchronize { event: event.0, version },
+            DeviceOp::EventSynchronize {
+                event: event.0,
+                version,
+            },
             HostOpClass::Sync,
         );
         Ok(())
@@ -345,7 +399,11 @@ impl CudaContext {
 
     /// `cudaDeviceSynchronize`.
     pub fn device_synchronize(&mut self) {
-        self.record(StreamId::DEFAULT, DeviceOp::DeviceSynchronize, HostOpClass::Sync);
+        self.record(
+            StreamId::DEFAULT,
+            DeviceOp::DeviceSynchronize,
+            HostOpClass::Sync,
+        );
     }
 
     // ----- Kernel launch -----
@@ -355,7 +413,11 @@ impl CudaContext {
     /// layernorm, optimizers, fused Triton kernels, ...).
     pub fn launch_kernel(&mut self, kernel: KernelKind, stream: CudaStream) -> CudaResult<()> {
         let s = self.check_stream(stream)?;
-        self.record(s, DeviceOp::KernelLaunch { kernel }, HostOpClass::KernelLaunch);
+        self.record(
+            s,
+            DeviceOp::KernelLaunch { kernel },
+            HostOpClass::KernelLaunch,
+        );
         Ok(())
     }
 
@@ -477,13 +539,23 @@ mod tests {
     fn trace_records_kernels_with_host_delays() {
         let mut c = ctx();
         c.launch_kernel(
-            KernelKind::Gemm { m: 128, n: 128, k: 128, dtype: Dtype::Bf16 },
+            KernelKind::Gemm {
+                m: 128,
+                n: 128,
+                k: 128,
+                dtype: Dtype::Bf16,
+            },
             CudaStream::DEFAULT,
         )
         .unwrap();
         c.host_work(SimTime::from_us(100.0));
         c.launch_kernel(
-            KernelKind::Gemm { m: 128, n: 128, k: 128, dtype: Dtype::Bf16 },
+            KernelKind::Gemm {
+                m: 128,
+                n: 128,
+                k: 128,
+                dtype: Dtype::Bf16,
+            },
             CudaStream::DEFAULT,
         )
         .unwrap();

@@ -5,7 +5,7 @@
 //! created, bound to a stream, configured, and only then used for math.
 //! The emulator tracks that state to assemble complete GEMM metadata.
 
-use maya_trace::{Dtype, DeviceOp, KernelKind, MemcpyKind};
+use maya_trace::{DeviceOp, Dtype, KernelKind, MemcpyKind};
 
 use crate::clock::HostOpClass;
 use crate::context::{CudaContext, CudaStream};
@@ -28,26 +28,45 @@ impl CudaContext {
     /// `cublasCreate`.
     pub fn cublas_create(&mut self) -> CublasHandle {
         let h = self.fresh_handle();
-        self.cublas.insert(h, CublasState { stream: CudaStream::DEFAULT, tf32: false });
+        self.cublas.insert(
+            h,
+            CublasState {
+                stream: CudaStream::DEFAULT,
+                tf32: false,
+            },
+        );
         CublasHandle(h)
     }
 
     /// `cublasDestroy`.
     pub fn cublas_destroy(&mut self, handle: CublasHandle) -> CudaResult<()> {
-        self.cublas.remove(&handle.0).map(|_| ()).ok_or(CudaError::NotInitialized)
+        self.cublas
+            .remove(&handle.0)
+            .map(|_| ())
+            .ok_or(CudaError::NotInitialized)
     }
 
     /// `cublasSetStream`.
-    pub fn cublas_set_stream(&mut self, handle: CublasHandle, stream: CudaStream) -> CudaResult<()> {
+    pub fn cublas_set_stream(
+        &mut self,
+        handle: CublasHandle,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         self.check_stream(stream)?;
-        let st = self.cublas.get_mut(&handle.0).ok_or(CudaError::NotInitialized)?;
+        let st = self
+            .cublas
+            .get_mut(&handle.0)
+            .ok_or(CudaError::NotInitialized)?;
         st.stream = stream;
         Ok(())
     }
 
     /// `cublasSetMathMode(CUBLAS_TF32_TENSOR_OP_MATH)`.
     pub fn cublas_set_math_mode(&mut self, handle: CublasHandle, tf32: bool) -> CudaResult<()> {
-        let st = self.cublas.get_mut(&handle.0).ok_or(CudaError::NotInitialized)?;
+        let st = self
+            .cublas
+            .get_mut(&handle.0)
+            .ok_or(CudaError::NotInitialized)?;
         st.tf32 = tf32;
         Ok(())
     }
@@ -61,7 +80,10 @@ impl CudaContext {
         elem_size: u64,
         handle: CublasHandle,
     ) -> CudaResult<()> {
-        let state = *self.cublas.get(&handle.0).ok_or(CudaError::NotInitialized)?;
+        let state = *self
+            .cublas
+            .get(&handle.0)
+            .ok_or(CudaError::NotInitialized)?;
         let s = self.check_stream(state.stream)?;
         self.record(
             s,
@@ -76,12 +98,11 @@ impl CudaContext {
     }
 
     /// Shared GEMM recording path.
-    fn gemm_common(
-        &mut self,
-        handle: CublasHandle,
-        kernel: KernelKind,
-    ) -> CudaResult<()> {
-        let state = *self.cublas.get(&handle.0).ok_or(CudaError::NotInitialized)?;
+    fn gemm_common(&mut self, handle: CublasHandle, kernel: KernelKind) -> CudaResult<()> {
+        let state = *self
+            .cublas
+            .get(&handle.0)
+            .ok_or(CudaError::NotInitialized)?;
         let s = self.check_stream(state.stream)?;
         self.record(s, DeviceOp::KernelLaunch { kernel }, HostOpClass::Library);
         Ok(())
@@ -92,7 +113,11 @@ impl CudaContext {
         if m == 0 || n == 0 || k == 0 {
             return Err(CudaError::InvalidValue);
         }
-        let tf32 = self.cublas.get(&handle.0).ok_or(CudaError::NotInitialized)?.tf32;
+        let tf32 = self
+            .cublas
+            .get(&handle.0)
+            .ok_or(CudaError::NotInitialized)?
+            .tf32;
         let dtype = if tf32 { Dtype::Tf32 } else { Dtype::Fp32 };
         self.gemm_common(handle, KernelKind::Gemm { m, n, k, dtype })
     }
@@ -125,7 +150,16 @@ impl CudaContext {
         if m == 0 || n == 0 || k == 0 || batch == 0 {
             return Err(CudaError::InvalidValue);
         }
-        self.gemm_common(handle, KernelKind::GemmStridedBatched { m, n, k, batch, dtype })
+        self.gemm_common(
+            handle,
+            KernelKind::GemmStridedBatched {
+                m,
+                n,
+                k,
+                batch,
+                dtype,
+            },
+        )
     }
 
     /// `cublasLtMatmul`: epilogue-fused matmul.
@@ -158,14 +192,20 @@ mod tests {
         c.cublas_set_stream(h, s).unwrap();
         c.cublas_gemm_ex(h, 64, 64, 64, Dtype::Bf16).unwrap();
         let trace = c.into_trace();
-        assert_eq!(trace.events.last().unwrap().stream, StreamId(s.raw() as u32));
+        assert_eq!(
+            trace.events.last().unwrap().stream,
+            StreamId(s.raw() as u32)
+        );
     }
 
     #[test]
     fn uninitialized_handle_rejected() {
         let mut c = CudaContext::new(0, GpuSpec::h100());
         let bogus = CublasHandle(424242);
-        assert_eq!(c.cublas_sgemm(bogus, 4, 4, 4), Err(CudaError::NotInitialized));
+        assert_eq!(
+            c.cublas_sgemm(bogus, 4, 4, 4),
+            Err(CudaError::NotInitialized)
+        );
     }
 
     #[test]
@@ -173,7 +213,10 @@ mod tests {
         let mut c = CudaContext::new(0, GpuSpec::h100());
         let h = c.cublas_create();
         c.cublas_destroy(h).unwrap();
-        assert_eq!(c.cublas_gemm_ex(h, 4, 4, 4, Dtype::Fp16), Err(CudaError::NotInitialized));
+        assert_eq!(
+            c.cublas_gemm_ex(h, 4, 4, 4, Dtype::Fp16),
+            Err(CudaError::NotInitialized)
+        );
     }
 
     #[test]
@@ -196,7 +239,10 @@ mod tests {
     fn zero_dim_gemm_invalid() {
         let mut c = CudaContext::new(0, GpuSpec::h100());
         let h = c.cublas_create();
-        assert_eq!(c.cublas_gemm_ex(h, 0, 4, 4, Dtype::Bf16), Err(CudaError::InvalidValue));
+        assert_eq!(
+            c.cublas_gemm_ex(h, 0, 4, 4, Dtype::Bf16),
+            Err(CudaError::InvalidValue)
+        );
     }
 
     #[test]

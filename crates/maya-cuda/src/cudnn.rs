@@ -5,7 +5,7 @@
 //! descriptors so that the eventual `cudnnConvolutionForward` carries
 //! complete shape metadata (§4.1 "Context-aware Operation Modeling").
 
-use maya_trace::{Dtype, DeviceOp, KernelKind};
+use maya_trace::{DeviceOp, Dtype, KernelKind};
 
 use crate::clock::HostOpClass;
 use crate::context::{CudaContext, CudaStream};
@@ -51,19 +51,30 @@ impl CudaContext {
     /// `cudnnCreate`.
     pub fn cudnn_create(&mut self) -> CudnnHandle {
         let h = self.fresh_handle();
-        self.cudnn.insert(h, CudnnState { stream: CudaStream::DEFAULT });
+        self.cudnn.insert(
+            h,
+            CudnnState {
+                stream: CudaStream::DEFAULT,
+            },
+        );
         CudnnHandle(h)
     }
 
     /// `cudnnDestroy`.
     pub fn cudnn_destroy(&mut self, handle: CudnnHandle) -> CudaResult<()> {
-        self.cudnn.remove(&handle.0).map(|_| ()).ok_or(CudaError::NotInitialized)
+        self.cudnn
+            .remove(&handle.0)
+            .map(|_| ())
+            .ok_or(CudaError::NotInitialized)
     }
 
     /// `cudnnSetStream`.
     pub fn cudnn_set_stream(&mut self, handle: CudnnHandle, stream: CudaStream) -> CudaResult<()> {
         self.check_stream(stream)?;
-        let st = self.cudnn.get_mut(&handle.0).ok_or(CudaError::NotInitialized)?;
+        let st = self
+            .cudnn
+            .get_mut(&handle.0)
+            .ok_or(CudaError::NotInitialized)?;
         st.stream = stream;
         Ok(())
     }
@@ -86,13 +97,28 @@ impl CudaContext {
             return Err(CudaError::InvalidValue);
         }
         let id = self.fresh_handle();
-        self.conv_descs.insert(id, ConvDescState { n, c, h, w, k, r, stride, dtype });
+        self.conv_descs.insert(
+            id,
+            ConvDescState {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
+            },
+        );
         Ok(CudnnConvDesc(id))
     }
 
     /// Destroys a convolution descriptor.
     pub fn cudnn_destroy_conv_descriptor(&mut self, desc: CudnnConvDesc) -> CudaResult<()> {
-        self.conv_descs.remove(&desc.0).map(|_| ()).ok_or(CudaError::InvalidResourceHandle)
+        self.conv_descs
+            .remove(&desc.0)
+            .map(|_| ())
+            .ok_or(CudaError::InvalidResourceHandle)
     }
 
     fn conv_common(
@@ -102,9 +128,16 @@ impl CudaContext {
         build: impl Fn(&ConvDescState) -> KernelKind,
     ) -> CudaResult<()> {
         let state = *self.cudnn.get(&handle.0).ok_or(CudaError::NotInitialized)?;
-        let d = *self.conv_descs.get(&desc.0).ok_or(CudaError::InvalidResourceHandle)?;
+        let d = *self
+            .conv_descs
+            .get(&desc.0)
+            .ok_or(CudaError::InvalidResourceHandle)?;
         let s = self.check_stream(state.stream)?;
-        self.record(s, DeviceOp::KernelLaunch { kernel: build(&d) }, HostOpClass::Library);
+        self.record(
+            s,
+            DeviceOp::KernelLaunch { kernel: build(&d) },
+            HostOpClass::Library,
+        );
         Ok(())
     }
 
@@ -174,7 +207,13 @@ impl CudaContext {
         let s = self.check_stream(state.stream)?;
         self.record(
             s,
-            DeviceOp::KernelLaunch { kernel: KernelKind::BatchNorm { numel, channels, forward } },
+            DeviceOp::KernelLaunch {
+                kernel: KernelKind::BatchNorm {
+                    numel,
+                    channels,
+                    forward,
+                },
+            },
             HostOpClass::Library,
         );
         Ok(())
@@ -192,7 +231,13 @@ impl CudaContext {
         let s = self.check_stream(state.stream)?;
         self.record(
             s,
-            DeviceOp::KernelLaunch { kernel: KernelKind::Pool { numel, window, forward } },
+            DeviceOp::KernelLaunch {
+                kernel: KernelKind::Pool {
+                    numel,
+                    window,
+                    forward,
+                },
+            },
             HostOpClass::Library,
         );
         Ok(())
@@ -247,9 +292,14 @@ mod tests {
     fn destroyed_descriptor_flagged() {
         let mut c = CudaContext::new(0, GpuSpec::a40());
         let h = c.cudnn_create();
-        let d = c.cudnn_create_conv_descriptor(1, 3, 8, 8, 8, 3, 1, Dtype::Fp32).unwrap();
+        let d = c
+            .cudnn_create_conv_descriptor(1, 3, 8, 8, 8, 3, 1, Dtype::Fp32)
+            .unwrap();
         c.cudnn_destroy_conv_descriptor(d).unwrap();
-        assert_eq!(c.cudnn_convolution_forward(h, d), Err(CudaError::InvalidResourceHandle));
+        assert_eq!(
+            c.cudnn_convolution_forward(h, d),
+            Err(CudaError::InvalidResourceHandle)
+        );
     }
 
     #[test]

@@ -58,8 +58,13 @@ mod tests {
 
     #[test]
     fn display_mentions_cuda_names() {
-        let e = CudaError::MemoryAllocation { requested: 100, free: 10 };
+        let e = CudaError::MemoryAllocation {
+            requested: 100,
+            free: 10,
+        };
         assert!(e.to_string().contains("cudaErrorMemoryAllocation"));
-        assert!(CudaError::InvalidResourceHandle.to_string().contains("InvalidResourceHandle"));
+        assert!(CudaError::InvalidResourceHandle
+            .to_string()
+            .contains("InvalidResourceHandle"));
     }
 }

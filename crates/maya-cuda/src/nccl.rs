@@ -67,24 +67,41 @@ impl CudaContext {
             return Err(CudaError::NcclInvalidUsage);
         }
         let handle = self.fresh_handle();
-        self.comms.insert(handle, CommState { comm_id: unique_id.0, nranks, rank, seq: 0 });
+        self.comms.insert(
+            handle,
+            CommState {
+                comm_id: unique_id.0,
+                nranks,
+                rank,
+                seq: 0,
+            },
+        );
         let _ = self.comms.len();
         Ok(NcclComm(handle))
     }
 
     /// `ncclCommDestroy`.
     pub fn nccl_comm_destroy(&mut self, comm: NcclComm) -> CudaResult<()> {
-        self.comms.remove(&comm.0).map(|_| ()).ok_or(CudaError::NcclInvalidUsage)
+        self.comms
+            .remove(&comm.0)
+            .map(|_| ())
+            .ok_or(CudaError::NcclInvalidUsage)
     }
 
     /// Size of a communicator.
     pub fn nccl_comm_count(&self, comm: NcclComm) -> CudaResult<u32> {
-        self.comms.get(&comm.0).map(|c| c.nranks).ok_or(CudaError::NcclInvalidUsage)
+        self.comms
+            .get(&comm.0)
+            .map(|c| c.nranks)
+            .ok_or(CudaError::NcclInvalidUsage)
     }
 
     /// This rank's position within the communicator.
     pub fn nccl_comm_user_rank(&self, comm: NcclComm) -> CudaResult<u32> {
-        self.comms.get(&comm.0).map(|c| c.rank).ok_or(CudaError::NcclInvalidUsage)
+        self.comms
+            .get(&comm.0)
+            .map(|c| c.rank)
+            .ok_or(CudaError::NcclInvalidUsage)
     }
 
     /// `ncclGroupStart` (host bookkeeping only in the emulator).
@@ -105,7 +122,10 @@ impl CudaContext {
         stream: CudaStream,
     ) -> CudaResult<()> {
         let s = self.check_stream(stream)?;
-        let state = self.comms.get_mut(&comm.0).ok_or(CudaError::NcclInvalidUsage)?;
+        let state = self
+            .comms
+            .get_mut(&comm.0)
+            .ok_or(CudaError::NcclInvalidUsage)?;
         if let CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } = kind {
             if peer >= state.nranks {
                 return Err(CudaError::NcclInvalidUsage);
@@ -125,12 +145,22 @@ impl CudaContext {
     }
 
     /// `ncclAllReduce`.
-    pub fn nccl_all_reduce(&mut self, comm: NcclComm, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+    pub fn nccl_all_reduce(
+        &mut self,
+        comm: NcclComm,
+        bytes: u64,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         self.collective_common(comm, CollectiveKind::AllReduce, bytes, stream)
     }
 
     /// `ncclAllGather`.
-    pub fn nccl_all_gather(&mut self, comm: NcclComm, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+    pub fn nccl_all_gather(
+        &mut self,
+        comm: NcclComm,
+        bytes: u64,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         self.collective_common(comm, CollectiveKind::AllGather, bytes, stream)
     }
 
@@ -145,17 +175,32 @@ impl CudaContext {
     }
 
     /// `ncclBroadcast`.
-    pub fn nccl_broadcast(&mut self, comm: NcclComm, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+    pub fn nccl_broadcast(
+        &mut self,
+        comm: NcclComm,
+        bytes: u64,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         self.collective_common(comm, CollectiveKind::Broadcast, bytes, stream)
     }
 
     /// `ncclReduce`.
-    pub fn nccl_reduce(&mut self, comm: NcclComm, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+    pub fn nccl_reduce(
+        &mut self,
+        comm: NcclComm,
+        bytes: u64,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         self.collective_common(comm, CollectiveKind::Reduce, bytes, stream)
     }
 
     /// `ncclAllToAll` (expert parallelism).
-    pub fn nccl_all_to_all(&mut self, comm: NcclComm, bytes: u64, stream: CudaStream) -> CudaResult<()> {
+    pub fn nccl_all_to_all(
+        &mut self,
+        comm: NcclComm,
+        bytes: u64,
+        stream: CudaStream,
+    ) -> CudaResult<()> {
         self.collective_common(comm, CollectiveKind::AllToAll, bytes, stream)
     }
 
@@ -189,8 +234,14 @@ mod tests {
 
     #[test]
     fn unique_id_deterministic_and_order_sensitive() {
-        assert_eq!(NcclUniqueId::from_members(&[0, 1, 2]), NcclUniqueId::from_members(&[0, 1, 2]));
-        assert_ne!(NcclUniqueId::from_members(&[0, 1, 2]), NcclUniqueId::from_members(&[0, 2, 1]));
+        assert_eq!(
+            NcclUniqueId::from_members(&[0, 1, 2]),
+            NcclUniqueId::from_members(&[0, 1, 2])
+        );
+        assert_ne!(
+            NcclUniqueId::from_members(&[0, 1, 2]),
+            NcclUniqueId::from_members(&[0, 2, 1])
+        );
     }
 
     #[test]
@@ -204,8 +255,11 @@ mod tests {
         c.nccl_all_reduce(b, 100, CudaStream::DEFAULT).unwrap();
         c.nccl_all_reduce(a, 100, CudaStream::DEFAULT).unwrap();
         let t = c.into_trace();
-        let descs: Vec<CollectiveDesc> =
-            t.events.iter().filter_map(|e| e.op.as_collective().copied()).collect();
+        let descs: Vec<CollectiveDesc> = t
+            .events
+            .iter()
+            .filter_map(|e| e.op.as_collective().copied())
+            .collect();
         assert_eq!(descs.len(), 3);
         assert_eq!(descs[0].seq, 0);
         assert_eq!(descs[1].seq, 0, "independent comm counts separately");
@@ -218,8 +272,14 @@ mod tests {
     fn invalid_rank_rejected() {
         let mut c = CudaContext::new(0, GpuSpec::h100());
         let uid = NcclUniqueId::from_members(&[0, 1]);
-        assert_eq!(c.nccl_comm_init_rank(uid, 2, 2), Err(CudaError::NcclInvalidUsage));
-        assert_eq!(c.nccl_comm_init_rank(uid, 0, 0), Err(CudaError::NcclInvalidUsage));
+        assert_eq!(
+            c.nccl_comm_init_rank(uid, 2, 2),
+            Err(CudaError::NcclInvalidUsage)
+        );
+        assert_eq!(
+            c.nccl_comm_init_rank(uid, 0, 0),
+            Err(CudaError::NcclInvalidUsage)
+        );
     }
 
     #[test]
@@ -227,7 +287,10 @@ mod tests {
         let mut c = CudaContext::new(0, GpuSpec::h100());
         let uid = NcclUniqueId::from_members(&[0, 1]);
         let comm = c.nccl_comm_init_rank(uid, 2, 0).unwrap();
-        assert_eq!(c.nccl_send(comm, 5, 128, CudaStream::DEFAULT), Err(CudaError::NcclInvalidUsage));
+        assert_eq!(
+            c.nccl_send(comm, 5, 128, CudaStream::DEFAULT),
+            Err(CudaError::NcclInvalidUsage)
+        );
     }
 
     #[test]
@@ -247,7 +310,8 @@ mod tests {
         let uid = NcclUniqueId::from_members(&[0]);
         let comm = c.nccl_comm_init_rank(uid, 1, 0).unwrap();
         c.nccl_all_gather(comm, 64, CudaStream::DEFAULT).unwrap();
-        c.nccl_reduce_scatter(comm, 64, CudaStream::DEFAULT).unwrap();
+        c.nccl_reduce_scatter(comm, 64, CudaStream::DEFAULT)
+            .unwrap();
         let t = c.into_trace();
         assert_eq!(t.summary.num_collectives, 2);
     }

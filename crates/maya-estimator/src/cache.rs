@@ -1,0 +1,373 @@
+//! A memoizing decorator over any [`RuntimeEstimator`].
+//!
+//! Configuration search re-runs the emulate → collate → estimate →
+//! simulate loop thousands of times (Fig. 15, Table 6), and the vast
+//! majority of estimator queries repeat across trials: the same GEMM
+//! shapes, the same memcpy sizes, the same collective payloads. Every
+//! estimator in this crate is a pure function of its arguments, so the
+//! answers can be memoized once and shared by every prediction that runs
+//! on the same engine — including predictions running concurrently on
+//! different threads.
+//!
+//! [`CachingEstimator`] wraps an inner estimator with a sharded
+//! `RwLock` memo per query family (kernel / memcpy / collective).
+//! Sharding keeps reader contention negligible when a worker pool fans
+//! many simulations over the cache at once; the common steady-state
+//! access is a read lock on one shard.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use maya_hw::ClusterSpec;
+use maya_trace::{CollectiveKind, KernelKind, MemcpyKind, SimTime};
+
+use crate::estimator::RuntimeEstimator;
+
+/// Number of lock shards per memo map (power of two).
+const SHARDS: usize = 16;
+
+/// A hash-sharded `RwLock<HashMap>` memo.
+struct Sharded<K> {
+    shards: Vec<RwLock<HashMap<K, SimTime>>>,
+}
+
+impl<K: Hash + Eq> Sharded<K> {
+    fn new() -> Self {
+        Sharded {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, SimTime>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Returns the memoized value or computes, stores and returns it.
+    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> SimTime) -> (SimTime, bool) {
+        let shard = self.shard(&key);
+        if let Some(&t) = shard.read().expect("cache shard poisoned").get(&key) {
+            return (t, true);
+        }
+        let t = compute();
+        // A racing writer may have inserted the same key; both computed
+        // the same pure value, so last-write-wins is benign.
+        shard.write().expect("cache shard poisoned").insert(key, t);
+        (t, false)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.write().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+/// Key for memoized collective queries.
+///
+/// Includes a cluster fingerprint — architecture, shape, and the bit
+/// patterns of both link specs (the inputs `collective_time`
+/// actually depends on) — so a cache shared across differing clusters
+/// cannot alias; a `CachingEstimator` is still intended to live inside
+/// one prediction engine with one fixed cluster.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CollectiveKey {
+    kind: CollectiveKind,
+    bytes: u64,
+    ranks: Vec<u32>,
+    arch_id: u64,
+    num_gpus: u32,
+    gpus_per_node: u32,
+    link_bits: [u64; 6],
+}
+
+/// Bit patterns of the intra/inter link parameters.
+fn link_bits(cluster: &ClusterSpec) -> [u64; 6] {
+    [
+        cluster.intra_link.bw_gbps.to_bits(),
+        cluster.intra_link.latency_us.to_bits(),
+        cluster.intra_link.half_ramp_bytes.to_bits(),
+        cluster.inter_link.bw_gbps.to_bits(),
+        cluster.inter_link.latency_us.to_bits(),
+        cluster.inter_link.half_ramp_bytes.to_bits(),
+    ]
+}
+
+/// Cumulative hit/miss counters for one [`CachingEstimator`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries forwarded to the inner estimator.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero when no queries were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizing [`RuntimeEstimator`] decorator (see module docs).
+///
+/// Transparent by construction: estimators are pure, so a cached answer
+/// is byte-identical to an uncached one. Cheap to share — clone the
+/// surrounding `Arc`.
+pub struct CachingEstimator {
+    inner: Arc<dyn RuntimeEstimator>,
+    kernels: Sharded<KernelKind>,
+    memcpys: Sharded<(u64, MemcpyKind)>,
+    collectives: Sharded<CollectiveKey>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachingEstimator {
+    /// Wraps an inner estimator.
+    pub fn new(inner: Arc<dyn RuntimeEstimator>) -> Self {
+        CachingEstimator {
+            inner,
+            kernels: Sharded::new(),
+            memcpys: Sharded::new(),
+            collectives: Sharded::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped estimator.
+    pub fn inner(&self) -> &Arc<dyn RuntimeEstimator> {
+        &self.inner
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total memoized entries across all query families.
+    pub fn len(&self) -> usize {
+        self.kernels.len() + self.memcpys.len() + self.collectives.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized entry (counters are kept).
+    pub fn clear(&self) {
+        self.kernels.clear();
+        self.memcpys.clear();
+        self.collectives.clear();
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl RuntimeEstimator for CachingEstimator {
+    fn kernel_time(&self, kernel: &KernelKind) -> SimTime {
+        let (t, hit) = self
+            .kernels
+            .get_or_insert_with(*kernel, || self.inner.kernel_time(kernel));
+        self.count(hit);
+        t
+    }
+
+    fn memcpy_time(&self, bytes: u64, kind: MemcpyKind) -> SimTime {
+        let (t, hit) = self
+            .memcpys
+            .get_or_insert_with((bytes, kind), || self.inner.memcpy_time(bytes, kind));
+        self.count(hit);
+        t
+    }
+
+    fn collective_time(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        ranks: &[u32],
+        cluster: &ClusterSpec,
+    ) -> SimTime {
+        let key = CollectiveKey {
+            kind,
+            bytes,
+            ranks: ranks.to_vec(),
+            arch_id: cluster.gpu.arch.id(),
+            num_gpus: cluster.num_gpus(),
+            gpus_per_node: cluster.gpus_per_node,
+            link_bits: link_bits(cluster),
+        };
+        let (t, hit) = self.collectives.get_or_insert_with(key, || {
+            self.inner.collective_time(kind, bytes, ranks, cluster)
+        });
+        self.count(hit);
+        t
+    }
+
+    fn name(&self) -> &'static str {
+        "caching"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::OracleEstimator;
+    use maya_trace::Dtype;
+
+    fn oracle_pair() -> (OracleEstimator, CachingEstimator, ClusterSpec) {
+        let cluster = ClusterSpec::h100(1, 8);
+        let oracle = OracleEstimator::new(&cluster);
+        (oracle, CachingEstimator::new(Arc::new(oracle)), cluster)
+    }
+
+    #[test]
+    fn cached_equals_uncached_for_all_query_families() {
+        let (oracle, cached, cluster) = oracle_pair();
+        let kernels = [
+            KernelKind::Gemm {
+                m: 1024,
+                n: 512,
+                k: 2048,
+                dtype: Dtype::Bf16,
+            },
+            KernelKind::Gemm {
+                m: 64,
+                n: 64,
+                k: 64,
+                dtype: Dtype::Fp32,
+            },
+            KernelKind::Memset { bytes: 4096 },
+        ];
+        for k in &kernels {
+            // Twice: the second query is served from the memo.
+            assert_eq!(cached.kernel_time(k), oracle.kernel_time(k));
+            assert_eq!(cached.kernel_time(k), oracle.kernel_time(k));
+        }
+        for bytes in [1u64 << 10, 1 << 20, 1 << 28] {
+            for kind in [MemcpyKind::HostToDevice, MemcpyKind::DeviceToDevice] {
+                assert_eq!(
+                    cached.memcpy_time(bytes, kind),
+                    oracle.memcpy_time(bytes, kind)
+                );
+                assert_eq!(
+                    cached.memcpy_time(bytes, kind),
+                    oracle.memcpy_time(bytes, kind)
+                );
+            }
+        }
+        let ranks: Vec<u32> = (0..8).collect();
+        for kind in [CollectiveKind::AllReduce, CollectiveKind::AllGather] {
+            let want = oracle.collective_time(kind, 1 << 24, &ranks, &cluster);
+            assert_eq!(
+                cached.collective_time(kind, 1 << 24, &ranks, &cluster),
+                want
+            );
+            assert_eq!(
+                cached.collective_time(kind, 1 << 24, &ranks, &cluster),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit() {
+        let (_, cached, _) = oracle_pair();
+        let k = KernelKind::Gemm {
+            m: 256,
+            n: 256,
+            k: 256,
+            dtype: Dtype::Fp16,
+        };
+        cached.kernel_time(&k);
+        assert_eq!(cached.stats(), CacheStats { hits: 0, misses: 1 });
+        for _ in 0..9 {
+            cached.kernel_time(&k);
+        }
+        assert_eq!(cached.stats(), CacheStats { hits: 9, misses: 1 });
+        assert_eq!(cached.len(), 1);
+        assert!((cached.stats().hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_rank_sets_do_not_alias() {
+        let (oracle, cached, cluster) = oracle_pair();
+        let intra: Vec<u32> = (0..4).collect();
+        let cross: Vec<u32> = (0..8).collect();
+        let a = cached.collective_time(CollectiveKind::AllReduce, 1 << 26, &intra, &cluster);
+        let b = cached.collective_time(CollectiveKind::AllReduce, 1 << 26, &cross, &cluster);
+        assert_eq!(
+            a,
+            oracle.collective_time(CollectiveKind::AllReduce, 1 << 26, &intra, &cluster)
+        );
+        assert_eq!(
+            b,
+            oracle.collective_time(CollectiveKind::AllReduce, 1 << 26, &cross, &cluster)
+        );
+        assert_ne!(a, b, "different rank sets must not share an entry");
+    }
+
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        let (oracle, cached, _) = oracle_pair();
+        let cached = Arc::new(cached);
+        let shapes: Vec<KernelKind> = (0..64)
+            .map(|i| KernelKind::Gemm {
+                m: 64 + i,
+                n: 128,
+                k: 256,
+                dtype: Dtype::Bf16,
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cached = Arc::clone(&cached);
+                let shapes = shapes.clone();
+                s.spawn(move || {
+                    for k in &shapes {
+                        let got = cached.kernel_time(k);
+                        assert_eq!(got, oracle.kernel_time(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(cached.len(), 64);
+        let st = cached.stats();
+        assert_eq!(st.hits + st.misses, 4 * 64);
+    }
+
+    #[test]
+    fn clear_empties_the_memo() {
+        let (_, cached, _) = oracle_pair();
+        cached.kernel_time(&KernelKind::Memset { bytes: 64 });
+        assert!(!cached.is_empty());
+        cached.clear();
+        assert!(cached.is_empty());
+    }
+}

@@ -35,7 +35,11 @@ impl AnalyticalCollectives {
         }
         let b = bytes as f64;
         let single = cluster.single_node(ranks);
-        let link = if single { cluster.intra_link } else { cluster.inter_link };
+        let link = if single {
+            cluster.intra_link
+        } else {
+            cluster.inter_link
+        };
         let bw = link.effective_bw(b);
         let mut nodes: Vec<u32> = ranks.iter().map(|&r| cluster.node_of(r)).collect();
         nodes.sort_unstable();
@@ -111,7 +115,11 @@ impl CollectiveTable {
             for ranks in layouts {
                 let spans = !cluster.single_node(&ranks);
                 for &kind in &kinds {
-                    let key = TableKey { kind: kind.id(), nranks: n, spans_nodes: spans };
+                    let key = TableKey {
+                        kind: kind.id(),
+                        nranks: n,
+                        spans_nodes: spans,
+                    };
                     let curve = curves.entry(key).or_default();
                     if !curve.is_empty() {
                         continue; // layout with same tier already profiled
@@ -129,7 +137,10 @@ impl CollectiveTable {
                 }
             }
         }
-        CollectiveTable { curves, fallback: AnalyticalCollectives }
+        CollectiveTable {
+            curves,
+            fallback: AnalyticalCollectives,
+        }
     }
 
     /// Predicts the on-the-wire duration of a collective.
@@ -145,7 +156,11 @@ impl CollectiveTable {
             return SimTime::from_us(2.0);
         }
         let spans = !cluster.single_node(ranks);
-        let key = TableKey { kind: kind.id(), nranks: n, spans_nodes: spans };
+        let key = TableKey {
+            kind: kind.id(),
+            nranks: n,
+            spans_nodes: spans,
+        };
         if let Some(curve) = self.curves.get(&key) {
             return Self::interp(curve, bytes);
         }

@@ -134,7 +134,10 @@ impl ForestEstimator {
             .iter()
             .map(|(k, t)| (t.as_secs_f64().max(1e-9) / naive_roofline(k, &gpu)).ln())
             .collect();
-        let forest_params = ForestParams { seed: seed ^ 0x6672, ..Default::default() };
+        let forest_params = ForestParams {
+            seed: seed ^ 0x6672,
+            ..Default::default()
+        };
         let kernels = RandomForest::fit(&x, &y, &forest_params);
 
         // Held-out evaluation against the measured test split.
@@ -160,12 +163,24 @@ impl ForestEstimator {
         let memcpy = RandomForest::fit(
             &mx,
             &my,
-            &ForestParams { n_trees: 8, seed: seed ^ 0x6D63, ..Default::default() },
+            &ForestParams {
+                n_trees: 8,
+                seed: seed ^ 0x6D63,
+                ..Default::default()
+            },
         );
 
         let collectives =
             CollectiveTable::profile(cluster, &GroundTruthNetModel::default(), seed ^ 0x636F);
-        (ForestEstimator { kernels, memcpy, collectives, gpu }, report)
+        (
+            ForestEstimator {
+                kernels,
+                memcpy,
+                collectives,
+                gpu,
+            },
+            report,
+        )
     }
 }
 
@@ -205,7 +220,12 @@ mod tests {
     fn oracle_matches_ground_truth_exactly() {
         let cluster = ClusterSpec::h100(1, 8);
         let oracle = OracleEstimator::new(&cluster);
-        let k = KernelKind::Gemm { m: 1024, n: 1024, k: 1024, dtype: Dtype::Bf16 };
+        let k = KernelKind::Gemm {
+            m: 1024,
+            n: 1024,
+            k: 1024,
+            dtype: Dtype::Bf16,
+        };
         assert_eq!(
             oracle.kernel_time(&k),
             GroundTruthKernelModel::default().kernel_time(&k, &cluster.gpu)
@@ -221,8 +241,17 @@ mod tests {
         // tiny test-scale training set.
         let truth_model = GroundTruthKernelModel::default();
         let mut errs = Vec::new();
-        for mnk in [(2048u64, 2048u64, 2048u64), (4096, 1024, 4096), (8192, 512, 1024)] {
-            let k = KernelKind::Gemm { m: mnk.0, n: mnk.1, k: mnk.2, dtype: Dtype::Bf16 };
+        for mnk in [
+            (2048u64, 2048u64, 2048u64),
+            (4096, 1024, 4096),
+            (8192, 512, 1024),
+        ] {
+            let k = KernelKind::Gemm {
+                m: mnk.0,
+                n: mnk.1,
+                k: mnk.2,
+                dtype: Dtype::Bf16,
+            };
             let p = est.kernel_time(&k).as_secs_f64();
             let t = truth_model.kernel_time(&k, &cluster.gpu).as_secs_f64();
             errs.push((p / t - 1.0).abs());

@@ -22,7 +22,10 @@ pub fn kernel_features(k: &KernelKind) -> Vec<f64> {
     f[0] = lg(k.flops());
     f[1] = lg(k.bytes_accessed());
     f[2] = k.dtype().map(|d| d.id() as f64).unwrap_or(-1.0);
-    f[3] = k.dtype().map(|d| d.uses_tensor_cores() as u8 as f64).unwrap_or(0.0);
+    f[3] = k
+        .dtype()
+        .map(|d| d.uses_tensor_cores() as u8 as f64)
+        .unwrap_or(0.0);
     match *k {
         KernelKind::Gemm { m, n, k: kk, .. } | KernelKind::LtMatmul { m, n, k: kk, .. } => {
             f[4] = lg(m as f64);
@@ -30,15 +33,41 @@ pub fn kernel_features(k: &KernelKind) -> Vec<f64> {
             f[6] = lg(kk as f64);
             f[7] = 0.0;
         }
-        KernelKind::GemmStridedBatched { m, n, k: kk, batch, .. } => {
+        KernelKind::GemmStridedBatched {
+            m, n, k: kk, batch, ..
+        } => {
             f[4] = lg(m as f64);
             f[5] = lg(n as f64);
             f[6] = lg(kk as f64);
             f[7] = lg(batch as f64);
         }
-        KernelKind::ConvForward { n, c, h, k: kk, r, stride, .. }
-        | KernelKind::ConvBackwardData { n, c, h, k: kk, r, stride, .. }
-        | KernelKind::ConvBackwardFilter { n, c, h, k: kk, r, stride, .. } => {
+        KernelKind::ConvForward {
+            n,
+            c,
+            h,
+            k: kk,
+            r,
+            stride,
+            ..
+        }
+        | KernelKind::ConvBackwardData {
+            n,
+            c,
+            h,
+            k: kk,
+            r,
+            stride,
+            ..
+        }
+        | KernelKind::ConvBackwardFilter {
+            n,
+            c,
+            h,
+            k: kk,
+            r,
+            stride,
+            ..
+        } => {
             f[4] = lg(n as f64 * h as f64 * h as f64 / (stride * stride).max(1) as f64);
             f[5] = lg(kk as f64);
             f[6] = lg(c as f64 * (r * r) as f64);
@@ -114,7 +143,12 @@ mod tests {
 
     #[test]
     fn feature_vector_shape() {
-        let k = KernelKind::Gemm { m: 128, n: 64, k: 32, dtype: Dtype::Bf16 };
+        let k = KernelKind::Gemm {
+            m: 128,
+            n: 64,
+            k: 32,
+            dtype: Dtype::Bf16,
+        };
         let f = kernel_features(&k);
         assert_eq!(f.len(), NUM_FEATURES);
         assert_eq!(f[4], 7.0); // log2(128)
@@ -126,7 +160,11 @@ mod tests {
 
     #[test]
     fn fused_kernels_carry_instruction_counts() {
-        let k = KernelKind::FusedTriton { numel: 1024, num_instrs: 17, dtype: Dtype::Fp32 };
+        let k = KernelKind::FusedTriton {
+            numel: 1024,
+            num_instrs: 17,
+            dtype: Dtype::Fp32,
+        };
         let f = kernel_features(&k);
         assert_eq!(f[9], 17.0);
         assert_eq!(f[8], 10.0);
@@ -134,8 +172,18 @@ mod tests {
 
     #[test]
     fn distinct_kernels_distinct_features() {
-        let a = kernel_features(&KernelKind::Gemm { m: 64, n: 64, k: 64, dtype: Dtype::Fp32 });
-        let b = kernel_features(&KernelKind::Gemm { m: 64, n: 64, k: 128, dtype: Dtype::Fp32 });
+        let a = kernel_features(&KernelKind::Gemm {
+            m: 64,
+            n: 64,
+            k: 64,
+            dtype: Dtype::Fp32,
+        });
+        let b = kernel_features(&KernelKind::Gemm {
+            m: 64,
+            n: 64,
+            k: 128,
+            dtype: Dtype::Fp32,
+        });
         assert_ne!(a, b);
     }
 }

@@ -50,11 +50,10 @@ impl RandomForest {
         let trees = (0..params.n_trees)
             .map(|_| {
                 // Bootstrap sample.
-                let bx: Vec<Vec<f64>>;
-                let by: Vec<f64>;
+
                 let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-                bx = idx.iter().map(|&i| x[i].clone()).collect();
-                by = idx.iter().map(|&i| y[i]).collect();
+                let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
                 RegressionTree::fit(&bx, &by, &params.tree, &mut rng)
             })
             .collect();
@@ -83,8 +82,9 @@ mod tests {
 
     fn dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(7);
-        let x: Vec<Vec<f64>> =
-            (0..600).map(|_| vec![rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)]).collect();
+        let x: Vec<Vec<f64>> = (0..600)
+            .map(|_| vec![rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)])
+            .collect();
         let y: Vec<f64> = x.iter().map(|v| (v[0] * v[1]).sqrt() + v[0]).collect();
         (x, y)
     }
@@ -95,15 +95,23 @@ mod tests {
         let split = 500;
         let params = ForestParams {
             n_trees: 10,
-            tree: TreeParams { max_depth: 8, feature_frac: 1.0, ..Default::default() },
+            tree: TreeParams {
+                max_depth: 8,
+                feature_frac: 1.0,
+                ..Default::default()
+            },
             seed: 1,
         };
-        let forest = RandomForest::fit(&x[..split].to_vec(), &y[..split], &params);
+        let forest = RandomForest::fit(&x[..split], &y[..split], &params);
         let mut rng = StdRng::seed_from_u64(2);
         let tree = RegressionTree::fit(
-            &x[..split].to_vec(),
+            &x[..split],
             &y[..split],
-            &TreeParams { max_depth: 4, feature_frac: 1.0, ..Default::default() },
+            &TreeParams {
+                max_depth: 4,
+                feature_frac: 1.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         let err = |pred: &dyn Fn(&[f64]) -> f64| -> f64 {
@@ -123,7 +131,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = dataset();
-        let p = ForestParams { n_trees: 4, ..Default::default() };
+        let p = ForestParams {
+            n_trees: 4,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&x, &y, &p);
         let b = RandomForest::fit(&x, &y, &p);
         assert_eq!(a.predict(&x[0]), b.predict(&x[0]));

@@ -15,8 +15,13 @@
 //! - [`estimator::OracleEstimator`]: returns true per-op runtimes, the
 //!   "oracle" of Table 3 that isolates simulation-phase error;
 //! - [`metrics`]: per-kernel MAPE reports on held-out splits, recreating
-//!   Tables 7-9.
+//!   Tables 7-9;
+//! - [`cache::CachingEstimator`]: a sharded memoizing decorator that
+//!   shares kernel / memcpy / collective answers across predictions —
+//!   config search re-queries the same shapes thousands of times, so the
+//!   prediction engine wraps its estimator in one of these.
 
+pub mod cache;
 pub mod collectives;
 pub mod estimator;
 pub mod features;
@@ -25,6 +30,7 @@ pub mod metrics;
 pub mod profiler;
 pub mod tree;
 
+pub use cache::{CacheStats, CachingEstimator};
 pub use collectives::{AnalyticalCollectives, CollectiveTable};
 pub use estimator::{ForestEstimator, OracleEstimator, RuntimeEstimator};
 pub use forest::{ForestParams, RandomForest};

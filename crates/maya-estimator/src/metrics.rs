@@ -31,8 +31,10 @@ impl MapeReport {
         for &(name, p, t) in samples {
             grouped.entry(name).or_default().push((p, t));
         }
-        let per_kernel =
-            grouped.into_iter().map(|(name, v)| (name, (v.len(), mape(&v)))).collect();
+        let per_kernel = grouped
+            .into_iter()
+            .map(|(name, v)| (name, (v.len(), mape(&v))))
+            .collect();
         MapeReport { per_kernel }
     }
 
@@ -41,7 +43,9 @@ impl MapeReport {
         let (n, acc) = self
             .per_kernel
             .values()
-            .fold((0usize, 0.0f64), |(n, acc), &(c, m)| (n + c, acc + m * c as f64));
+            .fold((0usize, 0.0f64), |(n, acc), &(c, m)| {
+                (n + c, acc + m * c as f64)
+            });
         if n == 0 {
             0.0
         } else {
@@ -56,11 +60,16 @@ impl MapeReport {
 
     /// Renders the report as an aligned text table.
     pub fn to_table(&self) -> String {
-        let mut s = String::from(format!("{:<44} {:>8} {:>9}\n", "Kernel", "Samples", "MAPE"));
+        let mut s = format!("{:<44} {:>8} {:>9}\n", "Kernel", "Samples", "MAPE");
         for (name, (n, m)) in &self.per_kernel {
             s.push_str(&format!("{:<44} {:>8} {:>8.2}%\n", name, n, m * 100.0));
         }
-        s.push_str(&format!("{:<44} {:>8} {:>8.2}%\n", "OVERALL", "", self.overall() * 100.0));
+        s.push_str(&format!(
+            "{:<44} {:>8} {:>8.2}%\n",
+            "OVERALL",
+            "",
+            self.overall() * 100.0
+        ));
         s
     }
 }

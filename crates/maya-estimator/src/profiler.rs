@@ -53,7 +53,11 @@ pub struct Profiler {
 impl Profiler {
     /// Creates a profiler for a GPU with default ground truth.
     pub fn new(gpu: GpuSpec, seed: u64) -> Self {
-        Profiler { gpu, kernel_model: GroundTruthKernelModel::default(), seed }
+        Profiler {
+            gpu,
+            kernel_model: GroundTruthKernelModel::default(),
+            seed,
+        }
     }
 
     /// Measurement-noise standard deviation for an observed duration.
@@ -66,7 +70,10 @@ impl Profiler {
     pub fn measure(&self, kernel: &KernelKind, sample_id: u64) -> SimTime {
         let t = self.kernel_model.kernel_time(kernel, &self.gpu);
         let f = gaussian_factor(
-            Key::new(self.seed).with(0x6D65_6173).with(sample_id).finish(),
+            Key::new(self.seed)
+                .with(0x6D65_6173)
+                .with(sample_id)
+                .finish(),
             self.noise_sigma(t),
         );
         t.scale(f)
@@ -122,11 +129,38 @@ impl Profiler {
             let k = dim(&mut rng, 16.0, 1024.0);
             let r = [1u64, 3, 7][rng.gen_range(0..3)];
             let stride = if rng.gen_bool(0.3) { 2 } else { 1 };
-            let base = KernelKind::ConvForward { n, c, h, w: h, k, r, stride, dtype: d };
+            let base = KernelKind::ConvForward {
+                n,
+                c,
+                h,
+                w: h,
+                k,
+                r,
+                stride,
+                dtype: d,
+            };
             out.push(match rng.gen_range(0..3) {
                 0 => base,
-                1 => KernelKind::ConvBackwardData { n, c, h, w: h, k, r, stride, dtype: d },
-                _ => KernelKind::ConvBackwardFilter { n, c, h, w: h, k, r, stride, dtype: d },
+                1 => KernelKind::ConvBackwardData {
+                    n,
+                    c,
+                    h,
+                    w: h,
+                    k,
+                    r,
+                    stride,
+                    dtype: d,
+                },
+                _ => KernelKind::ConvBackwardFilter {
+                    n,
+                    c,
+                    h,
+                    w: h,
+                    k,
+                    r,
+                    stride,
+                    dtype: d,
+                },
             });
         }
         // The long tail of framework kernels.
@@ -137,25 +171,74 @@ impl Profiler {
             let cols = dim(&mut rng, 16.0, 65536.0);
             let toks = dim(&mut rng, 16.0, 262144.0);
             let candidates = [
-                KernelKind::Elementwise { numel, arity: rng.gen_range(1..4), dtype: d },
+                KernelKind::Elementwise {
+                    numel,
+                    arity: rng.gen_range(1..4),
+                    dtype: d,
+                },
                 KernelKind::VectorizedElementwise { numel, dtype: d },
                 KernelKind::FusedDropout { numel },
-                KernelKind::SoftmaxForward { rows, cols: cols.min(8192), masked: rng.gen_bool(0.5) },
-                KernelKind::SoftmaxBackward { rows, cols: cols.min(8192), masked: rng.gen_bool(0.5) },
-                KernelKind::LayerNormForward { rows, cols: cols.min(32768) },
-                KernelKind::LayerNormBackwardGamma { rows, cols: cols.min(32768) },
-                KernelKind::LayerNormBackwardInput { rows, cols: cols.min(32768) },
-                KernelKind::EmbeddingForward { tokens: toks, hidden: cols.min(16384) },
-                KernelKind::EmbeddingBackward { tokens: toks, hidden: cols.min(16384) },
-                KernelKind::CrossEntropyForward { tokens: toks.min(65536), vocab: cols },
-                KernelKind::CrossEntropyBackward { tokens: toks.min(65536), vocab: cols },
-                KernelKind::MultiTensorApply { numel, ops_per_elem: 4 },
+                KernelKind::SoftmaxForward {
+                    rows,
+                    cols: cols.min(8192),
+                    masked: rng.gen_bool(0.5),
+                },
+                KernelKind::SoftmaxBackward {
+                    rows,
+                    cols: cols.min(8192),
+                    masked: rng.gen_bool(0.5),
+                },
+                KernelKind::LayerNormForward {
+                    rows,
+                    cols: cols.min(32768),
+                },
+                KernelKind::LayerNormBackwardGamma {
+                    rows,
+                    cols: cols.min(32768),
+                },
+                KernelKind::LayerNormBackwardInput {
+                    rows,
+                    cols: cols.min(32768),
+                },
+                KernelKind::EmbeddingForward {
+                    tokens: toks,
+                    hidden: cols.min(16384),
+                },
+                KernelKind::EmbeddingBackward {
+                    tokens: toks,
+                    hidden: cols.min(16384),
+                },
+                KernelKind::CrossEntropyForward {
+                    tokens: toks.min(65536),
+                    vocab: cols,
+                },
+                KernelKind::CrossEntropyBackward {
+                    tokens: toks.min(65536),
+                    vocab: cols,
+                },
+                KernelKind::MultiTensorApply {
+                    numel,
+                    ops_per_elem: 4,
+                },
                 KernelKind::Reduce { numel, dtype: d },
-                KernelKind::CatCopy { numel, aligned: rng.gen_bool(0.5) },
+                KernelKind::CatCopy {
+                    numel,
+                    aligned: rng.gen_bool(0.5),
+                },
                 KernelKind::Memset { bytes: numel },
-                KernelKind::TriuTril { numel: numel.min(1 << 26) },
-                KernelKind::BatchNorm { numel, channels: cols.min(2048), forward: rng.gen_bool(0.5) },
-                KernelKind::Pool { numel: numel.min(1 << 26), window: 3, forward: rng.gen_bool(0.5) },
+                KernelKind::TriuTril {
+                    numel: numel.min(1 << 26),
+                },
+                KernelKind::BatchNorm {
+                    numel,
+                    channels: cols.min(2048),
+                    forward: rng.gen_bool(0.5),
+                },
+                KernelKind::Pool {
+                    numel: numel.min(1 << 26),
+                    window: 3,
+                    forward: rng.gen_bool(0.5),
+                },
                 KernelKind::FusedTriton {
                     numel,
                     num_instrs: rng.gen_range(2..24),
@@ -222,7 +305,10 @@ mod tests {
         let a = p.kernel_dataset(ProfileScale::Test);
         let b = p.kernel_dataset(ProfileScale::Test);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|((ka, ta), (kb, tb))| ka == kb && ta == tb));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|((ka, ta), (kb, tb))| ka == kb && ta == tb));
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 12, min_samples_leaf: 3, feature_frac: 0.5, max_thresholds: 24 }
+        TreeParams {
+            max_depth: 12,
+            min_samples_leaf: 3,
+            feature_frac: 0.5,
+            max_thresholds: 24,
+        }
     }
 }
 
@@ -75,8 +80,9 @@ impl RegressionTree {
                 self.nodes.len() - 1
             }
             Some((feature, threshold)) => {
-                let (l, r): (Vec<u32>, Vec<u32>) =
-                    idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
+                let (l, r): (Vec<u32>, Vec<u32>) = idx
+                    .iter()
+                    .partition(|&&i| x[i as usize][feature] <= threshold);
                 if l.len() < params.min_samples_leaf || r.len() < params.min_samples_leaf {
                     self.nodes.push(Node::Leaf { value: mean });
                     return self.nodes.len() - 1;
@@ -85,7 +91,12 @@ impl RegressionTree {
                 self.nodes.push(Node::Leaf { value: mean }); // placeholder
                 let left = self.build(x, y, l, params, depth + 1, rng);
                 let right = self.build(x, y, r, params, depth + 1, rng);
-                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -114,11 +125,7 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None;
         for &f in &feats {
             // Candidate thresholds from sampled values.
-            let mut vals: Vec<f64> = idx
-                .iter()
-                .take(256)
-                .map(|&i| x[i as usize][f])
-                .collect();
+            let mut vals: Vec<f64> = idx.iter().take(256).map(|&i| x[i as usize][f]).collect();
             vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             vals.dedup();
             if vals.len() < 2 {
@@ -144,7 +151,10 @@ impl RegressionTree {
                     let rs = total_sum - ls;
                     let rq = total_sq - lq;
                     let score = (lq - ls * ls / ln) + (rq - rs * rs / rn);
-                    if best.map(|(_, _, s)| score < s).unwrap_or(score < parent_score) {
+                    if best
+                        .map(|(_, _, s)| score < s)
+                        .unwrap_or(score < parent_score)
+                    {
                         best = Some((f, thr, score));
                     }
                 }
@@ -160,8 +170,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -195,7 +214,10 @@ mod tests {
         let t = RegressionTree::fit(
             &x,
             &y,
-            &TreeParams { feature_frac: 1.0, ..Default::default() },
+            &TreeParams {
+                feature_frac: 1.0,
+                ..Default::default()
+            },
             &mut rng(),
         );
         assert!((t.predict(&[10.0]) - 1.0).abs() < 0.2);
@@ -212,7 +234,11 @@ mod tests {
         let t = RegressionTree::fit(
             &x,
             &y,
-            &TreeParams { max_depth: 10, feature_frac: 1.0, ..Default::default() },
+            &TreeParams {
+                max_depth: 10,
+                feature_frac: 1.0,
+                ..Default::default()
+            },
             &mut r,
         );
         let pred = t.predict(&[5.0, 5.0]);
@@ -234,7 +260,11 @@ mod tests {
         let t = RegressionTree::fit(
             &x,
             &y,
-            &TreeParams { min_samples_leaf: 5, feature_frac: 1.0, ..Default::default() },
+            &TreeParams {
+                min_samples_leaf: 5,
+                feature_frac: 1.0,
+                ..Default::default()
+            },
             &mut rng(),
         );
         // With min leaf 5 on 10 points, at most one split is possible.

@@ -134,7 +134,11 @@ impl CollKey {
             }
             _ => (u32::MAX, u32::MAX),
         };
-        CollKey { comm: desc.comm_id, seq: desc.seq, pair }
+        CollKey {
+            comm: desc.comm_id,
+            seq: desc.seq,
+            pair,
+        }
     }
 }
 
@@ -151,6 +155,9 @@ struct RankState {
     parked_on: Option<CollKey>,
     done: bool,
 }
+
+/// Per-rank busy windows (start, end) used for contention lookups.
+type BusyIntervals = [Vec<(SimTime, SimTime)>];
 
 struct Arrival {
     /// Worker index within the (possibly sparse) job.
@@ -217,8 +224,11 @@ impl GroundTruthExecutor {
         let pass1 = self.schedule(job, cluster, None, false)?;
         let comm_unions: Vec<Vec<(SimTime, SimTime)>> =
             pass1.logs.iter().map(|l| union(l.comm.clone())).collect();
-        let compute_unions: Vec<Vec<(SimTime, SimTime)>> =
-            pass1.logs.iter().map(|l| union(l.compute.clone())).collect();
+        let compute_unions: Vec<Vec<(SimTime, SimTime)>> = pass1
+            .logs
+            .iter()
+            .map(|l| union(l.compute.clone()))
+            .collect();
         // Pass 2: replay with contention inflation.
         let pass2 = self.schedule(
             job,
@@ -227,8 +237,11 @@ impl GroundTruthExecutor {
             self.collect_samples,
         )?;
 
-        let iteration_time =
-            pass2.rank_end.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let iteration_time = pass2
+            .rank_end
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
         let comm_time = pass2
             .logs
             .iter()
@@ -313,18 +326,27 @@ impl GroundTruthExecutor {
                     ev.map(|e| (e.stream, e.op.name()))
                 );
             }
-            return Err(ExecError::Deadlock { parked_ranks: parked });
+            return Err(ExecError::Deadlock {
+                parked_ranks: parked,
+            });
         }
 
         let rank_end = ranks
             .iter()
             .map(|s| {
-                let stream_max =
-                    s.streams.values().map(|st| st.ready).fold(SimTime::ZERO, SimTime::max);
+                let stream_max = s
+                    .streams
+                    .values()
+                    .map(|st| st.ready)
+                    .fold(SimTime::ZERO, SimTime::max);
                 s.host.max(stream_max)
             })
             .collect();
-        Ok(PassResult { rank_end, logs, samples })
+        Ok(PassResult {
+            rank_end,
+            logs,
+            samples,
+        })
     }
 
     /// How many participants of this collective will actually arrive in a
@@ -364,7 +386,7 @@ impl GroundTruthExecutor {
         inflight: &mut HashMap<CollKey, Vec<Arrival>>,
         waiters: &mut HashMap<CollKey, Vec<usize>>,
         runnable: &mut VecDeque<usize>,
-        contention: Option<(&[Vec<(SimTime, SimTime)>], &[Vec<(SimTime, SimTime)>])>,
+        contention: Option<(&BusyIntervals, &BusyIntervals)>,
         collect_samples: bool,
         samples: &mut Vec<(KernelKind, SimTime)>,
     ) {
@@ -408,7 +430,11 @@ impl GroundTruthExecutor {
             // Consume the event: host runs its dispatch-gap first.
             ranks[wi].pc += 1;
             let hj = gaussian_factor(
-                Key::new(self.seed).with(1).with(rank as u64).with(pc as u64).finish(),
+                Key::new(self.seed)
+                    .with(1)
+                    .with(rank as u64)
+                    .with(pc as u64)
+                    .finish(),
                 self.host_jitter,
             );
             ranks[wi].host += ev.host_delay.scale(hj);
@@ -421,7 +447,11 @@ impl GroundTruthExecutor {
                     let start = stream.ready.max(host_now);
                     let base = self.kernel_model.kernel_time(&kernel, &cluster.gpu);
                     let jit = gaussian_factor(
-                        Key::new(self.seed).with(2).with(rank as u64).with(pc as u64).finish(),
+                        Key::new(self.seed)
+                            .with(2)
+                            .with(rank as u64)
+                            .with(pc as u64)
+                            .finish(),
                         self.kernel_jitter,
                     );
                     let mut dur = base.scale(jit);
@@ -451,12 +481,18 @@ impl GroundTruthExecutor {
                     fired[wi].insert((event, version), ready.max(host_now));
                 }
                 DeviceOp::StreamWaitEvent { event, version } => {
-                    let fire = fired[wi].get(&(event, version)).copied().unwrap_or(SimTime::ZERO);
+                    let fire = fired[wi]
+                        .get(&(event, version))
+                        .copied()
+                        .unwrap_or(SimTime::ZERO);
                     let stream = ranks[wi].streams.entry(ev.stream).or_default();
                     stream.ready = stream.ready.max(fire);
                 }
                 DeviceOp::EventSynchronize { event, version } => {
-                    let fire = fired[wi].get(&(event, version)).copied().unwrap_or(SimTime::ZERO);
+                    let fire = fired[wi]
+                        .get(&(event, version))
+                        .copied()
+                        .unwrap_or(SimTime::ZERO);
                     ranks[wi].host = ranks[wi].host.max(fire);
                 }
                 DeviceOp::StreamSynchronize => {
@@ -513,11 +549,13 @@ impl GroundTruthExecutor {
         ranks: &mut [RankState],
         logs: &mut [IntervalLog],
     ) {
-        let last = arrivals.iter().map(|a| a.time).fold(SimTime::ZERO, SimTime::max);
+        let last = arrivals
+            .iter()
+            .map(|a| a.time)
+            .fold(SimTime::ZERO, SimTime::max);
         let desc = arrivals[0].desc;
         let n = desc.nranks.max(1);
-        let setup =
-            SimTime::from_us(self.nccl_setup_us * (1.0 + (n as f64).log2().max(0.0) / 8.0));
+        let setup = SimTime::from_us(self.nccl_setup_us * (1.0 + (n as f64).log2().max(0.0) / 8.0));
         let start = last + setup;
 
         // Global ranks participating: for p2p, resolve the endpoint pair
@@ -532,9 +570,15 @@ impl GroundTruthExecutor {
                     None => arrivals.iter().map(|a| a.rank).collect(),
                 }
             }
-            _ => job.comm_groups.get(&desc.comm_id).cloned().unwrap_or_default(),
+            _ => job
+                .comm_groups
+                .get(&desc.comm_id)
+                .cloned()
+                .unwrap_or_default(),
         };
-        let wire = self.net_model.collective_time(desc.kind, desc.bytes, &global_ranks, cluster);
+        let wire = self
+            .net_model
+            .collective_time(desc.kind, desc.bytes, &global_ranks, cluster);
 
         for a in arrivals {
             let skew = gaussian_factor(
@@ -563,18 +607,31 @@ mod tests {
 
     fn kernel(m: u64) -> DeviceOp {
         DeviceOp::KernelLaunch {
-            kernel: KernelKind::Gemm { m, n: 1024, k: 1024, dtype: Dtype::Fp32 },
+            kernel: KernelKind::Gemm {
+                m,
+                n: 1024,
+                k: 1024,
+                dtype: Dtype::Fp32,
+            },
         }
     }
 
     fn ev(stream: u32, op: DeviceOp, host_us: f64) -> TraceEvent {
-        TraceEvent { stream: StreamId(stream), op, host_delay: SimTime::from_us(host_us) }
+        TraceEvent {
+            stream: StreamId(stream),
+            op,
+            host_delay: SimTime::from_us(host_us),
+        }
     }
 
     fn single_rank_job(events: Vec<TraceEvent>) -> JobTrace {
         let mut w = WorkerTrace::new(0);
         w.events = events;
-        JobTrace { nranks: 1, workers: vec![w], comm_groups: BTreeMap::new() }
+        JobTrace {
+            nranks: 1,
+            workers: vec![w],
+            comm_groups: BTreeMap::new(),
+        }
     }
 
     fn allreduce(comm: u64, seq: u32, bytes: u64, nranks: u32, rank: u32) -> DeviceOp {
@@ -611,7 +668,10 @@ mod tests {
         let overlap = single_rank_job(vec![ev(0, kernel(4096), 1.0), ev(1, kernel(4096), 1.0)]);
         let ts = exec.run(&serial, &cluster).unwrap().iteration_time;
         let to = exec.run(&overlap, &cluster).unwrap().iteration_time;
-        assert!(to.as_secs_f64() < ts.as_secs_f64() * 0.7, "serial {ts} overlap {to}");
+        assert!(
+            to.as_secs_f64() < ts.as_secs_f64() * 0.7,
+            "serial {ts} overlap {to}"
+        );
     }
 
     #[test]
@@ -622,8 +682,22 @@ mod tests {
         // stream 0 must start after A.
         let job = single_rank_job(vec![
             ev(1, kernel(4096), 1.0),
-            ev(1, DeviceOp::EventRecord { event: 7, version: 0 }, 1.0),
-            ev(0, DeviceOp::StreamWaitEvent { event: 7, version: 0 }, 1.0),
+            ev(
+                1,
+                DeviceOp::EventRecord {
+                    event: 7,
+                    version: 0,
+                },
+                1.0,
+            ),
+            ev(
+                0,
+                DeviceOp::StreamWaitEvent {
+                    event: 7,
+                    version: 0,
+                },
+                1.0,
+            ),
             ev(0, kernel(4096), 1.0),
         ]);
         let serial = single_rank_job(vec![ev(0, kernel(4096), 1.0), ev(0, kernel(4096), 1.0)]);
@@ -642,17 +716,34 @@ mod tests {
         let mut w0 = WorkerTrace::new(0);
         w0.events = vec![ev(0, allreduce(1, 0, 1 << 20, 2, 0), 2.0)];
         let mut w1 = WorkerTrace::new(1);
-        w1.events = vec![ev(0, kernel(8192), 2.0), ev(0, allreduce(1, 0, 1 << 20, 2, 1), 2.0)];
+        w1.events = vec![
+            ev(0, kernel(8192), 2.0),
+            ev(0, allreduce(1, 0, 1 << 20, 2, 1), 2.0),
+        ];
         let mut groups = BTreeMap::new();
         groups.insert(1u64, vec![0u32, 1u32]);
-        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![w0, w1],
+            comm_groups: groups,
+        };
         let m = exec.run(&job, &cluster).unwrap();
         // Rank 0's end time includes rank 1's compute (it waited).
         let k = exec.kernel_model.kernel_time(
-            &KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 },
+            &KernelKind::Gemm {
+                m: 8192,
+                n: 1024,
+                k: 1024,
+                dtype: Dtype::Fp32,
+            },
             &cluster.gpu,
         );
-        assert!(m.rank_end_times[0] > k, "rank0 {} kernel {}", m.rank_end_times[0], k);
+        assert!(
+            m.rank_end_times[0] > k,
+            "rank0 {} kernel {}",
+            m.rank_end_times[0],
+            k
+        );
         assert!(m.comm_time > SimTime::ZERO);
     }
 
@@ -663,12 +754,19 @@ mod tests {
         // Rank 0 joins; rank 1 never does; a follower op on the same
         // stream parks rank 0 forever.
         let mut w0 = WorkerTrace::new(0);
-        w0.events = vec![ev(0, allreduce(1, 0, 1024, 2, 0), 1.0), ev(0, kernel(512), 1.0)];
+        w0.events = vec![
+            ev(0, allreduce(1, 0, 1024, 2, 0), 1.0),
+            ev(0, kernel(512), 1.0),
+        ];
         let mut w1 = WorkerTrace::new(1);
         w1.events = vec![ev(0, kernel(512), 1.0)];
         let mut groups = BTreeMap::new();
         groups.insert(1u64, vec![0u32, 1u32]);
-        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![w0, w1],
+            comm_groups: groups,
+        };
         match exec.run(&job, &cluster) {
             Err(ExecError::Deadlock { parked_ranks }) => assert_eq!(parked_ranks, vec![0]),
             other => panic!("expected deadlock, got {other:?}"),
@@ -681,11 +779,17 @@ mod tests {
         let cluster = ClusterSpec::h100(1, 8);
         // 8-rank communicator, but only rank 0 was emulated (dedup).
         let mut w0 = WorkerTrace::new(0);
-        w0.events =
-            vec![ev(0, allreduce(1, 0, 1 << 26, 8, 0), 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        w0.events = vec![
+            ev(0, allreduce(1, 0, 1 << 26, 8, 0), 1.0),
+            ev(0, DeviceOp::StreamSynchronize, 1.0),
+        ];
         let mut groups = BTreeMap::new();
         groups.insert(1u64, (0..8u32).collect::<Vec<_>>());
-        let job = JobTrace { nranks: 8, workers: vec![w0], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 8,
+            workers: vec![w0],
+            comm_groups: groups,
+        };
         let m = exec.run(&job, &cluster).unwrap();
         // The wire time must still reflect an 8-rank ring.
         let wire = exec.net_model.collective_time(
@@ -727,7 +831,11 @@ mod tests {
         w1.events = vec![ev(2, recv, 1.0), ev(2, DeviceOp::StreamSynchronize, 1.0)];
         let mut groups = BTreeMap::new();
         groups.insert(9u64, vec![0u32, 1u32]);
-        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![w0, w1],
+            comm_groups: groups,
+        };
         let m = exec.run(&job, &cluster).unwrap();
         assert!(m.iteration_time > SimTime::ZERO);
         assert!(m.comm_time > SimTime::ZERO);
@@ -749,9 +857,16 @@ mod tests {
         };
         let mut groups = BTreeMap::new();
         groups.insert(1u64, vec![0u32, 1u32]);
-        let job = JobTrace { nranks: 2, workers: vec![build(0), build(1)], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![build(0), build(1)],
+            comm_groups: groups,
+        };
         let with = GroundTruthExecutor::default();
-        let without = GroundTruthExecutor { contention_compute: 0.0, ..with };
+        let without = GroundTruthExecutor {
+            contention_compute: 0.0,
+            ..with
+        };
         let tw = with.run(&job, &cluster).unwrap().compute_time;
         let to = without.run(&job, &cluster).unwrap().compute_time;
         assert!(tw > to, "with contention {tw} vs without {to}");
@@ -759,7 +874,10 @@ mod tests {
 
     #[test]
     fn sample_collection_records_kernels() {
-        let exec = GroundTruthExecutor { collect_samples: true, ..Default::default() };
+        let exec = GroundTruthExecutor {
+            collect_samples: true,
+            ..Default::default()
+        };
         let cluster = ClusterSpec::h100(1, 1);
         let job = single_rank_job(vec![ev(0, kernel(1024), 1.0), ev(0, kernel(2048), 1.0)]);
         let m = exec.run(&job, &cluster).unwrap();
@@ -773,7 +891,10 @@ mod tests {
             (SimTime(15), SimTime(30)),
             (SimTime(40), SimTime(50)),
         ]);
-        assert_eq!(u, vec![(SimTime(10), SimTime(30)), (SimTime(40), SimTime(50))]);
+        assert_eq!(
+            u,
+            vec![(SimTime(10), SimTime(30)), (SimTime(40), SimTime(50))]
+        );
         assert_eq!(overlap(SimTime(0), SimTime(100), &u), SimTime(30));
         assert_eq!(overlap(SimTime(25), SimTime(45), &u), SimTime(10));
         assert_eq!(overlap(SimTime(30), SimTime(40), &u), SimTime::ZERO);

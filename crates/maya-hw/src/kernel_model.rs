@@ -25,14 +25,20 @@ pub struct GroundTruthKernelModel {
 
 impl Default for GroundTruthKernelModel {
     fn default() -> Self {
-        GroundTruthKernelModel { seed: 0x4D41_5941, texture_amplitude: 0.055 }
+        GroundTruthKernelModel {
+            seed: 0x4D41_5941,
+            texture_amplitude: 0.055,
+        }
     }
 }
 
 impl GroundTruthKernelModel {
     /// Builds a model with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
-        GroundTruthKernelModel { seed, ..Default::default() }
+        GroundTruthKernelModel {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// True runtime of `kernel` on `gpu`.
@@ -67,7 +73,11 @@ impl GroundTruthKernelModel {
         let ramp = b / (b + 256.0 * 1024.0);
         let t = base_lat_us * 1e-6 + b / (bw * ramp.max(0.05));
         let tex = centered_factor(
-            Key::new(self.seed).with(0xC0FFEE).with(bytes).with(kind as u64).finish(),
+            Key::new(self.seed)
+                .with(0xC0FFEE)
+                .with(bytes)
+                .with(kind as u64)
+                .finish(),
             0.04,
         );
         SimTime::from_secs(t * tex)
@@ -76,16 +86,46 @@ impl GroundTruthKernelModel {
     /// Compute-side efficiency in `(0, 1]`.
     fn compute_efficiency(&self, kernel: &KernelKind, gpu: &GpuSpec) -> f64 {
         match *kernel {
-            KernelKind::Gemm { m, n, k, dtype }
-            | KernelKind::LtMatmul { m, n, k, dtype } => {
+            KernelKind::Gemm { m, n, k, dtype } | KernelKind::LtMatmul { m, n, k, dtype } => {
                 self.gemm_efficiency(m, n, k, 1, dtype, gpu)
             }
-            KernelKind::GemmStridedBatched { m, n, k, batch, dtype } => {
-                self.gemm_efficiency(m, n, k, batch, dtype, gpu)
+            KernelKind::GemmStridedBatched {
+                m,
+                n,
+                k,
+                batch,
+                dtype,
+            } => self.gemm_efficiency(m, n, k, batch, dtype, gpu),
+            KernelKind::ConvForward {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
             }
-            KernelKind::ConvForward { n, c, h, w, k, r, stride, dtype }
-            | KernelKind::ConvBackwardData { n, c, h, w, k, r, stride, dtype }
-            | KernelKind::ConvBackwardFilter { n, c, h, w, k, r, stride, dtype } => {
+            | KernelKind::ConvBackwardData {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
+            }
+            | KernelKind::ConvBackwardFilter {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
+            } => {
                 // Implicit-GEMM mapping of the convolution.
                 let oh = (h / stride.max(1)).max(1);
                 let ow = (w / stride.max(1)).max(1);
@@ -100,7 +140,15 @@ impl GroundTruthKernelModel {
     }
 
     /// GEMM tensor-core efficiency with tile & wave quantization.
-    fn gemm_efficiency(&self, m: u64, n: u64, k: u64, batch: u64, dtype: Dtype, gpu: &GpuSpec) -> f64 {
+    fn gemm_efficiency(
+        &self,
+        m: u64,
+        n: u64,
+        k: u64,
+        batch: u64,
+        dtype: Dtype,
+        gpu: &GpuSpec,
+    ) -> f64 {
         let (tile_m, tile_n) = (128u64, 128u64);
         let tiles_m = m.div_ceil(tile_m);
         let tiles_n = n.div_ceil(tile_n);
@@ -111,7 +159,11 @@ impl GroundTruthKernelModel {
         // Wave quantization: the tail wave underutilizes SMs.
         let ctas = (tiles_m * tiles_n * batch).max(1);
         let waves = ctas as f64 / gpu.sm_count as f64;
-        let wave_eff = if waves <= 1.0 { waves } else { waves / waves.ceil() };
+        let wave_eff = if waves <= 1.0 {
+            waves
+        } else {
+            waves / waves.ceil()
+        };
         // Reduction-depth ramp: short-k GEMMs cannot hide latency.
         let k_ramp = (k as f64 / (k as f64 + 192.0)).max(0.05);
         let base = if dtype.uses_tensor_cores() {
@@ -136,7 +188,9 @@ impl GroundTruthKernelModel {
     /// and architecture — *not* on the instance, so repeated launches of
     /// the same kernel take identical time (stationary hardware).
     fn texture_key(&self, kernel: &KernelKind, gpu: &GpuSpec) -> u64 {
-        let mut k = Key::new(self.seed).with(gpu.arch.id()).with(kernel.family_id() as u64);
+        let mut k = Key::new(self.seed)
+            .with(gpu.arch.id())
+            .with(kernel.family_id() as u64);
         k = k.with(kernel.dtype().map(|d| d.id() as u64).unwrap_or(99));
         // Quantize sizes logarithmically so that near-identical shapes get
         // correlated (but not identical) perturbations.
@@ -186,7 +240,11 @@ mod tests {
     fn small_kernel_hits_floor() {
         let model = GroundTruthKernelModel::default();
         let g = GpuSpec::h100();
-        let k = KernelKind::Elementwise { numel: 16, arity: 1, dtype: Dtype::Fp32 };
+        let k = KernelKind::Elementwise {
+            numel: 16,
+            arity: 1,
+            dtype: Dtype::Fp32,
+        };
         let t = model.kernel_time(&k, &g);
         assert!(t.as_us() >= g.kernel_floor_us * 0.9, "{t}");
     }

@@ -44,7 +44,10 @@ pub fn model_flops_per_iteration(spec: &ModelFlopsSpec) -> f64 {
 /// so callers should pass `activation_recompute: false` in `spec` when
 /// computing MFU even if the run recomputes.
 pub fn mfu(spec: &ModelFlopsSpec, iter_time_s: f64, cluster: &ClusterSpec) -> f64 {
-    let useful = model_flops_per_iteration(&ModelFlopsSpec { activation_recompute: false, ..*spec });
+    let useful = model_flops_per_iteration(&ModelFlopsSpec {
+        activation_recompute: false,
+        ..*spec
+    });
     let peak = cluster.gpu.peak_flops(Dtype::Bf16) * cluster.num_gpus() as f64;
     useful / (iter_time_s * peak)
 }
@@ -67,15 +70,20 @@ mod tests {
     #[test]
     fn flops_scale_with_batch() {
         let a = model_flops_per_iteration(&gpt3_18b());
-        let b = model_flops_per_iteration(&ModelFlopsSpec { global_batch: 1024, ..gpt3_18b() });
+        let b = model_flops_per_iteration(&ModelFlopsSpec {
+            global_batch: 1024,
+            ..gpt3_18b()
+        });
         assert!((b / a - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn recompute_adds_a_pass() {
         let base = model_flops_per_iteration(&gpt3_18b());
-        let rc =
-            model_flops_per_iteration(&ModelFlopsSpec { activation_recompute: true, ..gpt3_18b() });
+        let rc = model_flops_per_iteration(&ModelFlopsSpec {
+            activation_recompute: true,
+            ..gpt3_18b()
+        });
         assert!((rc / base - 4.0 / 3.0).abs() < 1e-9);
     }
 

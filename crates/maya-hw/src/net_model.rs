@@ -21,14 +21,20 @@ pub struct GroundTruthNetModel {
 
 impl Default for GroundTruthNetModel {
     fn default() -> Self {
-        GroundTruthNetModel { seed: 0x4E43_434C, texture_amplitude: 0.045 }
+        GroundTruthNetModel {
+            seed: 0x4E43_434C,
+            texture_amplitude: 0.045,
+        }
     }
 }
 
 impl GroundTruthNetModel {
     /// Builds a model with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
-        GroundTruthNetModel { seed, ..Default::default() }
+        GroundTruthNetModel {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// On-the-wire duration of one collective over `ranks` (global ids).
@@ -87,7 +93,11 @@ impl GroundTruthNetModel {
         // ranks rather than a ring.
         let t = match kind {
             CollectiveKind::Send { .. } | CollectiveKind::Recv { .. } => {
-                let p2p_link = if single_node { cluster.intra_link } else { cluster.inter_link };
+                let p2p_link = if single_node {
+                    cluster.intra_link
+                } else {
+                    cluster.inter_link
+                };
                 p2p_link.latency_us * 1e-6 + b / p2p_link.effective_bw(b)
             }
             _ => lat * 1e-6 + bw_bytes / bw,

@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(splitmix64(42), splitmix64(42));
-        assert_eq!(Key::new(1).with(2).with(3).finish(), Key::new(1).with(2).with(3).finish());
+        assert_eq!(
+            Key::new(1).with(2).with(3).finish(),
+            Key::new(1).with(2).with(3).finish()
+        );
         assert_ne!(Key::new(1).with(2).finish(), Key::new(1).with(3).finish());
     }
 
@@ -104,8 +107,10 @@ mod tests {
     fn gaussian_factor_statistics() {
         let n = 20_000u64;
         let sigma = 0.01;
-        let mean: f64 =
-            (0..n).map(|i| gaussian_factor(splitmix64(i), sigma)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|i| gaussian_factor(splitmix64(i), sigma))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 1e-3, "mean {mean}");
         let var: f64 = (0..n)
             .map(|i| {
@@ -115,7 +120,11 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         // Variance should be close to sigma^2.
-        assert!((var.sqrt() - sigma).abs() < sigma * 0.2, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() < sigma * 0.2,
+            "std {}",
+            var.sqrt()
+        );
     }
 
     #[test]

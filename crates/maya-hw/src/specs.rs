@@ -203,8 +203,16 @@ impl ClusterSpec {
             gpu: GpuSpec::v100(),
             gpus_per_node,
             num_nodes,
-            intra_link: LinkSpec { bw_gbps: 130.0, latency_us: 2.2, half_ramp_bytes: 4.0e6 },
-            inter_link: LinkSpec { bw_gbps: 12.5, latency_us: 5.0, half_ramp_bytes: 3.2e7 },
+            intra_link: LinkSpec {
+                bw_gbps: 130.0,
+                latency_us: 2.2,
+                half_ramp_bytes: 4.0e6,
+            },
+            inter_link: LinkSpec {
+                bw_gbps: 12.5,
+                latency_us: 5.0,
+                half_ramp_bytes: 3.2e7,
+            },
             dollars_per_gpu_hour: 3.06,
         }
     }
@@ -215,8 +223,16 @@ impl ClusterSpec {
             gpu: GpuSpec::h100(),
             gpus_per_node,
             num_nodes,
-            intra_link: LinkSpec { bw_gbps: 450.0, latency_us: 1.6, half_ramp_bytes: 8.0e6 },
-            inter_link: LinkSpec { bw_gbps: 50.0, latency_us: 3.5, half_ramp_bytes: 6.4e7 },
+            intra_link: LinkSpec {
+                bw_gbps: 450.0,
+                latency_us: 1.6,
+                half_ramp_bytes: 8.0e6,
+            },
+            inter_link: LinkSpec {
+                bw_gbps: 50.0,
+                latency_us: 3.5,
+                half_ramp_bytes: 6.4e7,
+            },
             dollars_per_gpu_hour: 12.29,
         }
     }
@@ -228,8 +244,16 @@ impl ClusterSpec {
             gpu: GpuSpec::a40(),
             gpus_per_node,
             num_nodes,
-            intra_link: LinkSpec { bw_gbps: 56.0, latency_us: 2.4, half_ramp_bytes: 4.0e6 },
-            inter_link: LinkSpec { bw_gbps: 12.5, latency_us: 5.0, half_ramp_bytes: 3.2e7 },
+            intra_link: LinkSpec {
+                bw_gbps: 56.0,
+                latency_us: 2.4,
+                half_ramp_bytes: 4.0e6,
+            },
+            inter_link: LinkSpec {
+                bw_gbps: 12.5,
+                latency_us: 5.0,
+                half_ramp_bytes: 3.2e7,
+            },
             dollars_per_gpu_hour: 1.28,
         }
     }
@@ -240,8 +264,16 @@ impl ClusterSpec {
             gpu: GpuSpec::a100(),
             gpus_per_node,
             num_nodes,
-            intra_link: LinkSpec { bw_gbps: 300.0, latency_us: 1.8, half_ramp_bytes: 6.0e6 },
-            inter_link: LinkSpec { bw_gbps: 25.0, latency_us: 4.0, half_ramp_bytes: 4.8e7 },
+            intra_link: LinkSpec {
+                bw_gbps: 300.0,
+                latency_us: 1.8,
+                half_ramp_bytes: 6.0e6,
+            },
+            inter_link: LinkSpec {
+                bw_gbps: 25.0,
+                latency_us: 4.0,
+                half_ramp_bytes: 4.8e7,
+            },
             dollars_per_gpu_hour: 4.10,
         }
     }
@@ -277,7 +309,11 @@ mod tests {
 
     #[test]
     fn link_bandwidth_ramp() {
-        let l = LinkSpec { bw_gbps: 100.0, latency_us: 2.0, half_ramp_bytes: 1e6 };
+        let l = LinkSpec {
+            bw_gbps: 100.0,
+            latency_us: 2.0,
+            half_ramp_bytes: 1e6,
+        };
         let small = l.effective_bw(1e3);
         let large = l.effective_bw(1e9);
         assert!(small < large);

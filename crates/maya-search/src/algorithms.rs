@@ -6,6 +6,10 @@
 //! evolution with two-point crossover, random search, and exhaustive
 //! grid search. All minimize; the scheduler supplies fitness values.
 
+// The CMA-ES / Jacobi linear algebra below is textbook matrix code;
+// explicit index loops mirror the published update equations.
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -104,8 +108,9 @@ impl CmaEs {
         let n = dims as f64;
         let lambda = 4 + (3.0 * n.ln()).floor() as usize;
         let mu = lambda / 2;
-        let mut weights: Vec<f64> =
-            (0..mu).map(|i| ((mu as f64) + 0.5).ln() - ((i + 1) as f64).ln()).collect();
+        let mut weights: Vec<f64> = (0..mu)
+            .map(|i| ((mu as f64) + 0.5).ln() - ((i + 1) as f64).ln())
+            .collect();
         let sum: f64 = weights.iter().sum();
         for w in &mut weights {
             *w /= sum;
@@ -114,11 +119,11 @@ impl CmaEs {
         let cc = (4.0 + mueff / n) / (n + 4.0 + 2.0 * mueff / n);
         let cs = (mueff + 2.0) / (n + mueff + 5.0);
         let c1 = 2.0 / ((n + 1.3).powi(2) + mueff);
-        let cmu =
-            (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((n + 2.0).powi(2) + mueff));
+        let cmu = (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((n + 2.0).powi(2) + mueff));
         let damps = 1.0 + 2.0 * (0.0f64).max(((mueff - 1.0) / (n + 1.0)).sqrt() - 1.0) + cs;
-        let ident: Vec<Vec<f64>> =
-            (0..dims).map(|i| (0..dims).map(|j| if i == j { 1.0 } else { 0.0 }).collect()).collect();
+        let ident: Vec<Vec<f64>> = (0..dims)
+            .map(|i| (0..dims).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
         CmaEs {
             dims,
             rng: StdRng::seed_from_u64(seed),
@@ -155,8 +160,9 @@ impl CmaEs {
 fn jacobi_eigen(a: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<f64>) {
     let n = a.len();
     let mut m: Vec<Vec<f64>> = a.to_vec();
-    let mut v: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect()).collect();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
     for _sweep in 0..50 {
         let mut off = 0.0;
         for i in 0..n {
@@ -211,8 +217,9 @@ impl SearchAlgorithm for CmaEs {
                     *yi += self.eig_vec[i][j] * self.eig_val[j].sqrt() * z[j];
                 }
             }
-            let mut x: Vec<f64> =
-                (0..self.dims).map(|i| self.mean[i] + self.sigma * y[i]).collect();
+            let mut x: Vec<f64> = (0..self.dims)
+                .map(|i| self.mean[i] + self.sigma * y[i])
+                .collect();
             clamp01(&mut x);
             self.pending_z.push(y);
             out.push(x);
@@ -224,7 +231,11 @@ impl SearchAlgorithm for CmaEs {
         self.gen += 1;
         let n = self.dims as f64;
         let mut order: Vec<usize> = (0..points.len()).collect();
-        order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            fitness[a]
+                .partial_cmp(&fitness[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         // Recompute y from the clamped x (clamping may have moved points).
         let ys: Vec<Vec<f64>> = order
             .iter()
@@ -264,8 +275,7 @@ impl SearchAlgorithm for CmaEs {
             < 1.4 + 2.0 / (n + 1.0);
         let ccn = (self.cc * (2.0 - self.cc) * self.mueff).sqrt();
         for d in 0..self.dims {
-            self.pc[d] =
-                (1.0 - self.cc) * self.pc[d] + if hsig { ccn * y_w[d] } else { 0.0 };
+            self.pc[d] = (1.0 - self.cc) * self.pc[d] + if hsig { ccn * y_w[d] } else { 0.0 };
         }
         // Covariance update (rank-1 + rank-mu).
         let c1a = self.c1 * (1.0 - if hsig { 0.0 } else { self.cc * (2.0 - self.cc) });
@@ -368,12 +378,20 @@ impl Pso {
     pub fn new(dims: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let swarm = 16;
-        let pos: Vec<Vec<f64>> =
-            (0..swarm).map(|_| (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
-        let vel: Vec<Vec<f64>> =
-            (0..swarm).map(|_| (0..dims).map(|_| rng.gen_range(-0.1..0.1)).collect()).collect();
+        let pos: Vec<Vec<f64>> = (0..swarm)
+            .map(|_| (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let vel: Vec<Vec<f64>> = (0..swarm)
+            .map(|_| (0..dims).map(|_| rng.gen_range(-0.1..0.1)).collect())
+            .collect();
         let personal_best = pos.iter().map(|p| (p.clone(), f64::INFINITY)).collect();
-        Pso { rng, pos, vel, personal_best, global_best: (vec![0.5; dims], f64::INFINITY) }
+        Pso {
+            rng,
+            pos,
+            vel,
+            personal_best,
+            global_best: (vec![0.5; dims], f64::INFINITY),
+        }
     }
 }
 
@@ -425,9 +443,15 @@ impl TwoPointsDe {
     pub fn new(dims: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let np = 16;
-        let pop: Vec<Vec<f64>> =
-            (0..np).map(|_| (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
-        TwoPointsDe { rng, fit: vec![f64::INFINITY; np], pop, trial: Vec::new() }
+        let pop: Vec<Vec<f64>> = (0..np)
+            .map(|_| (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        TwoPointsDe {
+            rng,
+            fit: vec![f64::INFINITY; np],
+            pop,
+            trial: Vec::new(),
+        }
     }
 }
 
@@ -483,13 +507,18 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Creates a random searcher.
     pub fn new(dims: usize, seed: u64) -> Self {
-        RandomSearch { dims, rng: StdRng::seed_from_u64(seed) }
+        RandomSearch {
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
 impl SearchAlgorithm for RandomSearch {
     fn ask(&mut self) -> Vec<Vec<f64>> {
-        vec![(0..self.dims).map(|_| self.rng.gen_range(0.0..1.0)).collect()]
+        vec![(0..self.dims)
+            .map(|_| self.rng.gen_range(0.0..1.0))
+            .collect()]
     }
 
     fn tell(&mut self, _points: &[Vec<f64>], _fitness: &[f64]) {}
@@ -515,7 +544,12 @@ impl GridSearch {
     /// Creates the grid walker.
     pub fn new(dims: usize) -> Self {
         let steps = 8;
-        GridSearch { dims, steps, cursor: 0, total: (steps as u64).pow(dims as u32) }
+        GridSearch {
+            dims,
+            steps,
+            cursor: 0,
+            total: (steps as u64).pow(dims as u32),
+        }
     }
 }
 

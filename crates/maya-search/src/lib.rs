@@ -8,10 +8,13 @@
 //! - [`algorithms`]: from-scratch CMA-ES, (1+1)-ES, particle swarm,
 //!   differential evolution, random and grid search (the Appendix C
 //!   comparison set);
-//! - [`scheduler::TrialScheduler`]: concurrent trial evaluation with
-//!   result caching, the fidelity-preserving pruning tactics of Table 10,
-//!   and the paper's early-stopping rule (top-5 MFU stable for 20
-//!   consecutive non-OOM trials).
+//! - [`scheduler::TrialScheduler`]: trial evaluation with result
+//!   caching, the fidelity-preserving pruning tactics of Table 10, and
+//!   the paper's early-stopping rule (top-5 MFU stable for 20
+//!   consecutive non-OOM trials). `run_batched` drives speculative
+//!   candidate waves through the prediction engine's worker pool while
+//!   committing results in proposal order — trial records, pruning and
+//!   the stop point stay byte-identical to a sequential run.
 
 pub mod algorithms;
 pub mod objective;

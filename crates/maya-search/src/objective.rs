@@ -49,7 +49,7 @@ impl TrialOutcome {
 }
 
 /// One evaluated (or skipped) trial.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrialRecord {
     /// The evaluated configuration.
     pub config: ConfigPoint,
@@ -86,7 +86,10 @@ impl<'a> Objective<'a> {
 
     /// The job for a given point.
     pub fn job_for(&self, config: &ConfigPoint) -> TrainingJob {
-        TrainingJob { parallel: *config, ..self.template }
+        TrainingJob {
+            parallel: *config,
+            ..self.template
+        }
     }
 
     /// Evaluates one configuration end to end.
@@ -95,7 +98,41 @@ impl<'a> Objective<'a> {
         if job.validate().is_err() {
             return TrialOutcome::Invalid;
         }
-        match self.maya.predict_job(&job) {
+        let pred = self.maya.predict_job(&job);
+        self.outcome_of(&job, pred)
+    }
+
+    /// Evaluates a batch of configurations, fanning the full-pipeline
+    /// predictions across the engine's worker pool.
+    ///
+    /// Outcomes align positionally with `configs` and are identical to
+    /// per-config [`Objective::evaluate`] results: the prediction
+    /// pipeline is deterministic and invalid configs are rejected before
+    /// ever reaching it.
+    pub fn evaluate_batch(&self, configs: &[ConfigPoint]) -> Vec<TrialOutcome> {
+        let jobs: Vec<maya_torchlet::TrainingJob> =
+            configs.iter().map(|c| self.job_for(c)).collect();
+        let mut out = vec![TrialOutcome::Invalid; configs.len()];
+        let mut valid = Vec::with_capacity(configs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            if job.validate().is_ok() {
+                valid.push(i);
+            }
+        }
+        let batch: Vec<maya_torchlet::TrainingJob> = valid.iter().map(|&i| jobs[i]).collect();
+        for (&i, pred) in valid.iter().zip(self.maya.predict_batch(&batch)) {
+            out[i] = self.outcome_of(&jobs[i], pred);
+        }
+        out
+    }
+
+    /// Maps a pipeline result to a trial outcome.
+    fn outcome_of(
+        &self,
+        job: &TrainingJob,
+        pred: Result<maya::Prediction, maya::MayaError>,
+    ) -> TrialOutcome {
+        match pred {
             Err(_) => TrialOutcome::Invalid,
             Ok(pred) => match pred.outcome {
                 PredictOutcome::OutOfMemory { .. } => TrialOutcome::Oom,
@@ -108,7 +145,11 @@ impl<'a> Objective<'a> {
                     let cost = t.as_secs_f64() / 3600.0
                         * self.maya.spec().cluster.dollars_per_gpu_hour
                         * job.world as f64;
-                    TrialOutcome::Completed { iteration_time: t, mfu: m, cost }
+                    TrialOutcome::Completed {
+                        iteration_time: t,
+                        mfu: m,
+                        cost,
+                    }
                 }
             },
         }
@@ -144,9 +185,16 @@ mod tests {
     fn evaluates_valid_config() {
         let (maya, template) = objective_fixture();
         let obj = Objective::new(&maya, template);
-        let out = obj.evaluate(&ParallelConfig { tp: 2, ..Default::default() });
+        let out = obj.evaluate(&ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        });
         match out {
-            TrialOutcome::Completed { iteration_time, mfu, cost } => {
+            TrialOutcome::Completed {
+                iteration_time,
+                mfu,
+                cost,
+            } => {
                 assert!(iteration_time > SimTime::ZERO);
                 assert!(mfu > 0.0 && mfu < 1.0, "mfu {mfu}");
                 assert!(cost > 0.0);
@@ -160,8 +208,49 @@ mod tests {
         let (maya, template) = objective_fixture();
         let obj = Objective::new(&maya, template);
         // tp=8 exceeds 125M's 12 heads divisibility.
-        let out = obj.evaluate(&ParallelConfig { tp: 8, ..Default::default() });
+        let out = obj.evaluate(&ParallelConfig {
+            tp: 8,
+            ..Default::default()
+        });
         assert_eq!(out, TrialOutcome::Invalid);
+    }
+
+    #[test]
+    fn batch_outcomes_match_individual() {
+        let cluster = ClusterSpec::h100(1, 8);
+        let par_maya = Maya::with_oracle(EmulationSpec {
+            emulation_threads: 4,
+            ..EmulationSpec::new(cluster)
+        });
+        let template = objective_fixture().1;
+        let obj = Objective::new(&par_maya, template);
+        let configs = [
+            ParallelConfig::default(),
+            ParallelConfig {
+                tp: 2,
+                ..Default::default()
+            },
+            ParallelConfig {
+                tp: 8,
+                ..Default::default()
+            }, // invalid: 12 heads % 8
+            ParallelConfig {
+                tp: 4,
+                pp: 2,
+                ..Default::default()
+            },
+            ParallelConfig {
+                tp: 2,
+                ..Default::default()
+            }, // duplicate
+        ];
+        let batch = obj.evaluate_batch(&configs);
+        assert_eq!(batch.len(), configs.len());
+        for (c, got) in configs.iter().zip(&batch) {
+            assert_eq!(*got, obj.evaluate(c), "config {c:?}");
+        }
+        assert_eq!(batch[2], TrialOutcome::Invalid);
+        assert_eq!(batch[1], batch[4]);
     }
 
     #[test]
@@ -169,7 +258,11 @@ mod tests {
         let (maya, template) = objective_fixture();
         let obj = Objective::new(&maya, template);
         let a = obj.evaluate(&ParallelConfig::default());
-        let b = obj.evaluate(&ParallelConfig { tp: 4, pp: 2, ..Default::default() });
+        let b = obj.evaluate(&ParallelConfig {
+            tp: 4,
+            pp: 2,
+            ..Default::default()
+        });
         let (ta, tb) = (a.time().unwrap(), b.time().unwrap());
         // Pure DP should beat heavy model parallelism for a 125M model.
         assert!(ta < tb, "dp-only {ta} vs tp4pp2 {tb}");

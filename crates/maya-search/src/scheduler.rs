@@ -11,7 +11,7 @@ use crate::objective::{Objective, Provenance, TrialOutcome, TrialRecord};
 use crate::space::{ConfigPoint, ConfigSpace};
 
 /// Counters for Fig. 15's trial-status breakdown.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Trials that ran the full pipeline.
     pub executed: usize,
@@ -47,6 +47,19 @@ impl SearchResult {
 
 /// Trial scheduler: wraps an objective with caching, pruning tactics and
 /// the paper's early-stopping rule.
+///
+/// Two evaluation modes share one decision path:
+///
+/// - sequential ([`TrialScheduler::run`] / [`TrialScheduler::evaluate`]):
+///   each candidate goes through cache → pruning → full pipeline, in
+///   proposal order;
+/// - speculative batched ([`TrialScheduler::run_batched`]): candidates
+///   are grouped into *waves* whose pipeline executions fan across the
+///   prediction engine's worker pool, then **committed in proposal
+///   order through the exact sequential decision path**. Speculation
+///   only pre-computes the pure `objective.evaluate` results, so trial
+///   records, pruning decisions, stats and the early-stop point are
+///   byte-identical to a sequential run.
 pub struct TrialScheduler<'a> {
     objective: &'a Objective<'a>,
     space: ConfigSpace,
@@ -55,28 +68,38 @@ pub struct TrialScheduler<'a> {
     /// Stop after the top-5 MFU set is unchanged for this many
     /// consecutive non-OOM configs (paper: 20). `None` disables.
     pub early_stop_patience: Option<usize>,
+    /// Speculation width for [`TrialScheduler::run_batched`]: how many
+    /// un-answered candidates may execute concurrently in one wave.
+    pub batch: usize,
     cache: HashMap<ConfigPoint, TrialOutcome>,
     stats: SearchStats,
     trials: Vec<TrialRecord>,
     convergence: Vec<f64>,
     top5: Vec<f64>,
     stable_streak: usize,
+    /// Best completed config in commit order (first strict improvement
+    /// wins — deterministic, unlike scanning the cache map).
+    best: Option<(ConfigPoint, TrialOutcome)>,
 }
 
 impl<'a> TrialScheduler<'a> {
-    /// Creates a scheduler over the default Table 5 space.
+    /// Creates a scheduler over the default Table 5 space. The default
+    /// speculation width keeps the objective's engine pool saturated.
     pub fn new(objective: &'a Objective<'a>) -> Self {
+        let pool = objective.maya.spec().emulation_threads.max(1);
         TrialScheduler {
             objective,
             space: ConfigSpace::default(),
             pruning: true,
             early_stop_patience: Some(20),
+            batch: pool * 2,
             cache: HashMap::new(),
             stats: SearchStats::default(),
             trials: Vec::new(),
             convergence: Vec::new(),
             top5: Vec::new(),
             stable_streak: 0,
+            best: None,
         }
     }
 
@@ -86,25 +109,47 @@ impl<'a> TrialScheduler<'a> {
         self
     }
 
+    /// Sets the speculation width for batched runs.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
     /// Applies the Table 10 tactics: can this config's outcome be derived
-    /// from an already-evaluated neighbor?
-    fn prune(&self, c: &ConfigPoint) -> Option<TrialOutcome> {
+    /// from an already-evaluated neighbor? `overlay` supplies outcomes
+    /// decided earlier in a wave that are not yet committed to the cache.
+    fn prune_with(
+        &self,
+        c: &ConfigPoint,
+        overlay: Option<&HashMap<ConfigPoint, TrialOutcome>>,
+    ) -> Option<TrialOutcome> {
         if !self.pruning {
             return None;
         }
+        let get = |cp: &ConfigPoint| {
+            overlay
+                .and_then(|o| o.get(cp))
+                .or_else(|| self.cache.get(cp))
+        };
         // Tactic 1: recomputation strictly reduces memory. If the
         // recompute-enabled twin OOMed, this one will too.
         if !c.activation_recompute {
-            let twin = ConfigPoint { activation_recompute: true, ..*c };
-            if self.cache.get(&twin) == Some(&TrialOutcome::Oom) {
+            let twin = ConfigPoint {
+                activation_recompute: true,
+                ..*c
+            };
+            if get(&twin) == Some(&TrialOutcome::Oom) {
                 return Some(TrialOutcome::Oom);
             }
         }
         // Tactic 2: sequence parallelism strictly reduces memory at no
         // communication cost. Same reasoning.
         if !c.sequence_parallel && c.tp > 1 {
-            let twin = ConfigPoint { sequence_parallel: true, ..*c };
-            if self.cache.get(&twin) == Some(&TrialOutcome::Oom) {
+            let twin = ConfigPoint {
+                sequence_parallel: true,
+                ..*c
+            };
+            if get(&twin) == Some(&TrialOutcome::Oom) {
                 return Some(TrialOutcome::Oom);
             }
         }
@@ -112,8 +157,11 @@ impl<'a> TrialScheduler<'a> {
         // runtime to first order); if the non-sharded twin fit, reuse its
         // runtime.
         if c.distributed_optimizer {
-            let twin = ConfigPoint { distributed_optimizer: false, ..*c };
-            if let Some(o @ TrialOutcome::Completed { .. }) = self.cache.get(&twin) {
+            let twin = ConfigPoint {
+                distributed_optimizer: false,
+                ..*c
+            };
+            if let Some(o @ TrialOutcome::Completed { .. }) = get(&twin) {
                 return Some(*o);
             }
         }
@@ -122,8 +170,11 @@ impl<'a> TrialScheduler<'a> {
         if c.pp == 1 && c.microbatch_multiplier > 1 {
             for smaller in self.space.microbatch_multiplier.iter().copied() {
                 if smaller < c.microbatch_multiplier {
-                    let twin = ConfigPoint { microbatch_multiplier: smaller, ..*c };
-                    if let Some(o @ TrialOutcome::Completed { .. }) = self.cache.get(&twin) {
+                    let twin = ConfigPoint {
+                        microbatch_multiplier: smaller,
+                        ..*c
+                    };
+                    if let Some(o @ TrialOutcome::Completed { .. }) = get(&twin) {
                         return Some(*o);
                     }
                 }
@@ -132,20 +183,77 @@ impl<'a> TrialScheduler<'a> {
         None
     }
 
+    /// Every config whose cached outcome a pruning tactic might consult
+    /// when deciding `c`. Used to cut speculative waves at outcome
+    /// dependencies; over-approximating only costs parallelism.
+    fn prune_twins(&self, c: &ConfigPoint) -> Vec<ConfigPoint> {
+        if !self.pruning {
+            return Vec::new();
+        }
+        let mut twins = Vec::new();
+        if !c.activation_recompute {
+            twins.push(ConfigPoint {
+                activation_recompute: true,
+                ..*c
+            });
+        }
+        if !c.sequence_parallel && c.tp > 1 {
+            twins.push(ConfigPoint {
+                sequence_parallel: true,
+                ..*c
+            });
+        }
+        if c.distributed_optimizer {
+            twins.push(ConfigPoint {
+                distributed_optimizer: false,
+                ..*c
+            });
+        }
+        if c.pp == 1 && c.microbatch_multiplier > 1 {
+            for smaller in self.space.microbatch_multiplier.iter().copied() {
+                if smaller < c.microbatch_multiplier {
+                    twins.push(ConfigPoint {
+                        microbatch_multiplier: smaller,
+                        ..*c
+                    });
+                }
+            }
+        }
+        twins
+    }
+
     /// Evaluates one config through cache -> pruning -> pipeline.
     pub fn evaluate(&mut self, c: &ConfigPoint) -> TrialOutcome {
+        self.commit(c, None)
+    }
+
+    /// The sequential decision path. When `executed` holds a
+    /// speculatively pre-computed result for `c`, the pipeline run is
+    /// answered from it; the objective is a pure function, so this
+    /// cannot change the outcome, only skip redundant work.
+    fn commit(
+        &mut self,
+        c: &ConfigPoint,
+        executed: Option<&HashMap<ConfigPoint, TrialOutcome>>,
+    ) -> TrialOutcome {
         if let Some(o) = self.cache.get(c) {
             self.stats.cached += 1;
-            self.trials.push(TrialRecord { config: *c, outcome: *o, provenance: Provenance::Cached });
+            self.trials.push(TrialRecord {
+                config: *c,
+                outcome: *o,
+                provenance: Provenance::Cached,
+            });
             return *o;
         }
-        let (outcome, provenance) = match self.prune(c) {
+        let (outcome, provenance) = match self.prune_with(c, None) {
             Some(o) => {
                 self.stats.skipped += 1;
                 (o, Provenance::Skipped)
             }
             None => {
-                let o = self.objective.evaluate(c);
+                let o = executed
+                    .and_then(|m| m.get(c).copied())
+                    .unwrap_or_else(|| self.objective.evaluate(c));
                 if o == TrialOutcome::Invalid {
                     self.stats.invalid += 1;
                 } else {
@@ -155,13 +263,27 @@ impl<'a> TrialScheduler<'a> {
             }
         };
         self.cache.insert(*c, outcome);
-        self.trials.push(TrialRecord { config: *c, outcome, provenance });
+        self.trials.push(TrialRecord {
+            config: *c,
+            outcome,
+            provenance,
+        });
+        if outcome.completed()
+            && self
+                .best
+                .as_ref()
+                .map(|(_, b)| Self::fitness(&outcome) < Self::fitness(b))
+                .unwrap_or(true)
+        {
+            self.best = Some((*c, outcome));
+        }
         // Track convergence + early stopping on unique valid configs.
         if outcome != TrialOutcome::Invalid {
             let mfu = outcome.mfu().unwrap_or(0.0);
             let before = self.top5.clone();
             self.top5.push(mfu);
-            self.top5.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            self.top5
+                .sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
             self.top5.truncate(5);
             if !matches!(outcome, TrialOutcome::Oom) {
                 if self.top5 == before {
@@ -174,6 +296,61 @@ impl<'a> TrialScheduler<'a> {
             self.convergence.push(best);
         }
         outcome
+    }
+
+    /// Evaluates `configs` in proposal order using speculative waves
+    /// (see the type docs). Stops committing — exactly like the
+    /// sequential loops — as soon as the early-stop rule fires; the
+    /// returned outcomes cover the committed prefix.
+    fn evaluate_speculative(&mut self, configs: &[ConfigPoint]) -> Vec<TrialOutcome> {
+        let width = self.batch.max(1);
+        let mut out = Vec::with_capacity(configs.len());
+        let mut i = 0usize;
+        while i < configs.len() {
+            // Build one wave: walk forward deciding, from current
+            // knowledge, which candidates need a pipeline run. Cut when
+            // a candidate's answer could depend on an outcome that is
+            // still in flight (duplicate of a wave member, or a pruning
+            // twin of one).
+            let mut overlay: HashMap<ConfigPoint, TrialOutcome> = HashMap::new();
+            let mut wave: Vec<ConfigPoint> = Vec::new();
+            let mut span = 0usize;
+            for &c in &configs[i..] {
+                let known = overlay.contains_key(&c) || self.cache.contains_key(&c);
+                if !known {
+                    if wave.contains(&c) || self.prune_twins(&c).iter().any(|t| wave.contains(t)) {
+                        break;
+                    }
+                    if let Some(o) = self.prune_with(&c, Some(&overlay)) {
+                        overlay.insert(c, o);
+                    } else {
+                        wave.push(c);
+                        if wave.len() >= width {
+                            span += 1;
+                            break;
+                        }
+                    }
+                }
+                span += 1;
+            }
+            // Fan the wave's pipeline runs across the engine pool.
+            let executed: HashMap<ConfigPoint, TrialOutcome> = if wave.len() > 1 {
+                let outcomes = self.objective.evaluate_batch(&wave);
+                wave.into_iter().zip(outcomes).collect()
+            } else {
+                HashMap::new() // single run: let the commit path do it inline
+            };
+            // Commit the span in proposal order through the sequential
+            // decision path.
+            for &c in &configs[i..i + span] {
+                out.push(self.commit(&c, Some(&executed)));
+                if self.should_stop() {
+                    return out;
+                }
+            }
+            i += span;
+        }
+        out
     }
 
     /// Whether the early-stopping rule fired.
@@ -194,28 +371,50 @@ impl<'a> TrialScheduler<'a> {
         }
     }
 
-    /// Runs a search with the given algorithm and sample budget.
-    pub fn run(mut self, kind: AlgorithmKind, budget: usize, seed: u64) -> SearchResult {
+    /// Runs a search with the given algorithm and sample budget,
+    /// evaluating candidates strictly sequentially.
+    pub fn run(self, kind: AlgorithmKind, budget: usize, seed: u64) -> SearchResult {
+        self.run_inner(kind, budget, seed, false)
+    }
+
+    /// Runs a search evaluating candidates in speculative batches of up
+    /// to [`TrialScheduler::batch`] through the engine's worker pool.
+    ///
+    /// The result — best config, trial records, stats, convergence,
+    /// early-stop point — is identical to [`TrialScheduler::run`] with
+    /// the same arguments; only wall-clock changes.
+    pub fn run_batched(self, kind: AlgorithmKind, budget: usize, seed: u64) -> SearchResult {
+        self.run_inner(kind, budget, seed, true)
+    }
+
+    fn run_inner(
+        mut self,
+        kind: AlgorithmKind,
+        budget: usize,
+        seed: u64,
+        batched: bool,
+    ) -> SearchResult {
+        let t0 = Instant::now();
         if kind == AlgorithmKind::Grid {
             // Grid walks the actual discrete knob space (not a unit-cube
             // lattice), in enumeration order, up to the budget.
-            let t0 = Instant::now();
-            for c in self.space.enumerate().into_iter().take(budget) {
-                if self.should_stop() {
-                    break;
+            let configs: Vec<ConfigPoint> =
+                self.space.enumerate().into_iter().take(budget).collect();
+            if batched {
+                // evaluate_speculative stops committing right after the
+                // early-stop rule fires — the same prefix the sequential
+                // loop evaluates.
+                self.evaluate_speculative(&configs);
+            } else {
+                for c in &configs {
+                    if self.should_stop() {
+                        break;
+                    }
+                    self.evaluate(c);
                 }
-                self.evaluate(&c);
             }
-            let best = self.best_completed();
-            return SearchResult {
-                best,
-                trials: self.trials,
-                stats: self.stats,
-                wall: t0.elapsed(),
-                convergence: self.convergence,
-            };
+            return self.into_result(t0);
         }
-        let t0 = Instant::now();
         let mut alg = kind.build(ConfigSpace::DIMS, seed);
         let mut samples = 0usize;
         while samples < budget && !alg.exhausted() && !self.should_stop() {
@@ -224,42 +423,44 @@ impl<'a> TrialScheduler<'a> {
                 break;
             }
             let mut fitness = Vec::with_capacity(asks.len());
-            for x in &asks {
-                let config = self.space.from_unit(x);
-                let outcome = self.evaluate(&config);
-                fitness.push(Self::fitness(&outcome));
-                samples += 1;
-                if self.should_stop() {
-                    // Fill remaining slots so tell() shapes match.
-                    while fitness.len() < asks.len() {
-                        fitness.push(1e7);
+            if batched {
+                let configs: Vec<ConfigPoint> =
+                    asks.iter().map(|x| self.space.from_unit(x)).collect();
+                let outcomes = self.evaluate_speculative(&configs);
+                samples += outcomes.len();
+                fitness.extend(outcomes.iter().map(Self::fitness));
+                // Early stop mid-batch: fill remaining slots so tell()
+                // shapes match, exactly like the sequential loop.
+                while fitness.len() < asks.len() {
+                    fitness.push(1e7);
+                }
+            } else {
+                for x in &asks {
+                    let config = self.space.from_unit(x);
+                    let outcome = self.evaluate(&config);
+                    fitness.push(Self::fitness(&outcome));
+                    samples += 1;
+                    if self.should_stop() {
+                        while fitness.len() < asks.len() {
+                            fitness.push(1e7);
+                        }
+                        break;
                     }
-                    break;
                 }
             }
             alg.tell(&asks, &fitness);
         }
-        let best = self.best_completed();
+        self.into_result(t0)
+    }
+
+    fn into_result(self, t0: Instant) -> SearchResult {
         SearchResult {
-            best,
+            best: self.best,
             trials: self.trials,
             stats: self.stats,
             wall: t0.elapsed(),
             convergence: self.convergence,
         }
-    }
-
-    /// Best completing configuration evaluated so far.
-    fn best_completed(&self) -> Option<(ConfigPoint, TrialOutcome)> {
-        self.cache
-            .iter()
-            .filter(|(_, o)| o.completed())
-            .min_by(|a, b| {
-                Self::fitness(a.1)
-                    .partial_cmp(&Self::fitness(b.1))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(c, o)| (*c, *o))
     }
 
     /// Exhaustively evaluates the whole space (the paper's grid-search
@@ -270,14 +471,17 @@ impl<'a> TrialScheduler<'a> {
         for c in self.space.enumerate() {
             self.evaluate(&c);
         }
-        let best = self.best_completed();
-        SearchResult {
-            best,
-            trials: self.trials,
-            stats: self.stats,
-            wall: t0.elapsed(),
-            convergence: self.convergence,
-        }
+        self.into_result(t0)
+    }
+
+    /// Exhaustive grid evaluation with speculative batching; result is
+    /// identical to [`TrialScheduler::run_grid`], only faster.
+    pub fn run_grid_batched(mut self) -> SearchResult {
+        let t0 = Instant::now();
+        self.early_stop_patience = None;
+        let configs = self.space.enumerate();
+        self.evaluate_speculative(&configs);
+        self.into_result(t0)
     }
 }
 
@@ -335,8 +539,14 @@ mod tests {
         let (maya, template) = fixture();
         let obj = Objective::new(&maya, template);
         let mut sched = TrialScheduler::new(&obj).with_space(small_space());
-        let base = ParallelConfig { tp: 2, ..Default::default() };
-        let with_dopt = ParallelConfig { distributed_optimizer: true, ..base };
+        let base = ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        };
+        let with_dopt = ParallelConfig {
+            distributed_optimizer: true,
+            ..base
+        };
         let a = sched.evaluate(&base);
         let b = sched.evaluate(&with_dopt);
         assert_eq!(sched.stats.skipped, 1);
@@ -351,7 +561,10 @@ mod tests {
         template.global_batch = 256;
         let obj = Objective::new(&maya, template);
         let mut sched = TrialScheduler::new(&obj).with_space(small_space());
-        let recomp = ParallelConfig { activation_recompute: true, ..Default::default() };
+        let recomp = ParallelConfig {
+            activation_recompute: true,
+            ..Default::default()
+        };
         let no_recomp = ParallelConfig::default();
         assert_eq!(sched.evaluate(&recomp), TrialOutcome::Oom);
         assert_eq!(sched.evaluate(&no_recomp), TrialOutcome::Oom);
@@ -379,14 +592,104 @@ mod tests {
     fn cma_search_matches_grid_within_tolerance() {
         let (maya, template) = fixture();
         let obj = Objective::new(&maya, template);
-        let grid =
-            TrialScheduler::new(&obj).with_space(small_space()).run_grid();
-        let cma = TrialScheduler::new(&obj)
+        let grid = TrialScheduler::new(&obj)
             .with_space(small_space())
-            .run(AlgorithmKind::CmaEs, 120, 7);
+            .run_grid();
+        let cma =
+            TrialScheduler::new(&obj)
+                .with_space(small_space())
+                .run(AlgorithmKind::CmaEs, 120, 7);
         let gt = grid.best_time().unwrap().as_secs_f64();
         let ct = cma.best_time().unwrap().as_secs_f64();
         assert!(ct <= gt * 1.10, "cma {ct} vs grid {gt}");
+    }
+
+    fn assert_results_identical(seq: &SearchResult, par: &SearchResult, label: &str) {
+        assert_eq!(
+            seq.best.as_ref().map(|(c, _)| *c),
+            par.best.as_ref().map(|(c, _)| *c),
+            "{label}: best config"
+        );
+        assert_eq!(
+            seq.best.as_ref().map(|(_, o)| *o),
+            par.best.as_ref().map(|(_, o)| *o),
+            "{label}: best outcome"
+        );
+        assert_eq!(seq.stats, par.stats, "{label}: stats");
+        assert_eq!(seq.trials, par.trials, "{label}: trial records");
+        assert_eq!(seq.convergence, par.convergence, "{label}: convergence");
+    }
+
+    #[test]
+    fn batched_search_identical_to_sequential() {
+        let cluster = ClusterSpec::h100(1, 4);
+        let seq_maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let par_maya = Maya::with_oracle(EmulationSpec {
+            emulation_threads: 4,
+            ..EmulationSpec::new(cluster)
+        });
+        let template = fixture().1;
+        for kind in [
+            AlgorithmKind::Random,
+            AlgorithmKind::CmaEs,
+            AlgorithmKind::Grid,
+        ] {
+            let seq_obj = Objective::new(&seq_maya, template);
+            let seq = TrialScheduler::new(&seq_obj)
+                .with_space(small_space())
+                .run(kind, 60, 9);
+            let par_obj = Objective::new(&par_maya, template);
+            let par = TrialScheduler::new(&par_obj)
+                .with_space(small_space())
+                .with_batch(8)
+                .run_batched(kind, 60, 9);
+            assert_results_identical(&seq, &par, &format!("{kind:?}"));
+            assert!(par.stats.executed > 0, "{kind:?} executed nothing");
+        }
+    }
+
+    #[test]
+    fn batched_grid_identical_to_sequential_grid() {
+        let cluster = ClusterSpec::h100(1, 4);
+        let seq_maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let par_maya = Maya::with_oracle(EmulationSpec {
+            emulation_threads: 4,
+            ..EmulationSpec::new(cluster)
+        });
+        let template = fixture().1;
+        let seq_obj = Objective::new(&seq_maya, template);
+        let seq = TrialScheduler::new(&seq_obj)
+            .with_space(small_space())
+            .run_grid();
+        let par_obj = Objective::new(&par_maya, template);
+        let par = TrialScheduler::new(&par_obj)
+            .with_space(small_space())
+            .with_batch(6)
+            .run_grid_batched();
+        assert_results_identical(&seq, &par, "exhaustive grid");
+    }
+
+    #[test]
+    fn batched_early_stop_fires_at_the_same_trial() {
+        let cluster = ClusterSpec::h100(1, 4);
+        let seq_maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let par_maya = Maya::with_oracle(EmulationSpec {
+            emulation_threads: 4,
+            ..EmulationSpec::new(cluster)
+        });
+        let template = fixture().1;
+        let seq_obj = Objective::new(&seq_maya, template);
+        let mut seq_sched = TrialScheduler::new(&seq_obj).with_space(small_space());
+        seq_sched.early_stop_patience = Some(5);
+        let seq = seq_sched.run(AlgorithmKind::Random, 10_000, 3);
+        let par_obj = Objective::new(&par_maya, template);
+        let mut par_sched = TrialScheduler::new(&par_obj)
+            .with_space(small_space())
+            .with_batch(8);
+        par_sched.early_stop_patience = Some(5);
+        let par = par_sched.run_batched(AlgorithmKind::Random, 10_000, 3);
+        assert_eq!(seq.trials.len(), par.trials.len(), "stop point must match");
+        assert_results_identical(&seq, &par, "early stop");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the search space and algorithms.
 
-use maya_search::{AlgorithmKind, ConfigSpace, SearchAlgorithm};
+use maya_search::{AlgorithmKind, ConfigSpace};
 use proptest::prelude::*;
 
 proptest! {

@@ -6,7 +6,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use maya_estimator::RuntimeEstimator;
 use maya_hw::ClusterSpec;
 use maya_trace::{
-    CollectiveDesc, CollectiveKind, DeviceOp, JobTrace, SimTime, StreamId,
+    CollectiveDesc, CollectiveKind, DeviceOp, JobTrace, SimTime, StreamId, TraceEvent,
 };
 
 use crate::report::SimReport;
@@ -53,7 +53,11 @@ impl CollKey {
             }
             _ => (u32::MAX, u32::MAX),
         };
-        CollKey { comm: d.comm_id, seq: d.seq, pair }
+        CollKey {
+            comm: d.comm_id,
+            seq: d.seq,
+            pair,
+        }
     }
 }
 
@@ -100,19 +104,43 @@ impl StreamSim {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum HostBlock {
     Event { event: u64, version: u32 },
-    StreamDrain { sid: StreamId },
+    StreamDrain { si: usize },
     DeviceDrain { remaining: u32 },
 }
 
+/// Per-rank simulation state.
+///
+/// Streams live in a dense `Vec` indexed by per-worker *slots*: raw
+/// [`StreamId`]s are interned once at simulation start (order of first
+/// appearance in the trace), and every event carries its precomputed
+/// slot in `ev_slot`. The hot paths — host dispatch and [`Simulator::
+/// pump`] — then index instead of hashing, the dslab-style indexed
+/// event-core idiom.
 struct RankSim {
     next_op: usize,
     host_time: SimTime,
     host_busy: SimTime,
-    streams: HashMap<StreamId, StreamSim>,
+    /// Dense stream states, one per interned stream slot.
+    streams: Vec<StreamSim>,
+    /// Dense stream slot of each trace event (parallel to the worker's
+    /// `events`).
+    ev_slot: Vec<u32>,
     blocked: Option<HostBlock>,
     done: bool,
     comm_busy: SimTime,
     compute_busy: SimTime,
+}
+
+/// Interns a worker's stream ids: per-event dense slots plus the number
+/// of distinct streams, in order of first appearance.
+fn intern_streams(events: &[TraceEvent]) -> (Vec<u32>, usize) {
+    let mut index: HashMap<StreamId, u32> = HashMap::new();
+    let mut slots = Vec::with_capacity(events.len());
+    for e in events {
+        let next = index.len() as u32;
+        slots.push(*index.entry(e.stream).or_insert(next));
+    }
+    (slots, index.len())
 }
 
 /// Heap event kinds (Algorithm 1's polymorphic events).
@@ -121,7 +149,7 @@ enum EvKind {
     /// Host dispatch loop (re)starts for a rank.
     HostDispatch { wi: usize },
     /// A stream should attempt to make progress.
-    Pump { wi: usize, sid: StreamId },
+    Pump { wi: usize, si: usize },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -172,16 +200,20 @@ struct State {
     events_processed: u64,
     /// CUDA-event wait map: fired events with their fire times.
     fired: Vec<HashMap<(u64, u32), SimTime>>,
-    /// Streams waiting on an event.
-    event_stream_waiters: Vec<HashMap<(u64, u32), Vec<StreamId>>>,
+    /// Streams (by dense slot) waiting on an event.
+    event_stream_waiters: Vec<HashMap<(u64, u32), Vec<usize>>>,
     /// Network collective wait map.
-    collectives: HashMap<CollKey, Vec<(usize, StreamId, SimTime, CollectiveDesc)>>,
+    collectives: HashMap<CollKey, Vec<(usize, usize, SimTime, CollectiveDesc)>>,
 }
 
 impl State {
     fn push(&mut self, at: SimTime, kind: EvKind) {
         self.seq += 1;
-        self.heap.push(Reverse(HeapEv { at, seq: self.seq, kind }));
+        self.heap.push(Reverse(HeapEv {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 }
 
@@ -196,16 +228,22 @@ impl<'a> Simulator<'a> {
         job.validate().map_err(SimError::InvalidTrace)?;
         let n = job.workers.len();
         let mut st = State {
-            ranks: (0..n)
-                .map(|_| RankSim {
-                    next_op: 0,
-                    host_time: SimTime::ZERO,
-                    host_busy: SimTime::ZERO,
-                    streams: HashMap::new(),
-                    blocked: None,
-                    done: false,
-                    comm_busy: SimTime::ZERO,
-                    compute_busy: SimTime::ZERO,
+            ranks: job
+                .workers
+                .iter()
+                .map(|w| {
+                    let (ev_slot, nstreams) = intern_streams(&w.events);
+                    RankSim {
+                        next_op: 0,
+                        host_time: SimTime::ZERO,
+                        host_busy: SimTime::ZERO,
+                        streams: (0..nstreams).map(|_| StreamSim::default()).collect(),
+                        ev_slot,
+                        blocked: None,
+                        done: false,
+                        comm_busy: SimTime::ZERO,
+                        compute_busy: SimTime::ZERO,
+                    }
                 })
                 .collect(),
             heap: BinaryHeap::new(),
@@ -225,7 +263,7 @@ impl<'a> Simulator<'a> {
             st.events_processed += 1;
             match ev.kind {
                 EvKind::HostDispatch { wi } => self.host_dispatch(job, &mut st, wi),
-                EvKind::Pump { wi, sid } => self.pump(job, &mut st, wi, sid),
+                EvKind::Pump { wi, si } => self.pump(job, &mut st, wi, si),
             }
         }
 
@@ -244,20 +282,32 @@ impl<'a> Simulator<'a> {
             .ranks
             .iter()
             .map(|r| {
-                let s = r.streams.values().map(|s| s.busy_until).fold(SimTime::ZERO, SimTime::max);
+                let s = r
+                    .streams
+                    .iter()
+                    .map(|s| s.busy_until)
+                    .fold(SimTime::ZERO, SimTime::max);
                 r.host_time.max(s)
             })
             .collect();
         Ok(SimReport {
             total_time: rank_end.iter().copied().fold(SimTime::ZERO, SimTime::max),
             rank_end_times: rank_end,
-            comm_time: st.ranks.iter().map(|r| r.comm_busy).fold(SimTime::ZERO, SimTime::max),
+            comm_time: st
+                .ranks
+                .iter()
+                .map(|r| r.comm_busy)
+                .fold(SimTime::ZERO, SimTime::max),
             compute_time: st
                 .ranks
                 .iter()
                 .map(|r| r.compute_busy)
                 .fold(SimTime::ZERO, SimTime::max),
-            host_time: st.ranks.iter().map(|r| r.host_busy).fold(SimTime::ZERO, SimTime::max),
+            host_time: st
+                .ranks
+                .iter()
+                .map(|r| r.host_busy)
+                .fold(SimTime::ZERO, SimTime::max),
             peak_mem_bytes: job.peak_mem_bytes(),
             events_processed: st.events_processed,
         })
@@ -277,6 +327,7 @@ impl<'a> Simulator<'a> {
                 return;
             }
             let ev = &events[pc];
+            let si = st.ranks[wi].ev_slot[pc] as usize;
             st.ranks[wi].next_op += 1;
             st.ranks[wi].host_time += ev.host_delay;
             st.ranks[wi].host_busy += ev.host_delay;
@@ -286,23 +337,41 @@ impl<'a> Simulator<'a> {
                 DeviceOp::Malloc { .. } | DeviceOp::Free { .. } => {}
                 DeviceOp::KernelLaunch { kernel } => {
                     let dur = self.estimator.kernel_time(&kernel);
-                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Timed { dur, is_comm: false });
+                    self.enqueue(
+                        st,
+                        wi,
+                        si,
+                        issue,
+                        StreamOp::Timed {
+                            dur,
+                            is_comm: false,
+                        },
+                    );
                 }
                 DeviceOp::MemcpyAsync { bytes, kind, sync } => {
                     let dur = self.estimator.memcpy_time(bytes, kind);
-                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Timed { dur, is_comm: false });
+                    self.enqueue(
+                        st,
+                        wi,
+                        si,
+                        issue,
+                        StreamOp::Timed {
+                            dur,
+                            is_comm: false,
+                        },
+                    );
                     if sync {
                         // Blocking copy: host waits for the stream to drain.
-                        if self.park_host_on_drain(st, wi, ev.stream) {
+                        if self.park_host_on_drain(st, wi, si) {
                             return;
                         }
                     }
                 }
                 DeviceOp::EventRecord { event, version } => {
-                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Record { event, version });
+                    self.enqueue(st, wi, si, issue, StreamOp::Record { event, version });
                 }
                 DeviceOp::StreamWaitEvent { event, version } => {
-                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Wait { event, version });
+                    self.enqueue(st, wi, si, issue, StreamOp::Wait { event, version });
                 }
                 DeviceOp::EventSynchronize { event, version } => {
                     match st.fired[wi].get(&(event, version)).copied() {
@@ -317,22 +386,18 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 DeviceOp::StreamSynchronize => {
-                    if self.park_host_on_drain(st, wi, ev.stream) {
+                    if self.park_host_on_drain(st, wi, si) {
                         return;
                     }
                 }
                 DeviceOp::DeviceSynchronize => {
                     let now = st.ranks[wi].host_time;
-                    let pending: Vec<StreamId> = st.ranks[wi]
-                        .streams
-                        .iter()
-                        .filter(|(_, s)| !s.drained(now))
-                        .map(|(&sid, _)| sid)
-                        .collect();
                     let mut latest = now;
                     let mut remaining = 0u32;
-                    for sid in pending {
-                        let s = &st.ranks[wi].streams[&sid];
+                    for s in &st.ranks[wi].streams {
+                        if s.drained(now) {
+                            continue;
+                        }
                         if s.queue.is_empty() && s.blocked.is_none() {
                             latest = latest.max(s.busy_until);
                         } else {
@@ -347,56 +412,53 @@ impl<'a> Simulator<'a> {
                 }
                 DeviceOp::Collective { desc } => {
                     let key = CollKey::from_desc(&desc);
-                    self.enqueue(st, wi, ev.stream, issue, StreamOp::Join { key, desc });
+                    self.enqueue(st, wi, si, issue, StreamOp::Join { key, desc });
                 }
             }
         }
     }
 
     /// Enqueues a stream op and pumps the stream at its issue time.
-    fn enqueue(&self, st: &mut State, wi: usize, sid: StreamId, ready_at: SimTime, op: StreamOp) {
-        let s = st.ranks[wi].streams.entry(sid).or_default();
-        s.queue.push_back(QueuedOp { ready_at, op });
-        st.push(ready_at.max(st.now), EvKind::Pump { wi, sid });
+    fn enqueue(&self, st: &mut State, wi: usize, si: usize, ready_at: SimTime, op: StreamOp) {
+        st.ranks[wi].streams[si]
+            .queue
+            .push_back(QueuedOp { ready_at, op });
+        st.push(ready_at.max(st.now), EvKind::Pump { wi, si });
     }
 
     /// Parks the host until a stream drains. Returns true if parked.
-    fn park_host_on_drain(&self, st: &mut State, wi: usize, sid: StreamId) -> bool {
+    fn park_host_on_drain(&self, st: &mut State, wi: usize, si: usize) -> bool {
         let now = st.ranks[wi].host_time;
-        let s = st.ranks[wi].streams.entry(sid).or_default();
+        let s = &st.ranks[wi].streams[si];
         if s.queue.is_empty() && s.blocked.is_none() {
             st.ranks[wi].host_time = now.max(s.busy_until);
             false
         } else {
-            st.ranks[wi].blocked = Some(HostBlock::StreamDrain { sid });
+            st.ranks[wi].blocked = Some(HostBlock::StreamDrain { si });
             true
         }
     }
 
     /// Stream progress (Algorithm 2's scheduler tick for one stream).
-    fn pump(&self, job: &JobTrace, st: &mut State, wi: usize, sid: StreamId) {
+    fn pump(&self, job: &JobTrace, st: &mut State, wi: usize, si: usize) {
         loop {
             let now = st.now;
-            let s = match st.ranks[wi].streams.get_mut(&sid) {
-                Some(s) => s,
-                None => return,
-            };
+            let s = &mut st.ranks[wi].streams[si];
             if s.blocked.is_some() || s.busy_until > now {
                 return;
             }
             let front = match s.queue.front().copied() {
                 None => {
                     // Drained: wake a host parked on this stream/device.
-                    self.notify_drain(st, wi, sid, now);
+                    self.notify_drain(st, wi, si, now);
                     return;
                 }
                 Some(f) => f,
             };
             if front.ready_at > now {
-                st.push(front.ready_at, EvKind::Pump { wi, sid });
+                st.push(front.ready_at, EvKind::Pump { wi, si });
                 return;
             }
-            let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
             s.queue.pop_front();
             match front.op {
                 StreamOp::Timed { dur, is_comm } => {
@@ -406,22 +468,19 @@ impl<'a> Simulator<'a> {
                     } else {
                         st.ranks[wi].compute_busy += dur;
                     }
-                    st.push(now + dur, EvKind::Pump { wi, sid });
+                    st.push(now + dur, EvKind::Pump { wi, si });
                     return;
                 }
                 StreamOp::Record { event, version } => {
                     st.fired[wi].insert((event, version), now);
                     // Wake streams waiting on this event.
-                    if let Some(waiters) =
-                        st.event_stream_waiters[wi].remove(&(event, version))
-                    {
+                    if let Some(waiters) = st.event_stream_waiters[wi].remove(&(event, version)) {
                         for w in waiters {
-                            if let Some(ws) = st.ranks[wi].streams.get_mut(&w) {
-                                if ws.blocked == Some(StreamBlock::Event { event, version }) {
-                                    ws.blocked = None;
-                                    ws.busy_until = ws.busy_until.max(now);
-                                    st.push(now, EvKind::Pump { wi, sid: w });
-                                }
+                            let ws = &mut st.ranks[wi].streams[w];
+                            if ws.blocked == Some(StreamBlock::Event { event, version }) {
+                                ws.blocked = None;
+                                ws.busy_until = ws.busy_until.max(now);
+                                st.push(now, EvKind::Pump { wi, si: w });
                             }
                         }
                     }
@@ -436,28 +495,32 @@ impl<'a> Simulator<'a> {
                     if version == 0 || st.fired[wi].contains_key(&(event, version)) {
                         // Already fired (or never-recorded no-op): the
                         // stream ordering itself enforces the constraint.
-                        let fire =
-                            st.fired[wi].get(&(event, version)).copied().unwrap_or(SimTime::ZERO);
-                        let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+                        let fire = st.fired[wi]
+                            .get(&(event, version))
+                            .copied()
+                            .unwrap_or(SimTime::ZERO);
+                        let s = &mut st.ranks[wi].streams[si];
                         s.busy_until = s.busy_until.max(fire);
                         if fire > now {
-                            st.push(fire, EvKind::Pump { wi, sid });
+                            st.push(fire, EvKind::Pump { wi, si });
                             return;
                         }
                     } else {
-                        let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
-                        s.blocked = Some(StreamBlock::Event { event, version });
+                        st.ranks[wi].streams[si].blocked =
+                            Some(StreamBlock::Event { event, version });
                         st.event_stream_waiters[wi]
                             .entry((event, version))
                             .or_default()
-                            .push(sid);
+                            .push(si);
                         return;
                     }
                 }
                 StreamOp::Join { key, desc } => {
-                    let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
-                    s.blocked = Some(StreamBlock::Collective);
-                    st.collectives.entry(key).or_default().push((wi, sid, now, desc));
+                    st.ranks[wi].streams[si].blocked = Some(StreamBlock::Collective);
+                    st.collectives
+                        .entry(key)
+                        .or_default()
+                        .push((wi, si, now, desc));
                     let required = required_participants(job, &desc);
                     let arrived = st.collectives[&key].len();
                     if arrived >= required {
@@ -473,7 +536,10 @@ impl<'a> Simulator<'a> {
     /// the predicted wire time (Algorithm 3).
     fn resolve_collective(&self, job: &JobTrace, st: &mut State, key: CollKey) {
         let participants = st.collectives.remove(&key).unwrap_or_default();
-        let start = participants.iter().map(|&(_, _, t, _)| t).fold(SimTime::ZERO, SimTime::max);
+        let start = participants
+            .iter()
+            .map(|&(_, _, t, _)| t)
+            .fold(SimTime::ZERO, SimTime::max);
         let desc = participants[0].3;
         let global_ranks: Vec<u32> = match desc.kind {
             CollectiveKind::Send { peer } | CollectiveKind::Recv { peer } => {
@@ -482,26 +548,35 @@ impl<'a> Simulator<'a> {
                         .iter()
                         .filter_map(|&i| members.get(i as usize).copied())
                         .collect(),
-                    None => participants.iter().map(|&(wi, ..)| job.workers[wi].rank).collect(),
+                    None => participants
+                        .iter()
+                        .map(|&(wi, ..)| job.workers[wi].rank)
+                        .collect(),
                 }
             }
-            _ => job.comm_groups.get(&desc.comm_id).cloned().unwrap_or_default(),
+            _ => job
+                .comm_groups
+                .get(&desc.comm_id)
+                .cloned()
+                .unwrap_or_default(),
         };
-        let dur = self.estimator.collective_time(desc.kind, desc.bytes, &global_ranks, self.cluster);
+        let dur =
+            self.estimator
+                .collective_time(desc.kind, desc.bytes, &global_ranks, self.cluster);
         let end = start + dur;
-        for (wi, sid, _, _) in participants {
-            let s = st.ranks[wi].streams.get_mut(&sid).expect("stream exists");
+        for (wi, si, _, _) in participants {
+            let s = &mut st.ranks[wi].streams[si];
             s.blocked = None;
             s.busy_until = end;
             st.ranks[wi].comm_busy += dur;
-            st.push(end, EvKind::Pump { wi, sid });
+            st.push(end, EvKind::Pump { wi, si });
         }
     }
 
     /// A stream drained; wake hosts blocked on it.
-    fn notify_drain(&self, st: &mut State, wi: usize, sid: StreamId, now: SimTime) {
+    fn notify_drain(&self, st: &mut State, wi: usize, si: usize, now: SimTime) {
         match st.ranks[wi].blocked {
-            Some(HostBlock::StreamDrain { sid: want }) if want == sid => {
+            Some(HostBlock::StreamDrain { si: want }) if want == si => {
                 st.ranks[wi].blocked = None;
                 st.ranks[wi].host_time = st.ranks[wi].host_time.max(now);
                 st.push(now, EvKind::HostDispatch { wi });
@@ -552,18 +627,31 @@ mod tests {
 
     fn kernel(m: u64) -> DeviceOp {
         DeviceOp::KernelLaunch {
-            kernel: KernelKind::Gemm { m, n: 1024, k: 1024, dtype: Dtype::Fp32 },
+            kernel: KernelKind::Gemm {
+                m,
+                n: 1024,
+                k: 1024,
+                dtype: Dtype::Fp32,
+            },
         }
     }
 
     fn ev(stream: u32, op: DeviceOp, host_us: f64) -> TraceEvent {
-        TraceEvent { stream: StreamId(stream), op, host_delay: SimTime::from_us(host_us) }
+        TraceEvent {
+            stream: StreamId(stream),
+            op,
+            host_delay: SimTime::from_us(host_us),
+        }
     }
 
     fn job1(events: Vec<TraceEvent>) -> JobTrace {
         let mut w = WorkerTrace::new(0);
         w.events = events;
-        JobTrace { nranks: 1, workers: vec![w], comm_groups: BTreeMap::new() }
+        JobTrace {
+            nranks: 1,
+            workers: vec![w],
+            comm_groups: BTreeMap::new(),
+        }
     }
 
     fn cluster() -> ClusterSpec {
@@ -600,7 +688,15 @@ mod tests {
         let c = cluster();
         let oracle = OracleEstimator::new(&c);
         let evs: Vec<TraceEvent> = (0..10)
-            .map(|_| ev(0, DeviceOp::KernelLaunch { kernel: KernelKind::Memset { bytes: 4 } }, 500.0))
+            .map(|_| {
+                ev(
+                    0,
+                    DeviceOp::KernelLaunch {
+                        kernel: KernelKind::Memset { bytes: 4 },
+                    },
+                    500.0,
+                )
+            })
             .collect();
         let r = simulate(&job1(evs), &c, &oracle).unwrap();
         assert!(r.total_time >= SimTime::from_us(5000.0));
@@ -633,8 +729,22 @@ mod tests {
         let dep = simulate(
             &job1(vec![
                 ev(1, kernel(8192), 1.0),
-                ev(1, DeviceOp::EventRecord { event: 3, version: 1 }, 1.0),
-                ev(0, DeviceOp::StreamWaitEvent { event: 3, version: 1 }, 1.0),
+                ev(
+                    1,
+                    DeviceOp::EventRecord {
+                        event: 3,
+                        version: 1,
+                    },
+                    1.0,
+                ),
+                ev(
+                    0,
+                    DeviceOp::StreamWaitEvent {
+                        event: 3,
+                        version: 1,
+                    },
+                    1.0,
+                ),
                 ev(0, kernel(8192), 1.0),
             ]),
             &c,
@@ -657,7 +767,14 @@ mod tests {
         let oracle = OracleEstimator::new(&c);
         let r = simulate(
             &job1(vec![
-                ev(0, DeviceOp::StreamWaitEvent { event: 9, version: 0 }, 1.0),
+                ev(
+                    0,
+                    DeviceOp::StreamWaitEvent {
+                        event: 9,
+                        version: 0,
+                    },
+                    1.0,
+                ),
                 ev(0, kernel(1024), 1.0),
             ]),
             &c,
@@ -683,7 +800,12 @@ mod tests {
         .unwrap();
         // After sync, the third kernel cannot overlap: total >= 2 kernels.
         let kt = oracle
-            .kernel_time(&KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 })
+            .kernel_time(&KernelKind::Gemm {
+                m: 8192,
+                n: 1024,
+                k: 1024,
+                dtype: Dtype::Fp32,
+            })
             .as_secs_f64();
         assert!(r.total_time.as_secs_f64() > 1.99 * kt, "{}", r.total_time);
     }
@@ -706,16 +828,26 @@ mod tests {
         let mut w0 = WorkerTrace::new(0);
         w0.events = vec![ev(0, coll(0), 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
         let mut w1 = WorkerTrace::new(1);
-        w1.events =
-            vec![ev(0, kernel(8192), 1.0), ev(0, coll(1), 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        w1.events = vec![
+            ev(0, kernel(8192), 1.0),
+            ev(0, coll(1), 1.0),
+            ev(0, DeviceOp::StreamSynchronize, 1.0),
+        ];
         let mut groups = BTreeMap::new();
         groups.insert(11u64, vec![0, 1]);
-        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![w0, w1],
+            comm_groups: groups,
+        };
         let r = simulate(&job, &c, &oracle).unwrap();
-        let kt = oracle
-            .kernel_time(&KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 });
-        let wire =
-            oracle.collective_time(CollectiveKind::AllReduce, 1 << 24, &[0, 1], &c);
+        let kt = oracle.kernel_time(&KernelKind::Gemm {
+            m: 8192,
+            n: 1024,
+            k: 1024,
+            dtype: Dtype::Fp32,
+        });
+        let wire = oracle.collective_time(CollectiveKind::AllReduce, 1 << 24, &[0, 1], &c);
         // Lockstep: both ranks end at ~ compute + wire.
         assert!(r.rank_end_times[0] >= kt + wire, "{:?}", r.rank_end_times);
         let d = r.rank_end_times[0].as_secs_f64() - r.rank_end_times[1].as_secs_f64();
@@ -743,7 +875,11 @@ mod tests {
         w1.events = vec![ev(0, kernel(64), 1.0)];
         let mut groups = BTreeMap::new();
         groups.insert(11u64, vec![0, 1]);
-        let job = JobTrace { nranks: 2, workers: vec![w0, w1], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![w0, w1],
+            comm_groups: groups,
+        };
         match simulate(&job, &c, &oracle) {
             Err(SimError::Deadlock { stuck_ranks }) => assert_eq!(stuck_ranks, vec![0]),
             other => panic!("expected deadlock, got {other:?}"),
@@ -772,8 +908,12 @@ mod tests {
             &oracle,
         )
         .unwrap();
-        let kt = oracle
-            .kernel_time(&KernelKind::Gemm { m: 8192, n: 1024, k: 1024, dtype: Dtype::Fp32 });
+        let kt = oracle.kernel_time(&KernelKind::Gemm {
+            m: 8192,
+            n: 1024,
+            k: 1024,
+            dtype: Dtype::Fp32,
+        });
         let ct = oracle.memcpy_time(1 << 28, maya_trace::MemcpyKind::DeviceToHost);
         assert!(r.total_time >= kt + ct + kt, "{}", r.total_time);
     }
@@ -797,7 +937,11 @@ mod tests {
         let mut groups = BTreeMap::new();
         groups.insert(11u64, vec![0, 1]);
         // Rank 1 deduplicated away; rendezvous completes with rank 0 only.
-        let job = JobTrace { nranks: 2, workers: vec![w0], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 2,
+            workers: vec![w0],
+            comm_groups: groups,
+        };
         let r = simulate(&job, &c, &oracle).unwrap();
         let wire = oracle.collective_time(CollectiveKind::AllReduce, 1 << 20, &[0, 1], &c);
         assert!(r.total_time >= wire);

@@ -17,9 +17,7 @@ use maya_cuda::{CudaContext, CudaEvent, CudaResult, CudaStream, NcclComm, NcclUn
 use maya_trace::{MemcpyKind, SimTime};
 
 use crate::layers::{LayerShape, TransformerEmitter};
-use crate::memory::{
-    act_bytes_per_layer, embedding_param_elems, layer_param_elems, logits_bytes,
-};
+use crate::memory::{act_bytes_per_layer, embedding_param_elems, layer_param_elems, logits_bytes};
 use crate::parallel::RankTopology;
 use crate::schedule::{block_of, build_schedule, owner_of, StepKind};
 use crate::workload::TrainingJob;
@@ -53,7 +51,10 @@ impl Streams {
         forward: bool,
         is_send: bool,
     ) -> CudaStream {
-        *self.p2p.entry((peer, forward, is_send)).or_insert_with(|| ctx.stream_create())
+        *self
+            .p2p
+            .entry((peer, forward, is_send))
+            .or_insert_with(|| ctx.stream_create())
     }
 }
 
@@ -99,7 +100,12 @@ pub fn run_megatron_worker(job: &TrainingJob, rank: u32, ctx: &mut CudaContext) 
     };
 
     // --- Communicators ---
-    let mut comms = Comms { tp: None, dp: None, embedding: None, links: HashMap::new() };
+    let mut comms = Comms {
+        tp: None,
+        dp: None,
+        embedding: None,
+        links: HashMap::new(),
+    };
     if par.tp > 1 {
         let members = topo.tp_group(rank);
         let uid = NcclUniqueId::from_members_tagged(&members, 0x74_70);
@@ -136,7 +142,8 @@ pub fn run_megatron_worker(job: &TrainingJob, rank: u32, ctx: &mut CudaContext) 
     }
 
     // --- Persistent state ---
-    let mut local_params = layers_per_chunk as u64 * chunks as u64 * layer_param_elems(&cfg, par.tp);
+    let mut local_params =
+        layers_per_chunk as u64 * chunks as u64 * layer_param_elems(&cfg, par.tp);
     if owns_first {
         local_params += embedding_param_elems(&cfg, par.tp);
     }
@@ -180,7 +187,10 @@ pub fn run_megatron_worker(job: &TrainingJob, rank: u32, ctx: &mut CudaContext) 
     let full_act_per_layer = act_bytes_per_layer(
         &cfg,
         micro_bs,
-        &crate::parallel::ParallelConfig { activation_recompute: false, ..*par },
+        &crate::parallel::ParallelConfig {
+            activation_recompute: false,
+            ..*par
+        },
     );
     let boundary_bytes = {
         let base = shape.act_tensor_bytes();
@@ -220,8 +230,7 @@ pub fn run_megatron_worker(job: &TrainingJob, rank: u32, ctx: &mut CudaContext) 
                             &events,
                         )?;
                     }
-                    let buf =
-                        ctx.malloc((act_per_layer * layers_per_chunk as u64).max(512))?;
+                    let buf = ctx.malloc((act_per_layer * layers_per_chunk as u64).max(512))?;
                     act_bufs.insert((step.mb, step.chunk), buf);
                     for _ in 0..layers_per_chunk {
                         emitter.forward_layer(ctx)?;
@@ -319,8 +328,11 @@ pub fn run_megatron_worker(job: &TrainingJob, rank: u32, ctx: &mut CudaContext) 
         }
 
         // --- Optimizer ---
-        let opt_elems =
-            if par.distributed_optimizer { local_params / topo.dp as u64 } else { local_params };
+        let opt_elems = if par.distributed_optimizer {
+            local_params / topo.dp as u64
+        } else {
+            local_params
+        };
         emitter.optimizer_step(ctx, opt_elems.max(1))?;
         if par.distributed_optimizer {
             if let Some(dp_comm) = comms.dp {
@@ -357,8 +369,11 @@ fn link(
         return Ok(());
     }
     let (t, d) = (topo.tp_rank(rank), topo.dp_rank(rank));
-    let members = [topo.global_rank(t, d, from_stage), topo.global_rank(t, d, to_stage)];
-    let tag = if forward { 0x61_63_74 } else { 0x67_72_64 };
+    let members = [
+        topo.global_rank(t, d, from_stage),
+        topo.global_rank(t, d, to_stage),
+    ];
+    let tag = if forward { 0x0061_6374 } else { 0x0067_7264 };
     let uid = NcclUniqueId::from_members_tagged(&members, tag);
     let my = if i_send { 0 } else { 1 };
     let comm = ctx.nccl_comm_init_rank(uid, 2, my)?;
@@ -436,15 +451,18 @@ pub fn megatron_comm_groups(job: &TrainingJob) -> std::collections::BTreeMap<u64
         for t in 0..par.tp {
             for d in 0..topo.dp {
                 insert(
-                    vec![topo.global_rank(t, d, 0), topo.global_rank(t, d, par.pp - 1)],
+                    vec![
+                        topo.global_rank(t, d, 0),
+                        topo.global_rank(t, d, par.pp - 1),
+                    ],
                     0x65_6D,
                 );
                 for block in 1..total_blocks {
                     let from = owner_of(block - 1, par.pp);
                     let to = owner_of(block, par.pp);
                     let (gf, gt) = (topo.global_rank(t, d, from), topo.global_rank(t, d, to));
-                    insert(vec![gf, gt], 0x61_63_74); // activations, from -> to
-                    insert(vec![gt, gf], 0x67_72_64); // gradients, to -> from
+                    insert(vec![gf, gt], 0x0061_6374); // activations, from -> to
+                    insert(vec![gt, gf], 0x0067_7264); // gradients, to -> from
                 }
             }
         }

@@ -118,7 +118,11 @@ fn run_dp_transformer(
         for mb in 0..num_mb {
             // ---- forward ----
             ctx.host_work(SimTime::from_us(120.0)); // dataloader
-            ctx.memcpy_async(shape.tokens() * 8, MemcpyKind::HostToDevice, emitter.compute)?;
+            ctx.memcpy_async(
+                shape.tokens() * 8,
+                MemcpyKind::HostToDevice,
+                emitter.compute,
+            )?;
             emitter.embedding_forward(ctx)?;
             let mut layer_acts = Vec::new();
             for _ in 0..cfg.layers {
@@ -212,7 +216,11 @@ fn run_dp_transformer(
             ctx.event_record(evt, dp_stream)?;
             ctx.stream_wait_event(emitter.compute, evt)?;
         }
-        let opt_elems = if zero >= 1 { total_params / dp as u64 } else { total_params };
+        let opt_elems = if zero >= 1 {
+            total_params / dp as u64
+        } else {
+            total_params
+        };
         emitter.optimizer_step(ctx, opt_elems.max(1))?;
         if (1..=2).contains(&zero) {
             if let Some(comm) = dp_comm {
@@ -256,7 +264,11 @@ mod tests {
     fn names_for(flavor: FrameworkFlavor) -> Vec<&'static str> {
         let mut ctx = CudaContext::new(0, GpuSpec::h100());
         run_dp_worker(&job(flavor, 4), 0, &mut ctx).unwrap();
-        ctx.into_trace().events.iter().map(|e| e.op.name()).collect()
+        ctx.into_trace()
+            .events
+            .iter()
+            .map(|e| e.op.name())
+            .collect()
     }
 
     #[test]
@@ -269,8 +281,10 @@ mod tests {
 
     #[test]
     fn zero2_reduce_scatters_and_gathers() {
-        let names =
-            names_for(FrameworkFlavor::DeepSpeedZero { stage: 2, activation_offload: false });
+        let names = names_for(FrameworkFlavor::DeepSpeedZero {
+            stage: 2,
+            activation_offload: false,
+        });
         assert!(names.contains(&"ncclReduceScatter"));
         assert!(names.contains(&"ncclAllGather"));
     }
@@ -285,8 +299,10 @@ mod tests {
 
     #[test]
     fn offload_emits_host_device_traffic() {
-        let names =
-            names_for(FrameworkFlavor::DeepSpeedZero { stage: 1, activation_offload: true });
+        let names = names_for(FrameworkFlavor::DeepSpeedZero {
+            stage: 1,
+            activation_offload: true,
+        });
         let dtoh = names.iter().filter(|n| *n == &"MemcpyDtoH").count();
         let htod = names.iter().filter(|n| *n == &"MemcpyHtoD").count();
         // One offload store per layer and one prefetch per layer.
@@ -301,7 +317,10 @@ mod tests {
             let flavor = if stage == 0 {
                 FrameworkFlavor::Ddp
             } else {
-                FrameworkFlavor::DeepSpeedZero { stage, activation_offload: false }
+                FrameworkFlavor::DeepSpeedZero {
+                    stage,
+                    activation_offload: false,
+                }
             };
             let mut ctx = CudaContext::new(0, GpuSpec::h100());
             run_dp_worker(&job(flavor, 8), 0, &mut ctx).unwrap();

@@ -69,14 +69,22 @@ pub struct TransformerEmitter {
 impl TransformerEmitter {
     fn ew(&self, ctx: &mut CudaContext, numel: u64, arity: u8) -> CudaResult<()> {
         ctx.launch_kernel(
-            KernelKind::Elementwise { numel, arity, dtype: self.shape.dtype },
+            KernelKind::Elementwise {
+                numel,
+                arity,
+                dtype: self.shape.dtype,
+            },
             self.compute,
         )
     }
 
     fn fused(&self, ctx: &mut CudaContext, numel: u64, num_instrs: u32) -> CudaResult<()> {
         ctx.launch_kernel(
-            KernelKind::FusedTriton { numel, num_instrs, dtype: self.shape.dtype },
+            KernelKind::FusedTriton {
+                numel,
+                num_instrs,
+                dtype: self.shape.dtype,
+            },
             self.compute,
         )
     }
@@ -123,7 +131,10 @@ impl TransformerEmitter {
             self.fused(ctx, shard_rows * h, 11)?; // fused layernorm
         } else {
             ctx.launch_kernel(
-                KernelKind::LayerNormForward { rows: shard_rows, cols: h },
+                KernelKind::LayerNormForward {
+                    rows: shard_rows,
+                    cols: h,
+                },
                 self.compute,
             )?;
         }
@@ -176,7 +187,12 @@ impl TransformerEmitter {
         if s.compiled {
             self.fused(ctx, shard_rows * h, 8)?; // bias+dropout+residual
         } else {
-            ctx.launch_kernel(KernelKind::FusedDropout { numel: shard_rows * h }, self.compute)?;
+            ctx.launch_kernel(
+                KernelKind::FusedDropout {
+                    numel: shard_rows * h,
+                },
+                self.compute,
+            )?;
             self.ew(ctx, shard_rows * h, 2)?; // residual add
         }
 
@@ -185,7 +201,10 @@ impl TransformerEmitter {
             self.fused(ctx, shard_rows * h, 11)?;
         } else {
             ctx.launch_kernel(
-                KernelKind::LayerNormForward { rows: shard_rows, cols: h },
+                KernelKind::LayerNormForward {
+                    rows: shard_rows,
+                    cols: h,
+                },
                 self.compute,
             )?;
         }
@@ -214,7 +233,12 @@ impl TransformerEmitter {
         if s.compiled {
             self.fused(ctx, shard_rows * h, 8)?;
         } else {
-            ctx.launch_kernel(KernelKind::FusedDropout { numel: shard_rows * h }, self.compute)?;
+            ctx.launch_kernel(
+                KernelKind::FusedDropout {
+                    numel: shard_rows * h,
+                },
+                self.compute,
+            )?;
             self.ew(ctx, shard_rows * h, 2)?;
         }
         Ok(())
@@ -265,11 +289,17 @@ impl TransformerEmitter {
             self.fused(ctx, shard_rows * h, 10)?; // layernorm bwd fused
         } else {
             ctx.launch_kernel(
-                KernelKind::LayerNormBackwardGamma { rows: shard_rows, cols: h },
+                KernelKind::LayerNormBackwardGamma {
+                    rows: shard_rows,
+                    cols: h,
+                },
                 self.compute,
             )?;
             ctx.launch_kernel(
-                KernelKind::LayerNormBackwardInput { rows: shard_rows, cols: h },
+                KernelKind::LayerNormBackwardInput {
+                    rows: shard_rows,
+                    cols: h,
+                },
                 self.compute,
             )?;
         }
@@ -285,7 +315,7 @@ impl TransformerEmitter {
         }
         ctx.cublas_gemm_ex(self.blas, bs, hp, h, d)?; // out-proj dgrad
         ctx.cublas_gemm_ex(self.blas, hp, h, bs, d)?; // out-proj wgrad
-        // Context matmul backward (two batched GEMMs).
+                                                      // Context matmul backward (two batched GEMMs).
         ctx.cublas_gemm_strided_batched(
             self.blas,
             s.seq,
@@ -307,7 +337,10 @@ impl TransformerEmitter {
             self.fused(ctx, attn_numel, 8)?;
         } else {
             ctx.launch_kernel(
-                KernelKind::VectorizedElementwise { numel: attn_numel, dtype: d },
+                KernelKind::VectorizedElementwise {
+                    numel: attn_numel,
+                    dtype: d,
+                },
                 self.compute,
             )?; // dropout bwd
             ctx.launch_kernel(
@@ -347,11 +380,17 @@ impl TransformerEmitter {
             self.fused(ctx, shard_rows * h, 10)?;
         } else {
             ctx.launch_kernel(
-                KernelKind::LayerNormBackwardGamma { rows: shard_rows, cols: h },
+                KernelKind::LayerNormBackwardGamma {
+                    rows: shard_rows,
+                    cols: h,
+                },
                 self.compute,
             )?;
             ctx.launch_kernel(
-                KernelKind::LayerNormBackwardInput { rows: shard_rows, cols: h },
+                KernelKind::LayerNormBackwardInput {
+                    rows: shard_rows,
+                    cols: h,
+                },
                 self.compute,
             )?;
         }
@@ -362,18 +401,29 @@ impl TransformerEmitter {
     pub fn embedding_forward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
         let s = &self.shape;
         ctx.launch_kernel(
-            KernelKind::EmbeddingForward { tokens: s.tokens(), hidden: s.hidden },
+            KernelKind::EmbeddingForward {
+                tokens: s.tokens(),
+                hidden: s.hidden,
+            },
             self.compute,
         )?;
         self.ew(ctx, s.tokens() * s.hidden, 2)?; // + positional embedding
-        ctx.launch_kernel(KernelKind::FusedDropout { numel: s.tokens() * s.hidden }, self.compute)
+        ctx.launch_kernel(
+            KernelKind::FusedDropout {
+                numel: s.tokens() * s.hidden,
+            },
+            self.compute,
+        )
     }
 
     /// Embedding backward (scatter-add of token gradients).
     pub fn embedding_backward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
         let s = &self.shape;
         ctx.launch_kernel(
-            KernelKind::EmbeddingBackward { tokens: s.tokens(), hidden: s.hidden },
+            KernelKind::EmbeddingBackward {
+                tokens: s.tokens(),
+                hidden: s.hidden,
+            },
             self.compute,
         )?;
         self.ew(ctx, s.tokens() * s.hidden, 1)
@@ -384,17 +434,32 @@ impl TransformerEmitter {
     pub fn head_forward(&self, ctx: &mut CudaContext) -> CudaResult<()> {
         let s = &self.shape;
         let tokens = s.tokens();
-        ctx.launch_kernel(KernelKind::LayerNormForward { rows: tokens, cols: s.hidden }, self.compute)?;
+        ctx.launch_kernel(
+            KernelKind::LayerNormForward {
+                rows: tokens,
+                cols: s.hidden,
+            },
+            self.compute,
+        )?;
         ctx.cublas_gemm_ex(self.blas, tokens, s.vocab / s.tp, s.hidden, s.dtype)?;
         ctx.launch_kernel(
-            KernelKind::CrossEntropyForward { tokens, vocab: s.vocab / s.tp },
+            KernelKind::CrossEntropyForward {
+                tokens,
+                vocab: s.vocab / s.tp,
+            },
             self.compute,
         )?;
         if s.tp > 1 {
             // Vocab-parallel softmax statistics (max + sum).
             self.tp_allreduce(ctx, tokens * 8)?;
         }
-        ctx.launch_kernel(KernelKind::Reduce { numel: tokens, dtype: Dtype::Fp32 }, self.compute)
+        ctx.launch_kernel(
+            KernelKind::Reduce {
+                numel: tokens,
+                dtype: Dtype::Fp32,
+            },
+            self.compute,
+        )
     }
 
     /// LM head + cross-entropy backward.
@@ -402,17 +467,26 @@ impl TransformerEmitter {
         let s = &self.shape;
         let tokens = s.tokens();
         ctx.launch_kernel(
-            KernelKind::CrossEntropyBackward { tokens, vocab: s.vocab / s.tp },
+            KernelKind::CrossEntropyBackward {
+                tokens,
+                vocab: s.vocab / s.tp,
+            },
             self.compute,
         )?;
         ctx.cublas_gemm_ex(self.blas, tokens, s.hidden, s.vocab / s.tp, s.dtype)?; // dgrad
         ctx.cublas_gemm_ex(self.blas, s.vocab / s.tp, s.hidden, tokens, s.dtype)?; // wgrad
         ctx.launch_kernel(
-            KernelKind::LayerNormBackwardGamma { rows: tokens, cols: s.hidden },
+            KernelKind::LayerNormBackwardGamma {
+                rows: tokens,
+                cols: s.hidden,
+            },
             self.compute,
         )?;
         ctx.launch_kernel(
-            KernelKind::LayerNormBackwardInput { rows: tokens, cols: s.hidden },
+            KernelKind::LayerNormBackwardInput {
+                rows: tokens,
+                cols: s.hidden,
+            },
             self.compute,
         )
     }
@@ -422,15 +496,24 @@ impl TransformerEmitter {
     pub fn optimizer_step(&self, ctx: &mut CudaContext, param_elems: u64) -> CudaResult<()> {
         ctx.host_work(self.host_work_per_layer);
         ctx.launch_kernel(
-            KernelKind::Reduce { numel: param_elems, dtype: Dtype::Fp32 },
+            KernelKind::Reduce {
+                numel: param_elems,
+                dtype: Dtype::Fp32,
+            },
             self.compute,
         )?; // grad norm
         ctx.launch_kernel(
-            KernelKind::MultiTensorApply { numel: param_elems, ops_per_elem: 4 },
+            KernelKind::MultiTensorApply {
+                numel: param_elems,
+                ops_per_elem: 4,
+            },
             self.compute,
         )?; // fused Adam
         ctx.launch_kernel(
-            KernelKind::VectorizedElementwise { numel: param_elems, dtype: self.shape.dtype },
+            KernelKind::VectorizedElementwise {
+                numel: param_elems,
+                dtype: self.shape.dtype,
+            },
             self.compute,
         ) // master -> model param cast
     }
@@ -477,7 +560,11 @@ mod tests {
     }
 
     fn kernel_names(ctx: CudaContext) -> Vec<&'static str> {
-        ctx.into_trace().events.iter().map(|e| e.op.name()).collect()
+        ctx.into_trace()
+            .events
+            .iter()
+            .map(|e| e.op.name())
+            .collect()
     }
 
     #[test]
@@ -487,7 +574,10 @@ mod tests {
         e.forward_layer(&mut ctx).unwrap();
         let names = kernel_names(ctx);
         let gemms = names.iter().filter(|n| n.starts_with("cublasGemm")).count();
-        let batched = names.iter().filter(|n| *n == &"cublasSgemmStridedBatched").count();
+        let batched = names
+            .iter()
+            .filter(|n| *n == &"cublasSgemmStridedBatched")
+            .count();
         let ars = names.iter().filter(|n| *n == &"ncclAllReduce").count();
         assert_eq!(gemms, 4, "{names:?}");
         assert_eq!(batched, 2);
@@ -501,12 +591,18 @@ mod tests {
         e.forward_layer(&mut ctx).unwrap();
         let fwd_flops: f64 = {
             let t = std::mem::replace(&mut ctx, CudaContext::new(0, GpuSpec::h100()));
-            t.into_trace().kernels().filter_map(|ev| ev.op.as_kernel().map(|k| k.flops())).sum()
+            t.into_trace()
+                .kernels()
+                .filter_map(|ev| ev.op.as_kernel().map(|k| k.flops()))
+                .sum()
         };
         let e2 = emitter(&mut ctx, 1, false, false);
         e2.backward_layer(&mut ctx).unwrap();
-        let bwd_flops: f64 =
-            ctx.into_trace().kernels().filter_map(|ev| ev.op.as_kernel().map(|k| k.flops())).sum();
+        let bwd_flops: f64 = ctx
+            .into_trace()
+            .kernels()
+            .filter_map(|ev| ev.op.as_kernel().map(|k| k.flops()))
+            .sum();
         let ratio = bwd_flops / fwd_flops;
         assert!((1.6..2.4).contains(&ratio), "bwd/fwd flops ratio {ratio}");
     }
@@ -519,7 +615,10 @@ mod tests {
         let names = kernel_names(ctx);
         assert!(!names.contains(&"ncclAllReduce"), "{names:?}");
         assert_eq!(names.iter().filter(|n| *n == &"ncclAllGather").count(), 2);
-        assert_eq!(names.iter().filter(|n| *n == &"ncclReduceScatter").count(), 2);
+        assert_eq!(
+            names.iter().filter(|n| *n == &"ncclReduceScatter").count(),
+            2
+        );
     }
 
     #[test]
@@ -536,7 +635,12 @@ mod tests {
         e2.backward_layer(&mut c_comp).unwrap();
         let compiled = kernel_names(c_comp);
 
-        assert!(compiled.len() < eager.len(), "{} vs {}", compiled.len(), eager.len());
+        assert!(
+            compiled.len() < eager.len(),
+            "{} vs {}",
+            compiled.len(),
+            eager.len()
+        );
         let g = |v: &Vec<&str>| v.iter().filter(|n| n.starts_with("cublas")).count();
         assert_eq!(g(&eager), g(&compiled), "fusion must not change GEMM count");
         assert!(compiled.contains(&"triton"));
@@ -568,12 +672,18 @@ mod tests {
         let mut a = CudaContext::new(0, GpuSpec::h100());
         let mut e = emitter(&mut a, 1, false, false);
         e.forward_layer(&mut a).unwrap();
-        let base = kernel_names(a).iter().filter(|n| n.starts_with("cublas")).count();
+        let base = kernel_names(a)
+            .iter()
+            .filter(|n| n.starts_with("cublas"))
+            .count();
         let mut b = CudaContext::new(0, GpuSpec::h100());
         e = emitter(&mut b, 1, false, false);
         e.shape.gated = true;
         e.forward_layer(&mut b).unwrap();
-        let gated = kernel_names(b).iter().filter(|n| n.starts_with("cublas")).count();
+        let gated = kernel_names(b)
+            .iter()
+            .filter(|n| n.starts_with("cublas"))
+            .count();
         assert_eq!(gated, base + 1);
     }
 }

@@ -19,7 +19,11 @@ pub fn layer_param_elems(cfg: &TransformerConfig, tp: u32) -> u64 {
     let ffn = cfg.ffn as u64;
     let t = tp as u64;
     let attn = 4 * h * h / t;
-    let mlp = if cfg.gated_mlp { 3 * h * ffn / t } else { 2 * h * ffn / t };
+    let mlp = if cfg.gated_mlp {
+        3 * h * ffn / t
+    } else {
+        2 * h * ffn / t
+    };
     let norms = 4 * h;
     attn + mlp + norms
 }
@@ -45,7 +49,11 @@ pub fn act_bytes_per_layer(
         // Only the layer input survives the forward pass.
         return (2.0 * sbh / if parallel.sequence_parallel { t } else { 1.0 }) as u64;
     }
-    let replicated = if parallel.sequence_parallel { 10.0 / t } else { 10.0 };
+    let replicated = if parallel.sequence_parallel {
+        10.0 / t
+    } else {
+        10.0
+    };
     let sharded = 24.0 / t;
     let attn_matrices = 5.0 * a * s / (h * t);
     (sbh * (replicated + sharded + attn_matrices)) as u64
@@ -86,10 +94,26 @@ impl StateBytes {
 /// sharding (FSDP).
 pub fn state_bytes(param_elems: u64, dp: u32, zero_stage: u8) -> StateBytes {
     let dp = dp.max(1) as u64;
-    let params = if zero_stage >= 3 { 2 * param_elems / dp } else { 2 * param_elems };
-    let grads = if zero_stage >= 2 { 4 * param_elems / dp } else { 4 * param_elems };
-    let optimizer = if zero_stage >= 1 { 12 * param_elems / dp } else { 12 * param_elems };
-    StateBytes { params, grads, optimizer }
+    let params = if zero_stage >= 3 {
+        2 * param_elems / dp
+    } else {
+        2 * param_elems
+    };
+    let grads = if zero_stage >= 2 {
+        4 * param_elems / dp
+    } else {
+        4 * param_elems
+    };
+    let optimizer = if zero_stage >= 1 {
+        12 * param_elems / dp
+    } else {
+        12 * param_elems
+    };
+    StateBytes {
+        params,
+        grads,
+        optimizer,
+    }
 }
 
 #[cfg(test)]
@@ -123,11 +147,19 @@ mod tests {
     #[test]
     fn activation_formula_matches_korthikanti() {
         let c = gpt();
-        let p = ParallelConfig { tp: 2, ..Default::default() };
+        let p = ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        };
         let b = 4u32;
         let got = act_bytes_per_layer(&c, b, &p);
-        let (s, bb, h, a, t) =
-            (c.seq_len as f64, b as f64, c.hidden as f64, c.heads as f64, 2.0f64);
+        let (s, bb, h, a, t) = (
+            c.seq_len as f64,
+            b as f64,
+            c.hidden as f64,
+            c.heads as f64,
+            2.0f64,
+        );
         let want = s * bb * h * (10.0 + 24.0 / t + 5.0 * a * s / (h * t));
         assert!((got as f64 - want).abs() / want < 1e-6);
     }
@@ -135,20 +167,34 @@ mod tests {
     #[test]
     fn sequence_parallel_reduces_activations() {
         let c = gpt();
-        let base = ParallelConfig { tp: 4, ..Default::default() };
-        let sp = ParallelConfig { tp: 4, sequence_parallel: true, ..Default::default() };
+        let base = ParallelConfig {
+            tp: 4,
+            ..Default::default()
+        };
+        let sp = ParallelConfig {
+            tp: 4,
+            sequence_parallel: true,
+            ..Default::default()
+        };
         assert!(act_bytes_per_layer(&c, 4, &sp) < act_bytes_per_layer(&c, 4, &base));
     }
 
     #[test]
     fn recompute_stores_only_inputs() {
         let c = gpt();
-        let rc = ParallelConfig { tp: 1, activation_recompute: true, ..Default::default() };
+        let rc = ParallelConfig {
+            tp: 1,
+            activation_recompute: true,
+            ..Default::default()
+        };
         let got = act_bytes_per_layer(&c, 4, &rc);
         let want = 2 * 4 * c.seq_len as u64 * c.hidden as u64;
         assert_eq!(got, want);
         let full = act_bytes_per_layer(&c, 4, &ParallelConfig::default());
-        assert!(got * 10 < full, "recompute should drop >10x activation memory");
+        assert!(
+            got * 10 < full,
+            "recompute should drop >10x activation memory"
+        );
     }
 
     #[test]
@@ -172,6 +218,9 @@ mod tests {
         let shard = logits_bytes(&c, 1, 8);
         assert_eq!(full / 8, shard);
         // ~2048 tokens * 51200 vocab * 6B ≈ 600 MiB.
-        assert!(full > 500 * 1024 * 1024 && full < 800 * 1024 * 1024, "{full}");
+        assert!(
+            full > 500 * 1024 * 1024 && full < 800 * 1024 * 1024,
+            "{full}"
+        );
     }
 }

@@ -36,7 +36,11 @@ impl TransformerConfig {
         let v = self.vocab as u64;
         let ffn = self.ffn as u64;
         let attn = 4 * h * h;
-        let mlp = if self.gated_mlp { 3 * h * ffn } else { 2 * h * ffn };
+        let mlp = if self.gated_mlp {
+            3 * h * ffn
+        } else {
+            2 * h * ffn
+        };
         let norms = 4 * h;
         l * (attn + mlp + norms) + v * h + self.seq_len as u64 * h
     }
@@ -68,12 +72,20 @@ pub struct ResNetConfig {
 impl ResNetConfig {
     /// ResNet-152.
     pub fn resnet152() -> Self {
-        ResNetConfig { blocks: [3, 8, 36, 3], image_size: 224, classes: 1000 }
+        ResNetConfig {
+            blocks: [3, 8, 36, 3],
+            image_size: 224,
+            classes: 1000,
+        }
     }
 
     /// ResNet-50.
     pub fn resnet50() -> Self {
-        ResNetConfig { blocks: [3, 4, 6, 3], image_size: 224, classes: 1000 }
+        ResNetConfig {
+            blocks: [3, 4, 6, 3],
+            image_size: 224,
+            classes: 1000,
+        }
     }
 
     /// Approximate parameter count (ResNet-152 ≈ 60M).
@@ -300,7 +312,10 @@ mod tests {
     #[test]
     fn resnet_naming() {
         assert_eq!(ModelSpec::resnet152().name(), "ResNet152");
-        assert_eq!(ModelSpec::ResNet(ResNetConfig::resnet50()).name(), "ResNet50");
+        assert_eq!(
+            ModelSpec::ResNet(ResNetConfig::resnet50()).name(),
+            "ResNet50"
+        );
     }
 
     #[test]

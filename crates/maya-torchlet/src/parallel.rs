@@ -57,9 +57,21 @@ impl fmt::Display for ParallelConfig {
             self.pp,
             self.microbatch_multiplier,
             self.virtual_stages,
-            if self.activation_recompute { " +recomp" } else { "" },
-            if self.sequence_parallel { " +seqpar" } else { "" },
-            if self.distributed_optimizer { " +distopt" } else { "" },
+            if self.activation_recompute {
+                " +recomp"
+            } else {
+                ""
+            },
+            if self.sequence_parallel {
+                " +seqpar"
+            } else {
+                ""
+            },
+            if self.distributed_optimizer {
+                " +distopt"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -111,14 +123,29 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::WorldNotDivisible { world, model_parallel } => {
-                write!(f, "world size {world} not divisible by tp*pp={model_parallel}")
+            ConfigError::WorldNotDivisible {
+                world,
+                model_parallel,
+            } => {
+                write!(
+                    f,
+                    "world size {world} not divisible by tp*pp={model_parallel}"
+                )
             }
-            ConfigError::BatchNotDivisible { global_batch, divisor } => {
-                write!(f, "global batch {global_batch} not divisible by dp*microbatches={divisor}")
+            ConfigError::BatchNotDivisible {
+                global_batch,
+                divisor,
+            } => {
+                write!(
+                    f,
+                    "global batch {global_batch} not divisible by dp*microbatches={divisor}"
+                )
             }
             ConfigError::LayersNotDivisible { layers, divisor } => {
-                write!(f, "{layers} layers not divisible by pp*virtual_stages={divisor}")
+                write!(
+                    f,
+                    "{layers} layers not divisible by pp*virtual_stages={divisor}"
+                )
             }
             ConfigError::HeadsNotDivisible { heads, tp } => {
                 write!(f, "{heads} attention heads not divisible by tp={tp}")
@@ -153,7 +180,11 @@ pub struct RankTopology {
 impl RankTopology {
     /// Builds the topology for a world size and config.
     pub fn new(config: &ParallelConfig, world: u32) -> Self {
-        RankTopology { tp: config.tp, dp: config.dp(world), pp: config.pp }
+        RankTopology {
+            tp: config.tp,
+            dp: config.dp(world),
+            pp: config.pp,
+        }
     }
 
     /// World size.
@@ -205,7 +236,10 @@ impl RankTopology {
         if self.pp == 1 {
             vec![self.global_rank(t, d, 0)]
         } else {
-            vec![self.global_rank(t, d, 0), self.global_rank(t, d, self.pp - 1)]
+            vec![
+                self.global_rank(t, d, 0),
+                self.global_rank(t, d, self.pp - 1),
+            ]
         }
     }
 }
@@ -217,7 +251,11 @@ mod tests {
     #[test]
     fn megatron_rank_order() {
         // 2-way tp, 2-way dp, 2-way pp over 8 ranks.
-        let t = RankTopology { tp: 2, dp: 2, pp: 2 };
+        let t = RankTopology {
+            tp: 2,
+            dp: 2,
+            pp: 2,
+        };
         assert_eq!(t.world(), 8);
         assert_eq!(t.tp_rank(5), 1);
         assert_eq!(t.dp_rank(5), 0);
@@ -231,8 +269,12 @@ mod tests {
 
     #[test]
     fn groups_partition_the_world() {
-        let t = RankTopology { tp: 4, dp: 2, pp: 2 };
-        let mut seen = vec![false; 16];
+        let t = RankTopology {
+            tp: 4,
+            dp: 2,
+            pp: 2,
+        };
+        let mut seen = [false; 16];
         for leader in 0..16 {
             for r in t.tp_group(leader) {
                 if t.tp_rank(leader) == 0 {
@@ -250,16 +292,29 @@ mod tests {
 
     #[test]
     fn embedding_group_endpoints() {
-        let t = RankTopology { tp: 2, dp: 1, pp: 4 };
+        let t = RankTopology {
+            tp: 2,
+            dp: 1,
+            pp: 4,
+        };
         assert_eq!(t.embedding_group(0), vec![0, 6]);
         assert_eq!(t.embedding_group(3), vec![1, 7]);
-        let single = RankTopology { tp: 1, dp: 2, pp: 1 };
+        let single = RankTopology {
+            tp: 1,
+            dp: 2,
+            pp: 1,
+        };
         assert_eq!(single.embedding_group(1), vec![1]);
     }
 
     #[test]
     fn config_accessors() {
-        let c = ParallelConfig { tp: 2, pp: 4, microbatch_multiplier: 2, ..Default::default() };
+        let c = ParallelConfig {
+            tp: 2,
+            pp: 4,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        };
         assert_eq!(c.num_microbatches(), 8);
         assert_eq!(c.dp(32), 4);
         let s = c.to_string();
@@ -268,7 +323,11 @@ mod tests {
 
     #[test]
     fn roundtrip_rank_decomposition() {
-        let t = RankTopology { tp: 2, dp: 4, pp: 2 };
+        let t = RankTopology {
+            tp: 2,
+            dp: 4,
+            pp: 2,
+        };
         for r in 0..t.world() {
             let (tp, dp, pp) = (t.tp_rank(r), t.dp_rank(r), t.pp_rank(r));
             assert_eq!(t.global_rank(tp, dp, pp), r);

@@ -47,14 +47,30 @@ pub fn schedule_1f1b(pp: u32, stage: u32, num_mb: u32) -> Vec<PipelineStep> {
     let remaining = num_mb - warmup;
     let mut steps = Vec::with_capacity(2 * num_mb as usize);
     for i in 0..warmup {
-        steps.push(PipelineStep { mb: i, chunk: 0, kind: StepKind::Forward });
+        steps.push(PipelineStep {
+            mb: i,
+            chunk: 0,
+            kind: StepKind::Forward,
+        });
     }
     for j in 0..remaining {
-        steps.push(PipelineStep { mb: warmup + j, chunk: 0, kind: StepKind::Forward });
-        steps.push(PipelineStep { mb: j, chunk: 0, kind: StepKind::Backward });
+        steps.push(PipelineStep {
+            mb: warmup + j,
+            chunk: 0,
+            kind: StepKind::Forward,
+        });
+        steps.push(PipelineStep {
+            mb: j,
+            chunk: 0,
+            kind: StepKind::Backward,
+        });
     }
     for i in remaining..num_mb {
-        steps.push(PipelineStep { mb: i, chunk: 0, kind: StepKind::Backward });
+        steps.push(PipelineStep {
+            mb: i,
+            chunk: 0,
+            kind: StepKind::Backward,
+        });
     }
     steps
 }
@@ -124,8 +140,16 @@ pub fn build_schedule(pp: u32, stage: u32, num_mb: u32, chunks: u32) -> Vec<Pipe
         // No pipeline: plain gradient-accumulation loop.
         let mut steps = Vec::with_capacity(2 * num_mb as usize);
         for mb in 0..num_mb {
-            steps.push(PipelineStep { mb, chunk: 0, kind: StepKind::Forward });
-            steps.push(PipelineStep { mb, chunk: 0, kind: StepKind::Backward });
+            steps.push(PipelineStep {
+                mb,
+                chunk: 0,
+                kind: StepKind::Forward,
+            });
+            steps.push(PipelineStep {
+                mb,
+                chunk: 0,
+                kind: StepKind::Backward,
+            });
         }
         steps
     } else if chunks > 1 {
@@ -177,7 +201,11 @@ mod tests {
         let s = schedule_1f1b(4, 3, 8);
         // Stage pp-1 has no warmup: strict F,B,F,B...
         for (i, step) in s.iter().enumerate() {
-            let expect = if i % 2 == 0 { StepKind::Forward } else { StepKind::Backward };
+            let expect = if i % 2 == 0 {
+                StepKind::Forward
+            } else {
+                StepKind::Backward
+            };
             assert_eq!(step.kind, expect, "step {i}");
         }
     }
@@ -224,7 +252,10 @@ mod tests {
             }
             assert_eq!(inflight, 0);
             let warmup = ((pp - stage - 1) * 2 + (chunks - 1) * pp) as i64;
-            assert!(peak <= warmup + 1, "stage {stage}: peak {peak} warmup {warmup}");
+            assert!(
+                peak <= warmup + 1,
+                "stage {stage}: peak {peak} warmup {warmup}"
+            );
         }
     }
 
@@ -255,13 +286,20 @@ mod tests {
     /// relies on.
     #[test]
     fn adjacent_stage_message_sequences_match() {
-        for (pp, chunks, mult) in
-            [(2u32, 1u32, 2u32), (4, 1, 2), (4, 1, 1), (2, 2, 1), (2, 2, 2), (4, 2, 2), (4, 4, 1)]
-        {
+        for (pp, chunks, mult) in [
+            (2u32, 1u32, 2u32),
+            (4, 1, 2),
+            (4, 1, 1),
+            (2, 2, 1),
+            (2, 2, 2),
+            (4, 2, 2),
+            (4, 4, 1),
+        ] {
             let num_mb = mult * pp;
             let total_blocks = pp * chunks;
-            let sched: Vec<Vec<PipelineStep>> =
-                (0..pp).map(|s| build_schedule(pp, s, num_mb, chunks)).collect();
+            let sched: Vec<Vec<PipelineStep>> = (0..pp)
+                .map(|s| build_schedule(pp, s, num_mb, chunks))
+                .collect();
 
             // For each directed link, collect (mb, boundary-block) message
             // lists from the sender's and receiver's perspectives.
@@ -282,7 +320,10 @@ mod tests {
                             }
                             if block + 1 < total_blocks {
                                 let to = owner_of(block + 1, pp);
-                                sends.entry((stage, to, true)).or_default().push((step.mb, block));
+                                sends
+                                    .entry((stage, to, true))
+                                    .or_default()
+                                    .push((step.mb, block));
                             }
                         }
                         StepKind::Backward => {
@@ -295,14 +336,19 @@ mod tests {
                             }
                             if block > 0 {
                                 let to = owner_of(block - 1, pp);
-                                sends.entry((stage, to, false)).or_default().push((step.mb, block));
+                                sends
+                                    .entry((stage, to, false))
+                                    .or_default()
+                                    .push((step.mb, block));
                             }
                         }
                     }
                 }
             }
             for (link, s) in &sends {
-                let r = recvs.get(link).unwrap_or_else(|| panic!("missing recvs for {link:?}"));
+                let r = recvs
+                    .get(link)
+                    .unwrap_or_else(|| panic!("missing recvs for {link:?}"));
                 // Sender tags messages with the produced block, receiver
                 // with the consumed block: fwd consumed = produced; bwd
                 // consumed block B means producer ran bwd of B.

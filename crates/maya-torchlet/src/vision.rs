@@ -57,7 +57,11 @@ impl ResNetEmitter {
             let desc = ctx.cudnn_create_conv_descriptor(n, c, h, w, k, r, stride, dtype)?;
             let (oh, ow) = (h / stride, w / stride);
             let out_numel = n * k * oh * ow;
-            sites.push(ConvSite { desc, out_numel, act_bytes: out_numel * e });
+            sites.push(ConvSite {
+                desc,
+                out_numel,
+                act_bytes: out_numel * e,
+            });
             Ok(())
         };
 
@@ -85,7 +89,15 @@ impl ResNetEmitter {
                 ch_in = out;
             }
         }
-        Ok(ResNetEmitter { cfg, batch, dtype, compiled, cudnn, sites, compute })
+        Ok(ResNetEmitter {
+            cfg,
+            batch,
+            dtype,
+            compiled,
+            cudnn,
+            sites,
+            compute,
+        })
     }
 
     /// Approximate parameter elements (for optimizer/DDP sizing).
@@ -114,69 +126,104 @@ impl ResNetEmitter {
             ctx.cudnn_convolution_forward(self.cudnn, site.desc)?;
             if self.compiled {
                 ctx.launch_kernel(
-                    KernelKind::FusedTriton { numel: site.out_numel, num_instrs: 9, dtype: self.dtype },
+                    KernelKind::FusedTriton {
+                        numel: site.out_numel,
+                        num_instrs: 9,
+                        dtype: self.dtype,
+                    },
                     self.compute,
                 )?;
             } else {
                 ctx.launch_kernel(
-                    KernelKind::BatchNorm { numel: site.out_numel, channels: 64, forward: true },
+                    KernelKind::BatchNorm {
+                        numel: site.out_numel,
+                        channels: 64,
+                        forward: true,
+                    },
                     self.compute,
                 )?;
                 ctx.launch_kernel(
-                    KernelKind::VectorizedElementwise { numel: site.out_numel, dtype: self.dtype },
+                    KernelKind::VectorizedElementwise {
+                        numel: site.out_numel,
+                        dtype: self.dtype,
+                    },
                     self.compute,
                 )?;
             }
         }
         // Max-pool after the stem is folded here; global avg pool + FC head.
         ctx.launch_kernel(
-            KernelKind::Pool { numel: self.batch * 64 * 56 * 56, window: 3, forward: true },
+            KernelKind::Pool {
+                numel: self.batch * 64 * 56 * 56,
+                window: 3,
+                forward: true,
+            },
             self.compute,
         )?;
         ctx.launch_kernel(
-            KernelKind::Reduce { numel: self.batch * 2048 * 49, dtype: self.dtype },
+            KernelKind::Reduce {
+                numel: self.batch * 2048 * 49,
+                dtype: self.dtype,
+            },
             self.compute,
         )?;
         let blas = ctx.cublas_create();
         ctx.cublas_set_stream(blas, self.compute)?;
         ctx.cublas_gemm_ex(blas, self.batch, self.cfg.classes as u64, 2048, self.dtype)?;
         ctx.launch_kernel(
-            KernelKind::CrossEntropyForward { tokens: self.batch, vocab: self.cfg.classes as u64 },
+            KernelKind::CrossEntropyForward {
+                tokens: self.batch,
+                vocab: self.cfg.classes as u64,
+            },
             self.compute,
         )?;
         Ok(buf)
     }
 
     /// One backward pass; frees `act_buf` at the end.
-    pub fn backward(
-        &self,
-        ctx: &mut CudaContext,
-        act_buf: maya_cuda::DevicePtr,
-    ) -> CudaResult<()> {
+    pub fn backward(&self, ctx: &mut CudaContext, act_buf: maya_cuda::DevicePtr) -> CudaResult<()> {
         ctx.launch_kernel(
-            KernelKind::CrossEntropyBackward { tokens: self.batch, vocab: self.cfg.classes as u64 },
+            KernelKind::CrossEntropyBackward {
+                tokens: self.batch,
+                vocab: self.cfg.classes as u64,
+            },
             self.compute,
         )?;
         let blas = ctx.cublas_create();
         ctx.cublas_set_stream(blas, self.compute)?;
         ctx.cublas_gemm_ex(blas, self.batch, 2048, self.cfg.classes as u64, self.dtype)?;
         ctx.launch_kernel(
-            KernelKind::Pool { numel: self.batch * 64 * 56 * 56, window: 3, forward: false },
+            KernelKind::Pool {
+                numel: self.batch * 64 * 56 * 56,
+                window: 3,
+                forward: false,
+            },
             self.compute,
         )?;
         for site in self.sites.iter().rev() {
             if self.compiled {
                 ctx.launch_kernel(
-                    KernelKind::FusedTriton { numel: site.out_numel, num_instrs: 8, dtype: self.dtype },
+                    KernelKind::FusedTriton {
+                        numel: site.out_numel,
+                        num_instrs: 8,
+                        dtype: self.dtype,
+                    },
                     self.compute,
                 )?;
             } else {
                 ctx.launch_kernel(
-                    KernelKind::VectorizedElementwise { numel: site.out_numel, dtype: self.dtype },
+                    KernelKind::VectorizedElementwise {
+                        numel: site.out_numel,
+                        dtype: self.dtype,
+                    },
                     self.compute,
                 )?;
                 ctx.launch_kernel(
-                    KernelKind::BatchNorm { numel: site.out_numel, channels: 64, forward: false },
+                    KernelKind::BatchNorm {
+                        numel: site.out_numel,
+                        channels: 64,
+                        forward: false,
+                    },
                     self.compute,
                 )?;
             }
@@ -204,7 +251,10 @@ impl ResNetEmitter {
             ctx.stream_wait_event(self.compute, evt2)?;
         }
         ctx.launch_kernel(
-            KernelKind::MultiTensorApply { numel: params, ops_per_elem: 4 },
+            KernelKind::MultiTensorApply {
+                numel: params,
+                ops_per_elem: 4,
+            },
             self.compute,
         )?;
         ctx.memcpy(8, MemcpyKind::DeviceToHost)?; // loss.item()
@@ -269,6 +319,9 @@ mod tests {
         e.optimizer_step(&mut ctx, Some(comm), dp_stream).unwrap();
         let t = ctx.into_trace();
         assert_eq!(t.summary.num_collectives, 1);
-        assert!(t.events.iter().any(|ev| ev.op.name() == "multi_tensor_apply_kernel"));
+        assert!(t
+            .events
+            .iter()
+            .any(|ev| ev.op.name() == "multi_tensor_apply_kernel"));
     }
 }

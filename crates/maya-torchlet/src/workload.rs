@@ -35,7 +35,10 @@ impl FrameworkFlavor {
     pub fn name(&self) -> String {
         match self {
             FrameworkFlavor::Megatron => "Megatron-LM".into(),
-            FrameworkFlavor::DeepSpeedZero { stage, activation_offload } => {
+            FrameworkFlavor::DeepSpeedZero {
+                stage,
+                activation_offload,
+            } => {
                 if *activation_offload {
                     format!("DeepSpeed ZeRO-{stage}+offload")
                 } else {
@@ -106,7 +109,13 @@ impl TrainingJob {
 
     /// Whether activations are offloaded to host memory.
     pub fn activation_offload(&self) -> bool {
-        matches!(self.flavor, FrameworkFlavor::DeepSpeedZero { activation_offload: true, .. })
+        matches!(
+            self.flavor,
+            FrameworkFlavor::DeepSpeedZero {
+                activation_offload: true,
+                ..
+            }
+        )
     }
 
     /// Microbatch size implied by the configuration.
@@ -120,13 +129,22 @@ impl TrainingJob {
         let p = &self.parallel;
         let mp = p.tp * p.pp;
         if !matches!(self.flavor, FrameworkFlavor::Megatron) && mp != 1 {
-            return Err(ConfigError::WorldNotDivisible { world: self.world, model_parallel: mp });
+            return Err(ConfigError::WorldNotDivisible {
+                world: self.world,
+                model_parallel: mp,
+            });
         }
         if self.world % mp != 0 || self.world < mp {
-            return Err(ConfigError::WorldNotDivisible { world: self.world, model_parallel: mp });
+            return Err(ConfigError::WorldNotDivisible {
+                world: self.world,
+                model_parallel: mp,
+            });
         }
         if p.tp > self.gpus_per_node {
-            return Err(ConfigError::TpSpansNodes { tp: p.tp, gpus_per_node: self.gpus_per_node });
+            return Err(ConfigError::TpSpansNodes {
+                tp: p.tp,
+                gpus_per_node: self.gpus_per_node,
+            });
         }
         if p.sequence_parallel && p.tp == 1 {
             return Err(ConfigError::SeqParallelNeedsTp);
@@ -151,10 +169,16 @@ impl TrainingJob {
                 });
             }
             if t.heads % p.tp != 0 {
-                return Err(ConfigError::HeadsNotDivisible { heads: t.heads, tp: p.tp });
+                return Err(ConfigError::HeadsNotDivisible {
+                    heads: t.heads,
+                    tp: p.tp,
+                });
             }
         } else if mp != 1 {
-            return Err(ConfigError::WorldNotDivisible { world: self.world, model_parallel: mp });
+            return Err(ConfigError::WorldNotDivisible {
+                world: self.world,
+                model_parallel: mp,
+            });
         }
         Ok(())
     }
@@ -195,7 +219,11 @@ mod tests {
     use super::*;
 
     fn base(world: u32) -> TrainingJob {
-        TrainingJob { world, global_batch: 64, ..TrainingJob::smoke() }
+        TrainingJob {
+            world,
+            global_batch: 64,
+            ..TrainingJob::smoke()
+        }
     }
 
     #[test]
@@ -208,7 +236,10 @@ mod tests {
         let mut j = base(8);
         j.parallel.tp = 4;
         j.parallel.pp = 4;
-        assert!(matches!(j.validate(), Err(ConfigError::WorldNotDivisible { .. })));
+        assert!(matches!(
+            j.validate(),
+            Err(ConfigError::WorldNotDivisible { .. })
+        ));
         j.world = 16;
         assert!(j.validate().is_ok());
     }
@@ -219,7 +250,10 @@ mod tests {
         j.global_batch = 10;
         j.parallel.tp = 2;
         // dp = 4, microbatches = 1 -> divisor 4; 10 % 4 != 0.
-        assert!(matches!(j.validate(), Err(ConfigError::BatchNotDivisible { .. })));
+        assert!(matches!(
+            j.validate(),
+            Err(ConfigError::BatchNotDivisible { .. })
+        ));
     }
 
     #[test]
@@ -227,10 +261,16 @@ mod tests {
         let mut j = base(8);
         j.parallel.pp = 8; // 12 layers % 8 != 0
         j.global_batch = 8;
-        assert!(matches!(j.validate(), Err(ConfigError::LayersNotDivisible { .. })));
+        assert!(matches!(
+            j.validate(),
+            Err(ConfigError::LayersNotDivisible { .. })
+        ));
         let mut j2 = base(8);
         j2.parallel.tp = 8; // 12 heads % 8 != 0
-        assert!(matches!(j2.validate(), Err(ConfigError::HeadsNotDivisible { .. })));
+        assert!(matches!(
+            j2.validate(),
+            Err(ConfigError::HeadsNotDivisible { .. })
+        ));
     }
 
     #[test]
@@ -241,10 +281,16 @@ mod tests {
         j.parallel.sequence_parallel = true;
         assert!(j.validate().is_ok());
         j.parallel.tp = 8;
-        assert!(matches!(j.validate(), Err(ConfigError::TpSpansNodes { .. })));
+        assert!(matches!(
+            j.validate(),
+            Err(ConfigError::TpSpansNodes { .. })
+        ));
         let mut j2 = base(8);
         j2.parallel.sequence_parallel = true;
-        assert!(matches!(j2.validate(), Err(ConfigError::SeqParallelNeedsTp)));
+        assert!(matches!(
+            j2.validate(),
+            Err(ConfigError::SeqParallelNeedsTp)
+        ));
         let mut j3 = base(8);
         j3.parallel.virtual_stages = 2;
         assert!(matches!(j3.validate(), Err(ConfigError::InterleaveNeedsPp)));
@@ -266,7 +312,10 @@ mod tests {
         assert_eq!(j.zero_stage(), 1);
         j.flavor = FrameworkFlavor::Fsdp;
         assert_eq!(j.zero_stage(), 3);
-        j.flavor = FrameworkFlavor::DeepSpeedZero { stage: 2, activation_offload: true };
+        j.flavor = FrameworkFlavor::DeepSpeedZero {
+            stage: 2,
+            activation_offload: true,
+        };
         assert_eq!(j.zero_stage(), 2);
         assert!(j.activation_offload());
     }

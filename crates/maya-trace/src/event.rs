@@ -53,7 +53,11 @@ pub struct WorkerTrace {
 impl WorkerTrace {
     /// Creates an empty trace for `rank`.
     pub fn new(rank: u32) -> Self {
-        WorkerTrace { rank, events: Vec::new(), summary: WorkerTraceSummary::default() }
+        WorkerTrace {
+            rank,
+            events: Vec::new(),
+            summary: WorkerTraceSummary::default(),
+        }
     }
 
     /// Total host-side time recorded across all events.
@@ -63,7 +67,9 @@ impl WorkerTrace {
 
     /// Iterator over kernel launches only.
     pub fn kernels(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(|e| matches!(e.op, DeviceOp::KernelLaunch { .. }))
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, DeviceOp::KernelLaunch { .. }))
     }
 
     /// Distinct stream ids used by this worker.
@@ -107,7 +113,11 @@ impl JobTrace {
 
     /// Peak device memory across ranks.
     pub fn peak_mem_bytes(&self) -> u64 {
-        self.workers.iter().map(|w| w.summary.peak_mem_bytes).max().unwrap_or(0)
+        self.workers
+            .iter()
+            .map(|w| w.summary.peak_mem_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether any rank hit an out-of-memory condition during emulation.
@@ -156,7 +166,10 @@ impl JobTrace {
         }
         for w in &self.workers {
             if w.rank >= self.nranks {
-                return Err(format!("worker rank {} out of range {}", w.rank, self.nranks));
+                return Err(format!(
+                    "worker rank {} out of range {}",
+                    w.rank, self.nranks
+                ));
             }
         }
         for (comm, members) in &self.comm_groups {
@@ -205,7 +218,12 @@ mod tests {
         TraceEvent {
             stream: StreamId::DEFAULT,
             op: DeviceOp::KernelLaunch {
-                kernel: KernelKind::Gemm { m: 2, n: 2, k: 2, dtype: Dtype::Fp32 },
+                kernel: KernelKind::Gemm {
+                    m: 2,
+                    n: 2,
+                    k: 2,
+                    dtype: Dtype::Fp32,
+                },
             },
             host_delay: SimTime::from_us(1.0),
         }
@@ -270,7 +288,11 @@ mod tests {
             },
             host_delay: SimTime::ZERO,
         });
-        let job = JobTrace { nranks: 1, workers: vec![w], comm_groups: BTreeMap::new() };
+        let job = JobTrace {
+            nranks: 1,
+            workers: vec![w],
+            comm_groups: BTreeMap::new(),
+        };
         let err = job.validate().unwrap_err();
         assert!(err.contains("unknown communicator"), "{err}");
     }
@@ -282,7 +304,11 @@ mod tests {
         w.events.push(kernel_event());
         let mut groups = BTreeMap::new();
         groups.insert(1u64, vec![0u32]);
-        let job = JobTrace { nranks: 1, workers: vec![w], comm_groups: groups };
+        let job = JobTrace {
+            nranks: 1,
+            workers: vec![w],
+            comm_groups: groups,
+        };
         assert!(job.validate().is_ok());
         assert_eq!(job.total_kernels(), 1);
         assert_eq!(job.total_events(), 1);

@@ -36,7 +36,11 @@ pub fn worker_trace_to_json(trace: &WorkerTrace) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{{\"dev\":\"gpu{}-stream{}\",\"op\":\"", trace.rank, e.stream.0);
+        let _ = write!(
+            out,
+            "{{\"dev\":\"gpu{}-stream{}\",\"op\":\"",
+            trace.rank, e.stream.0
+        );
         escape(e.op.name(), &mut out);
         let _ = write!(out, "\",\"host_delay_ns\":{}", e.host_delay.as_ns());
         match e.op {
@@ -123,7 +127,12 @@ mod tests {
         w.events.push(TraceEvent {
             stream: StreamId::DEFAULT,
             op: DeviceOp::KernelLaunch {
-                kernel: KernelKind::Gemm { m: 4, n: 4, k: 4, dtype: Dtype::Fp32 },
+                kernel: KernelKind::Gemm {
+                    m: 4,
+                    n: 4,
+                    k: 4,
+                    dtype: Dtype::Fp32,
+                },
             },
             host_delay: SimTime::from_us(5.0),
         });

@@ -321,13 +321,40 @@ impl KernelKind {
             KernelKind::GemmStridedBatched { m, n, k, batch, .. } => {
                 2.0 * m as f64 * n as f64 * k as f64 * batch as f64
             }
-            KernelKind::ConvForward { n, c, h, w, k, r, stride, .. } => {
+            KernelKind::ConvForward {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                ..
+            } => {
                 let oh = (h / stride.max(1)).max(1) as f64;
                 let ow = (w / stride.max(1)).max(1) as f64;
                 2.0 * n as f64 * k as f64 * oh * ow * c as f64 * (r * r) as f64
             }
-            KernelKind::ConvBackwardData { n, c, h, w, k, r, stride, .. }
-            | KernelKind::ConvBackwardFilter { n, c, h, w, k, r, stride, .. } => {
+            KernelKind::ConvBackwardData {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                ..
+            }
+            | KernelKind::ConvBackwardFilter {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                ..
+            } => {
                 let oh = (h / stride.max(1)).max(1) as f64;
                 let ow = (w / stride.max(1)).max(1) as f64;
                 2.0 * n as f64 * k as f64 * oh * ow * c as f64 * (r * r) as f64
@@ -346,17 +373,18 @@ impl KernelKind {
             KernelKind::CrossEntropyBackward { tokens, vocab } => {
                 3.0 * tokens as f64 * vocab as f64
             }
-            KernelKind::MultiTensorApply { numel, ops_per_elem } => {
-                numel as f64 * ops_per_elem as f64 * 2.0
-            }
+            KernelKind::MultiTensorApply {
+                numel,
+                ops_per_elem,
+            } => numel as f64 * ops_per_elem as f64 * 2.0,
             KernelKind::Reduce { numel, .. } => numel as f64,
             KernelKind::CatCopy { .. } | KernelKind::Memset { .. } => 0.0,
             KernelKind::TriuTril { numel } => numel as f64,
             KernelKind::BatchNorm { numel, .. } => 6.0 * numel as f64,
             KernelKind::Pool { numel, window, .. } => numel as f64 * (window * window) as f64,
-            KernelKind::FusedTriton { numel, num_instrs, .. } => {
-                numel as f64 * num_instrs as f64
-            }
+            KernelKind::FusedTriton {
+                numel, num_instrs, ..
+            } => numel as f64 * num_instrs as f64,
         }
     }
 
@@ -367,12 +395,43 @@ impl KernelKind {
             KernelKind::Gemm { m, n, k, dtype } | KernelKind::LtMatmul { m, n, k, dtype } => {
                 (m * k + k * n + 2 * m * n) as f64 * e(dtype)
             }
-            KernelKind::GemmStridedBatched { m, n, k, batch, dtype } => {
-                (m * k + k * n + 2 * m * n) as f64 * batch as f64 * e(dtype)
+            KernelKind::GemmStridedBatched {
+                m,
+                n,
+                k,
+                batch,
+                dtype,
+            } => (m * k + k * n + 2 * m * n) as f64 * batch as f64 * e(dtype),
+            KernelKind::ConvForward {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
             }
-            KernelKind::ConvForward { n, c, h, w, k, r, stride, dtype }
-            | KernelKind::ConvBackwardData { n, c, h, w, k, r, stride, dtype }
-            | KernelKind::ConvBackwardFilter { n, c, h, w, k, r, stride, dtype } => {
+            | KernelKind::ConvBackwardData {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
+            }
+            | KernelKind::ConvBackwardFilter {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                stride,
+                dtype,
+            } => {
                 let oh = (h / stride.max(1)).max(1);
                 let ow = (w / stride.max(1)).max(1);
                 let input = n * c * h * w;
@@ -380,9 +439,11 @@ impl KernelKind {
                 let filt = k * c * r * r;
                 (input + output + filt) as f64 * e(dtype)
             }
-            KernelKind::Elementwise { numel, arity, dtype } => {
-                numel as f64 * (arity as f64 + 1.0) * e(dtype)
-            }
+            KernelKind::Elementwise {
+                numel,
+                arity,
+                dtype,
+            } => numel as f64 * (arity as f64 + 1.0) * e(dtype),
             KernelKind::VectorizedElementwise { numel, dtype } => 2.0 * numel as f64 * e(dtype),
             KernelKind::FusedDropout { numel } => 5.0 * numel as f64,
             KernelKind::SoftmaxForward { rows, cols, masked } => {
@@ -401,17 +462,16 @@ impl KernelKind {
             | KernelKind::CrossEntropyBackward { tokens, vocab } => {
                 2.0 * (tokens * vocab) as f64 * 2.0
             }
-            KernelKind::MultiTensorApply { numel, ops_per_elem } => {
-                numel as f64 * ops_per_elem as f64 * 4.0
-            }
+            KernelKind::MultiTensorApply {
+                numel,
+                ops_per_elem,
+            } => numel as f64 * ops_per_elem as f64 * 4.0,
             KernelKind::Reduce { numel, dtype } => numel as f64 * e(dtype),
             KernelKind::CatCopy { numel, .. } => 2.0 * numel as f64 * 2.0,
             KernelKind::Memset { bytes } => bytes as f64,
             KernelKind::TriuTril { numel } => numel as f64 * 2.0,
             KernelKind::BatchNorm { numel, .. } => 4.0 * numel as f64 * 2.0,
-            KernelKind::Pool { numel, window, .. } => {
-                (numel * (window * window + 1)) as f64 * 2.0
-            }
+            KernelKind::Pool { numel, window, .. } => (numel * (window * window + 1)) as f64 * 2.0,
             KernelKind::FusedTriton { numel, dtype, .. } => 3.0 * numel as f64 * e(dtype),
         }
     }
@@ -476,18 +536,40 @@ mod tests {
 
     #[test]
     fn gemm_flops_and_bytes() {
-        let k = KernelKind::Gemm { m: 128, n: 256, k: 64, dtype: Dtype::Bf16 };
+        let k = KernelKind::Gemm {
+            m: 128,
+            n: 256,
+            k: 64,
+            dtype: Dtype::Bf16,
+        };
         assert_eq!(k.flops(), 2.0 * 128.0 * 256.0 * 64.0);
         assert!(k.bytes_accessed() > 0.0);
         assert_eq!(k.name(), "cublasGemmEx");
-        let k32 = KernelKind::Gemm { m: 128, n: 256, k: 64, dtype: Dtype::Fp32 };
+        let k32 = KernelKind::Gemm {
+            m: 128,
+            n: 256,
+            k: 64,
+            dtype: Dtype::Fp32,
+        };
         assert_eq!(k32.name(), "cublasSgemm_v2");
     }
 
     #[test]
     fn batched_gemm_scales_with_batch() {
-        let single = KernelKind::GemmStridedBatched { m: 64, n: 64, k: 64, batch: 1, dtype: Dtype::Fp16 };
-        let many = KernelKind::GemmStridedBatched { m: 64, n: 64, k: 64, batch: 8, dtype: Dtype::Fp16 };
+        let single = KernelKind::GemmStridedBatched {
+            m: 64,
+            n: 64,
+            k: 64,
+            batch: 1,
+            dtype: Dtype::Fp16,
+        };
+        let many = KernelKind::GemmStridedBatched {
+            m: 64,
+            n: 64,
+            k: 64,
+            batch: 8,
+            dtype: Dtype::Fp16,
+        };
         assert_eq!(many.flops(), 8.0 * single.flops());
     }
 
@@ -510,20 +592,41 @@ mod tests {
     #[test]
     fn names_match_paper_tables() {
         assert_eq!(
-            KernelKind::SoftmaxForward { rows: 1, cols: 1, masked: true }.name(),
+            KernelKind::SoftmaxForward {
+                rows: 1,
+                cols: 1,
+                masked: true
+            }
+            .name(),
             "masked_softmax_warp_forward"
         );
-        assert_eq!(KernelKind::LayerNormForward { rows: 1, cols: 1 }.name(), "cuApplyLayerNorm");
         assert_eq!(
-            KernelKind::MultiTensorApply { numel: 1, ops_per_elem: 4 }.name(),
+            KernelKind::LayerNormForward { rows: 1, cols: 1 }.name(),
+            "cuApplyLayerNorm"
+        );
+        assert_eq!(
+            KernelKind::MultiTensorApply {
+                numel: 1,
+                ops_per_elem: 4
+            }
+            .name(),
             "multi_tensor_apply_kernel"
         );
         assert_eq!(
-            KernelKind::CatCopy { numel: 1, aligned: true }.name(),
+            KernelKind::CatCopy {
+                numel: 1,
+                aligned: true
+            }
+            .name(),
             "CatArrayBatchedCopy_aligned16_contig"
         );
         assert_eq!(
-            KernelKind::FusedTriton { numel: 1, num_instrs: 4, dtype: Dtype::Fp32 }.name(),
+            KernelKind::FusedTriton {
+                numel: 1,
+                num_instrs: 4,
+                dtype: Dtype::Fp32
+            }
+            .name(),
             "triton"
         );
     }
@@ -551,32 +654,123 @@ mod tests {
     fn sample_kinds() -> Vec<KernelKind> {
         let d = Dtype::Bf16;
         vec![
-            KernelKind::Gemm { m: 4, n: 4, k: 4, dtype: d },
-            KernelKind::GemmStridedBatched { m: 4, n: 4, k: 4, batch: 2, dtype: d },
-            KernelKind::LtMatmul { m: 4, n: 4, k: 4, dtype: d },
-            KernelKind::ConvForward { n: 1, c: 3, h: 8, w: 8, k: 4, r: 3, stride: 1, dtype: d },
-            KernelKind::ConvBackwardData { n: 1, c: 3, h: 8, w: 8, k: 4, r: 3, stride: 1, dtype: d },
-            KernelKind::ConvBackwardFilter { n: 1, c: 3, h: 8, w: 8, k: 4, r: 3, stride: 1, dtype: d },
-            KernelKind::Elementwise { numel: 16, arity: 2, dtype: d },
-            KernelKind::VectorizedElementwise { numel: 16, dtype: d },
+            KernelKind::Gemm {
+                m: 4,
+                n: 4,
+                k: 4,
+                dtype: d,
+            },
+            KernelKind::GemmStridedBatched {
+                m: 4,
+                n: 4,
+                k: 4,
+                batch: 2,
+                dtype: d,
+            },
+            KernelKind::LtMatmul {
+                m: 4,
+                n: 4,
+                k: 4,
+                dtype: d,
+            },
+            KernelKind::ConvForward {
+                n: 1,
+                c: 3,
+                h: 8,
+                w: 8,
+                k: 4,
+                r: 3,
+                stride: 1,
+                dtype: d,
+            },
+            KernelKind::ConvBackwardData {
+                n: 1,
+                c: 3,
+                h: 8,
+                w: 8,
+                k: 4,
+                r: 3,
+                stride: 1,
+                dtype: d,
+            },
+            KernelKind::ConvBackwardFilter {
+                n: 1,
+                c: 3,
+                h: 8,
+                w: 8,
+                k: 4,
+                r: 3,
+                stride: 1,
+                dtype: d,
+            },
+            KernelKind::Elementwise {
+                numel: 16,
+                arity: 2,
+                dtype: d,
+            },
+            KernelKind::VectorizedElementwise {
+                numel: 16,
+                dtype: d,
+            },
             KernelKind::FusedDropout { numel: 16 },
-            KernelKind::SoftmaxForward { rows: 4, cols: 4, masked: true },
-            KernelKind::SoftmaxBackward { rows: 4, cols: 4, masked: true },
+            KernelKind::SoftmaxForward {
+                rows: 4,
+                cols: 4,
+                masked: true,
+            },
+            KernelKind::SoftmaxBackward {
+                rows: 4,
+                cols: 4,
+                masked: true,
+            },
             KernelKind::LayerNormForward { rows: 4, cols: 4 },
             KernelKind::LayerNormBackwardGamma { rows: 4, cols: 4 },
             KernelKind::LayerNormBackwardInput { rows: 4, cols: 4 },
-            KernelKind::EmbeddingForward { tokens: 4, hidden: 4 },
-            KernelKind::EmbeddingBackward { tokens: 4, hidden: 4 },
-            KernelKind::CrossEntropyForward { tokens: 4, vocab: 16 },
-            KernelKind::CrossEntropyBackward { tokens: 4, vocab: 16 },
-            KernelKind::MultiTensorApply { numel: 16, ops_per_elem: 4 },
-            KernelKind::Reduce { numel: 16, dtype: d },
-            KernelKind::CatCopy { numel: 16, aligned: false },
+            KernelKind::EmbeddingForward {
+                tokens: 4,
+                hidden: 4,
+            },
+            KernelKind::EmbeddingBackward {
+                tokens: 4,
+                hidden: 4,
+            },
+            KernelKind::CrossEntropyForward {
+                tokens: 4,
+                vocab: 16,
+            },
+            KernelKind::CrossEntropyBackward {
+                tokens: 4,
+                vocab: 16,
+            },
+            KernelKind::MultiTensorApply {
+                numel: 16,
+                ops_per_elem: 4,
+            },
+            KernelKind::Reduce {
+                numel: 16,
+                dtype: d,
+            },
+            KernelKind::CatCopy {
+                numel: 16,
+                aligned: false,
+            },
             KernelKind::Memset { bytes: 64 },
             KernelKind::TriuTril { numel: 16 },
-            KernelKind::BatchNorm { numel: 16, channels: 4, forward: true },
-            KernelKind::Pool { numel: 16, window: 2, forward: false },
-            KernelKind::FusedTriton { numel: 16, num_instrs: 3, dtype: d },
+            KernelKind::BatchNorm {
+                numel: 16,
+                channels: 4,
+                forward: true,
+            },
+            KernelKind::Pool {
+                numel: 16,
+                window: 2,
+                forward: false,
+            },
+            KernelKind::FusedTriton {
+                numel: 16,
+                num_instrs: 3,
+                dtype: d,
+            },
         ]
     }
 }

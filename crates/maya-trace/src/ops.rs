@@ -5,7 +5,9 @@ use crate::kernel::KernelKind;
 /// Identifier of a CUDA stream within one device context.
 ///
 /// Stream 0 is the default (legacy) stream.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct StreamId(pub u32);
 
 impl StreamId {
@@ -249,20 +251,34 @@ mod tests {
     #[test]
     fn op_names() {
         let k = DeviceOp::KernelLaunch {
-            kernel: KernelKind::Gemm { m: 1, n: 1, k: 1, dtype: Dtype::Fp32 },
+            kernel: KernelKind::Gemm {
+                m: 1,
+                n: 1,
+                k: 1,
+                dtype: Dtype::Fp32,
+            },
         };
         assert_eq!(k.name(), "cublasSgemm_v2");
         assert_eq!(DeviceOp::DeviceSynchronize.name(), "cudaDeviceSynchronize");
         assert_eq!(
-            DeviceOp::MemcpyAsync { bytes: 1, kind: MemcpyKind::HostToDevice, sync: false }.name(),
+            DeviceOp::MemcpyAsync {
+                bytes: 1,
+                kind: MemcpyKind::HostToDevice,
+                sync: false
+            }
+            .name(),
             "MemcpyHtoD"
         );
     }
 
     #[test]
     fn timed_classification() {
-        assert!(DeviceOp::MemcpyAsync { bytes: 1, kind: MemcpyKind::DeviceToHost, sync: true }
-            .is_timed());
+        assert!(DeviceOp::MemcpyAsync {
+            bytes: 1,
+            kind: MemcpyKind::DeviceToHost,
+            sync: true
+        }
+        .is_timed());
         assert!(!DeviceOp::Malloc { bytes: 1, ptr: 0 }.is_timed());
         assert!(!DeviceOp::StreamSynchronize.is_timed());
     }
@@ -271,7 +287,10 @@ mod tests {
     fn collective_participants() {
         assert_eq!(CollectiveKind::AllReduce.required_participants(8), 8);
         assert_eq!(CollectiveKind::Send { peer: 3 }.required_participants(8), 2);
-        assert_eq!(CollectiveKind::Recv { peer: 1 }.required_participants(16), 2);
+        assert_eq!(
+            CollectiveKind::Recv { peer: 1 }.required_participants(16),
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! The concurrent, cache-sharing prediction engine.
+//!
+//! [`PredictionEngine`] owns everything one emulation spec needs to turn
+//! [`TrainingJob`]s into [`Prediction`]s, re-usably and concurrently:
+//!
+//! - the caller's estimator, wrapped in a [`CachingEstimator`] so kernel
+//!   / memcpy / collective answers are memoized **across** predictions —
+//!   config search replays the same shapes thousands of times (Fig. 15,
+//!   Table 6), and repeated trials should not re-derive them;
+//! - the emulate → collate/dedup → estimate → simulate pipeline of
+//!   Figure 5, previously rebuilt per call by `Maya::predict_job`;
+//! - a scoped worker pool ([`PredictionEngine::predict_batch`]) that
+//!   fans independent predictions across `emulation_threads` OS threads.
+//!
+//! Every stage is deterministic, so batched predictions are
+//! byte-identical to sequential ones — the search layer relies on this
+//! to keep speculative batched trials faithful to serial order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use maya_collate::{collate, dedup_classes, reduce_job, unique_megatron_ranks};
+use maya_cuda::{CudaContext, CudaError};
+use maya_estimator::{CacheStats, CachingEstimator, RuntimeEstimator};
+use maya_sim::simulate;
+use maya_torchlet::{FrameworkFlavor, RankTopology, TrainingJob};
+use maya_trace::{JobTrace, WorkerTrace};
+
+use crate::error::MayaError;
+use crate::pipeline::{EmulationSpec, PredictOutcome, Prediction, StageTimings};
+
+/// Internal OOM verdict from emulation.
+pub(crate) struct OomInfo {
+    pub(crate) rank: u32,
+    pub(crate) peak_attempted: u64,
+    pub(crate) workers: usize,
+    pub(crate) events: usize,
+}
+
+/// Reusable, thread-safe prediction pipeline (see module docs).
+pub struct PredictionEngine {
+    spec: EmulationSpec,
+    base: Arc<dyn RuntimeEstimator>,
+    cache: Arc<CachingEstimator>,
+}
+
+impl PredictionEngine {
+    /// Builds an engine over a spec and estimator. The estimator is
+    /// wrapped in a [`CachingEstimator`] shared by every prediction this
+    /// engine ever runs.
+    pub fn new(spec: EmulationSpec, estimator: Arc<dyn RuntimeEstimator>) -> Self {
+        let cache = Arc::new(CachingEstimator::new(Arc::clone(&estimator)));
+        PredictionEngine {
+            spec,
+            base: estimator,
+            cache,
+        }
+    }
+
+    /// The emulation spec in use.
+    pub fn spec(&self) -> &EmulationSpec {
+        &self.spec
+    }
+
+    /// The estimator the engine was built with (unwrapped).
+    pub fn base_estimator(&self) -> &Arc<dyn RuntimeEstimator> {
+        &self.base
+    }
+
+    /// The shared memo cache sitting in front of the estimator.
+    pub fn cache(&self) -> &Arc<CachingEstimator> {
+        &self.cache
+    }
+
+    /// Cumulative estimator-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Transparently traces an arbitrary per-rank workload using the
+    /// spec's emulation thread count.
+    pub fn trace_workload<F>(
+        &self,
+        ranks: &[u32],
+        script: F,
+    ) -> Vec<(WorkerTrace, Result<(), CudaError>)>
+    where
+        F: Fn(u32, &mut CudaContext) -> Result<(), CudaError> + Sync,
+    {
+        self.trace_workload_with(ranks, script, self.spec.emulation_threads)
+    }
+
+    /// Traces a workload with an explicit thread count (batch mode runs
+    /// each member job with sequential emulation and parallelizes across
+    /// jobs instead, to avoid nested oversubscription).
+    fn trace_workload_with<F>(
+        &self,
+        ranks: &[u32],
+        script: F,
+        threads: usize,
+    ) -> Vec<(WorkerTrace, Result<(), CudaError>)>
+    where
+        F: Fn(u32, &mut CudaContext) -> Result<(), CudaError> + Sync,
+    {
+        let gpu = self.spec.cluster.gpu;
+        let threads = threads.max(1);
+        if threads <= 1 || ranks.len() <= 1 {
+            ranks
+                .iter()
+                .map(|&r| {
+                    let mut ctx = CudaContext::new(r, gpu);
+                    let res = script(r, &mut ctx);
+                    (ctx.into_trace(), res)
+                })
+                .collect()
+        } else {
+            let mut out: Vec<Option<(WorkerTrace, Result<(), CudaError>)>> =
+                (0..ranks.len()).map(|_| None).collect();
+            let chunk = ranks.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (slot_chunk, rank_chunk) in out.chunks_mut(chunk).zip(ranks.chunks(chunk)) {
+                    let script = &script;
+                    s.spawn(move || {
+                        for (slot, &r) in slot_chunk.iter_mut().zip(rank_chunk) {
+                            let mut ctx = CudaContext::new(r, gpu);
+                            let res = script(r, &mut ctx);
+                            *slot = Some((ctx.into_trace(), res));
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|o| o.expect("all slots filled"))
+                .collect()
+        }
+    }
+
+    /// Which ranks to emulate for a job under the current spec.
+    fn ranks_to_emulate(&self, job: &TrainingJob) -> Vec<u32> {
+        if self.spec.selective_launch && matches!(job.flavor, FrameworkFlavor::Megatron) {
+            let topo = RankTopology::new(&job.parallel, job.world);
+            unique_megatron_ranks(topo.tp, topo.dp, topo.pp)
+        } else {
+            (0..job.world).collect()
+        }
+    }
+
+    /// Emulates a training job. On OOM, collation is skipped — a
+    /// partially-OOMed job has incomplete communicator traces — and the
+    /// OOM verdict (first rank + attempted peak) is returned instead.
+    fn emulate_with(
+        &self,
+        job: &TrainingJob,
+        threads: usize,
+    ) -> Result<Result<JobTrace, OomInfo>, MayaError> {
+        job.validate()?;
+        if job.world != self.spec.cluster.num_gpus() {
+            return Err(MayaError::WorldMismatch {
+                job: job.world,
+                cluster: self.spec.cluster.num_gpus(),
+            });
+        }
+        let ranks = self.ranks_to_emulate(job);
+        let traced =
+            self.trace_workload_with(&ranks, |rank, ctx| job.run_worker(rank, ctx), threads);
+        let mut oom: Option<(u32, u64)> = None;
+        let mut workers = Vec::with_capacity(traced.len());
+        let mut events = 0usize;
+        for (trace, res) in traced {
+            match res {
+                Ok(()) => {}
+                Err(CudaError::MemoryAllocation { requested, .. }) => {
+                    if oom.is_none() {
+                        oom = Some((
+                            trace.rank,
+                            trace.summary.peak_mem_bytes.saturating_add(requested),
+                        ));
+                    }
+                }
+                Err(e) => return Err(MayaError::Device(e)),
+            }
+            events += trace.events.len();
+            workers.push(trace);
+        }
+        if let Some((rank, peak_attempted)) = oom {
+            return Ok(Err(OomInfo {
+                rank,
+                peak_attempted,
+                workers: workers.len(),
+                events,
+            }));
+        }
+        // Selective launch leaves most communicator slots unobserved;
+        // supply the authoritative group map from workload knowledge
+        // (§7.4's "explicit knowledge of the workload").
+        let job_trace =
+            if self.spec.selective_launch && matches!(job.flavor, FrameworkFlavor::Megatron) {
+                let known = maya_torchlet::engine::megatron_comm_groups(job);
+                maya_collate::collate_with_known_groups(workers, job.world, &known)?
+            } else {
+                collate(workers, job.world)?
+            };
+        Ok(Ok(job_trace))
+    }
+
+    /// Predicts the performance of a training job end-to-end.
+    pub fn predict_job(&self, job: &TrainingJob) -> Result<Prediction, MayaError> {
+        self.predict_job_with(job, self.spec.emulation_threads)
+    }
+
+    fn predict_job_with(
+        &self,
+        job: &TrainingJob,
+        emulation_threads: usize,
+    ) -> Result<Prediction, MayaError> {
+        let t0 = Instant::now();
+        let emulated = self.emulate_with(job, emulation_threads)?;
+        let emulation = t0.elapsed();
+        match emulated {
+            Err(info) => Ok(Prediction {
+                outcome: PredictOutcome::OutOfMemory {
+                    rank: info.rank,
+                    peak_attempted: info.peak_attempted,
+                },
+                timings: StageTimings {
+                    emulation,
+                    ..Default::default()
+                },
+                workers_emulated: info.workers,
+                workers_simulated: 0,
+                trace_events: info.events,
+            }),
+            Ok(job_trace) => self.predict_trace_inner(job_trace, emulation),
+        }
+    }
+
+    /// Predicts from an already-collated job trace.
+    pub fn predict_trace(&self, job_trace: JobTrace) -> Result<Prediction, MayaError> {
+        self.predict_trace_inner(job_trace, std::time::Duration::ZERO)
+    }
+
+    fn predict_trace_inner(
+        &self,
+        job_trace: JobTrace,
+        emulation: std::time::Duration,
+    ) -> Result<Prediction, MayaError> {
+        let workers_emulated = job_trace.workers.len();
+        let t1 = Instant::now();
+        let reduced = if self.spec.dedup {
+            let classes = dedup_classes(&job_trace.workers);
+            if classes.len() < job_trace.workers.len() {
+                reduce_job(&job_trace, &classes)
+            } else {
+                job_trace
+            }
+        } else {
+            job_trace
+        };
+        let collation = t1.elapsed();
+
+        // Estimation pre-pass: warm the shared memo cache with every
+        // kernel and memcpy duration the simulator is about to ask for.
+        // The work is attributed to `StageTimings::estimation` (Table 6 /
+        // Fig. 13); the simulator's own queries then hit the cache, so
+        // `simulation` measures pure discrete-event scheduling. Across
+        // trials the cache persists — a warm search loop pays estimation
+        // cost only for shapes it has never seen.
+        let t2 = Instant::now();
+        let est: &dyn RuntimeEstimator = self.cache.as_ref();
+        for w in &reduced.workers {
+            for e in w.events.iter() {
+                match e.op {
+                    maya_trace::DeviceOp::KernelLaunch { kernel } => {
+                        let _ = est.kernel_time(&kernel);
+                    }
+                    maya_trace::DeviceOp::MemcpyAsync { bytes, kind, .. } => {
+                        let _ = est.memcpy_time(bytes, kind);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let estimation = t2.elapsed();
+
+        let t3 = Instant::now();
+        let report = simulate(&reduced, &self.spec.cluster, est)?;
+        let simulation = t3.elapsed();
+
+        Ok(Prediction {
+            outcome: PredictOutcome::Completed(report),
+            timings: StageTimings {
+                emulation,
+                collation,
+                estimation,
+                simulation,
+            },
+            workers_emulated,
+            workers_simulated: reduced.workers.len(),
+            trace_events: reduced.total_events(),
+        })
+    }
+
+    /// Predicts a batch of independent jobs, fanning across the spec's
+    /// `emulation_threads`.
+    ///
+    /// Results are positionally aligned with `jobs` and byte-identical
+    /// to calling [`PredictionEngine::predict_job`] per job (modulo
+    /// wall-clock [`StageTimings`]): the pipeline is deterministic, and
+    /// the shared estimator cache memoizes pure functions, so execution
+    /// interleaving cannot change any outcome. Member jobs emulate
+    /// sequentially; the parallelism is across jobs.
+    pub fn predict_batch(&self, jobs: &[TrainingJob]) -> Vec<Result<Prediction, MayaError>> {
+        let threads = self.spec.emulation_threads.max(1).min(jobs.len());
+        if threads <= 1 || jobs.len() <= 1 {
+            // Degenerate batch: hand each job the whole pool instead,
+            // so a singleton batch emulates as fast as predict_job.
+            return jobs.iter().map(|j| self.predict_job(j)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    // A send can only fail if the receiver was dropped,
+                    // which cannot happen while this scope is alive.
+                    let _ = tx.send((i, self.predict_job_with(&jobs[i], 1)));
+                });
+            }
+        });
+        drop(tx);
+        let mut out: Vec<Option<Result<Prediction, MayaError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every job slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Maya;
+    use maya_hw::ClusterSpec;
+    use maya_torchlet::{ModelSpec, ParallelConfig};
+    use maya_trace::Dtype;
+
+    fn job(world: u32, parallel: ParallelConfig, batch: u32) -> TrainingJob {
+        TrainingJob {
+            model: ModelSpec::gpt3_125m(),
+            parallel,
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: batch * world,
+            world,
+            gpus_per_node: 8,
+            precision: Dtype::Bf16,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_job_predictions() {
+        let spec = EmulationSpec {
+            emulation_threads: 4,
+            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
+        };
+        let batched = Maya::with_oracle(spec);
+        let sequential = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 4)));
+        let jobs: Vec<TrainingJob> = [
+            ParallelConfig::default(),
+            ParallelConfig {
+                tp: 2,
+                ..Default::default()
+            },
+            ParallelConfig {
+                pp: 2,
+                ..Default::default()
+            },
+            ParallelConfig {
+                tp: 2,
+                pp: 2,
+                ..Default::default()
+            },
+            ParallelConfig {
+                microbatch_multiplier: 2,
+                ..Default::default()
+            },
+        ]
+        .into_iter()
+        .map(|p| job(4, p, 8))
+        .collect();
+        let batch = batched.predict_batch(&jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for (j, b) in jobs.iter().zip(&batch) {
+            let b = b.as_ref().expect("batch prediction succeeds");
+            let s = sequential
+                .predict_job(j)
+                .expect("sequential prediction succeeds");
+            assert_eq!(
+                b.iteration_time(),
+                s.iteration_time(),
+                "config {:?}",
+                j.parallel
+            );
+            assert_eq!(b.oom(), s.oom());
+            assert_eq!(b.workers_simulated, s.workers_simulated);
+            assert_eq!(b.trace_events, s.trace_events);
+        }
+    }
+
+    #[test]
+    fn batch_reports_errors_positionally() {
+        let spec = EmulationSpec {
+            emulation_threads: 2,
+            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
+        };
+        let maya = Maya::with_oracle(spec);
+        let good = job(4, ParallelConfig::default(), 8);
+        let bad = job(2, ParallelConfig::default(), 8); // world mismatch
+        let out = maya.predict_batch(&[good, bad, good]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(MayaError::WorldMismatch { .. })));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn repeated_predictions_hit_the_shared_cache() {
+        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let j = job(1, ParallelConfig::default(), 8);
+        maya.predict_job(&j).unwrap();
+        let after_first = maya.engine().cache_stats();
+        maya.predict_job(&j).unwrap();
+        let after_second = maya.engine().cache_stats();
+        assert!(after_first.misses > 0, "first run must populate the cache");
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second identical run must not re-derive any kernel time"
+        );
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn warm_pass_makes_simulation_queries_hits() {
+        // After predict_job, every kernel the simulator asked for was
+        // already in the memo: hits >= misses on the very first run
+        // (each unique shape missed once in the warm pass, then hit at
+        // least once when simulated).
+        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        maya.predict_job(&job(1, ParallelConfig::default(), 8))
+            .unwrap();
+        let st = maya.engine().cache_stats();
+        assert!(
+            st.hits >= st.misses,
+            "warm pass should pre-answer the simulator: {st:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        assert!(maya.predict_batch(&[]).is_empty());
+    }
+}

@@ -15,6 +15,12 @@
 //! 4. **Simulation** — the event-driven simulator replays the annotated
 //!    trace over a cluster spec and produces a [`maya_sim::SimReport`].
 //!
+//! The pipeline is owned by a reusable [`engine::PredictionEngine`]:
+//! it wraps the estimator in a cross-prediction memo cache and fans
+//! independent predictions over a worker pool
+//! ([`Maya::predict_batch`]), which is what makes large config searches
+//! cheap — see `engine`'s module docs.
+//!
 //! The crate also exposes the *testbed* entry point
 //! ([`Maya::measure_actual`]) backed by the independent ground-truth
 //! executor, standing in for real-hardware measurements (DESIGN.md §2).
@@ -33,8 +39,10 @@
 //! assert!(prediction.report().is_some());
 //! ```
 
+pub mod engine;
 pub mod error;
 pub mod pipeline;
 
+pub use engine::PredictionEngine;
 pub use error::MayaError;
 pub use pipeline::{EmulationSpec, Maya, PredictOutcome, Prediction, StageTimings};

@@ -1,16 +1,17 @@
-//! The end-to-end Maya pipeline.
+//! The end-to-end Maya pipeline: spec and outcome types, plus the
+//! [`Maya`] facade over the [`PredictionEngine`].
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use maya_collate::{collate, dedup_classes, reduce_job, unique_megatron_ranks};
+use maya_collate::collate;
 use maya_cuda::{CudaContext, CudaError};
 use maya_estimator::{ForestEstimator, OracleEstimator, ProfileScale, RuntimeEstimator};
 use maya_hw::{ClusterSpec, GroundTruthExecutor, Measurement};
-use maya_sim::{simulate, SimReport};
-use maya_torchlet::{FrameworkFlavor, RankTopology, TrainingJob};
+use maya_sim::SimReport;
+use maya_torchlet::TrainingJob;
 use maya_trace::{JobTrace, SimTime, WorkerTrace};
 
+use crate::engine::PredictionEngine;
 use crate::error::MayaError;
 
 /// How the virtual runtime is configured ("Emulation Spec" in Figure 5).
@@ -25,21 +26,31 @@ pub struct EmulationSpec {
     /// unique ranks. Requires workload knowledge; falls back to full
     /// emulation for non-Megatron flavors.
     pub selective_launch: bool,
-    /// Number of OS threads used for concurrent worker emulation
-    /// (1 = sequential).
+    /// Number of OS threads used for concurrent worker emulation and for
+    /// batched prediction (1 = sequential).
     pub emulation_threads: usize,
 }
 
 impl EmulationSpec {
     /// Defaults: dedup on, selective launch off, sequential emulation.
     pub fn new(cluster: ClusterSpec) -> Self {
-        EmulationSpec { cluster, dedup: true, selective_launch: false, emulation_threads: 1 }
+        EmulationSpec {
+            cluster,
+            dedup: true,
+            selective_launch: false,
+            emulation_threads: 1,
+        }
     }
 
     /// Disables all trace-reduction optimizations (the "No Optimization"
     /// columns of Table 6 / Figure 14).
     pub fn without_optimizations(cluster: ClusterSpec) -> Self {
-        EmulationSpec { cluster, dedup: false, selective_launch: false, emulation_threads: 1 }
+        EmulationSpec {
+            cluster,
+            dedup: false,
+            selective_launch: false,
+            emulation_threads: 1,
+        }
     }
 }
 
@@ -50,9 +61,10 @@ pub struct StageTimings {
     pub emulation: std::time::Duration,
     /// Collation + deduplication.
     pub collation: std::time::Duration,
-    /// Runtime prediction (annotating is folded into simulation here, so
-    /// this measures estimator queries in a pre-pass; zero when the
-    /// simulator queries lazily).
+    /// Runtime prediction: the pre-pass that warms the engine's shared
+    /// estimator cache with every duration the simulator will ask for.
+    /// On a cache-warm engine this approaches zero — the cost was paid
+    /// by an earlier prediction.
     pub estimation: std::time::Duration,
     /// Discrete-event simulation.
     pub simulation: std::time::Duration,
@@ -115,48 +127,52 @@ impl Prediction {
     }
 }
 
-/// Internal OOM verdict from emulation.
-struct OomInfo {
-    rank: u32,
-    peak_attempted: u64,
-    workers: usize,
-    events: usize,
-}
-
-/// The Maya virtual runtime.
+/// The Maya virtual runtime: a thin facade over [`PredictionEngine`].
+///
+/// Construction wires up the engine — estimator, shared memo cache,
+/// worker pool — and the predict methods delegate to it. Callers that
+/// want engine-level controls (cache stats, the cache handle itself)
+/// reach them through [`Maya::engine`].
 pub struct Maya {
-    spec: EmulationSpec,
-    estimator: Arc<dyn RuntimeEstimator>,
+    engine: PredictionEngine,
 }
 
 impl Maya {
     /// Builds Maya with a caller-provided estimator.
     pub fn with_estimator(spec: EmulationSpec, estimator: Arc<dyn RuntimeEstimator>) -> Self {
-        Maya { spec, estimator }
+        Maya {
+            engine: PredictionEngine::new(spec, estimator),
+        }
     }
 
     /// Builds Maya with the oracle estimator (true per-op runtimes) —
     /// used for Table 3 and for fast tests.
     pub fn with_oracle(spec: EmulationSpec) -> Self {
         let oracle = OracleEstimator::new(&spec.cluster);
-        Maya { spec, estimator: Arc::new(oracle) }
+        Maya::with_estimator(spec, Arc::new(oracle))
     }
 
     /// Profiles the cluster and trains the default random-forest
     /// estimator (the paper's deployment path).
     pub fn train(spec: EmulationSpec, scale: ProfileScale, seed: u64) -> Self {
         let (est, _report) = ForestEstimator::train(&spec.cluster, scale, seed);
-        Maya { spec, estimator: Arc::new(est) }
+        Maya::with_estimator(spec, Arc::new(est))
+    }
+
+    /// The underlying prediction engine.
+    pub fn engine(&self) -> &PredictionEngine {
+        &self.engine
     }
 
     /// The emulation spec in use.
     pub fn spec(&self) -> &EmulationSpec {
-        &self.spec
+        self.engine.spec()
     }
 
-    /// The estimator in use.
+    /// The estimator in use (as provided at construction; predictions
+    /// actually query it through the engine's shared memo cache).
     pub fn estimator(&self) -> &Arc<dyn RuntimeEstimator> {
-        &self.estimator
+        self.engine.base_estimator()
     }
 
     /// Transparently traces an arbitrary per-rank workload: the Rust
@@ -171,174 +187,25 @@ impl Maya {
     where
         F: Fn(u32, &mut CudaContext) -> Result<(), CudaError> + Sync,
     {
-        let gpu = self.spec.cluster.gpu;
-        let threads = self.spec.emulation_threads.max(1);
-        if threads <= 1 || ranks.len() <= 1 {
-            ranks
-                .iter()
-                .map(|&r| {
-                    let mut ctx = CudaContext::new(r, gpu);
-                    let res = script(r, &mut ctx);
-                    (ctx.into_trace(), res)
-                })
-                .collect()
-        } else {
-            let mut out: Vec<Option<(WorkerTrace, Result<(), CudaError>)>> =
-                (0..ranks.len()).map(|_| None).collect();
-            let chunk = ranks.len().div_ceil(threads);
-            crossbeam::thread::scope(|s| {
-                for (slot_chunk, rank_chunk) in out.chunks_mut(chunk).zip(ranks.chunks(chunk)) {
-                    let script = &script;
-                    s.spawn(move |_| {
-                        for (slot, &r) in slot_chunk.iter_mut().zip(rank_chunk) {
-                            let mut ctx = CudaContext::new(r, gpu);
-                            let res = script(r, &mut ctx);
-                            *slot = Some((ctx.into_trace(), res));
-                        }
-                    });
-                }
-            })
-            .expect("emulation threads panicked");
-            out.into_iter().map(|o| o.expect("all slots filled")).collect()
-        }
-    }
-
-    /// Which ranks to emulate for a job under the current spec.
-    fn ranks_to_emulate(&self, job: &TrainingJob) -> Vec<u32> {
-        if self.spec.selective_launch && matches!(job.flavor, FrameworkFlavor::Megatron) {
-            let topo = RankTopology::new(&job.parallel, job.world);
-            unique_megatron_ranks(topo.tp, topo.dp, topo.pp)
-        } else {
-            (0..job.world).collect()
-        }
-    }
-
-    /// Emulates a training job. On OOM, collation is skipped — a
-    /// partially-OOMed job has incomplete communicator traces — and the
-    /// OOM verdict (first rank + attempted peak) is returned instead.
-    fn emulate(&self, job: &TrainingJob) -> Result<Result<JobTrace, OomInfo>, MayaError> {
-        job.validate()?;
-        if job.world != self.spec.cluster.num_gpus() {
-            return Err(MayaError::WorldMismatch {
-                job: job.world,
-                cluster: self.spec.cluster.num_gpus(),
-            });
-        }
-        let ranks = self.ranks_to_emulate(job);
-        let traced = self.trace_workload(&ranks, |rank, ctx| job.run_worker(rank, ctx));
-        let mut oom: Option<(u32, u64)> = None;
-        let mut workers = Vec::with_capacity(traced.len());
-        let mut events = 0usize;
-        for (trace, res) in traced {
-            match res {
-                Ok(()) => {}
-                Err(CudaError::MemoryAllocation { requested, .. }) => {
-                    if oom.is_none() {
-                        oom = Some((
-                            trace.rank,
-                            trace.summary.peak_mem_bytes.saturating_add(requested),
-                        ));
-                    }
-                }
-                Err(e) => return Err(MayaError::Device(e)),
-            }
-            events += trace.events.len();
-            workers.push(trace);
-        }
-        if let Some((rank, peak_attempted)) = oom {
-            return Ok(Err(OomInfo {
-                rank,
-                peak_attempted,
-                workers: workers.len(),
-                events,
-            }));
-        }
-        // Selective launch leaves most communicator slots unobserved;
-        // supply the authoritative group map from workload knowledge
-        // (§7.4's "explicit knowledge of the workload").
-        let job_trace = if self.spec.selective_launch
-            && matches!(job.flavor, FrameworkFlavor::Megatron)
-        {
-            let known = maya_torchlet::engine::megatron_comm_groups(job);
-            maya_collate::collate_with_known_groups(workers, job.world, &known)?
-        } else {
-            collate(workers, job.world)?
-        };
-        Ok(Ok(job_trace))
+        self.engine.trace_workload(ranks, script)
     }
 
     /// Predicts the performance of a training job end-to-end.
     pub fn predict_job(&self, job: &TrainingJob) -> Result<Prediction, MayaError> {
-        let t0 = Instant::now();
-        let emulated = self.emulate(job)?;
-        let emulation = t0.elapsed();
-        match emulated {
-            Err(info) => Ok(Prediction {
-                outcome: PredictOutcome::OutOfMemory {
-                    rank: info.rank,
-                    peak_attempted: info.peak_attempted,
-                },
-                timings: StageTimings { emulation, ..Default::default() },
-                workers_emulated: info.workers,
-                workers_simulated: 0,
-                trace_events: info.events,
-            }),
-            Ok(job_trace) => self.predict_trace_inner(job_trace, emulation),
-        }
+        self.engine.predict_job(job)
+    }
+
+    /// Predicts a batch of independent jobs concurrently; results align
+    /// positionally with `jobs` and match per-job [`Maya::predict_job`]
+    /// outcomes exactly (see [`PredictionEngine::predict_batch`]).
+    pub fn predict_batch(&self, jobs: &[TrainingJob]) -> Vec<Result<Prediction, MayaError>> {
+        self.engine.predict_batch(jobs)
     }
 
     /// Predicts from an already-collated job trace (e.g. one produced by
     /// [`Maya::trace_workload`] + [`maya_collate::collate`]).
     pub fn predict_trace(&self, job_trace: JobTrace) -> Result<Prediction, MayaError> {
-        self.predict_trace_inner(job_trace, std::time::Duration::ZERO)
-    }
-
-    fn predict_trace_inner(
-        &self,
-        job_trace: JobTrace,
-        emulation: std::time::Duration,
-    ) -> Result<Prediction, MayaError> {
-        let workers_emulated = job_trace.workers.len();
-        let t1 = Instant::now();
-        let reduced = if self.spec.dedup {
-            let classes = dedup_classes(&job_trace.workers);
-            if classes.len() < job_trace.workers.len() {
-                reduce_job(&job_trace, &classes)
-            } else {
-                job_trace
-            }
-        } else {
-            job_trace
-        };
-        let collation = t1.elapsed();
-
-        // Estimation pre-pass: annotate kernel durations (measured
-        // separately so Table 6 / Fig. 13 can attribute stage costs; the
-        // simulator re-queries the same estimator).
-        let t2 = Instant::now();
-        let mut annotated = 0usize;
-        for w in &reduced.workers {
-            for e in w.events.iter() {
-                if let maya_trace::DeviceOp::KernelLaunch { kernel } = e.op {
-                    let _ = self.estimator.kernel_time(&kernel);
-                    annotated += 1;
-                }
-            }
-        }
-        let _ = annotated;
-        let estimation = t2.elapsed();
-
-        let t3 = Instant::now();
-        let report = simulate(&reduced, &self.spec.cluster, self.estimator.as_ref())?;
-        let simulation = t3.elapsed();
-
-        Ok(Prediction {
-            outcome: PredictOutcome::Completed(report),
-            timings: StageTimings { emulation, collation, estimation, simulation },
-            workers_emulated,
-            workers_simulated: reduced.workers.len(),
-            trace_events: reduced.total_events(),
-        })
+        self.engine.predict_trace(job_trace)
     }
 
     /// Runs the job on the ground-truth testbed (the stand-in for "actual
@@ -346,10 +213,10 @@ impl Maya {
     /// cannot deduplicate workers.
     pub fn measure_actual(&self, job: &TrainingJob) -> Result<Result<Measurement, u64>, MayaError> {
         job.validate()?;
-        if job.world != self.spec.cluster.num_gpus() {
+        if job.world != self.spec().cluster.num_gpus() {
             return Err(MayaError::WorldMismatch {
                 job: job.world,
-                cluster: self.spec.cluster.num_gpus(),
+                cluster: self.spec().cluster.num_gpus(),
             });
         }
         let ranks: Vec<u32> = (0..job.world).collect();
@@ -367,7 +234,7 @@ impl Maya {
         }
         let job_trace = collate(workers, job.world)?;
         let executor = GroundTruthExecutor::default();
-        let m = executor.run(&job_trace, &self.spec.cluster)?;
+        let m = executor.run(&job_trace, &self.spec().cluster)?;
         Ok(Ok(m))
     }
 }
@@ -375,7 +242,7 @@ impl Maya {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maya_torchlet::{ModelSpec, ParallelConfig};
+    use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig};
     use maya_trace::Dtype;
 
     fn h100_job(world: u32, parallel: ParallelConfig) -> TrainingJob {
@@ -395,7 +262,9 @@ mod tests {
     #[test]
     fn single_gpu_prediction_completes() {
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
-        let p = maya.predict_job(&h100_job(1, ParallelConfig::default())).unwrap();
+        let p = maya
+            .predict_job(&h100_job(1, ParallelConfig::default()))
+            .unwrap();
         let r = p.report().expect("no OOM");
         assert!(r.total_time > SimTime::from_ms(1.0), "{}", r.total_time);
         assert!(r.total_time < SimTime::from_secs(60.0));
@@ -405,7 +274,9 @@ mod tests {
     #[test]
     fn dp_dedup_simulates_one_worker() {
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 4)));
-        let p = maya.predict_job(&h100_job(4, ParallelConfig::default())).unwrap();
+        let p = maya
+            .predict_job(&h100_job(4, ParallelConfig::default()))
+            .unwrap();
         assert_eq!(p.workers_emulated, 4);
         assert_eq!(p.workers_simulated, 1, "pure DP deduplicates to one class");
         assert!(p.report().is_some());
@@ -418,7 +289,10 @@ mod tests {
             ..EmulationSpec::new(ClusterSpec::h100(1, 4))
         };
         let maya = Maya::with_oracle(spec);
-        let par = ParallelConfig { pp: 2, ..Default::default() };
+        let par = ParallelConfig {
+            pp: 2,
+            ..Default::default()
+        };
         let p = maya.predict_job(&h100_job(4, par)).unwrap();
         assert_eq!(p.workers_emulated, 2, "one leader per pipeline stage");
         assert!(p.report().is_some());
@@ -427,7 +301,12 @@ mod tests {
     #[test]
     fn tp_pp_dp_job_predicts() {
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
-        let par = ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
+        let par = ParallelConfig {
+            tp: 2,
+            pp: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        };
         let p = maya.predict_job(&h100_job(8, par)).unwrap();
         let r = p.report().expect("completes");
         assert!(r.comm_time > SimTime::ZERO, "tp/pp/dp must communicate");
@@ -472,7 +351,9 @@ mod tests {
     #[test]
     fn world_mismatch_rejected() {
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
-        let err = maya.predict_job(&h100_job(4, ParallelConfig::default())).unwrap_err();
+        let err = maya
+            .predict_job(&h100_job(4, ParallelConfig::default()))
+            .unwrap_err();
         assert!(matches!(err, MayaError::WorldMismatch { .. }));
     }
 
@@ -480,14 +361,21 @@ mod tests {
     fn actual_measurement_close_to_oracle_prediction() {
         // The Table 3 structure: oracle prediction vs. testbed truth.
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 2)));
-        let par = ParallelConfig { tp: 2, ..Default::default() };
+        let par = ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        };
         let job = h100_job(2, par);
         let pred = maya.predict_job(&job).unwrap();
         let actual = maya.measure_actual(&job).unwrap().expect("fits");
         let p = pred.iteration_time().unwrap().as_secs_f64();
         let a = actual.iteration_time.as_secs_f64();
         let err = (p / a - 1.0).abs();
-        assert!(err < 0.08, "oracle error {:.2}% (pred {p:.4}s actual {a:.4}s)", err * 100.0);
+        assert!(
+            err < 0.08,
+            "oracle error {:.2}% (pred {p:.4}s actual {a:.4}s)",
+            err * 100.0
+        );
     }
 
     #[test]
@@ -500,16 +388,27 @@ mod tests {
             Ok(())
         });
         assert_eq!(traces.len(), 2);
-        assert!(traces.iter().all(|(t, r)| r.is_ok() && t.summary.num_kernels == 1));
+        assert!(traces
+            .iter()
+            .all(|(t, r)| r.is_ok() && t.summary.num_kernels == 1));
     }
 
     #[test]
     fn parallel_emulation_matches_sequential() {
         let mut spec = EmulationSpec::new(ClusterSpec::h100(1, 4));
         let seq_maya = Maya::with_oracle(spec);
-        let job = h100_job(4, ParallelConfig { tp: 2, ..Default::default() });
+        let job = h100_job(
+            4,
+            ParallelConfig {
+                tp: 2,
+                ..Default::default()
+            },
+        );
         let p1 = seq_maya.predict_job(&job).unwrap();
-        spec = EmulationSpec { emulation_threads: 4, ..EmulationSpec::new(ClusterSpec::h100(1, 4)) };
+        spec = EmulationSpec {
+            emulation_threads: 4,
+            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
+        };
         let par_maya = Maya::with_oracle(spec);
         let p2 = par_maya.predict_job(&job).unwrap();
         assert_eq!(

@@ -17,7 +17,10 @@ use maya_trace::Dtype;
 
 fn main() {
     let cluster = ClusterSpec::h100(1, 8);
-    let spec = EmulationSpec { selective_launch: true, ..EmulationSpec::new(cluster) };
+    let spec = EmulationSpec {
+        selective_launch: true,
+        ..EmulationSpec::new(cluster)
+    };
     let maya = Maya::with_oracle(spec);
 
     let template = TrainingJob {
@@ -45,16 +48,25 @@ fn main() {
         distributed_optimizer: vec![true, false],
     };
 
-    println!("searching {} candidate recipes with CMA-ES...", space.cardinality());
-    let result = TrialScheduler::new(&objective)
-        .with_space(space)
-        .run(AlgorithmKind::CmaEs, 400, 7);
+    println!(
+        "searching {} candidate recipes with CMA-ES...",
+        space.cardinality()
+    );
+    let result =
+        TrialScheduler::new(&objective)
+            .with_space(space)
+            .run(AlgorithmKind::CmaEs, 400, 7);
 
     match &result.best {
         None => println!("no feasible configuration found"),
         Some((config, outcome)) => {
             println!("best recipe : {config}");
-            if let maya_search::TrialOutcome::Completed { iteration_time, mfu, cost } = outcome {
+            if let maya_search::TrialOutcome::Completed {
+                iteration_time,
+                mfu,
+                cost,
+            } = outcome
+            {
                 println!("iteration   : {iteration_time}");
                 println!("MFU         : {:.1}%", mfu * 100.0);
                 println!("cost/iter   : ${cost:.4}");

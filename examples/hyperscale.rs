@@ -18,7 +18,10 @@ use maya_trace::Dtype;
 fn main() {
     // GPT-3 18.4B, TP8 PP8, growing DP — a scaled-down cousin of the
     // paper's 145.6B study that finishes quickly in an example.
-    println!("{:>6} {:>6} {:>14} {:>8} {:>10}", "GPUs", "DP", "iter time", "MFU", "emulated");
+    println!(
+        "{:>6} {:>6} {:>14} {:>8} {:>10}",
+        "GPUs", "DP", "iter time", "MFU", "emulated"
+    );
     for dp in [2u32, 4, 8, 16] {
         let world = 8 * 8 * dp;
         let cluster = ClusterSpec::h100(world / 8, 8);

@@ -21,11 +21,41 @@ fn main() {
     let maya = Maya::train(EmulationSpec::new(cluster), ProfileScale::Test, 42);
 
     let recipes = [
-        ParallelConfig { tp: 1, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
-        ParallelConfig { tp: 2, pp: 1, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
-        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
-        ParallelConfig { tp: 2, pp: 4, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
-        ParallelConfig { tp: 4, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig {
+            tp: 1,
+            pp: 2,
+            microbatch_multiplier: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            pp: 1,
+            microbatch_multiplier: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            pp: 2,
+            microbatch_multiplier: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            pp: 4,
+            microbatch_multiplier: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 4,
+            pp: 2,
+            microbatch_multiplier: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
     ];
 
     println!(

@@ -26,7 +26,11 @@ fn main() {
     //    GPT-3 125M with a Megatron-style recipe.
     let job = TrainingJob {
         model: ModelSpec::gpt3_125m(),
-        parallel: ParallelConfig { tp: 2, microbatch_multiplier: 2, ..Default::default() },
+        parallel: ParallelConfig {
+            tp: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        },
         flavor: FrameworkFlavor::Megatron,
         compile: false,
         global_batch: 64,

@@ -14,10 +14,18 @@ fn main() {
     let cluster = ClusterSpec::a40(1, 8);
     let maya = Maya::with_oracle(EmulationSpec::new(cluster));
 
-    println!("{:<30} {:>12} {:>12} {:>8}", "config", "predicted", "actual", "error");
-    for (batch, compile) in
-        [(128u32, false), (128, true), (256, false), (256, true), (512, false), (512, true)]
-    {
+    println!(
+        "{:<30} {:>12} {:>12} {:>8}",
+        "config", "predicted", "actual", "error"
+    );
+    for (batch, compile) in [
+        (128u32, false),
+        (128, true),
+        (256, false),
+        (256, true),
+        (512, false),
+        (512, true),
+    ] {
         let job = TrainingJob {
             model: ModelSpec::resnet152(),
             parallel: ParallelConfig::default(),
@@ -36,7 +44,13 @@ fn main() {
             (Some(p), Ok(m)) => {
                 let a = m.iteration_time;
                 let err = (p.as_secs_f64() / a.as_secs_f64() - 1.0) * 100.0;
-                println!("{:<30} {:>12} {:>12} {:>7.2}%", label, p.to_string(), a.to_string(), err);
+                println!(
+                    "{:<30} {:>12} {:>12} {:>7.2}%",
+                    label,
+                    p.to_string(),
+                    a.to_string(),
+                    err
+                );
             }
             (None, _) => println!("{label:<30} predicted OOM"),
             (_, Err(_)) => println!("{label:<30} actual OOM"),

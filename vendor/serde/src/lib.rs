@@ -1,0 +1,14 @@
+//! Offline shim for serde (see `vendor/README.md`).
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the macro
+//! namespace (no-op derives from the `serde_derive` shim) and the type
+//! namespace (empty marker traits), which is all the workspace's
+//! `#[derive(serde::Serialize, serde::Deserialize)]` annotations need.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

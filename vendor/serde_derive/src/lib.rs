@@ -1,0 +1,20 @@
+//! Offline no-op derive shim for serde (see `vendor/README.md`).
+//!
+//! The workspace only *annotates* types with `serde::Serialize` /
+//! `serde::Deserialize` (its JSON export is hand-rolled in
+//! `maya-trace::json`), so these derives expand to nothing. The trait
+//! markers live in the sibling `serde` shim crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
