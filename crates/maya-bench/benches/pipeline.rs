@@ -3,7 +3,7 @@
 //! simulation, and the end-to-end predict path.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_collate::{collate, dedup_classes};
 use maya_estimator::{OracleEstimator, RuntimeEstimator};
 use maya_hw::ClusterSpec;
@@ -90,10 +90,10 @@ fn simulation(c: &mut Criterion) {
 
 fn end_to_end(c: &mut Criterion) {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = Maya::with_oracle(EmulationSpec {
-        selective_launch: true,
-        ..EmulationSpec::new(cluster)
-    });
+    let maya = MayaBuilder::new(cluster)
+        .selective_launch(true)
+        .build()
+        .expect("builds");
     let job = bench_job(8);
     c.bench_function("end_to_end/predict_gpt125m_8gpu", |b| {
         b.iter(|| maya.predict_job(&job).expect("predicts"))

@@ -7,7 +7,7 @@
 //! and seed, so they evaluate identical trial sequences.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use maya::{EmulationSpec, Maya};
+use maya::{Maya, MayaBuilder};
 use maya_hw::ClusterSpec;
 use maya_search::{AlgorithmKind, ConfigSpace, Objective, TrialScheduler};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -42,7 +42,7 @@ fn search_space() -> ConfigSpace {
 
 fn run_search(maya: &Maya, batched: bool) -> usize {
     let tmpl = template(maya.spec().cluster.num_gpus());
-    let obj = Objective::new(maya, tmpl);
+    let obj = Objective::new(maya.engine(), tmpl);
     let sched = TrialScheduler::new(&obj)
         .with_space(search_space())
         .with_batch(8);
@@ -59,11 +59,11 @@ fn search_modes(c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(4);
     let cluster = ClusterSpec::h100(1, 8);
-    let sequential = Maya::with_oracle(EmulationSpec::new(cluster));
-    let batched = Maya::with_oracle(EmulationSpec {
-        emulation_threads: threads,
-        ..EmulationSpec::new(cluster)
-    });
+    let sequential = MayaBuilder::new(cluster).build().expect("builds");
+    let batched = MayaBuilder::new(cluster)
+        .emulation_threads(threads)
+        .build()
+        .expect("builds");
     // Fresh-cache cost is paid once per engine; steady-state search (what
     // Fig. 15 iterates) is the interesting regime, so warm both first.
     run_search(&sequential, false);

@@ -22,7 +22,7 @@ fn main() {
         };
         eprintln!("[fig02] grid-searching {} GPUs...", n);
         let maya = scenario.maya_oracle();
-        let objective = Objective::new(&maya, scenario.template());
+        let objective = Objective::new(maya.engine(), scenario.template());
         // Deterministic stride sample of the valid space (widen with
         // MAYA_BENCH_CONFIGS).
         let cap = maya_bench::config_budget(120);

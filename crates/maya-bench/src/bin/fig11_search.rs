@@ -18,7 +18,7 @@ fn main() {
     for scenario in Scenario::headline() {
         eprintln!("[fig11] searching {}...", scenario.name);
         let maya = scenario.maya_oracle();
-        let objective = Objective::new(&maya, scenario.template());
+        let objective = Objective::new(maya.engine(), scenario.template());
         let cma = TrialScheduler::new(&objective).run(AlgorithmKind::CmaEs, 600, 11);
         let grid = {
             let mut sched = TrialScheduler::new(&objective);

@@ -3,7 +3,7 @@
 //! fixed global batch, 64 microbatches), using selective worker launch
 //! and the analytical (ASTRA-sim-style) network model.
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_bench::print_series;
 use maya_hw::{mfu, ClusterSpec};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -21,10 +21,10 @@ fn main() {
             continue;
         }
         let cluster = ClusterSpec::h100(world / 8, 8);
-        let maya = Maya::with_oracle(EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(cluster)
-        });
+        let maya = MayaBuilder::new(cluster)
+            .selective_launch(true)
+            .build()
+            .expect("builds");
         let parallel = ParallelConfig {
             tp: 8,
             pp: 8,

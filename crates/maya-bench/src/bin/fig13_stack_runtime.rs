@@ -7,7 +7,7 @@
 //! in seconds rather than the paper's ~25 minutes; the *scaling shape*
 //! across cluster sizes is the result.
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_bench::print_series;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -18,10 +18,10 @@ fn main() {
     for dp in [16u32, 32, 64, 128, 256] {
         let world = 8 * 8 * dp; // 1K .. 16K GPUs
         let cluster = ClusterSpec::h100(world / 8, 8);
-        let maya = Maya::with_oracle(EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(cluster)
-        });
+        let maya = MayaBuilder::new(cluster)
+            .selective_launch(true)
+            .build()
+            .expect("builds");
         let parallel = ParallelConfig {
             tp: 8,
             pp: 8,
@@ -49,7 +49,10 @@ fn main() {
         // At feasible sizes, also run with all optimizations off to show
         // the full-simulation cost the paper's Fig. 13 is dominated by.
         let full = if world <= 1024 {
-            let no_opt = Maya::with_oracle(EmulationSpec::without_optimizations(cluster));
+            let no_opt = MayaBuilder::new(cluster)
+                .without_optimizations()
+                .build()
+                .expect("builds");
             no_opt
                 .predict_job(&job)
                 .ok()

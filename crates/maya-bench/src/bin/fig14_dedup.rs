@@ -3,7 +3,7 @@
 //! degree (cluster size) grows; added DP workers are redundant, so
 //! deduplication should hold the runtime roughly flat.
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_bench::print_series;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -42,15 +42,18 @@ fn main() {
             iterations: 1,
         };
         eprintln!("[fig14] {}...", label);
-        let no_opt = Maya::with_oracle(EmulationSpec::without_optimizations(cluster));
+        let no_opt = MayaBuilder::new(cluster)
+            .without_optimizations()
+            .build()
+            .expect("builds");
         let t0 = Instant::now();
         let p_no = no_opt.predict_job(&job).expect("runs");
         let without = t0.elapsed();
 
-        let with_dedup = Maya::with_oracle(EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(cluster)
-        });
+        let with_dedup = MayaBuilder::new(cluster)
+            .selective_launch(true)
+            .build()
+            .expect("builds");
         let t1 = Instant::now();
         let p_yes = with_dedup.predict_job(&job).expect("runs");
         let with = t1.elapsed();

@@ -1,14 +1,14 @@
 //! Table 4: framework generality — models x framework stacks that run
 //! under Maya's emulation and produce usable traces.
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
 
 fn main() {
     let cluster = ClusterSpec::h100(1, 4);
-    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    let maya = MayaBuilder::new(cluster).build().expect("builds");
     let models: Vec<(&str, ModelSpec)> = vec![
         ("GPT", ModelSpec::gpt3_125m()),
         ("Llama", ModelSpec::llama2_7b()),

@@ -2,7 +2,7 @@
 //! spec with and without Maya's optimizations (worker deduplication +
 //! selective launch, pruning, CMA vs. grid).
 
-use maya::{EmulationSpec, Maya, StageTimings};
+use maya::{Maya, MayaBuilder, StageTimings};
 use maya_bench::Scenario;
 use maya_search::{AlgorithmKind, Objective, TrialScheduler};
 use std::time::Duration;
@@ -12,7 +12,7 @@ fn accumulate(
     scenario: &Scenario,
     optimized: bool,
 ) -> (StageTimings, Duration, usize) {
-    let objective = Objective::new(maya, scenario.template());
+    let objective = Objective::new(maya.engine(), scenario.template());
     let mut sched = TrialScheduler::new(&objective);
     sched.pruning = optimized;
     if !optimized {
@@ -59,7 +59,10 @@ fn main() {
     let opt_maya = scenario.maya_oracle();
     let (opt_stage, opt_wall, opt_exec) = accumulate(&opt_maya, &scenario, true);
     eprintln!("[tab06] unoptimized search (capped grid)...");
-    let no_maya = Maya::with_oracle(EmulationSpec::without_optimizations(scenario.cluster));
+    let no_maya = MayaBuilder::new(scenario.cluster)
+        .without_optimizations()
+        .build()
+        .expect("builds");
     let (no_stage, no_wall, no_exec) = accumulate(&no_maya, &scenario, false);
 
     println!(

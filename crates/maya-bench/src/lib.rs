@@ -11,11 +11,9 @@
 
 pub mod accuracy;
 
-use std::sync::Arc;
-
-use maya::{EmulationSpec, Maya};
+use maya::{Maya, MayaBuilder};
 use maya_baselines::{Amped, BaselineModel, Calculon, Proteus};
-use maya_estimator::{ForestEstimator, ProfileScale};
+use maya_estimator::ProfileScale;
 use maya_hw::ClusterSpec;
 use maya_search::{ConfigPoint, ConfigSpace};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -86,23 +84,24 @@ impl Scenario {
         }
     }
 
+    /// Builder pre-configured for this scenario (dedup + selective
+    /// launch on); chain estimator/thread knobs per binary.
+    pub fn builder(&self) -> MayaBuilder {
+        MayaBuilder::new(self.cluster).selective_launch(true)
+    }
+
     /// A Maya instance with the trained forest estimator for this
     /// cluster (dedup + selective launch on).
     pub fn maya(&self, seed: u64) -> Maya {
-        let spec = EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(self.cluster)
-        };
-        let (est, _) = ForestEstimator::train(&self.cluster, profile_scale(), seed);
-        Maya::with_estimator(spec, Arc::new(est))
+        self.builder()
+            .forest(profile_scale(), seed)
+            .build()
+            .expect("scenario runtime builds")
     }
 
     /// A Maya instance with the oracle estimator.
     pub fn maya_oracle(&self) -> Maya {
-        Maya::with_oracle(EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(self.cluster)
-        })
+        self.builder().build().expect("scenario runtime builds")
     }
 }
 

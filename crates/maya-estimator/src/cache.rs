@@ -29,7 +29,7 @@ use crate::estimator::RuntimeEstimator;
 const SHARDS: usize = 16;
 
 /// A hash-sharded `RwLock<HashMap>` memo.
-struct Sharded<K> {
+pub(crate) struct Sharded<K> {
     shards: Vec<RwLock<HashMap<K, SimTime>>>,
 }
 
@@ -38,6 +38,32 @@ impl<K: Hash + Eq> Sharded<K> {
         Sharded {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         }
+    }
+
+    /// Inserts an entry directly, bypassing the hit/miss counters — the
+    /// snapshot-restore path, which must not masquerade as traffic.
+    pub(crate) fn insert(&self, key: K, value: SimTime) {
+        self.shard(&key)
+            .write()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Every memoized entry (unordered).
+    pub(crate) fn entries(&self) -> Vec<(K, SimTime)>
+    where
+        K: Clone,
+    {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), v))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     fn shard(&self, key: &K) -> &RwLock<HashMap<K, SimTime>> {
@@ -57,6 +83,15 @@ impl<K: Hash + Eq> Sharded<K> {
         // the same pure value, so last-write-wins is benign.
         shard.write().expect("cache shard poisoned").insert(key, t);
         (t, false)
+    }
+
+    /// Read-only probe by reference (no key ownership needed).
+    fn get(&self, key: &K) -> Option<SimTime> {
+        self.shard(key)
+            .read()
+            .expect("cache shard poisoned")
+            .get(key)
+            .copied()
     }
 
     fn len(&self) -> usize {
@@ -81,14 +116,14 @@ impl<K: Hash + Eq> Sharded<K> {
 /// cannot alias; a `CachingEstimator` is still intended to live inside
 /// one prediction engine with one fixed cluster.
 #[derive(Clone, PartialEq, Eq, Hash)]
-struct CollectiveKey {
-    kind: CollectiveKind,
-    bytes: u64,
-    ranks: Vec<u32>,
-    arch_id: u64,
-    num_gpus: u32,
-    gpus_per_node: u32,
-    link_bits: [u64; 6],
+pub(crate) struct CollectiveKey {
+    pub(crate) kind: CollectiveKind,
+    pub(crate) bytes: u64,
+    pub(crate) ranks: Vec<u32>,
+    pub(crate) arch_id: u64,
+    pub(crate) num_gpus: u32,
+    pub(crate) gpus_per_node: u32,
+    pub(crate) link_bits: [u64; 6],
 }
 
 /// Bit patterns of the intra/inter link parameters.
@@ -131,9 +166,9 @@ impl CacheStats {
 /// surrounding `Arc`.
 pub struct CachingEstimator {
     inner: Arc<dyn RuntimeEstimator>,
-    kernels: Sharded<KernelKind>,
-    memcpys: Sharded<(u64, MemcpyKind)>,
-    collectives: Sharded<CollectiveKey>,
+    pub(crate) kernels: Sharded<KernelKind>,
+    pub(crate) memcpys: Sharded<(u64, MemcpyKind)>,
+    pub(crate) collectives: Sharded<CollectiveKey>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -214,20 +249,55 @@ impl RuntimeEstimator for CachingEstimator {
         ranks: &[u32],
         cluster: &ClusterSpec,
     ) -> SimTime {
-        let key = CollectiveKey {
-            kind,
-            bytes,
-            ranks: ranks.to_vec(),
-            arch_id: cluster.gpu.arch.id(),
-            num_gpus: cluster.num_gpus(),
-            gpus_per_node: cluster.gpus_per_node,
-            link_bits: link_bits(cluster),
-        };
-        let (t, hit) = self.collectives.get_or_insert_with(key, || {
-            self.inner.collective_time(kind, bytes, ranks, cluster)
+        // A warm simulation resolves hundreds of collectives per trial;
+        // probe with a thread-local scratch key (its ranks buffer is
+        // reused) so the hit path never allocates. Only a miss pays the
+        // `ranks.to_vec()` for the owned key it inserts.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<CollectiveKey> =
+                const { std::cell::RefCell::new(CollectiveKey {
+                    kind: CollectiveKind::AllReduce,
+                    bytes: 0,
+                    ranks: Vec::new(),
+                    arch_id: 0,
+                    num_gpus: 0,
+                    gpus_per_node: 0,
+                    link_bits: [0; 6],
+                }) };
+        }
+        // One construction site: the scratch key is the only place the
+        // field set is assembled; a miss clones it for the insert.
+        let probe = SCRATCH.with(|scratch| {
+            let mut key = scratch.borrow_mut();
+            key.kind = kind;
+            key.bytes = bytes;
+            key.ranks.clear();
+            key.ranks.extend_from_slice(ranks);
+            key.arch_id = cluster.gpu.arch.id();
+            key.num_gpus = cluster.num_gpus();
+            key.gpus_per_node = cluster.gpus_per_node;
+            key.link_bits = link_bits(cluster);
+            match self.collectives.get(&key) {
+                Some(t) => Ok(t),
+                None => Err(key.clone()),
+            }
         });
-        self.count(hit);
-        t
+        match probe {
+            Ok(t) => {
+                self.count(true);
+                t
+            }
+            Err(key) => {
+                // Scratch borrow is released before calling the inner
+                // estimator (which may be arbitrarily nested). A racing
+                // writer inserts the same pure value; last-write-wins
+                // is benign.
+                let t = self.inner.collective_time(kind, bytes, ranks, cluster);
+                self.collectives.insert(key, t);
+                self.count(false);
+                t
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -19,7 +19,10 @@
 //! - [`cache::CachingEstimator`]: a sharded memoizing decorator that
 //!   shares kernel / memcpy / collective answers across predictions —
 //!   config search re-queries the same shapes thousands of times, so the
-//!   prediction engine wraps its estimator in one of these.
+//!   prediction engine wraps its estimator in one of these;
+//! - [`snapshot`]: memo persistence — `CachingEstimator::snapshot()` /
+//!   `restore()` serialize the full memo so a service can warm-start
+//!   the next process with everything this one learned.
 
 pub mod cache;
 pub mod collectives;
@@ -28,6 +31,7 @@ pub mod features;
 pub mod forest;
 pub mod metrics;
 pub mod profiler;
+pub mod snapshot;
 pub mod tree;
 
 pub use cache::{CacheStats, CachingEstimator};
@@ -36,4 +40,5 @@ pub use estimator::{ForestEstimator, OracleEstimator, RuntimeEstimator};
 pub use forest::{ForestParams, RandomForest};
 pub use metrics::{mape, MapeReport};
 pub use profiler::{ProfileScale, Profiler};
+pub use snapshot::SnapshotError;
 pub use tree::{RegressionTree, TreeParams};

@@ -29,7 +29,12 @@ impl GpuArch {
 }
 
 /// Static description of one accelerator.
-#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize)]
+///
+/// Equality and hashing compare the IEEE-754 bit patterns of the float
+/// fields (specs are configuration constants, never NaN), so the type
+/// can key registries — e.g. `maya-serve` multiplexes one prediction
+/// engine per distinct emulation spec.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct GpuSpec {
     /// Marketing name ("H100").
     pub name: &'static str,
@@ -137,7 +142,9 @@ impl GpuSpec {
 }
 
 /// A point-to-point or shared interconnect link.
-#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize)]
+///
+/// Equality and hashing compare float bit patterns (see [`GpuSpec`]).
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct LinkSpec {
     /// Sustained bandwidth per GPU in GB/s.
     pub bw_gbps: f64,
@@ -158,7 +165,10 @@ impl LinkSpec {
 }
 
 /// A full training cluster: homogeneous GPUs in equal-size nodes.
-#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize)]
+///
+/// Equality and hashing compare float bit patterns (see [`GpuSpec`]),
+/// making the type usable as a registry key.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct ClusterSpec {
     /// Per-GPU description.
     pub gpu: GpuSpec,
@@ -279,6 +289,124 @@ impl ClusterSpec {
     }
 }
 
+// Manual PartialEq/Eq/Hash over canonical bit-pattern keys: the spec
+// structs carry f64 fields, which cannot derive Eq/Hash, yet the types
+// must key hash maps (engine registries). Specs are built from literal
+// constants — NaN never appears — so bit equality is the right notion
+// (and is reflexive, keeping the Eq contract honest even for NaN).
+// Each key() exhaustively destructures `Self` so adding a field is a
+// compile error here, not a silently incomplete registry key.
+
+impl GpuSpec {
+    fn key(&self) -> (&'static str, u64, [u64; 5], u32, u64, bool) {
+        let Self {
+            name,
+            arch,
+            fp32_tflops,
+            tensor_tflops,
+            mem_gib,
+            mem_bw_gbps,
+            pcie_bw_gbps,
+            sm_count,
+            kernel_floor_us,
+            supports_bf16,
+        } = self;
+        (
+            name,
+            arch.id(),
+            [
+                fp32_tflops.to_bits(),
+                tensor_tflops.to_bits(),
+                mem_gib.to_bits(),
+                mem_bw_gbps.to_bits(),
+                pcie_bw_gbps.to_bits(),
+            ],
+            *sm_count,
+            kernel_floor_us.to_bits(),
+            *supports_bf16,
+        )
+    }
+}
+
+impl PartialEq for GpuSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for GpuSpec {}
+
+impl std::hash::Hash for GpuSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl LinkSpec {
+    fn key(&self) -> [u64; 3] {
+        let Self {
+            bw_gbps,
+            latency_us,
+            half_ramp_bytes,
+        } = self;
+        [
+            bw_gbps.to_bits(),
+            latency_us.to_bits(),
+            half_ramp_bytes.to_bits(),
+        ]
+    }
+}
+
+impl PartialEq for LinkSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for LinkSpec {}
+
+impl std::hash::Hash for LinkSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl ClusterSpec {
+    #[allow(clippy::type_complexity)]
+    fn key(&self) -> (GpuSpec, u32, u32, LinkSpec, LinkSpec, u64) {
+        let Self {
+            gpu,
+            gpus_per_node,
+            num_nodes,
+            intra_link,
+            inter_link,
+            dollars_per_gpu_hour,
+        } = self;
+        (
+            *gpu,
+            *gpus_per_node,
+            *num_nodes,
+            *intra_link,
+            *inter_link,
+            dollars_per_gpu_hour.to_bits(),
+        )
+    }
+}
+
+impl PartialEq for ClusterSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for ClusterSpec {}
+
+impl std::hash::Hash for ClusterSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +453,24 @@ mod tests {
     fn volta_lacks_bf16() {
         assert!(!GpuSpec::v100().supports_bf16);
         assert!(GpuSpec::h100().supports_bf16);
+    }
+
+    #[test]
+    fn cluster_specs_key_hash_maps() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        assert!(set.insert(ClusterSpec::h100(1, 8)));
+        assert!(
+            !set.insert(ClusterSpec::h100(1, 8)),
+            "equal spec re-inserted"
+        );
+        assert!(
+            set.insert(ClusterSpec::h100(2, 8)),
+            "shape is part of the key"
+        );
+        assert!(set.insert(ClusterSpec::a40(1, 8)), "gpu is part of the key");
+        let mut tweaked = ClusterSpec::h100(1, 8);
+        tweaked.inter_link.bw_gbps += 1.0;
+        assert!(set.insert(tweaked), "link params are part of the key");
     }
 }

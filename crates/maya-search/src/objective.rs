@@ -1,6 +1,6 @@
 //! Trial evaluation: one configuration through the full Maya pipeline.
 
-use maya::{Maya, PredictOutcome};
+use maya::{PredictOutcome, PredictionEngine};
 use maya_hw::mfu;
 use maya_torchlet::TrainingJob;
 use maya_trace::SimTime;
@@ -71,17 +71,21 @@ pub enum Provenance {
 }
 
 /// Evaluates configurations for a fixed (model, cluster, batch) scenario.
+///
+/// Runs directly against a [`PredictionEngine`] so any engine owner can
+/// search — a [`maya::Maya`] facade (pass [`maya::Maya::engine`]) or a
+/// `maya-serve` registry entry serving a `Search` request.
 pub struct Objective<'a> {
-    /// The Maya runtime used for predictions.
-    pub maya: &'a Maya,
+    /// The prediction engine used for trials.
+    pub engine: &'a PredictionEngine,
     /// Job template; `parallel` is replaced per trial.
     pub template: TrainingJob,
 }
 
 impl<'a> Objective<'a> {
-    /// Builds an objective.
-    pub fn new(maya: &'a Maya, template: TrainingJob) -> Self {
-        Objective { maya, template }
+    /// Builds an objective over a prediction engine.
+    pub fn new(engine: &'a PredictionEngine, template: TrainingJob) -> Self {
+        Objective { engine, template }
     }
 
     /// The job for a given point.
@@ -98,7 +102,7 @@ impl<'a> Objective<'a> {
         if job.validate().is_err() {
             return TrialOutcome::Invalid;
         }
-        let pred = self.maya.predict_job(&job);
+        let pred = self.engine.predict_job(&job);
         self.outcome_of(&job, pred)
     }
 
@@ -120,7 +124,7 @@ impl<'a> Objective<'a> {
             }
         }
         let batch: Vec<maya_torchlet::TrainingJob> = valid.iter().map(|&i| jobs[i]).collect();
-        for (&i, pred) in valid.iter().zip(self.maya.predict_batch(&batch)) {
+        for (&i, pred) in valid.iter().zip(self.engine.predict_batch(&batch)) {
             out[i] = self.outcome_of(&jobs[i], pred);
         }
         out
@@ -140,10 +144,10 @@ impl<'a> Objective<'a> {
                     let t = report.total_time;
                     let m = job
                         .flops_spec()
-                        .map(|s| mfu::mfu(&s, t.as_secs_f64(), &self.maya.spec().cluster))
+                        .map(|s| mfu::mfu(&s, t.as_secs_f64(), &self.engine.spec().cluster))
                         .unwrap_or(0.0);
                     let cost = t.as_secs_f64() / 3600.0
-                        * self.maya.spec().cluster.dollars_per_gpu_hour
+                        * self.engine.spec().cluster.dollars_per_gpu_hour
                         * job.world as f64;
                     TrialOutcome::Completed {
                         iteration_time: t,
@@ -159,14 +163,14 @@ impl<'a> Objective<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maya::EmulationSpec;
+    use maya::{Maya, MayaBuilder};
     use maya_hw::ClusterSpec;
     use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig};
     use maya_trace::Dtype;
 
     fn objective_fixture() -> (Maya, TrainingJob) {
         let cluster = ClusterSpec::h100(1, 8);
-        let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let maya = MayaBuilder::new(cluster).build().unwrap();
         let template = TrainingJob {
             model: ModelSpec::gpt3_125m(),
             parallel: ParallelConfig::default(),
@@ -184,7 +188,7 @@ mod tests {
     #[test]
     fn evaluates_valid_config() {
         let (maya, template) = objective_fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let out = obj.evaluate(&ParallelConfig {
             tp: 2,
             ..Default::default()
@@ -206,7 +210,7 @@ mod tests {
     #[test]
     fn invalid_config_flagged() {
         let (maya, template) = objective_fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         // tp=8 exceeds 125M's 12 heads divisibility.
         let out = obj.evaluate(&ParallelConfig {
             tp: 8,
@@ -218,12 +222,12 @@ mod tests {
     #[test]
     fn batch_outcomes_match_individual() {
         let cluster = ClusterSpec::h100(1, 8);
-        let par_maya = Maya::with_oracle(EmulationSpec {
-            emulation_threads: 4,
-            ..EmulationSpec::new(cluster)
-        });
+        let par_maya = MayaBuilder::new(cluster)
+            .emulation_threads(4)
+            .build()
+            .unwrap();
         let template = objective_fixture().1;
-        let obj = Objective::new(&par_maya, template);
+        let obj = Objective::new(par_maya.engine(), template);
         let configs = [
             ParallelConfig::default(),
             ParallelConfig {
@@ -256,7 +260,7 @@ mod tests {
     #[test]
     fn better_config_has_lower_cost() {
         let (maya, template) = objective_fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let a = obj.evaluate(&ParallelConfig::default());
         let b = obj.evaluate(&ParallelConfig {
             tp: 4,

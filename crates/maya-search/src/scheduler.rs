@@ -86,7 +86,7 @@ impl<'a> TrialScheduler<'a> {
     /// Creates a scheduler over the default Table 5 space. The default
     /// speculation width keeps the objective's engine pool saturated.
     pub fn new(objective: &'a Objective<'a>) -> Self {
-        let pool = objective.maya.spec().emulation_threads.max(1);
+        let pool = objective.engine.spec().emulation_threads.max(1);
         TrialScheduler {
             objective,
             space: ConfigSpace::default(),
@@ -488,14 +488,14 @@ impl<'a> TrialScheduler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maya::{EmulationSpec, Maya};
+    use maya::{Maya, MayaBuilder};
     use maya_hw::ClusterSpec;
     use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
     use maya_trace::Dtype;
 
     fn fixture() -> (Maya, TrainingJob) {
         let cluster = ClusterSpec::h100(1, 4);
-        let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let maya = MayaBuilder::new(cluster).build().unwrap();
         let template = TrainingJob {
             model: ModelSpec::gpt3_125m(),
             parallel: ParallelConfig::default(),
@@ -525,7 +525,7 @@ mod tests {
     #[test]
     fn cache_avoids_reexecution() {
         let (maya, template) = fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let mut sched = TrialScheduler::new(&obj).with_space(small_space());
         let c = ParallelConfig::default();
         sched.evaluate(&c);
@@ -537,7 +537,7 @@ mod tests {
     #[test]
     fn distributed_optimizer_tactic_skips() {
         let (maya, template) = fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let mut sched = TrialScheduler::new(&obj).with_space(small_space());
         let base = ParallelConfig {
             tp: 2,
@@ -559,7 +559,7 @@ mod tests {
         // Make it OOM even with recompute: too-large model for 1 GPU.
         template.model = ModelSpec::gpt3_2_7b();
         template.global_batch = 256;
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let mut sched = TrialScheduler::new(&obj).with_space(small_space());
         let recomp = ParallelConfig {
             activation_recompute: true,
@@ -575,7 +575,7 @@ mod tests {
     #[test]
     fn grid_search_finds_a_best_config() {
         let (maya, template) = fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let sched = TrialScheduler::new(&obj).with_space(small_space());
         let result = sched.run_grid();
         let (best, outcome) = result.best.expect("some config completes");
@@ -591,7 +591,7 @@ mod tests {
     #[test]
     fn cma_search_matches_grid_within_tolerance() {
         let (maya, template) = fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let grid = TrialScheduler::new(&obj)
             .with_space(small_space())
             .run_grid();
@@ -623,22 +623,22 @@ mod tests {
     #[test]
     fn batched_search_identical_to_sequential() {
         let cluster = ClusterSpec::h100(1, 4);
-        let seq_maya = Maya::with_oracle(EmulationSpec::new(cluster));
-        let par_maya = Maya::with_oracle(EmulationSpec {
-            emulation_threads: 4,
-            ..EmulationSpec::new(cluster)
-        });
+        let seq_maya = MayaBuilder::new(cluster).build().unwrap();
+        let par_maya = MayaBuilder::new(cluster)
+            .emulation_threads(4)
+            .build()
+            .unwrap();
         let template = fixture().1;
         for kind in [
             AlgorithmKind::Random,
             AlgorithmKind::CmaEs,
             AlgorithmKind::Grid,
         ] {
-            let seq_obj = Objective::new(&seq_maya, template);
+            let seq_obj = Objective::new(seq_maya.engine(), template);
             let seq = TrialScheduler::new(&seq_obj)
                 .with_space(small_space())
                 .run(kind, 60, 9);
-            let par_obj = Objective::new(&par_maya, template);
+            let par_obj = Objective::new(par_maya.engine(), template);
             let par = TrialScheduler::new(&par_obj)
                 .with_space(small_space())
                 .with_batch(8)
@@ -651,17 +651,17 @@ mod tests {
     #[test]
     fn batched_grid_identical_to_sequential_grid() {
         let cluster = ClusterSpec::h100(1, 4);
-        let seq_maya = Maya::with_oracle(EmulationSpec::new(cluster));
-        let par_maya = Maya::with_oracle(EmulationSpec {
-            emulation_threads: 4,
-            ..EmulationSpec::new(cluster)
-        });
+        let seq_maya = MayaBuilder::new(cluster).build().unwrap();
+        let par_maya = MayaBuilder::new(cluster)
+            .emulation_threads(4)
+            .build()
+            .unwrap();
         let template = fixture().1;
-        let seq_obj = Objective::new(&seq_maya, template);
+        let seq_obj = Objective::new(seq_maya.engine(), template);
         let seq = TrialScheduler::new(&seq_obj)
             .with_space(small_space())
             .run_grid();
-        let par_obj = Objective::new(&par_maya, template);
+        let par_obj = Objective::new(par_maya.engine(), template);
         let par = TrialScheduler::new(&par_obj)
             .with_space(small_space())
             .with_batch(6)
@@ -672,17 +672,17 @@ mod tests {
     #[test]
     fn batched_early_stop_fires_at_the_same_trial() {
         let cluster = ClusterSpec::h100(1, 4);
-        let seq_maya = Maya::with_oracle(EmulationSpec::new(cluster));
-        let par_maya = Maya::with_oracle(EmulationSpec {
-            emulation_threads: 4,
-            ..EmulationSpec::new(cluster)
-        });
+        let seq_maya = MayaBuilder::new(cluster).build().unwrap();
+        let par_maya = MayaBuilder::new(cluster)
+            .emulation_threads(4)
+            .build()
+            .unwrap();
         let template = fixture().1;
-        let seq_obj = Objective::new(&seq_maya, template);
+        let seq_obj = Objective::new(seq_maya.engine(), template);
         let mut seq_sched = TrialScheduler::new(&seq_obj).with_space(small_space());
         seq_sched.early_stop_patience = Some(5);
         let seq = seq_sched.run(AlgorithmKind::Random, 10_000, 3);
-        let par_obj = Objective::new(&par_maya, template);
+        let par_obj = Objective::new(par_maya.engine(), template);
         let mut par_sched = TrialScheduler::new(&par_obj)
             .with_space(small_space())
             .with_batch(8);
@@ -695,7 +695,7 @@ mod tests {
     #[test]
     fn early_stopping_fires_on_small_spaces() {
         let (maya, template) = fixture();
-        let obj = Objective::new(&maya, template);
+        let obj = Objective::new(maya.engine(), template);
         let mut sched = TrialScheduler::new(&obj).with_space(small_space());
         sched.early_stop_patience = Some(5);
         let result = sched.run(AlgorithmKind::Random, 10_000, 3);

@@ -1,0 +1,336 @@
+//! Maya-Serve: one coherent front door for many clients and many
+//! clusters.
+//!
+//! The rest of the workspace turns a single `(cluster, estimator)` pair
+//! into predictions; this crate turns that into a *service*. Clients
+//! submit typed [`Request`]s — [`Request::Predict`],
+//! [`Request::Search`], [`Request::Measure`] — against **named cluster
+//! targets**, and get back a uniform [`Response`] carrying the result
+//! plus [`Telemetry`] (queue wait, engine cache counters, stage
+//! timings).
+//!
+//! Internally:
+//!
+//! - an [`EngineRegistry`] lazily builds and multiplexes **one
+//!   [`maya::PredictionEngine`] per distinct [`maya::EmulationSpec`],
+//!   one estimator + memo cache per distinct cluster** — concurrent
+//!   clients targeting the same cluster share a single estimator memo
+//!   (even when their pipeline knobs differ), so one tenant's trials
+//!   warm every tenant's cache, and the expensive estimator build runs
+//!   once per cluster;
+//! - a **bounded admission queue** fans requests over one shared pool
+//!   of worker threads (instead of a pool per engine): [`MayaService::submit`]
+//!   blocks when the queue is full, [`MayaService::try_submit`] sheds
+//!   load with [`ServeError::Overloaded`];
+//! - optional **memo snapshots** (`CachingEstimator::snapshot` /
+//!   `restore` under the hood) warm-start every target from
+//!   `<dir>/<target>.memo` and persist what the process learned —
+//!   a restarted service answers a repeated workload with zero
+//!   estimator-cache misses.
+//!
+//! Determinism carries through from the engine: a response is
+//! byte-identical to driving the [`maya::PredictionEngine`] directly.
+//!
+//! ```
+//! use maya::EmulationSpec;
+//! use maya_hw::ClusterSpec;
+//! use maya_serve::{MayaService, Request};
+//! use maya_torchlet::TrainingJob;
+//!
+//! let service = MayaService::builder()
+//!     .target("h100-1", EmulationSpec::new(ClusterSpec::h100(1, 1)))
+//!     .build()
+//!     .unwrap();
+//! let response = service
+//!     .call(Request::Predict {
+//!         target: "h100-1".into(),
+//!         jobs: vec![TrainingJob::smoke()],
+//!     })
+//!     .unwrap();
+//! let predictions = response.predictions().unwrap();
+//! assert!(predictions[0].as_ref().unwrap().report().is_some());
+//! ```
+
+pub mod error;
+pub mod registry;
+pub mod request;
+pub mod service;
+
+pub use error::ServeError;
+pub use registry::EngineRegistry;
+pub use request::{MeasureOutcome, Payload, Request, Response, Telemetry};
+pub use service::{MayaService, ResponseHandle, ServiceBuilder, ServiceStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya::EmulationSpec;
+    use maya_hw::ClusterSpec;
+    use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+    use maya_trace::Dtype;
+
+    fn job(world: u32) -> TrainingJob {
+        TrainingJob {
+            model: ModelSpec::gpt3_125m(),
+            parallel: ParallelConfig::default(),
+            flavor: FrameworkFlavor::Megatron,
+            compile: false,
+            global_batch: 8 * world,
+            world,
+            gpus_per_node: 8,
+            precision: Dtype::Bf16,
+            iterations: 1,
+        }
+    }
+
+    fn predict(target: &str, world: u32) -> Request {
+        Request::Predict {
+            target: target.into(),
+            jobs: vec![job(world)],
+        }
+    }
+
+    #[test]
+    fn equal_spec_targets_share_one_cache() {
+        let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
+        let service = MayaService::builder()
+            .target("tenant-a", spec)
+            .target("tenant-b", spec)
+            .workers(2)
+            .build()
+            .unwrap();
+
+        let first = service.call(predict("tenant-a", 2)).unwrap();
+        assert!(first.telemetry.cache_delta.misses > 0, "cold cache misses");
+        let after_first = service.cache_stats("tenant-a").unwrap();
+
+        // The other tenant's identical workload is answered entirely
+        // from the shared memo: not one new miss.
+        let second = service.call(predict("tenant-b", 2)).unwrap();
+        assert_eq!(second.telemetry.cache_delta.misses, 0, "shared cache");
+        assert!(second.telemetry.cache_delta.hits > 0);
+        assert_eq!(
+            service.cache_stats("tenant-b").unwrap().misses,
+            after_first.misses,
+            "tenant-b sees tenant-a's cache"
+        );
+        assert_eq!(service.stats().engines_built, 1);
+    }
+
+    #[test]
+    fn same_cluster_knob_variants_share_the_memo_but_not_the_engine() {
+        let base = EmulationSpec::new(ClusterSpec::h100(1, 2));
+        let service = MayaService::builder()
+            .target("plain", base)
+            .target("no-dedup", base.with_dedup(false))
+            .build()
+            .unwrap();
+        let a = service.call(predict("plain", 2)).unwrap();
+        let b = service.call(predict("no-dedup", 2)).unwrap();
+        assert!(a.telemetry.cache_delta.misses > 0);
+        assert_eq!(
+            b.telemetry.cache_delta.misses, 0,
+            "same cluster: pipeline knobs must not fragment the memo"
+        );
+        assert_eq!(service.stats().engines_built, 2, "but engines differ");
+    }
+
+    #[test]
+    fn distinct_cluster_targets_do_not_share() {
+        let service = MayaService::builder()
+            .target("h100", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .target("a40", EmulationSpec::new(ClusterSpec::a40(1, 2)))
+            .build()
+            .unwrap();
+        let a = service.call(predict("h100", 2)).unwrap();
+        let b = service.call(predict("a40", 2)).unwrap();
+        assert!(a.telemetry.cache_delta.misses > 0);
+        assert!(
+            b.telemetry.cache_delta.misses > 0,
+            "different clusters must never share answers"
+        );
+        assert_eq!(service.stats().engines_built, 2);
+    }
+
+    #[test]
+    fn response_matches_direct_engine_call() {
+        let spec = EmulationSpec::new(ClusterSpec::h100(1, 4));
+        let service = MayaService::builder()
+            .target("h100-4", spec)
+            .build()
+            .unwrap();
+        let resp = service
+            .call(Request::Predict {
+                target: "h100-4".into(),
+                jobs: vec![job(4)],
+            })
+            .unwrap();
+        let via_service = resp.predictions().unwrap()[0].as_ref().unwrap();
+
+        let direct_engine = maya::MayaBuilder::new(ClusterSpec::h100(1, 4)).build_engine();
+        let direct = direct_engine.predict_job(&job(4)).unwrap();
+        assert_eq!(via_service.iteration_time(), direct.iteration_time());
+        assert_eq!(via_service.workers_simulated, direct.workers_simulated);
+        assert_eq!(via_service.trace_events, direct.trace_events);
+        assert_eq!(resp.kind, "predict");
+        assert_eq!(resp.target, "h100-4");
+    }
+
+    #[test]
+    fn snapshot_round_trip_warm_starts_a_second_service() {
+        let dir = std::env::temp_dir().join(format!("maya-serve-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
+
+        let first = MayaService::builder()
+            .target("h100-2", spec)
+            .snapshot_dir(&dir)
+            .build()
+            .unwrap();
+        first.call(predict("h100-2", 2)).unwrap();
+        assert_eq!(first.persist_snapshots().unwrap(), 1);
+        drop(first);
+
+        let second = MayaService::builder()
+            .target("h100-2", spec)
+            .snapshot_dir(&dir)
+            .build()
+            .unwrap();
+        let resp = second.call(predict("h100-2", 2)).unwrap();
+        assert_eq!(
+            resp.telemetry.cache.misses, 0,
+            "restored service must answer the repeated workload from the snapshot"
+        );
+        assert!(resp.telemetry.cache.hits > 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixed_custom_estimator_cannot_span_clusters() {
+        use maya::EstimatorChoice;
+        use maya_estimator::OracleEstimator;
+        use std::sync::Arc;
+
+        let h100 = ClusterSpec::h100(1, 2);
+        let fixed = EstimatorChoice::Custom(Arc::new(OracleEstimator::new(&h100)));
+
+        // One cluster (even via several targets): fine.
+        assert!(MayaService::builder()
+            .target("a", EmulationSpec::new(h100))
+            .target("b", EmulationSpec::new(h100).with_dedup(false))
+            .estimator(fixed.clone())
+            .build()
+            .is_ok());
+
+        // Two distinct clusters: the fixed instance would silently
+        // serve H100 timings for the A40 — rejected at build.
+        let err = MayaService::builder()
+            .target("h100", EmulationSpec::new(h100))
+            .target("a40", EmulationSpec::new(ClusterSpec::a40(1, 2)))
+            .estimator(fixed)
+            .build()
+            .err();
+        assert!(
+            matches!(err, Some(ServeError::CustomEstimatorSpansClusters)),
+            "{err:?}"
+        );
+
+        // The factory form is the multi-cluster-safe escape hatch.
+        let factory = EstimatorChoice::Factory {
+            label: "oracle-per-cluster".into(),
+            make: Arc::new(|cluster| Arc::new(OracleEstimator::new(cluster))),
+        };
+        let service = MayaService::builder()
+            .target("h100", EmulationSpec::new(h100))
+            .target("a40", EmulationSpec::new(ClusterSpec::a40(1, 2)))
+            .estimator(factory)
+            .build()
+            .unwrap();
+        assert!(service.call(predict("a40", 2)).is_ok());
+    }
+
+    #[test]
+    fn unknown_target_rejected_at_submission() {
+        let service = MayaService::builder()
+            .target("known", EmulationSpec::new(ClusterSpec::h100(1, 1)))
+            .build()
+            .unwrap();
+        let err = service.submit(predict("unknown", 1)).err().unwrap();
+        assert!(matches!(err, ServeError::UnknownTarget(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_and_empty_target_sets_rejected() {
+        let spec = EmulationSpec::new(ClusterSpec::h100(1, 1));
+        assert!(matches!(
+            MayaService::builder().build().err(),
+            Some(ServeError::NoTargets)
+        ));
+        assert!(matches!(
+            MayaService::builder()
+                .target("x", spec)
+                .target("x", spec)
+                .build()
+                .err(),
+            Some(ServeError::DuplicateTarget(_))
+        ));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_load_and_still_answers_admitted_requests() {
+        let service = MayaService::builder()
+            .target("h100-2", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .queue_capacity(1)
+            .build()
+            .unwrap();
+        // Flood far faster than one worker can drain a 1-slot queue:
+        // predictions take milliseconds, try_submit takes microseconds.
+        let mut handles = Vec::new();
+        let mut shed = 0;
+        for _ in 0..64 {
+            match service.try_submit(predict("h100-2", 2)) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(
+            shed > 0,
+            "a 1-slot queue must shed some of 64 instant submits"
+        );
+        assert!(!handles.is_empty(), "admission accepted some requests");
+        for h in handles {
+            let resp = h.wait().unwrap();
+            assert!(resp.predictions().unwrap()[0].is_ok());
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_new_submissions() {
+        let mut service = MayaService::builder()
+            .target("h100-1", EmulationSpec::new(ClusterSpec::h100(1, 1)))
+            .build()
+            .unwrap();
+        service.shutdown();
+        assert!(matches!(
+            service.submit(predict("h100-1", 1)).err(),
+            Some(ServeError::Stopped)
+        ));
+    }
+
+    #[test]
+    fn telemetry_reports_queue_wait_and_stage_timings() {
+        let service = MayaService::builder()
+            .target("h100-1", EmulationSpec::new(ClusterSpec::h100(1, 1)))
+            .build()
+            .unwrap();
+        let resp = service.call(predict("h100-1", 1)).unwrap();
+        let t = &resp.telemetry;
+        assert!(t.service_time >= t.stages.total() - t.stages.emulation);
+        assert!(t.stages.simulation > std::time::Duration::ZERO);
+        assert!(t.cache.hits + t.cache.misses > 0);
+        assert_eq!(service.stats().served, 1);
+    }
+}

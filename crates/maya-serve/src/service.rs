@@ -1,0 +1,523 @@
+//! [`MayaService`]: the multi-tenant front door.
+//!
+//! Clients submit typed [`Request`]s against named cluster targets; a
+//! bounded admission queue fans them over one shared pool of worker
+//! threads. Each worker resolves the target's [`EmulationSpec`] through
+//! the [`EngineRegistry`], so concurrent clients of the same cluster
+//! shape share a single prediction engine — and its estimator memo —
+//! instead of each owning a pool and a cold cache.
+//!
+//! Every pipeline stage is deterministic and the memo caches pure
+//! functions, so a response is byte-identical to calling the engine
+//! directly; the service adds multiplexing, admission control and
+//! telemetry, never different answers.
+//!
+//! With a snapshot directory configured, engines warm-start from
+//! `<dir>/<target>.memo` at build and [`MayaService::persist_snapshots`]
+//! writes the current memos back — the restart story for a long-running
+//! deployment.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use maya::{EmulationSpec, EstimatorChoice, PredictionEngine, StageTimings};
+use maya_estimator::CacheStats;
+use maya_search::{Objective, TrialScheduler};
+
+use crate::error::ServeError;
+use crate::registry::EngineRegistry;
+use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
+
+/// One queued unit of work.
+struct Work {
+    req: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by the service handle and its workers.
+struct Shared {
+    registry: EngineRegistry,
+    targets: HashMap<String, EmulationSpec>,
+    served: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// Configures and builds a [`MayaService`].
+pub struct ServiceBuilder {
+    targets: Vec<(String, EmulationSpec)>,
+    estimator: EstimatorChoice,
+    workers: usize,
+    queue_capacity: usize,
+    snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            targets: Vec::new(),
+            estimator: EstimatorChoice::Oracle,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            queue_capacity: 64,
+            snapshot_dir: None,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Empty builder: oracle estimator, pool sized to the machine,
+    /// 64-slot admission queue.
+    pub fn new() -> Self {
+        ServiceBuilder::default()
+    }
+
+    /// Registers a named cluster target. Targets with *equal* specs
+    /// share one engine (and memo cache); names must be unique.
+    pub fn target(mut self, name: impl Into<String>, spec: EmulationSpec) -> Self {
+        self.targets.push((name.into(), spec));
+        self
+    }
+
+    /// Sets the estimator choice, instantiated once per distinct
+    /// cluster. [`EstimatorChoice::Custom`] is a single fixed instance
+    /// and is therefore rejected at build time when targets span more
+    /// than one distinct cluster — use [`EstimatorChoice::Factory`]
+    /// for multi-cluster services with bespoke estimators.
+    pub fn estimator(mut self, choice: EstimatorChoice) -> Self {
+        self.estimator = choice;
+        self
+    }
+
+    /// Sets the shared worker-pool size (min 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the bounded admission-queue capacity (min 1). When full,
+    /// [`MayaService::submit`] blocks and
+    /// [`MayaService::try_submit`] returns [`ServeError::Overloaded`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Arms per-target memo snapshots under `dir`: engines warm-start
+    /// from `<dir>/<target>.memo` when present, and
+    /// [`MayaService::persist_snapshots`] writes back there.
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Builds the service and spawns its worker pool.
+    pub fn build(self) -> Result<MayaService, ServeError> {
+        if self.targets.is_empty() {
+            return Err(ServeError::NoTargets);
+        }
+        let mut targets = HashMap::new();
+        for (name, spec) in self.targets {
+            if targets.insert(name.clone(), spec).is_some() {
+                return Err(ServeError::DuplicateTarget(name));
+            }
+        }
+        if !self.estimator.is_cluster_aware() {
+            let distinct: std::collections::HashSet<_> =
+                targets.values().map(|s| s.cluster).collect();
+            if distinct.len() > 1 {
+                return Err(ServeError::CustomEstimatorSpansClusters);
+            }
+        }
+        let registry = EngineRegistry::new(self.estimator);
+        if let Some(dir) = &self.snapshot_dir {
+            for (name, spec) in &targets {
+                let path = snapshot_file(dir, name);
+                if path.exists() {
+                    // The scope check rejects a memo written under a
+                    // different cluster or estimator configuration —
+                    // e.g. a target whose spec changed across restarts.
+                    let scope = registry.estimator_choice().memo_scope(&spec.cluster);
+                    registry.engine(spec).cache().load_snapshot(&path, &scope)?;
+                }
+            }
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            targets,
+            served: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Work>(self.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..self.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("maya-serve-{idx}"))
+                    .spawn(move || worker_loop(idx, &shared, &rx))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Ok(MayaService {
+            shared,
+            tx: Some(tx),
+            workers,
+            queue_capacity: self.queue_capacity,
+            snapshot_dir: self.snapshot_dir,
+        })
+    }
+}
+
+/// Snapshot path for one target.
+///
+/// The escaping is injective even on case-insensitive filesystems
+/// (macOS/Windows defaults): ASCII lowercase, digits and `-` pass
+/// through, every other byte — uppercase included, plus `_`, the
+/// escape introducer — becomes lowercase `_xx` hex. Distinct target
+/// names can therefore never collide on one file and cross-wire their
+/// memos.
+fn snapshot_file(dir: &Path, target: &str) -> PathBuf {
+    let mut safe = String::with_capacity(target.len());
+    for b in target.bytes() {
+        match b {
+            b'a'..=b'z' | b'0'..=b'9' | b'-' => safe.push(b as char),
+            _ => {
+                use std::fmt::Write;
+                write!(safe, "_{b:02x}").expect("write to String");
+            }
+        }
+    }
+    dir.join(format!("{safe}.memo"))
+}
+
+fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<Work>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let work = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        let Ok(work) = work else {
+            break; // service dropped the sender: shut down
+        };
+        // A panicking request must not kill the worker (the pool would
+        // silently shrink and later requests would hang in the queue):
+        // catch it, drop the reply sender so the waiting client gets
+        // `ServeError::Stopped` instead of blocking forever, and keep
+        // serving.
+        let enqueued = work.enqueued;
+        let reply = work.reply;
+        let req = work.req;
+        let label = format!("{} on {:?}", req.kind(), req.target());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(idx, shared, req, enqueued)
+        }));
+        match result {
+            // A dropped reply receiver just means the client lost interest.
+            Ok(response) => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(response);
+            }
+            Err(panic) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                eprintln!("[maya-serve] worker {idx}: request {label} panicked: {msg}");
+                drop(reply);
+            }
+        }
+    }
+}
+
+/// Runs one request against its target's engine.
+fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> Response {
+    // Queue wait ends the moment a worker picks the request up; the
+    // (possibly expensive, first-use) lazy engine build that follows
+    // is counted as service time, not congestion.
+    let queue_wait = enqueued.elapsed();
+    let started = Instant::now();
+    // Target existence was validated at submit.
+    let spec = shared.targets[req.target()];
+    let engine = shared.registry.engine(&spec);
+    let cache_before = engine.cache_stats();
+    let target = req.target().to_string();
+    let kind = req.kind();
+    let (payload, stages) = match req {
+        Request::Predict { jobs, .. } => {
+            let results = engine.predict_batch(&jobs);
+            let mut stages = StageTimings::default();
+            for p in results.iter().flatten() {
+                stages.emulation += p.timings.emulation;
+                stages.collation += p.timings.collation;
+                stages.estimation += p.timings.estimation;
+                stages.simulation += p.timings.simulation;
+            }
+            (Payload::Predict(results), stages)
+        }
+        Request::Search {
+            template,
+            space,
+            algorithm,
+            budget,
+            seed,
+            ..
+        } => {
+            let objective = Objective::new(&engine, template);
+            let result = TrialScheduler::new(&objective)
+                .with_space(space)
+                .run_batched(algorithm, budget, seed);
+            (Payload::Search(Box::new(result)), StageTimings::default())
+        }
+        Request::Measure { job, .. } => {
+            let outcome = engine.measure_actual(&job).map(|inner| match inner {
+                Ok(m) => MeasureOutcome::Completed(m),
+                Err(peak_bytes) => MeasureOutcome::OutOfMemory { peak_bytes },
+            });
+            (Payload::Measure(outcome), StageTimings::default())
+        }
+    };
+    let service_time = started.elapsed();
+    let cache = engine.cache_stats();
+    Response {
+        target,
+        kind,
+        telemetry: Telemetry {
+            queue_wait,
+            service_time,
+            worker,
+            cache,
+            cache_delta: CacheStats {
+                hits: cache.hits - cache_before.hits,
+                misses: cache.misses - cache_before.misses,
+            },
+            stages,
+        },
+        payload,
+    }
+}
+
+/// A pending response; redeem it with [`ResponseHandle::wait`].
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the service answers.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Stopped)
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// Requests fully served (responses produced).
+    pub served: u64,
+    /// Requests that panicked during execution (no response; the
+    /// client's `wait` returned [`ServeError::Stopped`], and the panic
+    /// message went to stderr).
+    pub panicked: u64,
+    /// Engines built by the registry so far.
+    pub engines_built: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+}
+
+/// The multi-tenant prediction service (see module docs).
+pub struct MayaService {
+    shared: Arc<Shared>,
+    tx: Option<mpsc::SyncSender<Work>>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+    snapshot_dir: Option<PathBuf>,
+}
+
+impl MayaService {
+    /// Starts configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    fn sender(&self) -> Result<&mpsc::SyncSender<Work>, ServeError> {
+        self.tx.as_ref().ok_or(ServeError::Stopped)
+    }
+
+    /// Submits a request, blocking while the admission queue is full.
+    /// Returns a handle the caller redeems for the [`Response`].
+    pub fn submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
+        if !self.shared.targets.contains_key(req.target()) {
+            return Err(ServeError::UnknownTarget(req.target().to_string()));
+        }
+        let (reply, rx) = mpsc::channel();
+        self.sender()?
+            .send(Work {
+                req,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .map_err(|_| ServeError::Stopped)?;
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Non-blocking submit: fails with [`ServeError::Overloaded`] when
+    /// the admission queue is full.
+    pub fn try_submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
+        if !self.shared.targets.contains_key(req.target()) {
+            return Err(ServeError::UnknownTarget(req.target().to_string()));
+        }
+        let (reply, rx) = mpsc::channel();
+        self.sender()?
+            .try_send(Work {
+                req,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .map_err(|e| match e {
+                mpsc::TrySendError::Full(_) => ServeError::Overloaded,
+                mpsc::TrySendError::Disconnected(_) => ServeError::Stopped,
+            })?;
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Submit + wait in one call.
+    pub fn call(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Registered target names (sorted).
+    pub fn targets(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.targets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The spec a target resolves to.
+    pub fn target_spec(&self, target: &str) -> Result<EmulationSpec, ServeError> {
+        self.shared
+            .targets
+            .get(target)
+            .copied()
+            .ok_or_else(|| ServeError::UnknownTarget(target.to_string()))
+    }
+
+    /// The engine serving `target`, building it if needed. Useful for
+    /// out-of-band inspection (cache stats, direct predictions in
+    /// tests); requests go through [`MayaService::submit`].
+    pub fn engine(&self, target: &str) -> Result<Arc<PredictionEngine>, ServeError> {
+        Ok(self.shared.registry.engine(&self.target_spec(target)?))
+    }
+
+    /// Memo-cache counters of `target`'s engine ([`CacheStats::default`]
+    /// when the engine has not been built yet).
+    pub fn cache_stats(&self, target: &str) -> Result<CacheStats, ServeError> {
+        let spec = self.target_spec(target)?;
+        Ok(self
+            .shared
+            .registry
+            .built_engine(&spec)
+            .map(|e| e.cache_stats())
+            .unwrap_or_default())
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            engines_built: self.shared.registry.engines_built(),
+            workers: self.workers.len(),
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    /// Writes every *built* engine's memo to the snapshot directory
+    /// (one `<target>.memo` per target; targets sharing an engine write
+    /// equal files). Returns how many files were written, or 0 when no
+    /// snapshot directory is configured.
+    pub fn persist_snapshots(&self) -> Result<usize, ServeError> {
+        let Some(dir) = &self.snapshot_dir else {
+            return Ok(0);
+        };
+        let mut written = 0;
+        for (name, spec) in &self.shared.targets {
+            if let Some(engine) = self.shared.registry.built_engine(spec) {
+                let scope = self
+                    .shared
+                    .registry
+                    .estimator_choice()
+                    .memo_scope(&spec.cluster);
+                engine
+                    .cache()
+                    .write_snapshot(&snapshot_file(dir, name), &scope)?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Drains and stops the worker pool: queued requests are still
+    /// served, new submits fail with [`ServeError::Stopped`].
+    pub fn shutdown(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MayaService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_file_names_are_injective() {
+        let dir = Path::new("/snap");
+        // The review case: lossy '_' mapping used to collide these.
+        let pairs = [
+            ("eu/h100", "eu_h100"),
+            ("a.40", "a_40"),
+            ("x y", "x_y"),
+            ("pct%", "pct_"),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(
+                snapshot_file(dir, a),
+                snapshot_file(dir, b),
+                "{a:?} vs {b:?} must not share a memo file"
+            );
+        }
+        // Plain lowercase names stay readable.
+        assert_eq!(
+            snapshot_file(dir, "h100-node"),
+            Path::new("/snap/h100-node.memo")
+        );
+        // Case-only differences survive case-insensitive filesystems:
+        // the escaped output alphabet is all-lowercase, so comparing
+        // the lowercased paths is what APFS/NTFS would do.
+        let upper = snapshot_file(dir, "EU-node");
+        let lower = snapshot_file(dir, "eu-node");
+        assert_ne!(
+            upper.to_string_lossy().to_lowercase(),
+            lower.to_string_lossy().to_lowercase(),
+            "case-insensitive collision"
+        );
+    }
+}

@@ -17,6 +17,7 @@ pub mod event;
 pub mod json;
 pub mod kernel;
 pub mod ops;
+pub mod serdes;
 pub mod time;
 
 pub use dtype::Dtype;

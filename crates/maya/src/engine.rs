@@ -23,6 +23,7 @@ use std::time::Instant;
 use maya_collate::{collate, dedup_classes, reduce_job, unique_megatron_ranks};
 use maya_cuda::{CudaContext, CudaError};
 use maya_estimator::{CacheStats, CachingEstimator, RuntimeEstimator};
+use maya_hw::{GroundTruthExecutor, Measurement};
 use maya_sim::simulate;
 use maya_torchlet::{FrameworkFlavor, RankTopology, TrainingJob};
 use maya_trace::{JobTrace, WorkerTrace};
@@ -50,10 +51,20 @@ impl PredictionEngine {
     /// wrapped in a [`CachingEstimator`] shared by every prediction this
     /// engine ever runs.
     pub fn new(spec: EmulationSpec, estimator: Arc<dyn RuntimeEstimator>) -> Self {
-        let cache = Arc::new(CachingEstimator::new(Arc::clone(&estimator)));
+        let cache = Arc::new(CachingEstimator::new(estimator));
+        PredictionEngine::with_shared_cache(spec, cache)
+    }
+
+    /// Builds an engine over an *existing* memo cache (and the
+    /// estimator inside it). Estimator answers are pure functions of
+    /// the query key and the cluster, so engines whose specs differ
+    /// only in pipeline knobs (dedup, selective launch, thread count)
+    /// can share one memo — `maya-serve`'s registry uses this to give
+    /// every engine on the same cluster the same warm cache.
+    pub fn with_shared_cache(spec: EmulationSpec, cache: Arc<CachingEstimator>) -> Self {
         PredictionEngine {
             spec,
-            base: estimator,
+            base: Arc::clone(cache.inner()),
             cache,
         }
     }
@@ -262,10 +273,12 @@ impl PredictionEngine {
         // Estimation pre-pass: warm the shared memo cache with every
         // kernel and memcpy duration the simulator is about to ask for.
         // The work is attributed to `StageTimings::estimation` (Table 6 /
-        // Fig. 13); the simulator's own queries then hit the cache, so
-        // `simulation` measures pure discrete-event scheduling. Across
-        // trials the cache persists — a warm search loop pays estimation
-        // cost only for shapes it has never seen.
+        // Fig. 13); the simulator's kernel/memcpy queries then hit the
+        // cache. Collective queries resolve during simulation (their
+        // participant sets are only known during replay) but are
+        // memoized there too. Across trials the cache persists — a warm
+        // search loop pays estimation cost only for shapes it has never
+        // seen.
         let t2 = Instant::now();
         let est: &dyn RuntimeEstimator = self.cache.as_ref();
         for w in &reduced.workers {
@@ -299,6 +312,37 @@ impl PredictionEngine {
             workers_simulated: reduced.workers.len(),
             trace_events: reduced.total_events(),
         })
+    }
+
+    /// Runs the job on the ground-truth testbed (the stand-in for "actual
+    /// deployment" measurements). Emulates *all* ranks — real hardware
+    /// cannot deduplicate workers. The outer `Result` carries pipeline
+    /// errors; the inner `Err(peak_bytes)` reports an actual OOM.
+    pub fn measure_actual(&self, job: &TrainingJob) -> Result<Result<Measurement, u64>, MayaError> {
+        job.validate()?;
+        if job.world != self.spec.cluster.num_gpus() {
+            return Err(MayaError::WorldMismatch {
+                job: job.world,
+                cluster: self.spec.cluster.num_gpus(),
+            });
+        }
+        let ranks: Vec<u32> = (0..job.world).collect();
+        let traced = self.trace_workload(&ranks, |rank, ctx| job.run_worker(rank, ctx));
+        let mut workers = Vec::with_capacity(traced.len());
+        for (trace, res) in traced {
+            match res {
+                Ok(()) => workers.push(trace),
+                Err(CudaError::MemoryAllocation { .. }) => {
+                    let peak = trace.summary.peak_mem_bytes;
+                    return Ok(Err(peak));
+                }
+                Err(e) => return Err(MayaError::Device(e)),
+            }
+        }
+        let job_trace = collate(workers, job.world)?;
+        let executor = GroundTruthExecutor::default();
+        let m = executor.run(&job_trace, &self.spec.cluster)?;
+        Ok(Ok(m))
     }
 
     /// Predicts a batch of independent jobs, fanning across the spec's
@@ -349,7 +393,7 @@ impl PredictionEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::Maya;
+    use crate::builder::MayaBuilder;
     use maya_hw::ClusterSpec;
     use maya_torchlet::{ModelSpec, ParallelConfig};
     use maya_trace::Dtype;
@@ -370,12 +414,11 @@ mod tests {
 
     #[test]
     fn batch_matches_per_job_predictions() {
-        let spec = EmulationSpec {
-            emulation_threads: 4,
-            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
-        };
-        let batched = Maya::with_oracle(spec);
-        let sequential = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 4)));
+        let batched = MayaBuilder::new(ClusterSpec::h100(1, 4))
+            .emulation_threads(4)
+            .build()
+            .unwrap();
+        let sequential = MayaBuilder::new(ClusterSpec::h100(1, 4)).build().unwrap();
         let jobs: Vec<TrainingJob> = [
             ParallelConfig::default(),
             ParallelConfig {
@@ -420,11 +463,10 @@ mod tests {
 
     #[test]
     fn batch_reports_errors_positionally() {
-        let spec = EmulationSpec {
-            emulation_threads: 2,
-            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
-        };
-        let maya = Maya::with_oracle(spec);
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 4))
+            .emulation_threads(2)
+            .build()
+            .unwrap();
         let good = job(4, ParallelConfig::default(), 8);
         let bad = job(2, ParallelConfig::default(), 8); // world mismatch
         let out = maya.predict_batch(&[good, bad, good]);
@@ -435,7 +477,7 @@ mod tests {
 
     #[test]
     fn repeated_predictions_hit_the_shared_cache() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
         let j = job(1, ParallelConfig::default(), 8);
         maya.predict_job(&j).unwrap();
         let after_first = maya.engine().cache_stats();
@@ -455,7 +497,7 @@ mod tests {
         // already in the memo: hits >= misses on the very first run
         // (each unique shape missed once in the warm pass, then hit at
         // least once when simulated).
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
         maya.predict_job(&job(1, ParallelConfig::default(), 8))
             .unwrap();
         let st = maya.engine().cache_stats();
@@ -467,7 +509,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_empty() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
         assert!(maya.predict_batch(&[]).is_empty());
     }
 }

@@ -23,6 +23,8 @@ pub enum MayaError {
         /// GPUs the cluster has.
         cluster: u32,
     },
+    /// Reading or writing an estimator memo snapshot failed.
+    Snapshot(maya_estimator::SnapshotError),
 }
 
 impl fmt::Display for MayaError {
@@ -36,6 +38,7 @@ impl fmt::Display for MayaError {
             MayaError::WorldMismatch { job, cluster } => {
                 write!(f, "job wants {job} ranks but cluster has {cluster} GPUs")
             }
+            MayaError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -63,6 +66,12 @@ impl From<maya_sim::SimError> for MayaError {
 impl From<maya_hw::ExecError> for MayaError {
     fn from(e: maya_hw::ExecError) -> Self {
         MayaError::Exec(e)
+    }
+}
+
+impl From<maya_estimator::SnapshotError> for MayaError {
+    fn from(e: maya_estimator::SnapshotError) -> Self {
+        MayaError::Snapshot(e)
     }
 }
 

@@ -28,21 +28,33 @@
 //! # Examples
 //!
 //! ```
-//! use maya::{EmulationSpec, Maya};
+//! use maya::MayaBuilder;
 //! use maya_hw::ClusterSpec;
 //! use maya_torchlet::TrainingJob;
 //!
-//! let cluster = ClusterSpec::h100(1, 1);
-//! let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+//! let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
 //! let job = TrainingJob::smoke();
 //! let prediction = maya.predict_job(&job).unwrap();
 //! assert!(prediction.report().is_some());
 //! ```
+//!
+//! Construction goes through [`MayaBuilder`] — estimator choice
+//! ([`builder::EstimatorChoice`]), spec knobs, and an optional
+//! warm-start snapshot path. The pre-0.2 constructors
+//! (`Maya::with_oracle` / `with_estimator` / `train`) remain as
+//! deprecated shims for one release.
+//!
+//! For serving many clients against many cluster targets from one
+//! process, see the `maya-serve` crate: it multiplexes
+//! [`PredictionEngine`]s per [`EmulationSpec`] behind a typed
+//! request/response API.
 
+pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod pipeline;
 
+pub use builder::{EstimatorChoice, EstimatorFactory, MayaBuilder};
 pub use engine::PredictionEngine;
 pub use error::MayaError;
 pub use pipeline::{EmulationSpec, Maya, PredictOutcome, Prediction, StageTimings};

@@ -3,10 +3,9 @@
 
 use std::sync::Arc;
 
-use maya_collate::collate;
 use maya_cuda::{CudaContext, CudaError};
 use maya_estimator::{ForestEstimator, OracleEstimator, ProfileScale, RuntimeEstimator};
-use maya_hw::{ClusterSpec, GroundTruthExecutor, Measurement};
+use maya_hw::{ClusterSpec, Measurement};
 use maya_sim::SimReport;
 use maya_torchlet::TrainingJob;
 use maya_trace::{JobTrace, SimTime, WorkerTrace};
@@ -15,7 +14,27 @@ use crate::engine::PredictionEngine;
 use crate::error::MayaError;
 
 /// How the virtual runtime is configured ("Emulation Spec" in Figure 5).
-#[derive(Clone, Copy, Debug)]
+///
+/// Derives `Eq`/`Hash` (cluster specs compare float bit patterns) so a
+/// spec can key an engine registry: `maya-serve` multiplexes one
+/// [`PredictionEngine`] per distinct spec, and two clients submitting
+/// equal specs share one memo cache.
+///
+/// Prefer the `with_*` setters over struct-literal updates — they keep
+/// working when new knobs are added (the struct is headed for
+/// `#[non_exhaustive]` once the workspace stops constructing it
+/// literally):
+///
+/// ```
+/// use maya::EmulationSpec;
+/// use maya_hw::ClusterSpec;
+///
+/// let spec = EmulationSpec::new(ClusterSpec::h100(1, 8))
+///     .with_selective_launch(true)
+///     .with_emulation_threads(4);
+/// assert!(spec.dedup && spec.selective_launch);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EmulationSpec {
     /// Target cluster (device type, nodes, interconnects).
     pub cluster: ClusterSpec,
@@ -52,6 +71,24 @@ impl EmulationSpec {
             emulation_threads: 1,
         }
     }
+
+    /// Enables/disables dynamic worker deduplication (§4.2).
+    pub fn with_dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
+
+    /// Enables/disables Megatron-aware selective launch (§7.4).
+    pub fn with_selective_launch(mut self, on: bool) -> Self {
+        self.selective_launch = on;
+        self
+    }
+
+    /// Sets the emulation/batch worker-thread count (min 1).
+    pub fn with_emulation_threads(mut self, threads: usize) -> Self {
+        self.emulation_threads = threads.max(1);
+        self
+    }
 }
 
 /// Wall-clock cost of each pipeline stage (Table 6, Figure 13).
@@ -62,11 +99,13 @@ pub struct StageTimings {
     /// Collation + deduplication.
     pub collation: std::time::Duration,
     /// Runtime prediction: the pre-pass that warms the engine's shared
-    /// estimator cache with every duration the simulator will ask for.
-    /// On a cache-warm engine this approaches zero — the cost was paid
-    /// by an earlier prediction.
+    /// estimator cache with every *kernel and memcpy* duration the
+    /// simulator will ask for. On a cache-warm engine this approaches
+    /// zero — the cost was paid by an earlier prediction.
     pub estimation: std::time::Duration,
-    /// Discrete-event simulation.
+    /// Discrete-event simulation. Collective durations resolve here
+    /// (their participant sets are only known during replay), though
+    /// they too are memoized across predictions.
     pub simulation: std::time::Duration,
 }
 
@@ -129,39 +168,80 @@ impl Prediction {
 
 /// The Maya virtual runtime: a thin facade over [`PredictionEngine`].
 ///
-/// Construction wires up the engine — estimator, shared memo cache,
-/// worker pool — and the predict methods delegate to it. Callers that
-/// want engine-level controls (cache stats, the cache handle itself)
-/// reach them through [`Maya::engine`].
+/// Construct it with [`MayaBuilder`](crate::MayaBuilder) — estimator
+/// choice, spec knobs and an optional warm-start snapshot in one place:
+///
+/// ```
+/// use maya::MayaBuilder;
+/// use maya_hw::ClusterSpec;
+///
+/// let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
+/// assert_eq!(maya.spec().cluster.num_gpus(), 1);
+/// ```
+///
+/// The predict methods delegate to the engine; callers that want
+/// engine-level controls (cache stats, the cache handle itself) reach
+/// them through [`Maya::engine`].
 pub struct Maya {
     engine: PredictionEngine,
+    /// Where [`Maya::persist_snapshot`] writes the estimator memo and
+    /// the compatibility scope it is stamped with, as configured by
+    /// [`MayaBuilder::snapshot_path`](crate::MayaBuilder::snapshot_path).
+    snapshot: Option<(std::path::PathBuf, String)>,
 }
 
 impl Maya {
+    pub(crate) fn from_engine(
+        engine: PredictionEngine,
+        snapshot: Option<(std::path::PathBuf, String)>,
+    ) -> Self {
+        Maya { engine, snapshot }
+    }
+
     /// Builds Maya with a caller-provided estimator.
+    #[deprecated(since = "0.2.0", note = "use MayaBuilder::new(cluster).estimator(...)")]
     pub fn with_estimator(spec: EmulationSpec, estimator: Arc<dyn RuntimeEstimator>) -> Self {
-        Maya {
-            engine: PredictionEngine::new(spec, estimator),
-        }
+        Maya::from_engine(PredictionEngine::new(spec, estimator), None)
     }
 
     /// Builds Maya with the oracle estimator (true per-op runtimes) —
     /// used for Table 3 and for fast tests.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MayaBuilder::new(cluster).with_spec(spec)"
+    )]
     pub fn with_oracle(spec: EmulationSpec) -> Self {
         let oracle = OracleEstimator::new(&spec.cluster);
-        Maya::with_estimator(spec, Arc::new(oracle))
+        Maya::from_engine(PredictionEngine::new(spec, Arc::new(oracle)), None)
     }
 
     /// Profiles the cluster and trains the default random-forest
     /// estimator (the paper's deployment path).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MayaBuilder::new(cluster).forest(scale, seed)"
+    )]
     pub fn train(spec: EmulationSpec, scale: ProfileScale, seed: u64) -> Self {
         let (est, _report) = ForestEstimator::train(&spec.cluster, scale, seed);
-        Maya::with_estimator(spec, Arc::new(est))
+        Maya::from_engine(PredictionEngine::new(spec, Arc::new(est)), None)
     }
 
     /// The underlying prediction engine.
     pub fn engine(&self) -> &PredictionEngine {
         &self.engine
+    }
+
+    /// Writes the estimator memo to the builder-configured snapshot
+    /// path so the next process can warm-start from it. Returns `false`
+    /// when no path was configured.
+    pub fn persist_snapshot(&self) -> Result<bool, MayaError> {
+        match &self.snapshot {
+            None => Ok(false),
+            Some((path, scope)) => {
+                self.engine.cache().write_snapshot(path, scope)?;
+                Ok(true)
+            }
+        }
     }
 
     /// The emulation spec in use.
@@ -203,7 +283,7 @@ impl Maya {
     }
 
     /// Predicts from an already-collated job trace (e.g. one produced by
-    /// [`Maya::trace_workload`] + [`maya_collate::collate`]).
+    /// [`Maya::trace_workload`] + [`maya_collate::collate()`]).
     pub fn predict_trace(&self, job_trace: JobTrace) -> Result<Prediction, MayaError> {
         self.engine.predict_trace(job_trace)
     }
@@ -212,36 +292,14 @@ impl Maya {
     /// deployment" measurements). Emulates *all* ranks — real hardware
     /// cannot deduplicate workers.
     pub fn measure_actual(&self, job: &TrainingJob) -> Result<Result<Measurement, u64>, MayaError> {
-        job.validate()?;
-        if job.world != self.spec().cluster.num_gpus() {
-            return Err(MayaError::WorldMismatch {
-                job: job.world,
-                cluster: self.spec().cluster.num_gpus(),
-            });
-        }
-        let ranks: Vec<u32> = (0..job.world).collect();
-        let traced = self.trace_workload(&ranks, |rank, ctx| job.run_worker(rank, ctx));
-        let mut workers = Vec::with_capacity(traced.len());
-        for (trace, res) in traced {
-            match res {
-                Ok(()) => workers.push(trace),
-                Err(CudaError::MemoryAllocation { .. }) => {
-                    let peak = trace.summary.peak_mem_bytes;
-                    return Ok(Err(peak));
-                }
-                Err(e) => return Err(MayaError::Device(e)),
-            }
-        }
-        let job_trace = collate(workers, job.world)?;
-        let executor = GroundTruthExecutor::default();
-        let m = executor.run(&job_trace, &self.spec().cluster)?;
-        Ok(Ok(m))
+        self.engine.measure_actual(job)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::MayaBuilder;
     use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig};
     use maya_trace::Dtype;
 
@@ -261,7 +319,7 @@ mod tests {
 
     #[test]
     fn single_gpu_prediction_completes() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
         let p = maya
             .predict_job(&h100_job(1, ParallelConfig::default()))
             .unwrap();
@@ -273,7 +331,7 @@ mod tests {
 
     #[test]
     fn dp_dedup_simulates_one_worker() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 4)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 4)).build().unwrap();
         let p = maya
             .predict_job(&h100_job(4, ParallelConfig::default()))
             .unwrap();
@@ -284,11 +342,10 @@ mod tests {
 
     #[test]
     fn selective_launch_emulates_stage_leaders_only() {
-        let spec = EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
-        };
-        let maya = Maya::with_oracle(spec);
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 4))
+            .selective_launch(true)
+            .build()
+            .unwrap();
         let par = ParallelConfig {
             pp: 2,
             ..Default::default()
@@ -300,7 +357,7 @@ mod tests {
 
     #[test]
     fn tp_pp_dp_job_predicts() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 8)).build().unwrap();
         let par = ParallelConfig {
             tp: 2,
             pp: 2,
@@ -316,7 +373,7 @@ mod tests {
     fn oom_is_an_outcome_not_an_error() {
         // GPT3-2.7B on a single H100 with a huge batch: no recompute, so
         // activations blow past 80 GB.
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
         let job = TrainingJob {
             model: ModelSpec::gpt3_2_7b(),
             global_batch: 64,
@@ -328,7 +385,7 @@ mod tests {
 
     #[test]
     fn recompute_rescues_oom() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 1)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
         // Recompute plus gradient accumulation (8 microbatches) keeps
         // both stored activations and the transient recompute buffer small.
         let par = ParallelConfig {
@@ -350,7 +407,7 @@ mod tests {
 
     #[test]
     fn world_mismatch_rejected() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 8)).build().unwrap();
         let err = maya
             .predict_job(&h100_job(4, ParallelConfig::default()))
             .unwrap_err();
@@ -360,7 +417,7 @@ mod tests {
     #[test]
     fn actual_measurement_close_to_oracle_prediction() {
         // The Table 3 structure: oracle prediction vs. testbed truth.
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 2)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 2)).build().unwrap();
         let par = ParallelConfig {
             tp: 2,
             ..Default::default()
@@ -380,7 +437,7 @@ mod tests {
 
     #[test]
     fn trace_workload_accepts_arbitrary_scripts() {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::a40(1, 2)));
+        let maya = MayaBuilder::new(ClusterSpec::a40(1, 2)).build().unwrap();
         let traces = maya.trace_workload(&[0, 1], |_rank, ctx| {
             let h = ctx.cublas_create();
             ctx.cublas_sgemm(h, 256, 256, 256)?;
@@ -395,8 +452,7 @@ mod tests {
 
     #[test]
     fn parallel_emulation_matches_sequential() {
-        let mut spec = EmulationSpec::new(ClusterSpec::h100(1, 4));
-        let seq_maya = Maya::with_oracle(spec);
+        let seq_maya = MayaBuilder::new(ClusterSpec::h100(1, 4)).build().unwrap();
         let job = h100_job(
             4,
             ParallelConfig {
@@ -405,11 +461,10 @@ mod tests {
             },
         );
         let p1 = seq_maya.predict_job(&job).unwrap();
-        spec = EmulationSpec {
-            emulation_threads: 4,
-            ..EmulationSpec::new(ClusterSpec::h100(1, 4))
-        };
-        let par_maya = Maya::with_oracle(spec);
+        let par_maya = MayaBuilder::new(ClusterSpec::h100(1, 4))
+            .emulation_threads(4)
+            .build()
+            .unwrap();
         let p2 = par_maya.predict_job(&job).unwrap();
         assert_eq!(
             p1.iteration_time().unwrap(),

@@ -9,7 +9,7 @@
 //! cargo run --release --example config_search
 //! ```
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::ClusterSpec;
 use maya_search::{AlgorithmKind, ConfigSpace, Objective, TrialScheduler};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -17,11 +17,10 @@ use maya_trace::Dtype;
 
 fn main() {
     let cluster = ClusterSpec::h100(1, 8);
-    let spec = EmulationSpec {
-        selective_launch: true,
-        ..EmulationSpec::new(cluster)
-    };
-    let maya = Maya::with_oracle(spec);
+    let maya = MayaBuilder::new(cluster)
+        .selective_launch(true)
+        .build()
+        .expect("builds");
 
     let template = TrainingJob {
         model: ModelSpec::gpt3_2_7b(),
@@ -34,7 +33,7 @@ fn main() {
         precision: Dtype::Bf16,
         iterations: 1,
     };
-    let objective = Objective::new(&maya, template);
+    let objective = Objective::new(maya.engine(), template);
 
     // A reduced space keeps the example snappy; drop `.with_space` to
     // search the full 1920-point Table 5 space.

@@ -10,7 +10,7 @@
 //! cargo run --release --example hyperscale
 //! ```
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::{mfu, ClusterSpec};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
@@ -25,11 +25,10 @@ fn main() {
     for dp in [2u32, 4, 8, 16] {
         let world = 8 * 8 * dp;
         let cluster = ClusterSpec::h100(world / 8, 8);
-        let spec = EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(cluster)
-        };
-        let maya = Maya::with_oracle(spec);
+        let maya = MayaBuilder::new(cluster)
+            .selective_launch(true)
+            .build()
+            .expect("builds");
         let parallel = ParallelConfig {
             tp: 8,
             pp: 8,

@@ -9,7 +9,7 @@
 //! cargo run --release --example megatron_gpt3
 //! ```
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_estimator::ProfileScale;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -18,7 +18,10 @@ use maya_trace::Dtype;
 fn main() {
     let cluster = ClusterSpec::v100(1, 8);
     println!("profiling kernels and training the random-forest estimator...");
-    let maya = Maya::train(EmulationSpec::new(cluster), ProfileScale::Test, 42);
+    let maya = MayaBuilder::new(cluster)
+        .forest(ProfileScale::Test, 42)
+        .build()
+        .expect("builds");
 
     let recipes = [
         ParallelConfig {

@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
@@ -17,10 +17,12 @@ fn main() {
     // 1. Describe the deployment: one DGX-H100 node.
     let cluster = ClusterSpec::h100(1, 8);
 
-    // 2. Build the Maya virtual runtime. `with_oracle` uses true per-op
-    //    runtimes; `Maya::train(...)` would profile + fit the random
-    //    forest instead (see the megatron_gpt3 example).
-    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    // 2. Build the Maya virtual runtime. The builder defaults to the
+    //    oracle estimator (true per-op runtimes); chain
+    //    `.forest(scale, seed)` to profile + fit the random forest
+    //    instead (see the megatron_gpt3 example), or `.snapshot_path`
+    //    to warm-start the estimator memo from a previous run.
+    let maya = MayaBuilder::new(cluster).build().expect("builds");
 
     // 3. The user workload: unmodified training code. Here, torchlet's
     //    GPT-3 125M with a Megatron-style recipe.

@@ -5,14 +5,14 @@
 //! cargo run --release --example resnet_vision
 //! ```
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
 
 fn main() {
     let cluster = ClusterSpec::a40(1, 8);
-    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    let maya = MayaBuilder::new(cluster).build().expect("builds");
 
     println!(
         "{:<30} {:>12} {:>12} {:>8}",

@@ -3,7 +3,7 @@
 //! and that selective launch therefore predicts multi-node jobs
 //! accurately (regression test for strided-group inference).
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::ClusterSpec;
 use maya_torchlet::engine::megatron_comm_groups;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -77,7 +77,7 @@ fn megatron_comm_groups_match_observation() {
         let cluster = ClusterSpec::h100(world.div_ceil(8), 8.min(world));
         let j = job(world, parallel);
         assert!(j.validate().is_ok(), "{parallel} invalid");
-        let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+        let maya = MayaBuilder::new(cluster).build().unwrap();
         let ranks: Vec<u32> = (0..world).collect();
         let traced = maya.trace_workload(&ranks, |r, ctx| j.run_worker(r, ctx));
         let workers: Vec<_> = traced
@@ -113,11 +113,11 @@ fn selective_launch_accurate_on_multinode_strided_groups() {
             ..Default::default()
         };
         let j = job(world, parallel);
-        let full = Maya::with_oracle(EmulationSpec::new(cluster));
-        let selective = Maya::with_oracle(EmulationSpec {
-            selective_launch: true,
-            ..EmulationSpec::new(cluster)
-        });
+        let full = MayaBuilder::new(cluster).build().unwrap();
+        let selective = MayaBuilder::new(cluster)
+            .selective_launch(true)
+            .build()
+            .unwrap();
         let a = full.predict_job(&j).unwrap().iteration_time().unwrap();
         let b = selective.predict_job(&j).unwrap().iteration_time().unwrap();
         let drift = (a.as_secs_f64() / b.as_secs_f64() - 1.0).abs();

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full emulate -> collate ->
 //! estimate -> simulate pipeline against the ground-truth testbed.
 
-use maya::{EmulationSpec, Maya};
+use maya::MayaBuilder;
 use maya_hw::ClusterSpec;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
@@ -25,7 +25,7 @@ fn job(model: ModelSpec, world: u32, parallel: ParallelConfig, batch: u32) -> Tr
 #[test]
 fn oracle_error_small_across_parallelisms() {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    let maya = MayaBuilder::new(cluster).build().unwrap();
     let configs = [
         ParallelConfig::default(),
         ParallelConfig {
@@ -97,8 +97,11 @@ fn dedup_preserves_predictions() {
         ..Default::default()
     };
     let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
-    let with = Maya::with_oracle(EmulationSpec::new(cluster));
-    let without = Maya::with_oracle(EmulationSpec::without_optimizations(cluster));
+    let with = MayaBuilder::new(cluster).build().unwrap();
+    let without = MayaBuilder::new(cluster)
+        .without_optimizations()
+        .build()
+        .unwrap();
     let a = with.predict_job(&j).unwrap();
     let b = without.predict_job(&j).unwrap();
     assert!(a.workers_simulated < b.workers_simulated);
@@ -118,11 +121,11 @@ fn selective_launch_preserves_predictions() {
         ..Default::default()
     };
     let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
-    let full = Maya::with_oracle(EmulationSpec::new(cluster));
-    let selective = Maya::with_oracle(EmulationSpec {
-        selective_launch: true,
-        ..EmulationSpec::new(cluster)
-    });
+    let full = MayaBuilder::new(cluster).build().unwrap();
+    let selective = MayaBuilder::new(cluster)
+        .selective_launch(true)
+        .build()
+        .unwrap();
     let a = full.predict_job(&j).unwrap();
     let b = selective.predict_job(&j).unwrap();
     assert!(b.workers_emulated < a.workers_emulated);
@@ -136,12 +139,12 @@ fn selective_launch_preserves_predictions() {
 fn scaling_out_does_not_slow_down() {
     let batch = 64;
     let t4 = {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 4)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 4)).build().unwrap();
         let j = job(ModelSpec::gpt3_125m(), 4, ParallelConfig::default(), batch);
         maya.predict_job(&j).unwrap().iteration_time().unwrap()
     };
     let t8 = {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 8)).build().unwrap();
         let j = job(ModelSpec::gpt3_125m(), 8, ParallelConfig::default(), batch);
         maya.predict_job(&j).unwrap().iteration_time().unwrap()
     };
@@ -152,7 +155,7 @@ fn scaling_out_does_not_slow_down() {
 #[test]
 fn recompute_tradeoff_visible() {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    let maya = MayaBuilder::new(cluster).build().unwrap();
     let base = job(
         ModelSpec::gpt3_125m(),
         8,
@@ -194,12 +197,12 @@ fn oom_boundary_depends_on_cluster_size() {
     };
     // GPT-3 2.7B, batch 64, no recompute.
     let small = {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(1, 8)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 8)).build().unwrap();
         maya.predict_job(&job(ModelSpec::gpt3_2_7b(), 8, parallel, 64))
             .unwrap()
     };
     let large = {
-        let maya = Maya::with_oracle(EmulationSpec::new(ClusterSpec::h100(4, 8)));
+        let maya = MayaBuilder::new(ClusterSpec::h100(4, 8)).build().unwrap();
         maya.predict_job(&job(ModelSpec::gpt3_2_7b(), 32, parallel, 64))
             .unwrap()
     };
@@ -212,7 +215,7 @@ fn oom_boundary_depends_on_cluster_size() {
 #[test]
 fn interleaving_reduces_pipeline_bubble() {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = Maya::with_oracle(EmulationSpec::new(cluster));
+    let maya = MayaBuilder::new(cluster).build().unwrap();
     let plain = job(
         ModelSpec::gpt3_125m(),
         8,

@@ -1,6 +1,6 @@
 //! Integration tests for Maya-Search over the real pipeline.
 
-use maya::{EmulationSpec, Maya};
+use maya::{Maya, MayaBuilder};
 use maya_hw::ClusterSpec;
 use maya_search::{AlgorithmKind, ConfigSpace, Objective, TrialScheduler};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
@@ -8,10 +8,10 @@ use maya_trace::Dtype;
 
 fn fixture() -> (Maya, TrainingJob) {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = Maya::with_oracle(EmulationSpec {
-        selective_launch: true,
-        ..EmulationSpec::new(cluster)
-    });
+    let maya = MayaBuilder::new(cluster)
+        .selective_launch(true)
+        .build()
+        .unwrap();
     let template = TrainingJob {
         model: ModelSpec::gpt3_125m(),
         parallel: ParallelConfig::default(),
@@ -43,7 +43,7 @@ fn space() -> ConfigSpace {
 #[test]
 fn all_algorithms_land_near_grid_optimum() {
     let (maya, template) = fixture();
-    let obj = Objective::new(&maya, template);
+    let obj = Objective::new(maya.engine(), template);
     let grid = TrialScheduler::new(&obj).with_space(space()).run_grid();
     let optimum = grid.best_time().expect("grid finds optimum").as_secs_f64();
     for kind in [
@@ -72,7 +72,7 @@ fn all_algorithms_land_near_grid_optimum() {
 #[test]
 fn search_result_validates_on_testbed() {
     let (maya, template) = fixture();
-    let obj = Objective::new(&maya, template);
+    let obj = Objective::new(maya.engine(), template);
     let result = TrialScheduler::new(&obj)
         .with_space(space())
         .run(AlgorithmKind::CmaEs, 150, 5);
@@ -112,7 +112,7 @@ fn search_result_validates_on_testbed() {
 #[test]
 fn pruning_is_fidelity_preserving() {
     let (maya, template) = fixture();
-    let obj = Objective::new(&maya, template);
+    let obj = Objective::new(maya.engine(), template);
     let mut with = TrialScheduler::new(&obj).with_space(space());
     with.pruning = true;
     with.early_stop_patience = None;

@@ -1,0 +1,235 @@
+//! The compact token-stream data format behind the shim's
+//! [`Serialize`](crate::Serialize) / [`Deserialize`](crate::Deserialize)
+//! traits.
+//!
+//! A serialized value is a whitespace-separated sequence of tokens.
+//! [`Writer`] appends tokens; [`Reader`] walks them back. Tokens never
+//! contain whitespace: strings are escaped (`%s` = space, `%t` = tab,
+//! `%n` = newline, `%r` = CR, `%p` = `%`, and a lone `%e` encodes the
+//! empty string), everything else prints as plain decimal. The format is
+//! self-framing through length prefixes and enum tags, so a reader never
+//! needs lookahead.
+
+use std::fmt;
+
+/// Decode/parse failure for the compact format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended while a value still expected tokens.
+    Eof,
+    /// A token could not be parsed as the expected shape.
+    Parse {
+        /// The offending token (truncated for display).
+        token: String,
+        /// What the caller expected.
+        expected: &'static str,
+    },
+    /// Tokens remained after the top-level value was fully read.
+    Trailing {
+        /// The first unconsumed token.
+        token: String,
+    },
+}
+
+impl Error {
+    /// Builds a parse error, truncating long tokens.
+    pub fn parse(token: &str, expected: &'static str) -> Self {
+        let mut token = token.to_string();
+        token.truncate(64);
+        Error::Parse { token, expected }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::Parse { token, expected } => {
+                write!(f, "token {token:?} is not a valid {expected}")
+            }
+            Error::Trailing { token } => write!(f, "trailing token {token:?} after value"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Token-stream builder.
+#[derive(Default)]
+pub struct Writer {
+    buf: String,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(' ');
+        }
+    }
+
+    /// Appends one display-formatted token. The rendering must not
+    /// contain whitespace (numbers, identifiers).
+    pub fn token(&mut self, t: impl fmt::Display) {
+        self.sep();
+        let start = self.buf.len();
+        use fmt::Write;
+        write!(self.buf, "{t}").expect("writing to String cannot fail");
+        debug_assert!(
+            !self.buf[start..].contains(char::is_whitespace),
+            "token {:?} contains whitespace",
+            &self.buf[start..]
+        );
+    }
+
+    /// Appends a static tag token (enum discriminant, header word).
+    pub fn tag(&mut self, tag: &'static str) {
+        self.token(tag);
+    }
+
+    /// Appends an arbitrary string, escaped to a single token.
+    pub fn str_token(&mut self, s: &str) {
+        self.sep();
+        if s.is_empty() {
+            self.buf.push_str("%e");
+            return;
+        }
+        for ch in s.chars() {
+            match ch {
+                '%' => self.buf.push_str("%p"),
+                ' ' => self.buf.push_str("%s"),
+                '\t' => self.buf.push_str("%t"),
+                '\n' => self.buf.push_str("%n"),
+                '\r' => self.buf.push_str("%r"),
+                c if c.is_whitespace() => {
+                    // Exotic unicode whitespace: escape via code point.
+                    use fmt::Write;
+                    write!(self.buf, "%u{:x};", c as u32).expect("write to String");
+                }
+                c => self.buf.push(c),
+            }
+        }
+    }
+
+    /// The accumulated token stream.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Token-stream cursor.
+pub struct Reader<'a> {
+    iter: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads tokens from `text`.
+    pub fn new(text: &'a str) -> Self {
+        Reader {
+            iter: text.split_ascii_whitespace(),
+        }
+    }
+
+    /// Next raw token.
+    pub fn raw_token(&mut self) -> Result<&'a str, Error> {
+        self.iter.next().ok_or(Error::Eof)
+    }
+
+    /// Next token parsed as `u64`.
+    pub fn u64(&mut self) -> Result<u64, Error> {
+        let t = self.raw_token()?;
+        t.parse().map_err(|_| Error::parse(t, "u64"))
+    }
+
+    /// Next token, which must equal `tag`.
+    pub fn expect_tag(&mut self, tag: &'static str) -> Result<(), Error> {
+        let t = self.raw_token()?;
+        if t == tag {
+            Ok(())
+        } else {
+            Err(Error::parse(t, tag))
+        }
+    }
+
+    /// Next token unescaped back to a string.
+    pub fn str_token(&mut self) -> Result<String, Error> {
+        let t = self.raw_token()?;
+        if t == "%e" {
+            return Ok(String::new());
+        }
+        let mut out = String::with_capacity(t.len());
+        let mut chars = t.chars();
+        while let Some(ch) = chars.next() {
+            if ch != '%' {
+                out.push(ch);
+                continue;
+            }
+            match chars.next() {
+                Some('p') => out.push('%'),
+                Some('s') => out.push(' '),
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take_while(|&c| c != ';').collect();
+                    let cp = u32::from_str_radix(&hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| Error::parse(t, "escaped string"))?;
+                    out.push(cp);
+                }
+                _ => return Err(Error::parse(t, "escaped string")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Asserts the stream is exhausted.
+    pub fn end(&mut self) -> Result<(), Error> {
+        match self.iter.next() {
+            None => Ok(()),
+            Some(t) => {
+                let mut token = t.to_string();
+                token.truncate(64);
+                Err(Error::Trailing { token })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_separates_tokens() {
+        let mut w = Writer::new();
+        w.token(1u64);
+        w.tag("x");
+        w.token(2u64);
+        assert_eq!(w.finish(), "1 x 2");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        for s in ["", "a b", "%", "%%e", "a\u{2028}b", "\r\n\t"] {
+            let mut w = Writer::new();
+            w.str_token(s);
+            let text = w.finish();
+            assert!(!text.contains(char::is_whitespace), "{text:?}");
+            let mut r = Reader::new(&text);
+            assert_eq!(r.str_token().unwrap(), s, "via {text:?}");
+            r.end().unwrap();
+        }
+    }
+
+    #[test]
+    fn expect_tag_mismatch() {
+        let mut r = Reader::new("kernels");
+        assert!(r.expect_tag("memcpys").is_err());
+    }
+}

@@ -1,14 +1,296 @@
 //! Offline shim for serde (see `vendor/README.md`).
 //!
-//! Provides the `Serialize` / `Deserialize` names in both the macro
-//! namespace (no-op derives from the `serde_derive` shim) and the type
-//! namespace (empty marker traits), which is all the workspace's
-//! `#[derive(serde::Serialize, serde::Deserialize)]` annotations need.
+//! Two layers, matching the two ways the workspace uses serde:
+//!
+//! - **Annotation compatibility**: `#[derive(serde::Serialize,
+//!   serde::Deserialize)]` resolves to the no-op derives from the
+//!   `serde_derive` shim, so type definitions written against real serde
+//!   keep compiling unchanged.
+//! - **A functional mini data-format layer**: the `Serialize` /
+//!   `Deserialize` traits here are *real* (not markers) over the
+//!   whitespace-separated token stream implemented in [`compact`].
+//!   Types that need actual persistence (the estimator memo snapshots in
+//!   `maya-estimator`) implement the traits by hand — exactly the code a
+//!   real-serde `impl Serialize` would replace, which keeps the swap back
+//!   to registry serde mechanical.
+//!
+//! The token format is deliberately simple: every value is a sequence of
+//! non-whitespace tokens; integers print in decimal, floats as IEEE-754
+//! bit patterns (lossless round-trip), strings percent-style escaped,
+//! sequences length-prefixed, enums tag-prefixed. Human-greppable,
+//! deterministic, no external dependencies.
 
+pub mod compact;
+
+pub use compact::{Error, Reader, Writer};
+
+/// Serialize into a [`compact::Writer`] token stream.
+///
+/// Stands in for `serde::Serialize`; usable both as a trait and (via the
+/// `serde_derive` shim) as a no-op `#[derive(...)]` annotation.
+pub trait Serialize {
+    /// Appends this value's tokens to the writer.
+    fn serialize(&self, w: &mut Writer);
+}
+
+/// Deserialize from a [`compact::Reader`] token stream.
+///
+/// Stands in for `serde::Deserialize`; usable both as a trait and (via
+/// the `serde_derive` shim) as a no-op `#[derive(...)]` annotation.
+pub trait Deserialize<'de>: Sized {
+    /// Parses one value's tokens from the reader.
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error>;
+}
+
+// `Serialize` / `Deserialize` name both the traits above (type
+// namespace) and the no-op derive macros (macro namespace), as with
+// real serde.
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut Writer) {
+                w.token(*self as u64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+                let v = r.u64()?;
+                <$t>::try_from(v).map_err(|_| Error::parse(&v.to_string(), stringify!($t)))
+            }
+        }
+    )*};
+}
 
-/// Marker trait standing in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for i64 {
+    fn serialize(&self, w: &mut Writer) {
+        w.token(*self);
+    }
+}
+
+impl<'de> Deserialize<'de> for i64 {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        let t = r.raw_token()?;
+        t.parse().map_err(|_| Error::parse(t, "i64"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut Writer) {
+        w.token(if *self { 1u8 } else { 0u8 });
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        match r.raw_token()? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            t => Err(Error::parse(t, "bool (0|1)")),
+        }
+    }
+}
+
+/// Floats serialize as their IEEE-754 bit pattern so a round trip is
+/// bit-exact (a decimal print would not be).
+impl Serialize for f64 {
+    fn serialize(&self, w: &mut Writer) {
+        w.token(self.to_bits());
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut Writer) {
+        w.str_token(self);
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self, w: &mut Writer) {
+        w.str_token(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut Writer) {
+        w.str_token(self);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        r.str_token()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut Writer) {
+        w.token(self.len());
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        let n = r.u64()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            None => w.tag("none"),
+            Some(v) => {
+                w.tag("some");
+                v.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        match r.raw_token()? {
+            "none" => Ok(None),
+            "some" => Ok(Some(T::deserialize(r)?)),
+            t => Err(Error::parse(t, "option tag (none|some)")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut Writer) {
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::deserialize(r)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, w: &mut Writer) {
+        self.0.serialize(w);
+        self.1.serialize(w);
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        Ok((A::deserialize(r)?, B::deserialize(r)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, w: &mut Writer) {
+        self.0.serialize(w);
+        self.1.serialize(w);
+        self.2.serialize(w);
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        Ok((A::deserialize(r)?, B::deserialize(r)?, C::deserialize(r)?))
+    }
+}
+
+/// Serializes a value to a standalone token-stream string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut w = Writer::new();
+    value.serialize(&mut w);
+    w.finish()
+}
+
+/// Deserializes a value from a token-stream string, requiring that the
+/// whole input is consumed.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &'de str) -> Result<T, Error> {
+    let mut r = Reader::new(text);
+    let v = T::deserialize(&mut r)?;
+    r.end()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T>(v: T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        from_str(&to_string(&v)).expect("round trip")
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(round_trip(0u64), 0);
+        assert_eq!(round_trip(u64::MAX), u64::MAX);
+        assert_eq!(round_trip(42u8), 42);
+        assert_eq!(round_trip(-7i64), -7);
+        assert!(round_trip(true));
+        assert!(!round_trip(false));
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1.0 / 3.0, f64::INFINITY] {
+            assert_eq!(round_trip(v).to_bits(), v.to_bits());
+        }
+        assert!(round_trip(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn strings_round_trip_with_escaping() {
+        for s in ["plain", "", "two words", "pct%sign", "line\nbreak\ttab"] {
+            assert_eq!(round_trip(s.to_string()), s);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        assert_eq!(round_trip(vec![1u64, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(round_trip(Vec::<u64>::new()), Vec::<u64>::new());
+        assert_eq!(round_trip(Some(9u32)), Some(9));
+        assert_eq!(round_trip(None::<u32>), None);
+        assert_eq!(round_trip((3u64, true)), (3, true));
+        assert_eq!(round_trip([7u64, 8, 9]), [7, 8, 9]);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = from_str::<u64>("1 2").unwrap_err();
+        assert!(matches!(err, Error::Trailing { .. }));
+    }
+
+    #[test]
+    fn eof_reported() {
+        assert!(matches!(from_str::<(u64, u64)>("1"), Err(Error::Eof)));
+    }
+}
