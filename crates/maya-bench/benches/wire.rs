@@ -1,0 +1,81 @@
+//! Wire overhead: the same warm predict served in-process vs. over a
+//! loopback TCP round trip through `maya-wire`.
+//!
+//! Both paths hit one shared `MayaService` whose memo is warmed first,
+//! so the measured gap is purely the serving stack: frame encode,
+//! socket write, server decode, queue, response encode, socket read,
+//! client decode. The third benchmark pipelines a whole burst per
+//! iteration to show amortization over one connection.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maya::EmulationSpec;
+use maya_hw::ClusterSpec;
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+use maya_wire::{MayaService, Request, WireClient, WireServer};
+
+fn job(cluster: &ClusterSpec) -> TrainingJob {
+    TrainingJob {
+        model: ModelSpec::gpt3_125m(),
+        parallel: ParallelConfig::default(),
+        flavor: FrameworkFlavor::Megatron,
+        compile: false,
+        global_batch: 8 * cluster.num_gpus(),
+        world: cluster.num_gpus(),
+        gpus_per_node: cluster.gpus_per_node,
+        precision: Dtype::Bf16,
+        iterations: 1,
+    }
+}
+
+fn predict(cluster: &ClusterSpec) -> Request {
+    Request::Predict {
+        target: "h100-1".into(),
+        jobs: vec![job(cluster)],
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let cluster = ClusterSpec::h100(1, 1);
+    let service = Arc::new(
+        MayaService::builder()
+            .target("h100-1", EmulationSpec::new(cluster))
+            .workers(2)
+            .build()
+            .expect("service"),
+    );
+    // Warm the memo so both paths measure serving, not estimation.
+    service.call(predict(&cluster)).expect("warmup");
+
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let mut group = c.benchmark_group("serve_warm_predict");
+    group.bench_function("in_process", |b| {
+        b.iter(|| service.call(predict(&cluster)).expect("direct"))
+    });
+    group.bench_function("wire_loopback", |b| {
+        b.iter(|| client.call(&predict(&cluster)).expect("wire"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("wire_pipelined_burst");
+    const BURST: usize = 16;
+    group.throughput(Throughput::Elements(BURST as u64));
+    group.bench_function("burst16_one_connection", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = (0..BURST)
+                .map(|_| client.submit(&predict(&cluster)).expect("submit"))
+                .collect();
+            for p in pending {
+                p.wait().expect("response");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -28,45 +28,107 @@ use crate::estimator::RuntimeEstimator;
 /// Number of lock shards per memo map (power of two).
 const SHARDS: usize = 16;
 
-/// A hash-sharded `RwLock<HashMap>` memo.
-pub(crate) struct Sharded<K> {
-    shards: Vec<RwLock<HashMap<K, SimTime>>>,
+/// One memoized answer plus its last-access stamp (for LRU eviction).
+///
+/// The stamp is atomic so the hot hit path can refresh recency under a
+/// *read* lock; only inserts and evictions take the write lock.
+struct Entry {
+    value: SimTime,
+    stamp: AtomicU64,
 }
 
-impl<K: Hash + Eq> Sharded<K> {
-    fn new() -> Self {
+/// A hash-sharded `RwLock<HashMap>` memo with an optional LRU entry cap.
+pub(crate) struct Sharded<K> {
+    shards: Vec<RwLock<HashMap<K, Entry>>>,
+    /// Per-shard entry budget; `None` is unbounded. The user-facing cap
+    /// is divided over the shards, so the effective total rounds up to
+    /// a multiple of [`SHARDS`].
+    cap_per_shard: Option<usize>,
+    /// Logical clock stamped onto entries at insert and on every hit.
+    clock: AtomicU64,
+    /// Entries dropped to respect the cap.
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone> Sharded<K> {
+    fn new(capacity: Option<usize>) -> Self {
         Sharded {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            cap_per_shard: capacity.map(|c| c.div_ceil(SHARDS).max(1)),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Entries examined per eviction. Sampled LRU: the victim is the
+    /// oldest stamp among a small prefix of the map's (arbitrary)
+    /// iteration order, not a full scan — at steady state a capped
+    /// cache is full on *every* miss, and an O(shard) scan under the
+    /// write lock would stall all concurrent readers of the shard.
+    /// Shards at or below the sample size (cap ≤ 16·8) still get exact
+    /// LRU.
+    const EVICTION_SAMPLE: usize = 8;
+
+    /// Drops an approximately-least-recently-used entry of `map` while
+    /// it is at the cap. O(EVICTION_SAMPLE) per eviction.
+    fn evict_if_full(&self, map: &mut HashMap<K, Entry>) {
+        let Some(cap) = self.cap_per_shard else {
+            return;
+        };
+        while map.len() >= cap {
+            let Some(victim) = map
+                .iter()
+                .take(Self::EVICTION_SAMPLE)
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Inserts an entry directly, bypassing the hit/miss counters — the
     /// snapshot-restore path, which must not masquerade as traffic.
+    /// Respects the LRU cap like any other insert.
     pub(crate) fn insert(&self, key: K, value: SimTime) {
-        self.shard(&key)
-            .write()
-            .expect("cache shard poisoned")
-            .insert(key, value);
+        let stamp = self.tick();
+        let mut map = self.shard(&key).write().expect("cache shard poisoned");
+        if let Some(e) = map.get_mut(&key) {
+            e.value = value;
+            e.stamp.store(stamp, Ordering::Relaxed);
+            return;
+        }
+        self.evict_if_full(&mut map);
+        map.insert(
+            key,
+            Entry {
+                value,
+                stamp: AtomicU64::new(stamp),
+            },
+        );
     }
 
     /// Every memoized entry (unordered).
-    pub(crate) fn entries(&self) -> Vec<(K, SimTime)>
-    where
-        K: Clone,
-    {
+    pub(crate) fn entries(&self) -> Vec<(K, SimTime)> {
         self.shards
             .iter()
             .flat_map(|s| {
                 s.read()
                     .expect("cache shard poisoned")
                     .iter()
-                    .map(|(k, &v)| (k.clone(), v))
+                    .map(|(k, e)| (k.clone(), e.value))
                     .collect::<Vec<_>>()
             })
             .collect()
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, SimTime>> {
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Entry>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
@@ -74,24 +136,24 @@ impl<K: Hash + Eq> Sharded<K> {
 
     /// Returns the memoized value or computes, stores and returns it.
     fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> SimTime) -> (SimTime, bool) {
-        let shard = self.shard(&key);
-        if let Some(&t) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(t) = self.get(&key) {
             return (t, true);
         }
         let t = compute();
         // A racing writer may have inserted the same key; both computed
         // the same pure value, so last-write-wins is benign.
-        shard.write().expect("cache shard poisoned").insert(key, t);
+        self.insert(key, t);
         (t, false)
     }
 
-    /// Read-only probe by reference (no key ownership needed).
+    /// Read-only probe by reference (no key ownership needed); a hit
+    /// refreshes the entry's LRU stamp.
     fn get(&self, key: &K) -> Option<SimTime> {
-        self.shard(key)
-            .read()
-            .expect("cache shard poisoned")
-            .get(key)
-            .copied()
+        let map = self.shard(key).read().expect("cache shard poisoned");
+        map.get(key).map(|e| {
+            e.stamp.store(self.tick(), Ordering::Relaxed);
+            e.value
+        })
     }
 
     fn len(&self) -> usize {
@@ -99,6 +161,10 @@ impl<K: Hash + Eq> Sharded<K> {
             .iter()
             .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
+    }
+
+    fn evicted(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn clear(&self) {
@@ -138,13 +204,15 @@ fn link_bits(cluster: &ClusterSpec) -> [u64; 6] {
     ]
 }
 
-/// Cumulative hit/miss counters for one [`CachingEstimator`].
+/// Cumulative hit/miss/eviction counters for one [`CachingEstimator`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the memo.
     pub hits: u64,
     /// Queries forwarded to the inner estimator.
     pub misses: u64,
+    /// Entries dropped to respect the LRU capacity (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -174,13 +242,28 @@ pub struct CachingEstimator {
 }
 
 impl CachingEstimator {
-    /// Wraps an inner estimator.
+    /// Wraps an inner estimator with an unbounded memo.
     pub fn new(inner: Arc<dyn RuntimeEstimator>) -> Self {
+        CachingEstimator::with_capacity(inner, None)
+    }
+
+    /// Wraps an inner estimator, bounding each memo family (kernel /
+    /// memcpy / collective) to roughly `capacity` entries with sampled
+    /// least-recently-used eviction — exact LRU within small shards,
+    /// approximate beyond, never an O(shard) scan on the hot path.
+    ///
+    /// The cap is approximate: it is divided over the 16 lock shards,
+    /// so the effective per-family bound rounds up to a multiple of 16.
+    /// Eviction counts surface through [`CacheStats::evictions`].
+    /// `None` keeps the memo unbounded (the default — right for batch
+    /// runs; long-running services should set a cap so an adversarial
+    /// or merely diverse workload cannot grow the memo without limit).
+    pub fn with_capacity(inner: Arc<dyn RuntimeEstimator>, capacity: Option<usize>) -> Self {
         CachingEstimator {
             inner,
-            kernels: Sharded::new(),
-            memcpys: Sharded::new(),
-            collectives: Sharded::new(),
+            kernels: Sharded::new(capacity),
+            memcpys: Sharded::new(capacity),
+            collectives: Sharded::new(capacity),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -191,11 +274,12 @@ impl CachingEstimator {
         &self.inner
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.kernels.evicted() + self.memcpys.evicted() + self.collectives.evicted(),
         }
     }
 
@@ -376,11 +460,25 @@ mod tests {
             dtype: Dtype::Fp16,
         };
         cached.kernel_time(&k);
-        assert_eq!(cached.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(
+            cached.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
         for _ in 0..9 {
             cached.kernel_time(&k);
         }
-        assert_eq!(cached.stats(), CacheStats { hits: 9, misses: 1 });
+        assert_eq!(
+            cached.stats(),
+            CacheStats {
+                hits: 9,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cached.len(), 1);
         assert!((cached.stats().hit_rate() - 0.9).abs() < 1e-12);
     }
@@ -439,5 +537,85 @@ mod tests {
         assert!(!cached.is_empty());
         cached.clear();
         assert!(cached.is_empty());
+    }
+
+    fn gemm(i: u64) -> KernelKind {
+        KernelKind::Gemm {
+            m: 64 + i,
+            n: 128,
+            k: 256,
+            dtype: Dtype::Bf16,
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_the_memo_and_counts_evictions() {
+        let cluster = ClusterSpec::h100(1, 8);
+        let capped =
+            CachingEstimator::with_capacity(Arc::new(OracleEstimator::new(&cluster)), Some(32));
+        for i in 0..200 {
+            capped.kernel_time(&gemm(i));
+        }
+        let st = capped.stats();
+        // The cap is per-shard approximate: 32 entries over 16 shards
+        // is 2 per shard, so the family can never exceed 32.
+        assert!(capped.len() <= 32, "len {} exceeds cap", capped.len());
+        assert_eq!(st.misses, 200);
+        assert_eq!(
+            st.evictions,
+            200 - capped.len() as u64,
+            "every insert beyond the cap evicts exactly one entry"
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_the_least_recently_used_entry() {
+        let cluster = ClusterSpec::h100(1, 8);
+        // Two entries per shard: enough room that the freshest-stamped
+        // key in a shard is never the eviction victim.
+        let capped =
+            CachingEstimator::with_capacity(Arc::new(OracleEstimator::new(&cluster)), Some(32));
+        let hot = gemm(0);
+        capped.kernel_time(&hot);
+        // Flood with cold shapes, re-touching the hot one between
+        // batches so its stamp stays newest in its shard.
+        for i in 1..100 {
+            capped.kernel_time(&gemm(i));
+            capped.kernel_time(&hot);
+        }
+        let st = capped.stats();
+        assert!(st.evictions > 0, "the flood must evict");
+        // The hot key was never evicted: its final query is a hit, and
+        // it missed exactly once (the initial insert).
+        assert_eq!(
+            st.misses, 100,
+            "only the 100 distinct shapes ever missed — the hot key stayed resident"
+        );
+    }
+
+    #[test]
+    fn uncapped_memo_never_evicts() {
+        let (_, cached, _) = oracle_pair();
+        for i in 0..500 {
+            cached.kernel_time(&gemm(i));
+        }
+        assert_eq!(cached.len(), 500);
+        assert_eq!(cached.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capped_answers_match_uncapped() {
+        // Eviction changes *retention*, never answers: re-deriving an
+        // evicted entry recomputes the same pure value.
+        let cluster = ClusterSpec::h100(1, 8);
+        let oracle = OracleEstimator::new(&cluster);
+        let capped =
+            CachingEstimator::with_capacity(Arc::new(OracleEstimator::new(&cluster)), Some(16));
+        for round in 0..3 {
+            let _ = round;
+            for i in 0..40 {
+                assert_eq!(capped.kernel_time(&gemm(i)), oracle.kernel_time(&gemm(i)));
+            }
+        }
     }
 }

@@ -134,6 +134,24 @@ impl<'de> Deserialize<'de> for CollectiveKey {
     }
 }
 
+impl Serialize for crate::cache::CacheStats {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.hits.serialize(w);
+        self.misses.serialize(w);
+        self.evictions.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for crate::cache::CacheStats {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(crate::cache::CacheStats {
+            hits: Deserialize::deserialize(r)?,
+            misses: Deserialize::deserialize(r)?,
+            evictions: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
 /// Serializes one memo family: a count line, then one sorted entry per
 /// line (sorting makes snapshots of equal memos byte-identical).
 fn family<K: Serialize>(out: &mut String, tag: &'static str, entries: Vec<(K, SimTime)>) {

@@ -19,9 +19,10 @@
 pub mod algorithms;
 pub mod objective;
 pub mod scheduler;
+pub mod serdes;
 pub mod space;
 
 pub use algorithms::{AlgorithmKind, SearchAlgorithm};
-pub use objective::{Objective, TrialOutcome, TrialRecord};
+pub use objective::{Objective, Provenance, TrialOutcome, TrialRecord};
 pub use scheduler::{SearchResult, SearchStats, TrialScheduler};
 pub use space::{ConfigPoint, ConfigSpace};

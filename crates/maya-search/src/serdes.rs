@@ -1,0 +1,281 @@
+//! Wire codecs for the search vocabulary, over the vendored serde's
+//! compact token format.
+//!
+//! A remote `Search` request carries a [`ConfigSpace`] and an
+//! [`AlgorithmKind`] to the service; the [`SearchResult`] travels back
+//! whole — best point, every trial record, stats, convergence curve —
+//! so a wire client sees exactly what a direct caller of
+//! `TrialScheduler::run_batched` would. Floats (MFU, cost, convergence)
+//! serialize as IEEE-754 bit patterns, so the round trip is bit-exact
+//! and "byte-identical to a direct call" holds across the network.
+
+use serde::{compact, Deserialize, Serialize};
+
+use crate::algorithms::AlgorithmKind;
+use crate::objective::{Provenance, TrialOutcome, TrialRecord};
+use crate::scheduler::{SearchResult, SearchStats};
+use crate::space::ConfigSpace;
+
+impl Serialize for AlgorithmKind {
+    fn serialize(&self, w: &mut compact::Writer) {
+        w.tag(match self {
+            AlgorithmKind::CmaEs => "cma_es",
+            AlgorithmKind::OnePlusOne => "one_plus_one",
+            AlgorithmKind::Pso => "pso",
+            AlgorithmKind::TwoPointsDe => "two_points_de",
+            AlgorithmKind::Random => "random",
+            AlgorithmKind::Grid => "grid",
+        });
+    }
+}
+
+impl<'de> Deserialize<'de> for AlgorithmKind {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "cma_es" => AlgorithmKind::CmaEs,
+            "one_plus_one" => AlgorithmKind::OnePlusOne,
+            "pso" => AlgorithmKind::Pso,
+            "two_points_de" => AlgorithmKind::TwoPointsDe,
+            "random" => AlgorithmKind::Random,
+            "grid" => AlgorithmKind::Grid,
+            t => return Err(compact::Error::parse(t, "algorithm kind")),
+        })
+    }
+}
+
+impl Serialize for ConfigSpace {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.tp.serialize(w);
+        self.pp.serialize(w);
+        self.microbatch_multiplier.serialize(w);
+        self.virtual_stages.serialize(w);
+        self.activation_recompute.serialize(w);
+        self.sequence_parallel.serialize(w);
+        self.distributed_optimizer.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for ConfigSpace {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(ConfigSpace {
+            tp: Deserialize::deserialize(r)?,
+            pp: Deserialize::deserialize(r)?,
+            microbatch_multiplier: Deserialize::deserialize(r)?,
+            virtual_stages: Deserialize::deserialize(r)?,
+            activation_recompute: Deserialize::deserialize(r)?,
+            sequence_parallel: Deserialize::deserialize(r)?,
+            distributed_optimizer: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for TrialOutcome {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match *self {
+            TrialOutcome::Invalid => w.tag("invalid"),
+            TrialOutcome::Oom => w.tag("oom"),
+            TrialOutcome::Completed {
+                iteration_time,
+                mfu,
+                cost,
+            } => {
+                w.tag("completed");
+                iteration_time.serialize(w);
+                mfu.serialize(w);
+                cost.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for TrialOutcome {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "invalid" => TrialOutcome::Invalid,
+            "oom" => TrialOutcome::Oom,
+            "completed" => TrialOutcome::Completed {
+                iteration_time: Deserialize::deserialize(r)?,
+                mfu: Deserialize::deserialize(r)?,
+                cost: Deserialize::deserialize(r)?,
+            },
+            t => return Err(compact::Error::parse(t, "trial outcome")),
+        })
+    }
+}
+
+impl Serialize for Provenance {
+    fn serialize(&self, w: &mut compact::Writer) {
+        w.tag(match self {
+            Provenance::Executed => "executed",
+            Provenance::Cached => "cached",
+            Provenance::Skipped => "skipped",
+        });
+    }
+}
+
+impl<'de> Deserialize<'de> for Provenance {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "executed" => Provenance::Executed,
+            "cached" => Provenance::Cached,
+            "skipped" => Provenance::Skipped,
+            t => return Err(compact::Error::parse(t, "provenance")),
+        })
+    }
+}
+
+impl Serialize for TrialRecord {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.config.serialize(w);
+        self.outcome.serialize(w);
+        self.provenance.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for TrialRecord {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(TrialRecord {
+            config: Deserialize::deserialize(r)?,
+            outcome: Deserialize::deserialize(r)?,
+            provenance: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for SearchStats {
+    fn serialize(&self, w: &mut compact::Writer) {
+        (self.executed, self.cached, self.skipped).serialize(w);
+        self.invalid.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for SearchStats {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let (executed, cached, skipped) = Deserialize::deserialize(r)?;
+        Ok(SearchStats {
+            executed,
+            cached,
+            skipped,
+            invalid: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for SearchResult {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match &self.best {
+            None => w.tag("none"),
+            Some((config, outcome)) => {
+                w.tag("some");
+                config.serialize(w);
+                outcome.serialize(w);
+            }
+        }
+        self.trials.serialize(w);
+        self.stats.serialize(w);
+        self.wall.serialize(w);
+        self.convergence.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for SearchResult {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let best = match r.raw_token()? {
+            "none" => None,
+            "some" => Some((Deserialize::deserialize(r)?, Deserialize::deserialize(r)?)),
+            t => return Err(compact::Error::parse(t, "option tag (none|some)")),
+        };
+        Ok(SearchResult {
+            best,
+            trials: Deserialize::deserialize(r)?,
+            stats: Deserialize::deserialize(r)?,
+            wall: Deserialize::deserialize(r)?,
+            convergence: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_torchlet::ParallelConfig;
+    use maya_trace::SimTime;
+    use std::time::Duration;
+
+    #[test]
+    fn algorithm_kinds_round_trip() {
+        for a in AlgorithmKind::all() {
+            let back: AlgorithmKind = serde::from_str(&serde::to_string(&a)).unwrap();
+            assert_eq!(back, a);
+        }
+    }
+
+    #[test]
+    fn search_results_round_trip() {
+        let outcome = TrialOutcome::Completed {
+            iteration_time: SimTime::from_ms(12.5),
+            mfu: 0.41,
+            cost: 1.0 / 3.0,
+        };
+        let result = SearchResult {
+            best: Some((ParallelConfig::default(), outcome)),
+            trials: vec![
+                TrialRecord {
+                    config: ParallelConfig::default(),
+                    outcome,
+                    provenance: Provenance::Executed,
+                },
+                TrialRecord {
+                    config: ParallelConfig {
+                        tp: 8,
+                        ..Default::default()
+                    },
+                    outcome: TrialOutcome::Invalid,
+                    provenance: Provenance::Skipped,
+                },
+                TrialRecord {
+                    config: ParallelConfig {
+                        pp: 2,
+                        ..Default::default()
+                    },
+                    outcome: TrialOutcome::Oom,
+                    provenance: Provenance::Cached,
+                },
+            ],
+            stats: SearchStats {
+                executed: 1,
+                cached: 1,
+                skipped: 1,
+                invalid: 1,
+            },
+            wall: Duration::from_micros(123_456),
+            convergence: vec![0.1, 0.3, 0.41],
+        };
+        let text = serde::to_string(&result);
+        let back: SearchResult = serde::from_str(&text).unwrap();
+        assert_eq!(back.best, result.best);
+        assert_eq!(back.trials, result.trials);
+        assert_eq!(back.stats, result.stats);
+        assert_eq!(back.wall, result.wall);
+        assert_eq!(
+            back.convergence
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            result
+                .convergence
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(serde::to_string(&back), text);
+    }
+
+    #[test]
+    fn config_spaces_round_trip() {
+        let s = ConfigSpace::default();
+        let back: ConfigSpace = serde::from_str(&serde::to_string(&s)).unwrap();
+        assert_eq!(back.cardinality(), s.cardinality());
+        assert_eq!(back.enumerate(), s.enumerate());
+    }
+}

@@ -29,6 +29,7 @@ use maya_hw::ClusterSpec;
 /// memo caches per cluster.
 pub struct EngineRegistry {
     choice: EstimatorChoice,
+    memo_capacity: Option<usize>,
     engines: Mutex<HashMap<EmulationSpec, Arc<OnceLock<Arc<PredictionEngine>>>>>,
     caches: Mutex<HashMap<ClusterSpec, Arc<OnceLock<Arc<CachingEstimator>>>>>,
     engine_builds: AtomicUsize,
@@ -36,10 +37,19 @@ pub struct EngineRegistry {
 }
 
 impl EngineRegistry {
-    /// A registry that instantiates `choice` per distinct cluster.
+    /// A registry that instantiates `choice` per distinct cluster, with
+    /// unbounded memo caches.
     pub fn new(choice: EstimatorChoice) -> Self {
+        EngineRegistry::with_memo_capacity(choice, None)
+    }
+
+    /// A registry whose per-cluster memo caches are LRU-bounded to
+    /// roughly `capacity` entries per query family (see
+    /// [`CachingEstimator::with_capacity`]). `None` is unbounded.
+    pub fn with_memo_capacity(choice: EstimatorChoice, capacity: Option<usize>) -> Self {
         EngineRegistry {
             choice,
+            memo_capacity: capacity,
             engines: Mutex::new(HashMap::new()),
             caches: Mutex::new(HashMap::new()),
             engine_builds: AtomicUsize::new(0),
@@ -61,7 +71,10 @@ impl EngineRegistry {
         };
         Arc::clone(cell.get_or_init(|| {
             self.estimator_builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(CachingEstimator::new(self.choice.build(cluster)))
+            Arc::new(CachingEstimator::with_capacity(
+                self.choice.build(cluster),
+                self.memo_capacity,
+            ))
         }))
     }
 

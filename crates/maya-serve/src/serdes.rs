@@ -1,0 +1,272 @@
+//! Wire codecs for the service vocabulary, over the vendored serde's
+//! compact token format.
+//!
+//! These are what `maya-wire` frames carry: a [`Request`] round-trips
+//! exactly (a remote client's job lands on the service bit-for-bit),
+//! and a [`Response`] serializes completely — target, [`Telemetry`],
+//! and the payload with every prediction/search/measure result.
+//!
+//! Error slots are serialize-only. [`maya::MayaError`] and
+//! [`ServeError`] wrap things a remote process cannot reconstruct
+//! (`std::io::Error`, estimator internals), so the wire carries a
+//! stable *kind code* plus the rendered message for each (the same
+//! scheme as `maya::serdes::error_code`); `maya-wire` decodes them into
+//! its own typed remote-error value rather than a rebuilt original.
+//! The response *encoding* is nevertheless total: every variant of
+//! every payload has a defined wire form.
+
+use serde::{compact, Deserialize, Serialize};
+
+use crate::error::ServeError;
+use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
+
+impl Serialize for Request {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match self {
+            Request::Predict { target, jobs } => {
+                w.tag("predict");
+                target.serialize(w);
+                jobs.serialize(w);
+            }
+            Request::Search {
+                target,
+                template,
+                space,
+                algorithm,
+                budget,
+                seed,
+            } => {
+                w.tag("search");
+                target.serialize(w);
+                template.serialize(w);
+                space.serialize(w);
+                algorithm.serialize(w);
+                budget.serialize(w);
+                seed.serialize(w);
+            }
+            Request::Measure { target, job } => {
+                w.tag("measure");
+                target.serialize(w);
+                job.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "predict" => Request::Predict {
+                target: Deserialize::deserialize(r)?,
+                jobs: Deserialize::deserialize(r)?,
+            },
+            "search" => Request::Search {
+                target: Deserialize::deserialize(r)?,
+                template: Deserialize::deserialize(r)?,
+                space: Deserialize::deserialize(r)?,
+                algorithm: Deserialize::deserialize(r)?,
+                budget: Deserialize::deserialize(r)?,
+                seed: Deserialize::deserialize(r)?,
+            },
+            "measure" => Request::Measure {
+                target: Deserialize::deserialize(r)?,
+                job: Deserialize::deserialize(r)?,
+            },
+            t => return Err(compact::Error::parse(t, "request kind")),
+        })
+    }
+}
+
+impl Serialize for Telemetry {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.queue_wait.serialize(w);
+        self.service_time.serialize(w);
+        self.worker.serialize(w);
+        self.cache.serialize(w);
+        self.cache_delta.serialize(w);
+        self.stages.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for Telemetry {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(Telemetry {
+            queue_wait: Deserialize::deserialize(r)?,
+            service_time: Deserialize::deserialize(r)?,
+            worker: Deserialize::deserialize(r)?,
+            cache: Deserialize::deserialize(r)?,
+            cache_delta: Deserialize::deserialize(r)?,
+            stages: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for MeasureOutcome {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match self {
+            MeasureOutcome::Completed(m) => {
+                w.tag("completed");
+                m.serialize(w);
+            }
+            MeasureOutcome::OutOfMemory { peak_bytes } => {
+                w.tag("oom");
+                peak_bytes.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for MeasureOutcome {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "completed" => MeasureOutcome::Completed(Deserialize::deserialize(r)?),
+            "oom" => MeasureOutcome::OutOfMemory {
+                peak_bytes: Deserialize::deserialize(r)?,
+            },
+            t => return Err(compact::Error::parse(t, "measure outcome")),
+        })
+    }
+}
+
+/// Serialize-only (see module docs): the payload's error slots encode
+/// as kind code + message via `maya::serdes`.
+impl Serialize for Payload {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match self {
+            Payload::Predict(results) => {
+                w.tag("predict");
+                results.serialize(w);
+            }
+            Payload::Search(result) => {
+                w.tag("search");
+                result.as_ref().serialize(w);
+            }
+            Payload::Measure(outcome) => {
+                w.tag("measure");
+                outcome.serialize(w);
+            }
+        }
+    }
+}
+
+/// Serialize-only: `kind` is implied by the payload tag and is not
+/// written separately.
+impl Serialize for Response {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.target.serialize(w);
+        self.telemetry.serialize(w);
+        self.payload.serialize(w);
+    }
+}
+
+/// Stable wire code naming a [`ServeError`] variant; the shared
+/// error-code namespace with `maya::serdes::error_code` (the codes are
+/// disjoint). Part of the wire format.
+pub fn error_code(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::UnknownTarget(_) => "unknown_target",
+        ServeError::Overloaded => "overloaded",
+        ServeError::Stopped => "stopped",
+        ServeError::DuplicateTarget(_) => "duplicate_target",
+        ServeError::NoTargets => "no_targets",
+        ServeError::CustomEstimatorSpansClusters => "custom_estimator_spans_clusters",
+        ServeError::Snapshot(_) => "snapshot",
+    }
+}
+
+/// Serialize-only (see module docs): a stable kind code plus the
+/// rendered message.
+impl Serialize for ServeError {
+    fn serialize(&self, w: &mut compact::Writer) {
+        w.tag(error_code(self));
+        w.str_token(&self.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_search::{AlgorithmKind, ConfigSpace};
+    use maya_torchlet::TrainingJob;
+
+    fn reencodes_request(req: &Request) {
+        let text = serde::to_string(req);
+        let back: Request = serde::from_str(&text).expect("decode");
+        assert_eq!(serde::to_string(&back), text, "re-encode mismatch");
+        assert_eq!(back.target(), req.target());
+        assert_eq!(back.kind(), req.kind());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        reencodes_request(&Request::Predict {
+            target: "h100 quad/eu".into(),
+            jobs: vec![TrainingJob::smoke(), TrainingJob::smoke()],
+        });
+        reencodes_request(&Request::Search {
+            target: "a40".into(),
+            template: TrainingJob::smoke(),
+            space: ConfigSpace::default(),
+            algorithm: AlgorithmKind::CmaEs,
+            budget: 100,
+            seed: 42,
+        });
+        reencodes_request(&Request::Measure {
+            target: "t".into(),
+            job: TrainingJob::smoke(),
+        });
+    }
+
+    #[test]
+    fn telemetry_round_trips() {
+        use maya::StageTimings;
+        use maya_estimator::CacheStats;
+        use std::time::Duration;
+        let t = Telemetry {
+            queue_wait: Duration::from_micros(120),
+            service_time: Duration::from_millis(7),
+            worker: 3,
+            cache: CacheStats {
+                hits: 10,
+                misses: 2,
+                evictions: 1,
+            },
+            cache_delta: CacheStats {
+                hits: 4,
+                misses: 1,
+                evictions: 0,
+            },
+            stages: StageTimings::default(),
+        };
+        let text = serde::to_string(&t);
+        let back: Telemetry = serde::from_str(&text).unwrap();
+        assert_eq!(back.cache, t.cache);
+        assert_eq!(back.cache_delta, t.cache_delta);
+        assert_eq!(back.queue_wait, t.queue_wait);
+        assert_eq!(serde::to_string(&back), text);
+    }
+
+    #[test]
+    fn serve_error_codes_are_stable() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::UnknownTarget("x".into()), "unknown_target"),
+            (ServeError::Overloaded, "overloaded"),
+            (ServeError::Stopped, "stopped"),
+            (ServeError::DuplicateTarget("x".into()), "duplicate_target"),
+            (ServeError::NoTargets, "no_targets"),
+            (
+                ServeError::CustomEstimatorSpansClusters,
+                "custom_estimator_spans_clusters",
+            ),
+        ];
+        for (e, code) in cases {
+            assert_eq!(error_code(&e), code);
+            let text = serde::to_string(&e);
+            let mut r = compact::Reader::new(&text);
+            assert_eq!(r.raw_token().unwrap(), code);
+            let msg = r.str_token().unwrap();
+            assert_eq!(msg, e.to_string());
+            r.end().unwrap();
+        }
+    }
+}

@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use maya::{EmulationSpec, EstimatorChoice, PredictionEngine, StageTimings};
-use maya_estimator::CacheStats;
+use maya_estimator::{CacheStats, SnapshotError};
 use maya_search::{Objective, TrialScheduler};
 
 use crate::error::ServeError;
@@ -54,6 +54,7 @@ pub struct ServiceBuilder {
     workers: usize,
     queue_capacity: usize,
     snapshot_dir: Option<PathBuf>,
+    memo_capacity: Option<usize>,
 }
 
 impl Default for ServiceBuilder {
@@ -66,6 +67,7 @@ impl Default for ServiceBuilder {
                 .unwrap_or(2),
             queue_capacity: 64,
             snapshot_dir: None,
+            memo_capacity: None,
         }
     }
 }
@@ -116,6 +118,20 @@ impl ServiceBuilder {
         self
     }
 
+    /// Bounds every per-cluster estimator memo to roughly `entries` per
+    /// query family with LRU eviction (see
+    /// [`maya_estimator::CachingEstimator::with_capacity`]). Unbounded
+    /// by default. A service that accepts requests over the network
+    /// should set a cap: each distinct kernel shape a client submits
+    /// becomes a memo entry, so an open endpoint with an unbounded memo
+    /// is an unbounded-memory liability. Evictions surface in
+    /// [`Telemetry`] through
+    /// [`maya_estimator::CacheStats::evictions`].
+    pub fn memo_capacity(mut self, entries: usize) -> Self {
+        self.memo_capacity = Some(entries);
+        self
+    }
+
     /// Builds the service and spawns its worker pool.
     pub fn build(self) -> Result<MayaService, ServeError> {
         if self.targets.is_empty() {
@@ -134,16 +150,63 @@ impl ServiceBuilder {
                 return Err(ServeError::CustomEstimatorSpansClusters);
             }
         }
-        let registry = EngineRegistry::new(self.estimator);
+        let registry = EngineRegistry::with_memo_capacity(self.estimator, self.memo_capacity);
+        let mut restores = Vec::new();
         if let Some(dir) = &self.snapshot_dir {
-            for (name, spec) in &targets {
+            // Deterministic restore order (and report order).
+            let mut names: Vec<&String> = targets.keys().collect();
+            names.sort();
+            for name in names {
+                let spec = &targets[name];
                 let path = snapshot_file(dir, name);
-                if path.exists() {
-                    // The scope check rejects a memo written under a
-                    // different cluster or estimator configuration —
-                    // e.g. a target whose spec changed across restarts.
-                    let scope = registry.estimator_choice().memo_scope(&spec.cluster);
-                    registry.engine(spec).cache().load_snapshot(&path, &scope)?;
+                if !path.exists() {
+                    continue;
+                }
+                // The scope check rejects a memo written under a
+                // different cluster or estimator configuration — e.g.
+                // a target whose spec changed across restarts. Such a
+                // snapshot is *stale, not fatal*: the service starts
+                // cold on that target and reports a typed warning
+                // (failing the whole build would turn every spec
+                // change into a manual snapshot cleanup). Unreadable
+                // or corrupt files still fail the build — they mean
+                // the snapshot directory itself is broken.
+                let scope = registry.estimator_choice().memo_scope(&spec.cluster);
+                let engine = registry.engine(spec);
+                let evictions_before = engine.cache_stats().evictions;
+                match engine.cache().load_snapshot(&path, &scope) {
+                    Ok(entries) => {
+                        // With a memo cap smaller than the snapshot,
+                        // part of the restore is evicted on the spot —
+                        // report it so "warm start" is not silently a
+                        // cold one.
+                        let evicted = (engine.cache_stats().evictions - evictions_before) as usize;
+                        if evicted > 0 {
+                            eprintln!(
+                                "[maya-serve] target {name:?}: memo capacity evicted \
+                                 {evicted} of {entries} restored snapshot entries"
+                            );
+                        }
+                        restores.push(SnapshotRestore {
+                            target: name.clone(),
+                            outcome: RestoreOutcome::Loaded { entries, evicted },
+                        });
+                    }
+                    Err(
+                        reason @ (SnapshotError::ScopeMismatch { .. }
+                        | SnapshotError::EstimatorMismatch { .. }
+                        | SnapshotError::Version(_)),
+                    ) => {
+                        eprintln!(
+                            "[maya-serve] target {name:?}: skipping incompatible snapshot \
+                             {path:?}: {reason}"
+                        );
+                        restores.push(SnapshotRestore {
+                            target: name.clone(),
+                            outcome: RestoreOutcome::Skipped { reason },
+                        });
+                    }
+                    Err(e) => return Err(e.into()),
                 }
             }
         }
@@ -171,8 +234,40 @@ impl ServiceBuilder {
             workers,
             queue_capacity: self.queue_capacity,
             snapshot_dir: self.snapshot_dir,
+            restores,
         })
     }
+}
+
+/// What happened to one target's memo snapshot at service start.
+#[derive(Debug)]
+pub struct SnapshotRestore {
+    /// The cluster target the snapshot belongs to.
+    pub target: String,
+    /// Whether the snapshot was loaded or skipped.
+    pub outcome: RestoreOutcome,
+}
+
+/// Outcome of one snapshot restore attempt (reported, not silent).
+#[derive(Debug)]
+pub enum RestoreOutcome {
+    /// The snapshot was restored; this many memo entries were loaded.
+    Loaded {
+        /// Entries inserted into the target's memo.
+        entries: usize,
+        /// Of those, how many the memo capacity evicted again during
+        /// the restore itself (0 when unbounded or when the snapshot
+        /// fits). `entries - evicted` is what actually stayed warm.
+        evicted: usize,
+    },
+    /// The snapshot exists but was written under an incompatible scope
+    /// (different cluster/estimator configuration) or format version;
+    /// the target started cold. The file is left in place — a rollback
+    /// to the previous configuration would pick it up again.
+    Skipped {
+        /// Why the snapshot was rejected.
+        reason: SnapshotError,
+    },
 }
 
 /// Snapshot path for one target.
@@ -299,6 +394,7 @@ fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> R
             cache_delta: CacheStats {
                 hits: cache.hits - cache_before.hits,
                 misses: cache.misses - cache_before.misses,
+                evictions: cache.evictions - cache_before.evictions,
             },
             stages,
         },
@@ -342,6 +438,7 @@ pub struct MayaService {
     workers: Vec<JoinHandle<()>>,
     queue_capacity: usize,
     snapshot_dir: Option<PathBuf>,
+    restores: Vec<SnapshotRestore>,
 }
 
 impl MayaService {
@@ -440,6 +537,15 @@ impl MayaService {
             workers: self.workers.len(),
             queue_capacity: self.queue_capacity,
         }
+    }
+
+    /// What happened to each target's memo snapshot at build time, in
+    /// target-name order: how many entries each restore loaded, and
+    /// which snapshots were skipped as incompatible (with the typed
+    /// [`SnapshotError`] explaining why). Targets with no snapshot file
+    /// do not appear. Empty when no snapshot directory is configured.
+    pub fn snapshot_restores(&self) -> &[SnapshotRestore] {
+        &self.restores
     }
 
     /// Writes every *built* engine's memo to the snapshot directory

@@ -39,9 +39,55 @@ impl SimReport {
     }
 }
 
+impl serde::Serialize for SimReport {
+    fn serialize(&self, w: &mut serde::Writer) {
+        self.total_time.serialize(w);
+        self.rank_end_times.serialize(w);
+        self.comm_time.serialize(w);
+        self.compute_time.serialize(w);
+        self.host_time.serialize(w);
+        self.peak_mem_bytes.serialize(w);
+        self.events_processed.serialize(w);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SimReport {
+    fn deserialize(r: &mut serde::Reader<'de>) -> Result<Self, serde::Error> {
+        use serde::Deserialize;
+        Ok(SimReport {
+            total_time: Deserialize::deserialize(r)?,
+            rank_end_times: Deserialize::deserialize(r)?,
+            comm_time: Deserialize::deserialize(r)?,
+            compute_time: Deserialize::deserialize(r)?,
+            host_time: Deserialize::deserialize(r)?,
+            peak_mem_bytes: Deserialize::deserialize(r)?,
+            events_processed: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_round_trips_through_the_wire_codec() {
+        let r = SimReport {
+            total_time: SimTime::from_ms(100.0),
+            rank_end_times: vec![SimTime::from_ms(99.0), SimTime::from_ms(100.0)],
+            comm_time: SimTime::from_ms(25.0),
+            compute_time: SimTime::from_ms(70.0),
+            host_time: SimTime::from_ms(5.0),
+            peak_mem_bytes: 38 * 1024 * 1024 * 1024,
+            events_processed: 1000,
+        };
+        let text = serde::to_string(&r);
+        let back: SimReport = serde::from_str(&text).expect("decode");
+        assert_eq!(serde::to_string(&back), text);
+        assert_eq!(back.total_time, r.total_time);
+        assert_eq!(back.rank_end_times, r.rank_end_times);
+        assert_eq!(back.events_processed, r.events_processed);
+    }
 
     #[test]
     fn derived_metrics() {

@@ -18,6 +18,7 @@ pub mod memory;
 pub mod models;
 pub mod parallel;
 pub mod schedule;
+pub mod serdes;
 pub mod vision;
 pub mod workload;
 

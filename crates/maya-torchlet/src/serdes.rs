@@ -1,0 +1,282 @@
+//! Wire codecs for the workload vocabulary, over the vendored serde's
+//! compact token format.
+//!
+//! These exist so a [`TrainingJob`] can travel over the `maya-wire`
+//! framing layer: a remote client describes a job (model, recipe,
+//! flavor, batch geometry) and the serving side reconstructs it
+//! bit-for-bit. Every codec is a plain tag-plus-fields scheme matching
+//! `maya-trace::serdes`: enum variants write a short stable tag token
+//! followed by their fields in declaration order. Tags are part of the
+//! wire format — renaming one breaks protocol compatibility, which the
+//! frame-header version accounts for.
+
+use serde::{compact, Deserialize, Serialize};
+
+use crate::models::{ModelSpec, ResNetConfig, TransformerConfig};
+use crate::parallel::ParallelConfig;
+use crate::workload::{FrameworkFlavor, TrainingJob};
+
+impl Serialize for TransformerConfig {
+    fn serialize(&self, w: &mut compact::Writer) {
+        (self.layers, self.hidden, self.heads).serialize(w);
+        (self.ffn, self.vocab, self.seq_len).serialize(w);
+        (self.causal, self.gated_mlp).serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for TransformerConfig {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let (layers, hidden, heads) = Deserialize::deserialize(r)?;
+        let (ffn, vocab, seq_len) = Deserialize::deserialize(r)?;
+        let (causal, gated_mlp) = Deserialize::deserialize(r)?;
+        Ok(TransformerConfig {
+            layers,
+            hidden,
+            heads,
+            ffn,
+            vocab,
+            seq_len,
+            causal,
+            gated_mlp,
+        })
+    }
+}
+
+impl Serialize for ResNetConfig {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.blocks.serialize(w);
+        (self.image_size, self.classes).serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for ResNetConfig {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let blocks = Deserialize::deserialize(r)?;
+        let (image_size, classes) = Deserialize::deserialize(r)?;
+        Ok(ResNetConfig {
+            blocks,
+            image_size,
+            classes,
+        })
+    }
+}
+
+impl Serialize for ModelSpec {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match self {
+            ModelSpec::Gpt(c) => {
+                w.tag("gpt");
+                c.serialize(w);
+            }
+            ModelSpec::Llama(c) => {
+                w.tag("llama");
+                c.serialize(w);
+            }
+            ModelSpec::Bert(c) => {
+                w.tag("bert");
+                c.serialize(w);
+            }
+            ModelSpec::ViT(c) => {
+                w.tag("vit");
+                c.serialize(w);
+            }
+            ModelSpec::T5(c) => {
+                w.tag("t5");
+                c.serialize(w);
+            }
+            ModelSpec::ResNet(c) => {
+                w.tag("resnet");
+                c.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for ModelSpec {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "gpt" => ModelSpec::Gpt(Deserialize::deserialize(r)?),
+            "llama" => ModelSpec::Llama(Deserialize::deserialize(r)?),
+            "bert" => ModelSpec::Bert(Deserialize::deserialize(r)?),
+            "vit" => ModelSpec::ViT(Deserialize::deserialize(r)?),
+            "t5" => ModelSpec::T5(Deserialize::deserialize(r)?),
+            "resnet" => ModelSpec::ResNet(Deserialize::deserialize(r)?),
+            t => return Err(compact::Error::parse(t, "model spec")),
+        })
+    }
+}
+
+impl Serialize for ParallelConfig {
+    fn serialize(&self, w: &mut compact::Writer) {
+        (self.tp, self.pp, self.microbatch_multiplier).serialize(w);
+        self.virtual_stages.serialize(w);
+        (
+            self.activation_recompute,
+            self.sequence_parallel,
+            self.distributed_optimizer,
+        )
+            .serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for ParallelConfig {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let (tp, pp, microbatch_multiplier) = Deserialize::deserialize(r)?;
+        let virtual_stages = Deserialize::deserialize(r)?;
+        let (activation_recompute, sequence_parallel, distributed_optimizer) =
+            Deserialize::deserialize(r)?;
+        Ok(ParallelConfig {
+            tp,
+            pp,
+            microbatch_multiplier,
+            virtual_stages,
+            activation_recompute,
+            sequence_parallel,
+            distributed_optimizer,
+        })
+    }
+}
+
+impl Serialize for FrameworkFlavor {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match *self {
+            FrameworkFlavor::Megatron => w.tag("megatron"),
+            FrameworkFlavor::DeepSpeedZero {
+                stage,
+                activation_offload,
+            } => {
+                w.tag("zero");
+                (stage, activation_offload).serialize(w);
+            }
+            FrameworkFlavor::Fsdp => w.tag("fsdp"),
+            FrameworkFlavor::Ddp => w.tag("ddp"),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for FrameworkFlavor {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "megatron" => FrameworkFlavor::Megatron,
+            "zero" => {
+                let (stage, activation_offload) = Deserialize::deserialize(r)?;
+                FrameworkFlavor::DeepSpeedZero {
+                    stage,
+                    activation_offload,
+                }
+            }
+            "fsdp" => FrameworkFlavor::Fsdp,
+            "ddp" => FrameworkFlavor::Ddp,
+            t => return Err(compact::Error::parse(t, "framework flavor")),
+        })
+    }
+}
+
+impl Serialize for TrainingJob {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.model.serialize(w);
+        self.parallel.serialize(w);
+        self.flavor.serialize(w);
+        self.compile.serialize(w);
+        (self.global_batch, self.world, self.gpus_per_node).serialize(w);
+        self.precision.serialize(w);
+        self.iterations.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for TrainingJob {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let model = Deserialize::deserialize(r)?;
+        let parallel = Deserialize::deserialize(r)?;
+        let flavor = Deserialize::deserialize(r)?;
+        let compile = Deserialize::deserialize(r)?;
+        let (global_batch, world, gpus_per_node) = Deserialize::deserialize(r)?;
+        let precision = Deserialize::deserialize(r)?;
+        let iterations = Deserialize::deserialize(r)?;
+        Ok(TrainingJob {
+            model,
+            parallel,
+            flavor,
+            compile,
+            global_batch,
+            world,
+            gpus_per_node,
+            precision,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_trace::Dtype;
+
+    fn reencodes<T: Serialize + for<'de> Deserialize<'de>>(v: &T) {
+        let text = serde::to_string(v);
+        let back: T = serde::from_str(&text).expect("decode");
+        assert_eq!(serde::to_string(&back), text, "re-encode mismatch");
+    }
+
+    #[test]
+    fn model_specs_round_trip() {
+        for m in [
+            ModelSpec::gpt3_125m(),
+            ModelSpec::gpt3_145_6b(),
+            ModelSpec::llama2_7b(),
+            ModelSpec::bert_large(),
+            ModelSpec::vit_large(),
+            ModelSpec::t5_large(),
+            ModelSpec::resnet152(),
+        ] {
+            let back: ModelSpec = serde::from_str(&serde::to_string(&m)).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn parallel_configs_round_trip() {
+        let c = ParallelConfig {
+            tp: 4,
+            pp: 2,
+            microbatch_multiplier: 6,
+            virtual_stages: 2,
+            activation_recompute: true,
+            sequence_parallel: true,
+            distributed_optimizer: false,
+        };
+        let back: ParallelConfig = serde::from_str(&serde::to_string(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn flavors_round_trip() {
+        for f in [
+            FrameworkFlavor::Megatron,
+            FrameworkFlavor::DeepSpeedZero {
+                stage: 3,
+                activation_offload: true,
+            },
+            FrameworkFlavor::Fsdp,
+            FrameworkFlavor::Ddp,
+        ] {
+            let back: FrameworkFlavor = serde::from_str(&serde::to_string(&f)).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn jobs_round_trip() {
+        let mut job = TrainingJob::smoke();
+        job.precision = Dtype::Fp16;
+        job.parallel.tp = 2;
+        job.flavor = FrameworkFlavor::DeepSpeedZero {
+            stage: 2,
+            activation_offload: false,
+        };
+        let back: TrainingJob = serde::from_str(&serde::to_string(&job)).unwrap();
+        // TrainingJob has no PartialEq; compare the canonical encoding.
+        assert_eq!(serde::to_string(&back), serde::to_string(&job));
+        reencodes(&job);
+    }
+}

@@ -11,8 +11,11 @@ use std::fmt::Write as _;
 use crate::event::{JobTrace, WorkerTrace};
 use crate::ops::DeviceOp;
 
-/// Escapes a string for inclusion in a JSON document.
-fn escape(s: &str, out: &mut String) {
+/// Escapes a string for inclusion in a JSON document. Public so the
+/// downstream `to_json` exporters (predictions in `maya`, search
+/// results in `maya-search`, wire responses in `maya-wire`) share one
+/// correct escaper instead of five.
+pub fn escape(s: &str, out: &mut String) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -26,6 +29,15 @@ fn escape(s: &str, out: &mut String) {
             c => out.push(c),
         }
     }
+}
+
+/// Renders a string as a quoted, escaped JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape(s, &mut out);
+    out.push('"');
+    out
 }
 
 /// Serializes one worker trace into the paper's event-list JSON shape.

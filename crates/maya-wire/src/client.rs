@@ -1,0 +1,258 @@
+//! [`WireClient`]: a typed, pipelined client for a
+//! [`WireServer`](crate::WireServer).
+//!
+//! One TCP connection is **reused for everything**: the client is
+//! `Sync`, any number of threads may [`WireClient::submit`]
+//! concurrently, and each submission gets a fresh request id. A
+//! background reader thread demultiplexes response frames back to their
+//! [`PendingResponse`]s by echoed id, so N requests can be in flight on
+//! one socket — the server executes them concurrently on its worker
+//! pool and streams results back in admission order.
+//!
+//! Failure is typed end to end: a full server queue surfaces as
+//! [`WireError::Remote`] with
+//! [`RemoteErrorKind::Overloaded`](crate::RemoteErrorKind) (retry
+//! later; the connection is fine), the server's per-request pipeline
+//! errors arrive inside the payload as [`crate::RemoteError`]s, and a
+//! torn connection resolves every in-flight request with
+//! [`WireError::ConnectionClosed`].
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use maya_serve::Request;
+
+use crate::error::{RemoteError, WireError};
+use crate::frame::{read_frame, write_frame, FrameKind, ProtocolError, ReadError};
+use crate::message::WireResponse;
+
+type PendingMap = HashMap<u64, mpsc::Sender<Result<WireResponse, RemoteError>>>;
+
+struct ClientShared {
+    writer: Mutex<TcpStream>,
+    /// `None` once the connection is known dead — late submitters get
+    /// [`WireError::ConnectionClosed`] instead of hanging.
+    pending: Mutex<Option<PendingMap>>,
+    next_id: AtomicU64,
+    max_frame_len: u32,
+}
+
+impl ClientShared {
+    /// Tears down the pending map; every waiter resolves with
+    /// `ConnectionClosed` (their senders drop here).
+    fn poison(&self) {
+        let _ = self
+            .pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+    }
+}
+
+/// A pending pipelined request; redeem it with [`PendingResponse::wait`].
+pub struct PendingResponse {
+    id: u64,
+    rx: mpsc::Receiver<Result<WireResponse, RemoteError>>,
+}
+
+impl PendingResponse {
+    /// The request id this response answers.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the server answers (or the connection dies).
+    pub fn wait(self) -> Result<WireResponse, WireError> {
+        match self.rx.recv() {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err(remote)) => Err(WireError::Remote(remote)),
+            Err(_) => Err(WireError::ConnectionClosed),
+        }
+    }
+}
+
+/// The typed TCP client (see module docs).
+pub struct WireClient {
+    shared: Arc<ClientShared>,
+    local_addr: Option<SocketAddr>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl WireClient {
+    /// Connects with the default max-frame guard.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        WireClient::connect_with(addr, crate::frame::DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Connects with an explicit max-frame guard (must admit the
+    /// largest response the workload can produce; the server's guard
+    /// governs requests).
+    pub fn connect_with(addr: impl ToSocketAddrs, max_frame_len: u32) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let local_addr = stream.local_addr().ok();
+        let read_half = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(Some(HashMap::new())),
+            next_id: AtomicU64::new(1),
+            max_frame_len,
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("maya-wire-client".into())
+                .spawn(move || reader_loop(read_half, &shared))
+                .expect("spawn client reader")
+        };
+        Ok(WireClient {
+            shared,
+            local_addr,
+            reader: Some(reader),
+        })
+    }
+
+    /// This end's socket address.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Sends one request without waiting; responses may be redeemed in
+    /// any order while more requests pipeline behind them.
+    pub fn submit(&self, request: &Request) -> Result<PendingResponse, WireError> {
+        let body = serde::to_string(request);
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut pending = self
+                .shared
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            pending
+                .as_mut()
+                .ok_or(WireError::ConnectionClosed)?
+                .insert(id, tx);
+        }
+        let write = {
+            let mut w = self.shared.writer.lock().unwrap_or_else(|p| p.into_inner());
+            write_frame(
+                &mut *w,
+                FrameKind::Request,
+                id,
+                &body,
+                self.shared.max_frame_len,
+            )
+        };
+        if let Err(e) = write {
+            // Unregister so the map does not leak a dead sender.
+            if let Some(pending) = self
+                .shared
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .as_mut()
+            {
+                pending.remove(&id);
+            }
+            return Err(
+                match e
+                    .get_ref()
+                    .and_then(|inner| inner.downcast_ref::<ProtocolError>().cloned())
+                {
+                    Some(p) => WireError::Protocol(p),
+                    None => WireError::Io(e),
+                },
+            );
+        }
+        Ok(PendingResponse { id, rx })
+    }
+
+    /// Submit + wait in one call.
+    pub fn call(&self, request: &Request) -> Result<WireResponse, WireError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Half-closes the write side: the server sees end-of-requests,
+    /// drains what is in flight, and responses already pipelined can
+    /// still be redeemed. Dropping the client closes both directions.
+    pub fn finish_writes(&self) {
+        let w = self.shared.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = w.shutdown(Shutdown::Write);
+    }
+}
+
+impl Drop for WireClient {
+    fn drop(&mut self) {
+        {
+            let w = self.shared.writer.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        self.shared.poison();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Demultiplexes incoming frames to pending requests by echoed id.
+fn reader_loop(stream: TcpStream, shared: &Arc<ClientShared>) {
+    let mut r = std::io::BufReader::new(stream);
+    loop {
+        match read_frame(&mut r, shared.max_frame_len) {
+            Ok(Some(frame)) => {
+                let verdict: Option<Result<WireResponse, RemoteError>> = match frame.kind {
+                    FrameKind::Response => match serde::from_str::<WireResponse>(&frame.body) {
+                        Ok(response) => Some(Ok(response)),
+                        Err(e) => Some(Err(RemoteError::protocol(&ProtocolError::Malformed(e)))),
+                    },
+                    FrameKind::Error => match serde::from_str::<RemoteError>(&frame.body) {
+                        Ok(remote) => Some(Err(remote)),
+                        Err(e) => Some(Err(RemoteError::protocol(&ProtocolError::Malformed(e)))),
+                    },
+                    FrameKind::Request => None, // a server never sends these
+                };
+                match (frame.id, verdict) {
+                    (0, Some(Err(fatal))) => {
+                        // Connection-scoped error: deliver to everyone
+                        // still waiting, then stop reading.
+                        let waiters = shared
+                            .pending
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .take();
+                        if let Some(map) = waiters {
+                            for (_, tx) in map {
+                                let _ = tx.send(Err(fatal.clone()));
+                            }
+                        }
+                        return;
+                    }
+                    (id, Some(result)) => {
+                        let tx = shared
+                            .pending
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .as_mut()
+                            .and_then(|map| map.remove(&id));
+                        if let Some(tx) = tx {
+                            let _ = tx.send(result);
+                        }
+                        // Unknown id: a response for a caller that went
+                        // away (dropped PendingResponse); ignore.
+                    }
+                    (_, None) => {
+                        // Nonsense frame direction; the stream framing
+                        // is still intact, keep serving the rest.
+                    }
+                }
+            }
+            Ok(None) | Err(ReadError::Io(_)) => break,
+            Err(ReadError::Protocol(_)) => break, // desynced: give up
+        }
+    }
+    shared.poison();
+}

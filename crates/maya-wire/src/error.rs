@@ -1,0 +1,318 @@
+//! Typed errors crossing (and reported by) the wire.
+//!
+//! [`RemoteError`] is the wire form of everything that can go wrong on
+//! the serving side: service-boundary failures
+//! ([`maya_serve::ServeError`] — `Overloaded`, `UnknownTarget`, ...),
+//! pipeline failures inside a payload ([`maya::MayaError`]), and
+//! protocol failures the server detected in the client's own frames.
+//! The original error trees hold process-local state (`std::io::Error`,
+//! estimator internals), so the wire carries a **stable kind code plus
+//! the rendered message** — enough for a client to branch on the kind
+//! (retry on [`RemoteErrorKind::Overloaded`], fix the request on
+//! [`RemoteErrorKind::UnknownTarget`]) and log the rest.
+//!
+//! [`WireError`] is the client-facing sum: local I/O, local protocol
+//! violations, a typed remote error, or a connection that died with the
+//! request in flight.
+
+use serde::{compact, Deserialize, Serialize};
+
+use crate::frame::ProtocolError;
+
+/// Stable category of a [`RemoteError`]. The wire codes line up with
+/// `maya_serve::serdes::error_code` and `maya::serdes::error_code`; the
+/// two namespaces are disjoint and `protocol` is wire-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteErrorKind {
+    /// `ServeError::UnknownTarget`: the request named an unregistered
+    /// cluster target.
+    UnknownTarget,
+    /// `ServeError::Overloaded`: the service's bounded admission queue
+    /// was full. The request was *not* executed; retry later.
+    Overloaded,
+    /// `ServeError::Stopped`: the service is shutting down (or the
+    /// request's worker died mid-execution).
+    Stopped,
+    /// `ServeError::DuplicateTarget` (build-time; not normally seen
+    /// over the wire).
+    DuplicateTarget,
+    /// `ServeError::NoTargets` (build-time).
+    NoTargets,
+    /// `ServeError::CustomEstimatorSpansClusters` (build-time).
+    CustomEstimatorSpansClusters,
+    /// A memo-snapshot failure (`ServeError::Snapshot` /
+    /// `MayaError::Snapshot`).
+    Snapshot,
+    /// `MayaError::Config`: the job violates divisibility/topology
+    /// rules.
+    Config,
+    /// `MayaError::Device`: a virtual device call failed.
+    Device,
+    /// `MayaError::Collate`: trace collation failed.
+    Collate,
+    /// `MayaError::Sim`: simulation failed.
+    Sim,
+    /// `MayaError::Exec`: ground-truth execution failed.
+    Exec,
+    /// `MayaError::WorldMismatch`: the job's world size disagrees with
+    /// the target cluster.
+    WorldMismatch,
+    /// The server could not parse a frame the client sent (the echoed
+    /// id tells which request; id 0 means the stream is desynchronized
+    /// and the server is closing the connection).
+    Protocol,
+}
+
+impl RemoteErrorKind {
+    /// The stable wire code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RemoteErrorKind::UnknownTarget => "unknown_target",
+            RemoteErrorKind::Overloaded => "overloaded",
+            RemoteErrorKind::Stopped => "stopped",
+            RemoteErrorKind::DuplicateTarget => "duplicate_target",
+            RemoteErrorKind::NoTargets => "no_targets",
+            RemoteErrorKind::CustomEstimatorSpansClusters => "custom_estimator_spans_clusters",
+            RemoteErrorKind::Snapshot => "snapshot",
+            RemoteErrorKind::Config => "config",
+            RemoteErrorKind::Device => "device",
+            RemoteErrorKind::Collate => "collate",
+            RemoteErrorKind::Sim => "sim",
+            RemoteErrorKind::Exec => "exec",
+            RemoteErrorKind::WorldMismatch => "world_mismatch",
+            RemoteErrorKind::Protocol => "protocol",
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: &str) -> Option<Self> {
+        Some(match code {
+            "unknown_target" => RemoteErrorKind::UnknownTarget,
+            "overloaded" => RemoteErrorKind::Overloaded,
+            "stopped" => RemoteErrorKind::Stopped,
+            "duplicate_target" => RemoteErrorKind::DuplicateTarget,
+            "no_targets" => RemoteErrorKind::NoTargets,
+            "custom_estimator_spans_clusters" => RemoteErrorKind::CustomEstimatorSpansClusters,
+            "snapshot" => RemoteErrorKind::Snapshot,
+            "config" => RemoteErrorKind::Config,
+            "device" => RemoteErrorKind::Device,
+            "collate" => RemoteErrorKind::Collate,
+            "sim" => RemoteErrorKind::Sim,
+            "exec" => RemoteErrorKind::Exec,
+            "world_mismatch" => RemoteErrorKind::WorldMismatch,
+            "protocol" => RemoteErrorKind::Protocol,
+            _ => return None,
+        })
+    }
+
+    /// Every kind (for exhaustive tests).
+    pub fn all() -> [RemoteErrorKind; 14] {
+        [
+            RemoteErrorKind::UnknownTarget,
+            RemoteErrorKind::Overloaded,
+            RemoteErrorKind::Stopped,
+            RemoteErrorKind::DuplicateTarget,
+            RemoteErrorKind::NoTargets,
+            RemoteErrorKind::CustomEstimatorSpansClusters,
+            RemoteErrorKind::Snapshot,
+            RemoteErrorKind::Config,
+            RemoteErrorKind::Device,
+            RemoteErrorKind::Collate,
+            RemoteErrorKind::Sim,
+            RemoteErrorKind::Exec,
+            RemoteErrorKind::WorldMismatch,
+            RemoteErrorKind::Protocol,
+        ]
+    }
+}
+
+/// A typed error reported by the serving side (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteError {
+    /// Stable category; branch on this.
+    pub kind: RemoteErrorKind,
+    /// The server-side rendered message (diagnostic, not stable).
+    pub message: String,
+}
+
+impl RemoteError {
+    /// Builds a protocol-kind error from a local [`ProtocolError`] (the
+    /// server reports the client's malformed frames this way).
+    pub fn protocol(e: &ProtocolError) -> Self {
+        RemoteError {
+            kind: RemoteErrorKind::Protocol,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "remote {}: {}", self.kind.code(), self.message)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<&maya_serve::ServeError> for RemoteError {
+    fn from(e: &maya_serve::ServeError) -> Self {
+        RemoteError {
+            kind: RemoteErrorKind::from_code(maya_serve::serdes::error_code(e))
+                .expect("every ServeError code is a RemoteErrorKind"),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<&maya::MayaError> for RemoteError {
+    fn from(e: &maya::MayaError) -> Self {
+        RemoteError {
+            kind: RemoteErrorKind::from_code(maya::serdes::error_code(e))
+                .expect("every MayaError code is a RemoteErrorKind"),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Same layout `ServeError`/`MayaError` serialize with: code + message.
+impl Serialize for RemoteError {
+    fn serialize(&self, w: &mut compact::Writer) {
+        w.tag(self.kind.code());
+        w.str_token(&self.message);
+    }
+}
+
+impl<'de> Deserialize<'de> for RemoteError {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let t = r.raw_token()?;
+        let kind =
+            RemoteErrorKind::from_code(t).ok_or_else(|| compact::Error::parse(t, "error code"))?;
+        Ok(RemoteError {
+            kind,
+            message: r.str_token()?,
+        })
+    }
+}
+
+/// A wire client call failed (see module docs).
+#[derive(Debug)]
+pub enum WireError {
+    /// Local transport failure.
+    Io(std::io::Error),
+    /// The *peer's* bytes violated the protocol (bad magic, version
+    /// skew, oversized frame, undecodable body...).
+    Protocol(ProtocolError),
+    /// The server answered with a typed error instead of a response.
+    Remote(RemoteError),
+    /// The connection closed (or the client was shut down) before this
+    /// request's response arrived. The request may or may not have
+    /// executed on the server.
+    ConnectionClosed,
+}
+
+impl WireError {
+    /// Whether this is the server's typed load-shed signal — the one
+    /// failure that is always safe to retry after backoff (the request
+    /// never entered the admission queue).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            WireError::Remote(RemoteError {
+                kind: RemoteErrorKind::Overloaded,
+                ..
+            })
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Protocol(e) => write!(f, "wire protocol error: {e}"),
+            WireError::Remote(e) => write!(f, "{e}"),
+            WireError::ConnectionClosed => write!(f, "connection closed before the response"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for WireError {
+    fn from(e: ProtocolError) -> Self {
+        WireError::Protocol(e)
+    }
+}
+
+impl From<crate::frame::ReadError> for WireError {
+    fn from(e: crate::frame::ReadError) -> Self {
+        match e {
+            crate::frame::ReadError::Io(io) => WireError::Io(io),
+            crate::frame::ReadError::Protocol(p) => WireError::Protocol(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in RemoteErrorKind::all() {
+            assert_eq!(RemoteErrorKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(RemoteErrorKind::from_code("nonsense"), None);
+    }
+
+    #[test]
+    fn remote_errors_round_trip_identity() {
+        for kind in RemoteErrorKind::all() {
+            let e = RemoteError {
+                kind,
+                message: format!("m sg\nwith {} specials %", kind.code()),
+            };
+            let back: RemoteError = serde::from_str(&serde::to_string(&e)).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn serve_errors_decode_as_remote_errors() {
+        use maya_serve::ServeError;
+        for e in [
+            ServeError::UnknownTarget("eu/h100".into()),
+            ServeError::Overloaded,
+            ServeError::Stopped,
+            ServeError::DuplicateTarget("x".into()),
+            ServeError::NoTargets,
+            ServeError::CustomEstimatorSpansClusters,
+        ] {
+            let text = serde::to_string(&e);
+            let remote: RemoteError = serde::from_str(&text).expect("decode");
+            assert_eq!(remote, RemoteError::from(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn maya_errors_decode_as_remote_errors() {
+        let e = maya::MayaError::WorldMismatch { job: 8, cluster: 2 };
+        let remote: RemoteError = serde::from_str(&serde::to_string(&e)).unwrap();
+        assert_eq!(remote.kind, RemoteErrorKind::WorldMismatch);
+        assert_eq!(remote.message, e.to_string());
+        assert_eq!(remote, RemoteError::from(&e));
+    }
+
+    #[test]
+    fn overload_detection() {
+        let overloaded = WireError::Remote(RemoteError::from(&maya_serve::ServeError::Overloaded));
+        assert!(overloaded.is_overloaded());
+        assert!(!WireError::ConnectionClosed.is_overloaded());
+    }
+}

@@ -1,0 +1,408 @@
+//! [`WireServer`]: a blocking TCP front end wrapping any
+//! [`MayaService`].
+//!
+//! One OS thread accepts connections; each connection gets a
+//! **reader/writer thread pair** over `std::net::TcpStream`:
+//!
+//! - the *reader* parses request frames and admits them through
+//!   [`MayaService::try_submit`] — the service's bounded admission
+//!   queue is mapped straight onto the wire, so a full queue becomes a
+//!   typed [`RemoteErrorKind::Overloaded`](crate::RemoteErrorKind)
+//!   error frame (the connection stays up and later requests are
+//!   served), never a dropped connection;
+//! - the *writer* redeems the pending [`ResponseHandle`]s in admission
+//!   order and streams response frames back, echoing each request's id
+//!   — a client may pipeline any number of requests without waiting.
+//!
+//! Malformed input degrades proportionally: an undecodable request
+//! *body* earns a per-request `protocol` error frame and the connection
+//! keeps serving; a corrupt frame *header* (bad magic, version skew,
+//! oversized length) means the stream itself can no longer be trusted,
+//! so the server sends a connection-scoped error frame (id 0) and
+//! closes that one connection. The server itself never dies on client
+//! input.
+//!
+//! [`WireServer::shutdown`] is graceful: stop accepting, half-close
+//! every connection's read side, let writers drain every in-flight
+//! response, then join all threads.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use maya_serve::{MayaService, Request, ResponseHandle, ServeError};
+
+use crate::error::RemoteError;
+use crate::frame::{read_frame, write_frame, FrameKind, ProtocolError, ReadError};
+
+/// What the connection reader hands its writer, in admission order.
+enum WriterMsg {
+    /// A pending service response for request `id`.
+    Reply(u64, ResponseHandle),
+    /// An immediate typed error for request `id` (id 0 =
+    /// connection-scoped, the writer closes after sending it).
+    Error(u64, RemoteError),
+}
+
+/// Counters for one [`WireServer`] (all cumulative).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames admitted into the service queue.
+    pub admitted: u64,
+    /// Requests shed with a typed `overloaded` error frame.
+    pub overloaded: u64,
+    /// Frames answered with a `protocol` error (malformed body or
+    /// desynchronized stream).
+    pub protocol_errors: u64,
+}
+
+struct ServerShared {
+    service: Arc<MayaService>,
+    max_frame_len: u32,
+    stopping: AtomicBool,
+    /// Live connections' stream clones (keyed by connection id), used
+    /// to half-close readers at shutdown; each connection thread
+    /// removes its own entry on exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    overloaded: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Configures a [`WireServer`] before binding.
+pub struct WireServerBuilder {
+    service: Arc<MayaService>,
+    max_frame_len: u32,
+}
+
+impl WireServerBuilder {
+    /// Overrides the max-frame guard (default
+    /// [`crate::frame::DEFAULT_MAX_FRAME_LEN`]). Frames longer than
+    /// this — in either direction — are refused.
+    pub fn max_frame_len(mut self, bytes: u32) -> Self {
+        self.max_frame_len = bytes;
+        self
+    }
+
+    /// Binds the listener and starts the accept thread.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service: self.service,
+            max_frame_len: self.max_frame_len,
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            connections: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("maya-wire-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(WireServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// The blocking TCP serving front end (see module docs).
+pub struct WireServer {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Starts configuring a server over `service`.
+    pub fn builder(service: Arc<MayaService>) -> WireServerBuilder {
+        WireServerBuilder {
+            service,
+            max_frame_len: crate::frame::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+
+    /// Binds with defaults: `WireServer::builder(service).bind(addr)`.
+    /// Bind to port 0 to let the OS pick (see [`WireServer::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<MayaService>) -> std::io::Result<Self> {
+        WireServer::builder(service).bind(addr)
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<MayaService> {
+        &self.shared.service
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> WireServerStats {
+        WireServerStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            overloaded: self.shared.overloaded.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every connection's
+    /// read side (no new requests), drain and deliver every in-flight
+    /// response, join all threads. Idempotent; also runs on drop.
+    ///
+    /// The wrapped [`MayaService`] is *not* stopped — it may be shared
+    /// with in-process callers or another front end.
+    pub fn shutdown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Readers stop at EOF; writers then drain their queues.
+        let conns =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let threads = std::mem::take(
+            &mut *self
+                .shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (EMFILE under fd
+                // pressure, ENOBUFS, ...) would otherwise hot-loop
+                // this thread at 100% CPU exactly when the machine is
+                // struggling; back off briefly instead.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or a late client)
+        }
+        // Response frames are latency-sensitive and already coalesced
+        // by the writer's BufWriter; Nagle would add delayed-ACK
+        // stalls (~40ms) to pipelined bursts.
+        stream.set_nodelay(true).ok();
+        let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(conn_id, clone);
+        let shared_for_conn = Arc::clone(shared);
+        let conn = std::thread::Builder::new()
+            .name("maya-wire-conn".into())
+            .spawn(move || connection_loop(conn_id, stream, &shared_for_conn))
+            .expect("spawn connection thread");
+        let mut threads = shared
+            .conn_threads
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        // Reap finished connections here rather than only at shutdown,
+        // so a long-running server's handle list tracks *concurrent*
+        // connections, not every connection ever served.
+        let mut alive = Vec::with_capacity(threads.len() + 1);
+        for handle in threads.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                alive.push(handle);
+            }
+        }
+        alive.push(conn);
+        *threads = alive;
+    }
+}
+
+/// Reader half of one connection; owns the writer thread.
+fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&conn_id);
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let max_len = shared.max_frame_len;
+    let writer = std::thread::Builder::new()
+        .name("maya-wire-write".into())
+        .spawn(move || writer_loop(write_half, &rx, max_len))
+        .expect("spawn connection writer");
+
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, shared.max_frame_len) {
+            Ok(None) => break, // client closed its write half
+            Ok(Some(frame)) => {
+                // Id 0 is reserved for connection-scoped errors: a
+                // request carrying it could never be answered
+                // unambiguously (an id-0 error frame means "the
+                // stream is dead", and a service rejection like
+                // Overloaded would be misread as fatal). A conforming
+                // client starts at 1, so reject the stream outright.
+                if frame.id == 0 {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(WriterMsg::Error(
+                        0,
+                        RemoteError {
+                            kind: crate::error::RemoteErrorKind::Protocol,
+                            message: "frame id 0 is reserved for connection-scoped errors"
+                                .to_string(),
+                        },
+                    ));
+                    break;
+                }
+                let msg = match frame.kind {
+                    FrameKind::Request => match serde::from_str::<Request>(&frame.body) {
+                        Ok(req) => match shared.service.try_submit(req) {
+                            Ok(handle) => {
+                                shared.admitted.fetch_add(1, Ordering::Relaxed);
+                                WriterMsg::Reply(frame.id, handle)
+                            }
+                            Err(e) => {
+                                if matches!(e, ServeError::Overloaded) {
+                                    shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                WriterMsg::Error(frame.id, RemoteError::from(&e))
+                            }
+                        },
+                        Err(e) => {
+                            // The frame parsed but its body did not:
+                            // this request fails, the stream is intact.
+                            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            WriterMsg::Error(
+                                frame.id,
+                                RemoteError::protocol(&ProtocolError::Malformed(e)),
+                            )
+                        }
+                    },
+                    other => {
+                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        WriterMsg::Error(
+                            frame.id,
+                            RemoteError::protocol(&ProtocolError::UnexpectedFrame(other)),
+                        )
+                    }
+                };
+                if tx.send(msg).is_err() {
+                    break; // writer died (client stopped reading)
+                }
+            }
+            Err(ReadError::Protocol(p)) => {
+                // The framing itself broke: report once on id 0 and
+                // close this connection. Other connections — and the
+                // service — are untouched.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(WriterMsg::Error(0, RemoteError::protocol(&p)));
+                break;
+            }
+            Err(ReadError::Io(_)) => break,
+        }
+    }
+    // Dropping the sender lets the writer drain in-flight responses
+    // and exit — this is what makes shutdown (and client close) drain
+    // rather than abort.
+    drop(tx);
+    let _ = writer.join();
+    // Close the socket at the OS level and deregister. The explicit
+    // shutdown matters: the registry (or a client) may still hold FD
+    // clones, and the peer must see EOF now, not when the last clone
+    // drops.
+    let stream = reader.into_inner();
+    let _ = stream.shutdown(Shutdown::Both);
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(&conn_id);
+}
+
+/// Writer half: redeems handles in admission order, one frame per
+/// response, echoing request ids.
+fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<WriterMsg>, max_len: u32) {
+    let mut w = std::io::BufWriter::new(stream);
+    while let Ok(msg) = rx.recv() {
+        let result = match msg {
+            WriterMsg::Reply(id, handle) => match handle.wait() {
+                Ok(response) => write_frame(
+                    &mut w,
+                    FrameKind::Response,
+                    id,
+                    &serde::to_string(&response),
+                    max_len,
+                ),
+                // The worker died mid-request (panic): typed Stopped.
+                Err(e) => write_frame(
+                    &mut w,
+                    FrameKind::Error,
+                    id,
+                    &serde::to_string(&RemoteError::from(&e)),
+                    max_len,
+                ),
+            },
+            WriterMsg::Error(id, remote) => {
+                let r = write_frame(
+                    &mut w,
+                    FrameKind::Error,
+                    id,
+                    &serde::to_string(&remote),
+                    max_len,
+                );
+                if id == 0 {
+                    break; // connection-fatal: stop after reporting
+                }
+                r
+            }
+        };
+        if result.is_err() {
+            break; // peer gone; reader will notice on its next read
+        }
+    }
+}

@@ -134,6 +134,7 @@ pub struct MayaBuilder {
     spec: EmulationSpec,
     estimator: EstimatorChoice,
     snapshot: Option<PathBuf>,
+    memo_capacity: Option<usize>,
 }
 
 impl MayaBuilder {
@@ -144,6 +145,7 @@ impl MayaBuilder {
             spec: EmulationSpec::new(cluster),
             estimator: EstimatorChoice::Oracle,
             snapshot: None,
+            memo_capacity: None,
         }
     }
 
@@ -204,6 +206,19 @@ impl MayaBuilder {
         self
     }
 
+    /// Bounds the engine's estimator memo to roughly `entries` per
+    /// query family (kernel / memcpy / collective) with
+    /// least-recently-used eviction; see
+    /// [`maya_estimator::CachingEstimator::with_capacity`]. Unbounded
+    /// by default — set a cap for long-running engines (a network
+    /// service, a days-long search) so a diverse workload cannot grow
+    /// the memo without limit. Evictions are counted in
+    /// [`maya_estimator::CacheStats::evictions`].
+    pub fn memo_capacity(mut self, entries: usize) -> Self {
+        self.memo_capacity = Some(entries);
+        self
+    }
+
     /// Arms memo persistence: if a snapshot exists at `path` it is
     /// restored into the engine's cache at build (warm start), and
     /// [`Maya::persist_snapshot`] will write back to the same path. A
@@ -222,7 +237,11 @@ impl MayaBuilder {
     /// Builds the bare engine (no facade, no snapshot handling) — what
     /// `maya-serve`'s registry stamps out per cluster spec.
     pub fn build_engine(&self) -> PredictionEngine {
-        PredictionEngine::new(self.spec, self.estimator.build(&self.spec.cluster))
+        let cache = maya_estimator::CachingEstimator::with_capacity(
+            self.estimator.build(&self.spec.cluster),
+            self.memo_capacity,
+        );
+        PredictionEngine::with_shared_cache(self.spec, Arc::new(cache))
     }
 
     /// Builds the [`Maya`] runtime, restoring the snapshot if one is
@@ -290,6 +309,29 @@ mod tests {
         assert!(!spec.dedup);
         assert!(spec.selective_launch);
         assert_eq!(spec.emulation_threads, 3);
+    }
+
+    #[test]
+    fn memo_capacity_bounds_the_engine_cache() {
+        let capped = MayaBuilder::new(ClusterSpec::h100(1, 1))
+            .memo_capacity(16)
+            .build()
+            .unwrap();
+        // A real prediction derives far more than 16 distinct shapes.
+        capped.predict_job(&smoke_job(1)).unwrap();
+        let cache = capped.engine().cache();
+        assert!(cache.len() <= 16, "len {} exceeds cap", cache.len());
+        assert!(capped.engine().cache_stats().evictions > 0);
+        // Capped answers still match an uncapped engine's exactly.
+        let uncapped = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
+        assert_eq!(
+            capped.predict_job(&smoke_job(1)).unwrap().iteration_time(),
+            uncapped
+                .predict_job(&smoke_job(1))
+                .unwrap()
+                .iteration_time()
+        );
+        assert_eq!(uncapped.engine().cache_stats().evictions, 0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod pipeline;
+pub mod serdes;
 
 pub use builder::{EstimatorChoice, EstimatorFactory, MayaBuilder};
 pub use engine::PredictionEngine;

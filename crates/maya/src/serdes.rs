@@ -1,0 +1,183 @@
+//! Wire codecs for the prediction vocabulary, over the vendored serde's
+//! compact token format.
+//!
+//! [`Prediction`] (and everything inside it — [`PredictOutcome`],
+//! [`maya_sim::SimReport`], [`StageTimings`]) round-trips exactly, so a
+//! `maya-wire` client receives predictions byte-identical to a direct
+//! engine call. [`MayaError`] is serialize-only: the inner error trees
+//! hold things a remote process cannot reconstruct (`std::io::Error`,
+//! borrowed diagnostics), so the wire carries a stable *kind code* plus
+//! the rendered message, and the client surfaces them as a typed remote
+//! error rather than a rebuilt `MayaError`.
+
+use serde::{compact, Deserialize, Serialize};
+
+use crate::error::MayaError;
+use crate::pipeline::{PredictOutcome, Prediction, StageTimings};
+
+impl Serialize for StageTimings {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.emulation.serialize(w);
+        self.collation.serialize(w);
+        self.estimation.serialize(w);
+        self.simulation.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for StageTimings {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(StageTimings {
+            emulation: Deserialize::deserialize(r)?,
+            collation: Deserialize::deserialize(r)?,
+            estimation: Deserialize::deserialize(r)?,
+            simulation: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for PredictOutcome {
+    fn serialize(&self, w: &mut compact::Writer) {
+        match self {
+            PredictOutcome::Completed(report) => {
+                w.tag("completed");
+                report.serialize(w);
+            }
+            PredictOutcome::OutOfMemory {
+                rank,
+                peak_attempted,
+            } => {
+                w.tag("oom");
+                (*rank, *peak_attempted).serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for PredictOutcome {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "completed" => PredictOutcome::Completed(Deserialize::deserialize(r)?),
+            "oom" => {
+                let (rank, peak_attempted) = Deserialize::deserialize(r)?;
+                PredictOutcome::OutOfMemory {
+                    rank,
+                    peak_attempted,
+                }
+            }
+            t => return Err(compact::Error::parse(t, "predict outcome")),
+        })
+    }
+}
+
+impl Serialize for Prediction {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.outcome.serialize(w);
+        self.timings.serialize(w);
+        (
+            self.workers_emulated,
+            self.workers_simulated,
+            self.trace_events,
+        )
+            .serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for Prediction {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let outcome = Deserialize::deserialize(r)?;
+        let timings = Deserialize::deserialize(r)?;
+        let (workers_emulated, workers_simulated, trace_events) = Deserialize::deserialize(r)?;
+        Ok(Prediction {
+            outcome,
+            timings,
+            workers_emulated,
+            workers_simulated,
+            trace_events,
+        })
+    }
+}
+
+/// Stable wire code naming a [`MayaError`] variant. Part of the wire
+/// format: `maya-wire` decodes these codes into its typed remote-error
+/// kinds, so renaming one is a protocol change.
+pub fn error_code(e: &MayaError) -> &'static str {
+    match e {
+        MayaError::Config(_) => "config",
+        MayaError::Device(_) => "device",
+        MayaError::Collate(_) => "collate",
+        MayaError::Sim(_) => "sim",
+        MayaError::Exec(_) => "exec",
+        MayaError::WorldMismatch { .. } => "world_mismatch",
+        MayaError::Snapshot(_) => "snapshot",
+    }
+}
+
+/// Serialize-only (see module docs): a stable kind code plus the
+/// rendered message.
+impl Serialize for MayaError {
+    fn serialize(&self, w: &mut compact::Writer) {
+        w.tag(error_code(self));
+        w.str_token(&self.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_sim::SimReport;
+    use maya_trace::SimTime;
+    use std::time::Duration;
+
+    fn prediction() -> Prediction {
+        Prediction {
+            outcome: PredictOutcome::Completed(SimReport {
+                total_time: SimTime::from_ms(42.0),
+                rank_end_times: vec![SimTime::from_ms(41.0), SimTime::from_ms(42.0)],
+                comm_time: SimTime::from_ms(10.0),
+                compute_time: SimTime::from_ms(30.0),
+                host_time: SimTime::from_ms(2.0),
+                peak_mem_bytes: 1 << 34,
+                events_processed: 12345,
+            }),
+            timings: StageTimings {
+                emulation: Duration::from_micros(1500),
+                collation: Duration::from_nanos(999_999_999),
+                estimation: Duration::from_millis(2),
+                simulation: Duration::from_secs(1),
+            },
+            workers_emulated: 8,
+            workers_simulated: 2,
+            trace_events: 4096,
+        }
+    }
+
+    #[test]
+    fn predictions_round_trip_exactly() {
+        for p in [
+            prediction(),
+            Prediction {
+                outcome: PredictOutcome::OutOfMemory {
+                    rank: 3,
+                    peak_attempted: u64::MAX,
+                },
+                ..prediction()
+            },
+        ] {
+            let text = serde::to_string(&p);
+            let back: Prediction = serde::from_str(&text).expect("decode");
+            assert_eq!(serde::to_string(&back), text, "re-encode mismatch");
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_messages_survive() {
+        let e = MayaError::WorldMismatch { job: 8, cluster: 4 };
+        assert_eq!(error_code(&e), "world_mismatch");
+        let text = serde::to_string(&e);
+        let mut r = compact::Reader::new(&text);
+        r.expect_tag("world_mismatch").unwrap();
+        let msg = r.str_token().unwrap();
+        assert!(msg.contains("8 ranks"), "{msg}");
+        r.end().unwrap();
+    }
+}

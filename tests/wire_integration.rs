@@ -1,0 +1,454 @@
+//! End-to-end exercise of `maya-wire`: a real loopback TCP server over
+//! a `MayaService`, concurrent pipelined clients, results checked
+//! byte-identical to direct in-process service calls, typed overload
+//! shedding, malformed-frame handling, and graceful drain shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use maya::{EmulationSpec, Prediction, StageTimings};
+use maya_hw::ClusterSpec;
+use maya_search::{AlgorithmKind, ConfigSpace};
+use maya_serve::{MayaService, Payload, Request};
+use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
+use maya_trace::Dtype;
+use maya_wire::{
+    frame, RemoteError, RemoteErrorKind, WireClient, WireError, WirePayload, WireResponse,
+    WireServer,
+};
+
+const H100_TARGET: &str = "h100-quad";
+const A40_TARGET: &str = "a40-pair";
+
+fn h100_cluster() -> ClusterSpec {
+    ClusterSpec::h100(1, 4)
+}
+
+fn a40_cluster() -> ClusterSpec {
+    ClusterSpec::a40(1, 2)
+}
+
+fn job(cluster: &ClusterSpec, parallel: ParallelConfig) -> TrainingJob {
+    TrainingJob {
+        model: ModelSpec::gpt3_125m(),
+        parallel,
+        flavor: FrameworkFlavor::Megatron,
+        compile: false,
+        global_batch: 16 * cluster.num_gpus(),
+        world: cluster.num_gpus(),
+        gpus_per_node: cluster.gpus_per_node,
+        precision: Dtype::Bf16,
+        iterations: 1,
+    }
+}
+
+fn search_space() -> ConfigSpace {
+    ConfigSpace {
+        tp: vec![1, 2],
+        pp: vec![1, 2],
+        microbatch_multiplier: vec![1, 2],
+        virtual_stages: vec![1],
+        activation_recompute: vec![false],
+        sequence_parallel: vec![false],
+        distributed_optimizer: vec![false],
+    }
+}
+
+fn service() -> Arc<MayaService> {
+    Arc::new(
+        MayaService::builder()
+            .target(H100_TARGET, EmulationSpec::new(h100_cluster()))
+            .target(A40_TARGET, EmulationSpec::new(a40_cluster()))
+            .workers(4)
+            .queue_capacity(32)
+            .build()
+            .expect("service builds"),
+    )
+}
+
+fn mixed_requests() -> Vec<Request> {
+    let h100 = h100_cluster();
+    let a40 = a40_cluster();
+    let tp2 = ParallelConfig {
+        tp: 2,
+        ..Default::default()
+    };
+    let pp2 = ParallelConfig {
+        pp: 2,
+        ..Default::default()
+    };
+    vec![
+        Request::Predict {
+            target: H100_TARGET.into(),
+            jobs: vec![job(&h100, ParallelConfig::default()), job(&h100, tp2)],
+        },
+        Request::Predict {
+            target: A40_TARGET.into(),
+            jobs: vec![job(&a40, ParallelConfig::default())],
+        },
+        Request::Search {
+            target: H100_TARGET.into(),
+            template: job(&h100, ParallelConfig::default()),
+            space: search_space(),
+            algorithm: AlgorithmKind::Random,
+            budget: 6,
+            seed: 42,
+        },
+        Request::Measure {
+            target: A40_TARGET.into(),
+            job: job(&a40, pp2),
+        },
+        Request::Predict {
+            target: H100_TARGET.into(),
+            jobs: vec![job(&h100, pp2)],
+        },
+        Request::Search {
+            target: A40_TARGET.into(),
+            template: job(&a40, ParallelConfig::default()),
+            space: search_space(),
+            algorithm: AlgorithmKind::OnePlusOne,
+            budget: 5,
+            seed: 7,
+        },
+    ]
+}
+
+/// Reissues an equal request (Request is not Clone by design).
+fn reissue(req: &Request) -> Request {
+    serde::from_str(&serde::to_string(req)).expect("request round-trips")
+}
+
+/// Strips the wall-clock fields (stage timings, search wall time) that
+/// legitimately differ run to run, then encodes. Everything else —
+/// outcomes, reports, trial records, convergence floats, error codes
+/// and messages — must match byte for byte.
+fn canonical(payload: &WirePayload) -> String {
+    fn norm_pred(p: &Prediction) -> Prediction {
+        Prediction {
+            timings: StageTimings::default(),
+            ..p.clone()
+        }
+    }
+    let normalized = match payload {
+        WirePayload::Predict(results) => WirePayload::Predict(
+            results
+                .iter()
+                .map(|r| r.as_ref().map(norm_pred).map_err(Clone::clone))
+                .collect(),
+        ),
+        WirePayload::Search(s) => {
+            let mut s = (**s).clone();
+            s.wall = Duration::ZERO;
+            WirePayload::Search(Box::new(s))
+        }
+        WirePayload::Measure(m) => WirePayload::Measure(m.clone()),
+    };
+    serde::to_string(&normalized)
+}
+
+/// Converts a direct in-process payload into the wire view (errors
+/// become their typed remote form, exactly as the server encodes them).
+fn to_wire_payload(payload: &Payload) -> WirePayload {
+    match payload {
+        Payload::Predict(results) => WirePayload::Predict(
+            results
+                .iter()
+                .map(|r| match r {
+                    Ok(p) => Ok(p.clone()),
+                    Err(e) => Err(RemoteError::from(e)),
+                })
+                .collect(),
+        ),
+        Payload::Search(s) => WirePayload::Search(Box::new((**s).clone())),
+        Payload::Measure(m) => match m {
+            Ok(outcome) => WirePayload::Measure(Ok(outcome.clone())),
+            Err(e) => WirePayload::Measure(Err(RemoteError::from(e))),
+        },
+    }
+}
+
+#[test]
+fn concurrent_pipelined_clients_match_direct_service_calls() {
+    let server = WireServer::bind("127.0.0.1:0", service()).expect("bind");
+    let addr = server.local_addr();
+    let requests = mixed_requests();
+
+    // Direct answers from an identical but separate in-process service:
+    // every pipeline stage is deterministic, so the network must add
+    // multiplexing, never different bytes.
+    let direct = service();
+    let want: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            let resp = direct.call(reissue(r)).expect("direct call");
+            canonical(&to_wire_payload(&resp.payload))
+        })
+        .collect();
+
+    // Three concurrent clients, each pipelining every request on one
+    // connection before redeeming any response.
+    let got: Vec<Vec<(String, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let requests = &requests;
+                s.spawn(move || {
+                    let client = WireClient::connect(addr).expect("connect");
+                    let pending: Vec<_> = requests
+                        .iter()
+                        .map(|r| client.submit(r).expect("submit"))
+                        .collect();
+                    pending
+                        .into_iter()
+                        .map(|p| {
+                            let resp: WireResponse = p.wait().expect("response");
+                            (resp.target.clone(), canonical(&resp.payload))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for per_client in &got {
+        assert_eq!(per_client.len(), requests.len());
+        for (i, (target, payload)) in per_client.iter().enumerate() {
+            assert_eq!(target, requests[i].target(), "request {i} routed wrong");
+            assert_eq!(
+                payload, &want[i],
+                "request {i} over the wire differs from the direct call"
+            );
+        }
+    }
+    assert_eq!(server.stats().connections, 3);
+    assert_eq!(server.stats().admitted, 3 * requests.len() as u64);
+    assert_eq!(server.stats().protocol_errors, 0);
+}
+
+#[test]
+fn overload_is_a_typed_frame_not_a_dropped_connection() {
+    let tiny = Arc::new(
+        MayaService::builder()
+            .target(H100_TARGET, EmulationSpec::new(h100_cluster()))
+            .workers(1)
+            .queue_capacity(1)
+            .build()
+            .unwrap(),
+    );
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&tiny)).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+
+    let predict = || Request::Predict {
+        target: H100_TARGET.into(),
+        jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+    };
+    // Flood one connection far faster than one worker drains a 1-slot
+    // queue. Every submission gets an answer frame: a response or a
+    // typed overload — never a connection error.
+    let pending: Vec<_> = (0..48)
+        .map(|_| client.submit(&predict()).unwrap())
+        .collect();
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for p in pending {
+        match p.wait() {
+            Ok(resp) => {
+                assert!(resp.predictions().unwrap()[0].is_ok());
+                ok += 1;
+            }
+            Err(e) if e.is_overloaded() => shed += 1,
+            Err(other) => panic!("unexpected wire error: {other}"),
+        }
+    }
+    assert!(ok > 0, "some requests must be admitted");
+    assert!(shed > 0, "a 1-slot queue must shed part of a 48-burst");
+    assert_eq!(server.stats().overloaded as u32, shed);
+
+    // The connection survived the overload and still serves.
+    let after = client.call(&predict()).expect("connection still usable");
+    assert!(after.predictions().unwrap()[0].is_ok());
+}
+
+#[test]
+fn malformed_frames_yield_typed_protocol_errors_and_the_server_survives() {
+    let server = WireServer::bind("127.0.0.1:0", service()).unwrap();
+    let addr = server.local_addr();
+
+    // 1) A well-framed but undecodable body: per-request error, same
+    //    connection keeps working.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        frame::write_frame(
+            &mut raw,
+            frame::FrameKind::Request,
+            9,
+            "definitely not a request",
+            frame::DEFAULT_MAX_FRAME_LEN,
+        )
+        .unwrap();
+        let reply = frame::read_frame(&mut raw, frame::DEFAULT_MAX_FRAME_LEN)
+            .expect("readable reply")
+            .expect("a frame");
+        assert_eq!(reply.kind, frame::FrameKind::Error);
+        assert_eq!(reply.id, 9, "error echoes the offending request id");
+        let err: RemoteError = serde::from_str(&reply.body).unwrap();
+        assert_eq!(err.kind, RemoteErrorKind::Protocol);
+
+        // Same connection, now a valid request: still served.
+        let good = Request::Predict {
+            target: A40_TARGET.into(),
+            jobs: vec![job(&a40_cluster(), ParallelConfig::default())],
+        };
+        frame::write_frame(
+            &mut raw,
+            frame::FrameKind::Request,
+            10,
+            &serde::to_string(&good),
+            frame::DEFAULT_MAX_FRAME_LEN,
+        )
+        .unwrap();
+        let reply = frame::read_frame(&mut raw, frame::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("response frame");
+        assert_eq!(reply.kind, frame::FrameKind::Response);
+        assert_eq!(reply.id, 10);
+        let resp: WireResponse = serde::from_str(&reply.body).unwrap();
+        assert!(resp.predictions().unwrap()[0].is_ok());
+    }
+
+    // 2) A corrupted header: the stream is untrustworthy, so the server
+    //    reports a connection-scoped error (id 0) and closes *that*
+    //    connection only.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"GARBAGE NOT A FRAME HEADER......").unwrap();
+        let reply = frame::read_frame(&mut raw, frame::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("fatal error frame");
+        assert_eq!(reply.kind, frame::FrameKind::Error);
+        assert_eq!(reply.id, 0, "stream-fatal errors are connection-scoped");
+        let err: RemoteError = serde::from_str(&reply.body).unwrap();
+        assert_eq!(err.kind, RemoteErrorKind::Protocol);
+        // The server closed this connection after reporting.
+        let mut rest = Vec::new();
+        raw.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "no further frames after a fatal error");
+    }
+
+    // 3) The server is alive and well for everyone else.
+    let client = WireClient::connect(addr).unwrap();
+    let resp = client
+        .call(&Request::Predict {
+            target: H100_TARGET.into(),
+            jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+        })
+        .expect("server survived the garbage");
+    assert!(resp.predictions().unwrap()[0].is_ok());
+    assert!(server.stats().protocol_errors >= 2);
+}
+
+#[test]
+fn oversized_frames_are_refused_without_reading_the_body() {
+    let small = WireServer::builder(service())
+        .max_frame_len(256)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut raw = TcpStream::connect(small.local_addr()).unwrap();
+    // A header declaring a body far over the guard; the body is never
+    // sent — the server must reject on the header alone.
+    let mut header = Vec::new();
+    frame::write_frame(
+        &mut header,
+        frame::FrameKind::Request,
+        1,
+        "",
+        frame::DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    header[16..20].copy_from_slice(&(1u32 << 30).to_be_bytes());
+    raw.write_all(&header).unwrap();
+    let reply = frame::read_frame(&mut raw, frame::DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .expect("error frame");
+    assert_eq!(reply.kind, frame::FrameKind::Error);
+    let err: RemoteError = serde::from_str(&reply.body).unwrap();
+    assert_eq!(err.kind, RemoteErrorKind::Protocol);
+    assert!(err.message.contains("guard"), "{}", err.message);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let svc = service();
+    let mut server = WireServer::bind("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+
+    // Pipeline a burst, then shut the server down as soon as every
+    // request has been admitted (but long before all have executed).
+    let n = 8usize;
+    let pending: Vec<_> = (0..n)
+        .map(|_| {
+            client
+                .submit(&Request::Predict {
+                    target: H100_TARGET.into(),
+                    jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+                })
+                .unwrap()
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().admitted < n as u64 {
+        assert!(Instant::now() < deadline, "requests never admitted");
+        std::thread::yield_now();
+    }
+    server.shutdown();
+
+    // Every admitted request still gets its response.
+    for p in pending {
+        let resp = p.wait().expect("drained response");
+        assert!(resp.predictions().unwrap()[0].is_ok());
+    }
+
+    // New work after shutdown fails with a connection-level error, not
+    // a hang.
+    let err = client
+        .call(&Request::Predict {
+            target: H100_TARGET.into(),
+            jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+        })
+        .expect_err("server is gone");
+    assert!(
+        matches!(err, WireError::ConnectionClosed | WireError::Io(_)),
+        "{err}"
+    );
+
+    // The wrapped service itself is untouched by the front end's
+    // shutdown: in-process callers keep working.
+    let direct = svc
+        .call(Request::Predict {
+            target: H100_TARGET.into(),
+            jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+        })
+        .unwrap();
+    assert!(direct.predictions().unwrap()[0].is_ok());
+}
+
+#[test]
+fn wire_telemetry_carries_cache_deltas_and_stage_timings() {
+    let server = WireServer::bind("127.0.0.1:0", service()).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+    let predict = || Request::Predict {
+        target: H100_TARGET.into(),
+        jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+    };
+    let first = client.call(&predict()).unwrap();
+    assert!(first.telemetry.cache_delta.misses > 0, "cold cache");
+    assert!(first.telemetry.stages.simulation > Duration::ZERO);
+    let second = client.call(&predict()).unwrap();
+    assert_eq!(
+        second.telemetry.cache_delta.misses, 0,
+        "repeat workload over the wire must be answered from the memo"
+    );
+    assert!(second.telemetry.cache.hits > 0);
+}

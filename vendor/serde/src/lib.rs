@@ -152,6 +152,51 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
     }
 }
 
+/// Durations serialize as whole seconds plus subsecond nanoseconds, so
+/// a round trip is exact for the full `Duration` range.
+impl Serialize for std::time::Duration {
+    fn serialize(&self, w: &mut Writer) {
+        w.token(self.as_secs());
+        w.token(self.subsec_nanos());
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        let secs = r.u64()?;
+        let nanos = u32::deserialize(r)?;
+        if nanos >= 1_000_000_000 {
+            return Err(Error::parse(&nanos.to_string(), "subsecond nanos"));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            Ok(v) => {
+                w.tag("ok");
+                v.serialize(w);
+            }
+            Err(e) => {
+                w.tag("err");
+                e.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+        match r.raw_token()? {
+            "ok" => Ok(Ok(T::deserialize(r)?)),
+            "err" => Ok(Err(E::deserialize(r)?)),
+            t => Err(Error::parse(t, "result tag (ok|err)")),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self, w: &mut Writer) {
         match self {
@@ -281,6 +326,31 @@ mod tests {
         assert_eq!(round_trip(None::<u32>), None);
         assert_eq!(round_trip((3u64, true)), (3, true));
         assert_eq!(round_trip([7u64, 8, 9]), [7, 8, 9]);
+    }
+
+    #[test]
+    fn durations_round_trip_exactly() {
+        use std::time::Duration;
+        for d in [
+            Duration::ZERO,
+            Duration::new(0, 1),
+            Duration::new(1, 999_999_999),
+            Duration::from_nanos(u64::MAX),
+            Duration::new(u64::MAX, 999_999_999),
+        ] {
+            assert_eq!(round_trip(d), d);
+        }
+        // Out-of-range nanos are rejected, not silently normalized.
+        assert!(from_str::<Duration>("0 1000000000").is_err());
+    }
+
+    #[test]
+    fn results_round_trip() {
+        assert_eq!(round_trip(Ok::<u64, String>(7)), Ok(7));
+        assert_eq!(
+            round_trip(Err::<u64, String>("boom".into())),
+            Err("boom".into())
+        );
     }
 
     #[test]
