@@ -24,5 +24,5 @@ pub mod space;
 
 pub use algorithms::{AlgorithmKind, SearchAlgorithm};
 pub use objective::{Objective, Provenance, TrialOutcome, TrialRecord};
-pub use scheduler::{SearchResult, SearchStats, TrialScheduler};
+pub use scheduler::{SearchObserver, SearchResult, SearchStats, TrialScheduler};
 pub use space::{ConfigPoint, ConfigSpace};

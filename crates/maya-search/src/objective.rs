@@ -114,6 +114,20 @@ impl<'a> Objective<'a> {
     /// pipeline is deterministic and invalid configs are rejected before
     /// ever reaching it.
     pub fn evaluate_batch(&self, configs: &[ConfigPoint]) -> Vec<TrialOutcome> {
+        self.evaluate_batch_with(configs, None)
+            .expect("no token, no cancellation")
+    }
+
+    /// [`Objective::evaluate_batch`] with cooperative cancellation.
+    /// Returns `None` when the token fired before every member
+    /// prediction ran — an all-or-nothing verdict, so a caller never
+    /// sees a half-evaluated wave (the scheduler relies on this to keep
+    /// cancelled searches byte-identical to uncancelled prefixes).
+    pub fn evaluate_batch_with(
+        &self,
+        configs: &[ConfigPoint],
+        cancel: Option<&maya::CancelToken>,
+    ) -> Option<Vec<TrialOutcome>> {
         let jobs: Vec<maya_torchlet::TrainingJob> =
             configs.iter().map(|c| self.job_for(c)).collect();
         let mut out = vec![TrialOutcome::Invalid; configs.len()];
@@ -124,10 +138,16 @@ impl<'a> Objective<'a> {
             }
         }
         let batch: Vec<maya_torchlet::TrainingJob> = valid.iter().map(|&i| jobs[i]).collect();
-        for (&i, pred) in valid.iter().zip(self.engine.predict_batch(&batch)) {
+        for (&i, pred) in valid
+            .iter()
+            .zip(self.engine.predict_batch_with(&batch, cancel))
+        {
+            if matches!(pred, Err(maya::MayaError::Cancelled)) {
+                return None;
+            }
             out[i] = self.outcome_of(&jobs[i], pred);
         }
-        out
+        Some(out)
     }
 
     /// Maps a pipeline result to a trial outcome.

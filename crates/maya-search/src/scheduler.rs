@@ -4,11 +4,35 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use maya::CancelToken;
 use maya_trace::SimTime;
 
 use crate::algorithms::AlgorithmKind;
 use crate::objective::{Objective, Provenance, TrialOutcome, TrialRecord};
 use crate::space::{ConfigPoint, ConfigSpace};
+
+/// Observes a running search at its deterministic commit points.
+///
+/// The scheduler calls [`SearchObserver::trial_committed`] once per
+/// committed [`TrialRecord`] — in commit order, identical to the final
+/// [`SearchResult::trials`] — and [`SearchObserver::wave_committed`]
+/// at batch boundaries (after every speculative wave in
+/// [`TrialScheduler::run_batched`], after every trial in sequential
+/// mode, and always once more before the search returns). Observation
+/// is pull-free and synchronous: a serving layer uses it to stream
+/// progress events, and a callback may fire a [`CancelToken`] to stop
+/// the search at the next commit boundary.
+pub trait SearchObserver {
+    /// One trial was committed (the same record that lands in
+    /// [`SearchResult::trials`]); `best` is the best-so-far after it.
+    fn trial_committed(&mut self, record: &TrialRecord, best: Option<&(ConfigPoint, TrialOutcome)>);
+
+    /// A commit batch ended; `committed` counts all trials so far. A
+    /// good place to flush buffered progress.
+    fn wave_committed(&mut self, committed: usize) {
+        let _ = committed;
+    }
+}
 
 /// Counters for Fig. 15's trial-status breakdown.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,6 +154,12 @@ pub struct TrialScheduler<'a> {
     /// Best completed config in commit order (first strict improvement
     /// wins — deterministic, unlike scanning the cache map).
     best: Option<(ConfigPoint, TrialOutcome)>,
+    /// Progress observer, notified at commit points.
+    observer: Option<Box<dyn SearchObserver + 'a>>,
+    /// Cooperative stop signal, checked at commit boundaries.
+    cancel: Option<CancelToken>,
+    /// Trials already reported through `wave_committed`.
+    notified: usize,
 }
 
 impl<'a> TrialScheduler<'a> {
@@ -150,6 +180,9 @@ impl<'a> TrialScheduler<'a> {
             top5: Vec::new(),
             stable_streak: 0,
             best: None,
+            observer: None,
+            cancel: None,
+            notified: 0,
         }
     }
 
@@ -163,6 +196,49 @@ impl<'a> TrialScheduler<'a> {
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
         self
+    }
+
+    /// Installs a progress observer (see [`SearchObserver`]). The
+    /// observer never changes what the search computes — only what it
+    /// reports while computing.
+    pub fn with_observer(mut self, observer: Box<dyn SearchObserver + 'a>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Arms cooperative cancellation: when the token fires, the search
+    /// stops at the next commit boundary and returns a result whose
+    /// trial records are exactly a prefix of the uncancelled run's.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the cancel token (if any) has fired.
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Notifies the observer of the just-committed trial.
+    fn notify_commit(&mut self) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.trial_committed(
+                self.trials.last().expect("a trial was just committed"),
+                self.best.as_ref(),
+            );
+        }
+    }
+
+    /// Notifies the observer of a batch boundary (only when new trials
+    /// were committed since the last notification).
+    fn notify_wave(&mut self) {
+        if self.trials.len() > self.notified {
+            self.notified = self.trials.len();
+            let committed = self.notified;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.wave_committed(committed);
+            }
+        }
     }
 
     /// Applies the Table 10 tactics: can this config's outcome be derived
@@ -288,12 +364,14 @@ impl<'a> TrialScheduler<'a> {
     ) -> TrialOutcome {
         if let Some(o) = self.cache.get(c) {
             self.stats.cached += 1;
+            let o = *o;
             self.trials.push(TrialRecord {
                 config: *c,
-                outcome: *o,
+                outcome: o,
                 provenance: Provenance::Cached,
             });
-            return *o;
+            self.notify_commit();
+            return o;
         }
         let (outcome, provenance) = match self.prune_with(c, None) {
             Some(o) => {
@@ -345,6 +423,7 @@ impl<'a> TrialScheduler<'a> {
             let best = self.convergence.last().copied().unwrap_or(0.0).max(mfu);
             self.convergence.push(best);
         }
+        self.notify_commit();
         outcome
     }
 
@@ -383,21 +462,34 @@ impl<'a> TrialScheduler<'a> {
                 }
                 span += 1;
             }
-            // Fan the wave's pipeline runs across the engine pool.
+            // Fan the wave's pipeline runs across the engine pool. A
+            // cancellation observed mid-wave discards the whole wave
+            // (all-or-nothing), so nothing half-evaluated can commit.
             let executed: HashMap<ConfigPoint, TrialOutcome> = if wave.len() > 1 {
-                let outcomes = self.objective.evaluate_batch(&wave);
-                wave.into_iter().zip(outcomes).collect()
+                match self
+                    .objective
+                    .evaluate_batch_with(&wave, self.cancel.as_ref())
+                {
+                    Some(outcomes) => wave.into_iter().zip(outcomes).collect(),
+                    None => return out, // cancelled: prior waves stand
+                }
             } else {
                 HashMap::new() // single run: let the commit path do it inline
             };
             // Commit the span in proposal order through the sequential
             // decision path.
             for &c in &configs[i..i + span] {
+                if self.cancelled() {
+                    self.notify_wave();
+                    return out;
+                }
                 out.push(self.commit(&c, Some(&executed)));
                 if self.should_stop() {
+                    self.notify_wave();
                     return out;
                 }
             }
+            self.notify_wave();
             i += span;
         }
         out
@@ -457,17 +549,18 @@ impl<'a> TrialScheduler<'a> {
                 self.evaluate_speculative(&configs);
             } else {
                 for c in &configs {
-                    if self.should_stop() {
+                    if self.should_stop() || self.cancelled() {
                         break;
                     }
                     self.evaluate(c);
+                    self.notify_wave();
                 }
             }
             return self.into_result(t0);
         }
         let mut alg = kind.build(ConfigSpace::DIMS, seed);
         let mut samples = 0usize;
-        while samples < budget && !alg.exhausted() && !self.should_stop() {
+        while samples < budget && !alg.exhausted() && !self.should_stop() && !self.cancelled() {
             let asks = alg.ask();
             if asks.is_empty() {
                 break;
@@ -486,9 +579,16 @@ impl<'a> TrialScheduler<'a> {
                 }
             } else {
                 for x in &asks {
+                    if self.cancelled() {
+                        while fitness.len() < asks.len() {
+                            fitness.push(1e7);
+                        }
+                        break;
+                    }
                     let config = self.space.from_unit(x);
                     let outcome = self.evaluate(&config);
                     fitness.push(Self::fitness(&outcome));
+                    self.notify_wave();
                     samples += 1;
                     if self.should_stop() {
                         while fitness.len() < asks.len() {
@@ -503,7 +603,11 @@ impl<'a> TrialScheduler<'a> {
         self.into_result(t0)
     }
 
-    fn into_result(self, t0: Instant) -> SearchResult {
+    fn into_result(mut self, t0: Instant) -> SearchResult {
+        // Final flush: any trials committed since the last wave
+        // boundary are reported before the result is sealed, so an
+        // observer's cumulative view always equals `trials`.
+        self.notify_wave();
         SearchResult {
             best: self.best,
             trials: self.trials,
@@ -519,7 +623,11 @@ impl<'a> TrialScheduler<'a> {
         let t0 = Instant::now();
         self.early_stop_patience = None;
         for c in self.space.enumerate() {
+            if self.cancelled() {
+                break;
+            }
             self.evaluate(&c);
+            self.notify_wave();
         }
         self.into_result(t0)
     }
@@ -740,6 +848,161 @@ mod tests {
         let par = par_sched.run_batched(AlgorithmKind::Random, 10_000, 3);
         assert_eq!(seq.trials.len(), par.trials.len(), "stop point must match");
         assert_results_identical(&seq, &par, "early stop");
+    }
+
+    /// Records every observation; optionally fires a cancel token after
+    /// a fixed number of committed trials.
+    struct Recorder {
+        records: Vec<TrialRecord>,
+        waves: Vec<usize>,
+        cancel_after: Option<(usize, CancelToken)>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                records: Vec::new(),
+                waves: Vec::new(),
+                cancel_after: None,
+            }
+        }
+
+        fn cancelling_after(n: usize, token: CancelToken) -> Self {
+            Recorder {
+                cancel_after: Some((n, token)),
+                ..Recorder::new()
+            }
+        }
+    }
+
+    impl SearchObserver for Recorder {
+        fn trial_committed(
+            &mut self,
+            record: &TrialRecord,
+            _best: Option<&(ConfigPoint, TrialOutcome)>,
+        ) {
+            self.records.push(*record);
+            if let Some((n, token)) = &self.cancel_after {
+                if self.records.len() >= *n {
+                    token.cancel();
+                }
+            }
+        }
+
+        fn wave_committed(&mut self, committed: usize) {
+            self.waves.push(committed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_committed_trial_in_order() {
+        let cluster = ClusterSpec::h100(1, 4);
+        let maya = MayaBuilder::new(cluster)
+            .emulation_threads(4)
+            .build()
+            .unwrap();
+        let template = fixture().1;
+        let obj = Objective::new(maya.engine(), template);
+        let observed = std::rc::Rc::new(std::cell::RefCell::new(Recorder::new()));
+        struct Tee(std::rc::Rc<std::cell::RefCell<Recorder>>);
+        impl SearchObserver for Tee {
+            fn trial_committed(
+                &mut self,
+                r: &TrialRecord,
+                b: Option<&(ConfigPoint, TrialOutcome)>,
+            ) {
+                self.0.borrow_mut().trial_committed(r, b);
+            }
+            fn wave_committed(&mut self, n: usize) {
+                self.0.borrow_mut().wave_committed(n);
+            }
+        }
+        let result = TrialScheduler::new(&obj)
+            .with_space(small_space())
+            .with_batch(4)
+            .with_observer(Box::new(Tee(std::rc::Rc::clone(&observed))))
+            .run_batched(AlgorithmKind::Random, 40, 9);
+        let observed = observed.borrow();
+        assert_eq!(
+            observed.records, result.trials,
+            "the observer's stream must equal the final trial records"
+        );
+        assert!(
+            observed.waves.windows(2).all(|w| w[0] < w[1]),
+            "wave counts must be strictly increasing: {:?}",
+            observed.waves
+        );
+        assert_eq!(
+            observed.waves.last().copied(),
+            Some(result.trials.len()),
+            "the final wave notification must cover every trial"
+        );
+    }
+
+    #[test]
+    fn cancelled_search_returns_the_exact_uncancelled_prefix() {
+        let cluster = ClusterSpec::h100(1, 4);
+        let template = fixture().1;
+        // Reference: the full, uncancelled run.
+        let ref_maya = MayaBuilder::new(cluster).build().unwrap();
+        let ref_obj = Objective::new(ref_maya.engine(), template);
+        let full = TrialScheduler::new(&ref_obj).with_space(small_space()).run(
+            AlgorithmKind::Random,
+            40,
+            9,
+        );
+        assert!(full.trials.len() >= 12, "need enough trials to cut");
+
+        for n in [1usize, 5, 11] {
+            for batched in [false, true] {
+                let maya = MayaBuilder::new(cluster)
+                    .emulation_threads(4)
+                    .build()
+                    .unwrap();
+                let obj = Objective::new(maya.engine(), template);
+                let token = CancelToken::new();
+                let sched = TrialScheduler::new(&obj)
+                    .with_space(small_space())
+                    .with_batch(4)
+                    .with_observer(Box::new(Recorder::cancelling_after(n, token.clone())))
+                    .with_cancel(token);
+                let cut = if batched {
+                    sched.run_batched(AlgorithmKind::Random, 40, 9)
+                } else {
+                    sched.run(AlgorithmKind::Random, 40, 9)
+                };
+                assert_eq!(
+                    cut.trials,
+                    full.trials[..n],
+                    "cancel after {n} (batched={batched}) must return exactly \
+                     the first {n} records of the uncancelled run"
+                );
+                assert_eq!(cut.convergence, {
+                    // Convergence grows once per *uncached* valid commit.
+                    let valid = full.trials[..n]
+                        .iter()
+                        .filter(|t| {
+                            t.provenance != Provenance::Cached && t.outcome != TrialOutcome::Invalid
+                        })
+                        .count();
+                    full.convergence[..valid].to_vec()
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_search_commits_nothing() {
+        let (maya, template) = fixture();
+        let obj = Objective::new(maya.engine(), template);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = TrialScheduler::new(&obj)
+            .with_space(small_space())
+            .with_cancel(token)
+            .run_batched(AlgorithmKind::Grid, 40, 0);
+        assert!(result.trials.is_empty());
+        assert!(result.best.is_none());
     }
 
     #[test]

@@ -20,6 +20,19 @@ pub enum ServeError {
     DuplicateTarget(String),
     /// A service needs at least one registered target.
     NoTargets,
+    /// The job was cancelled (via
+    /// [`JobHandle::cancel`](crate::JobHandle::cancel)) before
+    /// completing. Only reported by the blocking
+    /// [`JobHandle::wait`](crate::JobHandle::wait) shim —
+    /// [`wait_outcome`](crate::JobHandle::wait_outcome) returns the
+    /// typed [`JobOutcome::Cancelled`](crate::JobOutcome::Cancelled)
+    /// with any committed-prefix response instead.
+    Cancelled,
+    /// The job's deadline elapsed (while queued, or at a search wave
+    /// boundary). Only reported by the blocking
+    /// [`JobHandle::wait`](crate::JobHandle::wait) shim — see
+    /// [`ServeError::Cancelled`].
+    Expired,
     /// `EstimatorChoice::Custom` holds one fixed estimator instance,
     /// which cannot be correct for more than one cluster; a service
     /// whose targets span distinct clusters must use a cluster-aware
@@ -37,6 +50,8 @@ impl fmt::Display for ServeError {
             ServeError::Stopped => write!(f, "service stopped"),
             ServeError::DuplicateTarget(t) => write!(f, "target {t:?} registered twice"),
             ServeError::NoTargets => write!(f, "service built with no cluster targets"),
+            ServeError::Cancelled => write!(f, "job cancelled"),
+            ServeError::Expired => write!(f, "job deadline expired"),
             ServeError::CustomEstimatorSpansClusters => write!(
                 f,
                 "EstimatorChoice::Custom is one fixed instance and cannot serve multiple \

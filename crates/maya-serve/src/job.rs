@@ -1,0 +1,360 @@
+//! The job-oriented submission API: tickets, states, deadlines,
+//! cancellation, and streaming progress.
+//!
+//! [`MayaService::submit`](crate::MayaService::submit) returns a
+//! [`JobHandle`] — a ticket for one request moving through the typed
+//! state machine
+//!
+//! ```text
+//! Queued ──► Running ──► Done
+//!    │           │   ├──► Cancelled
+//!    │           │   ├──► Expired   (deadline hit at a wave boundary)
+//!    │           └──────► Failed    (worker panic; wait → Stopped)
+//!    ├──────────────────► Expired   (deadline elapsed while queued)
+//!    └──────────────────► Cancelled (cancelled while queued)
+//! ```
+//!
+//! A handle supports non-blocking [`JobHandle::poll`], blocking
+//! [`JobHandle::wait`] / [`JobHandle::wait_outcome`], cooperative
+//! [`JobHandle::cancel`], and — for `Search` requests — a
+//! [`JobHandle::progress`] stream of [`SearchProgress`] events emitted
+//! at the scheduler's deterministic wave boundaries.
+//!
+//! Determinism is preserved end to end: cancellation and deadlines stop
+//! a search only *between* committed trials, so a `Cancelled` or
+//! mid-run-`Expired` response carries exactly a prefix of the
+//! uncancelled run's trial records, byte for byte; and the
+//! concatenation of all progress events' trial batches equals the final
+//! result's `trials` exactly.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub use maya::CancelToken;
+use maya_estimator::CacheStats;
+use maya_search::{ConfigPoint, TrialOutcome, TrialRecord};
+
+use crate::error::ServeError;
+use crate::request::Response;
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted; waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished normally; the response is (or was) redeemable.
+    Done,
+    /// Stopped by [`JobHandle::cancel`]. A search cancelled mid-run
+    /// still carries its committed-prefix response.
+    Cancelled,
+    /// The per-request deadline elapsed. Expiry while queued sheds the
+    /// job before it ever touches a worker.
+    Expired,
+    /// The request died without a verdict (its worker panicked).
+    /// [`JobHandle::wait`] and [`JobHandle::wait_outcome`] report this
+    /// as [`ServeError::Stopped`].
+    Failed,
+}
+
+impl JobState {
+    /// Whether the state is terminal (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// Per-submission options (see [`crate::MayaService::submit_with`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobOptions {
+    /// Total latency budget, measured from admission. Queue wait counts
+    /// against it: a job still queued when the budget runs out is shed
+    /// as [`JobState::Expired`] without consuming a worker slot, and a
+    /// `Search` already running checks the budget at wave boundaries.
+    /// `None` (the default) never expires.
+    pub deadline: Option<Duration>,
+}
+
+impl JobOptions {
+    /// No deadline.
+    pub fn new() -> Self {
+        JobOptions::default()
+    }
+
+    /// Sets the latency budget.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+/// One increment of a running `Search` job, emitted at a scheduler wave
+/// boundary. Concatenating `trials` across every event of a job yields
+/// exactly the final [`maya_search::SearchResult::trials`] (prefix by
+/// prefix, byte for byte).
+#[derive(Clone, Debug)]
+pub struct SearchProgress {
+    /// Trials committed since the previous event, in commit order.
+    pub trials: Vec<TrialRecord>,
+    /// Total trials committed so far (== sum of `trials` lengths).
+    pub committed: usize,
+    /// Best completed configuration so far.
+    pub best: Option<(ConfigPoint, TrialOutcome)>,
+    /// Engine memo-cache counter movement since the previous event
+    /// (approximate when concurrent jobs share the engine).
+    pub cache_delta: CacheStats,
+}
+
+/// Terminal verdict of one job.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Done(Response),
+    /// Cancelled. `Some` carries the deterministic committed prefix a
+    /// mid-run cancellation produced; `None` means the job was
+    /// cancelled before it started executing.
+    Cancelled(Option<Response>),
+    /// The deadline elapsed. `None` means the job was shed while still
+    /// queued (it never touched a worker); `Some` carries the committed
+    /// prefix of a search whose budget ran out at a wave boundary.
+    Expired(Option<Response>),
+}
+
+impl JobOutcome {
+    /// The state this outcome lands the job in.
+    pub fn state(&self) -> JobState {
+        match self {
+            JobOutcome::Done(_) => JobState::Done,
+            JobOutcome::Cancelled(_) => JobState::Cancelled,
+            JobOutcome::Expired(_) => JobState::Expired,
+        }
+    }
+
+    /// The response, for outcomes that carry one.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            JobOutcome::Cancelled(r) | JobOutcome::Expired(r) => r.as_ref(),
+        }
+    }
+
+    /// Consumes the outcome, yielding the response if it carries one.
+    pub fn into_response(self) -> Option<Response> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            JobOutcome::Cancelled(r) | JobOutcome::Expired(r) => r,
+        }
+    }
+}
+
+const STATE_QUEUED: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_DONE: u8 = 2;
+const STATE_CANCELLED: u8 = 3;
+const STATE_EXPIRED: u8 = 4;
+const STATE_FAILED: u8 = 5;
+
+/// State shared between a job's handle(s) and the worker executing it.
+pub(crate) struct JobCore {
+    pub(crate) id: u64,
+    state: AtomicU8,
+    pub(crate) cancel: CancelToken,
+    /// The progress sender lives here so the worker can *close* the
+    /// stream (by taking it) when the job reaches a terminal state.
+    progress_tx: Mutex<Option<mpsc::Sender<SearchProgress>>>,
+}
+
+impl JobCore {
+    pub(crate) fn state(&self) -> JobState {
+        match self.state.load(Ordering::SeqCst) {
+            STATE_QUEUED => JobState::Queued,
+            STATE_RUNNING => JobState::Running,
+            STATE_DONE => JobState::Done,
+            STATE_CANCELLED => JobState::Cancelled,
+            STATE_EXPIRED => JobState::Expired,
+            _ => JobState::Failed,
+        }
+    }
+
+    pub(crate) fn set_running(&self) {
+        self.state.store(STATE_RUNNING, Ordering::SeqCst);
+    }
+
+    /// Emits one progress event (a no-op once the receiver is gone).
+    pub(crate) fn emit_progress(&self, event: SearchProgress) {
+        let tx = self.progress_tx.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(tx) = tx.as_ref() {
+            let _ = tx.send(event);
+        }
+    }
+
+    /// Seals the job: records the terminal state and closes the
+    /// progress stream so readers see end-of-events.
+    pub(crate) fn finish(&self, state: JobState) {
+        let code = match state {
+            JobState::Done => STATE_DONE,
+            JobState::Cancelled => STATE_CANCELLED,
+            JobState::Expired => STATE_EXPIRED,
+            JobState::Failed => STATE_FAILED,
+            JobState::Queued | JobState::Running => unreachable!("finish with non-terminal state"),
+        };
+        self.state.store(code, Ordering::SeqCst);
+        drop(
+            self.progress_tx
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take(),
+        );
+    }
+
+    /// Seals the job as [`JobState::Failed`] — the panic path, where
+    /// no verdict exists. Pollers see a terminal state, progress
+    /// readers see end-of-events, and the waiter learns of the death
+    /// through its dropped outcome sender ([`ServeError::Stopped`]).
+    pub(crate) fn abandon(&self) {
+        self.finish(JobState::Failed);
+    }
+}
+
+/// A blocking iterator over a job's [`SearchProgress`] events. Ends
+/// when the job reaches a terminal state (or, for non-search requests,
+/// immediately — they emit no progress).
+pub struct ProgressEvents {
+    rx: Option<mpsc::Receiver<SearchProgress>>,
+}
+
+impl Iterator for ProgressEvents {
+    type Item = SearchProgress;
+
+    fn next(&mut self) -> Option<SearchProgress> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+/// A shareable controller for a job: everything a [`JobHandle`] can do
+/// except redeem the outcome. The wire server hands these to its frame
+/// reader so a remote `Cancel` can reach an in-flight job whose handle
+/// is parked in a writer.
+#[derive(Clone)]
+pub struct JobControl {
+    core: Arc<JobCore>,
+}
+
+impl JobControl {
+    /// The job's ticket id.
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
+    /// Current state, without blocking.
+    pub fn poll(&self) -> JobState {
+        self.core.state()
+    }
+
+    /// Requests cooperative cancellation (idempotent; a no-op on
+    /// terminal jobs). A queued job is discarded when a worker picks it
+    /// up; a running search stops at its next commit boundary.
+    pub fn cancel(&self) {
+        self.core.cancel.cancel();
+    }
+}
+
+/// The ticket returned by [`crate::MayaService::submit`] (see module
+/// docs).
+pub struct JobHandle {
+    pub(crate) core: Arc<JobCore>,
+    pub(crate) outcome_rx: mpsc::Receiver<JobOutcome>,
+    pub(crate) progress_rx: Mutex<Option<mpsc::Receiver<SearchProgress>>>,
+}
+
+impl JobHandle {
+    /// Creates the linked (handle, core) pair plus the worker-side
+    /// outcome sender.
+    pub(crate) fn new(id: u64) -> (Self, Arc<JobCore>, mpsc::Sender<JobOutcome>) {
+        let (progress_tx, progress_rx) = mpsc::channel();
+        let (outcome_tx, outcome_rx) = mpsc::channel();
+        let core = Arc::new(JobCore {
+            id,
+            state: AtomicU8::new(STATE_QUEUED),
+            cancel: CancelToken::new(),
+            progress_tx: Mutex::new(Some(progress_tx)),
+        });
+        (
+            JobHandle {
+                core: Arc::clone(&core),
+                outcome_rx,
+                progress_rx: Mutex::new(Some(progress_rx)),
+            },
+            core,
+            outcome_tx,
+        )
+    }
+
+    /// The job's ticket id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
+    /// Current state, without blocking.
+    pub fn poll(&self) -> JobState {
+        self.core.state()
+    }
+
+    /// Requests cooperative cancellation (see [`JobControl::cancel`]).
+    pub fn cancel(&self) {
+        self.core.cancel.cancel();
+    }
+
+    /// A clonable controller for this job (poll + cancel).
+    pub fn control(&self) -> JobControl {
+        JobControl {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Takes the job's progress stream. Events buffer from the moment
+    /// of submission, so none are lost however late this is called.
+    /// The stream can be taken once; later calls return an exhausted
+    /// stream.
+    pub fn progress(&self) -> ProgressEvents {
+        ProgressEvents {
+            rx: self
+                .progress_rx
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take(),
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state and returns the
+    /// full verdict. `Err(ServeError::Stopped)` means the service (or
+    /// the worker executing the job) died first.
+    pub fn wait_outcome(self) -> Result<JobOutcome, ServeError> {
+        self.outcome_rx.recv().map_err(|_| ServeError::Stopped)
+    }
+
+    /// Blocks until done and returns the response — the pre-job-API
+    /// blocking call. Cancelled and expired jobs surface as
+    /// [`ServeError::Cancelled`] / [`ServeError::Expired`]; use
+    /// [`JobHandle::wait_outcome`] to also receive the committed-prefix
+    /// response those verdicts may carry.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        match self.wait_outcome()? {
+            JobOutcome::Done(resp) => Ok(resp),
+            JobOutcome::Cancelled(_) => Err(ServeError::Cancelled),
+            JobOutcome::Expired(_) => Err(ServeError::Expired),
+        }
+    }
+}
+
+/// What the admission queue carries to a worker.
+pub(crate) struct QueuedJob {
+    pub(crate) req: crate::request::Request,
+    pub(crate) enqueued: Instant,
+    /// Absolute expiry instant (admission time + the option's budget).
+    pub(crate) expires: Option<Instant>,
+    pub(crate) core: Arc<JobCore>,
+    pub(crate) outcome_tx: mpsc::Sender<JobOutcome>,
+}

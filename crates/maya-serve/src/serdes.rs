@@ -18,7 +18,56 @@
 use serde::{compact, Deserialize, Serialize};
 
 use crate::error::ServeError;
+use crate::job::{JobOptions, SearchProgress};
 use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
+
+impl Serialize for JobOptions {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.deadline.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for JobOptions {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(JobOptions {
+            deadline: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for SearchProgress {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.trials.serialize(w);
+        self.committed.serialize(w);
+        match &self.best {
+            None => w.tag("none"),
+            Some((config, outcome)) => {
+                w.tag("some");
+                config.serialize(w);
+                outcome.serialize(w);
+            }
+        }
+        self.cache_delta.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for SearchProgress {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        let trials = Deserialize::deserialize(r)?;
+        let committed = Deserialize::deserialize(r)?;
+        let best = match r.raw_token()? {
+            "none" => None,
+            "some" => Some((Deserialize::deserialize(r)?, Deserialize::deserialize(r)?)),
+            t => return Err(compact::Error::parse(t, "option tag (none|some)")),
+        };
+        Ok(SearchProgress {
+            trials,
+            committed,
+            best,
+            cache_delta: Deserialize::deserialize(r)?,
+        })
+    }
+}
 
 impl Serialize for Request {
     fn serialize(&self, w: &mut compact::Writer) {
@@ -169,6 +218,8 @@ pub fn error_code(e: &ServeError) -> &'static str {
         ServeError::Stopped => "stopped",
         ServeError::DuplicateTarget(_) => "duplicate_target",
         ServeError::NoTargets => "no_targets",
+        ServeError::Cancelled => "cancelled",
+        ServeError::Expired => "expired",
         ServeError::CustomEstimatorSpansClusters => "custom_estimator_spans_clusters",
         ServeError::Snapshot(_) => "snapshot",
     }

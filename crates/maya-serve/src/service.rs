@@ -19,31 +19,30 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use maya::{EmulationSpec, EstimatorChoice, PredictionEngine, StageTimings};
 use maya_estimator::{CacheStats, SnapshotError};
-use maya_search::{Objective, TrialScheduler};
+use maya_search::{
+    ConfigPoint, Objective, SearchObserver, TrialOutcome, TrialRecord, TrialScheduler,
+};
 
 use crate::error::ServeError;
+use crate::job::{JobCore, JobHandle, JobOptions, JobOutcome, JobState, QueuedJob, SearchProgress};
 use crate::registry::EngineRegistry;
 use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
-
-/// One queued unit of work.
-struct Work {
-    req: Request,
-    enqueued: Instant,
-    reply: mpsc::Sender<Response>,
-}
 
 /// State shared by the service handle and its workers.
 struct Shared {
     registry: EngineRegistry,
     targets: HashMap<String, EmulationSpec>,
+    next_job_id: AtomicU64,
     served: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
     panicked: AtomicU64,
 }
 
@@ -55,6 +54,7 @@ pub struct ServiceBuilder {
     queue_capacity: usize,
     snapshot_dir: Option<PathBuf>,
     memo_capacity: Option<usize>,
+    memo_ttl: Option<Duration>,
 }
 
 impl Default for ServiceBuilder {
@@ -68,6 +68,7 @@ impl Default for ServiceBuilder {
             queue_capacity: 64,
             snapshot_dir: None,
             memo_capacity: None,
+            memo_ttl: None,
         }
     }
 }
@@ -132,6 +133,18 @@ impl ServiceBuilder {
         self
     }
 
+    /// Ages memo entries out `ttl` after insertion (see
+    /// [`maya_estimator::CachingEstimator::with_limits`]). Disabled by
+    /// default. Complements [`ServiceBuilder::memo_capacity`] for
+    /// long-lived services: entries a tenant stopped asking for age
+    /// away instead of occupying the memo forever. Expiries count into
+    /// [`maya_estimator::CacheStats::evictions`] and therefore into
+    /// [`Telemetry`] cache deltas.
+    pub fn memo_ttl(mut self, ttl: Duration) -> Self {
+        self.memo_ttl = Some(ttl);
+        self
+    }
+
     /// Builds the service and spawns its worker pool.
     pub fn build(self) -> Result<MayaService, ServeError> {
         if self.targets.is_empty() {
@@ -150,7 +163,8 @@ impl ServiceBuilder {
                 return Err(ServeError::CustomEstimatorSpansClusters);
             }
         }
-        let registry = EngineRegistry::with_memo_capacity(self.estimator, self.memo_capacity);
+        let registry =
+            EngineRegistry::with_memo_limits(self.estimator, self.memo_capacity, self.memo_ttl);
         let mut restores = Vec::new();
         if let Some(dir) = &self.snapshot_dir {
             // Deterministic restore order (and report order).
@@ -213,10 +227,13 @@ impl ServiceBuilder {
         let shared = Arc::new(Shared {
             registry,
             targets,
+            next_job_id: AtomicU64::new(1),
             served: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
         });
-        let (tx, rx) = mpsc::sync_channel::<Work>(self.queue_capacity);
+        let (tx, rx) = mpsc::sync_channel::<QueuedJob>(self.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..self.workers)
             .map(|idx| {
@@ -292,7 +309,7 @@ fn snapshot_file(dir: &Path, target: &str) -> PathBuf {
     dir.join(format!("{safe}.memo"))
 }
 
-fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<Work>>) {
+fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<QueuedJob>>) {
     loop {
         // Hold the receiver lock only for the dequeue itself.
         let work = match rx.lock() {
@@ -302,23 +319,52 @@ fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<Work>>) {
         let Ok(work) = work else {
             break; // service dropped the sender: shut down
         };
+        // Deadline enforcement, part 1: a job whose budget ran out
+        // while it sat in the queue is shed *here*, before any engine
+        // or pipeline work — load shedding at its cheapest point.
+        if work.expires.is_some_and(|d| Instant::now() >= d) {
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+            work.core.finish(JobState::Expired);
+            let _ = work.outcome_tx.send(JobOutcome::Expired(None));
+            continue;
+        }
+        // A job cancelled while queued is likewise discarded unrun.
+        if work.core.cancel.is_cancelled() {
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            work.core.finish(JobState::Cancelled);
+            let _ = work.outcome_tx.send(JobOutcome::Cancelled(None));
+            continue;
+        }
+        work.core.set_running();
         // A panicking request must not kill the worker (the pool would
         // silently shrink and later requests would hang in the queue):
-        // catch it, drop the reply sender so the waiting client gets
+        // catch it, drop the outcome sender so the waiting client gets
         // `ServeError::Stopped` instead of blocking forever, and keep
         // serving.
-        let enqueued = work.enqueued;
-        let reply = work.reply;
-        let req = work.req;
+        let QueuedJob {
+            req,
+            enqueued,
+            expires,
+            core,
+            outcome_tx,
+        } = work;
         let label = format!("{} on {:?}", req.kind(), req.target());
+        let exec_core = Arc::clone(&core);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(idx, shared, req, enqueued)
+            execute(idx, shared, req, enqueued, &exec_core, expires)
         }));
         match result {
-            // A dropped reply receiver just means the client lost interest.
-            Ok(response) => {
-                shared.served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(response);
+            // A dropped outcome receiver just means the client lost
+            // interest.
+            Ok(outcome) => {
+                let counter = match outcome.state() {
+                    JobState::Done => &shared.served,
+                    JobState::Cancelled => &shared.cancelled,
+                    _ => &shared.expired,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                core.finish(outcome.state());
+                let _ = outcome_tx.send(outcome);
             }
             Err(panic) => {
                 shared.panicked.fetch_add(1, Ordering::Relaxed);
@@ -328,14 +374,69 @@ fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<Work>>) {
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic payload>".to_string());
                 eprintln!("[maya-serve] worker {idx}: request {label} panicked: {msg}");
-                drop(reply);
+                core.abandon();
+                drop(outcome_tx);
             }
         }
     }
 }
 
+/// Streams a running search's commits out as [`SearchProgress`] events
+/// and enforces the deadline at wave boundaries.
+struct ProgressForwarder {
+    core: Arc<JobCore>,
+    engine: Arc<PredictionEngine>,
+    last_cache: CacheStats,
+    pending: Vec<TrialRecord>,
+    best: Option<(ConfigPoint, TrialOutcome)>,
+    expires: Option<Instant>,
+    deadline_fired: Arc<AtomicBool>,
+}
+
+impl SearchObserver for ProgressForwarder {
+    fn trial_committed(
+        &mut self,
+        record: &TrialRecord,
+        best: Option<&(ConfigPoint, TrialOutcome)>,
+    ) {
+        self.pending.push(*record);
+        self.best = best.copied();
+    }
+
+    fn wave_committed(&mut self, committed: usize) {
+        let cache = self.engine.cache_stats();
+        let cache_delta = CacheStats {
+            hits: cache.hits - self.last_cache.hits,
+            misses: cache.misses - self.last_cache.misses,
+            evictions: cache.evictions - self.last_cache.evictions,
+        };
+        self.last_cache = cache;
+        self.core.emit_progress(SearchProgress {
+            trials: std::mem::take(&mut self.pending),
+            committed,
+            best: self.best,
+            cache_delta,
+        });
+        // Deadline enforcement, part 2: a search that outlives its
+        // budget stops at the next commit boundary — promptly, but
+        // without ever interrupting a trial mid-flight, so the partial
+        // result is a deterministic prefix.
+        if self.expires.is_some_and(|d| Instant::now() >= d) && !self.core.cancel.is_cancelled() {
+            self.deadline_fired.store(true, Ordering::SeqCst);
+            self.core.cancel.cancel();
+        }
+    }
+}
+
 /// Runs one request against its target's engine.
-fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> Response {
+fn execute(
+    worker: usize,
+    shared: &Shared,
+    req: Request,
+    enqueued: Instant,
+    core: &Arc<JobCore>,
+    expires: Option<Instant>,
+) -> JobOutcome {
     // Queue wait ends the moment a worker picks the request up; the
     // (possibly expensive, first-use) lazy engine build that follows
     // is counted as service time, not congestion.
@@ -347,9 +448,10 @@ fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> R
     let cache_before = engine.cache_stats();
     let target = req.target().to_string();
     let kind = req.kind();
+    let deadline_fired = Arc::new(AtomicBool::new(false));
     let (payload, stages) = match req {
         Request::Predict { jobs, .. } => {
-            let results = engine.predict_batch(&jobs);
+            let results = engine.predict_batch_with(&jobs, Some(&core.cancel));
             let mut stages = StageTimings::default();
             for p in results.iter().flatten() {
                 stages.emulation += p.timings.emulation;
@@ -368,8 +470,19 @@ fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> R
             ..
         } => {
             let objective = Objective::new(&engine, template);
+            let forwarder = ProgressForwarder {
+                core: Arc::clone(core),
+                engine: Arc::clone(&engine),
+                last_cache: cache_before,
+                pending: Vec::new(),
+                best: None,
+                expires,
+                deadline_fired: Arc::clone(&deadline_fired),
+            };
             let result = TrialScheduler::new(&objective)
                 .with_space(space)
+                .with_observer(Box::new(forwarder))
+                .with_cancel(core.cancel.clone())
                 .run_batched(algorithm, budget, seed);
             (Payload::Search(Box::new(result)), StageTimings::default())
         }
@@ -383,7 +496,7 @@ fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> R
     };
     let service_time = started.elapsed();
     let cache = engine.cache_stats();
-    Response {
+    let response = Response {
         target,
         kind,
         telemetry: Telemetry {
@@ -399,26 +512,38 @@ fn execute(worker: usize, shared: &Shared, req: Request, enqueued: Instant) -> R
             stages,
         },
         payload,
+    };
+    if deadline_fired.load(Ordering::SeqCst) {
+        JobOutcome::Expired(Some(response))
+    } else if core.cancel.is_cancelled() {
+        JobOutcome::Cancelled(Some(response))
+    } else {
+        JobOutcome::Done(response)
     }
 }
 
-/// A pending response; redeem it with [`ResponseHandle::wait`].
-pub struct ResponseHandle {
-    rx: mpsc::Receiver<Response>,
-}
-
-impl ResponseHandle {
-    /// Blocks until the service answers.
-    pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Stopped)
-    }
-}
+/// The pre-job-API name for the submission ticket, kept for one
+/// release.
+#[deprecated(
+    since = "0.3.0",
+    note = "submit() now returns a JobHandle (poll/cancel/progress/deadline); \
+            `wait()` behaves as before"
+)]
+pub type ResponseHandle = JobHandle;
 
 /// Point-in-time service counters.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceStats {
     /// Requests fully served (responses produced).
     pub served: u64,
+    /// Jobs that ended [`JobState::Cancelled`] — discarded unrun from
+    /// the queue or stopped at a commit boundary mid-run.
+    pub cancelled: u64,
+    /// Jobs that ended [`JobState::Expired`] — shed from the queue
+    /// with their deadline already blown (never consuming a worker
+    /// slot), or stopped at a wave boundary when the budget ran out
+    /// mid-search.
+    pub expired: u64,
     /// Requests that panicked during execution (no response; the
     /// client's `wait` returned [`ServeError::Stopped`], and the panic
     /// message went to stderr).
@@ -434,7 +559,7 @@ pub struct ServiceStats {
 /// The multi-tenant prediction service (see module docs).
 pub struct MayaService {
     shared: Arc<Shared>,
-    tx: Option<mpsc::SyncSender<Work>>,
+    tx: Option<mpsc::SyncSender<QueuedJob>>,
     workers: Vec<JoinHandle<()>>,
     queue_capacity: usize,
     snapshot_dir: Option<PathBuf>,
@@ -447,45 +572,63 @@ impl MayaService {
         ServiceBuilder::new()
     }
 
-    fn sender(&self) -> Result<&mpsc::SyncSender<Work>, ServeError> {
+    fn sender(&self) -> Result<&mpsc::SyncSender<QueuedJob>, ServeError> {
         self.tx.as_ref().ok_or(ServeError::Stopped)
     }
 
-    /// Submits a request, blocking while the admission queue is full.
-    /// Returns a handle the caller redeems for the [`Response`].
-    pub fn submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
+    /// Builds the linked handle/queue-entry pair for one admission.
+    fn make_job(
+        &self,
+        req: Request,
+        opts: JobOptions,
+    ) -> Result<(JobHandle, QueuedJob), ServeError> {
         if !self.shared.targets.contains_key(req.target()) {
             return Err(ServeError::UnknownTarget(req.target().to_string()));
         }
-        let (reply, rx) = mpsc::channel();
-        self.sender()?
-            .send(Work {
+        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let (handle, core, outcome_tx) = JobHandle::new(id);
+        let enqueued = Instant::now();
+        Ok((
+            handle,
+            QueuedJob {
                 req,
-                enqueued: Instant::now(),
-                reply,
-            })
-            .map_err(|_| ServeError::Stopped)?;
-        Ok(ResponseHandle { rx })
+                enqueued,
+                expires: opts.deadline.map(|d| enqueued + d),
+                core,
+                outcome_tx,
+            },
+        ))
+    }
+
+    /// Submits a request, blocking while the admission queue is full.
+    /// Returns the job's [`JobHandle`] — poll it, stream its progress,
+    /// cancel it, or block on [`JobHandle::wait`] exactly like the old
+    /// one-shot API.
+    pub fn submit(&self, req: Request) -> Result<JobHandle, ServeError> {
+        self.submit_with(req, JobOptions::default())
+    }
+
+    /// [`MayaService::submit`] with per-job options (deadline).
+    pub fn submit_with(&self, req: Request, opts: JobOptions) -> Result<JobHandle, ServeError> {
+        let (handle, job) = self.make_job(req, opts)?;
+        self.sender()?.send(job).map_err(|_| ServeError::Stopped)?;
+        Ok(handle)
     }
 
     /// Non-blocking submit: fails with [`ServeError::Overloaded`] when
     /// the admission queue is full.
-    pub fn try_submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
-        if !self.shared.targets.contains_key(req.target()) {
-            return Err(ServeError::UnknownTarget(req.target().to_string()));
-        }
-        let (reply, rx) = mpsc::channel();
-        self.sender()?
-            .try_send(Work {
-                req,
-                enqueued: Instant::now(),
-                reply,
-            })
-            .map_err(|e| match e {
-                mpsc::TrySendError::Full(_) => ServeError::Overloaded,
-                mpsc::TrySendError::Disconnected(_) => ServeError::Stopped,
-            })?;
-        Ok(ResponseHandle { rx })
+    pub fn try_submit(&self, req: Request) -> Result<JobHandle, ServeError> {
+        self.try_submit_with(req, JobOptions::default())
+    }
+
+    /// [`MayaService::try_submit`] with per-job options (deadline).
+    pub fn try_submit_with(&self, req: Request, opts: JobOptions) -> Result<JobHandle, ServeError> {
+        let (handle, job) = self.make_job(req, opts)?;
+        self.sender()?.try_send(job).map_err(|e| match e {
+            mpsc::TrySendError::Full(_) => ServeError::Overloaded,
+            mpsc::TrySendError::Disconnected(_) => ServeError::Stopped,
+        })?;
+        Ok(handle)
     }
 
     /// Submit + wait in one call.
@@ -532,6 +675,8 @@ impl MayaService {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             served: self.shared.served.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
             engines_built: self.shared.registry.engines_built(),
             workers: self.workers.len(),

@@ -1,35 +1,53 @@
-//! [`WireClient`]: a typed, pipelined client for a
-//! [`WireServer`](crate::WireServer).
+//! [`WireClient`]: a typed, pipelined client exposing the job-handle
+//! API of `maya-serve` over a [`WireServer`](crate::WireServer)
+//! connection.
 //!
 //! One TCP connection is **reused for everything**: the client is
 //! `Sync`, any number of threads may [`WireClient::submit`]
 //! concurrently, and each submission gets a fresh request id. A
-//! background reader thread demultiplexes response frames back to their
-//! [`PendingResponse`]s by echoed id, so N requests can be in flight on
-//! one socket — the server executes them concurrently on its worker
-//! pool and streams results back in admission order.
+//! background reader thread demultiplexes incoming frames back to their
+//! [`WireJob`]s by echoed id — `Progress` frames stream into
+//! [`WireJob::next_progress`], the terminal `Response` / `Expired` /
+//! `Error` frame resolves [`WireJob::wait_outcome`] — so N jobs can be
+//! in flight on one socket while a long search streams increments.
+//!
+//! The handle mirrors the in-process `maya_serve::JobHandle`:
+//! [`WireJob::poll`], [`WireJob::cancel`] (sent as a `Cancel` frame),
+//! progress iteration, and blocking [`WireJob::wait`] /
+//! [`WireJob::wait_outcome`]; [`WireClient::submit_with`] carries a
+//! per-job deadline the server enforces (queue wait counts against
+//! it).
 //!
 //! Failure is typed end to end: a full server queue surfaces as
 //! [`WireError::Remote`] with
-//! [`RemoteErrorKind::Overloaded`](crate::RemoteErrorKind) (retry
-//! later; the connection is fine), the server's per-request pipeline
-//! errors arrive inside the payload as [`crate::RemoteError`]s, and a
-//! torn connection resolves every in-flight request with
-//! [`WireError::ConnectionClosed`].
+//! [`RemoteErrorKind::Overloaded`](crate::RemoteErrorKind) — the retry
+//! signal [`WireClient::submit_with_retry`] backs off on — per-request
+//! pipeline errors arrive inside the payload as
+//! [`crate::RemoteError`]s, and a torn connection resolves every
+//! in-flight request with [`WireError::ConnectionClosed`].
 
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use maya_serve::Request;
+use serde::{compact, Serialize};
 
-use crate::error::{RemoteError, WireError};
+use maya_serve::{JobOptions, JobState, Request, SearchProgress};
+
+use crate::error::{RemoteError, RemoteErrorKind, WireError};
 use crate::frame::{read_frame, write_frame, FrameKind, ProtocolError, ReadError};
-use crate::message::WireResponse;
+use crate::message::{WireJobOutcome, WireResponse};
 
-type PendingMap = HashMap<u64, mpsc::Sender<Result<WireResponse, RemoteError>>>;
+/// What the demux reader delivers to one job's channel.
+enum JobEvent {
+    Progress(SearchProgress),
+    Terminal(Result<WireJobOutcome, RemoteError>),
+}
+
+type PendingMap = HashMap<u64, mpsc::Sender<JobEvent>>;
 
 struct ClientShared {
     writer: Mutex<TcpStream>,
@@ -50,26 +68,175 @@ impl ClientShared {
             .unwrap_or_else(|p| p.into_inner())
             .take();
     }
+
+    /// Writes one frame on the shared connection, mapping local
+    /// protocol violations out of the io error.
+    fn write(&self, kind: FrameKind, id: u64, body: &str) -> Result<(), WireError> {
+        let result = {
+            let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            write_frame(&mut *w, kind, id, body, self.max_frame_len)
+        };
+        result.map_err(|e| {
+            match e
+                .get_ref()
+                .and_then(|inner| inner.downcast_ref::<ProtocolError>().cloned())
+            {
+                Some(p) => WireError::Protocol(p),
+                None => WireError::Io(e),
+            }
+        })
+    }
 }
 
-/// A pending pipelined request; redeem it with [`PendingResponse::wait`].
-pub struct PendingResponse {
+/// Retry policy for [`WireClient::submit_with_retry`]: bounded
+/// exponential backoff on the server's typed `overloaded` signal.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// Total attempts (the first try included; min 1).
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub initial: Duration,
+    /// Delay multiplier per retry (min 1).
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for Backoff {
+    /// 6 attempts: 2ms, 4ms, 8ms, 16ms, 32ms between them.
+    fn default() -> Self {
+        Backoff {
+            attempts: 6,
+            initial: Duration::from_millis(2),
+            factor: 2,
+            max_delay: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The remote job handle returned by [`WireClient::submit`] (see
+/// module docs). Dropping it abandons the job client-side: the server
+/// still runs it, later frames for its id are discarded by the demux.
+pub struct WireJob {
     id: u64,
-    rx: mpsc::Receiver<Result<WireResponse, RemoteError>>,
+    shared: Arc<ClientShared>,
+    rx: mpsc::Receiver<JobEvent>,
+    /// Terminal verdict observed while iterating progress, buffered
+    /// for the eventual `wait_outcome`.
+    terminal: Option<Result<WireJobOutcome, RemoteError>>,
+    /// Whether the connection died before a terminal frame.
+    closed: bool,
+    /// Whether any progress frame has arrived (drives `poll`).
+    progressed: bool,
 }
 
-impl PendingResponse {
-    /// The request id this response answers.
+impl WireJob {
+    /// The request id this job travels under.
     pub fn id(&self) -> u64 {
         self.id
     }
 
-    /// Blocks until the server answers (or the connection dies).
-    pub fn wait(self) -> Result<WireResponse, WireError> {
+    /// Best-effort remote state, without blocking. A wire client sees
+    /// only frames: `Queued` until the first progress frame, `Running`
+    /// after it, and the true terminal state once the verdict arrives.
+    /// A job that ended in a remote *error* — or whose connection tore
+    /// before a verdict — reads as `Failed` here; redeem
+    /// [`WireJob::wait_outcome`] for the typed error.
+    pub fn poll(&mut self) -> JobState {
+        while self.terminal.is_none() && !self.closed {
+            match self.rx.try_recv() {
+                Ok(event) => self.absorb(event),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => self.closed = true,
+            }
+        }
+        match &self.terminal {
+            Some(Ok(outcome)) => outcome.state(),
+            Some(Err(_)) => JobState::Failed,
+            None if self.closed => JobState::Failed,
+            None if self.progressed => JobState::Running,
+            None => JobState::Queued,
+        }
+    }
+
+    /// Asks the server to cooperatively cancel this job. No direct
+    /// acknowledgement: the terminal verdict ([`WireJob::wait_outcome`])
+    /// reports `Cancelled` — with any committed-prefix response — or
+    /// `Done` if the job beat the cancellation.
+    pub fn cancel(&self) -> Result<(), WireError> {
+        self.shared.write(FrameKind::Cancel, self.id, "")
+    }
+
+    fn absorb(&mut self, event: JobEvent) {
+        match event {
+            JobEvent::Progress(_) => self.progressed = true,
+            JobEvent::Terminal(t) => self.terminal = Some(t),
+        }
+    }
+
+    /// Blocks for the next `Progress` event. `None` once the job's
+    /// terminal frame (buffered for [`WireJob::wait_outcome`]) or a
+    /// connection loss has been seen — the progress stream is over.
+    pub fn next_progress(&mut self) -> Option<SearchProgress> {
+        if self.terminal.is_some() || self.closed {
+            return None;
+        }
         match self.rx.recv() {
-            Ok(Ok(response)) => Ok(response),
-            Ok(Err(remote)) => Err(WireError::Remote(remote)),
-            Err(_) => Err(WireError::ConnectionClosed),
+            Ok(JobEvent::Progress(p)) => {
+                self.progressed = true;
+                Some(p)
+            }
+            Ok(JobEvent::Terminal(t)) => {
+                self.terminal = Some(t);
+                None
+            }
+            Err(_) => {
+                self.closed = true;
+                None
+            }
+        }
+    }
+
+    /// A blocking iterator over the remaining progress events.
+    pub fn progress(&mut self) -> impl Iterator<Item = SearchProgress> + '_ {
+        std::iter::from_fn(move || self.next_progress())
+    }
+
+    /// Blocks until the job's terminal frame arrives and returns the
+    /// full verdict. Progress events not consumed through
+    /// [`WireJob::next_progress`] are discarded here.
+    pub fn wait_outcome(mut self) -> Result<WireJobOutcome, WireError> {
+        loop {
+            if let Some(terminal) = self.terminal.take() {
+                return terminal.map_err(WireError::Remote);
+            }
+            if self.closed {
+                return Err(WireError::ConnectionClosed);
+            }
+            match self.rx.recv() {
+                Ok(event) => self.absorb(event),
+                Err(_) => self.closed = true,
+            }
+        }
+    }
+
+    /// Blocks until done and returns the response — the pre-job-API
+    /// blocking call. `Cancelled` and `Expired` verdicts surface as
+    /// typed [`WireError::Remote`] errors
+    /// ([`RemoteErrorKind::Cancelled`] / [`RemoteErrorKind::Expired`]);
+    /// use [`WireJob::wait_outcome`] to also receive the
+    /// committed-prefix response those verdicts may carry.
+    pub fn wait(self) -> Result<WireResponse, WireError> {
+        match self.wait_outcome()? {
+            WireJobOutcome::Done(resp) => Ok(resp),
+            WireJobOutcome::Cancelled(_) => Err(WireError::Remote(RemoteError {
+                kind: RemoteErrorKind::Cancelled,
+                message: "job cancelled".to_string(),
+            })),
+            WireJobOutcome::Expired(_) => Err(WireError::Remote(RemoteError {
+                kind: RemoteErrorKind::Expired,
+                message: "job deadline expired".to_string(),
+            })),
         }
     }
 }
@@ -120,10 +287,23 @@ impl WireClient {
         self.local_addr
     }
 
-    /// Sends one request without waiting; responses may be redeemed in
-    /// any order while more requests pipeline behind them.
-    pub fn submit(&self, request: &Request) -> Result<PendingResponse, WireError> {
-        let body = serde::to_string(request);
+    /// Sends one request without waiting; any number of jobs may be in
+    /// flight while their responses (and progress streams) are
+    /// redeemed in any order.
+    pub fn submit(&self, request: &Request) -> Result<WireJob, WireError> {
+        self.submit_with(request, JobOptions::default())
+    }
+
+    /// [`WireClient::submit`] with per-job options. The deadline is
+    /// enforced on the server: queue wait counts against it, a job
+    /// expiring in the queue is shed without running, and a search
+    /// outliving it stops at a wave boundary with its committed
+    /// prefix.
+    pub fn submit_with(&self, request: &Request, opts: JobOptions) -> Result<WireJob, WireError> {
+        let mut w = compact::Writer::new();
+        opts.serialize(&mut w);
+        request.serialize(&mut w);
+        let body = w.finish();
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         {
@@ -137,17 +317,7 @@ impl WireClient {
                 .ok_or(WireError::ConnectionClosed)?
                 .insert(id, tx);
         }
-        let write = {
-            let mut w = self.shared.writer.lock().unwrap_or_else(|p| p.into_inner());
-            write_frame(
-                &mut *w,
-                FrameKind::Request,
-                id,
-                &body,
-                self.shared.max_frame_len,
-            )
-        };
-        if let Err(e) = write {
+        if let Err(e) = self.shared.write(FrameKind::Request, id, &body) {
             // Unregister so the map does not leak a dead sender.
             if let Some(pending) = self
                 .shared
@@ -158,22 +328,50 @@ impl WireClient {
             {
                 pending.remove(&id);
             }
-            return Err(
-                match e
-                    .get_ref()
-                    .and_then(|inner| inner.downcast_ref::<ProtocolError>().cloned())
-                {
-                    Some(p) => WireError::Protocol(p),
-                    None => WireError::Io(e),
-                },
-            );
+            return Err(e);
         }
-        Ok(PendingResponse { id, rx })
+        Ok(WireJob {
+            id,
+            shared: Arc::clone(&self.shared),
+            rx,
+            terminal: None,
+            closed: false,
+            progressed: false,
+        })
     }
 
     /// Submit + wait in one call.
     pub fn call(&self, request: &Request) -> Result<WireResponse, WireError> {
         self.submit(request)?.wait()
+    }
+
+    /// Submit + wait, retrying with bounded exponential backoff while
+    /// the server sheds load ([`WireError::is_overloaded`] — the one
+    /// failure that is always safe to retry, since a shed request
+    /// never entered the admission queue). Any other error, and any
+    /// response, returns immediately. Blocks for up to the sum of the
+    /// policy's delays plus the winning attempt's service time.
+    pub fn submit_with_retry(
+        &self,
+        request: &Request,
+        backoff: Backoff,
+    ) -> Result<WireResponse, WireError> {
+        let attempts = backoff.attempts.max(1);
+        let mut delay = backoff.initial;
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay.min(backoff.max_delay));
+                delay = delay
+                    .saturating_mul(backoff.factor.max(1))
+                    .min(backoff.max_delay);
+            }
+            match self.call(request) {
+                Err(e) if e.is_overloaded() => last = Some(e),
+                verdict => return verdict,
+            }
+        }
+        Err(last.expect("at least one overloaded attempt"))
     }
 
     /// Half-closes the write side: the server sees end-of-requests,
@@ -198,25 +396,47 @@ impl Drop for WireClient {
     }
 }
 
-/// Demultiplexes incoming frames to pending requests by echoed id.
+/// Demultiplexes incoming frames to pending jobs by echoed id.
 fn reader_loop(stream: TcpStream, shared: &Arc<ClientShared>) {
     let mut r = std::io::BufReader::new(stream);
     loop {
         match read_frame(&mut r, shared.max_frame_len) {
             Ok(Some(frame)) => {
-                let verdict: Option<Result<WireResponse, RemoteError>> = match frame.kind {
-                    FrameKind::Response => match serde::from_str::<WireResponse>(&frame.body) {
-                        Ok(response) => Some(Ok(response)),
-                        Err(e) => Some(Err(RemoteError::protocol(&ProtocolError::Malformed(e)))),
-                    },
-                    FrameKind::Error => match serde::from_str::<RemoteError>(&frame.body) {
-                        Ok(remote) => Some(Err(remote)),
-                        Err(e) => Some(Err(RemoteError::protocol(&ProtocolError::Malformed(e)))),
-                    },
-                    FrameKind::Request => None, // a server never sends these
+                let malformed = |e| {
+                    JobEvent::Terminal(Err(RemoteError::protocol(&ProtocolError::Malformed(e))))
                 };
-                match (frame.id, verdict) {
-                    (0, Some(Err(fatal))) => {
+                // `Some(event)`: deliver to the job and, for terminal
+                // events, retire its pending entry. `None`: a frame
+                // kind a server never sends this way; ignore.
+                let event: Option<JobEvent> = match frame.kind {
+                    FrameKind::Response => {
+                        Some(match WireJobOutcome::decode_response_frame(&frame.body) {
+                            Ok(outcome) => JobEvent::Terminal(Ok(outcome)),
+                            Err(e) => malformed(e),
+                        })
+                    }
+                    FrameKind::Expired => {
+                        Some(match WireJobOutcome::decode_expired_frame(&frame.body) {
+                            Ok(outcome) => JobEvent::Terminal(Ok(outcome)),
+                            Err(e) => malformed(e),
+                        })
+                    }
+                    FrameKind::Progress => {
+                        Some(match serde::from_str::<SearchProgress>(&frame.body) {
+                            Ok(progress) => JobEvent::Progress(progress),
+                            Err(e) => malformed(e),
+                        })
+                    }
+                    FrameKind::Error => Some(match serde::from_str::<RemoteError>(&frame.body) {
+                        Ok(remote) => JobEvent::Terminal(Err(remote)),
+                        Err(e) => malformed(e),
+                    }),
+                    // A server never sends these; the stream framing is
+                    // still intact, keep serving the rest.
+                    FrameKind::Request | FrameKind::Cancel => None,
+                };
+                match (frame.id, event) {
+                    (0, Some(JobEvent::Terminal(Err(fatal)))) => {
                         // Connection-scoped error: deliver to everyone
                         // still waiting, then stop reading.
                         let waiters = shared
@@ -226,28 +446,31 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ClientShared>) {
                             .take();
                         if let Some(map) = waiters {
                             for (_, tx) in map {
-                                let _ = tx.send(Err(fatal.clone()));
+                                let _ = tx.send(JobEvent::Terminal(Err(fatal.clone())));
                             }
                         }
                         return;
                     }
-                    (id, Some(result)) => {
-                        let tx = shared
-                            .pending
-                            .lock()
-                            .unwrap_or_else(|p| p.into_inner())
-                            .as_mut()
-                            .and_then(|map| map.remove(&id));
-                        if let Some(tx) = tx {
-                            let _ = tx.send(result);
+                    (id, Some(event)) => {
+                        let terminal = matches!(event, JobEvent::Terminal(_));
+                        let mut pending = shared.pending.lock().unwrap_or_else(|p| p.into_inner());
+                        match pending.as_mut() {
+                            Some(map) if terminal => {
+                                // Unknown id: a frame for a caller that
+                                // went away (dropped WireJob); ignore.
+                                if let Some(tx) = map.remove(&id) {
+                                    let _ = tx.send(event);
+                                }
+                            }
+                            Some(map) => {
+                                if let Some(tx) = map.get(&id) {
+                                    let _ = tx.send(event);
+                                }
+                            }
+                            None => {}
                         }
-                        // Unknown id: a response for a caller that went
-                        // away (dropped PendingResponse); ignore.
                     }
-                    (_, None) => {
-                        // Nonsense frame direction; the stream framing
-                        // is still intact, keep serving the rest.
-                    }
+                    (_, None) => {}
                 }
             }
             Ok(None) | Err(ReadError::Io(_)) => break,

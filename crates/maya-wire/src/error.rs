@@ -38,6 +38,12 @@ pub enum RemoteErrorKind {
     DuplicateTarget,
     /// `ServeError::NoTargets` (build-time).
     NoTargets,
+    /// `ServeError::Cancelled` / `MayaError::Cancelled`: the job (or
+    /// one prediction slot of it) was cooperatively cancelled before
+    /// completing.
+    Cancelled,
+    /// `ServeError::Expired`: the job's deadline elapsed.
+    Expired,
     /// `ServeError::CustomEstimatorSpansClusters` (build-time).
     CustomEstimatorSpansClusters,
     /// A memo-snapshot failure (`ServeError::Snapshot` /
@@ -72,6 +78,8 @@ impl RemoteErrorKind {
             RemoteErrorKind::Stopped => "stopped",
             RemoteErrorKind::DuplicateTarget => "duplicate_target",
             RemoteErrorKind::NoTargets => "no_targets",
+            RemoteErrorKind::Cancelled => "cancelled",
+            RemoteErrorKind::Expired => "expired",
             RemoteErrorKind::CustomEstimatorSpansClusters => "custom_estimator_spans_clusters",
             RemoteErrorKind::Snapshot => "snapshot",
             RemoteErrorKind::Config => "config",
@@ -92,6 +100,8 @@ impl RemoteErrorKind {
             "stopped" => RemoteErrorKind::Stopped,
             "duplicate_target" => RemoteErrorKind::DuplicateTarget,
             "no_targets" => RemoteErrorKind::NoTargets,
+            "cancelled" => RemoteErrorKind::Cancelled,
+            "expired" => RemoteErrorKind::Expired,
             "custom_estimator_spans_clusters" => RemoteErrorKind::CustomEstimatorSpansClusters,
             "snapshot" => RemoteErrorKind::Snapshot,
             "config" => RemoteErrorKind::Config,
@@ -106,13 +116,15 @@ impl RemoteErrorKind {
     }
 
     /// Every kind (for exhaustive tests).
-    pub fn all() -> [RemoteErrorKind; 14] {
+    pub fn all() -> [RemoteErrorKind; 16] {
         [
             RemoteErrorKind::UnknownTarget,
             RemoteErrorKind::Overloaded,
             RemoteErrorKind::Stopped,
             RemoteErrorKind::DuplicateTarget,
             RemoteErrorKind::NoTargets,
+            RemoteErrorKind::Cancelled,
+            RemoteErrorKind::Expired,
             RemoteErrorKind::CustomEstimatorSpansClusters,
             RemoteErrorKind::Snapshot,
             RemoteErrorKind::Config,
@@ -292,6 +304,8 @@ mod tests {
             ServeError::Stopped,
             ServeError::DuplicateTarget("x".into()),
             ServeError::NoTargets,
+            ServeError::Cancelled,
+            ServeError::Expired,
             ServeError::CustomEstimatorSpansClusters,
         ] {
             let text = serde::to_string(&e);

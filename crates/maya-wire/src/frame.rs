@@ -7,7 +7,8 @@
 //! offset  size  field
 //!      0     4  magic   b"MAYW"
 //!      4     2  version u16 BE (this build speaks VERSION)
-//!      6     1  kind    1 = request, 2 = response, 3 = error
+//!      6     1  kind    1 = request, 2 = response, 3 = error,
+//!                       4 = progress, 5 = cancel, 6 = expired
 //!      7     1  reserved (must be 0)
 //!      8     8  id      u64 BE request id, echoed in the reply
 //!                       (must be non-zero in requests: 0 marks
@@ -15,6 +16,13 @@
 //!     16     4  len     u32 BE body length in bytes
 //!     20   len  body    compact token stream (UTF-8)
 //! ```
+//!
+//! Version 2 added the job-oriented frame kinds: `progress` streams a
+//! running search's incremental results to the client (many per id,
+//! all before the terminal frame), `cancel` is the one client→server
+//! frame besides `request` (it asks the server to cooperatively stop
+//! the in-flight job with that id; its body is empty), and `expired`
+//! is the terminal frame of a job whose deadline elapsed.
 //!
 //! The header is self-validating: wrong magic, an unknown version or
 //! kind, a non-zero reserved byte, or a length over the reader's
@@ -28,8 +36,11 @@ use std::io::{ErrorKind, Read, Write};
 /// Leading magic of every frame.
 pub const MAGIC: [u8; 4] = *b"MAYW";
 
-/// Protocol version this build speaks (header field).
-pub const VERSION: u16 = 1;
+/// Protocol version this build speaks (header field). Version 2
+/// introduced the job-oriented vocabulary: the request body gained a
+/// leading `JobOptions` (deadline), and the `Progress` / `Cancel` /
+/// `Expired` frame kinds joined the original three.
+pub const VERSION: u16 = 2;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -44,14 +55,30 @@ pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 << 20;
 /// What a frame carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FrameKind {
-    /// Client → server: a serialized `maya_serve::Request`.
+    /// Client → server: a serialized `maya_serve::JobOptions` followed
+    /// by a serialized `maya_serve::Request`.
     Request,
-    /// Server → client: a serialized response for the echoed id.
+    /// Server → client: the terminal verdict for the echoed id — a job
+    /// outcome tag (`done` / `cancelled`) plus the serialized response
+    /// (see [`WireJobOutcome`](crate::WireJobOutcome)).
     Response,
     /// Server → client: a serialized [`RemoteError`](crate::RemoteError)
     /// for the echoed id (id 0 = connection-fatal, not tied to one
     /// request).
     Error,
+    /// Server → client: one serialized `maya_serve::SearchProgress`
+    /// increment of the running job with the echoed id. Zero or more
+    /// of these precede the job's single terminal frame.
+    Progress,
+    /// Client → server: cooperatively cancel the in-flight job with
+    /// the echoed id. Empty body; no direct acknowledgement — the
+    /// job's terminal frame reflects the verdict.
+    Cancel,
+    /// Server → client: terminal — the job's deadline elapsed. The
+    /// body is `none` (shed while queued, never executed) or `some`
+    /// plus the committed-prefix response of a search whose budget ran
+    /// out mid-run.
+    Expired,
 }
 
 impl FrameKind {
@@ -60,6 +87,9 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Error => 3,
+            FrameKind::Progress => 4,
+            FrameKind::Cancel => 5,
+            FrameKind::Expired => 6,
         }
     }
 
@@ -68,8 +98,23 @@ impl FrameKind {
             1 => FrameKind::Request,
             2 => FrameKind::Response,
             3 => FrameKind::Error,
+            4 => FrameKind::Progress,
+            5 => FrameKind::Cancel,
+            6 => FrameKind::Expired,
             _ => return None,
         })
+    }
+
+    /// Every kind (for exhaustive tests).
+    pub fn all() -> [FrameKind; 6] {
+        [
+            FrameKind::Request,
+            FrameKind::Response,
+            FrameKind::Error,
+            FrameKind::Progress,
+            FrameKind::Cancel,
+            FrameKind::Expired,
+        ]
     }
 }
 

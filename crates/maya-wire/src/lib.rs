@@ -10,12 +10,15 @@
 //!   guard and typed [`ProtocolError`]s for malformed/oversized/
 //!   truncated input;
 //! - **[`server::WireServer`]** — a blocking `std::net` server wrapping
-//!   any [`MayaService`]: one reader/writer thread pair per connection,
-//!   pipelined request ids, the service's bounded admission queue
-//!   mapped to typed `overloaded` error frames, and graceful shutdown
-//!   that drains in-flight requests;
+//!   any [`MayaService`]: pipelined request ids, the service's bounded
+//!   admission queue mapped to typed `overloaded` error frames, the
+//!   full job vocabulary (per-job deadlines, `Progress` streaming for
+//!   long searches, cooperative `Cancel`, `Expired` shedding), and
+//!   graceful shutdown that drains in-flight requests;
 //! - **[`client::WireClient`]** — a typed client with connection reuse
-//!   and pipelining; responses carry the full per-request
+//!   and pipelining whose [`client::WireJob`] handle mirrors the
+//!   in-process `maya_serve::JobHandle` (poll / cancel / progress /
+//!   wait); responses carry the full per-request
 //!   [`maya_serve::Telemetry`] and payloads byte-identical to a direct
 //!   in-process `MayaService` call.
 //!
@@ -55,14 +58,25 @@ pub mod frame;
 pub mod message;
 pub mod server;
 
-pub use client::{PendingResponse, WireClient};
+pub use client::{Backoff, WireClient, WireJob};
 pub use error::{RemoteError, RemoteErrorKind, WireError};
 pub use frame::{Frame, FrameKind, ProtocolError, DEFAULT_MAX_FRAME_LEN, VERSION};
-pub use message::{WirePayload, WireResponse};
+pub use message::{WireJobOutcome, WirePayload, WireResponse};
 pub use server::{WireServer, WireServerBuilder, WireServerStats};
+
+/// The pre-job-API name for the client-side ticket, kept for one
+/// release.
+#[deprecated(
+    since = "0.3.0",
+    note = "renamed to WireJob; submit() now returns a remote job handle \
+            (poll/cancel/progress/deadline); `wait()` behaves as before"
+)]
+pub type PendingResponse = WireJob;
 
 // Client-side request-construction vocabulary, re-exported so remote
 // callers need only this crate.
 pub use maya_search::{AlgorithmKind, ConfigSpace};
-pub use maya_serve::{MayaService, MeasureOutcome, Request, Telemetry};
+pub use maya_serve::{
+    JobOptions, JobState, MayaService, MeasureOutcome, Request, SearchProgress, Telemetry,
+};
 pub use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};

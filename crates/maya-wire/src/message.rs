@@ -17,9 +17,10 @@ use serde::{compact, Deserialize, Serialize};
 
 use maya::Prediction;
 use maya_search::SearchResult;
-use maya_serve::{MeasureOutcome, Telemetry};
+use maya_serve::{JobState, MeasureOutcome, Telemetry};
 
 use crate::error::RemoteError;
+use crate::frame::FrameKind;
 
 /// The result body of a [`WireResponse`], mirroring
 /// `maya_serve::Payload` with wire-safe error slots.
@@ -147,6 +148,112 @@ impl WireResponse {
         }
         out.push('}');
         out
+    }
+}
+
+/// The client-side view of a job's terminal verdict — the wire twin of
+/// `maya_serve::JobOutcome`.
+///
+/// `Done` and `Cancelled` travel in a `Response` frame (distinguished
+/// by a leading tag), `Expired` in its own
+/// [`FrameKind::Expired`] frame. The optional responses of the
+/// non-`Done` verdicts carry the deterministic committed prefix a
+/// search produced before it was stopped.
+#[derive(Debug)]
+pub enum WireJobOutcome {
+    /// Ran to completion.
+    Done(WireResponse),
+    /// Cancelled; `Some` carries a mid-run search's committed prefix.
+    Cancelled(Option<WireResponse>),
+    /// Deadline elapsed; `None` = shed while queued, `Some` = stopped
+    /// at a wave boundary with the committed prefix.
+    Expired(Option<WireResponse>),
+}
+
+fn write_opt_response<T: Serialize>(w: &mut compact::Writer, resp: &Option<T>) {
+    match resp {
+        None => w.tag("none"),
+        Some(r) => {
+            w.tag("some");
+            r.serialize(w);
+        }
+    }
+}
+
+fn read_opt_response(r: &mut compact::Reader<'_>) -> Result<Option<WireResponse>, compact::Error> {
+    Ok(match r.raw_token()? {
+        "none" => None,
+        "some" => Some(Deserialize::deserialize(r)?),
+        t => return Err(compact::Error::parse(t, "option tag (none|some)")),
+    })
+}
+
+impl WireJobOutcome {
+    /// The terminal [`JobState`] this verdict lands the job in.
+    pub fn state(&self) -> JobState {
+        match self {
+            WireJobOutcome::Done(_) => JobState::Done,
+            WireJobOutcome::Cancelled(_) => JobState::Cancelled,
+            WireJobOutcome::Expired(_) => JobState::Expired,
+        }
+    }
+
+    /// The response, for verdicts that carry one.
+    pub fn response(&self) -> Option<&WireResponse> {
+        match self {
+            WireJobOutcome::Done(r) => Some(r),
+            WireJobOutcome::Cancelled(r) | WireJobOutcome::Expired(r) => r.as_ref(),
+        }
+    }
+
+    /// Consumes the verdict, yielding the response if it carries one.
+    pub fn into_response(self) -> Option<WireResponse> {
+        match self {
+            WireJobOutcome::Done(r) => Some(r),
+            WireJobOutcome::Cancelled(r) | WireJobOutcome::Expired(r) => r,
+        }
+    }
+
+    /// Encodes the verdict as its (frame kind, body) wire form — the
+    /// exact layout the server produces from a `maya_serve::JobOutcome`.
+    pub fn encode(&self) -> (FrameKind, String) {
+        let mut w = compact::Writer::new();
+        match self {
+            WireJobOutcome::Done(resp) => {
+                w.tag("done");
+                resp.serialize(&mut w);
+                (FrameKind::Response, w.finish())
+            }
+            WireJobOutcome::Cancelled(resp) => {
+                w.tag("cancelled");
+                write_opt_response(&mut w, resp);
+                (FrameKind::Response, w.finish())
+            }
+            WireJobOutcome::Expired(resp) => {
+                write_opt_response(&mut w, resp);
+                (FrameKind::Expired, w.finish())
+            }
+        }
+    }
+
+    /// Decodes the body of a `Response` frame (`done` / `cancelled`).
+    pub fn decode_response_frame(body: &str) -> Result<Self, compact::Error> {
+        let mut r = compact::Reader::new(body);
+        let out = match r.raw_token()? {
+            "done" => WireJobOutcome::Done(Deserialize::deserialize(&mut r)?),
+            "cancelled" => WireJobOutcome::Cancelled(read_opt_response(&mut r)?),
+            t => return Err(compact::Error::parse(t, "job outcome tag (done|cancelled)")),
+        };
+        r.end()?;
+        Ok(out)
+    }
+
+    /// Decodes the body of an [`FrameKind::Expired`] frame.
+    pub fn decode_expired_frame(body: &str) -> Result<Self, compact::Error> {
+        let mut r = compact::Reader::new(body);
+        let out = WireJobOutcome::Expired(read_opt_response(&mut r)?);
+        r.end()?;
+        Ok(out)
     }
 }
 

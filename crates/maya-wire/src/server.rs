@@ -1,18 +1,25 @@
 //! [`WireServer`]: a blocking TCP front end wrapping any
 //! [`MayaService`].
 //!
-//! One OS thread accepts connections; each connection gets a
-//! **reader/writer thread pair** over `std::net::TcpStream`:
+//! One OS thread accepts connections; each connection gets a *reader*
+//! thread, a *writer* thread, and one lightweight *pump* thread per
+//! in-flight job, all over `std::net::TcpStream`:
 //!
 //! - the *reader* parses request frames and admits them through
-//!   [`MayaService::try_submit`] — the service's bounded admission
+//!   [`MayaService::try_submit_with`] — the service's bounded admission
 //!   queue is mapped straight onto the wire, so a full queue becomes a
 //!   typed [`RemoteErrorKind::Overloaded`](crate::RemoteErrorKind)
 //!   error frame (the connection stays up and later requests are
-//!   served), never a dropped connection;
-//! - the *writer* redeems the pending [`ResponseHandle`]s in admission
-//!   order and streams response frames back, echoing each request's id
-//!   — a client may pipeline any number of requests without waiting.
+//!   served), never a dropped connection. A `Cancel` frame resolves
+//!   the echoed id against the connection's in-flight jobs and fires
+//!   that job's cooperative cancel;
+//! - each admitted job's *pump* forwards its progress events as
+//!   `Progress` frames and then its terminal verdict (a `Response`,
+//!   `Expired` or `Error` frame) into the shared writer channel, so a
+//!   long search streams increments while other pipelined jobs
+//!   complete around it — frames of one job stay ordered (progress
+//!   before terminal), frames of different jobs interleave by id;
+//! - the *writer* serializes frames onto the socket in arrival order.
 //!
 //! Malformed input degrades proportionally: an undecodable request
 //! *body* earns a per-request `protocol` error frame and the connection
@@ -23,8 +30,8 @@
 //! input.
 //!
 //! [`WireServer::shutdown`] is graceful: stop accepting, half-close
-//! every connection's read side, let writers drain every in-flight
-//! response, then join all threads.
+//! every connection's read side, let every job pump drain its progress
+//! and verdict, then join all threads.
 
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,18 +39,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use maya_serve::{MayaService, Request, ResponseHandle, ServeError};
+use serde::{compact, Deserialize, Serialize};
+
+use maya_serve::{JobControl, JobHandle, JobOptions, JobOutcome, MayaService, Request, ServeError};
 
 use crate::error::RemoteError;
 use crate::frame::{read_frame, write_frame, FrameKind, ProtocolError, ReadError};
 
-/// What the connection reader hands its writer, in admission order.
-enum WriterMsg {
-    /// A pending service response for request `id`.
-    Reply(u64, ResponseHandle),
-    /// An immediate typed error for request `id` (id 0 =
-    /// connection-scoped, the writer closes after sending it).
-    Error(u64, RemoteError),
+/// One outbound frame, queued for the connection writer.
+struct OutFrame {
+    kind: FrameKind,
+    id: u64,
+    body: String,
 }
 
 /// Counters for one [`WireServer`] (all cumulative).
@@ -58,6 +65,9 @@ pub struct WireServerStats {
     /// Frames answered with a `protocol` error (malformed body or
     /// desynchronized stream).
     pub protocol_errors: u64,
+    /// `Cancel` frames that resolved to an in-flight job (late cancels
+    /// for already-finished ids are ignored and not counted).
+    pub cancels: u64,
 }
 
 struct ServerShared {
@@ -73,6 +83,7 @@ struct ServerShared {
     admitted: AtomicU64,
     overloaded: AtomicU64,
     protocol_errors: AtomicU64,
+    cancels: AtomicU64,
 }
 
 /// Configures a [`WireServer`] before binding.
@@ -104,6 +115,7 @@ impl WireServerBuilder {
             admitted: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -159,12 +171,14 @@ impl WireServer {
             admitted: self.shared.admitted.load(Ordering::Relaxed),
             overloaded: self.shared.overloaded.load(Ordering::Relaxed),
             protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            cancels: self.shared.cancels.load(Ordering::Relaxed),
         }
     }
 
     /// Graceful shutdown: stop accepting, half-close every connection's
     /// read side (no new requests), drain and deliver every in-flight
-    /// response, join all threads. Idempotent; also runs on drop.
+    /// response and progress stream, join all threads. Idempotent; also
+    /// runs on drop.
     ///
     /// The wrapped [`MayaService`] is *not* stopped — it may be shared
     /// with in-process callers or another front end.
@@ -177,7 +191,7 @@ impl WireServer {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        // Readers stop at EOF; writers then drain their queues.
+        // Readers stop at EOF; job pumps then drain into the writers.
         let conns =
             std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()));
         for stream in conns.values() {
@@ -259,7 +273,91 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
-/// Reader half of one connection; owns the writer thread.
+/// Encodes a job's terminal verdict as its wire frame. The layout is
+/// mirrored by `WireJobOutcome::decode_*` on the client.
+fn outcome_frame(id: u64, outcome: &JobOutcome) -> OutFrame {
+    fn opt_response(w: &mut compact::Writer, resp: &Option<maya_serve::Response>) {
+        match resp {
+            None => w.tag("none"),
+            Some(r) => {
+                w.tag("some");
+                r.serialize(w);
+            }
+        }
+    }
+    let mut w = compact::Writer::new();
+    let kind = match outcome {
+        JobOutcome::Done(resp) => {
+            w.tag("done");
+            resp.serialize(&mut w);
+            FrameKind::Response
+        }
+        JobOutcome::Cancelled(resp) => {
+            w.tag("cancelled");
+            opt_response(&mut w, resp);
+            FrameKind::Response
+        }
+        JobOutcome::Expired(resp) => {
+            opt_response(&mut w, resp);
+            FrameKind::Expired
+        }
+    };
+    OutFrame {
+        kind,
+        id,
+        body: w.finish(),
+    }
+}
+
+/// Streams one admitted job's progress and verdict into the writer.
+fn pump_job(
+    id: u64,
+    handle: JobHandle,
+    out: &mpsc::Sender<OutFrame>,
+    jobs: &Mutex<HashMap<u64, JobControl>>,
+) {
+    for event in handle.progress() {
+        let mut w = compact::Writer::new();
+        event.serialize(&mut w);
+        if out
+            .send(OutFrame {
+                kind: FrameKind::Progress,
+                id,
+                body: w.finish(),
+            })
+            .is_err()
+        {
+            // Writer gone (client stopped reading): stop forwarding
+            // progress but still drain the outcome below so the
+            // service-side job is fully consumed.
+            break;
+        }
+    }
+    let frame = match handle.wait_outcome() {
+        Ok(outcome) => outcome_frame(id, &outcome),
+        // The worker died mid-request (panic): typed Stopped.
+        Err(e) => OutFrame {
+            kind: FrameKind::Error,
+            id,
+            body: serde::to_string(&RemoteError::from(&e)),
+        },
+    };
+    let _ = out.send(frame);
+    jobs.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+}
+
+/// Decodes a request frame body: leading [`JobOptions`], then the
+/// [`Request`] itself.
+fn decode_submission(body: &str) -> Result<(Request, JobOptions), compact::Error> {
+    let mut r = compact::Reader::new(body);
+    let opts = JobOptions::deserialize(&mut r)?;
+    let req = Request::deserialize(&mut r)?;
+    r.end()?;
+    Ok((req, opts))
+}
+
+/// Reader half of one connection; owns the writer thread and spawns a
+/// pump per admitted job.
 fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) {
     let Ok(write_half) = stream.try_clone() else {
         shared
@@ -269,12 +367,20 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
             .remove(&conn_id);
         return;
     };
-    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let (tx, rx) = mpsc::channel::<OutFrame>();
     let max_len = shared.max_frame_len;
-    let writer = std::thread::Builder::new()
-        .name("maya-wire-write".into())
-        .spawn(move || writer_loop(write_half, &rx, max_len))
-        .expect("spawn connection writer");
+    // This connection's in-flight jobs, shared with the pumps (each
+    // removes its own entry at terminal) so `Cancel` frames — and the
+    // writer's orphan cleanup — can reach them.
+    let jobs: Arc<Mutex<HashMap<u64, JobControl>>> = Arc::new(Mutex::new(HashMap::new()));
+    let writer = {
+        let jobs = Arc::clone(&jobs);
+        std::thread::Builder::new()
+            .name("maya-wire-write".into())
+            .spawn(move || writer_loop(write_half, &rx, max_len, &jobs))
+            .expect("spawn connection writer")
+    };
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
 
     let mut reader = std::io::BufReader::new(stream);
     loop {
@@ -289,50 +395,98 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
                 // client starts at 1, so reject the stream outright.
                 if frame.id == 0 {
                     shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(WriterMsg::Error(
-                        0,
-                        RemoteError {
+                    let _ = tx.send(OutFrame {
+                        kind: FrameKind::Error,
+                        id: 0,
+                        body: serde::to_string(&RemoteError {
                             kind: crate::error::RemoteErrorKind::Protocol,
                             message: "frame id 0 is reserved for connection-scoped errors"
                                 .to_string(),
-                        },
-                    ));
+                        }),
+                    });
                     break;
                 }
-                let msg = match frame.kind {
-                    FrameKind::Request => match serde::from_str::<Request>(&frame.body) {
-                        Ok(req) => match shared.service.try_submit(req) {
+                match frame.kind {
+                    FrameKind::Request => match decode_submission(&frame.body) {
+                        Ok((req, opts)) => match shared.service.try_submit_with(req, opts) {
                             Ok(handle) => {
                                 shared.admitted.fetch_add(1, Ordering::Relaxed);
-                                WriterMsg::Reply(frame.id, handle)
+                                jobs.lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .insert(frame.id, handle.control());
+                                let out = tx.clone();
+                                let jobs = Arc::clone(&jobs);
+                                let id = frame.id;
+                                // Reap finished pumps here rather than
+                                // only at connection close, so a
+                                // long-lived pipelined connection's
+                                // handle list tracks *in-flight* jobs,
+                                // not every job ever served.
+                                let mut alive = Vec::with_capacity(pumps.len() + 1);
+                                for pump in pumps.drain(..) {
+                                    if pump.is_finished() {
+                                        let _ = pump.join();
+                                    } else {
+                                        alive.push(pump);
+                                    }
+                                }
+                                pumps = alive;
+                                pumps.push(
+                                    std::thread::Builder::new()
+                                        .name("maya-wire-job".into())
+                                        .spawn(move || pump_job(id, handle, &out, &jobs))
+                                        .expect("spawn job pump"),
+                                );
                             }
                             Err(e) => {
                                 if matches!(e, ServeError::Overloaded) {
                                     shared.overloaded.fetch_add(1, Ordering::Relaxed);
                                 }
-                                WriterMsg::Error(frame.id, RemoteError::from(&e))
+                                let _ = tx.send(OutFrame {
+                                    kind: FrameKind::Error,
+                                    id: frame.id,
+                                    body: serde::to_string(&RemoteError::from(&e)),
+                                });
                             }
                         },
                         Err(e) => {
                             // The frame parsed but its body did not:
                             // this request fails, the stream is intact.
                             shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            WriterMsg::Error(
-                                frame.id,
-                                RemoteError::protocol(&ProtocolError::Malformed(e)),
-                            )
+                            let _ = tx.send(OutFrame {
+                                kind: FrameKind::Error,
+                                id: frame.id,
+                                body: serde::to_string(&RemoteError::protocol(
+                                    &ProtocolError::Malformed(e),
+                                )),
+                            });
                         }
                     },
+                    FrameKind::Cancel => {
+                        // Resolve against this connection's in-flight
+                        // jobs. A miss is a benign race (the job
+                        // already reached its terminal frame) and is
+                        // ignored — the client sees the real verdict.
+                        let control = jobs
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .get(&frame.id)
+                            .cloned();
+                        if let Some(control) = control {
+                            shared.cancels.fetch_add(1, Ordering::Relaxed);
+                            control.cancel();
+                        }
+                    }
                     other => {
                         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        WriterMsg::Error(
-                            frame.id,
-                            RemoteError::protocol(&ProtocolError::UnexpectedFrame(other)),
-                        )
+                        let _ = tx.send(OutFrame {
+                            kind: FrameKind::Error,
+                            id: frame.id,
+                            body: serde::to_string(&RemoteError::protocol(
+                                &ProtocolError::UnexpectedFrame(other),
+                            )),
+                        });
                     }
-                };
-                if tx.send(msg).is_err() {
-                    break; // writer died (client stopped reading)
                 }
             }
             Err(ReadError::Protocol(p)) => {
@@ -340,15 +494,24 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
                 // close this connection. Other connections — and the
                 // service — are untouched.
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(WriterMsg::Error(0, RemoteError::protocol(&p)));
+                let _ = tx.send(OutFrame {
+                    kind: FrameKind::Error,
+                    id: 0,
+                    body: serde::to_string(&RemoteError::protocol(&p)),
+                });
                 break;
             }
             Err(ReadError::Io(_)) => break,
         }
     }
-    // Dropping the sender lets the writer drain in-flight responses
-    // and exit — this is what makes shutdown (and client close) drain
-    // rather than abort.
+    // Dropping the reader's sender (after the pumps finish and drop
+    // theirs) lets the writer drain in-flight frames and exit — this
+    // is what makes shutdown (and client close) drain rather than
+    // abort. The pumps finish on their own once the service answers
+    // their jobs; the wrapped service keeps running throughout.
+    for pump in pumps {
+        let _ = pump.join();
+    }
     drop(tx);
     let _ = writer.join();
     // Close the socket at the OS level and deregister. The explicit
@@ -364,45 +527,35 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
         .remove(&conn_id);
 }
 
-/// Writer half: redeems handles in admission order, one frame per
-/// response, echoing request ids.
-fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<WriterMsg>, max_len: u32) {
+/// Writer half: serializes queued frames onto the socket in arrival
+/// order. An id-0 error frame is connection-fatal: written, then the
+/// writer stops.
+///
+/// When the writer exits with jobs still in flight, no frame of theirs
+/// can ever reach the client — the peer is gone (write failure) or the
+/// stream is condemned (id-0 error) — so it cancels them on the way
+/// out. Workers stop burning on orphaned searches promptly, and the
+/// pumps (blocked in `wait_outcome`) unwind. A *graceful* drain — the
+/// client half-closing its writes, or [`WireServer::shutdown`] — never
+/// takes this path: the writer outlives the pumps there, and in-flight
+/// jobs deliver normally.
+fn writer_loop(
+    stream: TcpStream,
+    rx: &mpsc::Receiver<OutFrame>,
+    max_len: u32,
+    jobs: &Mutex<HashMap<u64, JobControl>>,
+) {
     let mut w = std::io::BufWriter::new(stream);
-    while let Ok(msg) = rx.recv() {
-        let result = match msg {
-            WriterMsg::Reply(id, handle) => match handle.wait() {
-                Ok(response) => write_frame(
-                    &mut w,
-                    FrameKind::Response,
-                    id,
-                    &serde::to_string(&response),
-                    max_len,
-                ),
-                // The worker died mid-request (panic): typed Stopped.
-                Err(e) => write_frame(
-                    &mut w,
-                    FrameKind::Error,
-                    id,
-                    &serde::to_string(&RemoteError::from(&e)),
-                    max_len,
-                ),
-            },
-            WriterMsg::Error(id, remote) => {
-                let r = write_frame(
-                    &mut w,
-                    FrameKind::Error,
-                    id,
-                    &serde::to_string(&remote),
-                    max_len,
-                );
-                if id == 0 {
-                    break; // connection-fatal: stop after reporting
-                }
-                r
-            }
-        };
-        if result.is_err() {
+    while let Ok(frame) = rx.recv() {
+        let fatal = frame.kind == FrameKind::Error && frame.id == 0;
+        if write_frame(&mut w, frame.kind, frame.id, &frame.body, max_len).is_err() {
             break; // peer gone; reader will notice on its next read
         }
+        if fatal {
+            break; // connection-fatal: stop after reporting
+        }
+    }
+    for control in jobs.lock().unwrap_or_else(|p| p.into_inner()).values() {
+        control.cancel();
     }
 }

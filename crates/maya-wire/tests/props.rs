@@ -14,12 +14,13 @@ use maya_hw::Measurement;
 use maya_search::{
     AlgorithmKind, ConfigSpace, Provenance, SearchResult, SearchStats, TrialOutcome, TrialRecord,
 };
-use maya_serve::{MeasureOutcome, Request, Telemetry};
+use maya_serve::{JobOptions, MeasureOutcome, Request, SearchProgress, Telemetry};
 use maya_sim::SimReport;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::{Dtype, KernelKind, SimTime};
 use maya_wire::{
-    frame, RemoteError, RemoteErrorKind, WirePayload, WireResponse, DEFAULT_MAX_FRAME_LEN,
+    frame, RemoteError, RemoteErrorKind, WireJobOutcome, WirePayload, WireResponse,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use std::time::Duration;
 
@@ -291,6 +292,52 @@ impl Gen {
         }
     }
 
+    fn trial_record(&mut self) -> TrialRecord {
+        TrialRecord {
+            config: self.parallel(),
+            outcome: self.trial_outcome(),
+            provenance: self.pick(&[
+                Provenance::Executed,
+                Provenance::Cached,
+                Provenance::Skipped,
+            ]),
+        }
+    }
+
+    fn search_progress(&mut self) -> SearchProgress {
+        let trials = (self.next() % 5) as usize;
+        SearchProgress {
+            trials: (0..trials).map(|_| self.trial_record()).collect(),
+            committed: (self.next() % 10_000) as usize,
+            best: if self.bool() {
+                Some((self.parallel(), self.trial_outcome()))
+            } else {
+                None
+            },
+            cache_delta: maya_estimator::CacheStats {
+                hits: self.next(),
+                misses: self.next(),
+                evictions: self.next(),
+            },
+        }
+    }
+
+    fn job_outcome(&mut self) -> WireJobOutcome {
+        match self.next() % 3 {
+            0 => WireJobOutcome::Done(self.wire_response()),
+            1 => WireJobOutcome::Cancelled(if self.bool() {
+                Some(self.wire_response())
+            } else {
+                None
+            }),
+            _ => WireJobOutcome::Expired(if self.bool() {
+                Some(self.wire_response())
+            } else {
+                None
+            }),
+        }
+    }
+
     fn wire_response(&mut self) -> WireResponse {
         let payload = match self.next() % 3 {
             0 => WirePayload::Predict(
@@ -337,15 +384,13 @@ fn assert_reencodes<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(v: &
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The binary frame layer is byte-transparent for every kind/id/body.
+    /// The binary frame layer is byte-transparent for every kind —
+    /// the original three and the job-API additions (`Progress`,
+    /// `Cancel`, `Expired`) — and every id/body.
     #[test]
     fn frames_round_trip(seed in any::<u64>()) {
         let mut g = Gen(seed);
-        let kind = g.pick(&[
-            frame::FrameKind::Request,
-            frame::FrameKind::Response,
-            frame::FrameKind::Error,
-        ]);
+        let kind = g.pick(&frame::FrameKind::all());
         let id = g.next();
         let body: String = serde::to_string(&g.string());
         let mut buf = Vec::new();
@@ -412,5 +457,50 @@ proptest! {
     #[test]
     fn measurements_round_trip(seed in any::<u64>()) {
         assert_reencodes(&Gen(seed).measurement());
+    }
+
+    /// `Progress` frame payloads — trial batches, best-so-far, cache
+    /// deltas — are identity, bit-exact on the floats.
+    #[test]
+    fn search_progress_round_trips(seed in any::<u64>()) {
+        let p = Gen(seed).search_progress();
+        assert_reencodes(&p);
+        let back: SearchProgress = serde::from_str(&serde::to_string(&p)).unwrap();
+        prop_assert_eq!(back.trials, p.trials);
+        prop_assert_eq!(back.committed, p.committed);
+        prop_assert_eq!(back.cache_delta, p.cache_delta);
+    }
+
+    /// Job verdicts (`Done`/`Cancelled` response frames and `Expired`
+    /// frames, with and without prefix responses) decode back to the
+    /// exact bytes the server produced.
+    #[test]
+    fn job_outcome_frames_round_trip(seed in any::<u64>()) {
+        let outcome = Gen(seed).job_outcome();
+        let (kind, body) = outcome.encode();
+        let back = match kind {
+            frame::FrameKind::Response => WireJobOutcome::decode_response_frame(&body),
+            frame::FrameKind::Expired => WireJobOutcome::decode_expired_frame(&body),
+            other => panic!("unexpected outcome frame kind {other:?}"),
+        }
+        .expect("decode job outcome frame");
+        prop_assert_eq!(back.state(), outcome.state());
+        let (back_kind, back_body) = back.encode();
+        prop_assert_eq!(back_kind, kind);
+        prop_assert_eq!(back_body, body, "re-encode must reproduce the frame body");
+    }
+
+    /// Request envelopes (options + request) are identity, deadline
+    /// included to the nanosecond.
+    #[test]
+    fn job_options_round_trip(seed in any::<u64>()) {
+        let mut g = Gen(seed);
+        let opts = if g.bool() {
+            JobOptions::new().with_deadline(g.duration())
+        } else {
+            JobOptions::new()
+        };
+        let back: JobOptions = serde::from_str(&serde::to_string(&opts)).unwrap();
+        prop_assert_eq!(back, opts);
     }
 }

@@ -135,6 +135,7 @@ pub struct MayaBuilder {
     estimator: EstimatorChoice,
     snapshot: Option<PathBuf>,
     memo_capacity: Option<usize>,
+    memo_ttl: Option<std::time::Duration>,
 }
 
 impl MayaBuilder {
@@ -146,6 +147,7 @@ impl MayaBuilder {
             estimator: EstimatorChoice::Oracle,
             snapshot: None,
             memo_capacity: None,
+            memo_ttl: None,
         }
     }
 
@@ -219,6 +221,18 @@ impl MayaBuilder {
         self
     }
 
+    /// Ages memo entries out after `ttl` (measured from insertion; see
+    /// [`maya_estimator::CachingEstimator::with_limits`]). Disabled by
+    /// default. The complement of [`MayaBuilder::memo_capacity`] for
+    /// long-lived engines: the cap bounds *how many* entries stay, the
+    /// TTL bounds *how long* a stale one can linger after the workload
+    /// stopped asking for it. Expiries count into
+    /// [`maya_estimator::CacheStats::evictions`].
+    pub fn memo_ttl(mut self, ttl: std::time::Duration) -> Self {
+        self.memo_ttl = Some(ttl);
+        self
+    }
+
     /// Arms memo persistence: if a snapshot exists at `path` it is
     /// restored into the engine's cache at build (warm start), and
     /// [`Maya::persist_snapshot`] will write back to the same path. A
@@ -237,9 +251,10 @@ impl MayaBuilder {
     /// Builds the bare engine (no facade, no snapshot handling) — what
     /// `maya-serve`'s registry stamps out per cluster spec.
     pub fn build_engine(&self) -> PredictionEngine {
-        let cache = maya_estimator::CachingEstimator::with_capacity(
+        let cache = maya_estimator::CachingEstimator::with_limits(
             self.estimator.build(&self.spec.cluster),
             self.memo_capacity,
+            self.memo_ttl,
         );
         PredictionEngine::with_shared_cache(self.spec, Arc::new(cache))
     }

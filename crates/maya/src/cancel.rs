@@ -1,0 +1,53 @@
+//! Cooperative cancellation for long-running pipeline work.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between the party
+//! that wants work stopped and the party doing it. Cancellation is
+//! *cooperative*: the pipeline checks the token only at deterministic
+//! boundaries (between batched predictions, between committed search
+//! trials), never mid-stage — so everything produced before the stop is
+//! byte-identical to the uncancelled run's prefix. Firing the token is
+//! idempotent and can never un-fire.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag (see module docs).
+///
+/// Clones observe the same flag; `Default`/[`CancelToken::new`] start
+/// un-cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; observers stop at their next
+    /// check point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled(), "cancel must be visible through clones");
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+}

@@ -28,6 +28,7 @@ use maya_sim::simulate;
 use maya_torchlet::{FrameworkFlavor, RankTopology, TrainingJob};
 use maya_trace::{JobTrace, WorkerTrace};
 
+use crate::cancel::CancelToken;
 use crate::error::MayaError;
 use crate::pipeline::{EmulationSpec, PredictOutcome, Prediction, StageTimings};
 
@@ -355,11 +356,40 @@ impl PredictionEngine {
     /// interleaving cannot change any outcome. Member jobs emulate
     /// sequentially; the parallelism is across jobs.
     pub fn predict_batch(&self, jobs: &[TrainingJob]) -> Vec<Result<Prediction, MayaError>> {
+        self.predict_batch_with(jobs, None)
+    }
+
+    /// [`PredictionEngine::predict_batch`] with cooperative
+    /// cancellation. The token is checked once per job, right after it
+    /// is claimed by a pool worker: each slot independently either
+    /// runs to completion — byte-identical to an uncancelled run — or
+    /// resolves to [`MayaError::Cancelled`]. No stage is ever
+    /// interrupted mid-flight. With concurrent workers the cancelled
+    /// slots need not form a contiguous suffix (two threads can
+    /// observe the token on opposite sides of the same instant);
+    /// callers needing all-or-nothing semantics should discard the
+    /// whole batch when any slot reports `Cancelled`, as the search
+    /// scheduler does.
+    pub fn predict_batch_with(
+        &self,
+        jobs: &[TrainingJob],
+        cancel: Option<&CancelToken>,
+    ) -> Vec<Result<Prediction, MayaError>> {
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
         let threads = self.spec.emulation_threads.max(1).min(jobs.len());
         if threads <= 1 || jobs.len() <= 1 {
             // Degenerate batch: hand each job the whole pool instead,
             // so a singleton batch emulates as fast as predict_job.
-            return jobs.iter().map(|j| self.predict_job(j)).collect();
+            return jobs
+                .iter()
+                .map(|j| {
+                    if cancelled() {
+                        Err(MayaError::Cancelled)
+                    } else {
+                        self.predict_job(j)
+                    }
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
@@ -372,9 +402,14 @@ impl PredictionEngine {
                     if i >= jobs.len() {
                         break;
                     }
+                    let result = if cancelled() {
+                        Err(MayaError::Cancelled)
+                    } else {
+                        self.predict_job_with(&jobs[i], 1)
+                    };
                     // A send can only fail if the receiver was dropped,
                     // which cannot happen while this scope is alive.
-                    let _ = tx.send((i, self.predict_job_with(&jobs[i], 1)));
+                    let _ = tx.send((i, result));
                 });
             }
         });
@@ -505,6 +540,55 @@ mod tests {
             st.hits >= st.misses,
             "warm pass should pre-answer the simulator: {st:?}"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_batch_runs_nothing() {
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 4))
+            .emulation_threads(2)
+            .build()
+            .unwrap();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let jobs = vec![job(4, ParallelConfig::default(), 8); 3];
+        let out = maya.engine().predict_batch_with(&jobs, Some(&token));
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            assert!(matches!(r, Err(MayaError::Cancelled)), "{r:?}");
+        }
+        assert_eq!(
+            maya.engine().cache_stats().misses,
+            0,
+            "a pre-cancelled batch must never touch the pipeline"
+        );
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 4))
+            .emulation_threads(2)
+            .build()
+            .unwrap();
+        let token = crate::CancelToken::new();
+        let jobs = vec![
+            job(4, ParallelConfig::default(), 8),
+            job(
+                4,
+                ParallelConfig {
+                    tp: 2,
+                    ..Default::default()
+                },
+                8,
+            ),
+        ];
+        let with = maya.engine().predict_batch_with(&jobs, Some(&token));
+        let without = maya.engine().predict_batch(&jobs);
+        for (a, b) in with.iter().zip(&without) {
+            assert_eq!(
+                a.as_ref().unwrap().iteration_time(),
+                b.as_ref().unwrap().iteration_time()
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum MayaError {
     },
     /// Reading or writing an estimator memo snapshot failed.
     Snapshot(maya_estimator::SnapshotError),
+    /// The work was cancelled (via [`crate::CancelToken`]) before this
+    /// piece of it ran. Only ever reported for work that never started:
+    /// results produced before the cancellation are real and final.
+    Cancelled,
 }
 
 impl fmt::Display for MayaError {
@@ -39,6 +43,7 @@ impl fmt::Display for MayaError {
                 write!(f, "job wants {job} ranks but cluster has {cluster} GPUs")
             }
             MayaError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            MayaError::Cancelled => write!(f, "cancelled before execution"),
         }
     }
 }

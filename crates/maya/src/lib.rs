@@ -50,12 +50,14 @@
 //! request/response API.
 
 pub mod builder;
+pub mod cancel;
 pub mod engine;
 pub mod error;
 pub mod pipeline;
 pub mod serdes;
 
 pub use builder::{EstimatorChoice, EstimatorFactory, MayaBuilder};
+pub use cancel::CancelToken;
 pub use engine::PredictionEngine;
 pub use error::MayaError;
 pub use pipeline::{EmulationSpec, Maya, PredictOutcome, Prediction, StageTimings};

@@ -109,6 +109,7 @@ pub fn error_code(e: &MayaError) -> &'static str {
         MayaError::Exec(_) => "exec",
         MayaError::WorldMismatch { .. } => "world_mismatch",
         MayaError::Snapshot(_) => "snapshot",
+        MayaError::Cancelled => "cancelled",
     }
 }
 

@@ -15,8 +15,8 @@ use maya_serve::{MayaService, Payload, Request};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
 use maya_wire::{
-    frame, RemoteError, RemoteErrorKind, WireClient, WireError, WirePayload, WireResponse,
-    WireServer,
+    frame, RemoteError, RemoteErrorKind, WireClient, WireError, WireJobOutcome, WirePayload,
+    WireResponse, WireServer,
 };
 
 const H100_TARGET: &str = "h100-quad";
@@ -296,16 +296,23 @@ fn malformed_frames_yield_typed_protocol_errors_and_the_server_survives() {
         let err: RemoteError = serde::from_str(&reply.body).unwrap();
         assert_eq!(err.kind, RemoteErrorKind::Protocol);
 
-        // Same connection, now a valid request: still served.
+        // Same connection, now a valid request: still served. A v2
+        // request body is a JobOptions envelope followed by the
+        // request; the terminal Response frame leads with the job
+        // outcome tag.
         let good = Request::Predict {
             target: A40_TARGET.into(),
             jobs: vec![job(&a40_cluster(), ParallelConfig::default())],
         };
+        let mut w = serde::compact::Writer::new();
+        use serde::Serialize as _;
+        maya_serve::JobOptions::default().serialize(&mut w);
+        good.serialize(&mut w);
         frame::write_frame(
             &mut raw,
             frame::FrameKind::Request,
             10,
-            &serde::to_string(&good),
+            &w.finish(),
             frame::DEFAULT_MAX_FRAME_LEN,
         )
         .unwrap();
@@ -314,7 +321,8 @@ fn malformed_frames_yield_typed_protocol_errors_and_the_server_survives() {
             .expect("response frame");
         assert_eq!(reply.kind, frame::FrameKind::Response);
         assert_eq!(reply.id, 10);
-        let resp: WireResponse = serde::from_str(&reply.body).unwrap();
+        let outcome = WireJobOutcome::decode_response_frame(&reply.body).unwrap();
+        let resp = outcome.into_response().expect("done carries the response");
         assert!(resp.predictions().unwrap()[0].is_ok());
     }
 
@@ -432,6 +440,265 @@ fn graceful_shutdown_drains_in_flight_requests() {
         })
         .unwrap();
     assert!(direct.predictions().unwrap()[0].is_ok());
+}
+
+/// A search space big enough that a cold search runs for many waves.
+fn wide_space() -> ConfigSpace {
+    ConfigSpace {
+        tp: vec![1, 2],
+        pp: vec![1, 2],
+        microbatch_multiplier: vec![1, 2],
+        virtual_stages: vec![1],
+        activation_recompute: vec![true, false],
+        sequence_parallel: vec![false],
+        distributed_optimizer: vec![true, false],
+    }
+}
+
+fn long_search(budget: usize) -> Request {
+    Request::Search {
+        target: H100_TARGET.into(),
+        template: job(&h100_cluster(), ParallelConfig::default()),
+        space: wide_space(),
+        algorithm: AlgorithmKind::Random,
+        budget,
+        seed: 11,
+    }
+}
+
+#[test]
+fn streamed_progress_over_the_wire_reconstructs_the_search_byte_for_byte() {
+    let server = WireServer::bind("127.0.0.1:0", service()).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+
+    let mut pending = client.submit(&long_search(30)).expect("submit");
+    let mut events = Vec::new();
+    while let Some(event) = pending.next_progress() {
+        events.push(event);
+    }
+    let outcome = pending.wait_outcome().expect("terminal frame");
+    let WireJobOutcome::Done(resp) = outcome else {
+        panic!("expected Done, got {outcome:?}");
+    };
+    let result = resp.search().expect("search payload");
+
+    assert!(
+        events.len() >= 2,
+        "a 30-trial search must stream at least two progress frames, got {}",
+        events.len()
+    );
+    let streamed: Vec<_> = events.iter().flat_map(|e| e.trials.clone()).collect();
+    assert_eq!(
+        serde::to_string(&streamed),
+        serde::to_string(&result.trials),
+        "concatenated progress records must equal the final trials byte-for-byte"
+    );
+    assert!(
+        events.windows(2).all(|w| w[0].committed < w[1].committed),
+        "committed counts must be strictly increasing"
+    );
+    assert_eq!(events.last().unwrap().committed, result.trials.len());
+
+    // And the streamed search is byte-identical to a direct in-process
+    // run of the same request (modulo wall clock).
+    let direct = service().call(reissue(&long_search(30))).unwrap();
+    assert_eq!(
+        canonical(&to_wire_payload(&direct.payload)),
+        canonical(&WirePayload::Search(Box::new(result.clone()))),
+        "the streamed search must match the direct in-process result"
+    );
+}
+
+#[test]
+fn cancel_over_the_wire_returns_the_deterministic_committed_prefix() {
+    // Reference: the same search, uncancelled.
+    let full = service().call(reissue(&long_search(60))).unwrap();
+    let full = full.search().unwrap().clone();
+
+    let server = WireServer::bind("127.0.0.1:0", service()).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+    let mut pending = client.submit(&long_search(60)).expect("submit");
+    let first = pending.next_progress().expect("first wave before cancel");
+    pending.cancel().expect("cancel frame sent");
+    let outcome = pending.wait_outcome().expect("terminal frame");
+    let WireJobOutcome::Cancelled(Some(resp)) = outcome else {
+        panic!("expected Cancelled with a prefix, got {outcome:?}");
+    };
+    let partial = resp.search().unwrap();
+    assert!(partial.trials.len() >= first.trials.len());
+    assert!(
+        partial.trials.len() < full.trials.len(),
+        "cancellation must cut the search short ({} vs {})",
+        partial.trials.len(),
+        full.trials.len()
+    );
+    assert_eq!(
+        serde::to_string(&partial.trials),
+        serde::to_string(&full.trials[..partial.trials.len()].to_vec()),
+        "the cancelled search must be an exact byte prefix of the uncancelled run"
+    );
+    assert_eq!(server.stats().cancels, 1);
+    assert_eq!(server.service().stats().cancelled, 1);
+}
+
+#[test]
+fn queued_deadline_expiry_sheds_the_job_without_a_worker_slot() {
+    let svc = Arc::new(
+        MayaService::builder()
+            .target(H100_TARGET, EmulationSpec::new(h100_cluster()))
+            .workers(1)
+            .queue_capacity(4)
+            .build()
+            .unwrap(),
+    );
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+
+    // Occupy the single worker...
+    let blocker = client.submit(&long_search(60)).unwrap();
+    // ...then queue a job whose budget is already hopeless.
+    let doomed = client
+        .submit_with(
+            &Request::Predict {
+                target: H100_TARGET.into(),
+                jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+            },
+            maya_wire::JobOptions::new().with_deadline(Duration::ZERO),
+        )
+        .unwrap();
+    let outcome = doomed.wait_outcome().expect("terminal frame");
+    assert!(
+        matches!(outcome, WireJobOutcome::Expired(None)),
+        "a queue-expired job must arrive as an Expired frame with no \
+         response, got {outcome:?}"
+    );
+    assert_eq!(
+        svc.stats().expired,
+        1,
+        "service telemetry must count the shed job"
+    );
+    blocker.cancel().unwrap();
+    let _ = blocker.wait_outcome();
+}
+
+#[test]
+fn dropped_client_cancels_its_orphaned_jobs() {
+    let svc = Arc::new(
+        MayaService::builder()
+            .target(H100_TARGET, EmulationSpec::new(h100_cluster()))
+            .workers(1)
+            .build()
+            .unwrap(),
+    );
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    {
+        let client = WireClient::connect(server.local_addr()).unwrap();
+        let mut orphan = client.submit(&long_search(50_000)).unwrap();
+        let _ = orphan.next_progress().expect("search is running");
+        // The client vanishes with the search mid-flight. Nobody can
+        // ever receive its frames, so the server must cancel it
+        // instead of letting it occupy the only worker for the full
+        // 50k-trial budget.
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while svc.stats().cancelled == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "the orphaned search was never cancelled"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The worker is free again: a fresh client is served promptly.
+    let client = WireClient::connect(server.local_addr()).unwrap();
+    let resp = client
+        .call(&Request::Predict {
+            target: H100_TARGET.into(),
+            jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+        })
+        .expect("worker freed by the orphan cleanup");
+    assert!(resp.predictions().unwrap()[0].is_ok());
+}
+
+#[test]
+fn submit_with_retry_rides_out_a_one_slot_queue() {
+    use maya_wire::Backoff;
+    let tiny = Arc::new(
+        MayaService::builder()
+            .target(H100_TARGET, EmulationSpec::new(h100_cluster()))
+            .workers(1)
+            .queue_capacity(1)
+            .build()
+            .unwrap(),
+    );
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&tiny)).unwrap();
+    let addr = server.local_addr();
+    let predict = || Request::Predict {
+        target: H100_TARGET.into(),
+        jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+    };
+
+    // Enough concurrent callers to overrun a 1-slot queue many times
+    // over; with backoff every one of them must eventually land.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let client = WireClient::connect(addr).expect("connect");
+                    for _ in 0..4 {
+                        let resp = client
+                            .submit_with_retry(
+                                &predict(),
+                                Backoff {
+                                    attempts: 64,
+                                    initial: Duration::from_millis(1),
+                                    factor: 2,
+                                    max_delay: Duration::from_millis(50),
+                                },
+                            )
+                            .expect("retries must ride out the overload");
+                        assert!(resp.predictions().unwrap()[0].is_ok());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert!(
+        server.stats().overloaded > 0,
+        "the flood must actually have been shed at least once"
+    );
+
+    // Errors other than overload are not retried: an unknown target
+    // fails on the first attempt.
+    let client = WireClient::connect(addr).unwrap();
+    let t0 = Instant::now();
+    let err = client
+        .submit_with_retry(
+            &Request::Predict {
+                target: "no-such-target".into(),
+                jobs: vec![job(&h100_cluster(), ParallelConfig::default())],
+            },
+            Backoff {
+                attempts: 8,
+                initial: Duration::from_secs(1),
+                factor: 2,
+                max_delay: Duration::from_secs(1),
+            },
+        )
+        .expect_err("unknown target");
+    assert!(
+        matches!(
+            &err,
+            WireError::Remote(remote) if remote.kind == RemoteErrorKind::UnknownTarget
+        ),
+        "{err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_millis(900),
+        "a non-overload error must not back off"
+    );
 }
 
 #[test]
