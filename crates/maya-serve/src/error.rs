@@ -13,6 +13,16 @@ pub enum ServeError {
     /// The bounded admission queue is full (only from
     /// [`try_submit`](crate::MayaService::try_submit); `submit` blocks).
     Overloaded,
+    /// The submission's tenant is over its admission quota (max queued
+    /// jobs per tenant, see
+    /// [`ServiceBuilder::tenant_max_queued`](crate::ServiceBuilder::tenant_max_queued)).
+    /// Shed immediately by both `submit` and `try_submit` — unlike
+    /// [`ServeError::Overloaded`], waiting alone will not help until
+    /// this tenant's own queued jobs drain.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+    },
     /// The service has shut down (or a worker died) before the request
     /// could be accepted or answered.
     Stopped,
@@ -47,6 +57,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownTarget(t) => write!(f, "unknown cluster target {t:?}"),
             ServeError::Overloaded => write!(f, "admission queue full"),
+            ServeError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant:?} is over its admission quota")
+            }
             ServeError::Stopped => write!(f, "service stopped"),
             ServeError::DuplicateTarget(t) => write!(f, "target {t:?} registered twice"),
             ServeError::NoTargets => write!(f, "service built with no cluster targets"),

@@ -27,8 +27,9 @@
 //! concatenation of all progress events' trial batches equals the final
 //! result's `trials` exactly.
 
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 pub use maya::CancelToken;
@@ -66,8 +67,41 @@ impl JobState {
     }
 }
 
+/// Scheduling class of a job. Within a class the admission queue runs
+/// earliest-deadline-first (remaining budget), then admission order;
+/// across classes `High` beats `Normal` beats `Batch`, except that the
+/// starvation guard ages long-waiting jobs upward one class per guard
+/// interval so `Batch` work always reaches a worker eventually.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: scheduled before everything un-aged.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput work: runs when nothing more urgent is queued, aged
+    /// into service by the starvation guard.
+    Batch,
+}
+
+impl Priority {
+    /// Scheduling rank: lower runs first (`High` = 0, `Batch` = 2).
+    pub(crate) fn level(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Every class (for exhaustive tests).
+    pub fn all() -> [Priority; 3] {
+        [Priority::High, Priority::Normal, Priority::Batch]
+    }
+}
+
 /// Per-submission options (see [`crate::MayaService::submit_with`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct JobOptions {
     /// Total latency budget, measured from admission. Queue wait counts
     /// against it: a job still queued when the budget runs out is shed
@@ -75,10 +109,19 @@ pub struct JobOptions {
     /// `Search` already running checks the budget at wave boundaries.
     /// `None` (the default) never expires.
     pub deadline: Option<Duration>,
+    /// Scheduling class ([`Priority::Normal`] by default). Within a
+    /// class, jobs with less remaining deadline budget run first.
+    pub priority: Priority,
+    /// The tenant this job is accounted to. Named tenants are subject
+    /// to the service's per-tenant quotas (max queued, max in-flight)
+    /// and get their own counters in
+    /// [`ServiceStats::tenants`](crate::ServiceStats). `None` (the
+    /// default) is anonymous: no quota, no per-tenant counters.
+    pub tenant: Option<String>,
 }
 
 impl JobOptions {
-    /// No deadline.
+    /// No deadline, [`Priority::Normal`], anonymous.
     pub fn new() -> Self {
         JobOptions::default()
     }
@@ -86,6 +129,18 @@ impl JobOptions {
     /// Sets the latency budget.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Accounts the job to a named tenant (quota-checked at admission).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 }
@@ -156,17 +211,56 @@ const STATE_CANCELLED: u8 = 3;
 const STATE_EXPIRED: u8 = 4;
 const STATE_FAILED: u8 = 5;
 
+/// The buffered, bounded progress stream of one job.
+///
+/// Events buffer from the moment of submission so a late
+/// [`JobHandle::progress`] call loses nothing — but the buffer is
+/// *bounded*: past `high_water` pending events, each new wave is
+/// **coalesced** into the newest buffered one (trial batches
+/// concatenate in commit order, `committed`/`best` take the newer
+/// values, cache deltas sum). A client that never drains a long
+/// search's stream therefore costs at most `high_water` events of
+/// memory, and the "concatenated events == final trials" invariant
+/// holds whether or not coalescing fired. Coalesces are counted in
+/// [`ServiceStats::progress_coalesced`](crate::ServiceStats).
+struct ProgressBuffer {
+    events: VecDeque<SearchProgress>,
+    high_water: usize,
+    closed: bool,
+    taken: bool,
+}
+
 /// State shared between a job's handle(s) and the worker executing it.
 pub(crate) struct JobCore {
     pub(crate) id: u64,
     state: AtomicU8,
     pub(crate) cancel: CancelToken,
-    /// The progress sender lives here so the worker can *close* the
-    /// stream (by taking it) when the job reaches a terminal state.
-    progress_tx: Mutex<Option<mpsc::Sender<SearchProgress>>>,
+    progress: Mutex<ProgressBuffer>,
+    progress_ready: Condvar,
+    /// Service-wide coalesce counter (see [`ProgressBuffer`]).
+    coalesced: Arc<AtomicU64>,
+    /// Back-reference to the admission queue, attached at submission,
+    /// so a cancel can wake the sleeping scheduler and have a
+    /// still-queued job's verdict delivered promptly.
+    queue: OnceLock<Weak<crate::queue::AdmissionQueue>>,
 }
 
 impl JobCore {
+    /// Attaches the admission queue this job is (about to be) queued
+    /// on (idempotent; first attachment wins).
+    pub(crate) fn attach_queue(&self, queue: Weak<crate::queue::AdmissionQueue>) {
+        let _ = self.queue.set(queue);
+    }
+
+    /// Requests cooperative cancellation and pokes the admission queue
+    /// so a still-queued job is discarded (and its verdict delivered)
+    /// now, not at the next unrelated scheduling event.
+    pub(crate) fn request_cancel(&self) {
+        self.cancel.cancel();
+        if let Some(queue) = self.queue.get().and_then(Weak::upgrade) {
+            queue.poke();
+        }
+    }
     pub(crate) fn state(&self) -> JobState {
         match self.state.load(Ordering::SeqCst) {
             STATE_QUEUED => JobState::Queued,
@@ -182,16 +276,37 @@ impl JobCore {
         self.state.store(STATE_RUNNING, Ordering::SeqCst);
     }
 
-    /// Emits one progress event (a no-op once the receiver is gone).
+    fn progress_buffer(&self) -> MutexGuard<'_, ProgressBuffer> {
+        self.progress.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Buffers one progress event, coalescing into the newest buffered
+    /// event once `high_water` events are pending (see
+    /// [`ProgressBuffer`]). A no-op on finished jobs.
     pub(crate) fn emit_progress(&self, event: SearchProgress) {
-        let tx = self.progress_tx.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(tx) = tx.as_ref() {
-            let _ = tx.send(event);
+        let mut buf = self.progress_buffer();
+        if buf.closed {
+            return;
         }
+        if buf.events.len() >= buf.high_water {
+            let last = buf.events.back_mut().expect("high_water >= 1");
+            last.trials.extend(event.trials);
+            last.committed = event.committed;
+            last.best = event.best;
+            last.cache_delta.hits += event.cache_delta.hits;
+            last.cache_delta.misses += event.cache_delta.misses;
+            last.cache_delta.evictions += event.cache_delta.evictions;
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.events.push_back(event);
+        }
+        drop(buf);
+        self.progress_ready.notify_all();
     }
 
     /// Seals the job: records the terminal state and closes the
-    /// progress stream so readers see end-of-events.
+    /// progress stream so readers see end-of-events (after draining
+    /// what is buffered).
     pub(crate) fn finish(&self, state: JobState) {
         let code = match state {
             JobState::Done => STATE_DONE,
@@ -201,12 +316,8 @@ impl JobCore {
             JobState::Queued | JobState::Running => unreachable!("finish with non-terminal state"),
         };
         self.state.store(code, Ordering::SeqCst);
-        drop(
-            self.progress_tx
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .take(),
-        );
+        self.progress_buffer().closed = true;
+        self.progress_ready.notify_all();
     }
 
     /// Seals the job as [`JobState::Failed`] — the panic path, where
@@ -222,14 +333,29 @@ impl JobCore {
 /// when the job reaches a terminal state (or, for non-search requests,
 /// immediately — they emit no progress).
 pub struct ProgressEvents {
-    rx: Option<mpsc::Receiver<SearchProgress>>,
+    core: Option<Arc<JobCore>>,
 }
 
 impl Iterator for ProgressEvents {
     type Item = SearchProgress;
 
     fn next(&mut self) -> Option<SearchProgress> {
-        self.rx.as_ref()?.recv().ok()
+        let core = self.core.as_ref()?;
+        let mut buf = core.progress_buffer();
+        loop {
+            if let Some(event) = buf.events.pop_front() {
+                return Some(event);
+            }
+            if buf.closed {
+                drop(buf);
+                self.core = None;
+                return None;
+            }
+            buf = core
+                .progress_ready
+                .wait(buf)
+                .unwrap_or_else(|p| p.into_inner());
+        }
     }
 }
 
@@ -254,10 +380,11 @@ impl JobControl {
     }
 
     /// Requests cooperative cancellation (idempotent; a no-op on
-    /// terminal jobs). A queued job is discarded when a worker picks it
-    /// up; a running search stops at its next commit boundary.
+    /// terminal jobs). A queued job is discarded by the scheduler
+    /// right away (its slot freed, its verdict delivered); a running
+    /// search stops at its next commit boundary.
     pub fn cancel(&self) {
-        self.core.cancel.cancel();
+        self.core.request_cancel();
     }
 }
 
@@ -266,26 +393,36 @@ impl JobControl {
 pub struct JobHandle {
     pub(crate) core: Arc<JobCore>,
     pub(crate) outcome_rx: mpsc::Receiver<JobOutcome>,
-    pub(crate) progress_rx: Mutex<Option<mpsc::Receiver<SearchProgress>>>,
 }
 
 impl JobHandle {
     /// Creates the linked (handle, core) pair plus the worker-side
-    /// outcome sender.
-    pub(crate) fn new(id: u64) -> (Self, Arc<JobCore>, mpsc::Sender<JobOutcome>) {
-        let (progress_tx, progress_rx) = mpsc::channel();
+    /// outcome sender. `progress_high_water` bounds the job's buffered
+    /// progress stream (coalescing past it, counted into `coalesced`).
+    pub(crate) fn new(
+        id: u64,
+        progress_high_water: usize,
+        coalesced: Arc<AtomicU64>,
+    ) -> (Self, Arc<JobCore>, mpsc::Sender<JobOutcome>) {
         let (outcome_tx, outcome_rx) = mpsc::channel();
         let core = Arc::new(JobCore {
             id,
             state: AtomicU8::new(STATE_QUEUED),
             cancel: CancelToken::new(),
-            progress_tx: Mutex::new(Some(progress_tx)),
+            progress: Mutex::new(ProgressBuffer {
+                events: VecDeque::new(),
+                high_water: progress_high_water.max(1),
+                closed: false,
+                taken: false,
+            }),
+            progress_ready: Condvar::new(),
+            coalesced,
+            queue: OnceLock::new(),
         });
         (
             JobHandle {
                 core: Arc::clone(&core),
                 outcome_rx,
-                progress_rx: Mutex::new(Some(progress_rx)),
             },
             core,
             outcome_tx,
@@ -304,7 +441,7 @@ impl JobHandle {
 
     /// Requests cooperative cancellation (see [`JobControl::cancel`]).
     pub fn cancel(&self) {
-        self.core.cancel.cancel();
+        self.core.request_cancel();
     }
 
     /// A clonable controller for this job (poll + cancel).
@@ -315,16 +452,20 @@ impl JobHandle {
     }
 
     /// Takes the job's progress stream. Events buffer from the moment
-    /// of submission, so none are lost however late this is called.
-    /// The stream can be taken once; later calls return an exhausted
-    /// stream.
+    /// of submission, so none are lost however late this is called —
+    /// though a backlog past the service's progress high-water mark
+    /// arrives coalesced (concatenated trial batches, merged deltas)
+    /// rather than wave by wave. The stream can be taken once; later
+    /// calls return an exhausted stream.
     pub fn progress(&self) -> ProgressEvents {
+        let mut buf = self.core.progress_buffer();
+        if buf.taken {
+            return ProgressEvents { core: None };
+        }
+        buf.taken = true;
+        drop(buf);
         ProgressEvents {
-            rx: self
-                .progress_rx
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .take(),
+            core: Some(Arc::clone(&self.core)),
         }
     }
 
@@ -355,6 +496,10 @@ pub(crate) struct QueuedJob {
     pub(crate) enqueued: Instant,
     /// Absolute expiry instant (admission time + the option's budget).
     pub(crate) expires: Option<Instant>,
+    /// Scheduling class (see [`Priority`]).
+    pub(crate) priority: Priority,
+    /// Quota/accounting tenant, if named.
+    pub(crate) tenant: Option<String>,
     pub(crate) core: Arc<JobCore>,
     pub(crate) outcome_tx: mpsc::Sender<JobOutcome>,
 }

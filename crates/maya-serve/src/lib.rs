@@ -18,10 +18,18 @@
 //!   (even when their pipeline knobs differ), so one tenant's trials
 //!   warm every tenant's cache, and the expensive estimator build runs
 //!   once per cluster;
-//! - a **bounded admission queue** fans requests over one shared pool
-//!   of worker threads (instead of a pool per engine): [`MayaService::submit`]
-//!   blocks when the queue is full, [`MayaService::try_submit`] sheds
-//!   load with [`ServeError::Overloaded`];
+//! - a **bounded QoS admission queue** schedules requests over one
+//!   shared pool of worker threads (instead of a pool per engine):
+//!   jobs carry a [`Priority`] class and an optional tenant
+//!   ([`JobOptions`]), classes run High → Normal → Batch with
+//!   earliest-deadline-first inside a class and a starvation guard
+//!   aging `Batch` work upward, named tenants are quota-checked
+//!   (max queued → [`ServeError::QuotaExceeded`], max in-flight →
+//!   passed over at dispatch) with per-tenant counters in
+//!   [`ServiceStats::tenants`](crate::ServiceStats);
+//!   [`MayaService::submit`] blocks when the queue is full,
+//!   [`MayaService::try_submit`] sheds load with
+//!   [`ServeError::Overloaded`];
 //! - optional **memo snapshots** (`CachingEstimator::snapshot` /
 //!   `restore` under the hood) warm-start every target from
 //!   `<dir>/<target>.memo` and persist what the process learned —
@@ -53,6 +61,7 @@
 
 pub mod error;
 pub mod job;
+pub mod queue;
 pub mod registry;
 pub mod request;
 pub mod serdes;
@@ -60,9 +69,10 @@ pub mod service;
 
 pub use error::ServeError;
 pub use job::{
-    CancelToken, JobControl, JobHandle, JobOptions, JobOutcome, JobState, ProgressEvents,
+    CancelToken, JobControl, JobHandle, JobOptions, JobOutcome, JobState, Priority, ProgressEvents,
     SearchProgress,
 };
+pub use queue::TenantStats;
 pub use registry::EngineRegistry;
 pub use request::{MeasureOutcome, Payload, Request, Response, Telemetry};
 #[allow(deprecated)]
@@ -621,6 +631,489 @@ mod tests {
             );
         }
         assert_eq!(service.stats().expired, 1);
+    }
+
+    /// Runs the blocker search until its first progress event proves a
+    /// worker picked it up (so later submissions really queue).
+    fn occupy_worker(service: &MayaService, target: &str) -> JobHandle {
+        let blocker = service.submit(search(target, 2, 4_000)).unwrap();
+        let _ = blocker.progress().next().expect("blocker running");
+        blocker
+    }
+
+    /// A predict whose job shape no other submission in these tests
+    /// uses (distinct `global_batch`): over a single worker, exactly
+    /// the *first-executed* of several identical such requests pays
+    /// the engine's memo misses — a race-free way to observe dispatch
+    /// order through telemetry.
+    fn cold_predict(target: &str) -> Request {
+        let mut j = job(2);
+        j.global_batch = 32;
+        Request::Predict {
+            target: target.into(),
+            jobs: vec![j],
+        }
+    }
+
+    #[test]
+    fn high_priority_overtakes_queued_batch_jobs() {
+        // An effectively infinite starvation guard: this test is about
+        // class order alone, and a scheduling stall on a loaded
+        // machine must not age the earlier-admitted Batch jobs into
+        // the High class (aging has its own test below).
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .starvation_guard(std::time::Duration::from_secs(3600))
+            .build()
+            .unwrap();
+        let blocker = occupy_worker(&service, "t");
+        let batch: Vec<JobHandle> = (0..3)
+            .map(|_| {
+                service
+                    .submit_with(
+                        cold_predict("t"),
+                        JobOptions::new().with_priority(Priority::Batch),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let high = service
+            .submit_with(
+                cold_predict("t"),
+                JobOptions::new().with_priority(Priority::High),
+            )
+            .unwrap();
+        blocker.cancel();
+        let _ = blocker.wait_outcome();
+        // All four requests are the same previously-unseen shape, so
+        // whichever executed first paid the cold misses. It must be
+        // the High job, though it was submitted last.
+        let high_delta = high.wait().unwrap().telemetry.cache_delta;
+        assert!(
+            high_delta.misses > 0,
+            "the High job must execute before every queued Batch job \
+             (it saw a warm cache instead: {high_delta:?})"
+        );
+        for h in batch {
+            let delta = h.wait().unwrap().telemetry.cache_delta;
+            assert_eq!(delta.misses, 0, "Batch ran after High: {delta:?}");
+        }
+    }
+
+    #[test]
+    fn over_quota_tenant_is_shed_while_other_tenants_proceed() {
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .queue_capacity(16)
+            .tenant_max_queued(2)
+            .build()
+            .unwrap();
+        let blocker = occupy_worker(&service, "t");
+        let burst = |p: Priority| JobOptions::new().with_priority(p).with_tenant("burst");
+        let b1 = service
+            .submit_with(predict("t", 2), burst(Priority::Batch))
+            .unwrap();
+        let b2 = service
+            .submit_with(predict("t", 2), burst(Priority::Batch))
+            .unwrap();
+        // Third queued job for the same tenant: shed immediately, by
+        // both submit flavors — and even at High priority (quota is
+        // about fairness, not urgency).
+        for attempt in [
+            service.submit_with(predict("t", 2), burst(Priority::High)),
+            service.try_submit_with(predict("t", 2), burst(Priority::Batch)),
+        ] {
+            match attempt {
+                Err(ServeError::QuotaExceeded { tenant }) => assert_eq!(tenant, "burst"),
+                other => panic!("expected QuotaExceeded, got {:?}", other.map(|h| h.id())),
+            }
+        }
+        // The quiet tenant is untouched by the noisy one's quota.
+        let quiet = service
+            .submit_with(predict("t", 2), JobOptions::new().with_tenant("quiet"))
+            .unwrap();
+        blocker.cancel();
+        let _ = blocker.wait_outcome();
+        quiet.wait().unwrap();
+        b1.wait().unwrap();
+        b2.wait().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.quota_shed, 2);
+        let burst_stats = stats.tenant("burst").expect("burst tenant tracked");
+        assert_eq!(burst_stats.quota_shed, 2);
+        assert_eq!(burst_stats.admitted, 2);
+        assert_eq!(burst_stats.served, 2);
+        assert_eq!(burst_stats.queued, 0);
+        assert_eq!(burst_stats.in_flight, 0);
+        let quiet_stats = stats.tenant("quiet").expect("quiet tenant tracked");
+        assert_eq!(quiet_stats.served, 1);
+        assert_eq!(quiet_stats.quota_shed, 0);
+    }
+
+    #[test]
+    fn starved_batch_job_ages_into_service() {
+        use std::time::Duration;
+        // Returns the Batch job's cache-delta misses: > 0 means it
+        // executed before the High flood (first-executed of identical
+        // cold shapes pays the misses), 0 means it was served after.
+        let run = |guard: Duration, wait: Duration| -> u64 {
+            let service = MayaService::builder()
+                .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+                .workers(1)
+                .starvation_guard(guard)
+                .build()
+                .unwrap();
+            let blocker = occupy_worker(&service, "t");
+            let batch = service
+                .submit_with(
+                    cold_predict("t"),
+                    JobOptions::new().with_priority(Priority::Batch),
+                )
+                .unwrap();
+            // Let the Batch job age *before* the High flood arrives:
+            // whether the blocker is still busy afterwards (aged Batch
+            // outranks the Highs) or finished mid-pause (Batch was the
+            // only queued job), the aged run serves it first.
+            std::thread::sleep(wait);
+            let highs: Vec<JobHandle> = (0..3)
+                .map(|_| {
+                    service
+                        .submit_with(
+                            cold_predict("t"),
+                            JobOptions::new().with_priority(Priority::High),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            blocker.cancel();
+            let _ = blocker.wait_outcome();
+            let batch_misses = batch.wait().unwrap().telemetry.cache_delta.misses;
+            for h in highs {
+                h.wait().unwrap();
+            }
+            batch_misses
+        };
+        // With a tight guard, the Batch job ages up to High class
+        // during the pause (2ms of queueing is enough); same class +
+        // oldest admission then wins.
+        assert!(
+            run(Duration::from_millis(1), Duration::from_millis(25)) > 0,
+            "a starved Batch job must age into service ahead of later High jobs"
+        );
+        // With an effectively infinite guard it yields to every High
+        // job and sees the cache they warmed.
+        assert_eq!(
+            run(Duration::from_secs(3600), Duration::ZERO),
+            0,
+            "an un-aged Batch job must yield to High traffic"
+        );
+    }
+
+    #[test]
+    fn tenant_in_flight_cap_limits_concurrency_without_shedding() {
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(2)
+            .tenant_max_in_flight(1)
+            .build()
+            .unwrap();
+        let a_opts = || JobOptions::new().with_tenant("a");
+        let a1 = service
+            .submit_with(search("t", 2, 4_000), a_opts())
+            .unwrap();
+        let _ = a1.progress().next().expect("a1 running");
+        // a2 is admitted (no quota on queueing here) but must not be
+        // dispatched while a1 runs, even with a worker idle.
+        let a2 = service
+            .submit_with(search("t", 2, 4_000), a_opts())
+            .unwrap();
+        // Another tenant schedules straight past the capped one onto
+        // the idle worker.
+        let b = service
+            .submit_with(predict("t", 2), JobOptions::new().with_tenant("b"))
+            .unwrap();
+        b.wait().unwrap();
+        assert_eq!(a2.poll(), JobState::Queued, "in-flight cap must hold a2");
+        let stats = service.stats();
+        let a_stats = stats.tenant("a").unwrap();
+        assert_eq!((a_stats.in_flight, a_stats.queued), (1, 1));
+        // Finishing a1 releases the slot and a2 proceeds.
+        a1.cancel();
+        let _ = a1.wait_outcome();
+        let _ = a2.progress().next().expect("a2 dispatched after a1");
+        a2.cancel();
+        let _ = a2.wait_outcome();
+        let stats = service.stats();
+        let a_stats = stats.tenant("a").unwrap();
+        assert_eq!((a_stats.in_flight, a_stats.queued), (0, 0));
+        assert_eq!(a_stats.cancelled, 2);
+    }
+
+    #[test]
+    fn queued_deadline_fires_while_workers_sleep() {
+        use std::time::{Duration, Instant};
+        // workers = 2 with an in-flight cap of 1: tenant a's long
+        // search holds one worker, a's second job is queued but
+        // ineligible, and the *other* worker sits parked in the
+        // scheduler with nothing to do. The queued job's deadline must
+        // still fire on time — the scheduler wakes itself for the
+        // earliest queued expiry instead of sleeping until the long
+        // search ends.
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(2)
+            .tenant_max_in_flight(1)
+            .build()
+            .unwrap();
+        let a_opts = || JobOptions::new().with_tenant("a");
+        let a1 = service
+            .submit_with(search("t", 2, 500_000), a_opts())
+            .unwrap();
+        let _ = a1.progress().next().expect("a1 running");
+        let t0 = Instant::now();
+        let doomed = service
+            .submit_with(
+                predict("t", 2),
+                a_opts().with_deadline(Duration::from_millis(100)),
+            )
+            .unwrap();
+        let outcome = doomed.wait_outcome().unwrap();
+        assert!(
+            matches!(outcome, JobOutcome::Expired(None)),
+            "expected a queue-shed expiry, got {outcome:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the verdict must arrive at the deadline, not when the \
+             blocker ends: {:?}",
+            t0.elapsed()
+        );
+        a1.cancel();
+        let _ = a1.wait_outcome();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_wakes_the_scheduler() {
+        use std::time::{Duration, Instant};
+        // Same parked-worker setup, but the queued job has no deadline
+        // at all: only the cancel poke can wake the scheduler to
+        // discard it and deliver the verdict.
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(2)
+            .tenant_max_in_flight(1)
+            .build()
+            .unwrap();
+        let a_opts = || JobOptions::new().with_tenant("a");
+        let a1 = service
+            .submit_with(search("t", 2, 500_000), a_opts())
+            .unwrap();
+        let _ = a1.progress().next().expect("a1 running");
+        let stuck = service.submit_with(predict("t", 2), a_opts()).unwrap();
+        let t0 = Instant::now();
+        stuck.cancel();
+        let outcome = stuck.wait_outcome().unwrap();
+        assert!(
+            matches!(outcome, JobOutcome::Cancelled(None)),
+            "expected a queue-discarded cancel, got {outcome:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the verdict must arrive at the cancel, not when the \
+             blocker ends: {:?}",
+            t0.elapsed()
+        );
+        a1.cancel();
+        let _ = a1.wait_outcome();
+    }
+
+    #[test]
+    fn queued_deadline_fires_even_when_every_worker_is_busy() {
+        use std::time::{Duration, Instant};
+        // The hard case: ONE worker, occupied by a long search — no
+        // thread is parked on the queue and no further traffic
+        // arrives. The sweeper must still deliver the queued job's
+        // Expired verdict (and advance the counters) at its deadline,
+        // not when the search ends.
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .build()
+            .unwrap();
+        let blocker = service.submit(search("t", 2, 500_000)).unwrap();
+        let _ = blocker.progress().next().expect("blocker running");
+        let t0 = Instant::now();
+        let doomed = service
+            .submit_with(
+                predict("t", 2),
+                JobOptions::new().with_deadline(Duration::from_millis(100)),
+            )
+            .unwrap();
+        let outcome = doomed.wait_outcome().unwrap();
+        assert!(
+            matches!(outcome, JobOutcome::Expired(None)),
+            "expected a queue-shed expiry, got {outcome:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the verdict must arrive at the deadline, not when the \
+             blocker ends: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(service.stats().expired, 1, "counted at the deadline");
+        assert!(
+            !blocker.poll().is_terminal(),
+            "the blocker must still be running — nothing but the \
+             sweeper could have shed the job"
+        );
+        blocker.cancel();
+        let _ = blocker.wait_outcome();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_works_with_every_worker_busy() {
+        use std::time::{Duration, Instant};
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .build()
+            .unwrap();
+        let blocker = service.submit(search("t", 2, 500_000)).unwrap();
+        let _ = blocker.progress().next().expect("blocker running");
+        let stuck = service.submit(predict("t", 2)).unwrap();
+        let t0 = Instant::now();
+        stuck.cancel();
+        let outcome = stuck.wait_outcome().unwrap();
+        assert!(
+            matches!(outcome, JobOutcome::Cancelled(None)),
+            "expected a queue-discarded cancel, got {outcome:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the verdict must arrive at the cancel, not when the \
+             blocker ends: {:?}",
+            t0.elapsed()
+        );
+        assert!(!blocker.poll().is_terminal(), "blocker still running");
+        blocker.cancel();
+        let _ = blocker.wait_outcome();
+    }
+
+    #[test]
+    fn dead_queued_jobs_release_their_slots_without_a_worker() {
+        use std::time::Duration;
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .queue_capacity(2)
+            .build()
+            .unwrap();
+        let blocker = occupy_worker(&service, "t");
+        // Fill the whole queue with jobs whose budget is already gone.
+        let doomed: Vec<JobHandle> = (0..2)
+            .map(|_| {
+                service
+                    .submit_with(
+                        predict("t", 2),
+                        JobOptions::new().with_deadline(Duration::ZERO),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        // The old FIFO queue would shed this as Overloaded: the dead
+        // jobs held their slots until the (busy) worker dequeued them.
+        // The QoS queue purges them at this push and admits the job.
+        let live = service
+            .try_submit(predict("t", 2))
+            .expect("dead entries must not hold queue slots");
+        // Verdicts and counters arrived without any worker dequeue —
+        // the single worker is still busy with the blocker.
+        for d in doomed {
+            assert!(matches!(
+                d.wait_outcome().unwrap(),
+                JobOutcome::Expired(None)
+            ));
+        }
+        assert_eq!(service.stats().expired, 2, "expiry counted immediately");
+        assert_eq!(service.stats().served, 0, "nothing has executed yet");
+        blocker.cancel();
+        let _ = blocker.wait_outcome();
+        live.wait().unwrap();
+    }
+
+    #[test]
+    fn undrained_progress_coalesces_past_the_high_water_mark() {
+        use std::time::Duration;
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .progress_high_water(1)
+            .build()
+            .unwrap();
+        let handle = service.submit(search("t", 2, 30)).unwrap();
+        // Deliberately do not drain progress while the search runs.
+        while !handle.poll().is_terminal() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events: Vec<SearchProgress> = handle.progress().collect();
+        let outcome = handle.wait_outcome().unwrap();
+        let JobOutcome::Done(resp) = outcome else {
+            panic!("expected Done, got {outcome:?}");
+        };
+        let result = resp.search().unwrap();
+        assert_eq!(
+            events.len(),
+            1,
+            "an undrained stream is bounded by the high-water mark"
+        );
+        let streamed: Vec<_> = events.iter().flat_map(|e| e.trials.clone()).collect();
+        assert_eq!(
+            streamed, result.trials,
+            "coalescing must preserve the concatenation invariant"
+        );
+        assert_eq!(events.last().unwrap().committed, result.trials.len());
+        assert!(
+            service.stats().progress_coalesced >= 1,
+            "merges must surface in telemetry: {:?}",
+            service.stats().progress_coalesced
+        );
+    }
+
+    #[test]
+    fn qos_options_leave_results_byte_identical_to_the_plain_service() {
+        // A single tenant submitting through the QoS machinery gets
+        // byte-for-byte the answers of an unconfigured service: the
+        // scheduler reorders and sheds, it never changes results.
+        let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
+        let plain = MayaService::builder().target("t", spec).build().unwrap();
+        let qos = MayaService::builder()
+            .target("t", spec)
+            .tenant_max_queued(8)
+            .tenant_max_in_flight(2)
+            .starvation_guard(std::time::Duration::from_millis(50))
+            .build()
+            .unwrap();
+        let want = plain.call(search("t", 2, 30)).unwrap();
+        let got = qos
+            .submit_with(
+                search("t", 2, 30),
+                JobOptions::new()
+                    .with_priority(Priority::Batch)
+                    .with_tenant("solo"),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            serde::to_string(&got.search().unwrap().trials),
+            serde::to_string(&want.search().unwrap().trials),
+            "QoS scheduling must not change search results"
+        );
+        assert_eq!(
+            got.search().unwrap().best.map(|(c, _)| c),
+            want.search().unwrap().best.map(|(c, _)| c)
+        );
     }
 
     #[test]

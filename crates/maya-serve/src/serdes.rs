@@ -18,12 +18,39 @@
 use serde::{compact, Deserialize, Serialize};
 
 use crate::error::ServeError;
-use crate::job::{JobOptions, SearchProgress};
+use crate::job::{JobOptions, Priority, SearchProgress};
 use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
 
+impl Serialize for Priority {
+    fn serialize(&self, w: &mut compact::Writer) {
+        w.tag(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        });
+    }
+}
+
+impl<'de> Deserialize<'de> for Priority {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "high" => Priority::High,
+            "normal" => Priority::Normal,
+            "batch" => Priority::Batch,
+            t => return Err(compact::Error::parse(t, "priority (high|normal|batch)")),
+        })
+    }
+}
+
+/// The protocol-v3 layout: deadline, priority, tenant. Protocol-v2
+/// bodies carried only the deadline — `maya-wire` decodes those with
+/// [`JobOptions`] defaults for the missing fields (see
+/// `maya_wire::message::decode_submission`).
 impl Serialize for JobOptions {
     fn serialize(&self, w: &mut compact::Writer) {
         self.deadline.serialize(w);
+        self.priority.serialize(w);
+        self.tenant.serialize(w);
     }
 }
 
@@ -31,6 +58,8 @@ impl<'de> Deserialize<'de> for JobOptions {
     fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
         Ok(JobOptions {
             deadline: Deserialize::deserialize(r)?,
+            priority: Deserialize::deserialize(r)?,
+            tenant: Deserialize::deserialize(r)?,
         })
     }
 }
@@ -215,6 +244,7 @@ pub fn error_code(e: &ServeError) -> &'static str {
     match e {
         ServeError::UnknownTarget(_) => "unknown_target",
         ServeError::Overloaded => "overloaded",
+        ServeError::QuotaExceeded { .. } => "quota_exceeded",
         ServeError::Stopped => "stopped",
         ServeError::DuplicateTarget(_) => "duplicate_target",
         ServeError::NoTargets => "no_targets",
@@ -298,10 +328,33 @@ mod tests {
     }
 
     #[test]
+    fn job_options_round_trip_with_qos_fields() {
+        use crate::job::{JobOptions, Priority};
+        use std::time::Duration;
+        for priority in Priority::all() {
+            let opts = JobOptions::new()
+                .with_deadline(Duration::from_millis(125))
+                .with_priority(priority)
+                .with_tenant("tenant a/ü");
+            let back: JobOptions = serde::from_str(&serde::to_string(&opts)).unwrap();
+            assert_eq!(back, opts);
+        }
+        let anon = JobOptions::new();
+        let back: JobOptions = serde::from_str(&serde::to_string(&anon)).unwrap();
+        assert_eq!(back, anon);
+    }
+
+    #[test]
     fn serve_error_codes_are_stable() {
         let cases: Vec<(ServeError, &str)> = vec![
             (ServeError::UnknownTarget("x".into()), "unknown_target"),
             (ServeError::Overloaded, "overloaded"),
+            (
+                ServeError::QuotaExceeded {
+                    tenant: "burst".into(),
+                },
+                "quota_exceeded",
+            ),
             (ServeError::Stopped, "stopped"),
             (ServeError::DuplicateTarget("x".into()), "duplicate_target"),
             (ServeError::NoTargets, "no_targets"),

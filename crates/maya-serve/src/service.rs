@@ -1,8 +1,10 @@
 //! [`MayaService`]: the multi-tenant front door.
 //!
 //! Clients submit typed [`Request`]s against named cluster targets; a
-//! bounded admission queue fans them over one shared pool of worker
-//! threads. Each worker resolves the target's [`EmulationSpec`] through
+//! bounded QoS admission queue (priority classes, EDF within a class,
+//! a starvation guard and per-tenant quotas — see [`crate::queue`]'s
+//! module docs) schedules them over one shared pool of worker threads.
+//! Each worker resolves the target's [`EmulationSpec`] through
 //! the [`EngineRegistry`], so concurrent clients of the same cluster
 //! shape share a single prediction engine — and its estimator memo —
 //! instead of each owning a pool and a cold cache.
@@ -20,7 +22,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,6 +34,7 @@ use maya_search::{
 
 use crate::error::ServeError;
 use crate::job::{JobCore, JobHandle, JobOptions, JobOutcome, JobState, QueuedJob, SearchProgress};
+use crate::queue::{AdmissionQueue, QueueConfig, TenantStats};
 use crate::registry::EngineRegistry;
 use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
 
@@ -44,6 +47,10 @@ struct Shared {
     cancelled: AtomicU64,
     expired: AtomicU64,
     panicked: AtomicU64,
+    /// Progress events merged under backpressure (see
+    /// [`ServiceBuilder::progress_high_water`]).
+    progress_coalesced: Arc<AtomicU64>,
+    progress_high_water: usize,
 }
 
 /// Configures and builds a [`MayaService`].
@@ -52,6 +59,10 @@ pub struct ServiceBuilder {
     estimator: EstimatorChoice,
     workers: usize,
     queue_capacity: usize,
+    starvation_guard: Duration,
+    tenant_max_queued: Option<usize>,
+    tenant_max_in_flight: Option<usize>,
+    progress_high_water: usize,
     snapshot_dir: Option<PathBuf>,
     memo_capacity: Option<usize>,
     memo_ttl: Option<Duration>,
@@ -66,6 +77,10 @@ impl Default for ServiceBuilder {
                 .map(|n| n.get().min(8))
                 .unwrap_or(2),
             queue_capacity: 64,
+            starvation_guard: Duration::from_millis(500),
+            tenant_max_queued: None,
+            tenant_max_in_flight: None,
+            progress_high_water: 256,
             snapshot_dir: None,
             memo_capacity: None,
             memo_ttl: None,
@@ -108,6 +123,48 @@ impl ServiceBuilder {
     /// [`MayaService::try_submit`] returns [`ServeError::Overloaded`].
     pub fn queue_capacity(mut self, n: usize) -> Self {
         self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the starvation guard (default 500ms): a queued job is
+    /// promoted one priority class for every `interval` it has waited,
+    /// so [`crate::Priority::Batch`] work ages into service instead of
+    /// starving under a stream of higher-priority submissions.
+    pub fn starvation_guard(mut self, interval: Duration) -> Self {
+        self.starvation_guard = interval.max(Duration::from_nanos(1));
+        self
+    }
+
+    /// Caps how many jobs one named tenant may hold *queued* at once
+    /// (min 1; unlimited by default). A submission over the cap is
+    /// shed immediately with [`ServeError::QuotaExceeded`] — by both
+    /// `submit` and `try_submit` — while other tenants' traffic is
+    /// untouched. Anonymous jobs (no
+    /// [`JobOptions::tenant`](crate::JobOptions)) are exempt.
+    pub fn tenant_max_queued(mut self, n: usize) -> Self {
+        self.tenant_max_queued = Some(n.max(1));
+        self
+    }
+
+    /// Caps how many jobs one named tenant may have *executing* at
+    /// once (min 1; unlimited by default). Over-cap entries stay
+    /// queued — holding their queue slots — until one of the tenant's
+    /// running jobs finishes; other tenants schedule past them.
+    pub fn tenant_max_in_flight(mut self, n: usize) -> Self {
+        self.tenant_max_in_flight = Some(n.max(1));
+        self
+    }
+
+    /// Bounds every job's buffered progress stream to `events` pending
+    /// events (default 256, min 1). Past the mark, adjacent wave
+    /// events are coalesced — trial batches concatenate in commit
+    /// order, best-so-far and cache deltas merge — so a client that
+    /// never drains [`crate::JobHandle::progress`] on a long search
+    /// costs bounded memory instead of one event per wave forever. The
+    /// "concatenated events == final trials" invariant is preserved;
+    /// merges are counted in [`ServiceStats::progress_coalesced`].
+    pub fn progress_high_water(mut self, events: usize) -> Self {
+        self.progress_high_water = events.max(1);
         self
     }
 
@@ -232,23 +289,41 @@ impl ServiceBuilder {
             cancelled: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            progress_coalesced: Arc::new(AtomicU64::new(0)),
+            progress_high_water: self.progress_high_water,
         });
-        let (tx, rx) = mpsc::sync_channel::<QueuedJob>(self.queue_capacity);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..self.workers)
+        let queue = Arc::new(AdmissionQueue::new(QueueConfig {
+            capacity: self.queue_capacity,
+            starvation_guard: self.starvation_guard,
+            tenant_max_queued: self.tenant_max_queued,
+            tenant_max_in_flight: self.tenant_max_in_flight,
+        }));
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("maya-serve-{idx}"))
-                    .spawn(move || worker_loop(idx, &shared, &rx))
+                    .spawn(move || worker_loop(idx, &shared, &queue))
                     .expect("spawn service worker")
             })
             .collect();
+        // The sweeper delivers expired/cancelled-while-queued verdicts
+        // on time even when every worker above is busy on a long job
+        // (workers only purge when they touch the queue). It exits
+        // when the queue closes and joins with the pool at shutdown.
+        let sweeper = {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("maya-serve-sweep".into())
+                .spawn(move || queue.sweep())
+                .expect("spawn service sweeper")
+        };
         Ok(MayaService {
             shared,
-            tx: Some(tx),
+            queue,
             workers,
+            sweeper: Some(sweeper),
             queue_capacity: self.queue_capacity,
             snapshot_dir: self.snapshot_dir,
             restores,
@@ -309,22 +384,25 @@ fn snapshot_file(dir: &Path, target: &str) -> PathBuf {
     dir.join(format!("{safe}.memo"))
 }
 
-fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<QueuedJob>>) {
-    loop {
-        // Hold the receiver lock only for the dequeue itself.
-        let work = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(poisoned) => poisoned.into_inner().recv(),
-        };
-        let Ok(work) = work else {
-            break; // service dropped the sender: shut down
-        };
+fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
+    // `pop` returns the most urgent eligible job under the QoS policy
+    // (priority class promoted by age, EDF within a class, per-tenant
+    // in-flight caps); `None` means the queue is closed and drained.
+    // Dead entries are purged inside the queue at every scheduling
+    // point, so the checks below only cover the race between selection
+    // and pickup.
+    while let Some(work) = queue.pop() {
+        let tenant = work.tenant.clone();
         // Deadline enforcement, part 1: a job whose budget ran out
-        // while it sat in the queue is shed *here*, before any engine
-        // or pipeline work — load shedding at its cheapest point.
+        // between selection and pickup is shed *here*, before any
+        // engine or pipeline work — load shedding at its cheapest
+        // point.
         if work.expires.is_some_and(|d| Instant::now() >= d) {
             shared.expired.fetch_add(1, Ordering::Relaxed);
             work.core.finish(JobState::Expired);
+            // Counters settle before the verdict is delivered, so a
+            // client reading stats right after `wait()` sees them.
+            queue.finished(tenant.as_deref(), JobState::Expired);
             let _ = work.outcome_tx.send(JobOutcome::Expired(None));
             continue;
         }
@@ -332,6 +410,7 @@ fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<QueuedJob>
         if work.core.cancel.is_cancelled() {
             shared.cancelled.fetch_add(1, Ordering::Relaxed);
             work.core.finish(JobState::Cancelled);
+            queue.finished(tenant.as_deref(), JobState::Cancelled);
             let _ = work.outcome_tx.send(JobOutcome::Cancelled(None));
             continue;
         }
@@ -347,6 +426,7 @@ fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<QueuedJob>
             expires,
             core,
             outcome_tx,
+            ..
         } = work;
         let label = format!("{} on {:?}", req.kind(), req.target());
         let exec_core = Arc::clone(&core);
@@ -357,13 +437,18 @@ fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<QueuedJob>
             // A dropped outcome receiver just means the client lost
             // interest.
             Ok(outcome) => {
-                let counter = match outcome.state() {
+                let state = outcome.state();
+                let counter = match state {
                     JobState::Done => &shared.served,
                     JobState::Cancelled => &shared.cancelled,
                     _ => &shared.expired,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
-                core.finish(outcome.state());
+                core.finish(state);
+                // Counters settle before the verdict is delivered, so
+                // a client reading stats right after `wait()` sees
+                // them.
+                queue.finished(tenant.as_deref(), state);
                 let _ = outcome_tx.send(outcome);
             }
             Err(panic) => {
@@ -376,6 +461,7 @@ fn worker_loop(idx: usize, shared: &Shared, rx: &Mutex<mpsc::Receiver<QueuedJob>
                 eprintln!("[maya-serve] worker {idx}: request {label} panicked: {msg}");
                 core.abandon();
                 drop(outcome_tx);
+                queue.finished(tenant.as_deref(), JobState::Failed);
             }
         }
     }
@@ -532,35 +618,55 @@ fn execute(
 pub type ResponseHandle = JobHandle;
 
 /// Point-in-time service counters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceStats {
     /// Requests fully served (responses produced).
     pub served: u64,
-    /// Jobs that ended [`JobState::Cancelled`] — discarded unrun from
-    /// the queue or stopped at a commit boundary mid-run.
+    /// Jobs that ended [`JobState::Cancelled`] — discarded from the
+    /// queue the moment the cancellation was observed, or stopped at a
+    /// commit boundary mid-run.
     pub cancelled: u64,
     /// Jobs that ended [`JobState::Expired`] — shed from the queue
     /// with their deadline already blown (never consuming a worker
-    /// slot), or stopped at a wave boundary when the budget ran out
+    /// slot; counted as soon as any scheduling point observes the
+    /// expiry), or stopped at a wave boundary when the budget ran out
     /// mid-search.
     pub expired: u64,
+    /// Submissions shed with [`ServeError::QuotaExceeded`] (over a
+    /// tenant's max-queued cap).
+    pub quota_shed: u64,
     /// Requests that panicked during execution (no response; the
     /// client's `wait` returned [`ServeError::Stopped`], and the panic
     /// message went to stderr).
     pub panicked: u64,
+    /// Progress events merged under backpressure (see
+    /// [`ServiceBuilder::progress_high_water`]).
+    pub progress_coalesced: u64,
     /// Engines built by the registry so far.
     pub engines_built: usize,
     /// Worker-pool size.
     pub workers: usize,
     /// Admission-queue capacity.
     pub queue_capacity: usize,
+    /// Per-tenant counters (named tenants only, sorted by name; idle
+    /// tenants beyond the account cap are evicted — see
+    /// [`TenantStats`]).
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServiceStats {
+    /// The counters of one named tenant, if it has been seen.
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
 }
 
 /// The multi-tenant prediction service (see module docs).
 pub struct MayaService {
     shared: Arc<Shared>,
-    tx: Option<mpsc::SyncSender<QueuedJob>>,
+    queue: Arc<AdmissionQueue>,
     workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
     queue_capacity: usize,
     snapshot_dir: Option<PathBuf>,
     restores: Vec<SnapshotRestore>,
@@ -570,10 +676,6 @@ impl MayaService {
     /// Starts configuring a service.
     pub fn builder() -> ServiceBuilder {
         ServiceBuilder::new()
-    }
-
-    fn sender(&self) -> Result<&mpsc::SyncSender<QueuedJob>, ServeError> {
-        self.tx.as_ref().ok_or(ServeError::Stopped)
     }
 
     /// Builds the linked handle/queue-entry pair for one admission.
@@ -586,14 +688,28 @@ impl MayaService {
             return Err(ServeError::UnknownTarget(req.target().to_string()));
         }
         let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let (handle, core, outcome_tx) = JobHandle::new(id);
+        let (handle, core, outcome_tx) = JobHandle::new(
+            id,
+            self.shared.progress_high_water,
+            Arc::clone(&self.shared.progress_coalesced),
+        );
+        // Lets a cancel wake the scheduler so a still-queued job's
+        // verdict is delivered promptly.
+        core.attach_queue(Arc::downgrade(&self.queue));
         let enqueued = Instant::now();
+        let JobOptions {
+            deadline,
+            priority,
+            tenant,
+        } = opts;
         Ok((
             handle,
             QueuedJob {
                 req,
                 enqueued,
-                expires: opts.deadline.map(|d| enqueued + d),
+                expires: deadline.map(|d| enqueued + d),
+                priority,
+                tenant,
                 core,
                 outcome_tx,
             },
@@ -608,10 +724,13 @@ impl MayaService {
         self.submit_with(req, JobOptions::default())
     }
 
-    /// [`MayaService::submit`] with per-job options (deadline).
+    /// [`MayaService::submit`] with per-job options (deadline,
+    /// priority, tenant). An over-quota tenant is shed immediately
+    /// with [`ServeError::QuotaExceeded`] — quota shedding never
+    /// blocks.
     pub fn submit_with(&self, req: Request, opts: JobOptions) -> Result<JobHandle, ServeError> {
         let (handle, job) = self.make_job(req, opts)?;
-        self.sender()?.send(job).map_err(|_| ServeError::Stopped)?;
+        self.queue.push(job, true)?;
         Ok(handle)
     }
 
@@ -621,13 +740,11 @@ impl MayaService {
         self.try_submit_with(req, JobOptions::default())
     }
 
-    /// [`MayaService::try_submit`] with per-job options (deadline).
+    /// [`MayaService::try_submit`] with per-job options (deadline,
+    /// priority, tenant).
     pub fn try_submit_with(&self, req: Request, opts: JobOptions) -> Result<JobHandle, ServeError> {
         let (handle, job) = self.make_job(req, opts)?;
-        self.sender()?.try_send(job).map_err(|e| match e {
-            mpsc::TrySendError::Full(_) => ServeError::Overloaded,
-            mpsc::TrySendError::Disconnected(_) => ServeError::Stopped,
-        })?;
+        self.queue.push(job, false)?;
         Ok(handle)
     }
 
@@ -671,16 +788,22 @@ impl MayaService {
             .unwrap_or_default())
     }
 
-    /// Service counters.
+    /// Service counters. Queue-shed verdicts (deadline blown or
+    /// cancelled while queued) are counted the moment any scheduling
+    /// point observes them, so `expired`/`cancelled` no longer lag
+    /// behind dead entries waiting for a worker to dequeue them.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             served: self.shared.served.load(Ordering::Relaxed),
-            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
-            expired: self.shared.expired.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed) + self.queue.shed_cancelled(),
+            expired: self.shared.expired.load(Ordering::Relaxed) + self.queue.shed_expired(),
+            quota_shed: self.queue.quota_shed(),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
+            progress_coalesced: self.shared.progress_coalesced.load(Ordering::Relaxed),
             engines_built: self.shared.registry.engines_built(),
             workers: self.workers.len(),
             queue_capacity: self.queue_capacity,
+            tenants: self.queue.tenant_stats(),
         }
     }
 
@@ -721,9 +844,12 @@ impl MayaService {
     /// Drains and stops the worker pool: queued requests are still
     /// served, new submits fail with [`ServeError::Stopped`].
     pub fn shutdown(&mut self) {
-        drop(self.tx.take());
+        self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
         }
     }
 }

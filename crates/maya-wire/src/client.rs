@@ -356,17 +356,67 @@ impl WireClient {
         request: &Request,
         backoff: Backoff,
     ) -> Result<WireResponse, WireError> {
+        self.submit_with_retry_opts(request, JobOptions::default(), backoff)
+    }
+
+    /// [`WireClient::submit_with_retry`] with per-job options. The
+    /// options' deadline budget spans the *whole* retry loop, measured
+    /// from this call: total backoff is capped at the remaining
+    /// budget, each attempt carries only what is left of it (so the
+    /// server's deadline enforcement matches the client's clock), and
+    /// once the budget is gone the typed expired error
+    /// ([`RemoteErrorKind::Expired`]) is returned client-side instead
+    /// of sleeping on — or submitting — a job the service would only
+    /// shed as `Expired` on arrival.
+    pub fn submit_with_retry_opts(
+        &self,
+        request: &Request,
+        opts: JobOptions,
+        backoff: Backoff,
+    ) -> Result<WireResponse, WireError> {
+        fn budget_exhausted() -> WireError {
+            WireError::Remote(RemoteError {
+                kind: RemoteErrorKind::Expired,
+                message: "job deadline expired before the service admitted the request".to_string(),
+            })
+        }
+        let expires = opts.deadline.map(|d| std::time::Instant::now() + d);
         let attempts = backoff.attempts.max(1);
         let mut delay = backoff.initial;
         let mut last = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(delay.min(backoff.max_delay));
+                let mut sleep = delay.min(backoff.max_delay);
+                if let Some(expires) = expires {
+                    // Never sleep past the deadline: the remainder of
+                    // the budget caps this delay, and a budget that is
+                    // already gone ends the loop with the typed
+                    // expired verdict.
+                    let remaining = expires.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        return Err(budget_exhausted());
+                    }
+                    sleep = sleep.min(remaining);
+                }
+                std::thread::sleep(sleep);
                 delay = delay
                     .saturating_mul(backoff.factor.max(1))
                     .min(backoff.max_delay);
             }
-            match self.call(request) {
+            let attempt_opts = match expires {
+                Some(expires) => {
+                    let remaining = expires.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        return Err(budget_exhausted());
+                    }
+                    JobOptions {
+                        deadline: Some(remaining),
+                        ..opts.clone()
+                    }
+                }
+                None => opts.clone(),
+            };
+            match self.submit_with(request, attempt_opts)?.wait() {
                 Err(e) if e.is_overloaded() => last = Some(e),
                 verdict => return verdict,
             }

@@ -30,6 +30,11 @@ pub enum RemoteErrorKind {
     /// `ServeError::Overloaded`: the service's bounded admission queue
     /// was full. The request was *not* executed; retry later.
     Overloaded,
+    /// `ServeError::QuotaExceeded`: the submission's tenant is over
+    /// its per-tenant admission quota. The request was *not* executed;
+    /// unlike `Overloaded`, blind retry does not help until this
+    /// tenant's own queued jobs drain.
+    QuotaExceeded,
     /// `ServeError::Stopped`: the service is shutting down (or the
     /// request's worker died mid-execution).
     Stopped,
@@ -75,6 +80,7 @@ impl RemoteErrorKind {
         match self {
             RemoteErrorKind::UnknownTarget => "unknown_target",
             RemoteErrorKind::Overloaded => "overloaded",
+            RemoteErrorKind::QuotaExceeded => "quota_exceeded",
             RemoteErrorKind::Stopped => "stopped",
             RemoteErrorKind::DuplicateTarget => "duplicate_target",
             RemoteErrorKind::NoTargets => "no_targets",
@@ -97,6 +103,7 @@ impl RemoteErrorKind {
         Some(match code {
             "unknown_target" => RemoteErrorKind::UnknownTarget,
             "overloaded" => RemoteErrorKind::Overloaded,
+            "quota_exceeded" => RemoteErrorKind::QuotaExceeded,
             "stopped" => RemoteErrorKind::Stopped,
             "duplicate_target" => RemoteErrorKind::DuplicateTarget,
             "no_targets" => RemoteErrorKind::NoTargets,
@@ -116,10 +123,11 @@ impl RemoteErrorKind {
     }
 
     /// Every kind (for exhaustive tests).
-    pub fn all() -> [RemoteErrorKind; 16] {
+    pub fn all() -> [RemoteErrorKind; 17] {
         [
             RemoteErrorKind::UnknownTarget,
             RemoteErrorKind::Overloaded,
+            RemoteErrorKind::QuotaExceeded,
             RemoteErrorKind::Stopped,
             RemoteErrorKind::DuplicateTarget,
             RemoteErrorKind::NoTargets,
@@ -301,6 +309,9 @@ mod tests {
         for e in [
             ServeError::UnknownTarget("eu/h100".into()),
             ServeError::Overloaded,
+            ServeError::QuotaExceeded {
+                tenant: "burst".into(),
+            },
             ServeError::Stopped,
             ServeError::DuplicateTarget("x".into()),
             ServeError::NoTargets,

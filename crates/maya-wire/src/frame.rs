@@ -6,7 +6,8 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic   b"MAYW"
-//!      4     2  version u16 BE (this build speaks VERSION)
+//!      4     2  version u16 BE (this build writes VERSION and reads
+//!                       MIN_VERSION..=VERSION)
 //!      6     1  kind    1 = request, 2 = response, 3 = error,
 //!                       4 = progress, 5 = cancel, 6 = expired
 //!      7     1  reserved (must be 0)
@@ -24,6 +25,14 @@
 //! the in-flight job with that id; its body is empty), and `expired`
 //! is the terminal frame of a job whose deadline elapsed.
 //!
+//! Version 3 grew the request body's `JobOptions` envelope from the
+//! deadline alone to deadline + priority + tenant (the per-tenant QoS
+//! vocabulary). The frame layout is unchanged; only the body differs,
+//! which is why readers accept the [`MIN_VERSION`]..=[`VERSION`] range
+//! and surface the peer's version on each [`Frame`] — a v2 body still
+//! decodes, with QoS defaults (see
+//! [`decode_submission`](crate::message::decode_submission)).
+//!
 //! The header is self-validating: wrong magic, an unknown version or
 //! kind, a non-zero reserved byte, or a length over the reader's
 //! max-frame guard are typed [`ProtocolError`]s — never panics and
@@ -36,11 +45,17 @@ use std::io::{ErrorKind, Read, Write};
 /// Leading magic of every frame.
 pub const MAGIC: [u8; 4] = *b"MAYW";
 
-/// Protocol version this build speaks (header field). Version 2
+/// Protocol version this build writes (header field). Version 2
 /// introduced the job-oriented vocabulary: the request body gained a
 /// leading `JobOptions` (deadline), and the `Progress` / `Cancel` /
-/// `Expired` frame kinds joined the original three.
-pub const VERSION: u16 = 2;
+/// `Expired` frame kinds joined the original three. Version 3 extended
+/// the `JobOptions` envelope with the QoS fields (priority, tenant).
+pub const VERSION: u16 = 3;
+
+/// Oldest protocol version this build still reads. Version-2 peers
+/// differ only in the request-body envelope, so their frames are
+/// accepted and decoded with QoS defaults.
+pub const MIN_VERSION: u16 = 2;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -121,6 +136,9 @@ impl FrameKind {
 /// One decoded frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
+    /// The protocol version the peer wrote this frame under (within
+    /// [`MIN_VERSION`]..=[`VERSION`]; governs how the body decodes).
+    pub version: u16,
     /// What the body is.
     pub kind: FrameKind,
     /// Request id (echoed by the server; 0 = connection-scoped).
@@ -166,7 +184,8 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Version(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                    "unsupported protocol version {v} (this build speaks \
+                     {MIN_VERSION}..={VERSION})"
                 )
             }
             ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
@@ -193,10 +212,27 @@ pub enum ReadError {
     Protocol(ProtocolError),
 }
 
-/// Writes one frame. Fails with [`ProtocolError::Oversized`] (as
-/// `InvalidData` io error) when the body exceeds `max_len`.
+/// Writes one frame under this build's own [`VERSION`]. Fails with
+/// [`ProtocolError::Oversized`] (as `InvalidData` io error) when the
+/// body exceeds `max_len`.
 pub fn write_frame<W: Write>(
     w: &mut W,
+    kind: FrameKind,
+    id: u64,
+    body: &str,
+    max_len: u32,
+) -> std::io::Result<()> {
+    write_frame_with_version(w, VERSION, kind, id, body, max_len)
+}
+
+/// [`write_frame`] with an explicit header version — how a server
+/// echoes a down-level peer's version on its reply frames. The reply
+/// bodies are identical across the supported range (only the
+/// *request* envelope changed in v3), so a v2 peer, whose reader
+/// rejects any version but its own, can consume a v3 server's frames.
+pub fn write_frame_with_version<W: Write>(
+    w: &mut W,
+    version: u16,
     kind: FrameKind,
     id: u64,
     body: &str,
@@ -216,7 +252,7 @@ pub fn write_frame<W: Write>(
         })?;
     let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&VERSION.to_be_bytes());
+    header[4..6].copy_from_slice(&version.to_be_bytes());
     header[6] = kind.code();
     header[7] = 0;
     header[8..16].copy_from_slice(&id.to_be_bytes());
@@ -260,7 +296,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Option<Frame>, Rea
         return Err(ReadError::Protocol(ProtocolError::BadMagic(magic)));
     }
     let version = u16::from_be_bytes(header[4..6].try_into().expect("2-byte slice"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ReadError::Protocol(ProtocolError::Version(version)));
     }
     let kind = FrameKind::from_code(header[6])
@@ -282,7 +318,12 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Option<Frame>, Rea
     }
     let body =
         String::from_utf8(body).map_err(|_| ReadError::Protocol(ProtocolError::BodyNotUtf8))?;
-    Ok(Some(Frame { kind, id, body }))
+    Ok(Some(Frame {
+        version,
+        kind,
+        id,
+        body,
+    }))
 }
 
 #[cfg(test)]
@@ -344,6 +385,29 @@ mod tests {
         assert!(matches!(
             read_frame(&mut &buf[..], 64),
             Err(ReadError::Protocol(ProtocolError::Version(99)))
+        ));
+    }
+
+    #[test]
+    fn supported_version_range_is_accepted_and_reported() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, 1, "x", 64).unwrap();
+        // This build writes VERSION...
+        let frame = read_frame(&mut &buf[..], 64).unwrap().unwrap();
+        assert_eq!(frame.version, VERSION);
+        // ...and still reads every version down to MIN_VERSION, so a
+        // v2 peer's frames decode (with QoS defaults in the body).
+        for version in MIN_VERSION..=VERSION {
+            buf[4..6].copy_from_slice(&version.to_be_bytes());
+            let frame = read_frame(&mut &buf[..], 64).unwrap().unwrap();
+            assert_eq!(frame.version, version);
+            assert_eq!(frame.body, "x");
+        }
+        // Anything older is refused.
+        buf[4..6].copy_from_slice(&(MIN_VERSION - 1).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..], 64),
+            Err(ReadError::Protocol(ProtocolError::Version(_)))
         ));
     }
 

@@ -60,8 +60,8 @@ pub mod server;
 
 pub use client::{Backoff, WireClient, WireJob};
 pub use error::{RemoteError, RemoteErrorKind, WireError};
-pub use frame::{Frame, FrameKind, ProtocolError, DEFAULT_MAX_FRAME_LEN, VERSION};
-pub use message::{WireJobOutcome, WirePayload, WireResponse};
+pub use frame::{Frame, FrameKind, ProtocolError, DEFAULT_MAX_FRAME_LEN, MIN_VERSION, VERSION};
+pub use message::{decode_submission, WireJobOutcome, WirePayload, WireResponse};
 pub use server::{WireServer, WireServerBuilder, WireServerStats};
 
 /// The pre-job-API name for the client-side ticket, kept for one
@@ -77,6 +77,7 @@ pub type PendingResponse = WireJob;
 // callers need only this crate.
 pub use maya_search::{AlgorithmKind, ConfigSpace};
 pub use maya_serve::{
-    JobOptions, JobState, MayaService, MeasureOutcome, Request, SearchProgress, Telemetry,
+    JobOptions, JobState, MayaService, MeasureOutcome, Priority, Request, SearchProgress,
+    Telemetry, TenantStats,
 };
 pub use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};

@@ -17,10 +17,36 @@ use serde::{compact, Deserialize, Serialize};
 
 use maya::Prediction;
 use maya_search::SearchResult;
-use maya_serve::{JobState, MeasureOutcome, Telemetry};
+use maya_serve::{JobOptions, JobState, MeasureOutcome, Request, Telemetry};
 
 use crate::error::RemoteError;
 use crate::frame::FrameKind;
+
+/// Decodes a request frame body — the leading [`JobOptions`] envelope
+/// followed by the [`Request`] — under the peer's protocol `version`
+/// (from the frame header).
+///
+/// Version 2 envelopes carry only the deadline; the QoS fields added
+/// in version 3 (priority, tenant) decode to their defaults, so a v2
+/// client keeps working against a v3 server unchanged. Version 3
+/// envelopes decode in full.
+pub fn decode_submission(
+    body: &str,
+    version: u16,
+) -> Result<(Request, JobOptions), compact::Error> {
+    let mut r = compact::Reader::new(body);
+    let opts = if version <= 2 {
+        JobOptions {
+            deadline: Deserialize::deserialize(&mut r)?,
+            ..JobOptions::default()
+        }
+    } else {
+        JobOptions::deserialize(&mut r)?
+    };
+    let req = Request::deserialize(&mut r)?;
+    r.end()?;
+    Ok((req, opts))
+}
 
 /// The result body of a [`WireResponse`], mirroring
 /// `maya_serve::Payload` with wire-safe error slots.

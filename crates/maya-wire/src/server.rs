@@ -35,16 +35,19 @@
 
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use serde::{compact, Deserialize, Serialize};
+use serde::{compact, Serialize};
 
-use maya_serve::{JobControl, JobHandle, JobOptions, JobOutcome, MayaService, Request, ServeError};
+use maya_serve::{JobControl, JobHandle, JobOutcome, MayaService, ServeError};
 
 use crate::error::RemoteError;
-use crate::frame::{read_frame, write_frame, FrameKind, ProtocolError, ReadError};
+use crate::frame::{
+    read_frame, write_frame_with_version, FrameKind, ProtocolError, ReadError, VERSION,
+};
+use crate::message::decode_submission;
 
 /// One outbound frame, queued for the connection writer.
 struct OutFrame {
@@ -346,16 +349,6 @@ fn pump_job(
     jobs.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
 }
 
-/// Decodes a request frame body: leading [`JobOptions`], then the
-/// [`Request`] itself.
-fn decode_submission(body: &str) -> Result<(Request, JobOptions), compact::Error> {
-    let mut r = compact::Reader::new(body);
-    let opts = JobOptions::deserialize(&mut r)?;
-    let req = Request::deserialize(&mut r)?;
-    r.end()?;
-    Ok((req, opts))
-}
-
 /// Reader half of one connection; owns the writer thread and spawns a
 /// pump per admitted job.
 fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) {
@@ -369,15 +362,24 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
     };
     let (tx, rx) = mpsc::channel::<OutFrame>();
     let max_len = shared.max_frame_len;
+    // The peer's protocol version, observed from its request frames
+    // and echoed on every reply frame: a v2 client's reader rejects
+    // any version but its own, and the reply bodies are identical
+    // across the supported range, so echoing is what keeps a
+    // down-level peer working. Until the first frame arrives the
+    // server's own version is used (only connection-fatal errors can
+    // be written that early).
+    let peer_version = Arc::new(AtomicU16::new(VERSION));
     // This connection's in-flight jobs, shared with the pumps (each
     // removes its own entry at terminal) so `Cancel` frames — and the
     // writer's orphan cleanup — can reach them.
     let jobs: Arc<Mutex<HashMap<u64, JobControl>>> = Arc::new(Mutex::new(HashMap::new()));
     let writer = {
         let jobs = Arc::clone(&jobs);
+        let peer_version = Arc::clone(&peer_version);
         std::thread::Builder::new()
             .name("maya-wire-write".into())
-            .spawn(move || writer_loop(write_half, &rx, max_len, &jobs))
+            .spawn(move || writer_loop(write_half, &rx, max_len, &jobs, &peer_version))
             .expect("spawn connection writer")
     };
     let mut pumps: Vec<JoinHandle<()>> = Vec::new();
@@ -387,6 +389,7 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
         match read_frame(&mut reader, shared.max_frame_len) {
             Ok(None) => break, // client closed its write half
             Ok(Some(frame)) => {
+                peer_version.store(frame.version, Ordering::Relaxed);
                 // Id 0 is reserved for connection-scoped errors: a
                 // request carrying it could never be answered
                 // unambiguously (an id-0 error frame means "the
@@ -407,7 +410,10 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
                     break;
                 }
                 match frame.kind {
-                    FrameKind::Request => match decode_submission(&frame.body) {
+                    // The frame's own header version governs the body
+                    // decode: v2 peers send deadline-only JobOptions
+                    // envelopes, which land with QoS defaults.
+                    FrameKind::Request => match decode_submission(&frame.body, frame.version) {
                         Ok((req, opts)) => match shared.service.try_submit_with(req, opts) {
                             Ok(handle) => {
                                 shared.admitted.fetch_add(1, Ordering::Relaxed);
@@ -544,11 +550,15 @@ fn writer_loop(
     rx: &mpsc::Receiver<OutFrame>,
     max_len: u32,
     jobs: &Mutex<HashMap<u64, JobControl>>,
+    peer_version: &AtomicU16,
 ) {
     let mut w = std::io::BufWriter::new(stream);
     while let Ok(frame) = rx.recv() {
         let fatal = frame.kind == FrameKind::Error && frame.id == 0;
-        if write_frame(&mut w, frame.kind, frame.id, &frame.body, max_len).is_err() {
+        let version = peer_version.load(Ordering::Relaxed);
+        if write_frame_with_version(&mut w, version, frame.kind, frame.id, &frame.body, max_len)
+            .is_err()
+        {
             break; // peer gone; reader will notice on its next read
         }
         if fatal {

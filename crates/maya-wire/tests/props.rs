@@ -14,7 +14,7 @@ use maya_hw::Measurement;
 use maya_search::{
     AlgorithmKind, ConfigSpace, Provenance, SearchResult, SearchStats, TrialOutcome, TrialRecord,
 };
-use maya_serve::{JobOptions, MeasureOutcome, Request, SearchProgress, Telemetry};
+use maya_serve::{JobOptions, MeasureOutcome, Priority, Request, SearchProgress, Telemetry};
 use maya_sim::SimReport;
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::{Dtype, KernelKind, SimTime};
@@ -263,6 +263,17 @@ impl Gen {
         }
     }
 
+    fn job_options(&mut self) -> JobOptions {
+        let mut opts = JobOptions::new().with_priority(self.pick(&Priority::all()));
+        if self.bool() {
+            opts = opts.with_deadline(self.duration());
+        }
+        if self.bool() {
+            opts = opts.with_tenant(self.string());
+        }
+        opts
+    }
+
     fn request(&mut self) -> Request {
         match self.next() % 3 {
             0 => Request::Predict {
@@ -490,17 +501,46 @@ proptest! {
         prop_assert_eq!(back_body, body, "re-encode must reproduce the frame body");
     }
 
-    /// Request envelopes (options + request) are identity, deadline
-    /// included to the nanosecond.
+    /// Request envelopes (options + request) are identity — deadline
+    /// to the nanosecond, priority and tenant exactly.
     #[test]
     fn job_options_round_trip(seed in any::<u64>()) {
-        let mut g = Gen(seed);
-        let opts = if g.bool() {
-            JobOptions::new().with_deadline(g.duration())
-        } else {
-            JobOptions::new()
-        };
+        let opts = Gen(seed).job_options();
         let back: JobOptions = serde::from_str(&serde::to_string(&opts)).unwrap();
         prop_assert_eq!(back, opts);
+    }
+
+    /// Version-skew decode of the request envelope: a v3 body decodes
+    /// in full under the v3 path, and a v2 body (deadline-only
+    /// envelope, as a v2 client writes it) still decodes under the
+    /// same server with QoS defaults — the request itself untouched.
+    #[test]
+    fn request_envelope_survives_v2_v3_skew(seed in any::<u64>()) {
+        use maya_wire::decode_submission;
+        use serde::Serialize as _;
+
+        let mut g = Gen(seed);
+        let opts = g.job_options();
+        let req = g.request();
+
+        // v3 body: full JobOptions envelope + request.
+        let mut w = serde::compact::Writer::new();
+        opts.serialize(&mut w);
+        req.serialize(&mut w);
+        let (req3, opts3) = decode_submission(&w.finish(), 3).expect("v3 decode");
+        prop_assert_eq!(&opts3, &opts);
+        prop_assert_eq!(serde::to_string(&req3), serde::to_string(&req));
+
+        // v2 body: deadline-only envelope + request, decoded under the
+        // v2 rules the frame header selects.
+        let mut w = serde::compact::Writer::new();
+        opts.deadline.serialize(&mut w);
+        req.serialize(&mut w);
+        let body = w.finish();
+        let (req2, opts2) = decode_submission(&body, 2).expect("v2 decode");
+        prop_assert_eq!(opts2.deadline, opts.deadline);
+        prop_assert_eq!(opts2.priority, Priority::Normal, "v2 defaults");
+        prop_assert_eq!(opts2.tenant, None, "v2 defaults");
+        prop_assert_eq!(serde::to_string(&req2), serde::to_string(&req));
     }
 }
