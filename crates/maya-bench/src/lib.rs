@@ -10,6 +10,7 @@
 //! - `MAYA_BENCH_FULL`: set to `1` to use paper-scale profiling datasets.
 
 pub mod accuracy;
+pub mod perf;
 
 use maya::{Maya, MayaBuilder};
 use maya_baselines::{Amped, BaselineModel, Calculon, Proteus};

@@ -1,0 +1,611 @@
+//! The committed perf-report harness behind `BENCH_<version>.json`.
+//!
+//! `cargo run --release -p maya-bench --bin perf_report` measures the
+//! serving-path hot loops — sim events/sec, predictions/sec through
+//! `predict_batch`, search trials/sec, loopback wire round-trips/sec —
+//! and writes a schema-versioned JSON report at the repo root so perf
+//! regressions show up in review as a diff of committed numbers.
+//!
+//! This module holds everything the binary and its tests share: the
+//! report vocabulary, the timing helper, the JSON emitter, and a small
+//! strict JSON parser used to validate a report file (`perf_report
+//! --check`, run by CI against both the smoke output and the committed
+//! artifact, so schema drift fails the build rather than rotting).
+
+use std::time::Instant;
+
+/// Monotonically increasing schema version. Bump it whenever the JSON
+/// layout or the required scenario set changes, and regenerate the
+/// committed artifact under the new name (`BENCH_<version>.json`); it
+/// never decreases (see `schema_version_is_monotonic`).
+pub const SCHEMA_VERSION: u32 = 6;
+
+/// Value of the report's `schema` discriminator field.
+pub const SCHEMA_NAME: &str = "maya-perf-report";
+
+/// Scenario names every valid report must carry, one per measured hot
+/// loop (plus the frozen-core and fresh-state sim baselines that give
+/// the optimized number meaning).
+pub const REQUIRED_SCENARIOS: &[&str] = &[
+    "sim_dense_scratch",
+    "sim_dense_fresh",
+    "sim_reference",
+    "predict_cold",
+    "predict_warm",
+    "search_sequential",
+    "search_batched",
+    "wire_loopback",
+];
+
+/// The default report path at the repo root.
+pub fn default_report_path() -> String {
+    format!("BENCH_{SCHEMA_VERSION}.json")
+}
+
+/// One measured scenario: a throughput figure plus the per-iteration
+/// latency distribution it was computed from.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Scenario name (see [`REQUIRED_SCENARIOS`]).
+    pub name: String,
+    /// Unit of `throughput` ("events/sec", "predictions/sec", ...).
+    pub unit: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Elements per second: `elems_per_iter * iters / total_wall`.
+    pub throughput: f64,
+    /// Median per-iteration latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile (nearest-rank) per-iteration latency,
+    /// microseconds.
+    pub p99_us: f64,
+}
+
+/// Times `iters` calls of `f`, individually, and folds them into a
+/// [`ScenarioResult`]. `elems_per_iter` is how many unit-elements one
+/// call processes (events for the sim, predictions for a batch, ...).
+/// The caller is responsible for any warmup before measuring.
+pub fn measure(
+    name: &str,
+    unit: &str,
+    iters: u64,
+    elems_per_iter: f64,
+    mut f: impl FnMut(),
+) -> ScenarioResult {
+    assert!(iters > 0, "measure needs at least one iteration");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(iters as usize);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let total = t0.elapsed().as_secs_f64();
+    ScenarioResult {
+        name: name.to_string(),
+        unit: unit.to_string(),
+        iters,
+        throughput: elems_per_iter * iters as f64 / total.max(1e-12),
+        p50_us: crate::quantile(&mut lat_us, 0.50),
+        p99_us: crate::quantile(&mut lat_us, 0.99),
+    }
+}
+
+/// Where the numbers were taken: enough to judge whether two committed
+/// reports are comparable.
+#[derive(Clone, Debug)]
+pub struct MachineInfo {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available logical CPUs.
+    pub cpus: u64,
+    /// Git revision the binary was run against ("unknown" outside a
+    /// checkout).
+    pub git_rev: String,
+}
+
+impl MachineInfo {
+    /// Probes the current machine; `git_rev` is supplied by the caller
+    /// (the binary shells out to `git`, tests pass a fixed string).
+    pub fn probe(git_rev: String) -> MachineInfo {
+        MachineInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            git_rev,
+        }
+    }
+}
+
+/// The full report, serialized to `BENCH_<version>.json`.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Whether this was a `--smoke` run (fewer iterations; numbers are
+    /// for schema checking, not comparison).
+    pub smoke: bool,
+    /// Machine + revision the numbers were taken on.
+    pub machine: MachineInfo,
+    /// All measured scenarios (superset of [`REQUIRED_SCENARIOS`]).
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl PerfReport {
+    /// Pretty-printed JSON, stable field order, trailing newline (the
+    /// file is committed; diffs should be line-oriented).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", esc(SCHEMA_NAME)));
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"os\": \"{}\",\n", esc(&self.machine.os)));
+        out.push_str(&format!("  \"arch\": \"{}\",\n", esc(&self.machine.arch)));
+        out.push_str(&format!("  \"cpus\": {},\n", self.machine.cpus));
+        out.push_str(&format!(
+            "  \"git_rev\": \"{}\",\n",
+            esc(&self.machine.git_rev)
+        ));
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"iters\": {}, \
+                 \"throughput\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                esc(&s.name),
+                esc(&s.unit),
+                s.iters,
+                num(s.throughput),
+                num(s.p50_us),
+                num(s.p99_us),
+                if i + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A small strict JSON reader — just enough to structurally validate a
+/// report file without a dependency. Numbers become `f64`; objects keep
+/// insertion order.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.lit("true", Value::Bool(true)),
+                b'f' => self.lit("false", Value::Bool(false)),
+                b'n' => self.lit("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let cp =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(cp).ok_or("surrogate \\u escape unsupported")?,
+                                );
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                    }
+                    _ => {
+                        // Re-walk the char boundary for multi-byte UTF-8.
+                        let start = self.pos - 1;
+                        let s = std::str::from_utf8(&self.bytes[start..])
+                            .map_err(|_| "invalid UTF-8 in string")?;
+                        let c = s.chars().next().unwrap();
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+            s.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number '{s}' at byte {start}"))
+        }
+    }
+}
+
+fn require<'a>(obj: &'a json::Value, key: &str) -> Result<&'a json::Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn require_str<'a>(obj: &'a json::Value, key: &str) -> Result<&'a str, String> {
+    require(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("key '{key}' must be a string"))
+}
+
+fn require_num(obj: &json::Value, key: &str) -> Result<f64, String> {
+    require(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("key '{key}' must be a number"))
+}
+
+/// Structurally validates a report document: the schema discriminator,
+/// an exact [`SCHEMA_VERSION`] match (a committed artifact from another
+/// version is drift — regenerate it), machine fields, and every
+/// [`REQUIRED_SCENARIOS`] entry with sane finite numbers.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    if require_str(&doc, "schema")? != SCHEMA_NAME {
+        return Err(format!("schema discriminator is not '{SCHEMA_NAME}'"));
+    }
+    let version = require_num(&doc, "schema_version")?;
+    if version.fract() != 0.0 || version < 1.0 {
+        return Err("schema_version must be a positive integer".into());
+    }
+    if version as u32 != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} does not match this binary's {SCHEMA_VERSION} \
+             (regenerate the report)"
+        ));
+    }
+    require_str(&doc, "os")?;
+    require_str(&doc, "arch")?;
+    require_str(&doc, "git_rev")?;
+    if require_num(&doc, "cpus")? < 1.0 {
+        return Err("cpus must be >= 1".into());
+    }
+    if !matches!(require(&doc, "smoke")?, json::Value::Bool(_)) {
+        return Err("key 'smoke' must be a bool".into());
+    }
+    let scenarios = require(&doc, "scenarios")?
+        .as_array()
+        .ok_or("key 'scenarios' must be an array")?;
+    let mut names = Vec::new();
+    for s in scenarios {
+        let name = require_str(s, "name")?.to_string();
+        require_str(s, "unit")?;
+        if require_num(s, "iters")? < 1.0 {
+            return Err(format!("scenario '{name}': iters must be >= 1"));
+        }
+        let throughput = require_num(s, "throughput")?;
+        if !throughput.is_finite() || throughput <= 0.0 {
+            return Err(format!(
+                "scenario '{name}': throughput must be finite and > 0"
+            ));
+        }
+        let p50 = require_num(s, "p50_us")?;
+        let p99 = require_num(s, "p99_us")?;
+        if !p50.is_finite() || !p99.is_finite() || p50 < 0.0 || p50 > p99 {
+            return Err(format!(
+                "scenario '{name}': need 0 <= p50_us <= p99_us, got {p50} / {p99}"
+            ));
+        }
+        names.push(name);
+    }
+    for required in REQUIRED_SCENARIOS {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("missing required scenario '{required}'"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_report() -> PerfReport {
+        PerfReport {
+            smoke: true,
+            machine: MachineInfo::probe("deadbeef".into()),
+            scenarios: REQUIRED_SCENARIOS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| ScenarioResult {
+                    name: name.to_string(),
+                    unit: "elems/sec".into(),
+                    iters: 4,
+                    throughput: 1000.0 + i as f64,
+                    p50_us: 10.0,
+                    p99_us: 25.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn schema_version_is_monotonic() {
+        // The floor only ever rises; lowering it would let an old
+        // committed artifact pass --check against newer code. Read the
+        // version back out of the report path so the check covers what
+        // actually hits disk.
+        let path = default_report_path();
+        let version: u32 = path
+            .strip_prefix("BENCH_")
+            .and_then(|p| p.strip_suffix(".json"))
+            .and_then(|v| v.parse().ok())
+            .expect("report path is BENCH_<version>.json");
+        assert_eq!(version, SCHEMA_VERSION);
+        assert!(version >= 6, "schema version must never decrease");
+    }
+
+    #[test]
+    fn emitted_report_validates() {
+        let report = synthetic_report();
+        let text = report.to_json();
+        validate_report(&text).expect("emitted report is schema-valid");
+    }
+
+    #[test]
+    fn measure_produces_valid_scenario() {
+        let mut n = 0u64;
+        let r = measure("spin", "spins/sec", 8, 3.0, || n += 1);
+        assert_eq!(n, 8);
+        assert_eq!(r.iters, 8);
+        assert!(r.throughput > 0.0);
+        assert!(r.p50_us <= r.p99_us);
+    }
+
+    #[test]
+    fn validation_rejects_drift() {
+        let good = synthetic_report().to_json();
+
+        // Version drift.
+        let bumped = good.replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
+        );
+        assert!(validate_report(&bumped)
+            .unwrap_err()
+            .contains("schema_version"));
+
+        // A required scenario renamed away.
+        let renamed = good.replace("sim_reference", "sim_reference_gone");
+        assert!(validate_report(&renamed)
+            .unwrap_err()
+            .contains("sim_reference"));
+
+        // A required top-level key dropped.
+        let no_rev = good.replace("\"git_rev\"", "\"git_rev_x\"");
+        assert!(validate_report(&no_rev).unwrap_err().contains("git_rev"));
+
+        // Not JSON at all.
+        assert!(validate_report("BENCH { nope").is_err());
+    }
+
+    #[test]
+    fn json_parser_round_trips_nesting() {
+        let v =
+            json::parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\n\"y\" é"}, "d": true, "e": null}"#)
+                .unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2],
+            json::Value::Num(-300.0)
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
+            "x\n\"y\" é"
+        );
+        assert_eq!(v.get("d"), Some(&json::Value::Bool(true)));
+        assert_eq!(v.get("e"), Some(&json::Value::Null));
+        assert!(json::parse("{\"a\": 1,}").is_err());
+        assert!(json::parse("[1, 2] trailing").is_err());
+    }
+}

@@ -681,6 +681,45 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_fail_fast_without_touching_pipeline() {
+        // Every config in this space violates gpt3-125m's 12-head
+        // divisibility, so validation must reject each trial up front —
+        // including trial 1 — without the pipeline ever running. A
+        // regression here (e.g. validation deferred into the simulator)
+        // shows up as estimator-cache misses.
+        let (maya, template) = fixture();
+        let obj = Objective::new(maya.engine(), template);
+        let space = ConfigSpace {
+            tp: vec![8, 16],
+            pp: vec![1],
+            microbatch_multiplier: vec![1],
+            virtual_stages: vec![1],
+            activation_recompute: vec![false],
+            sequence_parallel: vec![false],
+            distributed_optimizer: vec![false],
+        };
+        let sched = TrialScheduler::new(&obj).with_space(space);
+        let result = sched.run(AlgorithmKind::Grid, 8, 0);
+        assert!(!result.trials.is_empty());
+        assert_eq!(
+            result.trials[0].outcome,
+            TrialOutcome::Invalid,
+            "trial 1 must fail fast"
+        );
+        assert!(result
+            .trials
+            .iter()
+            .all(|t| t.outcome == TrialOutcome::Invalid));
+        assert_eq!(result.stats.executed, 0);
+        assert!(result.best.is_none());
+        assert_eq!(
+            maya.engine().cache_stats().misses,
+            0,
+            "invalid configs must never reach estimation or simulation"
+        );
+    }
+
+    #[test]
     fn cache_avoids_reexecution() {
         let (maya, template) = fixture();
         let obj = Objective::new(maya.engine(), template);

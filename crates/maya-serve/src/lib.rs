@@ -753,6 +753,41 @@ mod tests {
     }
 
     #[test]
+    fn tenant_queue_wait_percentiles_are_reported() {
+        let service = MayaService::builder()
+            .target("t", EmulationSpec::new(ClusterSpec::h100(1, 2)))
+            .workers(1)
+            .build()
+            .unwrap();
+        // Hold the only worker so the tenant's jobs accrue real queue
+        // wait before dispatch.
+        let blocker = occupy_worker(&service, "t");
+        let opts = || JobOptions::new().with_tenant("acme");
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|_| service.submit_with(predict("t", 2), opts()).unwrap())
+            .collect();
+        blocker.cancel();
+        let _ = blocker.wait_outcome();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let stats = service.stats();
+        let acme = stats.tenant("acme").expect("acme tenant tracked");
+        // One wait sample per queue departure: all four dispatches.
+        assert_eq!(acme.wait_samples, 4);
+        assert!(
+            acme.queue_wait_p50 <= acme.queue_wait_p99,
+            "p50 {:?} must not exceed p99 {:?}",
+            acme.queue_wait_p50,
+            acme.queue_wait_p99
+        );
+        assert!(
+            acme.queue_wait_p99 > std::time::Duration::ZERO,
+            "jobs queued behind a blocked worker must show nonzero wait"
+        );
+    }
+
+    #[test]
     fn starved_batch_job_ages_into_service() {
         use std::time::Duration;
         // Returns the Batch job's cache-delta misses: > 0 means it

@@ -75,6 +75,56 @@ pub struct TenantStats {
     pub expired: u64,
     /// Jobs that ended [`JobState::Cancelled`] (cumulative).
     pub cancelled: u64,
+    /// Queue-wait samples recorded so far (cumulative; one per queue
+    /// departure — dispatch to a worker or shed while queued). The
+    /// percentiles below summarize the most recent
+    /// [`WAIT_RESERVOIR_LEN`] of them.
+    pub wait_samples: u64,
+    /// Median queue wait over the reservoir window.
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile (nearest-rank) queue wait over the reservoir
+    /// window.
+    pub queue_wait_p99: Duration,
+}
+
+/// Bounded queue-wait sample window per tenant: the percentiles in
+/// [`TenantStats`] summarize at most this many recent waits.
+pub const WAIT_RESERVOIR_LEN: usize = 512;
+
+/// Sliding-window queue-wait reservoir: a fixed-capacity ring of the
+/// most recent waits, so percentile reporting costs O(window) and a
+/// long-lived tenant cannot grow server state without bound.
+#[derive(Default)]
+struct WaitReservoir {
+    samples: Vec<Duration>,
+    next: usize,
+    count: u64,
+}
+
+impl WaitReservoir {
+    fn record(&mut self, wait: Duration) {
+        if self.samples.len() < WAIT_RESERVOIR_LEN {
+            self.samples.push(wait);
+        } else {
+            self.samples[self.next] = wait;
+        }
+        self.next = (self.next + 1) % WAIT_RESERVOIR_LEN;
+        self.count += 1;
+    }
+
+    /// `(p50, p99)` over the window, by nearest rank; zeros when empty.
+    fn percentiles(&self) -> (Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        (rank(0.50), rank(0.99))
+    }
 }
 
 #[derive(Default)]
@@ -86,6 +136,7 @@ struct TenantAccount {
     quota_shed: u64,
     expired: u64,
     cancelled: u64,
+    waits: WaitReservoir,
 }
 
 struct Entry {
@@ -271,6 +322,7 @@ impl AdmissionQueue {
                     if let Some(acct) = state.tenants.get_mut(tenant) {
                         acct.queued -= 1;
                         acct.in_flight += 1;
+                        acct.waits.record(entry.job.enqueued.elapsed());
                     }
                 }
                 drop(state);
@@ -370,6 +422,7 @@ impl AdmissionQueue {
             if let Some(tenant) = entry.job.tenant.as_deref() {
                 if let Some(acct) = state.tenants.get_mut(tenant) {
                     acct.queued -= 1;
+                    acct.waits.record(entry.job.enqueued.elapsed());
                     match verdict {
                         JobState::Expired => acct.expired += 1,
                         _ => acct.cancelled += 1,
@@ -416,15 +469,21 @@ impl AdmissionQueue {
         let mut stats: Vec<TenantStats> = state
             .tenants
             .iter()
-            .map(|(tenant, acct)| TenantStats {
-                tenant: tenant.clone(),
-                queued: acct.queued,
-                in_flight: acct.in_flight,
-                admitted: acct.admitted,
-                served: acct.served,
-                quota_shed: acct.quota_shed,
-                expired: acct.expired,
-                cancelled: acct.cancelled,
+            .map(|(tenant, acct)| {
+                let (queue_wait_p50, queue_wait_p99) = acct.waits.percentiles();
+                TenantStats {
+                    tenant: tenant.clone(),
+                    queued: acct.queued,
+                    in_flight: acct.in_flight,
+                    admitted: acct.admitted,
+                    served: acct.served,
+                    quota_shed: acct.quota_shed,
+                    expired: acct.expired,
+                    cancelled: acct.cancelled,
+                    wait_samples: acct.waits.count,
+                    queue_wait_p50,
+                    queue_wait_p99,
+                }
             })
             .collect();
         stats.sort_by(|a, b| a.tenant.cmp(&b.tenant));

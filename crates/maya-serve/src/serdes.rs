@@ -19,6 +19,7 @@ use serde::{compact, Deserialize, Serialize};
 
 use crate::error::ServeError;
 use crate::job::{JobOptions, Priority, SearchProgress};
+use crate::queue::TenantStats;
 use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
 
 impl Serialize for Priority {
@@ -175,6 +176,43 @@ impl<'de> Deserialize<'de> for Telemetry {
             cache: Deserialize::deserialize(r)?,
             cache_delta: Deserialize::deserialize(r)?,
             stages: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+/// Per-tenant QoS counters including the queue-wait percentiles, so a
+/// wire telemetry extension can carry [`TenantStats`] without inventing
+/// a new layout. Field order is the struct's declaration order.
+impl Serialize for TenantStats {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.tenant.serialize(w);
+        self.queued.serialize(w);
+        self.in_flight.serialize(w);
+        self.admitted.serialize(w);
+        self.served.serialize(w);
+        self.quota_shed.serialize(w);
+        self.expired.serialize(w);
+        self.cancelled.serialize(w);
+        self.wait_samples.serialize(w);
+        self.queue_wait_p50.serialize(w);
+        self.queue_wait_p99.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for TenantStats {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(TenantStats {
+            tenant: Deserialize::deserialize(r)?,
+            queued: Deserialize::deserialize(r)?,
+            in_flight: Deserialize::deserialize(r)?,
+            admitted: Deserialize::deserialize(r)?,
+            served: Deserialize::deserialize(r)?,
+            quota_shed: Deserialize::deserialize(r)?,
+            expired: Deserialize::deserialize(r)?,
+            cancelled: Deserialize::deserialize(r)?,
+            wait_samples: Deserialize::deserialize(r)?,
+            queue_wait_p50: Deserialize::deserialize(r)?,
+            queue_wait_p99: Deserialize::deserialize(r)?,
         })
     }
 }
@@ -342,6 +380,32 @@ mod tests {
         let anon = JobOptions::new();
         let back: JobOptions = serde::from_str(&serde::to_string(&anon)).unwrap();
         assert_eq!(back, anon);
+    }
+
+    #[test]
+    fn tenant_stats_round_trip() {
+        use std::time::Duration;
+        let stats = TenantStats {
+            tenant: "tenant a/ü".into(),
+            queued: 3,
+            in_flight: 2,
+            admitted: 101,
+            served: 88,
+            quota_shed: 5,
+            expired: 4,
+            cancelled: 2,
+            wait_samples: 96,
+            queue_wait_p50: Duration::from_micros(250),
+            queue_wait_p99: Duration::from_millis(12),
+        };
+        let text = serde::to_string(&stats);
+        let back: TenantStats = serde::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(serde::to_string(&back), text);
+
+        let empty: TenantStats =
+            serde::from_str(&serde::to_string(&TenantStats::default())).unwrap();
+        assert_eq!(empty, TenantStats::default());
     }
 
     #[test]

@@ -1,4 +1,15 @@
 //! The discrete-event simulation engine (Algorithms 1-3).
+//!
+//! The hot loop is allocation-free and hash-free: raw [`StreamId`]s
+//! *and* CUDA-event `(event, version)` keys are interned to dense
+//! `u32` slots once at trace load, so the per-event work in
+//! `Simulator::pump` and the host dispatch loop is pure `Vec`
+//! indexing. All mutable state lives in a reusable [`SimScratch`]
+//! arena ([`Simulator::run_with_scratch`]) so repeated runs — a config
+//! search replaying thousands of near-identical traces, or a serving
+//! worker — amortize every allocation. The pre-optimization core is
+//! preserved in [`crate::reference`] and equivalence is enforced by
+//! test: both cores must produce byte-identical [`SimReport`]s.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -6,7 +17,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use maya_estimator::RuntimeEstimator;
 use maya_hw::ClusterSpec;
 use maya_trace::{
-    CollectiveDesc, CollectiveKind, DeviceOp, JobTrace, SimTime, StreamId, TraceEvent,
+    CollectiveDesc, CollectiveKind, DeviceOp, JobTrace, SimTime, StreamId, WorkerTrace,
 };
 
 use crate::report::SimReport;
@@ -62,14 +73,19 @@ impl CollKey {
 }
 
 /// An operation queued on a simulated stream.
+///
+/// Event markers carry the dense per-worker slot of their
+/// `(event, version)` key, not the raw key — see [`RankSim::load`].
 #[derive(Clone, Copy, Debug)]
 enum StreamOp {
     /// Kernel / memcpy with a pre-predicted duration.
     Timed { dur: SimTime, is_comm: bool },
     /// `cudaEventRecord` marker.
-    Record { event: u64, version: u32 },
-    /// `cudaStreamWaitEvent` marker.
-    Wait { event: u64, version: u32 },
+    Record { slot: u32 },
+    /// `cudaStreamWaitEvent` marker. `zero` is the CUDA never-recorded
+    /// sentinel (`version == 0`): the wait is satisfied even if the
+    /// slot never fires.
+    Wait { slot: u32, zero: bool },
     /// NCCL collective join.
     Join { key: CollKey, desc: CollectiveDesc },
 }
@@ -83,7 +99,7 @@ struct QueuedOp {
 /// Why a stream is not making progress.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum StreamBlock {
-    Event { event: u64, version: u32 },
+    Event { slot: u32 },
     Collective,
 }
 
@@ -98,24 +114,36 @@ impl StreamSim {
     fn drained(&self, now: SimTime) -> bool {
         self.queue.is_empty() && self.blocked.is_none() && self.busy_until <= now
     }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.busy_until = SimTime::ZERO;
+        self.blocked = None;
+    }
 }
 
 /// Why a host thread is parked.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum HostBlock {
-    Event { event: u64, version: u32 },
+    Event { slot: u32 },
     StreamDrain { si: usize },
     DeviceDrain { remaining: u32 },
 }
 
+/// Sentinel slot for trace events that carry no CUDA-event key.
+const NO_EVENT: u32 = u32::MAX;
+
 /// Per-rank simulation state.
 ///
 /// Streams live in a dense `Vec` indexed by per-worker *slots*: raw
-/// [`StreamId`]s are interned once at simulation start (order of first
-/// appearance in the trace), and every event carries its precomputed
-/// slot in `ev_slot`. The hot paths — host dispatch and [`Simulator::
-/// pump`] — then index instead of hashing, the dslab-style indexed
-/// event-core idiom.
+/// [`StreamId`]s are interned once at trace load (order of first
+/// appearance), and every event carries its precomputed slot in
+/// `ev_slot`. CUDA-event `(event, version)` keys get the same
+/// treatment into `ev_eslot`, turning the event wait map (`fired`) and
+/// waiter registry (`event_waiters`) into dense `Vec`s. The hot paths
+/// — host dispatch and `Simulator::pump` — then index instead of
+/// hashing, the dslab-style indexed event-core idiom.
+#[derive(Default)]
 struct RankSim {
     next_op: usize,
     host_time: SimTime,
@@ -125,22 +153,75 @@ struct RankSim {
     /// Dense stream slot of each trace event (parallel to the worker's
     /// `events`).
     ev_slot: Vec<u32>,
+    /// Dense `(event, version)` slot of each trace event; [`NO_EVENT`]
+    /// for ops without a CUDA-event key.
+    ev_eslot: Vec<u32>,
+    /// CUDA-event wait map by event slot: fire time once recorded.
+    fired: Vec<Option<SimTime>>,
+    /// Streams (by dense slot) waiting on each event slot.
+    event_waiters: Vec<Vec<usize>>,
     blocked: Option<HostBlock>,
     done: bool,
     comm_busy: SimTime,
     compute_busy: SimTime,
 }
 
-/// Interns a worker's stream ids: per-event dense slots plus the number
-/// of distinct streams, in order of first appearance.
-fn intern_streams(events: &[TraceEvent]) -> (Vec<u32>, usize) {
-    let mut index: HashMap<StreamId, u32> = HashMap::new();
-    let mut slots = Vec::with_capacity(events.len());
-    for e in events {
-        let next = index.len() as u32;
-        slots.push(*index.entry(e.stream).or_insert(next));
+impl RankSim {
+    /// Resets this rank for a new run and interns the worker's stream
+    /// ids and CUDA-event keys into dense slots, reusing the scratch
+    /// index maps and every per-rank buffer's capacity.
+    fn load(
+        &mut self,
+        w: &WorkerTrace,
+        stream_index: &mut HashMap<StreamId, u32>,
+        event_index: &mut HashMap<(u64, u32), u32>,
+    ) {
+        self.next_op = 0;
+        self.host_time = SimTime::ZERO;
+        self.host_busy = SimTime::ZERO;
+        self.blocked = None;
+        self.done = false;
+        self.comm_busy = SimTime::ZERO;
+        self.compute_busy = SimTime::ZERO;
+
+        stream_index.clear();
+        event_index.clear();
+        self.ev_slot.clear();
+        self.ev_eslot.clear();
+        self.ev_slot.reserve(w.events.len());
+        self.ev_eslot.reserve(w.events.len());
+        for e in &w.events {
+            let next = stream_index.len() as u32;
+            self.ev_slot
+                .push(*stream_index.entry(e.stream).or_insert(next));
+            let eslot = match e.op {
+                DeviceOp::EventRecord { event, version }
+                | DeviceOp::StreamWaitEvent { event, version }
+                | DeviceOp::EventSynchronize { event, version } => {
+                    let next = event_index.len() as u32;
+                    *event_index.entry((event, version)).or_insert(next)
+                }
+                _ => NO_EVENT,
+            };
+            self.ev_eslot.push(eslot);
+        }
+
+        let nstreams = stream_index.len();
+        self.streams.truncate(nstreams);
+        for s in &mut self.streams {
+            s.reset();
+        }
+        self.streams.resize_with(nstreams, StreamSim::default);
+
+        let nevents = event_index.len();
+        self.fired.clear();
+        self.fired.resize(nevents, None);
+        self.event_waiters.truncate(nevents);
+        for v in &mut self.event_waiters {
+            v.clear();
+        }
+        self.event_waiters.resize_with(nevents, Vec::new);
     }
-    (slots, index.len())
 }
 
 /// Heap event kinds (Algorithm 1's polymorphic events).
@@ -191,22 +272,32 @@ pub fn simulate(
     Simulator { estimator, cluster }.run(job)
 }
 
-/// Mutable simulation state, split out so borrows stay tractable.
-struct State {
+/// Reusable simulation arena: the heap, per-rank state, wait tables,
+/// collective rendezvous buffers, and the interner index maps.
+///
+/// A fresh scratch and a reused one produce byte-identical
+/// [`SimReport`]s (enforced by proptest); reuse only skips the
+/// allocations. Keep one per thread (or a pooled set) and pass it to
+/// [`Simulator::run_with_scratch`] when simulating in a loop.
+#[derive(Default)]
+pub struct SimScratch {
     ranks: Vec<RankSim>,
     heap: BinaryHeap<Reverse<HeapEv>>,
+    /// Network collective wait map.
+    collectives: HashMap<CollKey, Vec<(usize, usize, SimTime, CollectiveDesc)>>,
+    stream_index: HashMap<StreamId, u32>,
+    event_index: HashMap<(u64, u32), u32>,
     seq: u64,
     now: SimTime,
     events_processed: u64,
-    /// CUDA-event wait map: fired events with their fire times.
-    fired: Vec<HashMap<(u64, u32), SimTime>>,
-    /// Streams (by dense slot) waiting on an event.
-    event_stream_waiters: Vec<HashMap<(u64, u32), Vec<usize>>>,
-    /// Network collective wait map.
-    collectives: HashMap<CollKey, Vec<(usize, usize, SimTime, CollectiveDesc)>>,
 }
 
-impl State {
+impl SimScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     fn push(&mut self, at: SimTime, kind: EvKind) {
         self.seq += 1;
         self.heap.push(Reverse(HeapEv {
@@ -214,6 +305,27 @@ impl State {
             seq: self.seq,
             kind,
         }));
+    }
+
+    /// Resets for a new run over `job`, keeping buffer capacity.
+    fn reset(&mut self, job: &JobTrace) {
+        let n = job.workers.len();
+        self.heap.clear();
+        self.collectives.clear();
+        self.seq = 0;
+        self.now = SimTime::ZERO;
+        self.events_processed = 0;
+        self.ranks.truncate(n);
+        self.ranks.resize_with(n, RankSim::default);
+        // Split borrows: each rank's loader shares the two index maps.
+        let (ranks, stream_index, event_index) = (
+            &mut self.ranks,
+            &mut self.stream_index,
+            &mut self.event_index,
+        );
+        for (r, w) in ranks.iter_mut().zip(&job.workers) {
+            r.load(w, stream_index, event_index);
+        }
     }
 }
 
@@ -223,37 +335,37 @@ impl<'a> Simulator<'a> {
         Simulator { estimator, cluster }
     }
 
-    /// Runs the simulation (Algorithm 1's main loop).
+    /// Runs the simulation (Algorithm 1's main loop) with a private
+    /// scratch arena.
     pub fn run(&self, job: &JobTrace) -> Result<SimReport, SimError> {
+        self.run_with_scratch(job, &mut SimScratch::new())
+    }
+
+    /// Like [`Simulator::run`], but reuses `scratch`'s buffers instead
+    /// of allocating fresh state.
+    pub fn run_with_scratch(
+        &self,
+        job: &JobTrace,
+        scratch: &mut SimScratch,
+    ) -> Result<SimReport, SimError> {
         job.validate().map_err(SimError::InvalidTrace)?;
+        self.run_prevalidated(job, scratch)
+    }
+
+    /// Like [`Simulator::run_with_scratch`], but skips
+    /// [`JobTrace::validate`]. For callers that already validated the
+    /// trace (or constructed it from a validated one, e.g. the predict
+    /// pipeline's collate step) and simulate it repeatedly. On an
+    /// *invalid* trace this is memory-safe but may return an arbitrary
+    /// report or `Deadlock` instead of `InvalidTrace`.
+    pub fn run_prevalidated(
+        &self,
+        job: &JobTrace,
+        scratch: &mut SimScratch,
+    ) -> Result<SimReport, SimError> {
+        let st = scratch;
+        st.reset(job);
         let n = job.workers.len();
-        let mut st = State {
-            ranks: job
-                .workers
-                .iter()
-                .map(|w| {
-                    let (ev_slot, nstreams) = intern_streams(&w.events);
-                    RankSim {
-                        next_op: 0,
-                        host_time: SimTime::ZERO,
-                        host_busy: SimTime::ZERO,
-                        streams: (0..nstreams).map(|_| StreamSim::default()).collect(),
-                        ev_slot,
-                        blocked: None,
-                        done: false,
-                        comm_busy: SimTime::ZERO,
-                        compute_busy: SimTime::ZERO,
-                    }
-                })
-                .collect(),
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-            events_processed: 0,
-            fired: vec![HashMap::new(); n],
-            event_stream_waiters: vec![HashMap::new(); n],
-            collectives: HashMap::new(),
-        };
         for wi in 0..n {
             st.push(SimTime::ZERO, EvKind::HostDispatch { wi });
         }
@@ -262,8 +374,8 @@ impl<'a> Simulator<'a> {
             st.now = ev.at;
             st.events_processed += 1;
             match ev.kind {
-                EvKind::HostDispatch { wi } => self.host_dispatch(job, &mut st, wi),
-                EvKind::Pump { wi, si } => self.pump(job, &mut st, wi, si),
+                EvKind::HostDispatch { wi } => self.host_dispatch(job, st, wi),
+                EvKind::Pump { wi, si } => self.pump(job, st, wi, si),
             }
         }
 
@@ -315,7 +427,7 @@ impl<'a> Simulator<'a> {
 
     /// Host dispatch loop: replays recorded host delays and runs ahead,
     /// enqueuing async work onto streams, until it blocks or finishes.
-    fn host_dispatch(&self, job: &JobTrace, st: &mut State, wi: usize) {
+    fn host_dispatch(&self, job: &JobTrace, st: &mut SimScratch, wi: usize) {
         if st.ranks[wi].blocked.is_some() || st.ranks[wi].done {
             return;
         }
@@ -328,6 +440,7 @@ impl<'a> Simulator<'a> {
             }
             let ev = &events[pc];
             let si = st.ranks[wi].ev_slot[pc] as usize;
+            let eslot = st.ranks[wi].ev_eslot[pc];
             st.ranks[wi].next_op += 1;
             st.ranks[wi].host_time += ev.host_delay;
             st.ranks[wi].host_busy += ev.host_delay;
@@ -360,27 +473,26 @@ impl<'a> Simulator<'a> {
                             is_comm: false,
                         },
                     );
-                    if sync {
-                        // Blocking copy: host waits for the stream to drain.
-                        if self.park_host_on_drain(st, wi, si) {
-                            return;
-                        }
+                    if sync && self.park_host_on_drain(st, wi, si) {
+                        // Blocking copy: host waits for the stream.
+                        return;
                     }
                 }
-                DeviceOp::EventRecord { event, version } => {
-                    self.enqueue(st, wi, si, issue, StreamOp::Record { event, version });
+                DeviceOp::EventRecord { .. } => {
+                    self.enqueue(st, wi, si, issue, StreamOp::Record { slot: eslot });
                 }
-                DeviceOp::StreamWaitEvent { event, version } => {
-                    self.enqueue(st, wi, si, issue, StreamOp::Wait { event, version });
+                DeviceOp::StreamWaitEvent { version, .. } => {
+                    let zero = version == 0;
+                    self.enqueue(st, wi, si, issue, StreamOp::Wait { slot: eslot, zero });
                 }
-                DeviceOp::EventSynchronize { event, version } => {
-                    match st.fired[wi].get(&(event, version)).copied() {
+                DeviceOp::EventSynchronize { version, .. } => {
+                    match st.ranks[wi].fired[eslot as usize] {
                         Some(t) => {
                             st.ranks[wi].host_time = st.ranks[wi].host_time.max(t);
                         }
                         None if version == 0 => {} // never-recorded: no-op
                         None => {
-                            st.ranks[wi].blocked = Some(HostBlock::Event { event, version });
+                            st.ranks[wi].blocked = Some(HostBlock::Event { slot: eslot });
                             return;
                         }
                     }
@@ -419,7 +531,7 @@ impl<'a> Simulator<'a> {
     }
 
     /// Enqueues a stream op and pumps the stream at its issue time.
-    fn enqueue(&self, st: &mut State, wi: usize, si: usize, ready_at: SimTime, op: StreamOp) {
+    fn enqueue(&self, st: &mut SimScratch, wi: usize, si: usize, ready_at: SimTime, op: StreamOp) {
         st.ranks[wi].streams[si]
             .queue
             .push_back(QueuedOp { ready_at, op });
@@ -427,7 +539,7 @@ impl<'a> Simulator<'a> {
     }
 
     /// Parks the host until a stream drains. Returns true if parked.
-    fn park_host_on_drain(&self, st: &mut State, wi: usize, si: usize) -> bool {
+    fn park_host_on_drain(&self, st: &mut SimScratch, wi: usize, si: usize) -> bool {
         let now = st.ranks[wi].host_time;
         let s = &st.ranks[wi].streams[si];
         if s.queue.is_empty() && s.blocked.is_none() {
@@ -440,7 +552,7 @@ impl<'a> Simulator<'a> {
     }
 
     /// Stream progress (Algorithm 2's scheduler tick for one stream).
-    fn pump(&self, job: &JobTrace, st: &mut State, wi: usize, si: usize) {
+    fn pump(&self, job: &JobTrace, st: &mut SimScratch, wi: usize, si: usize) {
         loop {
             let now = st.now;
             let s = &mut st.ranks[wi].streams[si];
@@ -471,34 +583,36 @@ impl<'a> Simulator<'a> {
                     st.push(now + dur, EvKind::Pump { wi, si });
                     return;
                 }
-                StreamOp::Record { event, version } => {
-                    st.fired[wi].insert((event, version), now);
-                    // Wake streams waiting on this event.
-                    if let Some(waiters) = st.event_stream_waiters[wi].remove(&(event, version)) {
-                        for w in waiters {
-                            let ws = &mut st.ranks[wi].streams[w];
-                            if ws.blocked == Some(StreamBlock::Event { event, version }) {
-                                ws.blocked = None;
-                                ws.busy_until = ws.busy_until.max(now);
-                                st.push(now, EvKind::Pump { wi, si: w });
-                            }
+                StreamOp::Record { slot } => {
+                    st.ranks[wi].fired[slot as usize] = Some(now);
+                    // Wake streams waiting on this event. Take the
+                    // waiter list to appease the borrow checker, then
+                    // give the (cleared) buffer back for reuse.
+                    let mut waiters =
+                        std::mem::take(&mut st.ranks[wi].event_waiters[slot as usize]);
+                    for &w in &waiters {
+                        let ws = &mut st.ranks[wi].streams[w];
+                        if ws.blocked == Some(StreamBlock::Event { slot }) {
+                            ws.blocked = None;
+                            ws.busy_until = ws.busy_until.max(now);
+                            st.push(now, EvKind::Pump { wi, si: w });
                         }
                     }
+                    waiters.clear();
+                    st.ranks[wi].event_waiters[slot as usize] = waiters;
                     // Wake a host parked on EventSynchronize.
-                    if st.ranks[wi].blocked == Some(HostBlock::Event { event, version }) {
+                    if st.ranks[wi].blocked == Some(HostBlock::Event { slot }) {
                         st.ranks[wi].blocked = None;
                         st.ranks[wi].host_time = st.ranks[wi].host_time.max(now);
                         st.push(now, EvKind::HostDispatch { wi });
                     }
                 }
-                StreamOp::Wait { event, version } => {
-                    if version == 0 || st.fired[wi].contains_key(&(event, version)) {
+                StreamOp::Wait { slot, zero } => {
+                    let fired = st.ranks[wi].fired[slot as usize];
+                    if zero || fired.is_some() {
                         // Already fired (or never-recorded no-op): the
                         // stream ordering itself enforces the constraint.
-                        let fire = st.fired[wi]
-                            .get(&(event, version))
-                            .copied()
-                            .unwrap_or(SimTime::ZERO);
+                        let fire = fired.unwrap_or(SimTime::ZERO);
                         let s = &mut st.ranks[wi].streams[si];
                         s.busy_until = s.busy_until.max(fire);
                         if fire > now {
@@ -506,12 +620,8 @@ impl<'a> Simulator<'a> {
                             return;
                         }
                     } else {
-                        st.ranks[wi].streams[si].blocked =
-                            Some(StreamBlock::Event { event, version });
-                        st.event_stream_waiters[wi]
-                            .entry((event, version))
-                            .or_default()
-                            .push(si);
+                        st.ranks[wi].streams[si].blocked = Some(StreamBlock::Event { slot });
+                        st.ranks[wi].event_waiters[slot as usize].push(si);
                         return;
                     }
                 }
@@ -534,7 +644,7 @@ impl<'a> Simulator<'a> {
 
     /// All participants joined: release every stream in lockstep after
     /// the predicted wire time (Algorithm 3).
-    fn resolve_collective(&self, job: &JobTrace, st: &mut State, key: CollKey) {
+    fn resolve_collective(&self, job: &JobTrace, st: &mut SimScratch, key: CollKey) {
         let participants = st.collectives.remove(&key).unwrap_or_default();
         let start = participants
             .iter()
@@ -574,7 +684,7 @@ impl<'a> Simulator<'a> {
     }
 
     /// A stream drained; wake hosts blocked on it.
-    fn notify_drain(&self, st: &mut State, wi: usize, si: usize, now: SimTime) {
+    fn notify_drain(&self, st: &mut SimScratch, wi: usize, si: usize, now: SimTime) {
         match st.ranks[wi].blocked {
             Some(HostBlock::StreamDrain { si: want }) if want == si => {
                 st.ranks[wi].blocked = None;
@@ -945,5 +1055,195 @@ mod tests {
         let r = simulate(&job, &c, &oracle).unwrap();
         let wire = oracle.collective_time(CollectiveKind::AllReduce, 1 << 20, &[0, 1], &c);
         assert!(r.total_time >= wire);
+    }
+
+    /// A small but feature-dense trace touching every op kind the
+    /// scratch arena has to reset: kernels on three streams, event
+    /// record/wait/sync, sync memcpy, device sync, and a collective.
+    fn busy_job(seed: u64) -> JobTrace {
+        let m = 1024 + (seed % 7) * 512;
+        let mk = |rank: u32| {
+            let mut w = WorkerTrace::new(rank);
+            w.events = vec![
+                ev(0, kernel(m), 2.0),
+                ev(
+                    0,
+                    DeviceOp::EventRecord {
+                        event: 1,
+                        version: 1,
+                    },
+                    1.0,
+                ),
+                ev(
+                    1,
+                    DeviceOp::StreamWaitEvent {
+                        event: 1,
+                        version: 1,
+                    },
+                    1.0,
+                ),
+                ev(1, kernel(2 * m), 1.0),
+                ev(
+                    2,
+                    DeviceOp::MemcpyAsync {
+                        bytes: 1 << 20,
+                        kind: maya_trace::MemcpyKind::HostToDevice,
+                        sync: false,
+                    },
+                    1.0,
+                ),
+                ev(
+                    1,
+                    DeviceOp::EventRecord {
+                        event: 2,
+                        version: 1,
+                    },
+                    1.0,
+                ),
+                ev(
+                    0,
+                    DeviceOp::EventSynchronize {
+                        event: 2,
+                        version: 1,
+                    },
+                    1.0,
+                ),
+                ev(
+                    0,
+                    DeviceOp::Collective {
+                        desc: CollectiveDesc {
+                            kind: CollectiveKind::AllReduce,
+                            comm_id: 7,
+                            seq: 0,
+                            bytes: 1 << 22,
+                            nranks: 2,
+                            rank_in_comm: rank,
+                        },
+                    },
+                    1.0,
+                ),
+                ev(0, DeviceOp::DeviceSynchronize, 1.0),
+            ];
+            w
+        };
+        let mut groups = BTreeMap::new();
+        groups.insert(7u64, vec![0, 1]);
+        JobTrace {
+            nranks: 2,
+            workers: vec![mk(0), mk(1)],
+            comm_groups: groups,
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_across_different_jobs() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let sim = Simulator::new(&oracle, &c);
+        let mut scratch = SimScratch::new();
+        // Interleave different-shaped jobs through one scratch arena;
+        // every run must match a fresh-state run exactly.
+        for seed in 0..6u64 {
+            let job = busy_job(seed);
+            let reused = sim.run_with_scratch(&job, &mut scratch).unwrap();
+            let fresh = sim.run(&job).unwrap();
+            assert_eq!(reused, fresh, "seed {seed}");
+            // And a shrunken job right after a bigger one.
+            let small = job1(vec![ev(0, kernel(512), 1.0)]);
+            let reused = sim.run_with_scratch(&small, &mut scratch).unwrap();
+            let fresh = sim.run(&small).unwrap();
+            assert_eq!(reused, fresh, "small after seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_after_deadlock_recovers() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let sim = Simulator::new(&oracle, &c);
+        let mut scratch = SimScratch::new();
+        // A deadlocked run leaves the arena dirty mid-flight...
+        let coll = DeviceOp::Collective {
+            desc: CollectiveDesc {
+                kind: CollectiveKind::AllReduce,
+                comm_id: 11,
+                seq: 0,
+                bytes: 64,
+                nranks: 2,
+                rank_in_comm: 0,
+            },
+        };
+        let mut w0 = WorkerTrace::new(0);
+        w0.events = vec![ev(0, coll, 1.0), ev(0, DeviceOp::StreamSynchronize, 1.0)];
+        let mut w1 = WorkerTrace::new(1);
+        w1.events = vec![ev(0, kernel(64), 1.0)];
+        let mut groups = BTreeMap::new();
+        groups.insert(11u64, vec![0, 1]);
+        let bad = JobTrace {
+            nranks: 2,
+            workers: vec![w0, w1],
+            comm_groups: groups,
+        };
+        assert!(matches!(
+            sim.run_with_scratch(&bad, &mut scratch),
+            Err(SimError::Deadlock { .. })
+        ));
+        // ...and the next run through the same arena is still exact.
+        let job = busy_job(3);
+        let reused = sim.run_with_scratch(&job, &mut scratch).unwrap();
+        let fresh = sim.run(&job).unwrap();
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn dense_core_matches_reference_core() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        for seed in 0..6u64 {
+            let job = busy_job(seed);
+            let dense = simulate(&job, &c, &oracle).unwrap();
+            let reference = crate::reference::simulate_reference(&job, &c, &oracle).unwrap();
+            assert_eq!(dense, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversarial_version_zero_record_matches_reference() {
+        // event_record never emits version 0, but the simulator is a
+        // public API: a hand-built trace may record version 0 and then
+        // wait on it. Both cores must agree on what that means.
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let job = job1(vec![
+            ev(1, kernel(4096), 1.0),
+            ev(
+                1,
+                DeviceOp::EventRecord {
+                    event: 5,
+                    version: 0,
+                },
+                1.0,
+            ),
+            ev(
+                0,
+                DeviceOp::StreamWaitEvent {
+                    event: 5,
+                    version: 0,
+                },
+                1.0,
+            ),
+            ev(0, kernel(4096), 1.0),
+            ev(
+                0,
+                DeviceOp::EventSynchronize {
+                    event: 5,
+                    version: 0,
+                },
+                1.0,
+            ),
+        ]);
+        let dense = simulate(&job, &c, &oracle).unwrap();
+        let reference = crate::reference::simulate_reference(&job, &c, &oracle).unwrap();
+        assert_eq!(dense, reference);
     }
 }

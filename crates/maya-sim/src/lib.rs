@@ -18,7 +18,8 @@
 //! Durations come from a pluggable [`maya_estimator::RuntimeEstimator`].
 
 pub mod engine;
+pub mod reference;
 pub mod report;
 
-pub use engine::{simulate, SimError, Simulator};
+pub use engine::{simulate, SimError, SimScratch, Simulator};
 pub use report::SimReport;

@@ -4,7 +4,7 @@ use maya_trace::SimTime;
 
 /// What a simulation run reports (Figure 5's "Simulation Report":
 /// batch time, communication time, peak memory usage).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimReport {
     /// End-to-end traced-region time (max over ranks).
     pub total_time: SimTime,

@@ -1,0 +1,250 @@
+//! Property-based correctness proofs for the optimized sim core.
+//!
+//! Three properties over randomized multi-rank traces:
+//!
+//! 1. **Determinism** — `simulate()` twice on the same inputs yields
+//!    byte-identical `SimReport`s (compared through the serialized
+//!    wire form, not just `PartialEq`).
+//! 2. **Scratch transparency** — a reused [`SimScratch`] arena, even
+//!    one dirtied by differently-shaped prior runs, yields reports
+//!    byte-identical to fresh-state runs.
+//! 3. **Reference equivalence** — the dense-slot core matches the
+//!    frozen pre-optimization core in [`maya_sim::reference`] exactly,
+//!    including `events_processed` (same event schedule, not just the
+//!    same answer) and including error cases (deadlocks).
+
+use std::collections::BTreeMap;
+
+use maya_estimator::OracleEstimator;
+use maya_hw::ClusterSpec;
+use maya_sim::engine::{simulate, SimScratch, Simulator};
+use maya_sim::reference::simulate_reference;
+use maya_trace::{
+    CollectiveDesc, CollectiveKind, DeviceOp, Dtype, JobTrace, KernelKind, MemcpyKind, SimTime,
+    StreamId, TraceEvent, WorkerTrace,
+};
+use proptest::prelude::*;
+
+/// One step of the trace generator, to be lowered per rank.
+#[derive(Clone, Debug)]
+enum Step {
+    Kernel { stream: u8, m: u64 },
+    Memcpy { stream: u8, bytes: u64, sync: bool },
+    Record { stream: u8, event: u8, version: u8 },
+    WaitEvent { stream: u8, event: u8, version: u8 },
+    EventSync { event: u8, version: u8 },
+    StreamSync { stream: u8 },
+    DeviceSync,
+    AllReduce { bytes: u64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u8..3, 256u64..4096).prop_map(|(stream, m)| Step::Kernel { stream, m }),
+        2 => (0u8..3, 1024u64..(1 << 20), any::<bool>())
+            .prop_map(|(stream, bytes, sync)| Step::Memcpy { stream, bytes, sync }),
+        2 => (0u8..3, 0u8..4, 0u8..3)
+            .prop_map(|(stream, event, version)| Step::Record { stream, event, version }),
+        2 => (0u8..3, 0u8..4, 0u8..3)
+            .prop_map(|(stream, event, version)| Step::WaitEvent { stream, event, version }),
+        1 => (0u8..4, 0u8..3).prop_map(|(event, version)| Step::EventSync { event, version }),
+        1 => (0u8..3).prop_map(|stream| Step::StreamSync { stream }),
+        1 => Just(Step::DeviceSync),
+        2 => (1024u64..(1 << 22)).prop_map(|bytes| Step::AllReduce { bytes }),
+    ]
+}
+
+/// Lowers the shared step list into one worker's event stream.
+///
+/// Waits and event-syncs are made safe against deadlock by only ever
+/// waiting on versions at-or-below the latest recorded version for the
+/// event *earlier in the program* (CUDA's replay guarantee from the
+/// emulator), falling back to the never-recorded `version == 0` no-op
+/// otherwise. Collectives keep a per-rank shared sequence so all ranks
+/// rendezvous.
+fn lower(rank: u32, nranks: u32, steps: &[Step]) -> WorkerTrace {
+    let mut w = WorkerTrace::new(rank);
+    // Versions actually recorded per event (strictly increasing, may
+    // have gaps); waits must target one of these or the v0 no-op.
+    let mut recorded: BTreeMap<u8, Vec<u32>> = BTreeMap::new();
+    let mut coll_seq = 0u32;
+    let ev = |stream: u8, op: DeviceOp| TraceEvent {
+        stream: StreamId(stream as u32),
+        op,
+        host_delay: SimTime::from_us(1.0),
+    };
+    for s in steps {
+        match *s {
+            Step::Kernel { stream, m } => {
+                // Perturb work per rank so ranks finish at skewed times.
+                let m = m + (rank as u64) * 128;
+                w.events.push(ev(
+                    stream,
+                    DeviceOp::KernelLaunch {
+                        kernel: KernelKind::Gemm {
+                            m,
+                            n: 512,
+                            k: 512,
+                            dtype: Dtype::Bf16,
+                        },
+                    },
+                ));
+            }
+            Step::Memcpy {
+                stream,
+                bytes,
+                sync,
+            } => {
+                w.events.push(ev(
+                    stream,
+                    DeviceOp::MemcpyAsync {
+                        bytes,
+                        kind: MemcpyKind::HostToDevice,
+                        sync,
+                    },
+                ));
+            }
+            Step::Record {
+                stream,
+                event,
+                version,
+            } => {
+                let last = recorded.get(&event).and_then(|v| v.last().copied());
+                let next = version as u32 + 1 + last.unwrap_or(0);
+                recorded.entry(event).or_default().push(next);
+                w.events.push(ev(
+                    stream,
+                    DeviceOp::EventRecord {
+                        event: event as u64,
+                        version: next,
+                    },
+                ));
+            }
+            Step::WaitEvent {
+                stream,
+                event,
+                version,
+            } => {
+                let version = match recorded.get(&event) {
+                    Some(vs) if !vs.is_empty() => vs[version as usize % vs.len()],
+                    _ => 0,
+                };
+                w.events.push(ev(
+                    stream,
+                    DeviceOp::StreamWaitEvent {
+                        event: event as u64,
+                        version,
+                    },
+                ));
+            }
+            Step::EventSync { event, version } => {
+                let version = match recorded.get(&event) {
+                    Some(vs) if !vs.is_empty() => vs[version as usize % vs.len()],
+                    _ => 0,
+                };
+                w.events.push(ev(
+                    0,
+                    DeviceOp::EventSynchronize {
+                        event: event as u64,
+                        version,
+                    },
+                ));
+            }
+            Step::StreamSync { stream } => {
+                w.events.push(ev(stream, DeviceOp::StreamSynchronize));
+            }
+            Step::DeviceSync => w.events.push(ev(0, DeviceOp::DeviceSynchronize)),
+            Step::AllReduce { bytes } => {
+                w.events.push(ev(
+                    0,
+                    DeviceOp::Collective {
+                        desc: CollectiveDesc {
+                            kind: CollectiveKind::AllReduce,
+                            comm_id: 42,
+                            seq: coll_seq,
+                            bytes,
+                            nranks,
+                            rank_in_comm: rank,
+                        },
+                    },
+                ));
+                coll_seq += 1;
+            }
+        }
+    }
+    // Drain so collectives finish before the trace ends.
+    w.events.push(ev(0, DeviceOp::DeviceSynchronize));
+    w
+}
+
+fn job(nranks: u32, steps: &[Step]) -> JobTrace {
+    let mut comm_groups = BTreeMap::new();
+    comm_groups.insert(42u64, (0..nranks).collect());
+    JobTrace {
+        nranks,
+        workers: (0..nranks).map(|r| lower(r, nranks, steps)).collect(),
+        comm_groups,
+    }
+}
+
+fn bytes_of(r: &maya_sim::SimReport) -> String {
+    serde::to_string(r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `simulate()` is a pure function: run twice, byte-identical.
+    #[test]
+    fn simulate_is_deterministic(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        nranks in 1u32..4,
+    ) {
+        let c = ClusterSpec::h100(1, 4);
+        let oracle = OracleEstimator::new(&c);
+        let j = job(nranks, &steps);
+        let a = simulate(&j, &c, &oracle).unwrap();
+        let b = simulate(&j, &c, &oracle).unwrap();
+        prop_assert_eq!(bytes_of(&a), bytes_of(&b));
+    }
+
+    /// Fresh scratch vs a reused, dirtied scratch: byte-identical.
+    #[test]
+    fn scratch_reuse_is_transparent(
+        steps_a in proptest::collection::vec(step_strategy(), 1..40),
+        steps_b in proptest::collection::vec(step_strategy(), 1..40),
+        nranks in 1u32..4,
+    ) {
+        let c = ClusterSpec::h100(1, 4);
+        let oracle = OracleEstimator::new(&c);
+        let sim = Simulator::new(&oracle, &c);
+        let mut scratch = SimScratch::new();
+        // Dirty the arena with a differently-shaped job first.
+        let _ = sim.run_with_scratch(&job(nranks, &steps_a), &mut scratch);
+        let j = job(nranks, &steps_b);
+        let reused = sim.run_with_scratch(&j, &mut scratch).unwrap();
+        let fresh = sim.run(&j).unwrap();
+        prop_assert_eq!(bytes_of(&reused), bytes_of(&fresh));
+        // The prevalidated fast path is the same simulation.
+        let pre = sim.run_prevalidated(&j, &mut scratch).unwrap();
+        prop_assert_eq!(bytes_of(&pre), bytes_of(&fresh));
+    }
+
+    /// The dense-slot core is event-for-event equivalent to the frozen
+    /// pre-optimization core.
+    #[test]
+    fn dense_core_matches_reference(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        nranks in 1u32..4,
+    ) {
+        let c = ClusterSpec::h100(1, 4);
+        let oracle = OracleEstimator::new(&c);
+        let j = job(nranks, &steps);
+        match (simulate(&j, &c, &oracle), simulate_reference(&j, &c, &oracle)) {
+            (Ok(dense), Ok(reference)) => {
+                prop_assert_eq!(bytes_of(&dense), bytes_of(&reference));
+            }
+            (dense, reference) => prop_assert_eq!(dense, reference),
+        }
+    }
+}

@@ -17,14 +17,14 @@
 //! to keep speculative batched trials faithful to serial order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use maya_collate::{collate, dedup_classes, reduce_job, unique_megatron_ranks};
 use maya_cuda::{CudaContext, CudaError};
 use maya_estimator::{CacheStats, CachingEstimator, RuntimeEstimator};
 use maya_hw::{GroundTruthExecutor, Measurement};
-use maya_sim::simulate;
+use maya_sim::{SimError, SimScratch, Simulator};
 use maya_torchlet::{FrameworkFlavor, RankTopology, TrainingJob};
 use maya_trace::{JobTrace, WorkerTrace};
 
@@ -45,6 +45,12 @@ pub struct PredictionEngine {
     spec: EmulationSpec,
     base: Arc<dyn RuntimeEstimator>,
     cache: Arc<CachingEstimator>,
+    /// Pool of reusable simulator arenas. Every simulate call checks
+    /// one out (or starts fresh) and returns it afterwards, so repeated
+    /// predictions — a search loop, a serving worker, each thread of a
+    /// `predict_batch` fan-out — amortize the sim's allocations. The
+    /// pool never exceeds the engine's peak simulate concurrency.
+    scratch_pool: Mutex<Vec<SimScratch>>,
 }
 
 impl PredictionEngine {
@@ -67,7 +73,24 @@ impl PredictionEngine {
             spec,
             base: Arc::clone(cache.inner()),
             cache,
+            scratch_pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Runs `f` with a pooled simulator arena checked out for the call.
+    fn with_sim_scratch<R>(&self, f: impl FnOnce(&mut SimScratch) -> R) -> R {
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut scratch);
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool lock")
+            .push(scratch);
+        out
     }
 
     /// The emulation spec in use.
@@ -248,7 +271,15 @@ impl PredictionEngine {
     }
 
     /// Predicts from an already-collated job trace.
+    ///
+    /// The trace is validated exactly once, here at the boundary; the
+    /// rest of the pipeline (dedup, estimation warm pass, simulation)
+    /// runs on the prevalidated fast path, so an invalid trace fails
+    /// fast before any stage spends time on it.
     pub fn predict_trace(&self, job_trace: JobTrace) -> Result<Prediction, MayaError> {
+        job_trace
+            .validate()
+            .map_err(|m| MayaError::from(SimError::InvalidTrace(m)))?;
         self.predict_trace_inner(job_trace, std::time::Duration::ZERO)
     }
 
@@ -297,8 +328,15 @@ impl PredictionEngine {
         }
         let estimation = t2.elapsed();
 
+        // Every trace reaching this point is already valid: collate
+        // validates its output, `predict_trace` validates caller input,
+        // and `reduce_job` preserves validity (asserted by its tests).
+        // Skipping re-validation here is what makes a search loop pay
+        // the O(events) structural check once instead of per trial.
         let t3 = Instant::now();
-        let report = simulate(&reduced, &self.spec.cluster, est)?;
+        let report = self.with_sim_scratch(|scratch| {
+            Simulator::new(est, &self.spec.cluster).run_prevalidated(&reduced, scratch)
+        })?;
         let simulation = t3.elapsed();
 
         Ok(Prediction {
@@ -588,6 +626,42 @@ mod tests {
                 a.as_ref().unwrap().iteration_time(),
                 b.as_ref().unwrap().iteration_time()
             );
+        }
+    }
+
+    #[test]
+    fn invalid_trace_fails_fast_in_predict_trace() {
+        // predict_trace is the one entry point taking a caller-built
+        // JobTrace; it must validate exactly once at the boundary and
+        // reject before any pipeline stage spends time.
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
+        let bad = JobTrace {
+            nranks: 1,
+            workers: vec![WorkerTrace::new(5)], // rank 5 out of range
+            comm_groups: std::collections::BTreeMap::new(),
+        };
+        let err = maya.engine().predict_trace(bad).unwrap_err();
+        assert!(
+            matches!(err, MayaError::Sim(SimError::InvalidTrace(_))),
+            "{err:?}"
+        );
+        assert_eq!(
+            maya.engine().cache_stats().misses,
+            0,
+            "invalid trace must fail before the estimation warm pass"
+        );
+    }
+
+    #[test]
+    fn valid_trace_predicts_through_scratch_pool() {
+        // Same collated trace predicted repeatedly: the pooled scratch
+        // path must return identical reports every time.
+        let maya = MayaBuilder::new(ClusterSpec::h100(1, 1)).build().unwrap();
+        let j = job(1, ParallelConfig::default(), 8);
+        let baseline = maya.predict_job(&j).unwrap().iteration_time();
+        for _ in 0..3 {
+            let p = maya.predict_job(&j).unwrap();
+            assert_eq!(p.iteration_time(), baseline);
         }
     }
 

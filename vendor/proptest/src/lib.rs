@@ -3,8 +3,10 @@
 //! Implements the subset of the proptest 1.x API this workspace's
 //! property tests use: the [`proptest!`] macro (with an optional
 //! `#![proptest_config(...)]` header), range strategies over integers
-//! and floats, [`any`], [`collection::vec`], and the
-//! `prop_assert!`/`prop_assert_eq!` assertion forms.
+//! and floats, [`any`], [`strategy::Just`], tuple strategies,
+//! `prop_map`, the [`prop_oneof!`] union macro, [`collection::vec`]
+//! (fixed or ranged length), and the `prop_assert!`/`prop_assert_eq!`
+//! assertion forms.
 //!
 //! Each generated test runs its body over `cases` deterministic samples
 //! (default 256) drawn from an RNG seeded by the test's name, so
@@ -56,6 +58,111 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// One type-erased arm of a [`OneOf`] union.
+    type OneOfArm<V> = Box<dyn Fn(&mut StdRng) -> V>;
+
+    /// Weighted union of same-valued strategies (see [`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        arms: Vec<(u32, OneOfArm<V>)>,
+        total: u32,
+    }
+
+    impl<V> OneOf<V> {
+        /// An empty union; [`OneOf::with`] adds arms.
+        pub fn new() -> Self {
+            OneOf {
+                arms: Vec::new(),
+                total: 0,
+            }
+        }
+
+        /// Adds an arm drawn with probability `weight / total_weight`.
+        pub fn with<S>(mut self, weight: u32, strat: S) -> Self
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.total += weight;
+            self.arms
+                .push((weight, Box::new(move |rng| strat.sample(rng))));
+            self
+        }
+    }
+
+    impl<V> Default for OneOf<V> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut StdRng) -> V {
+            assert!(self.total > 0, "prop_oneof! needs at least one arm");
+            let mut pick = Rng::gen_range(rng, 0..self.total);
+            for (weight, draw) in &self.arms {
+                if pick < *weight {
+                    return draw(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to total")
+        }
     }
 
     macro_rules! impl_range_strategy {
@@ -116,31 +223,77 @@ pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
 pub mod collection {
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
+    use rand::Rng;
 
-    /// Strategy for fixed-length vectors of an element strategy.
-    pub struct VecStrategy<S> {
-        elem: S,
-        len: usize,
+    /// Length specification for [`vec()`]: a fixed `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
     }
 
-    /// `len` samples of `elem` per case.
-    pub fn vec<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { elem, len }
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                lo: len,
+                hi: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(!r.is_empty(), "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// `len` samples of `elem` per case (fixed or ranged length).
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut StdRng) -> Self::Value {
-            (0..self.len).map(|_| self.elem.sample(rng)).collect()
+            let n = rng.gen_range(self.len.lo..self.len.hi);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
         }
     }
 }
 
 /// Everything the tests import.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Weighted (or unweighted) union of strategies producing one value
+/// type, as in proptest's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new()
+            $( .with($weight, $strat) )+
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new()
+            $( .with(1, $strat) )+
+    };
 }
 
 /// Property-test harness macro: expands each contained function into a
