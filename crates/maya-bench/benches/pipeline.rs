@@ -90,7 +90,7 @@ fn simulation(c: &mut Criterion) {
 
 fn end_to_end(c: &mut Criterion) {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = MayaBuilder::new(cluster)
+    let maya = MayaBuilder::new(cluster.clone())
         .selective_launch(true)
         .build()
         .expect("builds");

@@ -59,7 +59,7 @@ fn search_modes(c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(4);
     let cluster = ClusterSpec::h100(1, 8);
-    let sequential = MayaBuilder::new(cluster).build().expect("builds");
+    let sequential = MayaBuilder::new(cluster.clone()).build().expect("builds");
     let batched = MayaBuilder::new(cluster)
         .emulation_threads(threads)
         .build()

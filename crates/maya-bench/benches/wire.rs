@@ -41,7 +41,7 @@ fn bench_wire(c: &mut Criterion) {
     let cluster = ClusterSpec::h100(1, 1);
     let service = Arc::new(
         MayaService::builder()
-            .target("h100-1", EmulationSpec::new(cluster))
+            .target("h100-1", EmulationSpec::new(cluster.clone()))
             .workers(2)
             .build()
             .expect("service"),

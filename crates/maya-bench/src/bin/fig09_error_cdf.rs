@@ -7,7 +7,7 @@ use maya_bench::{config_budget, print_series, quantile, Scenario};
 fn main() {
     let budget = config_budget(36);
     let setups = Scenario::headline();
-    for scenario in [setups[0], setups[3]] {
+    for scenario in [setups[0].clone(), setups[3].clone()] {
         eprintln!("[fig09] evaluating {}...", scenario.name);
         let evals = evaluate_scenario(&scenario, budget, 3000);
         let ranked = ranked_completions(&evals);

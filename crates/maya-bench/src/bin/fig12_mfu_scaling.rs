@@ -21,7 +21,7 @@ fn main() {
             continue;
         }
         let cluster = ClusterSpec::h100(world / 8, 8);
-        let maya = MayaBuilder::new(cluster)
+        let maya = MayaBuilder::new(cluster.clone())
             .selective_launch(true)
             .build()
             .expect("builds");

@@ -18,7 +18,7 @@ fn main() {
     for dp in [16u32, 32, 64, 128, 256] {
         let world = 8 * 8 * dp; // 1K .. 16K GPUs
         let cluster = ClusterSpec::h100(world / 8, 8);
-        let maya = MayaBuilder::new(cluster)
+        let maya = MayaBuilder::new(cluster.clone())
             .selective_launch(true)
             .build()
             .expect("builds");
@@ -49,7 +49,7 @@ fn main() {
         // At feasible sizes, also run with all optimizations off to show
         // the full-simulation cost the paper's Fig. 13 is dominated by.
         let full = if world <= 1024 {
-            let no_opt = MayaBuilder::new(cluster)
+            let no_opt = MayaBuilder::new(cluster.clone())
                 .without_optimizations()
                 .build()
                 .expect("builds");

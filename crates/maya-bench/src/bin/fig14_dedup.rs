@@ -42,7 +42,7 @@ fn main() {
             iterations: 1,
         };
         eprintln!("[fig14] {}...", label);
-        let no_opt = MayaBuilder::new(cluster)
+        let no_opt = MayaBuilder::new(cluster.clone())
             .without_optimizations()
             .build()
             .expect("builds");
@@ -50,7 +50,7 @@ fn main() {
         let p_no = no_opt.predict_job(&job).expect("runs");
         let without = t0.elapsed();
 
-        let with_dedup = MayaBuilder::new(cluster)
+        let with_dedup = MayaBuilder::new(cluster.clone())
             .selective_launch(true)
             .build()
             .expect("builds");

@@ -6,7 +6,7 @@ use maya_bench::{print_series, Scenario};
 use maya_search::{AlgorithmKind, Objective, TrialScheduler};
 
 fn main() {
-    let scenario = Scenario::headline()[0]; // GPT3-2.7B 8xV100
+    let scenario = Scenario::headline()[0].clone(); // GPT3-2.7B 8xV100
     eprintln!("[fig16] setup: {}", scenario.name);
     let maya = scenario.maya_oracle();
     let objective = Objective::new(maya.engine(), scenario.template());

@@ -46,8 +46,12 @@ fn fixture_job(world: u32, parallel: ParallelConfig, global_batch: u32) -> Train
     }
 }
 
-/// The three sim-core scenarios share one collated 8-rank trace,
-/// validated exactly once (the hoisted-validation serving path).
+/// The sim-core scenarios share one collated 8-rank trace, validated
+/// exactly once (the hoisted-validation serving path). `net_contended`
+/// re-runs the same trace on a topology-carrying cluster so concurrent
+/// collectives compete for link bandwidth through the max-min fair
+/// flow model — the cost of contention-aware simulation relative to
+/// `sim_dense_scratch`.
 fn sim_scenarios(smoke: bool) -> Vec<ScenarioResult> {
     let cluster = ClusterSpec::h100(1, 8);
     let world = 8;
@@ -83,7 +87,20 @@ fn sim_scenarios(smoke: bool) -> Vec<ScenarioResult> {
     let reference = measure("sim_reference", "events/sec", iters, events, || {
         simulate_reference(&trace, &cluster, &oracle).expect("simulates");
     });
-    vec![dense_scratch, dense_fresh, reference]
+
+    let contended_cluster = cluster.clone().with_default_topology();
+    let sim_net = Simulator::new(&oracle, &contended_cluster);
+    let mut net_scratch = SimScratch::new();
+    sim_net
+        .run_with_scratch(&trace, &mut net_scratch)
+        .expect("warmup");
+    let net_contended = measure("net_contended", "events/sec", iters, events, || {
+        sim_net
+            .run_prevalidated(&trace, &mut net_scratch)
+            .expect("simulates");
+    });
+
+    vec![dense_scratch, dense_fresh, reference, net_contended]
 }
 
 /// Batched prediction through `predict_batch`: cold (every job a shape
@@ -92,7 +109,7 @@ fn sim_scenarios(smoke: bool) -> Vec<ScenarioResult> {
 fn predict_scenarios(smoke: bool) -> Vec<ScenarioResult> {
     let cluster = ClusterSpec::h100(1, 2);
     let world = cluster.num_gpus();
-    let maya = MayaBuilder::new(cluster)
+    let maya = MayaBuilder::new(cluster.clone())
         .selective_launch(true)
         .build()
         .expect("builds");
@@ -147,7 +164,7 @@ fn search_scenarios(smoke: bool) -> Vec<ScenarioResult> {
     let budget = if smoke { 6 } else { 48 };
     let runs = if smoke { 1 } else { 5 };
     let run_search = |batched: bool| -> usize {
-        let maya = MayaBuilder::new(cluster)
+        let maya = MayaBuilder::new(cluster.clone())
             .selective_launch(true)
             .build()
             .expect("builds");

@@ -88,7 +88,7 @@ fn main() {
     println!();
     let maya = Scenario {
         name: "probe",
-        cluster,
+        cluster: cluster.clone(),
         model: ModelSpec::gpt3_18_4b(),
         global_batch: 256,
         precision: Dtype::Bf16,

@@ -54,12 +54,12 @@ fn accumulate(
 }
 
 fn main() {
-    let scenario = Scenario::headline()[2]; // 32xH100
+    let scenario = Scenario::headline()[2].clone(); // 32xH100
     eprintln!("[tab06] optimized search...");
     let opt_maya = scenario.maya_oracle();
     let (opt_stage, opt_wall, opt_exec) = accumulate(&opt_maya, &scenario, true);
     eprintln!("[tab06] unoptimized search (capped grid)...");
-    let no_maya = MayaBuilder::new(scenario.cluster)
+    let no_maya = MayaBuilder::new(scenario.cluster.clone())
         .without_optimizations()
         .build()
         .expect("builds");

@@ -21,7 +21,7 @@ use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::{Dtype, SimTime};
 
 /// One evaluation scenario (hardware + model + batch), as in §7.1.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Display name ("GPT3 2.7B - 8xV100").
     pub name: &'static str,
@@ -88,7 +88,7 @@ impl Scenario {
     /// Builder pre-configured for this scenario (dedup + selective
     /// launch on); chain estimator/thread knobs per binary.
     pub fn builder(&self) -> MayaBuilder {
-        MayaBuilder::new(self.cluster).selective_launch(true)
+        MayaBuilder::new(self.cluster.clone()).selective_launch(true)
     }
 
     /// A Maya instance with the trained forest estimator for this

@@ -18,7 +18,7 @@ use std::time::Instant;
 /// layout or the required scenario set changes, and regenerate the
 /// committed artifact under the new name (`BENCH_<version>.json`); it
 /// never decreases (see `schema_version_is_monotonic`).
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Value of the report's `schema` discriminator field.
 pub const SCHEMA_NAME: &str = "maya-perf-report";
@@ -30,6 +30,7 @@ pub const REQUIRED_SCENARIOS: &[&str] = &[
     "sim_dense_scratch",
     "sim_dense_fresh",
     "sim_reference",
+    "net_contended",
     "predict_cold",
     "predict_warm",
     "search_sequential",

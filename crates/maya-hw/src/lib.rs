@@ -27,10 +27,15 @@ pub mod kernel_model;
 pub mod mfu;
 pub mod net_model;
 pub mod noise;
+pub mod power;
+pub mod serdes;
 pub mod specs;
+pub mod topology;
 
 pub use executor::{ExecError, GroundTruthExecutor, Measurement};
 pub use kernel_model::GroundTruthKernelModel;
 pub use mfu::{model_flops_per_iteration, ModelFlopsSpec};
 pub use net_model::GroundTruthNetModel;
+pub use power::PowerModel;
 pub use specs::{ClusterSpec, GpuArch, GpuSpec, LinkSpec};
+pub use topology::{HeteroPool, NetLink, RankClass, TopologySpec};

@@ -1,0 +1,126 @@
+//! Per-generation power model for cost-weighted objectives.
+//!
+//! Turns a simulated iteration into an energy bill: each GPU draws
+//! between its generation's idle and busy wattage depending on how much
+//! of the iteration it spent working, and the datacenter multiplies the
+//! draw by its PUE and electricity price. `maya-search` combines this
+//! with the existing gpu-hour rental cost to form the
+//! `CostWeighted` objective.
+
+use crate::specs::{ClusterSpec, GpuArch};
+
+/// Electricity pricing for a deployment.
+///
+/// Equality and hashing compare float bit patterns (see
+/// [`crate::GpuSpec`]).
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct PowerModel {
+    /// Electricity price in dollars per kWh.
+    pub dollars_per_kwh: f64,
+    /// Power usage effectiveness: total facility draw over IT draw
+    /// (cooling, conversion losses). 1.0 means a perfect facility.
+    pub pue: f64,
+}
+
+impl PowerModel {
+    /// A typical hyperscale datacenter: $0.12/kWh at PUE 1.25.
+    pub fn datacenter() -> Self {
+        PowerModel {
+            dollars_per_kwh: 0.12,
+            pue: 1.25,
+        }
+    }
+
+    /// Board power (watts) of a generation under sustained load (TDP).
+    pub fn busy_watts(arch: GpuArch) -> f64 {
+        match arch {
+            GpuArch::Volta => 300.0,
+            GpuArch::Ampere => 400.0,
+            GpuArch::Hopper => 700.0,
+        }
+    }
+
+    /// Board power (watts) of an idle generation.
+    pub fn idle_watts(arch: GpuArch) -> f64 {
+        match arch {
+            GpuArch::Volta => 50.0,
+            GpuArch::Ampere => 60.0,
+            GpuArch::Hopper => 80.0,
+        }
+    }
+
+    /// Energy cost in dollars for `world` ranks of `cluster` running
+    /// one iteration of `iteration_secs`, each busy for
+    /// `busy_fraction` of it (clamped to `[0, 1]`). Heterogeneous
+    /// pools bill each rank at its own generation's wattage.
+    pub fn energy_dollars(
+        &self,
+        cluster: &ClusterSpec,
+        world: u32,
+        iteration_secs: f64,
+        busy_fraction: f64,
+    ) -> f64 {
+        let busy = busy_fraction.clamp(0.0, 1.0);
+        let mut watts = 0.0;
+        for rank in 0..world {
+            let arch = cluster.gpu_at(rank).arch;
+            let idle = Self::idle_watts(arch);
+            watts += idle + (Self::busy_watts(arch) - idle) * busy;
+        }
+        let kwh = watts * iteration_secs / 3600.0 / 1000.0;
+        kwh * self.pue * self.dollars_per_kwh
+    }
+
+    fn key(&self) -> [u64; 2] {
+        let Self {
+            dollars_per_kwh,
+            pue,
+        } = self;
+        [dollars_per_kwh.to_bits(), pue.to_bits()]
+    }
+}
+
+impl PartialEq for PowerModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for PowerModel {}
+
+impl std::hash::Hash for PowerModel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::GpuSpec;
+    use crate::topology::{HeteroPool, RankClass};
+
+    #[test]
+    fn busier_iterations_cost_more() {
+        let cluster = ClusterSpec::h100(1, 8);
+        let power = PowerModel::datacenter();
+        let lo = power.energy_dollars(&cluster, 8, 1.0, 0.2);
+        let hi = power.energy_dollars(&cluster, 8, 1.0, 0.9);
+        assert!(hi > lo);
+        assert!(lo > 0.0);
+    }
+
+    #[test]
+    fn hetero_ranks_bill_their_own_generation() {
+        let hetero = HeteroPool::new(vec![RankClass {
+            gpu: GpuSpec::v100(),
+            count: 8,
+        }]);
+        let h100 = ClusterSpec::h100(1, 8);
+        let mixed = ClusterSpec::h100(1, 8).with_hetero(hetero);
+        let power = PowerModel::datacenter();
+        let full = power.energy_dollars(&h100, 8, 1.0, 1.0);
+        let volta = power.energy_dollars(&mixed, 8, 1.0, 1.0);
+        assert!(volta < full, "V100 ranks draw less than H100 ranks");
+    }
+}

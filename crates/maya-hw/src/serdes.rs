@@ -1,0 +1,337 @@
+//! Compact-token codecs for the hardware spec types.
+//!
+//! Hand-written `serde::Serialize`/`Deserialize` impls over the
+//! vendored whitespace token format (see `vendor/serde`), so cluster
+//! specs — including the opt-in topology and heterogeneous-pool fields
+//! — can cross the wire bit-exactly. Floats encode as IEEE-754 bit
+//! patterns; round trips are lossless.
+//!
+//! Version skew: the topology/hetero fields are a v4 wire addition.
+//! [`decode_cluster_spec`] takes the negotiated protocol version and
+//! defaults both to `None` for v3-and-older bodies, so old clients
+//! keep working against new servers.
+
+use serde::{compact, Deserialize, Reader, Serialize, Writer};
+
+use crate::power::PowerModel;
+use crate::specs::{ClusterSpec, GpuArch, GpuSpec, LinkSpec};
+use crate::topology::{HeteroPool, NetLink, RankClass, TopologySpec};
+
+/// First protocol version that carries the topology/hetero spec tail.
+pub const SPEC_TAIL_VERSION: u16 = 4;
+
+impl Serialize for GpuArch {
+    fn serialize(&self, w: &mut Writer) {
+        w.tag(match self {
+            GpuArch::Volta => "volta",
+            GpuArch::Ampere => "ampere",
+            GpuArch::Hopper => "hopper",
+        });
+    }
+}
+
+impl<'de> Deserialize<'de> for GpuArch {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        match r.raw_token()? {
+            "volta" => Ok(GpuArch::Volta),
+            "ampere" => Ok(GpuArch::Ampere),
+            "hopper" => Ok(GpuArch::Hopper),
+            t => Err(compact::Error::parse(t, "gpu arch (volta|ampere|hopper)")),
+        }
+    }
+}
+
+/// Resolves a decoded GPU name to a `&'static str`: preset names map to
+/// the existing statics; anything else is leaked once (GPU names are a
+/// tiny closed set in practice, so the leak is bounded).
+fn static_gpu_name(name: String) -> &'static str {
+    match name.as_str() {
+        "V100" => "V100",
+        "H100" => "H100",
+        "A40" => "A40",
+        "A100" => "A100",
+        _ => Box::leak(name.into_boxed_str()),
+    }
+}
+
+impl Serialize for GpuSpec {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            name,
+            arch,
+            fp32_tflops,
+            tensor_tflops,
+            mem_gib,
+            mem_bw_gbps,
+            pcie_bw_gbps,
+            sm_count,
+            kernel_floor_us,
+            supports_bf16,
+        } = self;
+        name.serialize(w);
+        arch.serialize(w);
+        fp32_tflops.serialize(w);
+        tensor_tflops.serialize(w);
+        mem_gib.serialize(w);
+        mem_bw_gbps.serialize(w);
+        pcie_bw_gbps.serialize(w);
+        sm_count.serialize(w);
+        kernel_floor_us.serialize(w);
+        supports_bf16.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for GpuSpec {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(GpuSpec {
+            name: static_gpu_name(String::deserialize(r)?),
+            arch: GpuArch::deserialize(r)?,
+            fp32_tflops: f64::deserialize(r)?,
+            tensor_tflops: f64::deserialize(r)?,
+            mem_gib: f64::deserialize(r)?,
+            mem_bw_gbps: f64::deserialize(r)?,
+            pcie_bw_gbps: f64::deserialize(r)?,
+            sm_count: u32::deserialize(r)?,
+            kernel_floor_us: f64::deserialize(r)?,
+            supports_bf16: bool::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for LinkSpec {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            bw_gbps,
+            latency_us,
+            half_ramp_bytes,
+        } = self;
+        bw_gbps.serialize(w);
+        latency_us.serialize(w);
+        half_ramp_bytes.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for LinkSpec {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(LinkSpec {
+            bw_gbps: f64::deserialize(r)?,
+            latency_us: f64::deserialize(r)?,
+            half_ramp_bytes: f64::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for NetLink {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            bw_gbps,
+            latency_us,
+        } = self;
+        bw_gbps.serialize(w);
+        latency_us.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for NetLink {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(NetLink {
+            bw_gbps: f64::deserialize(r)?,
+            latency_us: f64::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for TopologySpec {
+    fn serialize(&self, w: &mut Writer) {
+        let Self { links } = self;
+        links.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for TopologySpec {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(TopologySpec {
+            links: Vec::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for RankClass {
+    fn serialize(&self, w: &mut Writer) {
+        let Self { gpu, count } = self;
+        gpu.serialize(w);
+        count.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for RankClass {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(RankClass {
+            gpu: GpuSpec::deserialize(r)?,
+            count: u32::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for HeteroPool {
+    fn serialize(&self, w: &mut Writer) {
+        let Self { classes } = self;
+        classes.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for HeteroPool {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(HeteroPool {
+            classes: Vec::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for PowerModel {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            dollars_per_kwh,
+            pue,
+        } = self;
+        dollars_per_kwh.serialize(w);
+        pue.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for PowerModel {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(PowerModel {
+            dollars_per_kwh: f64::deserialize(r)?,
+            pue: f64::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for ClusterSpec {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            gpu,
+            gpus_per_node,
+            num_nodes,
+            intra_link,
+            inter_link,
+            dollars_per_gpu_hour,
+            topology,
+            hetero,
+        } = self;
+        gpu.serialize(w);
+        gpus_per_node.serialize(w);
+        num_nodes.serialize(w);
+        intra_link.serialize(w);
+        inter_link.serialize(w);
+        dollars_per_gpu_hour.serialize(w);
+        topology.serialize(w);
+        hetero.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for ClusterSpec {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        decode_cluster_spec(r, SPEC_TAIL_VERSION)
+    }
+}
+
+/// Decodes a [`ClusterSpec`] body produced by protocol `version`:
+/// versions before [`SPEC_TAIL_VERSION`] never wrote the
+/// topology/hetero tail, so both default to `None` (old-client skew).
+pub fn decode_cluster_spec(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<ClusterSpec, compact::Error> {
+    let gpu = GpuSpec::deserialize(r)?;
+    let gpus_per_node = u32::deserialize(r)?;
+    let num_nodes = u32::deserialize(r)?;
+    let intra_link = LinkSpec::deserialize(r)?;
+    let inter_link = LinkSpec::deserialize(r)?;
+    let dollars_per_gpu_hour = f64::deserialize(r)?;
+    let (topology, hetero) = if version >= SPEC_TAIL_VERSION {
+        (Option::deserialize(r)?, Option::deserialize(r)?)
+    } else {
+        (None, None)
+    };
+    Ok(ClusterSpec {
+        gpu,
+        gpus_per_node,
+        num_nodes,
+        intra_link,
+        inter_link,
+        dollars_per_gpu_hour,
+        topology,
+        hetero,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T>(v: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        serde::from_str(&serde::to_string(v)).expect("round trip")
+    }
+
+    #[test]
+    fn plain_cluster_round_trips() {
+        for spec in [
+            ClusterSpec::h100(2, 8),
+            ClusterSpec::v100(1, 4),
+            ClusterSpec::a40(1, 8),
+            ClusterSpec::a100(4, 8),
+        ] {
+            assert_eq!(round_trip(&spec), spec);
+        }
+    }
+
+    #[test]
+    fn imperfect_cluster_round_trips() {
+        let spec = ClusterSpec::h100(2, 8)
+            .with_default_topology()
+            .with_hetero(HeteroPool::new(vec![RankClass {
+                gpu: GpuSpec::a100(),
+                count: 8,
+            }]));
+        assert_eq!(round_trip(&spec), spec);
+    }
+
+    #[test]
+    fn power_model_round_trips() {
+        let p = PowerModel::datacenter();
+        assert_eq!(round_trip(&p), p);
+    }
+
+    #[test]
+    fn v3_body_decodes_without_the_tail() {
+        // A v3 writer serialized only the six base fields.
+        let spec = ClusterSpec::h100(1, 8);
+        let mut w = Writer::new();
+        spec.gpu.serialize(&mut w);
+        spec.gpus_per_node.serialize(&mut w);
+        spec.num_nodes.serialize(&mut w);
+        spec.intra_link.serialize(&mut w);
+        spec.inter_link.serialize(&mut w);
+        spec.dollars_per_gpu_hour.serialize(&mut w);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        let decoded = decode_cluster_spec(&mut r, 3).expect("v3 decode");
+        r.end().expect("no trailing tokens");
+        assert_eq!(decoded, spec);
+        assert!(decoded.topology.is_none());
+        assert!(decoded.hetero.is_none());
+    }
+
+    #[test]
+    fn unknown_gpu_name_survives() {
+        let mut spec = GpuSpec::h100();
+        spec.name = "H200";
+        // The decoded name is a leaked copy; equality is by value.
+        assert_eq!(round_trip(&spec), spec);
+    }
+}

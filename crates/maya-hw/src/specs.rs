@@ -6,6 +6,8 @@
 
 use maya_trace::Dtype;
 
+use crate::topology::{HeteroPool, NetLink, TopologySpec};
+
 /// GPU micro-architecture generation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
 pub enum GpuArch {
@@ -164,13 +166,14 @@ impl LinkSpec {
     }
 }
 
-/// A full training cluster: homogeneous GPUs in equal-size nodes.
+/// A full training cluster: GPUs in equal-size nodes, homogeneous by
+/// default with opt-in imperfections.
 ///
 /// Equality and hashing compare float bit patterns (see [`GpuSpec`]),
 /// making the type usable as a registry key.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct ClusterSpec {
-    /// Per-GPU description.
+    /// Per-GPU description (the *base* GPU when [`Self::hetero`] is set).
     pub gpu: GpuSpec,
     /// GPUs per host node.
     pub gpus_per_node: u32,
@@ -183,6 +186,14 @@ pub struct ClusterSpec {
     /// Hourly price of one GPU in dollars (used for cost objectives;
     /// roughly Azure's on-demand pricing per the paper's cost framing).
     pub dollars_per_gpu_hour: f64,
+    /// Opt-in shared-bandwidth link topology: when set, concurrent
+    /// collectives compete for link capacity under max-min fairness
+    /// (the `maya-net` flow model). `None` keeps the contention-free
+    /// per-collective bandwidth model, byte for byte.
+    pub topology: Option<TopologySpec>,
+    /// Opt-in heterogeneous rank pool: mixed GPU generations with
+    /// per-rank kernel scaling. `None` means every rank is `gpu`.
+    pub hetero: Option<HeteroPool>,
 }
 
 impl ClusterSpec {
@@ -207,6 +218,61 @@ impl ClusterSpec {
         }
     }
 
+    /// The GPU a global rank runs on: its heterogeneous class when a
+    /// pool covers it, the base [`Self::gpu`] otherwise.
+    pub fn gpu_at(&self, rank: u32) -> &GpuSpec {
+        self.hetero
+            .as_ref()
+            .and_then(|h| h.gpu_of(rank))
+            .unwrap_or(&self.gpu)
+    }
+
+    /// Kernel-duration multiplier for a rank relative to the base GPU
+    /// (1.0 when homogeneous — the default path never scales).
+    pub fn kernel_scale(&self, rank: u32) -> f64 {
+        match &self.hetero {
+            Some(h) => h.kernel_scale(&self.gpu, rank),
+            None => 1.0,
+        }
+    }
+
+    /// Opt into the shared-bandwidth flow model with an explicit
+    /// per-link topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Opt into the flow model with a topology derived from the
+    /// cluster's own link specs: every node gets an intra-node fabric
+    /// link at `intra_link` bandwidth and an uplink at `inter_link`
+    /// bandwidth (see [`TopologySpec`] for the layout).
+    pub fn with_default_topology(self) -> Self {
+        let topology = self.default_topology();
+        self.with_topology(topology)
+    }
+
+    /// The symmetric topology [`Self::with_default_topology`] installs.
+    pub fn default_topology(&self) -> TopologySpec {
+        TopologySpec::symmetric(
+            self.num_nodes,
+            NetLink {
+                bw_gbps: self.intra_link.bw_gbps,
+                latency_us: self.intra_link.latency_us,
+            },
+            NetLink {
+                bw_gbps: self.inter_link.bw_gbps,
+                latency_us: self.inter_link.latency_us,
+            },
+        )
+    }
+
+    /// Opt into a heterogeneous rank pool (mixed GPU generations).
+    pub fn with_hetero(mut self, hetero: HeteroPool) -> Self {
+        self.hetero = Some(hetero);
+        self
+    }
+
     /// DGX-V100 cluster (NVLink cube-mesh, 100 Gbps InfiniBand).
     pub fn v100(num_nodes: u32, gpus_per_node: u32) -> Self {
         ClusterSpec {
@@ -224,6 +290,8 @@ impl ClusterSpec {
                 half_ramp_bytes: 3.2e7,
             },
             dollars_per_gpu_hour: 3.06,
+            topology: None,
+            hetero: None,
         }
     }
 
@@ -244,6 +312,8 @@ impl ClusterSpec {
                 half_ramp_bytes: 6.4e7,
             },
             dollars_per_gpu_hour: 12.29,
+            topology: None,
+            hetero: None,
         }
     }
 
@@ -265,6 +335,8 @@ impl ClusterSpec {
                 half_ramp_bytes: 3.2e7,
             },
             dollars_per_gpu_hour: 1.28,
+            topology: None,
+            hetero: None,
         }
     }
 
@@ -285,6 +357,8 @@ impl ClusterSpec {
                 half_ramp_bytes: 4.8e7,
             },
             dollars_per_gpu_hour: 4.10,
+            topology: None,
+            hetero: None,
         }
     }
 }
@@ -373,7 +447,18 @@ impl std::hash::Hash for LinkSpec {
 
 impl ClusterSpec {
     #[allow(clippy::type_complexity)]
-    fn key(&self) -> (GpuSpec, u32, u32, LinkSpec, LinkSpec, u64) {
+    fn key(
+        &self,
+    ) -> (
+        GpuSpec,
+        u32,
+        u32,
+        LinkSpec,
+        LinkSpec,
+        u64,
+        &Option<TopologySpec>,
+        &Option<HeteroPool>,
+    ) {
         let Self {
             gpu,
             gpus_per_node,
@@ -381,6 +466,8 @@ impl ClusterSpec {
             intra_link,
             inter_link,
             dollars_per_gpu_hour,
+            topology,
+            hetero,
         } = self;
         (
             *gpu,
@@ -389,6 +476,8 @@ impl ClusterSpec {
             *intra_link,
             *inter_link,
             dollars_per_gpu_hour.to_bits(),
+            topology,
+            hetero,
         )
     }
 }
@@ -472,5 +561,42 @@ mod tests {
         let mut tweaked = ClusterSpec::h100(1, 8);
         tweaked.inter_link.bw_gbps += 1.0;
         assert!(set.insert(tweaked), "link params are part of the key");
+        assert!(
+            set.insert(ClusterSpec::h100(1, 8).with_default_topology()),
+            "topology is part of the key"
+        );
+        assert!(
+            set.insert(ClusterSpec::h100(1, 8).with_hetero(HeteroPool::new(vec![
+                crate::topology::RankClass {
+                    gpu: GpuSpec::a100(),
+                    count: 4,
+                }
+            ]))),
+            "hetero pool is part of the key"
+        );
+    }
+
+    #[test]
+    fn gpu_at_follows_the_hetero_pool() {
+        let c = ClusterSpec::h100(1, 4).with_hetero(HeteroPool::new(vec![
+            crate::topology::RankClass {
+                gpu: GpuSpec::v100(),
+                count: 2,
+            },
+        ]));
+        assert_eq!(c.gpu_at(0).name, "V100");
+        assert_eq!(c.gpu_at(2).name, "H100", "uncovered ranks use the base GPU");
+        assert!(c.kernel_scale(1) > 1.0);
+        assert!((c.kernel_scale(3) - 1.0).abs() < 1e-12);
+        assert!((ClusterSpec::h100(1, 4).kernel_scale(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_topology_mirrors_link_specs() {
+        let c = ClusterSpec::h100(2, 8);
+        let t = c.default_topology();
+        assert_eq!(t.num_nodes(), 2);
+        assert!((t.links[0].bw_gbps - c.intra_link.bw_gbps).abs() < 1e-12);
+        assert!((t.links[1].bw_gbps - c.inter_link.bw_gbps).abs() < 1e-12);
     }
 }

@@ -1,0 +1,213 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* during a simulated
+//! iteration: straggler windows (a rank's kernels run slower for a
+//! while — thermal throttling, a noisy neighbor) and rank failures at
+//! a point in time with a checkpoint/restart cost. The simulator
+//! replays the plan as first-class events, so predictions stay exact
+//! and reproducible: the same plan always yields the same report.
+//!
+//! Plans are either hand-written or drawn from a seed with
+//! [`FaultPlan::generate`] — a splitmix64 stream, so a `(seed, world,
+//! horizon)` triple names one concrete fault schedule forever.
+
+use maya_trace::SimTime;
+
+/// A window during which one rank's kernels run `slowdown`× slower.
+///
+/// Equality and hashing compare the slowdown's bit pattern (plans are
+/// configuration, never NaN).
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct StragglerWindow {
+    /// The affected global rank.
+    pub rank: u32,
+    /// Window start (kernels *issued* at or after this instant slow down).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Duration multiplier for affected kernels; must be ≥ 1.
+    pub slowdown: f64,
+}
+
+impl StragglerWindow {
+    fn key(&self) -> (u32, SimTime, SimTime, u64) {
+        let Self {
+            rank,
+            start,
+            end,
+            slowdown,
+        } = self;
+        (*rank, *start, *end, slowdown.to_bits())
+    }
+}
+
+impl PartialEq for StragglerWindow {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for StragglerWindow {}
+
+impl std::hash::Hash for StragglerWindow {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+/// One rank failing at `at`, recovering after `restart_cost` (reload
+/// the checkpoint, rejoin the collective group). The simulator stalls
+/// the rank's host and streams for the restart window; everyone else
+/// catches the stall at their next collective with that rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct RankFailure {
+    /// The failing global rank.
+    pub rank: u32,
+    /// Failure instant.
+    pub at: SimTime,
+    /// Checkpoint-restore + rejoin cost added to the rank's timeline.
+    pub restart_cost: SimTime,
+}
+
+/// A full fault schedule for one simulated run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct FaultPlan {
+    /// Seed this plan was drawn from (0 for hand-written plans);
+    /// recorded so reports can name their fault schedule.
+    pub seed: u64,
+    /// Straggler slowdown windows.
+    pub stragglers: Vec<StragglerWindow>,
+    /// Rank failures with restart costs.
+    pub failures: Vec<RankFailure>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a splitmix64 output.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// Draws a deterministic plan for `world` ranks over a simulated
+    /// `horizon`: one straggler window per ~8 ranks (1.5–4× slowdown)
+    /// and one rank failure past the midpoint with a restart cost of
+    /// 5–15% of the horizon. The same `(seed, world, horizon)` always
+    /// yields the same plan.
+    pub fn generate(seed: u64, world: u32, horizon: SimTime) -> FaultPlan {
+        let mut state = seed ^ 0xd1b54a32d192ed03;
+        let h = horizon.as_ns().max(1);
+        let mut stragglers = Vec::new();
+        let n_windows = (world as usize).div_ceil(8);
+        for _ in 0..n_windows {
+            let rank = (splitmix64(&mut state) % world as u64) as u32;
+            let start = (unit(&mut state) * 0.6 * h as f64) as u64;
+            let len = ((0.1 + 0.3 * unit(&mut state)) * h as f64) as u64;
+            stragglers.push(StragglerWindow {
+                rank,
+                start: SimTime::from_ns(start),
+                end: SimTime::from_ns(start.saturating_add(len.max(1))),
+                slowdown: 1.5 + 2.5 * unit(&mut state),
+            });
+        }
+        let rank = (splitmix64(&mut state) % world as u64) as u32;
+        let at = ((0.5 + 0.4 * unit(&mut state)) * h as f64) as u64;
+        let restart = ((0.05 + 0.10 * unit(&mut state)) * h as f64) as u64;
+        let failures = vec![RankFailure {
+            rank,
+            at: SimTime::from_ns(at.max(1)),
+            restart_cost: SimTime::from_ns(restart.max(1)),
+        }];
+        FaultPlan {
+            seed,
+            stragglers,
+            failures,
+        }
+    }
+
+    /// Whether the plan injects nothing (treated as "no faults": the
+    /// simulator normalizes empty plans away to keep the default path
+    /// byte-identical).
+    pub fn is_empty(&self) -> bool {
+        self.stragglers.is_empty() && self.failures.is_empty()
+    }
+
+    /// Combined slowdown multiplier for a kernel issued on `rank` at
+    /// `at` (product of all covering windows; 1.0 when none apply).
+    pub fn slowdown(&self, rank: u32, at: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for w in &self.stragglers {
+            if w.rank == rank && at >= w.start && at < w.end {
+                factor *= w.slowdown.max(1.0);
+            }
+        }
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let horizon = SimTime::from_ms(100.0);
+        let a = FaultPlan::generate(7, 16, horizon);
+        let b = FaultPlan::generate(7, 16, horizon);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, 16, horizon);
+        assert_ne!(a, c, "different seeds draw different plans");
+    }
+
+    #[test]
+    fn generated_plans_are_well_formed() {
+        let horizon = SimTime::from_ms(100.0);
+        for seed in 0..20 {
+            let p = FaultPlan::generate(seed, 8, horizon);
+            assert!(!p.is_empty());
+            for w in &p.stragglers {
+                assert!(w.rank < 8);
+                assert!(w.end > w.start);
+                assert!(w.slowdown >= 1.5);
+            }
+            for f in &p.failures {
+                assert!(f.rank < 8);
+                assert!(f.at > SimTime::ZERO);
+                assert!(f.restart_cost > SimTime::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_applies_inside_the_window_only() {
+        let plan = FaultPlan {
+            seed: 0,
+            stragglers: vec![StragglerWindow {
+                rank: 2,
+                start: SimTime::from_ns(100),
+                end: SimTime::from_ns(200),
+                slowdown: 3.0,
+            }],
+            failures: vec![],
+        };
+        assert_eq!(plan.slowdown(2, SimTime::from_ns(150)), 3.0);
+        assert_eq!(plan.slowdown(2, SimTime::from_ns(99)), 1.0);
+        assert_eq!(
+            plan.slowdown(2, SimTime::from_ns(200)),
+            1.0,
+            "end exclusive"
+        );
+        assert_eq!(plan.slowdown(1, SimTime::from_ns(150)), 1.0, "other rank");
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+    }
+}

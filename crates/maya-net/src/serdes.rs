@@ -1,0 +1,102 @@
+//! Compact-token codecs for fault-plan types.
+//!
+//! Same vendored-serde token format as the rest of the workspace
+//! (floats as bit patterns, sequences length-prefixed); round trips
+//! are bit-exact. `SimTime`'s codec comes from `maya-trace`.
+
+use serde::{compact, Deserialize, Reader, Serialize, Writer};
+
+use crate::fault::{FaultPlan, RankFailure, StragglerWindow};
+
+impl Serialize for StragglerWindow {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            rank,
+            start,
+            end,
+            slowdown,
+        } = self;
+        rank.serialize(w);
+        start.serialize(w);
+        end.serialize(w);
+        slowdown.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for StragglerWindow {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(StragglerWindow {
+            rank: u32::deserialize(r)?,
+            start: Deserialize::deserialize(r)?,
+            end: Deserialize::deserialize(r)?,
+            slowdown: f64::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for RankFailure {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            rank,
+            at,
+            restart_cost,
+        } = self;
+        rank.serialize(w);
+        at.serialize(w);
+        restart_cost.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for RankFailure {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(RankFailure {
+            rank: u32::deserialize(r)?,
+            at: Deserialize::deserialize(r)?,
+            restart_cost: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn serialize(&self, w: &mut Writer) {
+        let Self {
+            seed,
+            stragglers,
+            failures,
+        } = self;
+        seed.serialize(w);
+        stragglers.serialize(w);
+        failures.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for FaultPlan {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(FaultPlan {
+            seed: u64::deserialize(r)?,
+            stragglers: Vec::deserialize(r)?,
+            failures: Vec::deserialize(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_trace::SimTime;
+
+    #[test]
+    fn fault_plan_round_trips() {
+        let plan = FaultPlan::generate(42, 16, SimTime::from_ms(250.0));
+        let text = serde::to_string(&plan);
+        let back: FaultPlan = serde::from_str(&text).expect("round trip");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = FaultPlan::default();
+        let back: FaultPlan = serde::from_str(&serde::to_string(&plan)).expect("round trip");
+        assert_eq!(back, plan);
+    }
+}

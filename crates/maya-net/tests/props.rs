@@ -1,0 +1,127 @@
+//! Property-based proofs of the flow model's fairness invariants.
+//!
+//! Over randomized link topologies and start/finish sequences:
+//!
+//! 1. **Capacity conservation** — on every link, at every event, the
+//!    rates of the active flows crossing it sum to at most the link's
+//!    capacity.
+//! 2. **Work conservation** — every active flow is bottlenecked
+//!    somewhere: at least one link on its route is fully allocated
+//!    (otherwise max-min fairness would owe the flow a raise).
+//! 3. **Determinism** — replaying an identical op sequence yields
+//!    bit-identical rate assignments at every step.
+
+use maya_net::FlowNet;
+use proptest::prelude::*;
+
+/// One step of a flow-model session.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Start a flow over the links selected by `mask` (lowest bits).
+    Start { bytes: u32, mask: u8 },
+    /// Finish the `pick % active`-th oldest active flow.
+    Finish { pick: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u32..10_000_000, 1u8..255).prop_map(|(bytes, mask)| Op::Start { bytes, mask }),
+        2 => (0u8..255).prop_map(|pick| Op::Finish { pick }),
+    ]
+}
+
+fn route_from_mask(mask: u8, num_links: usize) -> Vec<u32> {
+    let mut route: Vec<u32> = (0..num_links as u32)
+        .filter(|l| mask & (1 << l) != 0)
+        .collect();
+    if route.is_empty() {
+        route.push((mask as u32) % num_links as u32);
+    }
+    route
+}
+
+/// Applies the ops, checking invariants after every convergence, and
+/// returns the rate-bit trace for the determinism check.
+fn run_session(caps: &[f64], ops: &[Op], check: bool) -> Vec<Vec<u64>> {
+    let mut net = FlowNet::new();
+    net.reset(caps.iter().copied());
+    let mut active: Vec<u32> = Vec::new();
+    let mut now: u64 = 0;
+    let mut trace = Vec::new();
+    for op in ops {
+        now += 1_000_000; // 1 ms per step, strictly monotonic
+        match *op {
+            Op::Start { bytes, mask } => {
+                let route = route_from_mask(mask, caps.len());
+                let id = net.start(now, bytes as f64, &route);
+                active.push(id);
+            }
+            Op::Finish { pick } => {
+                if active.is_empty() {
+                    continue;
+                }
+                let idx = pick as usize % active.len();
+                let id = active.remove(idx);
+                net.finish(now, id);
+            }
+        }
+        if check {
+            check_invariants(&net, caps);
+        }
+        trace.push(active.iter().map(|&f| net.rate_of(f).to_bits()).collect());
+    }
+    trace
+}
+
+fn check_invariants(net: &FlowNet, caps: &[f64]) {
+    // Capacity conservation: per-link allocated rate never exceeds
+    // capacity (modulo f64 rounding in the water-fill subtraction).
+    let mut allocated = vec![0.0f64; caps.len()];
+    for f in net.active_flows() {
+        for &l in net.links_of(f) {
+            allocated[l as usize] += net.rate_of(f);
+        }
+    }
+    for (l, (&alloc, &cap)) in allocated.iter().zip(caps).enumerate() {
+        assert!(
+            alloc <= cap * (1.0 + 1e-9) + 1e-9,
+            "link {l} over-allocated: {alloc} > {cap}"
+        );
+    }
+    // Work conservation: every active flow crosses at least one
+    // saturated link — its bottleneck.
+    for f in net.active_flows() {
+        let bottlenecked = net.links_of(f).iter().any(|&l| {
+            let cap = caps[l as usize];
+            allocated[l as usize] >= cap * (1.0 - 1e-9) - 1e-9
+        });
+        assert!(
+            bottlenecked,
+            "flow {f} (rate {}) has no saturated link on its route {:?}",
+            net.rate_of(f),
+            net.links_of(f)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn capacity_and_work_conservation(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        run_session(&caps, &ops, true);
+    }
+
+    #[test]
+    fn rate_assignment_is_deterministic(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let a = run_session(&caps, &ops, false);
+        let b = run_session(&caps, &ops, false);
+        prop_assert_eq!(a, b, "identical sessions diverged");
+    }
+}

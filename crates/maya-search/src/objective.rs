@@ -1,11 +1,28 @@
 //! Trial evaluation: one configuration through the full Maya pipeline.
 
 use maya::{PredictOutcome, PredictionEngine};
-use maya_hw::mfu;
+use maya_hw::{mfu, PowerModel};
 use maya_torchlet::TrainingJob;
 use maya_trace::SimTime;
 
 use crate::space::ConfigPoint;
+
+/// What a trial's `cost` measures — the quantity the scheduler
+/// minimizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ObjectiveKind {
+    /// GPU-hour dollars (proportional to iteration time for a fixed
+    /// world, so this is the classic time-minimizing search).
+    IterationTime,
+    /// GPU-hour dollars *plus* electricity: a per-generation power
+    /// model priced per kWh, scaled by how busy the iteration keeps
+    /// the devices. Old, cheap-per-hour GPUs stop looking free once
+    /// their longer iterations burn more energy.
+    CostWeighted {
+        /// Power/price model applied per rank generation.
+        power: PowerModel,
+    },
+}
 
 /// Result category of one trial.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -80,12 +97,32 @@ pub struct Objective<'a> {
     pub engine: &'a PredictionEngine,
     /// Job template; `parallel` is replaced per trial.
     pub template: TrainingJob,
+    kind: ObjectiveKind,
 }
 
 impl<'a> Objective<'a> {
-    /// Builds an objective over a prediction engine.
+    /// Builds a time-minimizing objective over a prediction engine.
     pub fn new(engine: &'a PredictionEngine, template: TrainingJob) -> Self {
-        Objective { engine, template }
+        Objective {
+            engine,
+            template,
+            kind: ObjectiveKind::IterationTime,
+        }
+    }
+
+    /// Builds a cost-weighted objective: trials are ranked by GPU-hour
+    /// dollars plus modeled electricity (per-generation draw under
+    /// `power`), so a slower-but-thriftier config can win.
+    pub fn cost_weighted(
+        engine: &'a PredictionEngine,
+        template: TrainingJob,
+        power: PowerModel,
+    ) -> Self {
+        Objective {
+            engine,
+            template,
+            kind: ObjectiveKind::CostWeighted { power },
+        }
     }
 
     /// The job for a given point.
@@ -162,13 +199,25 @@ impl<'a> Objective<'a> {
                 PredictOutcome::OutOfMemory { .. } => TrialOutcome::Oom,
                 PredictOutcome::Completed(report) => {
                     let t = report.total_time;
+                    let cluster = &self.engine.spec().cluster;
                     let m = job
                         .flops_spec()
-                        .map(|s| mfu::mfu(&s, t.as_secs_f64(), &self.engine.spec().cluster))
+                        .map(|s| mfu::mfu(&s, t.as_secs_f64(), cluster))
                         .unwrap_or(0.0);
-                    let cost = t.as_secs_f64() / 3600.0
-                        * self.engine.spec().cluster.dollars_per_gpu_hour
-                        * job.world as f64;
+                    let secs = t.as_secs_f64();
+                    let mut cost = secs / 3600.0 * cluster.dollars_per_gpu_hour * job.world as f64;
+                    if let ObjectiveKind::CostWeighted { power } = self.kind {
+                        // Device busy fraction on the busiest rank — a
+                        // deliberate over-estimate (idle ranks are
+                        // cheaper), keeping the energy term simple and
+                        // monotone in iteration time.
+                        let busy = if secs > 0.0 {
+                            (report.compute_time + report.comm_time).as_secs_f64() / secs
+                        } else {
+                            0.0
+                        };
+                        cost += power.energy_dollars(cluster, job.world, secs, busy);
+                    }
                     TrialOutcome::Completed {
                         iteration_time: t,
                         mfu: m,
@@ -275,6 +324,28 @@ mod tests {
         }
         assert_eq!(batch[2], TrialOutcome::Invalid);
         assert_eq!(batch[1], batch[4]);
+    }
+
+    #[test]
+    fn cost_weighted_adds_a_positive_energy_term() {
+        let (maya, template) = objective_fixture();
+        let plain = Objective::new(maya.engine(), template);
+        let weighted = Objective::cost_weighted(maya.engine(), template, PowerModel::datacenter());
+        let config = ParallelConfig {
+            tp: 2,
+            ..Default::default()
+        };
+        let (a, b) = (plain.evaluate(&config), weighted.evaluate(&config));
+        // Same prediction underneath: identical time and MFU.
+        assert_eq!(a.time(), b.time());
+        assert_eq!(a.mfu(), b.mfu());
+        // The energy term strictly raises the cost.
+        let (TrialOutcome::Completed { cost: ca, .. }, TrialOutcome::Completed { cost: cb, .. }) =
+            (a, b)
+        else {
+            panic!("both should complete: {a:?} {b:?}");
+        };
+        assert!(cb > ca, "weighted {cb} <= plain {ca}");
     }
 
     #[test]

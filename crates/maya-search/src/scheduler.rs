@@ -820,7 +820,7 @@ mod tests {
     #[test]
     fn batched_search_identical_to_sequential() {
         let cluster = ClusterSpec::h100(1, 4);
-        let seq_maya = MayaBuilder::new(cluster).build().unwrap();
+        let seq_maya = MayaBuilder::new(cluster.clone()).build().unwrap();
         let par_maya = MayaBuilder::new(cluster)
             .emulation_threads(4)
             .build()
@@ -848,7 +848,7 @@ mod tests {
     #[test]
     fn batched_grid_identical_to_sequential_grid() {
         let cluster = ClusterSpec::h100(1, 4);
-        let seq_maya = MayaBuilder::new(cluster).build().unwrap();
+        let seq_maya = MayaBuilder::new(cluster.clone()).build().unwrap();
         let par_maya = MayaBuilder::new(cluster)
             .emulation_threads(4)
             .build()
@@ -869,7 +869,7 @@ mod tests {
     #[test]
     fn batched_early_stop_fires_at_the_same_trial() {
         let cluster = ClusterSpec::h100(1, 4);
-        let seq_maya = MayaBuilder::new(cluster).build().unwrap();
+        let seq_maya = MayaBuilder::new(cluster.clone()).build().unwrap();
         let par_maya = MayaBuilder::new(cluster)
             .emulation_threads(4)
             .build()
@@ -983,7 +983,7 @@ mod tests {
         let cluster = ClusterSpec::h100(1, 4);
         let template = fixture().1;
         // Reference: the full, uncancelled run.
-        let ref_maya = MayaBuilder::new(cluster).build().unwrap();
+        let ref_maya = MayaBuilder::new(cluster.clone()).build().unwrap();
         let ref_obj = Objective::new(ref_maya.engine(), template);
         let full = TrialScheduler::new(&ref_obj).with_space(small_space()).run(
             AlgorithmKind::Random,
@@ -994,7 +994,7 @@ mod tests {
 
         for n in [1usize, 5, 11] {
             for batched in [false, true] {
-                let maya = MayaBuilder::new(cluster)
+                let maya = MayaBuilder::new(cluster.clone())
                     .emulation_threads(4)
                     .build()
                     .unwrap();

@@ -112,7 +112,7 @@ mod tests {
     fn equal_spec_targets_share_one_cache() {
         let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
         let service = MayaService::builder()
-            .target("tenant-a", spec)
+            .target("tenant-a", spec.clone())
             .target("tenant-b", spec)
             .workers(2)
             .build()
@@ -139,7 +139,7 @@ mod tests {
     fn same_cluster_knob_variants_share_the_memo_but_not_the_engine() {
         let base = EmulationSpec::new(ClusterSpec::h100(1, 2));
         let service = MayaService::builder()
-            .target("plain", base)
+            .target("plain", base.clone())
             .target("no-dedup", base.with_dedup(false))
             .build()
             .unwrap();
@@ -201,7 +201,7 @@ mod tests {
         let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
 
         let first = MayaService::builder()
-            .target("h100-2", spec)
+            .target("h100-2", spec.clone())
             .snapshot_dir(&dir)
             .build()
             .unwrap();
@@ -257,7 +257,7 @@ mod tests {
         let spec = EmulationSpec::new(ClusterSpec::h100(1, 1));
 
         let warm = MayaService::builder()
-            .target("node", spec)
+            .target("node", spec.clone())
             .snapshot_dir(&dir)
             .build()
             .unwrap();
@@ -377,8 +377,8 @@ mod tests {
 
         // One cluster (even via several targets): fine.
         assert!(MayaService::builder()
-            .target("a", EmulationSpec::new(h100))
-            .target("b", EmulationSpec::new(h100).with_dedup(false))
+            .target("a", EmulationSpec::new(h100.clone()))
+            .target("b", EmulationSpec::new(h100.clone()).with_dedup(false))
             .estimator(fixed.clone())
             .build()
             .is_ok());
@@ -386,7 +386,7 @@ mod tests {
         // Two distinct clusters: the fixed instance would silently
         // serve H100 timings for the A40 — rejected at build.
         let err = MayaService::builder()
-            .target("h100", EmulationSpec::new(h100))
+            .target("h100", EmulationSpec::new(h100.clone()))
             .target("a40", EmulationSpec::new(ClusterSpec::a40(1, 2)))
             .estimator(fixed)
             .build()
@@ -429,7 +429,7 @@ mod tests {
         ));
         assert!(matches!(
             MayaService::builder()
-                .target("x", spec)
+                .target("x", spec.clone())
                 .target("x", spec)
                 .build()
                 .err(),
@@ -536,7 +536,10 @@ mod tests {
     fn cancel_mid_search_returns_the_deterministic_committed_prefix() {
         let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
         // Reference: the same search, uncancelled, on a fresh service.
-        let reference = MayaService::builder().target("t", spec).build().unwrap();
+        let reference = MayaService::builder()
+            .target("t", spec.clone())
+            .build()
+            .unwrap();
         let full = reference.call(search("t", 2, 30)).unwrap();
         let full = full.search().unwrap();
 
@@ -1121,7 +1124,10 @@ mod tests {
         // byte-for-byte the answers of an unconfigured service: the
         // scheduler reorders and sheds, it never changes results.
         let spec = EmulationSpec::new(ClusterSpec::h100(1, 2));
-        let plain = MayaService::builder().target("t", spec).build().unwrap();
+        let plain = MayaService::builder()
+            .target("t", spec.clone())
+            .build()
+            .unwrap();
         let qos = MayaService::builder()
             .target("t", spec)
             .tenant_max_queued(8)

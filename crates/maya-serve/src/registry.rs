@@ -79,7 +79,7 @@ impl EngineRegistry {
     pub fn cache(&self, cluster: &ClusterSpec) -> Arc<CachingEstimator> {
         let cell = {
             let mut caches = self.caches.lock().unwrap_or_else(|p| p.into_inner());
-            Arc::clone(caches.entry(*cluster).or_default())
+            Arc::clone(caches.entry(cluster.clone()).or_default())
         };
         Arc::clone(cell.get_or_init(|| {
             self.estimator_builds.fetch_add(1, Ordering::Relaxed);
@@ -96,12 +96,12 @@ impl EngineRegistry {
     pub fn engine(&self, spec: &EmulationSpec) -> Arc<PredictionEngine> {
         let cell = {
             let mut engines = self.engines.lock().unwrap_or_else(|p| p.into_inner());
-            Arc::clone(engines.entry(*spec).or_default())
+            Arc::clone(engines.entry(spec.clone()).or_default())
         };
         Arc::clone(cell.get_or_init(|| {
             self.engine_builds.fetch_add(1, Ordering::Relaxed);
             Arc::new(PredictionEngine::with_shared_cache(
-                *spec,
+                spec.clone(),
                 self.cache(&spec.cluster),
             ))
         }))
@@ -129,7 +129,7 @@ impl EngineRegistry {
         engines
             .iter()
             .filter(|(_, c)| c.get().is_some())
-            .map(|(s, _)| *s)
+            .map(|(s, _)| s.clone())
             .collect()
     }
 }
@@ -154,8 +154,8 @@ mod tests {
         let reg = EngineRegistry::new(EstimatorChoice::Oracle);
         let base = EmulationSpec::new(ClusterSpec::h100(1, 2));
         let a = reg.engine(&base);
-        let b = reg.engine(&base.with_selective_launch(true));
-        let c = reg.engine(&base.with_emulation_threads(4));
+        let b = reg.engine(&base.clone().with_selective_launch(true));
+        let c = reg.engine(&base.clone().with_emulation_threads(4));
         assert!(!Arc::ptr_eq(&a, &b), "distinct specs, distinct engines");
         assert!(
             Arc::ptr_eq(a.cache(), b.cache()) && Arc::ptr_eq(a.cache(), c.cache()),
@@ -189,6 +189,7 @@ mod tests {
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     let reg = Arc::clone(&reg);
+                    let spec = spec.clone();
                     s.spawn(move || reg.engine(&spec))
                 })
                 .collect();

@@ -217,6 +217,41 @@ impl<'de> Deserialize<'de> for TenantStats {
     }
 }
 
+/// Whole-service counters with the per-tenant roll-up, for scraping a
+/// deployment's state over the wire. Field order is the struct's
+/// declaration order.
+impl Serialize for crate::service::ServiceStats {
+    fn serialize(&self, w: &mut compact::Writer) {
+        self.served.serialize(w);
+        self.cancelled.serialize(w);
+        self.expired.serialize(w);
+        self.quota_shed.serialize(w);
+        self.panicked.serialize(w);
+        self.progress_coalesced.serialize(w);
+        self.engines_built.serialize(w);
+        self.workers.serialize(w);
+        self.queue_capacity.serialize(w);
+        self.tenants.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for crate::service::ServiceStats {
+    fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(crate::service::ServiceStats {
+            served: Deserialize::deserialize(r)?,
+            cancelled: Deserialize::deserialize(r)?,
+            expired: Deserialize::deserialize(r)?,
+            quota_shed: Deserialize::deserialize(r)?,
+            panicked: Deserialize::deserialize(r)?,
+            progress_coalesced: Deserialize::deserialize(r)?,
+            engines_built: Deserialize::deserialize(r)?,
+            workers: Deserialize::deserialize(r)?,
+            queue_capacity: Deserialize::deserialize(r)?,
+            tenants: Deserialize::deserialize(r)?,
+        })
+    }
+}
+
 impl Serialize for MeasureOutcome {
     fn serialize(&self, w: &mut compact::Writer) {
         match self {
@@ -406,6 +441,94 @@ mod tests {
         let empty: TenantStats =
             serde::from_str(&serde::to_string(&TenantStats::default())).unwrap();
         assert_eq!(empty, TenantStats::default());
+    }
+
+    fn service_stats_fixture() -> crate::service::ServiceStats {
+        use std::time::Duration;
+        crate::service::ServiceStats {
+            served: 42,
+            cancelled: 3,
+            expired: 1,
+            quota_shed: 7,
+            panicked: 0,
+            progress_coalesced: 12,
+            engines_built: 2,
+            workers: 4,
+            queue_capacity: 64,
+            tenants: vec![
+                TenantStats {
+                    tenant: "alpha".into(),
+                    queued: 1,
+                    in_flight: 1,
+                    admitted: 30,
+                    served: 28,
+                    quota_shed: 0,
+                    expired: 0,
+                    cancelled: 1,
+                    wait_samples: 30,
+                    queue_wait_p50: Duration::from_micros(150),
+                    queue_wait_p99: Duration::from_micros(9_500),
+                },
+                TenantStats {
+                    tenant: "beta \"quoted\"".into(),
+                    queued: 0,
+                    in_flight: 0,
+                    admitted: 12,
+                    served: 12,
+                    quota_shed: 7,
+                    expired: 1,
+                    cancelled: 2,
+                    wait_samples: 12,
+                    queue_wait_p50: Duration::from_micros(90),
+                    queue_wait_p99: Duration::from_millis(2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn service_stats_round_trip() {
+        let stats = service_stats_fixture();
+        let text = serde::to_string(&stats);
+        let back: crate::service::ServiceStats = serde::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(serde::to_string(&back), text);
+
+        let empty = crate::service::ServiceStats::default();
+        let back: crate::service::ServiceStats =
+            serde::from_str(&serde::to_string(&empty)).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn service_stats_json_carries_tenant_percentiles() {
+        let stats = service_stats_fixture();
+        let json = stats.to_json();
+        // Structurally balanced (JSON-syntax smoke test: the only
+        // braces/brackets outside strings are the ones we emit).
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            match c {
+                _ if esc => esc = false,
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced in {json}");
+        }
+        assert_eq!(depth, 0, "unbalanced in {json}");
+        // The percentile fields survive, in microseconds.
+        assert!(json.contains("\"queue_wait_p50_us\":150"), "{json}");
+        assert!(json.contains("\"queue_wait_p99_us\":9500"), "{json}");
+        assert!(json.contains("\"queue_wait_p99_us\":2000"), "{json}");
+        assert!(json.contains("\"tenant\":\"alpha\""), "{json}");
+        // The quoted tenant name is escaped.
+        assert!(json.contains("beta \\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"served\":42"), "{json}");
     }
 
     #[test]

@@ -215,7 +215,7 @@ impl ServiceBuilder {
         }
         if !self.estimator.is_cluster_aware() {
             let distinct: std::collections::HashSet<_> =
-                targets.values().map(|s| s.cluster).collect();
+                targets.values().map(|s| s.cluster.clone()).collect();
             if distinct.len() > 1 {
                 return Err(ServeError::CustomEstimatorSpansClusters);
             }
@@ -486,7 +486,7 @@ impl SearchObserver for ProgressForwarder {
         best: Option<&(ConfigPoint, TrialOutcome)>,
     ) {
         self.pending.push(*record);
-        self.best = best.copied();
+        self.best = best.cloned();
     }
 
     fn wave_committed(&mut self, committed: usize) {
@@ -529,8 +529,8 @@ fn execute(
     let queue_wait = enqueued.elapsed();
     let started = Instant::now();
     // Target existence was validated at submit.
-    let spec = shared.targets[req.target()];
-    let engine = shared.registry.engine(&spec);
+    let spec = &shared.targets[req.target()];
+    let engine = shared.registry.engine(spec);
     let cache_before = engine.cache_stats();
     let target = req.target().to_string();
     let kind = req.kind();
@@ -618,7 +618,7 @@ fn execute(
 pub type ResponseHandle = JobHandle;
 
 /// Point-in-time service counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests fully served (responses produced).
     pub served: u64,
@@ -658,6 +658,55 @@ impl ServiceStats {
     /// The counters of one named tenant, if it has been seen.
     pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
         self.tenants.iter().find(|t| t.tenant == name)
+    }
+
+    /// Renders the counters as a JSON object — service totals plus a
+    /// `tenants` array carrying each tenant's queue-wait percentiles
+    /// (µs, over the reservoir window) — so operators can scrape stats
+    /// without a JSON dependency.
+    pub fn to_json(&self) -> String {
+        use maya_trace::json::json_string;
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + 256 * self.tenants.len());
+        let _ = write!(
+            out,
+            "{{\"served\":{},\"cancelled\":{},\"expired\":{},\"quota_shed\":{},\
+             \"panicked\":{},\"progress_coalesced\":{},\"engines_built\":{},\
+             \"workers\":{},\"queue_capacity\":{},\"tenants\":[",
+            self.served,
+            self.cancelled,
+            self.expired,
+            self.quota_shed,
+            self.panicked,
+            self.progress_coalesced,
+            self.engines_built,
+            self.workers,
+            self.queue_capacity,
+        );
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":{},\"queued\":{},\"in_flight\":{},\"admitted\":{},\
+                 \"served\":{},\"quota_shed\":{},\"expired\":{},\"cancelled\":{},\
+                 \"wait_samples\":{},\"queue_wait_p50_us\":{},\"queue_wait_p99_us\":{}}}",
+                json_string(&t.tenant),
+                t.queued,
+                t.in_flight,
+                t.admitted,
+                t.served,
+                t.quota_shed,
+                t.expired,
+                t.cancelled,
+                t.wait_samples,
+                t.queue_wait_p50.as_micros(),
+                t.queue_wait_p99.as_micros(),
+            );
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -765,7 +814,7 @@ impl MayaService {
         self.shared
             .targets
             .get(target)
-            .copied()
+            .cloned()
             .ok_or_else(|| ServeError::UnknownTarget(target.to_string()))
     }
 

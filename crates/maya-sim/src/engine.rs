@@ -16,6 +16,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use maya_estimator::RuntimeEstimator;
 use maya_hw::ClusterSpec;
+use maya_net::{FaultPlan, FlowNet};
 use maya_trace::{
     CollectiveDesc, CollectiveKind, DeviceOp, JobTrace, SimTime, StreamId, WorkerTrace,
 };
@@ -231,6 +232,12 @@ enum EvKind {
     HostDispatch { wi: usize },
     /// A stream should attempt to make progress.
     Pump { wi: usize, si: usize },
+    /// A network flow drained its bytes (flow model only). Stale if
+    /// `epoch` no longer matches the flow net's convergence epoch —
+    /// every flow start/finish re-schedules fresh completions.
+    FlowDone { flow: u32, epoch: u32 },
+    /// Injected rank failure `fi` of the fault plan strikes worker `wi`.
+    Fault { wi: usize, fi: usize },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -261,6 +268,9 @@ impl Ord for HeapEv {
 pub struct Simulator<'a> {
     estimator: &'a dyn RuntimeEstimator,
     cluster: &'a ClusterSpec,
+    /// Fault-injection plan; `None` (the default) is the byte-identical
+    /// happy path. Set via [`Simulator::with_faults`].
+    faults: Option<&'a FaultPlan>,
 }
 
 /// Convenience entry point.
@@ -269,7 +279,12 @@ pub fn simulate(
     cluster: &ClusterSpec,
     estimator: &dyn RuntimeEstimator,
 ) -> Result<SimReport, SimError> {
-    Simulator { estimator, cluster }.run(job)
+    Simulator {
+        estimator,
+        cluster,
+        faults: None,
+    }
+    .run(job)
 }
 
 /// Reusable simulation arena: the heap, per-rank state, wait tables,
@@ -290,6 +305,25 @@ pub struct SimScratch {
     seq: u64,
     now: SimTime,
     events_processed: u64,
+    /// Shared-bandwidth flow model state (used only when the cluster
+    /// spec carries a topology; otherwise untouched).
+    net: FlowNet,
+    /// Per-flow bookkeeping, indexed by the net's flow id.
+    flow_meta: Vec<FlowMeta>,
+    /// Reusable buffer for re-scheduling flow completions.
+    flow_tmp: Vec<(u32, u64)>,
+}
+
+/// Simulator-side state of one in-flight collective flow.
+#[derive(Default)]
+struct FlowMeta {
+    /// Participant `(worker, stream)` pairs released on completion.
+    participants: Vec<(usize, usize)>,
+    /// Rendezvous completion time the collective started moving bytes.
+    start: SimTime,
+    /// Summed propagation latency of the flow's route, paid once on
+    /// top of the bandwidth term.
+    latency: SimTime,
 }
 
 impl SimScratch {
@@ -332,7 +366,19 @@ impl SimScratch {
 impl<'a> Simulator<'a> {
     /// Creates a simulator over a cluster with the given estimator.
     pub fn new(estimator: &'a dyn RuntimeEstimator, cluster: &'a ClusterSpec) -> Self {
-        Simulator { estimator, cluster }
+        Simulator {
+            estimator,
+            cluster,
+            faults: None,
+        }
+    }
+
+    /// Installs a fault-injection plan. Empty plans are normalized to
+    /// `None` so they cannot perturb the default path: a `Some(plan)`
+    /// that injects nothing is exactly the no-fault simulator.
+    pub fn with_faults(mut self, faults: Option<&'a FaultPlan>) -> Self {
+        self.faults = faults.filter(|p| !p.is_empty());
+        self
     }
 
     /// Runs the simulation (Algorithm 1's main loop) with a private
@@ -365,9 +411,22 @@ impl<'a> Simulator<'a> {
     ) -> Result<SimReport, SimError> {
         let st = scratch;
         st.reset(job);
+        if let Some(topo) = &self.cluster.topology {
+            st.net.reset(topo.links.iter().map(|l| l.bytes_per_sec()));
+            st.flow_meta.clear();
+        }
         let n = job.workers.len();
         for wi in 0..n {
             st.push(SimTime::ZERO, EvKind::HostDispatch { wi });
+        }
+        if let Some(plan) = self.faults {
+            // Failures on ranks absent from this (possibly deduped or
+            // selectively launched) job are simply never scheduled.
+            for (fi, f) in plan.failures.iter().enumerate() {
+                if let Some(wi) = job.workers.iter().position(|w| w.rank == f.rank) {
+                    st.push(f.at, EvKind::Fault { wi, fi });
+                }
+            }
         }
 
         while let Some(Reverse(ev)) = st.heap.pop() {
@@ -376,6 +435,8 @@ impl<'a> Simulator<'a> {
             match ev.kind {
                 EvKind::HostDispatch { wi } => self.host_dispatch(job, st, wi),
                 EvKind::Pump { wi, si } => self.pump(job, st, wi, si),
+                EvKind::FlowDone { flow, epoch } => self.flow_done(st, flow, epoch),
+                EvKind::Fault { wi, fi } => self.apply_fault(st, wi, fi),
             }
         }
 
@@ -450,6 +511,7 @@ impl<'a> Simulator<'a> {
                 DeviceOp::Malloc { .. } | DeviceOp::Free { .. } => {}
                 DeviceOp::KernelLaunch { kernel } => {
                     let dur = self.estimator.kernel_time(&kernel);
+                    let dur = self.scaled_kernel_time(job, wi, issue, dur);
                     self.enqueue(
                         st,
                         wi,
@@ -528,6 +590,38 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+    }
+
+    /// Applies per-rank condition state to an estimated kernel time:
+    /// heterogeneous-pool generation scaling and straggler windows
+    /// covering the issue instant. The estimator's shared memo stays
+    /// rank-agnostic — scaling happens after the cache, per issue.
+    /// Every scale is gated on `factor != 1.0` so the default
+    /// (homogeneous, no-fault) path returns `dur` untouched, bit for
+    /// bit.
+    #[inline]
+    fn scaled_kernel_time(
+        &self,
+        job: &JobTrace,
+        wi: usize,
+        issue: SimTime,
+        mut dur: SimTime,
+    ) -> SimTime {
+        if self.cluster.hetero.is_none() && self.faults.is_none() {
+            return dur;
+        }
+        let rank = job.workers[wi].rank;
+        let gen_scale = self.cluster.kernel_scale(rank);
+        if gen_scale != 1.0 {
+            dur = dur.scale(gen_scale);
+        }
+        if let Some(plan) = self.faults {
+            let slow = plan.slowdown(rank, issue);
+            if slow != 1.0 {
+                dur = dur.scale(slow);
+            }
+        }
+        dur
     }
 
     /// Enqueues a stream op and pumps the stream at its issue time.
@@ -670,6 +764,10 @@ impl<'a> Simulator<'a> {
                 .cloned()
                 .unwrap_or_default(),
         };
+        if self.cluster.topology.is_some() {
+            self.start_flow(st, &participants, start, &global_ranks);
+            return;
+        }
         let dur =
             self.estimator
                 .collective_time(desc.kind, desc.bytes, &global_ranks, self.cluster);
@@ -677,9 +775,130 @@ impl<'a> Simulator<'a> {
         for (wi, si, _, _) in participants {
             let s = &mut st.ranks[wi].streams[si];
             s.blocked = None;
-            s.busy_until = end;
+            // `max` is the identity without faults (a stream blocked on
+            // a rendezvous is never busy past it) but preserves an
+            // injected restart penalty that outlives the collective.
+            s.busy_until = s.busy_until.max(end);
             st.ranks[wi].comm_busy += dur;
             st.push(end, EvKind::Pump { wi, si });
+        }
+    }
+
+    /// Flow-model path of [`Self::resolve_collective`]: the collective
+    /// becomes a flow over the links its participant nodes touch, its
+    /// byte count set by the algorithm's wire traffic. Starting the
+    /// flow re-converges every active rate, so completion events for
+    /// *all* flows are re-scheduled under the new epoch.
+    fn start_flow(
+        &self,
+        st: &mut SimScratch,
+        participants: &[(usize, usize, SimTime, CollectiveDesc)],
+        start: SimTime,
+        global_ranks: &[u32],
+    ) {
+        let topo = self
+            .cluster
+            .topology
+            .as_ref()
+            .expect("start_flow requires a topology");
+        let desc = &participants[0].3;
+        let bytes = wire_bytes(desc.kind, desc.bytes, global_ranks.len());
+        // Participant nodes, sorted and deduped for a deterministic
+        // route; nodes outside the topology (a spec smaller than the
+        // job) contribute no links rather than faulting.
+        let mut nodes: Vec<u32> = global_ranks
+            .iter()
+            .map(|&r| self.cluster.node_of(r))
+            .filter(|&n| n < topo.num_nodes())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let route = topo.collective_route(&nodes);
+        let latency = SimTime::from_us(topo.route_latency_us(&route));
+
+        let flow = st.net.start(start.as_ns(), bytes, &route);
+        debug_assert_eq!(flow as usize, st.flow_meta.len());
+        let mut meta = FlowMeta {
+            participants: Vec::with_capacity(participants.len()),
+            start,
+            latency,
+        };
+        meta.participants
+            .extend(participants.iter().map(|&(wi, si, _, _)| (wi, si)));
+        st.flow_meta.push(meta);
+        self.schedule_flow_completions(st);
+    }
+
+    /// A flow's bytes drained (if the event is still current): release
+    /// its participant streams after the route latency, retire the flow
+    /// and re-schedule the survivors' completions at their new rates.
+    fn flow_done(&self, st: &mut SimScratch, flow: u32, epoch: u32) {
+        if !st.net.is_active(flow) || st.net.epoch() != epoch {
+            return; // stale: a later convergence re-scheduled this flow
+        }
+        let now = st.now;
+        st.net.finish(now.as_ns(), flow);
+        let meta = std::mem::take(&mut st.flow_meta[flow as usize]);
+        let end = now + meta.latency;
+        let dur = end.saturating_sub(meta.start);
+        for &(wi, si) in &meta.participants {
+            let s = &mut st.ranks[wi].streams[si];
+            s.blocked = None;
+            // `max`, not assignment: an injected fault may have pushed
+            // the stream past the collective's own end.
+            s.busy_until = s.busy_until.max(end);
+            let wake = s.busy_until;
+            st.ranks[wi].comm_busy += dur;
+            st.push(wake, EvKind::Pump { wi, si });
+        }
+        self.schedule_flow_completions(st);
+    }
+
+    /// Re-schedules one completion event per active flow, tagged with
+    /// the current convergence epoch (older events become stale).
+    fn schedule_flow_completions(&self, st: &mut SimScratch) {
+        let epoch = st.net.epoch();
+        let mut tmp = std::mem::take(&mut st.flow_tmp);
+        tmp.clear();
+        tmp.extend(st.net.active_flows().map(|f| (f, st.net.eta_ns(f))));
+        for &(flow, eta) in &tmp {
+            st.push(SimTime::from_ns(eta), EvKind::FlowDone { flow, epoch });
+        }
+        st.flow_tmp = tmp;
+    }
+
+    /// An injected rank failure strikes: the rank pays the
+    /// checkpoint-restart cost on its host timeline and on every
+    /// not-yet-drained stream. Other ranks feel the stall at their next
+    /// rendezvous with this rank — exactly how a real NCCL job
+    /// re-forms after a restart.
+    fn apply_fault(&self, st: &mut SimScratch, wi: usize, fi: usize) {
+        let Some(plan) = self.faults else { return };
+        let Some(f) = plan.failures.get(fi) else {
+            return;
+        };
+        let now = st.now;
+        let cost = f.restart_cost;
+        let r = &mut st.ranks[wi];
+        if !r.done {
+            r.host_time = r.host_time.max(now) + cost;
+            r.host_busy += cost;
+        }
+        // Extend busy streams and re-pump them at their new horizons:
+        // `pump` returns without rescheduling when `busy_until` is in
+        // the future, so every extension needs its own wake-up event.
+        for si in 0..st.ranks[wi].streams.len() {
+            let s = &mut st.ranks[wi].streams[si];
+            if s.drained(now) {
+                continue;
+            }
+            s.busy_until = s.busy_until.max(now) + cost;
+            let wake = s.busy_until;
+            st.push(wake, EvKind::Pump { wi, si });
+        }
+        if !st.ranks[wi].done && st.ranks[wi].blocked.is_none() {
+            let at = st.ranks[wi].host_time;
+            st.push(at, EvKind::HostDispatch { wi });
         }
     }
 
@@ -703,6 +922,21 @@ impl<'a> Simulator<'a> {
             }
             _ => {}
         }
+    }
+}
+
+/// Bytes a collective actually moves over the network for a payload of
+/// `bytes` across `n` ranks — the standard ring-algorithm traffic:
+/// all-reduce sends `2B(n-1)/n` (reduce-scatter + all-gather phases),
+/// all-gather and reduce-scatter each send `B(n-1)/n`, everything else
+/// (broadcast, reduce, point-to-point) moves the payload once.
+fn wire_bytes(kind: CollectiveKind, bytes: u64, n: usize) -> f64 {
+    let n = n.max(1) as f64;
+    let b = bytes as f64;
+    match kind {
+        CollectiveKind::AllReduce => 2.0 * b * (n - 1.0) / n,
+        CollectiveKind::AllGather | CollectiveKind::ReduceScatter => b * (n - 1.0) / n,
+        _ => b,
     }
 }
 
@@ -1193,6 +1427,177 @@ mod tests {
         let reused = sim.run_with_scratch(&job, &mut scratch).unwrap();
         let fresh = sim.run(&job).unwrap();
         assert_eq!(reused, fresh);
+    }
+
+    fn pair_collective(comm: u64, rank_in_comm: u32, bytes: u64) -> DeviceOp {
+        DeviceOp::Collective {
+            desc: CollectiveDesc {
+                kind: CollectiveKind::AllReduce,
+                comm_id: comm,
+                seq: 0,
+                bytes,
+                nranks: 2,
+                rank_in_comm,
+            },
+        }
+    }
+
+    /// Two disjoint rank pairs, each running one all-reduce. Both pairs
+    /// live on one node, so under the flow model their flows share the
+    /// node's intra-node fabric link.
+    fn two_pair_job(pairs: u32) -> JobTrace {
+        let mut workers = Vec::new();
+        let mut groups = BTreeMap::new();
+        for p in 0..pairs {
+            let comm = 100 + p as u64;
+            groups.insert(comm, vec![2 * p, 2 * p + 1]);
+            for r in 0..2u32 {
+                let rank = 2 * p + r;
+                let mut w = WorkerTrace::new(rank);
+                w.events = vec![
+                    ev(0, pair_collective(comm, r, 1 << 26), 1.0),
+                    ev(0, DeviceOp::StreamSynchronize, 1.0),
+                ];
+                workers.push(w);
+            }
+        }
+        workers.sort_by_key(|w| w.rank);
+        JobTrace {
+            nranks: 2 * pairs,
+            workers,
+            comm_groups: groups,
+        }
+    }
+
+    #[test]
+    fn contended_collectives_are_strictly_slower() {
+        // The tentpole acceptance check: two concurrent collectives
+        // sharing a link must each finish strictly later than the same
+        // collective running alone on the identical topology.
+        let c = ClusterSpec::h100(1, 4).with_default_topology();
+        let oracle = OracleEstimator::new(&c);
+        let solo = simulate(&two_pair_job(1), &c, &oracle).unwrap();
+        let contended = simulate(&two_pair_job(2), &c, &oracle).unwrap();
+        assert!(
+            contended.total_time > solo.total_time,
+            "contended {} vs solo {}",
+            contended.total_time,
+            solo.total_time
+        );
+        assert!(contended.comm_time > solo.comm_time);
+        // Max-min fairness halves each flow's rate: the shared phase
+        // should be close to 2x the solo bandwidth term.
+        let ratio = contended.total_time.as_secs_f64() / solo.total_time.as_secs_f64();
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn uncontended_topology_pairs_overlap_freely() {
+        // The same two pairs spread across two nodes use distinct
+        // intra links: no contention, so both finish like the solo run
+        // (plus nothing — they never cross the inter-node uplinks).
+        let c = ClusterSpec::h100(2, 2).with_default_topology();
+        let oracle = OracleEstimator::new(&c);
+        let solo = simulate(&two_pair_job(1), &c, &oracle).unwrap();
+        let spread = simulate(&two_pair_job(2), &c, &oracle).unwrap();
+        let ratio = spread.total_time.as_secs_f64() / solo.total_time.as_secs_f64();
+        assert!((0.99..1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn injected_failure_adds_exactly_the_restart_cost() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let job = job1(vec![ev(0, kernel(8192), 1.0), ev(0, kernel(8192), 1.0)]);
+        let base = simulate(&job, &c, &oracle).unwrap();
+        let cost = SimTime::from_ms(5.0);
+        let plan = FaultPlan {
+            seed: 0,
+            stragglers: vec![],
+            failures: vec![maya_net::RankFailure {
+                rank: 0,
+                at: SimTime::from_us(5.0),
+                restart_cost: cost,
+            }],
+        };
+        let sim = Simulator::new(&oracle, &c).with_faults(Some(&plan));
+        let faulted = sim.run(&job).unwrap();
+        assert_eq!(faulted.total_time, base.total_time + cost);
+    }
+
+    #[test]
+    fn failure_after_completion_is_a_noop() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let job = job1(vec![ev(0, kernel(1024), 1.0)]);
+        let base = simulate(&job, &c, &oracle).unwrap();
+        let plan = FaultPlan {
+            seed: 0,
+            stragglers: vec![],
+            failures: vec![maya_net::RankFailure {
+                rank: 0,
+                at: base.total_time + SimTime::from_ms(1.0),
+                restart_cost: SimTime::from_ms(50.0),
+            }],
+        };
+        let sim = Simulator::new(&oracle, &c).with_faults(Some(&plan));
+        let late = sim.run(&job).unwrap();
+        // The fault event itself is processed, but changes nothing.
+        assert_eq!(late.total_time, base.total_time);
+        assert_eq!(late.rank_end_times, base.rank_end_times);
+        assert_eq!(late.compute_time, base.compute_time);
+        assert_eq!(late.events_processed, base.events_processed + 1);
+    }
+
+    #[test]
+    fn straggler_window_slows_covered_kernels() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let job = busy_job(0);
+        let base = simulate(&job, &c, &oracle).unwrap();
+        let plan = FaultPlan {
+            seed: 0,
+            stragglers: vec![maya_net::StragglerWindow {
+                rank: 0,
+                start: SimTime::ZERO,
+                end: SimTime::MAX,
+                slowdown: 2.0,
+            }],
+            failures: vec![],
+        };
+        let sim = Simulator::new(&oracle, &c).with_faults(Some(&plan));
+        let straggled = sim.run(&job).unwrap();
+        assert!(straggled.total_time > base.total_time);
+        assert!(straggled.compute_time > base.compute_time);
+    }
+
+    #[test]
+    fn hetero_pool_slows_old_generation_ranks() {
+        let oracle_cluster = cluster();
+        let oracle = OracleEstimator::new(&oracle_cluster);
+        let base = simulate(&busy_job(0), &oracle_cluster, &oracle).unwrap();
+        let hetero = cluster().with_hetero(maya_hw::HeteroPool::new(vec![maya_hw::RankClass {
+            gpu: maya_hw::GpuSpec::v100(),
+            count: 1,
+        }]));
+        let mixed = simulate(&busy_job(0), &hetero, &oracle).unwrap();
+        assert!(
+            mixed.total_time > base.total_time,
+            "a V100 rank 0 must drag the iteration"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        let job = busy_job(2);
+        let base = simulate(&job, &c, &oracle).unwrap();
+        let empty = FaultPlan::default();
+        let sim = Simulator::new(&oracle, &c).with_faults(Some(&empty));
+        let report = sim.run(&job).unwrap();
+        assert_eq!(report, base);
+        assert_eq!(serde::to_string(&report), serde::to_string(&base));
     }
 
     #[test]

@@ -247,4 +247,32 @@ proptest! {
             (dense, reference) => prop_assert_eq!(dense, reference),
         }
     }
+
+    /// A default emulation setup — no topology, no hetero pool, no
+    /// fault plan (explicitly absent *or* explicitly empty) — is still
+    /// byte-identical to the frozen reference core. The net/fault
+    /// subsystem must be invisible until opted into.
+    #[test]
+    fn default_spec_stays_byte_identical_to_reference(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        nranks in 1u32..4,
+    ) {
+        let c = ClusterSpec::h100(1, 4);
+        let oracle = OracleEstimator::new(&c);
+        let j = job(nranks, &steps);
+        let empty = maya_net::FaultPlan::default();
+        let none = Simulator::new(&oracle, &c).with_faults(None).run(&j);
+        let empty_plan = Simulator::new(&oracle, &c).with_faults(Some(&empty)).run(&j);
+        match simulate_reference(&j, &c, &oracle) {
+            Ok(reference) => {
+                let reference = bytes_of(&reference);
+                prop_assert_eq!(bytes_of(&none.unwrap()), reference.clone());
+                prop_assert_eq!(bytes_of(&empty_plan.unwrap()), reference);
+            }
+            Err(e) => {
+                prop_assert_eq!(none, Err(e.clone()));
+                prop_assert_eq!(empty_plan, Err(e));
+            }
+        }
+    }
 }

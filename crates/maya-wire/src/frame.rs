@@ -50,7 +50,11 @@ pub const MAGIC: [u8; 4] = *b"MAYW";
 /// leading `JobOptions` (deadline), and the `Progress` / `Cancel` /
 /// `Expired` frame kinds joined the original three. Version 3 extended
 /// the `JobOptions` envelope with the QoS fields (priority, tenant).
-pub const VERSION: u16 = 3;
+/// Version 4 extended cluster specs with the imperfect-cluster tail
+/// (link topology, heterogeneous rank pools — see
+/// `maya_hw::serdes::SPEC_TAIL_VERSION`); v3 bodies decode with both
+/// absent.
+pub const VERSION: u16 = 4;
 
 /// Oldest protocol version this build still reads. Version-2 peers
 /// differ only in the request-body envelope, so their frames are

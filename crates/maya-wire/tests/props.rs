@@ -385,6 +385,83 @@ impl Gen {
     }
 }
 
+impl Gen {
+    fn net_link(&mut self) -> maya_hw::NetLink {
+        maya_hw::NetLink {
+            bw_gbps: 1.0 + (self.u32(900) as f64) + self.u32(1000) as f64 / 1000.0,
+            latency_us: self.u32(50) as f64 / 10.0,
+        }
+    }
+
+    fn cluster_spec(&mut self) -> maya_hw::ClusterSpec {
+        let num_nodes = 1 + self.u32(4);
+        let gpus_per_node = 1 + self.u32(8);
+        let mut c = match self.u32(4) {
+            0 => maya_hw::ClusterSpec::v100(num_nodes, gpus_per_node),
+            1 => maya_hw::ClusterSpec::a40(num_nodes, gpus_per_node),
+            2 => maya_hw::ClusterSpec::a100(num_nodes, gpus_per_node),
+            _ => maya_hw::ClusterSpec::h100(num_nodes, gpus_per_node),
+        };
+        if self.bool() {
+            let intra = self.net_link();
+            let inter = self.net_link();
+            c = c.with_topology(maya_hw::TopologySpec::symmetric(num_nodes, intra, inter));
+        }
+        if self.bool() {
+            let gpus = [
+                maya_hw::GpuSpec::v100(),
+                maya_hw::GpuSpec::a40(),
+                maya_hw::GpuSpec::a100(),
+                maya_hw::GpuSpec::h100(),
+            ];
+            let classes = (0..1 + self.u32(3))
+                .map(|_| maya_hw::RankClass {
+                    gpu: gpus[(self.next() as usize) % gpus.len()],
+                    count: 1 + self.u32(8),
+                })
+                .collect();
+            c = c.with_hetero(maya_hw::HeteroPool::new(classes));
+        }
+        c
+    }
+
+    fn fault_plan(&mut self) -> maya_net::FaultPlan {
+        if self.bool() {
+            maya_net::FaultPlan::generate(
+                self.next(),
+                1 + self.u32(64),
+                SimTime::from_ns(1 + (self.next() >> 32)),
+            )
+        } else {
+            maya_net::FaultPlan {
+                seed: self.next(),
+                stragglers: (0..self.u32(4))
+                    .map(|_| maya_net::StragglerWindow {
+                        rank: self.u32(64),
+                        start: SimTime::from_ns(self.next() >> 32),
+                        end: SimTime::from_ns(self.next() >> 32),
+                        slowdown: 1.0 + self.u32(1000) as f64 / 100.0,
+                    })
+                    .collect(),
+                failures: (0..self.u32(3))
+                    .map(|_| maya_net::RankFailure {
+                        rank: self.u32(64),
+                        at: SimTime::from_ns(self.next() >> 32),
+                        restart_cost: SimTime::from_ns(self.next() >> 32),
+                    })
+                    .collect(),
+            }
+        }
+    }
+
+    fn power_model(&mut self) -> maya_hw::PowerModel {
+        maya_hw::PowerModel {
+            dollars_per_kwh: self.u32(1000) as f64 / 1000.0,
+            pue: 1.0 + self.u32(100) as f64 / 100.0,
+        }
+    }
+}
+
 /// decode(encode(v)) must re-encode to the same bytes.
 fn assert_reencodes<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(v: &T) {
     let text = serde::to_string(v);
@@ -508,6 +585,74 @@ proptest! {
         let opts = Gen(seed).job_options();
         let back: JobOptions = serde::from_str(&serde::to_string(&opts)).unwrap();
         prop_assert_eq!(back, opts);
+    }
+
+    /// Cluster specs — including the version-4 imperfect-cluster tail
+    /// (link topology, heterogeneous rank pools) — are identity,
+    /// bit-exact on every float.
+    #[test]
+    fn cluster_specs_round_trip(seed in any::<u64>()) {
+        let c = Gen(seed).cluster_spec();
+        assert_reencodes(&c);
+        let back: maya_hw::ClusterSpec = serde::from_str(&serde::to_string(&c)).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    /// Fault plans (generated and hand-shaped) are identity.
+    #[test]
+    fn fault_plans_round_trip(seed in any::<u64>()) {
+        let p = Gen(seed).fault_plan();
+        assert_reencodes(&p);
+        let back: maya_net::FaultPlan = serde::from_str(&serde::to_string(&p)).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Power models are identity, bit-exact.
+    #[test]
+    fn power_models_round_trip(seed in any::<u64>()) {
+        let p = Gen(seed).power_model();
+        assert_reencodes(&p);
+        let back: maya_hw::PowerModel = serde::from_str(&serde::to_string(&p)).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Version-skew decode of a cluster spec: a v3 body — base fields
+    /// only, as a version-3 peer writes them — decodes under the skew
+    /// path with both tail options absent, and a full v4 body decodes
+    /// in full.
+    #[test]
+    fn cluster_spec_survives_v3_skew(seed in any::<u64>()) {
+        use maya_hw::serdes::decode_cluster_spec;
+        use serde::Serialize as _;
+
+        let mut g = Gen(seed);
+        let full = g.cluster_spec();
+        let mut base = full.clone();
+        base.topology = None;
+        base.hetero = None;
+
+        // A v3 peer writes only the base fields, in declaration order.
+        let mut w = serde::compact::Writer::new();
+        base.gpu.serialize(&mut w);
+        base.gpus_per_node.serialize(&mut w);
+        base.num_nodes.serialize(&mut w);
+        base.intra_link.serialize(&mut w);
+        base.inter_link.serialize(&mut w);
+        base.dollars_per_gpu_hour.serialize(&mut w);
+        let body = w.finish();
+        let mut r = serde::compact::Reader::new(&body);
+        let decoded = decode_cluster_spec(&mut r, 3).expect("v3 decode");
+        r.end().expect("v3 body fully consumed");
+        prop_assert_eq!(&decoded, &base);
+        prop_assert!(decoded.topology.is_none() && decoded.hetero.is_none());
+
+        // The same peer's bytes under the v4 rules would be a truncated
+        // frame; a v4 body decodes the tail in full.
+        let v4 = serde::to_string(&full);
+        let mut r = serde::compact::Reader::new(&v4);
+        let decoded = decode_cluster_spec(&mut r, 4).expect("v4 decode");
+        r.end().expect("v4 body fully consumed");
+        prop_assert_eq!(decoded, full);
     }
 
     /// Version-skew decode of the request envelope: a v3 body decodes

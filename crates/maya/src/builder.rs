@@ -175,6 +175,13 @@ impl MayaBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (stragglers, rank failures);
+    /// empty plans are normalized away.
+    pub fn faults(mut self, plan: maya_net::FaultPlan) -> Self {
+        self.spec = self.spec.with_faults(Some(plan));
+        self
+    }
+
     /// Turns every trace-reduction optimization off (the "No
     /// Optimization" columns of Table 6 / Figure 14): dedup and
     /// selective launch. The emulation thread count is not a
@@ -256,7 +263,7 @@ impl MayaBuilder {
             self.memo_capacity,
             self.memo_ttl,
         );
-        PredictionEngine::with_shared_cache(self.spec, Arc::new(cache))
+        PredictionEngine::with_shared_cache(self.spec.clone(), Arc::new(cache))
     }
 
     /// Builds the [`Maya`] runtime, restoring the snapshot if one is
@@ -301,7 +308,7 @@ mod tests {
     #[test]
     fn builder_matches_deprecated_constructors() {
         let cluster = ClusterSpec::h100(1, 1);
-        let built = MayaBuilder::new(cluster).build().unwrap();
+        let built = MayaBuilder::new(cluster.clone()).build().unwrap();
         #[allow(deprecated)]
         let legacy = Maya::with_oracle(EmulationSpec::new(cluster));
         let job = smoke_job(1);

@@ -290,7 +290,12 @@ impl PredictionEngine {
     ) -> Result<Prediction, MayaError> {
         let workers_emulated = job_trace.workers.len();
         let t1 = Instant::now();
-        let reduced = if self.spec.dedup {
+        // Dedup folds ranks with identical traces onto one
+        // representative — unsound once per-rank state matters: a
+        // hetero pool scales kernels by rank and a fault plan targets
+        // specific ranks, so both disable the reduction.
+        let rank_uniform = self.spec.cluster.hetero.is_none() && self.spec.faults.is_none();
+        let reduced = if self.spec.dedup && rank_uniform {
             let classes = dedup_classes(&job_trace.workers);
             if classes.len() < job_trace.workers.len() {
                 reduce_job(&job_trace, &classes)
@@ -335,7 +340,9 @@ impl PredictionEngine {
         // the O(events) structural check once instead of per trial.
         let t3 = Instant::now();
         let report = self.with_sim_scratch(|scratch| {
-            Simulator::new(est, &self.spec.cluster).run_prevalidated(&reduced, scratch)
+            Simulator::new(est, &self.spec.cluster)
+                .with_faults(self.spec.faults.as_ref())
+                .run_prevalidated(&reduced, scratch)
         })?;
         let simulation = t3.elapsed();
 

@@ -60,4 +60,5 @@ pub use builder::{EstimatorChoice, EstimatorFactory, MayaBuilder};
 pub use cancel::CancelToken;
 pub use engine::PredictionEngine;
 pub use error::MayaError;
+pub use maya_net::{FaultPlan, RankFailure, StragglerWindow};
 pub use pipeline::{EmulationSpec, Maya, PredictOutcome, Prediction, StageTimings};

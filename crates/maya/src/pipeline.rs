@@ -34,7 +34,7 @@ use crate::error::MayaError;
 ///     .with_emulation_threads(4);
 /// assert!(spec.dedup && spec.selective_launch);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EmulationSpec {
     /// Target cluster (device type, nodes, interconnects).
     pub cluster: ClusterSpec,
@@ -48,6 +48,10 @@ pub struct EmulationSpec {
     /// Number of OS threads used for concurrent worker emulation and for
     /// batched prediction (1 = sequential).
     pub emulation_threads: usize,
+    /// Optional fault-injection plan (stragglers, rank failures).
+    /// `None` — and an empty plan — leave predictions byte-identical
+    /// to the fault-free core.
+    pub faults: Option<maya_net::FaultPlan>,
 }
 
 impl EmulationSpec {
@@ -58,6 +62,7 @@ impl EmulationSpec {
             dedup: true,
             selective_launch: false,
             emulation_threads: 1,
+            faults: None,
         }
     }
 
@@ -69,6 +74,7 @@ impl EmulationSpec {
             dedup: false,
             selective_launch: false,
             emulation_threads: 1,
+            faults: None,
         }
     }
 
@@ -87,6 +93,13 @@ impl EmulationSpec {
     /// Sets the emulation/batch worker-thread count (min 1).
     pub fn with_emulation_threads(mut self, threads: usize) -> Self {
         self.emulation_threads = threads.max(1);
+        self
+    }
+
+    /// Installs a fault-injection plan (empty plans are normalized to
+    /// `None` so they cannot perturb results or cache keys).
+    pub fn with_faults(mut self, faults: Option<maya_net::FaultPlan>) -> Self {
+        self.faults = faults.filter(|p| !p.is_empty());
         self
     }
 }

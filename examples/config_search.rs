@@ -17,7 +17,7 @@ use maya_trace::Dtype;
 
 fn main() {
     let cluster = ClusterSpec::h100(1, 8);
-    let maya = MayaBuilder::new(cluster)
+    let maya = MayaBuilder::new(cluster.clone())
         .selective_launch(true)
         .build()
         .expect("builds");

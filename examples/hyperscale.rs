@@ -25,7 +25,7 @@ fn main() {
     for dp in [2u32, 4, 8, 16] {
         let world = 8 * 8 * dp;
         let cluster = ClusterSpec::h100(world / 8, 8);
-        let maya = MayaBuilder::new(cluster)
+        let maya = MayaBuilder::new(cluster.clone())
             .selective_launch(true)
             .build()
             .expect("builds");

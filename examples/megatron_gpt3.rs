@@ -18,7 +18,7 @@ use maya_trace::Dtype;
 fn main() {
     let cluster = ClusterSpec::v100(1, 8);
     println!("profiling kernels and training the random-forest estimator...");
-    let maya = MayaBuilder::new(cluster)
+    let maya = MayaBuilder::new(cluster.clone())
         .forest(ProfileScale::Test, 42)
         .build()
         .expect("builds");

@@ -22,7 +22,7 @@ fn main() {
     //    `.forest(scale, seed)` to profile + fit the random forest
     //    instead (see the megatron_gpt3 example), or `.snapshot_path`
     //    to warm-start the estimator memo from a previous run.
-    let maya = MayaBuilder::new(cluster).build().expect("builds");
+    let maya = MayaBuilder::new(cluster.clone()).build().expect("builds");
 
     // 3. The user workload: unmodified training code. Here, torchlet's
     //    GPT-3 125M with a Megatron-style recipe.

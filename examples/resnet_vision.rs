@@ -12,7 +12,7 @@ use maya_trace::Dtype;
 
 fn main() {
     let cluster = ClusterSpec::a40(1, 8);
-    let maya = MayaBuilder::new(cluster).build().expect("builds");
+    let maya = MayaBuilder::new(cluster.clone()).build().expect("builds");
 
     println!(
         "{:<30} {:>12} {:>12} {:>8}",

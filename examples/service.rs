@@ -43,8 +43,8 @@ fn main() {
         std::env::temp_dir().join(format!("maya-serve-example-{}", std::process::id()));
 
     let service = MayaService::builder()
-        .target("h100-node", EmulationSpec::new(h100))
-        .target("a40-node", EmulationSpec::new(a40))
+        .target("h100-node", EmulationSpec::new(h100.clone()))
+        .target("a40-node", EmulationSpec::new(a40.clone()))
         .workers(4)
         .queue_capacity(32)
         .snapshot_dir(&snapshot_dir)
@@ -132,8 +132,8 @@ fn main() {
     drop(service);
 
     let restarted = MayaService::builder()
-        .target("h100-node", EmulationSpec::new(h100))
-        .target("a40-node", EmulationSpec::new(a40))
+        .target("h100-node", EmulationSpec::new(h100.clone()))
+        .target("a40-node", EmulationSpec::new(a40.clone()))
         .snapshot_dir(&snapshot_dir)
         .build()
         .expect("service rebuilds");

@@ -70,7 +70,7 @@ fn main() {
     let h100 = ClusterSpec::h100(1, 4);
     let service = Arc::new(
         MayaService::builder()
-            .target(TARGET, EmulationSpec::new(h100))
+            .target(TARGET, EmulationSpec::new(h100.clone()))
             .workers(2)
             .queue_capacity(2)
             .memo_capacity(65_536)

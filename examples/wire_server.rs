@@ -41,8 +41,8 @@ fn main() {
     // process bounded no matter what shapes clients send.
     let service = Arc::new(
         MayaService::builder()
-            .target("h100-quad", EmulationSpec::new(h100))
-            .target("a40-pair", EmulationSpec::new(a40))
+            .target("h100-quad", EmulationSpec::new(h100.clone()))
+            .target("a40-pair", EmulationSpec::new(a40.clone()))
             .workers(4)
             .queue_capacity(16)
             .memo_capacity(65_536)

@@ -113,7 +113,7 @@ fn selective_launch_accurate_on_multinode_strided_groups() {
             ..Default::default()
         };
         let j = job(world, parallel);
-        let full = MayaBuilder::new(cluster).build().unwrap();
+        let full = MayaBuilder::new(cluster.clone()).build().unwrap();
         let selective = MayaBuilder::new(cluster)
             .selective_launch(true)
             .build()

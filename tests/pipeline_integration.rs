@@ -97,7 +97,7 @@ fn dedup_preserves_predictions() {
         ..Default::default()
     };
     let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
-    let with = MayaBuilder::new(cluster).build().unwrap();
+    let with = MayaBuilder::new(cluster.clone()).build().unwrap();
     let without = MayaBuilder::new(cluster)
         .without_optimizations()
         .build()
@@ -121,7 +121,7 @@ fn selective_launch_preserves_predictions() {
         ..Default::default()
     };
     let j = job(ModelSpec::gpt3_125m(), 8, parallel, 32);
-    let full = MayaBuilder::new(cluster).build().unwrap();
+    let full = MayaBuilder::new(cluster.clone()).build().unwrap();
     let selective = MayaBuilder::new(cluster)
         .selective_launch(true)
         .build()

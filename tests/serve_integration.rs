@@ -123,8 +123,8 @@ fn concurrent_mixed_requests_match_direct_engine_calls() {
     // Reference: direct PredictionEngine / TrialScheduler runs, one
     // fresh engine per cluster (cold caches cannot change values, only
     // telemetry — every stage is deterministic).
-    let h100_engine = MayaBuilder::new(h100).build_engine();
-    let a40_engine = MayaBuilder::new(a40).build_engine();
+    let h100_engine = MayaBuilder::new(h100.clone()).build_engine();
+    let a40_engine = MayaBuilder::new(a40.clone()).build_engine();
 
     // Every prediction completed; the real value-level comparisons
     // against direct engine runs follow below, job by job.
@@ -214,7 +214,7 @@ fn measure_requests_match_direct_testbed_runs() {
         Ok(maya_serve::MeasureOutcome::Completed(m)) => m.clone(),
         other => panic!("unexpected outcome {other:?}"),
     };
-    let direct = MayaBuilder::new(a40)
+    let direct = MayaBuilder::new(a40.clone())
         .build_engine()
         .measure_actual(&j)
         .unwrap()
@@ -232,8 +232,8 @@ fn snapshot_from_one_service_warm_starts_the_next() {
     let a40 = a40_cluster();
     let build = || {
         MayaService::builder()
-            .target(H100_TARGET, EmulationSpec::new(h100))
-            .target(A40_TARGET, EmulationSpec::new(a40))
+            .target(H100_TARGET, EmulationSpec::new(h100.clone()))
+            .target(A40_TARGET, EmulationSpec::new(a40.clone()))
             .snapshot_dir(&dir)
             .build()
             .expect("service builds")
@@ -280,7 +280,7 @@ fn snapshot_from_one_service_warm_starts_the_next() {
     }
 
     // And the warm answers are identical to the cold ones.
-    let direct = MayaBuilder::new(h100).build_engine();
+    let direct = MayaBuilder::new(h100.clone()).build_engine();
     let reference = direct
         .predict_job(&job(&h100, ParallelConfig::default()))
         .unwrap();
