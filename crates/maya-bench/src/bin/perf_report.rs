@@ -5,8 +5,10 @@
 //! arena, the same core with fresh state, and the frozen
 //! pre-optimization reference core as the baseline), cold and warm
 //! batched prediction, sequential vs speculative-batched search, and
-//! loopback wire round trips — then writes the schema-versioned JSON
-//! report (see `maya_bench::perf`).
+//! loopback wire round trips — plus `obs_overhead`, the fully
+//! instrumented sim run that pins the observability subsystem's cost
+//! to ~zero — then writes the schema-versioned JSON report (see
+//! `maya_bench::perf`).
 //!
 //! Flags:
 //! - `--smoke`: few iterations (seconds, for CI schema checking; the
@@ -27,7 +29,7 @@ use maya_estimator::OracleEstimator;
 use maya_hw::ClusterSpec;
 use maya_search::{AlgorithmKind, Objective, TrialScheduler};
 use maya_sim::reference::simulate_reference;
-use maya_sim::{SimScratch, Simulator};
+use maya_sim::{SimObs, SimScratch, Simulator};
 use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};
 use maya_trace::Dtype;
 use maya_wire::{MayaService, Request, WireClient, WireServer};
@@ -100,7 +102,31 @@ fn sim_scenarios(smoke: bool) -> Vec<ScenarioResult> {
             .expect("simulates");
     });
 
-    vec![dense_scratch, dense_fresh, reference, net_contended]
+    // Same trace, same reused arena, but with every observability sink
+    // installed (counters, high-water gauge, flight recorder). The sim
+    // keeps its tallies in the scratch arena and publishes them once
+    // after the event loop drains, so this figure is required to sit
+    // within noise of `sim_dense_scratch` — the "off-path costs
+    // nothing, on-path costs almost nothing" acceptance check.
+    let obs = SimObs::default();
+    let sim_obs = Simulator::new(&oracle, &cluster).with_obs(Some(&obs));
+    let mut obs_scratch = SimScratch::new();
+    sim_obs
+        .run_with_scratch(&trace, &mut obs_scratch)
+        .expect("warmup");
+    let obs_overhead = measure("obs_overhead", "events/sec", iters, events, || {
+        sim_obs
+            .run_prevalidated(&trace, &mut obs_scratch)
+            .expect("simulates");
+    });
+
+    vec![
+        dense_scratch,
+        dense_fresh,
+        reference,
+        net_contended,
+        obs_overhead,
+    ]
 }
 
 /// Batched prediction through `predict_batch`: cold (every job a shape

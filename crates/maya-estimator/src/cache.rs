@@ -22,6 +22,7 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use maya_hw::ClusterSpec;
+use maya_obs::Counter;
 use maya_trace::{CollectiveKind, KernelKind, MemcpyKind, SimTime};
 
 use crate::estimator::RuntimeEstimator;
@@ -54,18 +55,20 @@ pub(crate) struct Sharded<K> {
     ttl: Option<Duration>,
     /// Logical clock stamped onto entries at insert and on every hit.
     clock: AtomicU64,
-    /// Entries dropped to respect the cap or the TTL.
-    evictions: AtomicU64,
+    /// Entries dropped to respect the cap or the TTL. An obs counter
+    /// handle shared with the owning estimator (and, through it, any
+    /// metrics registry that mirrors it), not a private atomic.
+    evictions: Counter,
 }
 
 impl<K: Hash + Eq + Clone> Sharded<K> {
-    fn new(capacity: Option<usize>, ttl: Option<Duration>) -> Self {
+    fn new(capacity: Option<usize>, ttl: Option<Duration>, evictions: Counter) -> Self {
         Sharded {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             cap_per_shard: capacity.map(|c| c.div_ceil(SHARDS).max(1)),
             ttl,
             clock: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            evictions,
         }
     }
 
@@ -103,7 +106,7 @@ impl<K: Hash + Eq + Clone> Sharded<K> {
                 return;
             };
             map.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -186,7 +189,7 @@ impl<K: Hash + Eq + Clone> Sharded<K> {
         // refreshed the entry between the two locks.
         if map.get(key).is_some_and(|e| self.expired(e)) {
             map.remove(key);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         None
     }
@@ -196,10 +199,6 @@ impl<K: Hash + Eq + Clone> Sharded<K> {
             .iter()
             .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
-    }
-
-    fn evicted(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
     }
 
     fn clear(&self) {
@@ -272,8 +271,12 @@ pub struct CachingEstimator {
     pub(crate) kernels: Sharded<KernelKind>,
     pub(crate) memcpys: Sharded<(u64, MemcpyKind)>,
     pub(crate) collectives: Sharded<CollectiveKey>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Obs counter handles, not private atomics: `obs_counters` hands
+    // the same cells to a metrics registry, so a scrape reads live
+    // values instead of a second bespoke stats surface.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl CachingEstimator {
@@ -312,13 +315,17 @@ impl CachingEstimator {
         capacity: Option<usize>,
         ttl: Option<Duration>,
     ) -> Self {
+        // All three families report into one eviction counter, which
+        // is what `CacheStats::evictions` always surfaced.
+        let evictions = Counter::detached();
         CachingEstimator {
             inner,
-            kernels: Sharded::new(capacity, ttl),
-            memcpys: Sharded::new(capacity, ttl),
-            collectives: Sharded::new(capacity, ttl),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            kernels: Sharded::new(capacity, ttl, evictions.clone()),
+            memcpys: Sharded::new(capacity, ttl, evictions.clone()),
+            collectives: Sharded::new(capacity, ttl, evictions.clone()),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            evictions,
         }
     }
 
@@ -330,10 +337,22 @@ impl CachingEstimator {
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.kernels.evicted() + self.memcpys.evicted() + self.collectives.evicted(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
         }
+    }
+
+    /// Live handles to the `(hits, misses, evictions)` cells —
+    /// the very counters [`CachingEstimator::stats`] reads — so a
+    /// service can surface them in its `maya_obs` snapshot without a
+    /// parallel plumbing path.
+    pub fn obs_counters(&self) -> (Counter, Counter, Counter) {
+        (
+            self.hits.clone(),
+            self.misses.clone(),
+            self.evictions.clone(),
+        )
     }
 
     /// Total memoized entries across all query families.
@@ -355,9 +374,9 @@ impl CachingEstimator {
 
     fn count(&self, hit: bool) {
         if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
     }
 }

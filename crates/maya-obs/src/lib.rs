@@ -1,0 +1,92 @@
+//! Maya-Obs: the unified observability layer — one metrics registry,
+//! one span vocabulary, one flight recorder — threaded through every
+//! stage of the stack (simulator, estimator cache, admission queue,
+//! service, wire protocol) in place of the per-layer counters that
+//! grew up around them.
+//!
+//! Three pieces:
+//!
+//! - **[`Registry`]** — named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s behind cheap cloneable handles.
+//!   Registration locks once per name; every update after that is a
+//!   single relaxed atomic. [`Registry::snapshot`] is deterministic
+//!   (sorted names) and the resulting [`ObsSnapshot`] has a compact
+//!   wire codec, which is what a v5 `Scrape` frame carries.
+//! - **Span tracing** — [`FlightRecorder::span`] records flat timed
+//!   spans into bounded per-thread rings (the flight recorder), and
+//!   [`SpanNode`] is the explicit job-lifecycle tree
+//!   (queued → execute → stages → reply) that rides on service
+//!   telemetry. Both export as Chrome-trace JSON via
+//!   [`chrome::chrome_trace_json`] — load the file at
+//!   `chrome://tracing`.
+//! - **[`ObsConfig`]** — the zero-cost-when-off switch instrumented
+//!   code branches on. `ObsConfig::off()` keeps hot paths exactly as
+//!   uninstrumented (the perf report's `obs_overhead` scenario pins
+//!   the cost of the *on* path).
+
+pub mod chrome;
+pub mod metrics;
+pub mod serdes;
+pub mod span;
+
+pub use chrome::chrome_trace_json;
+pub use metrics::{
+    bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, ObsSnapshot,
+    Registry, HISTOGRAM_BUCKETS,
+};
+pub use span::{FlightRecorder, JobTreeRing, SpanGuard, SpanNode, SpanRecord};
+
+/// Instrumentation switches: what instrumented code records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Publish counters/gauges/histograms.
+    pub metrics: bool,
+    /// Record spans into the flight recorder.
+    pub spans: bool,
+}
+
+impl ObsConfig {
+    /// Everything on.
+    pub fn on() -> ObsConfig {
+        ObsConfig {
+            metrics: true,
+            spans: true,
+        }
+    }
+
+    /// Everything off: instrumented code must cost the same as before
+    /// it was instrumented.
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            metrics: false,
+            spans: false,
+        }
+    }
+
+    /// Whether any channel is on.
+    pub fn enabled(&self) -> bool {
+        self.metrics || self.spans
+    }
+}
+
+impl Default for ObsConfig {
+    /// Defaults to on: per-job instrumentation is cheap, and a server
+    /// should answer a `Scrape` out of the box. Per-event hot loops
+    /// (the simulator core) are only instrumented when explicitly
+    /// given handles, so the default stays free there.
+    fn default() -> Self {
+        ObsConfig::on()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_toggles() {
+        assert!(ObsConfig::default().enabled());
+        assert!(ObsConfig::on().metrics && ObsConfig::on().spans);
+        assert!(!ObsConfig::off().enabled());
+    }
+}

@@ -1,0 +1,414 @@
+//! Span tracing: a scoped-guard `Span` API over a bounded per-thread
+//! ring-buffer **flight recorder**, plus the [`SpanNode`] tree that
+//! rides on service telemetry.
+//!
+//! Two span representations serve two needs:
+//!
+//! - [`FlightRecorder`] + [`FlightRecorder::span`] record *flat* timed
+//!   spans (name, start, duration, thread) into fixed-size per-thread
+//!   rings — wait-free against other threads, bounded memory, oldest
+//!   entries overwritten. The recorder drains to Chrome-trace JSON
+//!   (see [`crate::chrome`]).
+//! - [`SpanNode`] is an explicit tree of named intervals (offsets from
+//!   a common origin) built by code that already knows its phase
+//!   structure — the job lifecycle tree on `Telemetry`
+//!   (queued → execute → stages → reply).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One completed flat span in the flight recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name.
+    pub name: &'static str,
+    /// Start, microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Recording thread, as a small dense id assigned per recorder.
+    pub thread: u32,
+}
+
+struct ThreadRing {
+    thread: u32,
+    /// Ring storage; `seq` counts total pushes, so the live window is
+    /// the last `min(seq, cap)` entries ending at `seq % cap`.
+    buf: Mutex<(Vec<SpanRecord>, u64)>,
+}
+
+struct RecorderInner {
+    id: u64,
+    epoch: Instant,
+    enabled: AtomicBool,
+    capacity: usize,
+    threads: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Cache of this thread's ring per recorder id, so the steady-state
+    /// span path is one `RefCell` borrow + one uncontended mutex.
+    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The bounded flight recorder (see module docs). Clones share state.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(4096)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity_per_thread` recent spans
+    /// per recording thread.
+    pub fn new(capacity_per_thread: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                enabled: AtomicBool::new(true),
+                capacity: capacity_per_thread.max(1),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Runtime toggle. While disabled, [`FlightRecorder::span`] returns
+    /// an inert guard whose drop does nothing — the off-path cost is
+    /// one relaxed atomic load.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The recorder's time origin (spans are stamped relative to it).
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Opens a span; it records itself when the guard drops.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard(None);
+        }
+        SpanGuard(Some((self, name, Instant::now())))
+    }
+
+    /// Records an already-measured interval.
+    pub fn record(&self, name: &'static str, start: Instant, dur: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        let start_us = start
+            .saturating_duration_since(self.inner.epoch)
+            .as_micros() as u64;
+        let rec = SpanRecord {
+            name,
+            start_us,
+            dur_us: dur.as_micros() as u64,
+            thread: 0, // patched by the ring below
+        };
+        self.push(rec);
+    }
+
+    fn ring(&self) -> Arc<ThreadRing> {
+        LOCAL_RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, ring)) = rings.iter().find(|(id, _)| *id == self.inner.id) {
+                return Arc::clone(ring);
+            }
+            let mut threads = self.inner.threads.lock().unwrap_or_else(|p| p.into_inner());
+            let ring = Arc::new(ThreadRing {
+                thread: threads.len() as u32,
+                buf: Mutex::new((Vec::with_capacity(self.inner.capacity.min(64)), 0)),
+            });
+            threads.push(Arc::clone(&ring));
+            drop(threads);
+            rings.push((self.inner.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    fn push(&self, mut rec: SpanRecord) {
+        let ring = self.ring();
+        rec.thread = ring.thread;
+        let mut buf = ring.buf.lock().unwrap_or_else(|p| p.into_inner());
+        let (store, seq) = &mut *buf;
+        let cap = self.inner.capacity;
+        if store.len() < cap {
+            store.push(rec);
+        } else {
+            store[(*seq % cap as u64) as usize] = rec;
+        }
+        *seq += 1;
+    }
+
+    /// All retained spans, across threads, sorted by start time (ties
+    /// by thread then name) — deterministic for a quiesced recorder.
+    pub fn drain_sorted(&self) -> Vec<SpanRecord> {
+        let threads = self.inner.threads.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = Vec::new();
+        for ring in threads.iter() {
+            let buf = ring.buf.lock().unwrap_or_else(|p| p.into_inner());
+            out.extend(buf.0.iter().cloned());
+        }
+        drop(threads);
+        out.sort_by(|a, b| (a.start_us, a.thread, a.name).cmp(&(b.start_us, b.thread, b.name)));
+        out
+    }
+}
+
+/// RAII guard from [`FlightRecorder::span`]; records on drop.
+pub struct SpanGuard<'a>(Option<(&'a FlightRecorder, &'static str, Instant)>);
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, name, start)) = self.0.take() {
+            recorder.record(name, start, start.elapsed());
+        }
+    }
+}
+
+/// One node of an explicit span tree: a named interval, offset from
+/// the tree's origin, with nested children.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Phase name ("job", "queued", "simulation", ...).
+    pub name: String,
+    /// Offset of the interval start from the tree origin.
+    pub start: Duration,
+    /// Interval length.
+    pub duration: Duration,
+    /// Nested phases, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A leaf span.
+    pub fn leaf(name: &str, start: Duration, duration: Duration) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            start,
+            duration,
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends a child and returns `self` (builder style).
+    pub fn with_child(mut self, child: SpanNode) -> SpanNode {
+        self.children.push(child);
+        self
+    }
+
+    /// Finds a descendant (or `self`) by name, depth-first.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sum of the direct children's durations — the portion of this
+    /// span its children account for.
+    pub fn child_coverage(&self) -> Duration {
+        self.children.iter().map(|c| c.duration).sum()
+    }
+
+    /// Total node count of the tree rooted here.
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::len).sum::<usize>()
+    }
+
+    /// Whether the tree is a single childless node.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A bounded ring of recently completed job span trees keyed by job
+/// id, shared by the service workers and drained into
+/// [`crate::ObsSnapshot`]. Re-recording an id *replaces* that entry in
+/// place, so a layer that enriches a tree (the wire server appending a
+/// `reply` span to the worker's tree) upserts rather than duplicates.
+#[derive(Clone)]
+pub struct JobTreeRing {
+    inner: Arc<Mutex<RingState>>,
+}
+
+/// The id-keyed ring entries plus the capacity bound.
+type RingState = (std::collections::VecDeque<(u64, SpanNode)>, usize);
+
+impl Default for JobTreeRing {
+    fn default() -> Self {
+        JobTreeRing::new(64)
+    }
+}
+
+impl JobTreeRing {
+    /// A ring keeping the latest `capacity` trees.
+    pub fn new(capacity: usize) -> JobTreeRing {
+        JobTreeRing {
+            inner: Arc::new(Mutex::new((
+                std::collections::VecDeque::new(),
+                capacity.max(1),
+            ))),
+        }
+    }
+
+    /// Records (or replaces) the tree for job `id`, evicting the
+    /// oldest entry at capacity.
+    pub fn record(&self, id: u64, tree: SpanNode) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let cap = inner.1;
+        if let Some(slot) = inner.0.iter_mut().find(|(k, _)| *k == id) {
+            slot.1 = tree;
+            return;
+        }
+        if inner.0.len() == cap {
+            inner.0.pop_front();
+        }
+        inner.0.push_back((id, tree));
+    }
+
+    /// The retained tree for job `id`, if still in the ring.
+    pub fn tree(&self, id: u64) -> Option<SpanNode> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner
+            .0
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, t)| t.clone())
+    }
+
+    /// The retained trees, oldest first.
+    pub fn trees(&self) -> Vec<SpanNode> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.0.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_sort() {
+        let rec = FlightRecorder::new(8);
+        {
+            let _outer = rec.span("outer");
+            let _inner = rec.span("inner");
+        }
+        let spans = rec.drain_sorted();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first but started later (or at the same
+        // microsecond); both must be present.
+        assert!(spans.iter().any(|s| s.name == "outer"));
+        assert!(spans.iter().any(|s| s.name == "inner"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let rec = FlightRecorder::new(4);
+        for _ in 0..10 {
+            drop(rec.span("s"));
+        }
+        assert_eq!(rec.drain_sorted().len(), 4);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder::new(8);
+        rec.set_enabled(false);
+        drop(rec.span("skipped"));
+        rec.record("skipped", Instant::now(), Duration::from_millis(1));
+        assert!(rec.drain_sorted().is_empty());
+        rec.set_enabled(true);
+        drop(rec.span("kept"));
+        assert_eq!(rec.drain_sorted().len(), 1);
+    }
+
+    #[test]
+    fn per_thread_rings_do_not_interleave_capacity() {
+        let rec = FlightRecorder::new(4);
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..6 {
+                        drop(rec.span("t"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Each thread keeps its own 4 most recent spans.
+        assert_eq!(rec.drain_sorted().len(), 12);
+    }
+
+    #[test]
+    fn span_tree_finds_and_measures() {
+        let ms = Duration::from_millis;
+        let tree = SpanNode::leaf("job", ms(0), ms(10))
+            .with_child(SpanNode::leaf("queued", ms(0), ms(2)))
+            .with_child(
+                SpanNode::leaf("execute", ms(2), ms(7)).with_child(SpanNode::leaf(
+                    "simulation",
+                    ms(3),
+                    ms(5),
+                )),
+            )
+            .with_child(SpanNode::leaf("reply", ms(9), ms(1)));
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.find("simulation").unwrap().duration, ms(5));
+        assert_eq!(tree.child_coverage(), ms(10));
+    }
+
+    #[test]
+    fn job_ring_is_bounded() {
+        let ring = JobTreeRing::new(2);
+        for i in 0..5u64 {
+            ring.record(
+                i,
+                SpanNode::leaf(&format!("job{i}"), Duration::ZERO, Duration::from_millis(1)),
+            );
+        }
+        let trees = ring.trees();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].name, "job3");
+        assert_eq!(trees[1].name, "job4");
+    }
+
+    #[test]
+    fn job_ring_upserts_by_id() {
+        let ring = JobTreeRing::new(4);
+        let ms = Duration::from_millis;
+        ring.record(7, SpanNode::leaf("job", ms(0), ms(5)));
+        ring.record(8, SpanNode::leaf("job", ms(0), ms(3)));
+        // The wire layer re-records id 7 with a reply child appended.
+        ring.record(
+            7,
+            SpanNode::leaf("job", ms(0), ms(6)).with_child(SpanNode::leaf("reply", ms(5), ms(1))),
+        );
+        let trees = ring.trees();
+        assert_eq!(trees.len(), 2, "upsert must not duplicate");
+        assert_eq!(ring.tree(7).unwrap().find("reply").unwrap().duration, ms(1));
+        assert_eq!(ring.tree(8).unwrap().duration, ms(3));
+        assert!(ring.tree(9).is_none());
+    }
+}

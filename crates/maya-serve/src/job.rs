@@ -28,12 +28,13 @@
 //! result's `trials` exactly.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 pub use maya::CancelToken;
 use maya_estimator::CacheStats;
+use maya_obs::Counter;
 use maya_search::{ConfigPoint, TrialOutcome, TrialRecord};
 
 use crate::error::ServeError;
@@ -237,8 +238,10 @@ pub(crate) struct JobCore {
     pub(crate) cancel: CancelToken,
     progress: Mutex<ProgressBuffer>,
     progress_ready: Condvar,
-    /// Service-wide coalesce counter (see [`ProgressBuffer`]).
-    coalesced: Arc<AtomicU64>,
+    /// Service-wide coalesce counter (see [`ProgressBuffer`]) — an
+    /// obs handle, so the same cell feeds [`crate::ServiceStats`] and
+    /// the service's scrapeable metrics snapshot.
+    coalesced: Counter,
     /// Back-reference to the admission queue, attached at submission,
     /// so a cancel can wake the sleeping scheduler and have a
     /// still-queued job's verdict delivered promptly.
@@ -296,7 +299,7 @@ impl JobCore {
             last.cache_delta.hits += event.cache_delta.hits;
             last.cache_delta.misses += event.cache_delta.misses;
             last.cache_delta.evictions += event.cache_delta.evictions;
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.inc();
         } else {
             buf.events.push_back(event);
         }
@@ -402,7 +405,7 @@ impl JobHandle {
     pub(crate) fn new(
         id: u64,
         progress_high_water: usize,
-        coalesced: Arc<AtomicU64>,
+        coalesced: Counter,
     ) -> (Self, Arc<JobCore>, mpsc::Sender<JobOutcome>) {
         let (outcome_tx, outcome_rx) = mpsc::channel();
         let core = Arc::new(JobCore {

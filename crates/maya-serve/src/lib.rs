@@ -68,6 +68,10 @@ pub mod serdes;
 pub mod service;
 
 pub use error::ServeError;
+/// Re-exported observability vocabulary, so service users configure
+/// and consume instrumentation without naming `maya-obs` directly.
+pub use maya_obs::{ObsConfig, ObsSnapshot, SpanNode};
+
 pub use job::{
     CancelToken, JobControl, JobHandle, JobOptions, JobOutcome, JobState, Priority, ProgressEvents,
     SearchProgress,

@@ -28,9 +28,10 @@
 //! Anonymous jobs (no tenant) are exempt from quotas.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use maya_obs::{Counter, Gauge, Histogram, HistogramSnapshot};
 
 use crate::error::ServeError;
 use crate::job::{JobOutcome, JobState, QueuedJob};
@@ -77,54 +78,16 @@ pub struct TenantStats {
     pub cancelled: u64,
     /// Queue-wait samples recorded so far (cumulative; one per queue
     /// departure — dispatch to a worker or shed while queued). The
-    /// percentiles below summarize the most recent
-    /// [`WAIT_RESERVOIR_LEN`] of them.
-    pub wait_samples: u64,
-    /// Median queue wait over the reservoir window.
-    pub queue_wait_p50: Duration,
-    /// 99th-percentile (nearest-rank) queue wait over the reservoir
+    /// percentiles below summarize *all* of them: waits land in a
+    /// log-bucketed [`maya_obs::Histogram`] (fixed memory, ~6%
+    /// resolution), so the tail is no longer truncated to a sample
     /// window.
+    pub wait_samples: u64,
+    /// Median queue wait (histogram nearest-rank, microsecond floor).
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile queue wait (histogram nearest-rank,
+    /// microsecond floor).
     pub queue_wait_p99: Duration,
-}
-
-/// Bounded queue-wait sample window per tenant: the percentiles in
-/// [`TenantStats`] summarize at most this many recent waits.
-pub const WAIT_RESERVOIR_LEN: usize = 512;
-
-/// Sliding-window queue-wait reservoir: a fixed-capacity ring of the
-/// most recent waits, so percentile reporting costs O(window) and a
-/// long-lived tenant cannot grow server state without bound.
-#[derive(Default)]
-struct WaitReservoir {
-    samples: Vec<Duration>,
-    next: usize,
-    count: u64,
-}
-
-impl WaitReservoir {
-    fn record(&mut self, wait: Duration) {
-        if self.samples.len() < WAIT_RESERVOIR_LEN {
-            self.samples.push(wait);
-        } else {
-            self.samples[self.next] = wait;
-        }
-        self.next = (self.next + 1) % WAIT_RESERVOIR_LEN;
-        self.count += 1;
-    }
-
-    /// `(p50, p99)` over the window, by nearest rank; zeros when empty.
-    fn percentiles(&self) -> (Duration, Duration) {
-        if self.samples.is_empty() {
-            return (Duration::ZERO, Duration::ZERO);
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = |q: f64| {
-            let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
-            sorted[idx]
-        };
-        (rank(0.50), rank(0.99))
-    }
 }
 
 #[derive(Default)]
@@ -136,7 +99,11 @@ struct TenantAccount {
     quota_shed: u64,
     expired: u64,
     cancelled: u64,
-    waits: WaitReservoir,
+    /// Queue waits, microseconds. Log-bucketed: fixed memory per
+    /// tenant, no sample-window truncation.
+    waits: Histogram,
+    /// Service times of this tenant's completed jobs, microseconds.
+    service: Histogram,
 }
 
 struct Entry {
@@ -152,6 +119,29 @@ struct QueueState {
     tenants: HashMap<String, TenantAccount>,
 }
 
+/// The queue's shared-registry instrumentation handles, owned by the
+/// service (`ServiceObs`) and threaded in at construction. Detached
+/// handles (the default) record into private cells nothing reads —
+/// the queue's own behaviour never depends on them.
+#[derive(Default)]
+pub(crate) struct QueueObs {
+    /// Live queued-entry count ("serve.queue.depth").
+    pub(crate) depth: Gauge,
+    /// High-water mark of the depth gauge ("serve.queue.depth_high_water").
+    pub(crate) depth_high_water: Gauge,
+    /// Queue waits by priority class, microseconds, indexed by
+    /// [`crate::Priority::level`] ("serve.queue_wait_us.{high,normal,batch}").
+    pub(crate) wait_by_class: [Histogram; 3],
+    /// Jobs shed from the queue with their deadline already blown
+    /// ("serve.queue.shed_expired").
+    pub(crate) shed_expired: Counter,
+    /// Jobs discarded from the queue after a cancel
+    /// ("serve.queue.shed_cancelled").
+    pub(crate) shed_cancelled: Counter,
+    /// Submissions shed over a tenant quota ("serve.queue.quota_shed").
+    pub(crate) quota_shed: Counter,
+}
+
 /// The scheduler (see module docs). Workers block in
 /// [`AdmissionQueue::pop`]; submitters enter through
 /// [`AdmissionQueue::push`].
@@ -163,25 +153,38 @@ pub(crate) struct AdmissionQueue {
     /// A queue slot freed (pop or dead-entry purge) — wakes blocked
     /// submitters.
     slot_free: Condvar,
-    /// Jobs shed from the queue with their deadline already blown.
-    shed_expired: AtomicU64,
-    /// Jobs discarded from the queue after a cancel.
-    shed_cancelled: AtomicU64,
-    /// Submissions shed over a tenant quota.
-    quota_shed: AtomicU64,
+    obs: QueueObs,
 }
 
 impl AdmissionQueue {
-    pub(crate) fn new(config: QueueConfig) -> Self {
+    pub(crate) fn new(config: QueueConfig, obs: QueueObs) -> Self {
         AdmissionQueue {
             config,
             state: Mutex::new(QueueState::default()),
             job_ready: Condvar::new(),
             slot_free: Condvar::new(),
-            shed_expired: AtomicU64::new(0),
-            shed_cancelled: AtomicU64::new(0),
-            quota_shed: AtomicU64::new(0),
+            obs,
         }
+    }
+
+    /// Publishes the queued-entry count to the depth gauge (and its
+    /// high-water mark). Called with the state lock held at every
+    /// depth transition.
+    fn publish_depth(&self, state: &QueueState) {
+        let depth = state.entries.len() as i64;
+        self.obs.depth.set(depth);
+        self.obs.depth_high_water.raise(depth);
+    }
+
+    /// Records one queue departure: the wait lands in the tenant's
+    /// histogram (when named) and in the job's priority-class
+    /// histogram.
+    fn record_wait(&self, acct: Option<&mut TenantAccount>, job: &QueuedJob) {
+        let wait = job.enqueued.elapsed();
+        if let Some(acct) = acct {
+            acct.waits.record_duration(wait);
+        }
+        self.obs.wait_by_class[usize::from(job.priority.level().min(2))].record_duration(wait);
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueState> {
@@ -207,7 +210,7 @@ impl AdmissionQueue {
                 if let Some(acct) = state.tenants.get_mut(&tenant) {
                     if acct.queued >= max {
                         acct.quota_shed += 1;
-                        self.quota_shed.fetch_add(1, Ordering::Relaxed);
+                        self.obs.quota_shed.inc();
                         return Err(ServeError::QuotaExceeded { tenant });
                     }
                 }
@@ -224,6 +227,7 @@ impl AdmissionQueue {
                 let seq = state.next_seq;
                 state.next_seq += 1;
                 state.entries.push_back(Entry { seq, job });
+                self.publish_depth(&state);
                 drop(state);
                 self.job_ready.notify_all();
                 return Ok(());
@@ -318,13 +322,18 @@ impl AdmissionQueue {
             self.purge_dead(&mut state);
             if let Some(idx) = self.select(&state) {
                 let entry = state.entries.remove(idx).expect("selected index in bounds");
-                if let Some(tenant) = entry.job.tenant.as_deref() {
-                    if let Some(acct) = state.tenants.get_mut(tenant) {
+                let acct = entry
+                    .job
+                    .tenant
+                    .as_deref()
+                    .and_then(|t| state.tenants.get_mut(t))
+                    .map(|acct| {
                         acct.queued -= 1;
                         acct.in_flight += 1;
-                        acct.waits.record(entry.job.enqueued.elapsed());
-                    }
-                }
+                        acct
+                    });
+                self.record_wait(acct, &entry.job);
+                self.publish_depth(&state);
                 drop(state);
                 self.slot_free.notify_all();
                 return Some(entry.job);
@@ -337,9 +346,15 @@ impl AdmissionQueue {
     }
 
     /// Reports a popped job's terminal state: releases the tenant's
-    /// in-flight slot, advances its counters, and re-wakes workers
+    /// in-flight slot, advances its counters, records the service
+    /// time (when the job actually executed), and re-wakes workers
     /// (an entry blocked on the in-flight cap may now be eligible).
-    pub(crate) fn finished(&self, tenant: Option<&str>, state: JobState) {
+    pub(crate) fn finished(
+        &self,
+        tenant: Option<&str>,
+        state: JobState,
+        service_time: Option<Duration>,
+    ) {
         let mut s = self.lock();
         if let Some(tenant) = tenant {
             if let Some(acct) = s.tenants.get_mut(tenant) {
@@ -349,6 +364,9 @@ impl AdmissionQueue {
                     JobState::Expired => acct.expired += 1,
                     JobState::Cancelled => acct.cancelled += 1,
                     _ => {}
+                }
+                if let Some(st) = service_time {
+                    acct.service.record_duration(st);
                 }
             }
         }
@@ -419,48 +437,53 @@ impl AdmissionQueue {
             };
             let entry = state.entries.remove(idx).expect("index in bounds");
             removed = true;
-            if let Some(tenant) = entry.job.tenant.as_deref() {
-                if let Some(acct) = state.tenants.get_mut(tenant) {
+            let acct = entry
+                .job
+                .tenant
+                .as_deref()
+                .and_then(|t| state.tenants.get_mut(t))
+                .map(|acct| {
                     acct.queued -= 1;
-                    acct.waits.record(entry.job.enqueued.elapsed());
                     match verdict {
                         JobState::Expired => acct.expired += 1,
                         _ => acct.cancelled += 1,
                     }
-                }
-            }
+                    acct
+                });
+            self.record_wait(acct, &entry.job);
             entry.job.core.finish(verdict);
             // A dropped outcome receiver just means the client lost
             // interest.
             match verdict {
                 JobState::Expired => {
-                    self.shed_expired.fetch_add(1, Ordering::Relaxed);
+                    self.obs.shed_expired.inc();
                     let _ = entry.job.outcome_tx.send(JobOutcome::Expired(None));
                 }
                 _ => {
-                    self.shed_cancelled.fetch_add(1, Ordering::Relaxed);
+                    self.obs.shed_cancelled.inc();
                     let _ = entry.job.outcome_tx.send(JobOutcome::Cancelled(None));
                 }
             }
         }
         if removed {
+            self.publish_depth(state);
             self.slot_free.notify_all();
         }
     }
 
     /// Jobs shed from the queue with their deadline already blown.
     pub(crate) fn shed_expired(&self) -> u64 {
-        self.shed_expired.load(Ordering::Relaxed)
+        self.obs.shed_expired.get()
     }
 
     /// Jobs discarded from the queue after a cancel.
     pub(crate) fn shed_cancelled(&self) -> u64 {
-        self.shed_cancelled.load(Ordering::Relaxed)
+        self.obs.shed_cancelled.get()
     }
 
     /// Submissions shed over a tenant quota.
     pub(crate) fn quota_shed(&self) -> u64 {
-        self.quota_shed.load(Ordering::Relaxed)
+        self.obs.quota_shed.get()
     }
 
     /// Per-tenant counters, sorted by tenant name.
@@ -470,7 +493,7 @@ impl AdmissionQueue {
             .tenants
             .iter()
             .map(|(tenant, acct)| {
-                let (queue_wait_p50, queue_wait_p99) = acct.waits.percentiles();
+                let waits = acct.waits.snapshot();
                 TenantStats {
                     tenant: tenant.clone(),
                     queued: acct.queued,
@@ -480,13 +503,36 @@ impl AdmissionQueue {
                     quota_shed: acct.quota_shed,
                     expired: acct.expired,
                     cancelled: acct.cancelled,
-                    wait_samples: acct.waits.count,
-                    queue_wait_p50,
-                    queue_wait_p99,
+                    wait_samples: waits.count,
+                    queue_wait_p50: Duration::from_micros(waits.quantile(0.50)),
+                    queue_wait_p99: Duration::from_micros(waits.quantile(0.99)),
                 }
             })
             .collect();
         stats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         stats
+    }
+
+    /// Per-tenant `(name, queue-wait, service-time)` histogram
+    /// snapshots, sorted by tenant name — injected into the service's
+    /// [`maya_obs::ObsSnapshot`] under
+    /// `serve.queue_wait_us.tenant.<name>` /
+    /// `serve.service_time_us.tenant.<name>`.
+    pub(crate) fn tenant_histograms(&self) -> Vec<(String, HistogramSnapshot, HistogramSnapshot)> {
+        let state = self.lock();
+        let mut out: Vec<_> = state
+            .tenants
+            .iter()
+            .map(|(tenant, acct)| {
+                (
+                    tenant.clone(),
+                    acct.waits.snapshot(),
+                    acct.service.snapshot(),
+                )
+            })
+            .collect();
+        drop(state);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }

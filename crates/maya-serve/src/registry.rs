@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use maya::{EmulationSpec, EstimatorChoice, PredictionEngine};
+use maya::{EmulationSpec, EstimatorChoice, PredictionEngine, SimObs};
 use maya_estimator::CachingEstimator;
 use maya_hw::ClusterSpec;
 
@@ -35,6 +35,10 @@ pub struct EngineRegistry {
     caches: Mutex<HashMap<ClusterSpec, Arc<OnceLock<Arc<CachingEstimator>>>>>,
     engine_builds: AtomicUsize,
     estimator_builds: AtomicUsize,
+    /// Template simulator-observability sinks. When set, every engine
+    /// the registry builds gets a clone installed (the handles are
+    /// shared cells, so all engines publish into the same counters).
+    sim_obs: Option<SimObs>,
 }
 
 impl EngineRegistry {
@@ -66,7 +70,17 @@ impl EngineRegistry {
             caches: Mutex::new(HashMap::new()),
             engine_builds: AtomicUsize::new(0),
             estimator_builds: AtomicUsize::new(0),
+            sim_obs: None,
         }
+    }
+
+    /// Installs simulator observability sinks on every engine this
+    /// registry builds from now on (already-built engines are
+    /// unaffected, which is why the service sets this before handing
+    /// the registry out).
+    pub fn with_sim_obs(mut self, obs: SimObs) -> Self {
+        self.sim_obs = Some(obs);
+        self
     }
 
     /// The configured estimator choice.
@@ -100,10 +114,12 @@ impl EngineRegistry {
         };
         Arc::clone(cell.get_or_init(|| {
             self.engine_builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(PredictionEngine::with_shared_cache(
-                spec.clone(),
-                self.cache(&spec.cluster),
-            ))
+            let engine =
+                PredictionEngine::with_shared_cache(spec.clone(), self.cache(&spec.cluster));
+            if let Some(obs) = &self.sim_obs {
+                let _ = engine.install_sim_obs(obs.clone());
+            }
+            Arc::new(engine)
         }))
     }
 

@@ -11,6 +11,7 @@ use std::time::Duration;
 use maya::{MayaError, Prediction, StageTimings};
 use maya_estimator::CacheStats;
 use maya_hw::Measurement;
+use maya_obs::SpanNode;
 use maya_search::{AlgorithmKind, ConfigSpace, SearchResult};
 use maya_torchlet::TrainingJob;
 
@@ -94,7 +95,7 @@ pub enum Payload {
 }
 
 /// Per-request service telemetry.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     /// Time spent in the admission queue before a worker picked the
     /// request up.
@@ -113,6 +114,13 @@ pub struct Telemetry {
     /// predictions (zero for `Search`, whose per-trial timings are not
     /// individually surfaced).
     pub stages: StageTimings,
+    /// The job-lifecycle span tree (`job` → `queued`/`execute` →
+    /// stages), built when the service's
+    /// [`maya_obs::ObsConfig::spans`] channel is on; empty otherwise.
+    /// At most one root. The wire server appends a `reply` span before
+    /// recording the tree in its flight ring; wire protocol v5 carries
+    /// the tree to clients, v4 peers receive telemetry without it.
+    pub spans: Vec<SpanNode>,
 }
 
 /// A served request: payload plus telemetry.

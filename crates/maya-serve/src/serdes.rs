@@ -156,28 +156,58 @@ impl<'de> Deserialize<'de> for Request {
     }
 }
 
+/// The canonical (wire protocol ≥ 5) layout: the six original fields
+/// followed by the span tree. Protocol-v4-and-earlier peers use
+/// [`write_telemetry_compat`]/[`read_telemetry_compat`] with
+/// `with_spans = false`, which is exactly the pre-v5 layout.
 impl Serialize for Telemetry {
     fn serialize(&self, w: &mut compact::Writer) {
-        self.queue_wait.serialize(w);
-        self.service_time.serialize(w);
-        self.worker.serialize(w);
-        self.cache.serialize(w);
-        self.cache_delta.serialize(w);
-        self.stages.serialize(w);
+        write_telemetry_compat(self, w, true);
     }
 }
 
 impl<'de> Deserialize<'de> for Telemetry {
     fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
-        Ok(Telemetry {
-            queue_wait: Deserialize::deserialize(r)?,
-            service_time: Deserialize::deserialize(r)?,
-            worker: Deserialize::deserialize(r)?,
-            cache: Deserialize::deserialize(r)?,
-            cache_delta: Deserialize::deserialize(r)?,
-            stages: Deserialize::deserialize(r)?,
-        })
+        read_telemetry_compat(r, true)
     }
+}
+
+/// Encodes [`Telemetry`] for a peer that does (`with_spans = true`,
+/// wire protocol ≥ 5) or does not (`false`, ≤ 4) understand the
+/// trailing span-tree field. The `false` layout is byte-identical to
+/// the pre-v5 codec.
+pub fn write_telemetry_compat(t: &Telemetry, w: &mut compact::Writer, with_spans: bool) {
+    t.queue_wait.serialize(w);
+    t.service_time.serialize(w);
+    t.worker.serialize(w);
+    t.cache.serialize(w);
+    t.cache_delta.serialize(w);
+    t.stages.serialize(w);
+    if with_spans {
+        t.spans.serialize(w);
+    }
+}
+
+/// Decodes [`Telemetry`] from either layout (see
+/// [`write_telemetry_compat`]); a `with_spans = false` body yields
+/// empty [`Telemetry::spans`].
+pub fn read_telemetry_compat<'de>(
+    r: &mut compact::Reader<'de>,
+    with_spans: bool,
+) -> Result<Telemetry, compact::Error> {
+    Ok(Telemetry {
+        queue_wait: Deserialize::deserialize(r)?,
+        service_time: Deserialize::deserialize(r)?,
+        worker: Deserialize::deserialize(r)?,
+        cache: Deserialize::deserialize(r)?,
+        cache_delta: Deserialize::deserialize(r)?,
+        stages: Deserialize::deserialize(r)?,
+        spans: if with_spans {
+            Deserialize::deserialize(r)?
+        } else {
+            Vec::new()
+        },
+    })
 }
 
 /// Per-tenant QoS counters including the queue-wait percentiles, so a
@@ -226,6 +256,8 @@ impl Serialize for crate::service::ServiceStats {
         self.cancelled.serialize(w);
         self.expired.serialize(w);
         self.quota_shed.serialize(w);
+        self.queue_shed_expired.serialize(w);
+        self.queue_shed_cancelled.serialize(w);
         self.panicked.serialize(w);
         self.progress_coalesced.serialize(w);
         self.engines_built.serialize(w);
@@ -242,6 +274,8 @@ impl<'de> Deserialize<'de> for crate::service::ServiceStats {
             cancelled: Deserialize::deserialize(r)?,
             expired: Deserialize::deserialize(r)?,
             quota_shed: Deserialize::deserialize(r)?,
+            queue_shed_expired: Deserialize::deserialize(r)?,
+            queue_shed_cancelled: Deserialize::deserialize(r)?,
             panicked: Deserialize::deserialize(r)?,
             progress_coalesced: Deserialize::deserialize(r)?,
             engines_built: Deserialize::deserialize(r)?,
@@ -304,10 +338,17 @@ impl Serialize for Payload {
 /// written separately.
 impl Serialize for Response {
     fn serialize(&self, w: &mut compact::Writer) {
-        self.target.serialize(w);
-        self.telemetry.serialize(w);
-        self.payload.serialize(w);
+        write_response_compat(self, w, true);
     }
+}
+
+/// Encodes a [`Response`] for a peer on either side of the v5 span
+/// field (see [`write_telemetry_compat`]). The wire server picks the
+/// layout per connection from the peer's negotiated version.
+pub fn write_response_compat(resp: &Response, w: &mut compact::Writer, with_spans: bool) {
+    resp.target.serialize(w);
+    write_telemetry_compat(&resp.telemetry, w, with_spans);
+    resp.payload.serialize(w);
 }
 
 /// Stable wire code naming a [`ServeError`] variant; the shared
@@ -371,12 +412,12 @@ mod tests {
         });
     }
 
-    #[test]
-    fn telemetry_round_trips() {
+    fn telemetry_fixture() -> Telemetry {
         use maya::StageTimings;
         use maya_estimator::CacheStats;
+        use maya_obs::SpanNode;
         use std::time::Duration;
-        let t = Telemetry {
+        Telemetry {
             queue_wait: Duration::from_micros(120),
             service_time: Duration::from_millis(7),
             worker: 3,
@@ -391,13 +432,45 @@ mod tests {
                 evictions: 0,
             },
             stages: StageTimings::default(),
-        };
+            spans: vec![
+                SpanNode::leaf("job", Duration::ZERO, Duration::from_micros(7_120)).with_child(
+                    SpanNode::leaf("queued", Duration::ZERO, Duration::from_micros(120)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn telemetry_round_trips() {
+        let t = telemetry_fixture();
         let text = serde::to_string(&t);
         let back: Telemetry = serde::from_str(&text).unwrap();
         assert_eq!(back.cache, t.cache);
         assert_eq!(back.cache_delta, t.cache_delta);
         assert_eq!(back.queue_wait, t.queue_wait);
+        assert_eq!(back.spans, t.spans);
         assert_eq!(serde::to_string(&back), text);
+    }
+
+    #[test]
+    fn telemetry_compat_layout_drops_and_restores_spans() {
+        let t = telemetry_fixture();
+        // The v4 layout must not mention the span tree at all …
+        let mut w = compact::Writer::new();
+        write_telemetry_compat(&t, &mut w, false);
+        let v4 = w.finish();
+        assert!(!v4.contains("job"), "v4 body leaked spans: {v4}");
+        // … and decoding it yields the same telemetry minus spans.
+        let mut r = compact::Reader::new(&v4);
+        let back = read_telemetry_compat(&mut r, false).unwrap();
+        r.end().unwrap();
+        assert!(back.spans.is_empty());
+        assert_eq!(back.queue_wait, t.queue_wait);
+        assert_eq!(back.cache, t.cache);
+        // The canonical layout is exactly the compat layout with spans.
+        let mut w = compact::Writer::new();
+        write_telemetry_compat(&t, &mut w, true);
+        assert_eq!(w.finish(), serde::to_string(&t));
     }
 
     #[test]
@@ -450,6 +523,8 @@ mod tests {
             cancelled: 3,
             expired: 1,
             quota_shed: 7,
+            queue_shed_expired: 1,
+            queue_shed_cancelled: 2,
             panicked: 0,
             progress_coalesced: 12,
             engines_built: 2,
@@ -529,6 +604,39 @@ mod tests {
         // The quoted tenant name is escaped.
         assert!(json.contains("beta \\\"quoted\\\""), "{json}");
         assert!(json.contains("\"served\":42"), "{json}");
+    }
+
+    /// Every [`crate::service::ServiceStats`] counter (and every
+    /// [`TenantStats`] counter) must appear in the JSON rendering —
+    /// `to_json` destructures both structs exhaustively, so adding a
+    /// field without emitting it breaks the compile, and this test
+    /// pins the emitted key names.
+    #[test]
+    fn service_stats_json_emits_every_field() {
+        let json = service_stats_fixture().to_json();
+        for key in [
+            "\"served\":",
+            "\"cancelled\":",
+            "\"expired\":",
+            "\"quota_shed\":7",
+            "\"queue_shed_expired\":1",
+            "\"queue_shed_cancelled\":2",
+            "\"panicked\":",
+            "\"progress_coalesced\":",
+            "\"engines_built\":",
+            "\"workers\":",
+            "\"queue_capacity\":",
+            "\"tenants\":[",
+            "\"tenant\":",
+            "\"queued\":",
+            "\"in_flight\":",
+            "\"admitted\":",
+            "\"wait_samples\":",
+            "\"queue_wait_p50_us\":",
+            "\"queue_wait_p99_us\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

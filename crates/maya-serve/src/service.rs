@@ -28,29 +28,103 @@ use std::time::{Duration, Instant};
 
 use maya::{EmulationSpec, EstimatorChoice, PredictionEngine, StageTimings};
 use maya_estimator::{CacheStats, SnapshotError};
+use maya_obs::{
+    chrome_trace_json, Counter, FlightRecorder, Gauge, Histogram, JobTreeRing, ObsConfig,
+    ObsSnapshot, Registry, SpanNode,
+};
 use maya_search::{
     ConfigPoint, Objective, SearchObserver, TrialOutcome, TrialRecord, TrialScheduler,
 };
 
 use crate::error::ServeError;
 use crate::job::{JobCore, JobHandle, JobOptions, JobOutcome, JobState, QueuedJob, SearchProgress};
-use crate::queue::{AdmissionQueue, QueueConfig, TenantStats};
+use crate::queue::{AdmissionQueue, QueueConfig, QueueObs, TenantStats};
 use crate::registry::EngineRegistry;
 use crate::request::{MeasureOutcome, Payload, Request, Response, Telemetry};
+
+/// The service's observability surface: one [`Registry`] every layer
+/// publishes into, the flight recorder, and the ring of recent job
+/// span trees. Built from the [`ObsConfig`] the
+/// [`ServiceBuilder::observability`] chose — with metrics off, handles
+/// are detached (they still count, since [`ServiceStats`] reads them,
+/// but nothing is registered for scraping); with spans off, no trees
+/// are built at all.
+struct ServiceObs {
+    config: ObsConfig,
+    registry: Registry,
+    recorder: FlightRecorder,
+    job_trees: JobTreeRing,
+    /// Service times by priority class, microseconds, indexed by
+    /// `Priority::level` ("serve.service_time_us.{high,normal,batch}").
+    service_by_class: [Histogram; 3],
+}
+
+impl ServiceObs {
+    fn new(config: ObsConfig) -> ServiceObs {
+        let registry = Registry::new();
+        let recorder = FlightRecorder::default();
+        recorder.set_enabled(config.spans);
+        let service_by_class = if config.metrics {
+            [
+                registry.histogram("serve.service_time_us.high"),
+                registry.histogram("serve.service_time_us.normal"),
+                registry.histogram("serve.service_time_us.batch"),
+            ]
+        } else {
+            Default::default()
+        };
+        ServiceObs {
+            config,
+            registry,
+            recorder,
+            job_trees: JobTreeRing::default(),
+            service_by_class,
+        }
+    }
+
+    /// A counter under `name` when metrics are on, detached otherwise.
+    fn counter(&self, name: &str) -> Counter {
+        if self.config.metrics {
+            self.registry.counter(name)
+        } else {
+            Counter::detached()
+        }
+    }
+
+    /// A gauge under `name` when metrics are on, detached otherwise.
+    fn gauge(&self, name: &str) -> Gauge {
+        if self.config.metrics {
+            self.registry.gauge(name)
+        } else {
+            Gauge::detached()
+        }
+    }
+
+    /// A histogram under `name` when metrics are on, detached
+    /// otherwise.
+    fn histogram(&self, name: &str) -> Histogram {
+        if self.config.metrics {
+            self.registry.histogram(name)
+        } else {
+            Histogram::detached()
+        }
+    }
+}
 
 /// State shared by the service handle and its workers.
 struct Shared {
     registry: EngineRegistry,
     targets: HashMap<String, EmulationSpec>,
     next_job_id: AtomicU64,
-    served: AtomicU64,
-    cancelled: AtomicU64,
-    expired: AtomicU64,
-    panicked: AtomicU64,
+    served: Counter,
+    cancelled: Counter,
+    expired: Counter,
+    panicked: Counter,
     /// Progress events merged under backpressure (see
     /// [`ServiceBuilder::progress_high_water`]).
-    progress_coalesced: Arc<AtomicU64>,
+    progress_coalesced: Counter,
     progress_high_water: usize,
+    obs: ServiceObs,
 }
 
 /// Configures and builds a [`MayaService`].
@@ -66,6 +140,7 @@ pub struct ServiceBuilder {
     snapshot_dir: Option<PathBuf>,
     memo_capacity: Option<usize>,
     memo_ttl: Option<Duration>,
+    observability: ObsConfig,
 }
 
 impl Default for ServiceBuilder {
@@ -84,6 +159,7 @@ impl Default for ServiceBuilder {
             snapshot_dir: None,
             memo_capacity: None,
             memo_ttl: None,
+            observability: ObsConfig::default(),
         }
     }
 }
@@ -202,6 +278,18 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the observability channels ([`ObsConfig::on`] by default):
+    /// `metrics` gates the scrapeable registry (queue depth, shed
+    /// counters, wait/service histograms per tenant and priority
+    /// class), `spans` gates the per-job lifecycle tree on
+    /// [`Telemetry::spans`] and the flight recorder.
+    /// [`ObsConfig::off`] restores the uninstrumented cost profile;
+    /// [`ServiceStats`] keeps working either way.
+    pub fn observability(mut self, config: ObsConfig) -> Self {
+        self.observability = config;
+        self
+    }
+
     /// Builds the service and spawns its worker pool.
     pub fn build(self) -> Result<MayaService, ServeError> {
         if self.targets.is_empty() {
@@ -220,8 +308,21 @@ impl ServiceBuilder {
                 return Err(ServeError::CustomEstimatorSpansClusters);
             }
         }
-        let registry =
+        let obs = ServiceObs::new(self.observability);
+        let mut registry =
             EngineRegistry::with_memo_limits(self.estimator, self.memo_capacity, self.memo_ttl);
+        if obs.config.metrics {
+            // Every engine the registry ever builds publishes its sim
+            // tallies into these shared registry-backed cells; the
+            // recorder is the service-wide one, so `sim.run` spans land
+            // next to the job-lifecycle spans.
+            registry = registry.with_sim_obs(maya::SimObs {
+                events: obs.counter("sim.events_processed"),
+                heap_depth_high_water: obs.gauge("sim.heap_depth_high_water"),
+                flow_solves: obs.counter("sim.flow_solves"),
+                recorder: obs.recorder.clone(),
+            });
+        }
         let mut restores = Vec::new();
         if let Some(dir) = &self.snapshot_dir {
             // Deterministic restore order (and report order).
@@ -281,23 +382,39 @@ impl ServiceBuilder {
                 }
             }
         }
+        let queue_obs = QueueObs {
+            depth: obs.gauge("serve.queue.depth"),
+            depth_high_water: obs.gauge("serve.queue.depth_high_water"),
+            wait_by_class: [
+                obs.histogram("serve.queue_wait_us.high"),
+                obs.histogram("serve.queue_wait_us.normal"),
+                obs.histogram("serve.queue_wait_us.batch"),
+            ],
+            shed_expired: obs.counter("serve.queue.shed_expired"),
+            shed_cancelled: obs.counter("serve.queue.shed_cancelled"),
+            quota_shed: obs.counter("serve.queue.quota_shed"),
+        };
         let shared = Arc::new(Shared {
             registry,
             targets,
             next_job_id: AtomicU64::new(1),
-            served: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
-            progress_coalesced: Arc::new(AtomicU64::new(0)),
+            served: obs.counter("serve.served"),
+            cancelled: obs.counter("serve.cancelled"),
+            expired: obs.counter("serve.expired"),
+            panicked: obs.counter("serve.panicked"),
+            progress_coalesced: obs.counter("serve.progress_coalesced"),
             progress_high_water: self.progress_high_water,
+            obs,
         });
-        let queue = Arc::new(AdmissionQueue::new(QueueConfig {
-            capacity: self.queue_capacity,
-            starvation_guard: self.starvation_guard,
-            tenant_max_queued: self.tenant_max_queued,
-            tenant_max_in_flight: self.tenant_max_in_flight,
-        }));
+        let queue = Arc::new(AdmissionQueue::new(
+            QueueConfig {
+                capacity: self.queue_capacity,
+                starvation_guard: self.starvation_guard,
+                tenant_max_queued: self.tenant_max_queued,
+                tenant_max_in_flight: self.tenant_max_in_flight,
+            },
+            queue_obs,
+        ));
         let workers: Vec<JoinHandle<()>> = (0..self.workers)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
@@ -393,24 +510,25 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
     // and pickup.
     while let Some(work) = queue.pop() {
         let tenant = work.tenant.clone();
+        let priority = work.priority;
         // Deadline enforcement, part 1: a job whose budget ran out
         // between selection and pickup is shed *here*, before any
         // engine or pipeline work — load shedding at its cheapest
         // point.
         if work.expires.is_some_and(|d| Instant::now() >= d) {
-            shared.expired.fetch_add(1, Ordering::Relaxed);
+            shared.expired.inc();
             work.core.finish(JobState::Expired);
             // Counters settle before the verdict is delivered, so a
             // client reading stats right after `wait()` sees them.
-            queue.finished(tenant.as_deref(), JobState::Expired);
+            queue.finished(tenant.as_deref(), JobState::Expired, None);
             let _ = work.outcome_tx.send(JobOutcome::Expired(None));
             continue;
         }
         // A job cancelled while queued is likewise discarded unrun.
         if work.core.cancel.is_cancelled() {
-            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.cancelled.inc();
             work.core.finish(JobState::Cancelled);
-            queue.finished(tenant.as_deref(), JobState::Cancelled);
+            queue.finished(tenant.as_deref(), JobState::Cancelled, None);
             let _ = work.outcome_tx.send(JobOutcome::Cancelled(None));
             continue;
         }
@@ -430,6 +548,7 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
         } = work;
         let label = format!("{} on {:?}", req.kind(), req.target());
         let exec_core = Arc::clone(&core);
+        let exec_started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute(idx, shared, req, enqueued, &exec_core, expires)
         }));
@@ -443,16 +562,33 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
                     JobState::Cancelled => &shared.cancelled,
                     _ => &shared.expired,
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
+                let service_time = outcome.response().map(|r| r.telemetry.service_time);
+                if let Some(st) = service_time {
+                    if shared.obs.config.metrics {
+                        shared.obs.service_by_class[usize::from(priority.level().min(2))]
+                            .record_duration(st);
+                    }
+                }
+                if shared.obs.config.spans {
+                    shared.obs.recorder.record(
+                        "serve.execute",
+                        exec_started,
+                        exec_started.elapsed(),
+                    );
+                    if let Some(tree) = outcome.response().and_then(|r| r.telemetry.spans.first()) {
+                        shared.obs.job_trees.record(core.id, tree.clone());
+                    }
+                }
                 core.finish(state);
                 // Counters settle before the verdict is delivered, so
                 // a client reading stats right after `wait()` sees
                 // them.
-                queue.finished(tenant.as_deref(), state);
+                queue.finished(tenant.as_deref(), state, service_time);
                 let _ = outcome_tx.send(outcome);
             }
             Err(panic) => {
-                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                shared.panicked.inc();
                 let msg = panic
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -461,7 +597,7 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
                 eprintln!("[maya-serve] worker {idx}: request {label} panicked: {msg}");
                 core.abandon();
                 drop(outcome_tx);
-                queue.finished(tenant.as_deref(), JobState::Failed);
+                queue.finished(tenant.as_deref(), JobState::Failed, None);
             }
         }
     }
@@ -512,6 +648,32 @@ impl SearchObserver for ProgressForwarder {
             self.core.cancel.cancel();
         }
     }
+}
+
+/// Builds the job-lifecycle span tree carried on [`Telemetry::spans`]:
+/// a `job` root spanning admission to response, with `queued` and
+/// `execute` children, and the non-zero pipeline stage timings laid
+/// end to end under `execute`. Stage children are *summed* wall times
+/// over the request's predictions (they can overrun `execute` for
+/// multi-job batches); `queued`/`execute` are exact, which is what the
+/// wall-clock coverage accounting relies on.
+fn job_span_tree(queue_wait: Duration, service_time: Duration, stages: &StageTimings) -> SpanNode {
+    let mut execute = SpanNode::leaf("execute", queue_wait, service_time);
+    let mut at = queue_wait;
+    for (name, d) in [
+        ("emulation", stages.emulation),
+        ("collation", stages.collation),
+        ("estimation", stages.estimation),
+        ("simulation", stages.simulation),
+    ] {
+        if !d.is_zero() {
+            execute.children.push(SpanNode::leaf(name, at, d));
+            at += d;
+        }
+    }
+    SpanNode::leaf("job", Duration::ZERO, queue_wait + service_time)
+        .with_child(SpanNode::leaf("queued", Duration::ZERO, queue_wait))
+        .with_child(execute)
 }
 
 /// Runs one request against its target's engine.
@@ -582,6 +744,11 @@ fn execute(
     };
     let service_time = started.elapsed();
     let cache = engine.cache_stats();
+    let spans = if shared.obs.config.spans {
+        vec![job_span_tree(queue_wait, service_time, &stages)]
+    } else {
+        Vec::new()
+    };
     let response = Response {
         target,
         kind,
@@ -596,6 +763,7 @@ fn execute(
                 evictions: cache.evictions - cache_before.evictions,
             },
             stages,
+            spans,
         },
         payload,
     };
@@ -635,6 +803,11 @@ pub struct ServiceStats {
     /// Submissions shed with [`ServeError::QuotaExceeded`] (over a
     /// tenant's max-queued cap).
     pub quota_shed: u64,
+    /// Of `expired`, the jobs shed *from the queue* (purge or sweeper)
+    /// without ever reaching a worker.
+    pub queue_shed_expired: u64,
+    /// Of `cancelled`, the jobs discarded from the queue unrun.
+    pub queue_shed_cancelled: u64,
     /// Requests that panicked during execution (no response; the
     /// client's `wait` returned [`ServeError::Stopped`], and the panic
     /// message went to stderr).
@@ -660,49 +833,66 @@ impl ServiceStats {
         self.tenants.iter().find(|t| t.tenant == name)
     }
 
-    /// Renders the counters as a JSON object — service totals plus a
-    /// `tenants` array carrying each tenant's queue-wait percentiles
-    /// (µs, over the reservoir window) — so operators can scrape stats
-    /// without a JSON dependency.
+    /// Renders the counters as a JSON object — *every* [`ServiceStats`]
+    /// field (the exhaustive destructuring below means a new field
+    /// fails the compile here until it is emitted), plus a `tenants`
+    /// array carrying each tenant's queue-wait percentiles (µs) — so
+    /// operators can scrape stats without a JSON dependency.
     pub fn to_json(&self) -> String {
         use maya_trace::json::json_string;
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(256 + 256 * self.tenants.len());
+        // No `..`: adding a ServiceStats field without deciding its
+        // JSON shape must not compile.
+        let ServiceStats {
+            served,
+            cancelled,
+            expired,
+            quota_shed,
+            queue_shed_expired,
+            queue_shed_cancelled,
+            panicked,
+            progress_coalesced,
+            engines_built,
+            workers,
+            queue_capacity,
+            tenants,
+        } = self;
+        let mut out = String::with_capacity(256 + 256 * tenants.len());
         let _ = write!(
             out,
-            "{{\"served\":{},\"cancelled\":{},\"expired\":{},\"quota_shed\":{},\
-             \"panicked\":{},\"progress_coalesced\":{},\"engines_built\":{},\
-             \"workers\":{},\"queue_capacity\":{},\"tenants\":[",
-            self.served,
-            self.cancelled,
-            self.expired,
-            self.quota_shed,
-            self.panicked,
-            self.progress_coalesced,
-            self.engines_built,
-            self.workers,
-            self.queue_capacity,
+            "{{\"served\":{served},\"cancelled\":{cancelled},\"expired\":{expired},\
+             \"quota_shed\":{quota_shed},\"queue_shed_expired\":{queue_shed_expired},\
+             \"queue_shed_cancelled\":{queue_shed_cancelled},\"panicked\":{panicked},\
+             \"progress_coalesced\":{progress_coalesced},\"engines_built\":{engines_built},\
+             \"workers\":{workers},\"queue_capacity\":{queue_capacity},\"tenants\":[",
         );
-        for (i, t) in self.tenants.iter().enumerate() {
+        for (i, t) in tenants.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let TenantStats {
+                tenant,
+                queued,
+                in_flight,
+                admitted,
+                served,
+                quota_shed,
+                expired,
+                cancelled,
+                wait_samples,
+                queue_wait_p50,
+                queue_wait_p99,
+            } = t;
             let _ = write!(
                 out,
-                "{{\"tenant\":{},\"queued\":{},\"in_flight\":{},\"admitted\":{},\
-                 \"served\":{},\"quota_shed\":{},\"expired\":{},\"cancelled\":{},\
-                 \"wait_samples\":{},\"queue_wait_p50_us\":{},\"queue_wait_p99_us\":{}}}",
-                json_string(&t.tenant),
-                t.queued,
-                t.in_flight,
-                t.admitted,
-                t.served,
-                t.quota_shed,
-                t.expired,
-                t.cancelled,
-                t.wait_samples,
-                t.queue_wait_p50.as_micros(),
-                t.queue_wait_p99.as_micros(),
+                "{{\"tenant\":{},\"queued\":{queued},\"in_flight\":{in_flight},\
+                 \"admitted\":{admitted},\"served\":{served},\"quota_shed\":{quota_shed},\
+                 \"expired\":{expired},\"cancelled\":{cancelled},\
+                 \"wait_samples\":{wait_samples},\"queue_wait_p50_us\":{},\
+                 \"queue_wait_p99_us\":{}}}",
+                json_string(tenant),
+                queue_wait_p50.as_micros(),
+                queue_wait_p99.as_micros(),
             );
         }
         out.push_str("]}");
@@ -740,7 +930,7 @@ impl MayaService {
         let (handle, core, outcome_tx) = JobHandle::new(
             id,
             self.shared.progress_high_water,
-            Arc::clone(&self.shared.progress_coalesced),
+            self.shared.progress_coalesced.clone(),
         );
         // Lets a cancel wake the scheduler so a still-queued job's
         // verdict is delivered promptly.
@@ -843,17 +1033,106 @@ impl MayaService {
     /// behind dead entries waiting for a worker to dequeue them.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            served: self.shared.served.load(Ordering::Relaxed),
-            cancelled: self.shared.cancelled.load(Ordering::Relaxed) + self.queue.shed_cancelled(),
-            expired: self.shared.expired.load(Ordering::Relaxed) + self.queue.shed_expired(),
+            served: self.shared.served.get(),
+            cancelled: self.shared.cancelled.get() + self.queue.shed_cancelled(),
+            expired: self.shared.expired.get() + self.queue.shed_expired(),
             quota_shed: self.queue.quota_shed(),
-            panicked: self.shared.panicked.load(Ordering::Relaxed),
-            progress_coalesced: self.shared.progress_coalesced.load(Ordering::Relaxed),
+            queue_shed_expired: self.queue.shed_expired(),
+            queue_shed_cancelled: self.queue.shed_cancelled(),
+            panicked: self.shared.panicked.get(),
+            progress_coalesced: self.shared.progress_coalesced.get(),
             engines_built: self.shared.registry.engines_built(),
             workers: self.workers.len(),
             queue_capacity: self.queue_capacity,
             tenants: self.queue.tenant_stats(),
         }
+    }
+
+    /// The observability configuration the service was built with.
+    pub fn obs_config(&self) -> ObsConfig {
+        self.shared.obs.config
+    }
+
+    /// A handle to the service's metrics registry (clones share the
+    /// instrument set). Useful for registering extra instruments next
+    /// to the built-in ones; they ride along in
+    /// [`MayaService::obs_snapshot`].
+    pub fn obs_registry(&self) -> Registry {
+        self.shared.obs.registry.clone()
+    }
+
+    /// A handle to the service's span flight recorder.
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        self.shared.obs.recorder.clone()
+    }
+
+    /// Records (or re-records, replacing in place) the span tree for
+    /// job `id` in the recent-jobs ring. The wire server uses this to
+    /// upsert a worker-recorded tree with the `reply` span appended.
+    pub fn record_job_tree(&self, id: u64, tree: SpanNode) {
+        if self.shared.obs.config.spans {
+            self.shared.obs.job_trees.record(id, tree);
+        }
+    }
+
+    /// The full observability snapshot a v5 `Scrape` frame answers
+    /// with: every registry instrument, the per-tenant wait/service
+    /// histograms (`serve.queue_wait_us.tenant.<name>` /
+    /// `serve.service_time_us.tenant.<name>`), the aggregate engine
+    /// memo-cache counters mirrored under `serve.cache.*`, and the
+    /// recent job span trees. Deterministic for a quiesced service:
+    /// instruments are sorted by name, trees are oldest first.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        if self.shared.obs.config.metrics {
+            // Mirror the engines' memo-cache counters into the
+            // registry so a scrape carries them. Targets sharing a
+            // cluster share one cache; dedup by cache identity so a
+            // shared memo is not double-counted.
+            let mut caches: Vec<Arc<maya_estimator::CachingEstimator>> = Vec::new();
+            for spec in self.shared.registry.built_specs() {
+                if let Some(engine) = self.shared.registry.built_engine(&spec) {
+                    let cache = Arc::clone(engine.cache());
+                    if !caches.iter().any(|c| Arc::ptr_eq(c, &cache)) {
+                        caches.push(cache);
+                    }
+                }
+            }
+            let total = caches.iter().fold(CacheStats::default(), |acc, c| {
+                let s = c.stats();
+                CacheStats {
+                    hits: acc.hits + s.hits,
+                    misses: acc.misses + s.misses,
+                    evictions: acc.evictions + s.evictions,
+                }
+            });
+            let reg = &self.shared.obs.registry;
+            reg.counter("serve.cache.hits").store(total.hits);
+            reg.counter("serve.cache.misses").store(total.misses);
+            reg.counter("serve.cache.evictions").store(total.evictions);
+        }
+        let mut snap = self.shared.obs.registry.snapshot();
+        if self.shared.obs.config.metrics {
+            for (tenant, waits, service) in self.queue.tenant_histograms() {
+                snap.histograms
+                    .push((format!("serve.queue_wait_us.tenant.{tenant}"), waits));
+                snap.histograms
+                    .push((format!("serve.service_time_us.tenant.{tenant}"), service));
+            }
+            snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        if self.shared.obs.config.spans {
+            snap.recent_jobs = self.shared.obs.job_trees.trees();
+        }
+        snap
+    }
+
+    /// Renders the flight recorder's flat spans plus the recent job
+    /// span trees as Chrome-trace JSON (load at `chrome://tracing`).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(
+            &self.shared.obs.recorder.drain_sorted(),
+            &self.shared.obs.job_trees.trees(),
+        )
     }
 
     /// What happened to each target's memo snapshot at build time, in

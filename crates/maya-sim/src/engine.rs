@@ -264,6 +264,29 @@ impl Ord for HeapEv {
     }
 }
 
+/// Observability hooks for the simulator (see [`Simulator::with_obs`]).
+///
+/// The hot loop never touches these: the per-run tallies live in
+/// [`SimScratch`] (plain integers the loop maintains anyway), and
+/// publishing into the shared handles happens exactly once, after the
+/// run. With no hooks installed the simulator is byte-for-byte the
+/// uninstrumented engine.
+#[derive(Clone, Default)]
+pub struct SimObs {
+    /// Cumulative heap events processed across runs (the same tally
+    /// reported per run in [`SimReport::events_processed`]).
+    pub events: maya_obs::Counter,
+    /// High-water mark of the pending-event heap, max over all runs —
+    /// the simulator's working-set depth.
+    pub heap_depth_high_water: maya_obs::Gauge,
+    /// Flow-solver invocations (max-min rate re-convergences),
+    /// cumulative. Zero when no cluster topology is in play.
+    pub flow_solves: maya_obs::Counter,
+    /// Flight recorder for the `sim.run` phase span; a disabled
+    /// recorder makes the record call a no-op.
+    pub recorder: maya_obs::FlightRecorder,
+}
+
 /// The event-driven simulator.
 pub struct Simulator<'a> {
     estimator: &'a dyn RuntimeEstimator,
@@ -271,6 +294,9 @@ pub struct Simulator<'a> {
     /// Fault-injection plan; `None` (the default) is the byte-identical
     /// happy path. Set via [`Simulator::with_faults`].
     faults: Option<&'a FaultPlan>,
+    /// Post-run observability hooks; `None` (the default) publishes
+    /// nothing and skips even the wall-clock read.
+    obs: Option<&'a SimObs>,
 }
 
 /// Convenience entry point.
@@ -283,6 +309,7 @@ pub fn simulate(
         estimator,
         cluster,
         faults: None,
+        obs: None,
     }
     .run(job)
 }
@@ -305,6 +332,12 @@ pub struct SimScratch {
     seq: u64,
     now: SimTime,
     events_processed: u64,
+    /// Deepest the pending-event heap got this run (one compare per
+    /// push — the tally is kept unconditionally; only *publishing* is
+    /// gated on [`Simulator::with_obs`]).
+    heap_high_water: usize,
+    /// Flow-solver invocations (rate re-convergences) this run.
+    flow_solves: u64,
     /// Shared-bandwidth flow model state (used only when the cluster
     /// spec carries a topology; otherwise untouched).
     net: FlowNet,
@@ -339,6 +372,7 @@ impl SimScratch {
             seq: self.seq,
             kind,
         }));
+        self.heap_high_water = self.heap_high_water.max(self.heap.len());
     }
 
     /// Resets for a new run over `job`, keeping buffer capacity.
@@ -349,6 +383,8 @@ impl SimScratch {
         self.seq = 0;
         self.now = SimTime::ZERO;
         self.events_processed = 0;
+        self.heap_high_water = 0;
+        self.flow_solves = 0;
         self.ranks.truncate(n);
         self.ranks.resize_with(n, RankSim::default);
         // Split borrows: each rank's loader shares the two index maps.
@@ -370,6 +406,7 @@ impl<'a> Simulator<'a> {
             estimator,
             cluster,
             faults: None,
+            obs: None,
         }
     }
 
@@ -378,6 +415,16 @@ impl<'a> Simulator<'a> {
     /// that injects nothing is exactly the no-fault simulator.
     pub fn with_faults(mut self, faults: Option<&'a FaultPlan>) -> Self {
         self.faults = faults.filter(|p| !p.is_empty());
+        self
+    }
+
+    /// Installs post-run observability sinks. The event loop itself is
+    /// untouched either way — per-run tallies live in [`SimScratch`]
+    /// and are published in one shot after the loop drains, so a
+    /// `None` (the default) run is byte-identical to an instrumented
+    /// one and never even reads the wall clock.
+    pub fn with_obs(mut self, obs: Option<&'a SimObs>) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -409,6 +456,7 @@ impl<'a> Simulator<'a> {
         job: &JobTrace,
         scratch: &mut SimScratch,
     ) -> Result<SimReport, SimError> {
+        let run_started = self.obs.map(|_| std::time::Instant::now());
         let st = scratch;
         st.reset(job);
         if let Some(topo) = &self.cluster.topology {
@@ -438,6 +486,17 @@ impl<'a> Simulator<'a> {
                 EvKind::FlowDone { flow, epoch } => self.flow_done(st, flow, epoch),
                 EvKind::Fault { wi, fi } => self.apply_fault(st, wi, fi),
             }
+        }
+
+        // Publish before the deadlock check: events were processed and
+        // a wall-clock interval elapsed whether or not all ranks
+        // finished, and a deadlocked run is exactly when the counters
+        // are most interesting.
+        if let (Some(obs), Some(started)) = (self.obs, run_started) {
+            obs.events.add(st.events_processed);
+            obs.heap_depth_high_water.raise(st.heap_high_water as i64);
+            obs.flow_solves.add(st.flow_solves);
+            obs.recorder.record("sim.run", started, started.elapsed());
         }
 
         let stuck: Vec<u32> = st
@@ -857,6 +916,7 @@ impl<'a> Simulator<'a> {
     /// Re-schedules one completion event per active flow, tagged with
     /// the current convergence epoch (older events become stale).
     fn schedule_flow_completions(&self, st: &mut SimScratch) {
+        st.flow_solves += 1;
         let epoch = st.net.epoch();
         let mut tmp = std::mem::take(&mut st.flow_tmp);
         tmp.clear();
@@ -1609,6 +1669,47 @@ mod tests {
             let dense = simulate(&job, &c, &oracle).unwrap();
             let reference = crate::reference::simulate_reference(&job, &c, &oracle).unwrap();
             assert_eq!(dense, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn obs_hooks_publish_per_run_tallies() {
+        let c = ClusterSpec::h100(1, 4).with_default_topology();
+        let oracle = OracleEstimator::new(&c);
+        let job = two_pair_job(2);
+        let obs = SimObs::default();
+        let sim = Simulator::new(&oracle, &c).with_obs(Some(&obs));
+        let report = sim.run(&job).unwrap();
+        assert_eq!(obs.events.get(), report.events_processed);
+        assert!(
+            obs.flow_solves.get() > 0,
+            "a topology run must re-converge flow rates at least once"
+        );
+        assert!(obs.heap_depth_high_water.get() > 0);
+        let spans = obs.recorder.drain_sorted();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "sim.run");
+        // Counters accumulate across runs; the gauge is a high-water.
+        let prev_hw = obs.heap_depth_high_water.get();
+        sim.run(&job).unwrap();
+        assert_eq!(obs.events.get(), 2 * report.events_processed);
+        assert_eq!(obs.heap_depth_high_water.get(), prev_hw);
+    }
+
+    #[test]
+    fn instrumented_run_is_byte_identical_to_default() {
+        let c = cluster();
+        let oracle = OracleEstimator::new(&c);
+        for seed in 0..4u64 {
+            let job = busy_job(seed);
+            let base = simulate(&job, &c, &oracle).unwrap();
+            let obs = SimObs::default();
+            let instrumented = Simulator::new(&oracle, &c)
+                .with_obs(Some(&obs))
+                .run(&job)
+                .unwrap();
+            assert_eq!(instrumented, base, "seed {seed}");
+            assert_eq!(serde::to_string(&instrumented), serde::to_string(&base));
         }
     }
 

@@ -21,5 +21,5 @@ pub mod engine;
 pub mod reference;
 pub mod report;
 
-pub use engine::{simulate, SimError, SimScratch, Simulator};
+pub use engine::{simulate, SimError, SimObs, SimScratch, Simulator};
 pub use report::SimReport;

@@ -45,6 +45,9 @@ use crate::message::{WireJobOutcome, WireResponse};
 enum JobEvent {
     Progress(SearchProgress),
     Terminal(Result<WireJobOutcome, RemoteError>),
+    /// The raw body of a `Scrape` reply (terminal for its id; only
+    /// ever delivered to [`WireClient::scrape_raw`]'s waiter).
+    Scrape(String),
 }
 
 type PendingMap = HashMap<u64, mpsc::Sender<JobEvent>>;
@@ -171,6 +174,8 @@ impl WireJob {
         match event {
             JobEvent::Progress(_) => self.progressed = true,
             JobEvent::Terminal(t) => self.terminal = Some(t),
+            // Scrape replies only ever target scrape waiters' ids.
+            JobEvent::Scrape(_) => {}
         }
     }
 
@@ -190,6 +195,8 @@ impl WireJob {
                 self.terminal = Some(t);
                 None
             }
+            // Never routed to a job id; skip defensively.
+            Ok(JobEvent::Scrape(_)) => self.next_progress(),
             Err(_) => {
                 self.closed = true;
                 None
@@ -345,6 +352,59 @@ impl WireClient {
         self.submit(request)?.wait()
     }
 
+    /// Pulls the server's point-in-time observability snapshot
+    /// (protocol v5): every registered counter, gauge and histogram,
+    /// plus the recent job span trees when the server records spans.
+    /// Blocks until the `Scrape` reply arrives; jobs pipelined on the
+    /// same connection keep streaming around it.
+    pub fn scrape(&self) -> Result<maya_serve::ObsSnapshot, WireError> {
+        let body = self.scrape_raw()?;
+        serde::from_str(&body).map_err(|e| WireError::Protocol(ProtocolError::Malformed(e)))
+    }
+
+    /// [`WireClient::scrape`] without decoding: the exact snapshot
+    /// bytes the server wrote. Two scrapes of a quiesced server are
+    /// byte-identical to each other and to an in-process
+    /// `MayaService::obs_snapshot()` serialization — the property the
+    /// integration tests pin.
+    pub fn scrape_raw(&self) -> Result<String, WireError> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut pending = self
+                .shared
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            pending
+                .as_mut()
+                .ok_or(WireError::ConnectionClosed)?
+                .insert(id, tx);
+        }
+        if let Err(e) = self.shared.write(FrameKind::Scrape, id, "") {
+            if let Some(pending) = self
+                .shared
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .as_mut()
+            {
+                pending.remove(&id);
+            }
+            return Err(e);
+        }
+        loop {
+            match rx.recv() {
+                Ok(JobEvent::Scrape(body)) => return Ok(body),
+                Ok(JobEvent::Terminal(Err(remote))) => return Err(WireError::Remote(remote)),
+                // A server answers a scrape id with a scrape or an
+                // error frame only; ignore anything else defensively.
+                Ok(_) => {}
+                Err(_) => return Err(WireError::ConnectionClosed),
+            }
+        }
+    }
+
     /// Submit + wait, retrying with bounded exponential backoff while
     /// the server sheds load ([`WireError::is_overloaded`] — the one
     /// failure that is always safe to retry, since a shed request
@@ -459,18 +519,22 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ClientShared>) {
                 // events, retire its pending entry. `None`: a frame
                 // kind a server never sends this way; ignore.
                 let event: Option<JobEvent> = match frame.kind {
-                    FrameKind::Response => {
-                        Some(match WireJobOutcome::decode_response_frame(&frame.body) {
+                    // The frame's own header version governs the body
+                    // decode: a v4 server's responses carry no span
+                    // tree, a v5 server's do.
+                    FrameKind::Response => Some(
+                        match WireJobOutcome::decode_response_frame(&frame.body, frame.version) {
                             Ok(outcome) => JobEvent::Terminal(Ok(outcome)),
                             Err(e) => malformed(e),
-                        })
-                    }
-                    FrameKind::Expired => {
-                        Some(match WireJobOutcome::decode_expired_frame(&frame.body) {
+                        },
+                    ),
+                    FrameKind::Expired => Some(
+                        match WireJobOutcome::decode_expired_frame(&frame.body, frame.version) {
                             Ok(outcome) => JobEvent::Terminal(Ok(outcome)),
                             Err(e) => malformed(e),
-                        })
-                    }
+                        },
+                    ),
+                    FrameKind::Scrape => Some(JobEvent::Scrape(frame.body)),
                     FrameKind::Progress => {
                         Some(match serde::from_str::<SearchProgress>(&frame.body) {
                             Ok(progress) => JobEvent::Progress(progress),
@@ -502,7 +566,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ClientShared>) {
                         return;
                     }
                     (id, Some(event)) => {
-                        let terminal = matches!(event, JobEvent::Terminal(_));
+                        let terminal = !matches!(event, JobEvent::Progress(_));
                         let mut pending = shared.pending.lock().unwrap_or_else(|p| p.into_inner());
                         match pending.as_mut() {
                             Some(map) if terminal => {

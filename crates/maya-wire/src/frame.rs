@@ -9,7 +9,8 @@
 //!      4     2  version u16 BE (this build writes VERSION and reads
 //!                       MIN_VERSION..=VERSION)
 //!      6     1  kind    1 = request, 2 = response, 3 = error,
-//!                       4 = progress, 5 = cancel, 6 = expired
+//!                       4 = progress, 5 = cancel, 6 = expired,
+//!                       7 = scrape
 //!      7     1  reserved (must be 0)
 //!      8     8  id      u64 BE request id, echoed in the reply
 //!                       (must be non-zero in requests: 0 marks
@@ -33,6 +34,13 @@
 //! decodes, with QoS defaults (see
 //! [`decode_submission`](crate::message::decode_submission)).
 //!
+//! Version 5 added observability: the `scrape` frame (a client pulls
+//! the server's point-in-time metrics snapshot; the server echoes the
+//! id back with the serialized `maya_serve::ObsSnapshot` as the body)
+//! and the telemetry span tree appended to response bodies. Replies to
+//! v4-and-older peers omit the span tail, so their readers — which
+//! consume exactly the pre-v5 layout — keep working unchanged.
+//!
 //! The header is self-validating: wrong magic, an unknown version or
 //! kind, a non-zero reserved byte, or a length over the reader's
 //! max-frame guard are typed [`ProtocolError`]s — never panics and
@@ -53,8 +61,10 @@ pub const MAGIC: [u8; 4] = *b"MAYW";
 /// Version 4 extended cluster specs with the imperfect-cluster tail
 /// (link topology, heterogeneous rank pools — see
 /// `maya_hw::serdes::SPEC_TAIL_VERSION`); v3 bodies decode with both
-/// absent.
-pub const VERSION: u16 = 4;
+/// absent. Version 5 added the `Scrape` frame kind (pull the server's
+/// metrics snapshot) and the span-tree tail on response telemetry;
+/// replies to v4-and-older peers omit the tail.
+pub const VERSION: u16 = 5;
 
 /// Oldest protocol version this build still reads. Version-2 peers
 /// differ only in the request-body envelope, so their frames are
@@ -98,6 +108,11 @@ pub enum FrameKind {
     /// plus the committed-prefix response of a search whose budget ran
     /// out mid-run.
     Expired,
+    /// Both directions: a client sends an empty-body `Scrape` to pull
+    /// the server's point-in-time observability snapshot; the server
+    /// echoes the id back in a `Scrape` frame whose body is the
+    /// serialized `maya_serve::ObsSnapshot`. Added in version 5.
+    Scrape,
 }
 
 impl FrameKind {
@@ -109,6 +124,7 @@ impl FrameKind {
             FrameKind::Progress => 4,
             FrameKind::Cancel => 5,
             FrameKind::Expired => 6,
+            FrameKind::Scrape => 7,
         }
     }
 
@@ -120,12 +136,13 @@ impl FrameKind {
             4 => FrameKind::Progress,
             5 => FrameKind::Cancel,
             6 => FrameKind::Expired,
+            7 => FrameKind::Scrape,
             _ => return None,
         })
     }
 
     /// Every kind (for exhaustive tests).
-    pub fn all() -> [FrameKind; 6] {
+    pub fn all() -> [FrameKind; 7] {
         [
             FrameKind::Request,
             FrameKind::Response,
@@ -133,6 +150,7 @@ impl FrameKind {
             FrameKind::Progress,
             FrameKind::Cancel,
             FrameKind::Expired,
+            FrameKind::Scrape,
         ]
     }
 }

@@ -77,7 +77,7 @@ pub type PendingResponse = WireJob;
 // callers need only this crate.
 pub use maya_search::{AlgorithmKind, ConfigSpace};
 pub use maya_serve::{
-    JobOptions, JobState, MayaService, MeasureOutcome, Priority, Request, SearchProgress,
-    Telemetry, TenantStats,
+    JobOptions, JobState, MayaService, MeasureOutcome, ObsConfig, ObsSnapshot, Priority, Request,
+    SearchProgress, SpanNode, Telemetry, TenantStats,
 };
 pub use maya_torchlet::{FrameworkFlavor, ModelSpec, ParallelConfig, TrainingJob};

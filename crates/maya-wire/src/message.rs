@@ -206,10 +206,27 @@ fn write_opt_response<T: Serialize>(w: &mut compact::Writer, resp: &Option<T>) {
     }
 }
 
-fn read_opt_response(r: &mut compact::Reader<'_>) -> Result<Option<WireResponse>, compact::Error> {
+/// Decodes a `WireResponse` whose telemetry was written with or
+/// without the span-tree tail (protocol v5 vs older) — the read-side
+/// twin of `maya_serve::serdes::write_response_compat`.
+fn read_wire_response(
+    r: &mut compact::Reader<'_>,
+    with_spans: bool,
+) -> Result<WireResponse, compact::Error> {
+    Ok(WireResponse {
+        target: Deserialize::deserialize(r)?,
+        telemetry: maya_serve::serdes::read_telemetry_compat(r, with_spans)?,
+        payload: Deserialize::deserialize(r)?,
+    })
+}
+
+fn read_opt_response(
+    r: &mut compact::Reader<'_>,
+    with_spans: bool,
+) -> Result<Option<WireResponse>, compact::Error> {
     Ok(match r.raw_token()? {
         "none" => None,
-        "some" => Some(Deserialize::deserialize(r)?),
+        "some" => Some(read_wire_response(r, with_spans)?),
         t => return Err(compact::Error::parse(t, "option tag (none|some)")),
     })
 }
@@ -262,22 +279,28 @@ impl WireJobOutcome {
         }
     }
 
-    /// Decodes the body of a `Response` frame (`done` / `cancelled`).
-    pub fn decode_response_frame(body: &str) -> Result<Self, compact::Error> {
+    /// Decodes the body of a `Response` frame (`done` / `cancelled`)
+    /// written under the peer's protocol `version` (from the frame
+    /// header): v5 bodies carry the telemetry span tree, older ones
+    /// decode with `telemetry.spans` empty.
+    pub fn decode_response_frame(body: &str, version: u16) -> Result<Self, compact::Error> {
+        let with_spans = version >= 5;
         let mut r = compact::Reader::new(body);
         let out = match r.raw_token()? {
-            "done" => WireJobOutcome::Done(Deserialize::deserialize(&mut r)?),
-            "cancelled" => WireJobOutcome::Cancelled(read_opt_response(&mut r)?),
+            "done" => WireJobOutcome::Done(read_wire_response(&mut r, with_spans)?),
+            "cancelled" => WireJobOutcome::Cancelled(read_opt_response(&mut r, with_spans)?),
             t => return Err(compact::Error::parse(t, "job outcome tag (done|cancelled)")),
         };
         r.end()?;
         Ok(out)
     }
 
-    /// Decodes the body of an [`FrameKind::Expired`] frame.
-    pub fn decode_expired_frame(body: &str) -> Result<Self, compact::Error> {
+    /// Decodes the body of an [`FrameKind::Expired`] frame written
+    /// under the peer's protocol `version` (see
+    /// [`WireJobOutcome::decode_response_frame`]).
+    pub fn decode_expired_frame(body: &str, version: u16) -> Result<Self, compact::Error> {
         let mut r = compact::Reader::new(body);
-        let out = WireJobOutcome::Expired(read_opt_response(&mut r)?);
+        let out = WireJobOutcome::Expired(read_opt_response(&mut r, version >= 5)?);
         r.end()?;
         Ok(out)
     }
@@ -323,11 +346,7 @@ impl Serialize for WireResponse {
 
 impl<'de> Deserialize<'de> for WireResponse {
     fn deserialize(r: &mut compact::Reader<'de>) -> Result<Self, compact::Error> {
-        Ok(WireResponse {
-            target: Deserialize::deserialize(r)?,
-            telemetry: Deserialize::deserialize(r)?,
-            payload: Deserialize::deserialize(r)?,
-        })
+        read_wire_response(r, true)
     }
 }
 

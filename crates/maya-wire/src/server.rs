@@ -41,7 +41,7 @@ use std::thread::JoinHandle;
 
 use serde::{compact, Serialize};
 
-use maya_serve::{JobControl, JobHandle, JobOutcome, MayaService, ServeError};
+use maya_serve::{JobControl, JobHandle, JobOutcome, MayaService, ServeError, SpanNode};
 
 use crate::error::RemoteError;
 use crate::frame::{
@@ -71,6 +71,13 @@ pub struct WireServerStats {
     /// `Cancel` frames that resolved to an in-flight job (late cancels
     /// for already-finished ids are ignored and not counted).
     pub cancels: u64,
+    /// `Scrape` frames answered with an observability snapshot.
+    ///
+    /// Deliberately a server-side counter rather than a metric in the
+    /// scraped registry: a snapshot must not change by the act of
+    /// taking it (two back-to-back scrapes of an idle server are
+    /// byte-identical).
+    pub scrapes: u64,
 }
 
 struct ServerShared {
@@ -87,6 +94,7 @@ struct ServerShared {
     overloaded: AtomicU64,
     protocol_errors: AtomicU64,
     cancels: AtomicU64,
+    scrapes: AtomicU64,
 }
 
 /// Configures a [`WireServer`] before binding.
@@ -119,6 +127,7 @@ impl WireServerBuilder {
             overloaded: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             cancels: AtomicU64::new(0),
+            scrapes: AtomicU64::new(0),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -175,6 +184,7 @@ impl WireServer {
             overloaded: self.shared.overloaded.load(Ordering::Relaxed),
             protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
             cancels: self.shared.cancels.load(Ordering::Relaxed),
+            scrapes: self.shared.scrapes.load(Ordering::Relaxed),
         }
     }
 
@@ -276,15 +286,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
-/// Encodes a job's terminal verdict as its wire frame. The layout is
-/// mirrored by `WireJobOutcome::decode_*` on the client.
-fn outcome_frame(id: u64, outcome: &JobOutcome) -> OutFrame {
-    fn opt_response(w: &mut compact::Writer, resp: &Option<maya_serve::Response>) {
+/// Encodes a job's terminal verdict as its wire frame, under the
+/// peer's protocol `version`: v5 response bodies carry the telemetry
+/// span tree, replies to older peers omit it (their readers consume
+/// exactly the pre-v5 layout). The layout is mirrored by
+/// `WireJobOutcome::decode_*` on the client.
+fn outcome_frame(id: u64, outcome: &JobOutcome, version: u16) -> OutFrame {
+    let with_spans = version >= 5;
+    fn opt_response(
+        w: &mut compact::Writer,
+        resp: &Option<maya_serve::Response>,
+        with_spans: bool,
+    ) {
         match resp {
             None => w.tag("none"),
             Some(r) => {
                 w.tag("some");
-                r.serialize(w);
+                maya_serve::serdes::write_response_compat(r, w, with_spans);
             }
         }
     }
@@ -292,16 +310,16 @@ fn outcome_frame(id: u64, outcome: &JobOutcome) -> OutFrame {
     let kind = match outcome {
         JobOutcome::Done(resp) => {
             w.tag("done");
-            resp.serialize(&mut w);
+            maya_serve::serdes::write_response_compat(resp, &mut w, with_spans);
             FrameKind::Response
         }
         JobOutcome::Cancelled(resp) => {
             w.tag("cancelled");
-            opt_response(&mut w, resp);
+            opt_response(&mut w, resp, with_spans);
             FrameKind::Response
         }
         JobOutcome::Expired(resp) => {
-            opt_response(&mut w, resp);
+            opt_response(&mut w, resp, with_spans);
             FrameKind::Expired
         }
     };
@@ -318,7 +336,12 @@ fn pump_job(
     handle: JobHandle,
     out: &mpsc::Sender<OutFrame>,
     jobs: &Mutex<HashMap<u64, JobControl>>,
+    service: &MayaService,
+    peer_version: &AtomicU16,
 ) {
+    // The service-side job id, under which the worker recorded the
+    // job's span tree (the frame id is the client's request id).
+    let sid = handle.id();
     for event in handle.progress() {
         let mut w = compact::Writer::new();
         event.serialize(&mut w);
@@ -336,16 +359,31 @@ fn pump_job(
             break;
         }
     }
-    let frame = match handle.wait_outcome() {
-        Ok(outcome) => outcome_frame(id, &outcome),
+    let verdict = handle.wait_outcome();
+    let reply_started = std::time::Instant::now();
+    let frame = match &verdict {
+        Ok(outcome) => outcome_frame(id, outcome, peer_version.load(Ordering::Relaxed)),
         // The worker died mid-request (panic): typed Stopped.
         Err(e) => OutFrame {
             kind: FrameKind::Error,
             id,
-            body: serde::to_string(&RemoteError::from(&e)),
+            body: serde::to_string(&RemoteError::from(e)),
         },
     };
     let _ = out.send(frame);
+    // Extend the worker's span tree with the reply phase (encode +
+    // hand-off to the connection writer), so a scraped tree accounts
+    // for the job's full server-side wall clock.
+    if let Ok(outcome) = &verdict {
+        if let Some(root) = outcome.response().and_then(|r| r.telemetry.spans.first()) {
+            let reply = reply_started.elapsed();
+            let mut tree = root.clone();
+            tree.children
+                .push(SpanNode::leaf("reply", tree.duration, reply));
+            tree.duration += reply;
+            service.record_job_tree(sid, tree);
+        }
+    }
     jobs.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
 }
 
@@ -422,6 +460,8 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
                                     .insert(frame.id, handle.control());
                                 let out = tx.clone();
                                 let jobs = Arc::clone(&jobs);
+                                let service = Arc::clone(&shared.service);
+                                let peer_version = Arc::clone(&peer_version);
                                 let id = frame.id;
                                 // Reap finished pumps here rather than
                                 // only at connection close, so a
@@ -440,7 +480,16 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
                                 pumps.push(
                                     std::thread::Builder::new()
                                         .name("maya-wire-job".into())
-                                        .spawn(move || pump_job(id, handle, &out, &jobs))
+                                        .spawn(move || {
+                                            pump_job(
+                                                id,
+                                                handle,
+                                                &out,
+                                                &jobs,
+                                                &service,
+                                                &peer_version,
+                                            )
+                                        })
                                         .expect("spawn job pump"),
                                 );
                             }
@@ -482,6 +531,18 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) 
                             shared.cancels.fetch_add(1, Ordering::Relaxed);
                             control.cancel();
                         }
+                    }
+                    FrameKind::Scrape => {
+                        // Observability pull (v5): answer on the echoed
+                        // id with the service's deterministic
+                        // point-in-time snapshot. Request body is
+                        // ignored (empty by convention).
+                        shared.scrapes.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(OutFrame {
+                            kind: FrameKind::Scrape,
+                            id: frame.id,
+                            body: serde::to_string(&shared.service.obs_snapshot()),
+                        });
                     }
                     other => {
                         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);

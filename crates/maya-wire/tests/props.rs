@@ -185,7 +185,30 @@ impl Gen {
         }
     }
 
+    /// A span tree up to `depth` levels deep (0 = leaf), with names
+    /// exercising the compact format's escaping.
+    fn span_node(&mut self, depth: u32) -> maya_serve::SpanNode {
+        let children = if depth == 0 {
+            Vec::new()
+        } else {
+            (0..(self.next() % 3))
+                .map(|_| self.span_node(depth - 1))
+                .collect()
+        };
+        maya_serve::SpanNode {
+            name: self.string(),
+            start: self.duration(),
+            duration: self.duration(),
+            children,
+        }
+    }
+
     fn telemetry(&mut self) -> Telemetry {
+        let spans = if self.bool() {
+            vec![self.span_node(2)]
+        } else {
+            Vec::new()
+        };
         Telemetry {
             queue_wait: self.duration(),
             service_time: self.duration(),
@@ -206,6 +229,7 @@ impl Gen {
                 estimation: self.duration(),
                 simulation: self.duration(),
             },
+            spans,
         }
     }
 
@@ -567,8 +591,10 @@ proptest! {
         let outcome = Gen(seed).job_outcome();
         let (kind, body) = outcome.encode();
         let back = match kind {
-            frame::FrameKind::Response => WireJobOutcome::decode_response_frame(&body),
-            frame::FrameKind::Expired => WireJobOutcome::decode_expired_frame(&body),
+            frame::FrameKind::Response => {
+                WireJobOutcome::decode_response_frame(&body, frame::VERSION)
+            }
+            frame::FrameKind::Expired => WireJobOutcome::decode_expired_frame(&body, frame::VERSION),
             other => panic!("unexpected outcome frame kind {other:?}"),
         }
         .expect("decode job outcome frame");
@@ -687,5 +713,72 @@ proptest! {
         prop_assert_eq!(opts2.priority, Priority::Normal, "v2 defaults");
         prop_assert_eq!(opts2.tenant, None, "v2 defaults");
         prop_assert_eq!(serde::to_string(&req2), serde::to_string(&req));
+    }
+
+    /// Version-skew decode of response telemetry: a v4 body — the six
+    /// pre-span fields, as a v4 server writes them — decodes under the
+    /// skew path with no spans, and the canonical v5 body is exactly
+    /// the v4 body plus the span tail, round-tripping the tree.
+    #[test]
+    fn telemetry_survives_v4_skew(seed in any::<u64>()) {
+        use maya_serve::serdes::{read_telemetry_compat, write_telemetry_compat};
+
+        let mut g = Gen(seed);
+        let mut full = g.telemetry();
+        full.spans = vec![g.span_node(2)];
+
+        // A v4 server writes only the six base fields.
+        let mut w = serde::compact::Writer::new();
+        write_telemetry_compat(&full, &mut w, false);
+        let v4 = w.finish();
+        let mut r = serde::compact::Reader::new(&v4);
+        let decoded = read_telemetry_compat(&mut r, false).expect("v4 decode");
+        r.end().expect("v4 body fully consumed");
+        prop_assert!(decoded.spans.is_empty(), "v4 body decodes spanless");
+        prop_assert_eq!(decoded.queue_wait, full.queue_wait);
+        prop_assert_eq!(decoded.service_time, full.service_time);
+        prop_assert_eq!(decoded.cache, full.cache);
+        prop_assert_eq!(decoded.cache_delta, full.cache_delta);
+
+        // The canonical (v5) encoding appends the span tail and
+        // restores the tree on decode.
+        let v5 = serde::to_string(&full);
+        prop_assert!(v5.starts_with(&v4), "v5 body = v4 body + span tail");
+        let back: Telemetry = serde::from_str(&v5).unwrap();
+        prop_assert_eq!(back.spans.len(), 1);
+        prop_assert_eq!(serde::to_string(&back), v5);
+    }
+
+    /// A whole v4 `Response` frame body (done verdict, as a v4 server
+    /// writes it) decodes under the version-gated client path with
+    /// telemetry spans dropped; the v5 body of the same outcome
+    /// restores them and re-encodes identically.
+    #[test]
+    fn response_frames_survive_v4_skew(seed in any::<u64>()) {
+        use serde::Serialize as _;
+
+        let mut g = Gen(seed);
+        let mut resp = g.wire_response();
+        resp.telemetry.spans = vec![g.span_node(1)];
+
+        // Hand-build the body a v4 server writes: done tag, target,
+        // spanless telemetry, payload.
+        let mut w = serde::compact::Writer::new();
+        w.tag("done");
+        resp.target.serialize(&mut w);
+        maya_serve::serdes::write_telemetry_compat(&resp.telemetry, &mut w, false);
+        resp.payload.serialize(&mut w);
+        let v4_body = w.finish();
+        let back = WireJobOutcome::decode_response_frame(&v4_body, 4).expect("v4 decode");
+        let v4_resp = back.response().expect("done verdict");
+        prop_assert!(v4_resp.telemetry.spans.is_empty());
+        prop_assert_eq!(&v4_resp.target, &resp.target);
+
+        let outcome = WireJobOutcome::Done(resp);
+        let (kind, v5_body) = outcome.encode();
+        prop_assert_eq!(kind, frame::FrameKind::Response);
+        let back = WireJobOutcome::decode_response_frame(&v5_body, 5).expect("v5 decode");
+        prop_assert_eq!(back.response().unwrap().telemetry.spans.len(), 1);
+        prop_assert_eq!(back.encode().1, v5_body);
     }
 }

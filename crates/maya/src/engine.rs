@@ -17,14 +17,14 @@
 //! to keep speculative batched trials faithful to serial order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use maya_collate::{collate, dedup_classes, reduce_job, unique_megatron_ranks};
 use maya_cuda::{CudaContext, CudaError};
 use maya_estimator::{CacheStats, CachingEstimator, RuntimeEstimator};
 use maya_hw::{GroundTruthExecutor, Measurement};
-use maya_sim::{SimError, SimScratch, Simulator};
+use maya_sim::{SimError, SimObs, SimScratch, Simulator};
 use maya_torchlet::{FrameworkFlavor, RankTopology, TrainingJob};
 use maya_trace::{JobTrace, WorkerTrace};
 
@@ -51,6 +51,11 @@ pub struct PredictionEngine {
     /// `predict_batch` fan-out — amortize the sim's allocations. The
     /// pool never exceeds the engine's peak simulate concurrency.
     scratch_pool: Mutex<Vec<SimScratch>>,
+    /// Simulator observability sinks, installed at most once (the
+    /// serving layer wires them to its metrics registry). Unset — the
+    /// default — leaves every simulate call on the uninstrumented
+    /// path, which is byte-identical to the instrumented one.
+    sim_obs: OnceLock<SimObs>,
 }
 
 impl PredictionEngine {
@@ -74,7 +79,22 @@ impl PredictionEngine {
             base: Arc::clone(cache.inner()),
             cache,
             scratch_pool: Mutex::new(Vec::new()),
+            sim_obs: OnceLock::new(),
         }
+    }
+
+    /// Installs simulator observability sinks (event counters, heap
+    /// high-water gauge, flow-solver counter, flight recorder). First
+    /// install wins; later calls return the rejected sinks back so the
+    /// caller can tell nothing happened. All simulate calls from then
+    /// on publish their per-run tallies into the installed sinks.
+    pub fn install_sim_obs(&self, obs: SimObs) -> Result<(), SimObs> {
+        self.sim_obs.set(obs)
+    }
+
+    /// The installed simulator observability sinks, if any.
+    pub fn sim_obs(&self) -> Option<&SimObs> {
+        self.sim_obs.get()
     }
 
     /// Runs `f` with a pooled simulator arena checked out for the call.
@@ -342,6 +362,7 @@ impl PredictionEngine {
         let report = self.with_sim_scratch(|scratch| {
             Simulator::new(est, &self.spec.cluster)
                 .with_faults(self.spec.faults.as_ref())
+                .with_obs(self.sim_obs.get())
                 .run_prevalidated(&reduced, scratch)
         })?;
         let simulation = t3.elapsed();

@@ -61,4 +61,5 @@ pub use cancel::CancelToken;
 pub use engine::PredictionEngine;
 pub use error::MayaError;
 pub use maya_net::{FaultPlan, RankFailure, StragglerWindow};
+pub use maya_sim::SimObs;
 pub use pipeline::{EmulationSpec, Maya, PredictOutcome, Prediction, StageTimings};

@@ -194,7 +194,7 @@ fn v2_encoded_job_options_still_decode_under_the_v3_server() {
     // client's reader rejects any other version, so this is what makes
     // the compatibility end-to-end rather than decode-only.
     assert_eq!(reply.version, 2, "replies to a v2 peer must be stamped v2");
-    let outcome = WireJobOutcome::decode_response_frame(&reply.body).unwrap();
+    let outcome = WireJobOutcome::decode_response_frame(&reply.body, reply.version).unwrap();
     let resp = outcome.into_response().expect("served with QoS defaults");
     assert!(resp.predictions().unwrap()[0].is_ok());
 }
