@@ -239,6 +239,31 @@ fn wire_scenario(smoke: bool) -> ScenarioResult {
     })
 }
 
+/// Full maya-lint workspace scan, reported as files/sec: the analyzer
+/// runs on every CI build, so its cost is tracked like any other
+/// subsystem's.
+fn lint_scenario(smoke: bool) -> ScenarioResult {
+    // perf_report runs from the workspace root in CI; fall back to the
+    // manifest-relative root for `cargo run -p maya-bench`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let cfg = std::fs::read_to_string(root.join("lint-budget.toml"))
+        .ok()
+        .and_then(|t| maya_lint::config::Config::parse(&t).ok())
+        .unwrap_or_default();
+    let files = maya_lint::run_workspace(&root, &cfg)
+        .map(|r| r.files as f64)
+        .unwrap_or(0.0);
+    let iters = if smoke { 2 } else { 10 };
+    measure("lint_scan", "files/sec", iters, files, || {
+        let report = maya_lint::run_workspace(&root, &cfg).expect("lint scan");
+        assert!(report.files > 0, "lint scan found no files");
+    })
+}
+
 fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -291,6 +316,7 @@ fn main() {
     scenarios.extend(predict_scenarios(smoke));
     scenarios.extend(search_scenarios(smoke));
     scenarios.push(wire_scenario(smoke));
+    scenarios.push(lint_scenario(smoke));
 
     println!(
         "{:<22} {:>14} {:<16} {:>12} {:>12}",

@@ -18,7 +18,7 @@ use std::time::Instant;
 /// layout or the required scenario set changes, and regenerate the
 /// committed artifact under the new name (`BENCH_<version>.json`); it
 /// never decreases (see `schema_version_is_monotonic`).
-pub const SCHEMA_VERSION: u32 = 8;
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// Value of the report's `schema` discriminator field.
 pub const SCHEMA_NAME: &str = "maya-perf-report";
@@ -37,6 +37,7 @@ pub const REQUIRED_SCENARIOS: &[&str] = &[
     "search_batched",
     "wire_loopback",
     "obs_overhead",
+    "lint_scan",
 ];
 
 /// The default report path at the repo root.

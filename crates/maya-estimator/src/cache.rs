@@ -119,6 +119,7 @@ impl<K: Hash + Eq + Clone> Sharded<K> {
         if let Some(e) = map.get_mut(&key) {
             e.value = value;
             e.stamp.store(stamp, Ordering::Relaxed);
+            // lint:allow(wall-clock-in-output): TTL bookkeeping only — insertion stamps never reach predictions or serialized output
             e.inserted = Instant::now();
             return;
         }
@@ -128,6 +129,7 @@ impl<K: Hash + Eq + Clone> Sharded<K> {
             Entry {
                 value,
                 stamp: AtomicU64::new(stamp),
+                // lint:allow(wall-clock-in-output): TTL bookkeeping only — never serialized
                 inserted: Instant::now(),
             },
         );

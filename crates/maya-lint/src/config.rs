@@ -1,0 +1,201 @@
+//! `lint-budget.toml`: the committed panic budget and the wall-clock
+//! module allowlist.
+//!
+//! Parsed with a deliberately tiny TOML subset reader (tables, `key =
+//! integer`, `key = [ "string", … ]`) — the workspace is registry-free,
+//! so no real TOML crate is available, and the budget file is machine-
+//! written by `--write-budget` anyway.
+//!
+//! The budget is a **ratchet**: `--check` fails when any crate exceeds
+//! its committed cap, and reports (without failing) when a cap has
+//! slack so it can be tightened. Raising a number in this file should
+//! only ever happen in the same PR that explains why.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed contents of `lint-budget.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Per-crate panic-site caps, keyed by crate name (`maya-sim`,
+    /// `vendor-serde`, `maya-repro` for the root crate).
+    pub budgets: BTreeMap<String, u64>,
+    /// Path substrings where wall-clock reads are legitimate
+    /// (telemetry/timing modules).
+    pub wall_clock_allow: Vec<String>,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the budget file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-budget.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut table = String::new();
+        // Multiline-array accumulation: set once `paths = [` is seen
+        // without its closing `]`, cleared at the `]` line.
+        let mut in_paths_array = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if in_paths_array {
+                if line == "]" {
+                    in_paths_array = false;
+                    continue;
+                }
+                let item = line.trim_end_matches(',').trim();
+                let s = item
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!("expected a quoted path in the array, got `{item}`"),
+                    })?;
+                cfg.wall_clock_allow.push(s.to_string());
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                // Not a table header if it's the array opener's own
+                // line (`paths = [` was handled below) — headers are
+                // bare `[name]`.
+                table = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            match table.as_str() {
+                "budget" => {
+                    let n: u64 = value.parse().map_err(|_| ConfigError {
+                        line: lineno,
+                        message: format!("budget for `{key}` is not an integer: `{value}`"),
+                    })?;
+                    cfg.budgets.insert(key, n);
+                }
+                "wall-clock-allow" if key == "paths" => {
+                    if value == "[" {
+                        in_paths_array = true;
+                    } else {
+                        cfg.wall_clock_allow =
+                            parse_string_array(value).ok_or_else(|| ConfigError {
+                                line: lineno,
+                                message: format!("expected a [\"…\", …] array, got `{value}`"),
+                            })?;
+                    }
+                }
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown table `[{other}]` or key `{key}`"),
+                    });
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders back to the canonical committed form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# Panic budget per crate: unwrap + expect + panic-family macros +\n\
+             # slice-index sites in non-test code. This file is a ratchet — numbers\n\
+             # may only go DOWN. Regenerate with `cargo run -p maya-lint -- --write-budget`.\n\n\
+             [budget]\n",
+        );
+        for (name, cap) in &self.budgets {
+            let _ = writeln!(out, "\"{name}\" = {cap}");
+        }
+        out.push_str(
+            "\n# Modules where wall-clock reads (Instant::now/SystemTime) are the\n\
+             # point: telemetry, benchmarking, and transport timeouts.\n\n\
+             [wall-clock-allow]\npaths = [\n",
+        );
+        for p in &self.wall_clock_allow {
+            let _ = writeln!(out, "    \"{p}\",");
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for this file: `#` never appears inside our strings.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(part.strip_prefix('"')?.strip_suffix('"')?.to_string());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut cfg = Config::default();
+        cfg.budgets.insert("maya-sim".to_string(), 12);
+        cfg.budgets.insert("vendor-serde".to_string(), 3);
+        cfg.wall_clock_allow.push("crates/maya-obs/".to_string());
+        let text = cfg.render();
+        let back = Config::parse(&text).expect("canonical form parses");
+        assert_eq!(back.budgets, cfg.budgets);
+        assert_eq!(back.wall_clock_allow, cfg.wall_clock_allow);
+    }
+
+    #[test]
+    fn multiline_arrays_and_comments() {
+        let text = "
+            # header comment
+            [budget]
+            \"maya-wire\" = 4   # trailing
+            [wall-clock-allow]
+            paths = [\"a/\", \"b/\"]
+        ";
+        let cfg = Config::parse(text).expect("parses");
+        assert_eq!(cfg.budgets.get("maya-wire"), Some(&4));
+        assert_eq!(
+            cfg.wall_clock_allow,
+            vec!["a/".to_string(), "b/".to_string()]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Config::parse("[budget]\nx = not-a-number").is_err());
+        assert!(Config::parse("[mystery]\nx = 1").is_err());
+        assert!(Config::parse("[budget]\njust-a-key").is_err());
+    }
+}

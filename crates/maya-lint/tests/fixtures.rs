@@ -1,0 +1,134 @@
+//! Fixture corpus: every rule has one known-bad and one known-clean
+//! file under `tests/fixtures/`. Bad fixtures must produce exactly the
+//! expected findings; clean fixtures must produce none.
+
+use maya_lint::config::Config;
+use maya_lint::rules;
+use maya_lint::scan_file;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+fn findings_for(name: &str, rule: &str) -> Vec<u32> {
+    let scan = scan_file(name, &fixture(name), &Config::default());
+    scan.findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn guard_bad_fires_three_times() {
+    let lines = findings_for("guard_bad.rs", rules::GUARD_RULE);
+    assert_eq!(lines.len(), 3, "recv, join, accept: {lines:?}");
+}
+
+#[test]
+fn guard_clean_is_silent() {
+    let scan = scan_file(
+        "guard_clean.rs",
+        &fixture("guard_clean.rs"),
+        &Config::default(),
+    );
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+}
+
+#[test]
+fn iter_bad_fires_twice() {
+    let lines = findings_for("iter_bad.rs", rules::ITER_RULE);
+    assert_eq!(lines.len(), 2, "snapshot chain + emit for-loop: {lines:?}");
+}
+
+#[test]
+fn iter_clean_is_silent() {
+    let scan = scan_file(
+        "iter_clean.rs",
+        &fixture("iter_clean.rs"),
+        &Config::default(),
+    );
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+}
+
+#[test]
+fn wallclock_bad_fires_twice() {
+    let lines = findings_for("wallclock_bad.rs", rules::WALL_CLOCK_RULE);
+    assert_eq!(lines.len(), 2, "SystemTime + Instant::now: {lines:?}");
+}
+
+#[test]
+fn wallclock_clean_is_silent_and_counts_its_allow() {
+    let scan = scan_file(
+        "wallclock_clean.rs",
+        &fixture("wallclock_clean.rs"),
+        &Config::default(),
+    );
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    assert_eq!(scan.suppressed.len(), 1, "the reasoned allow is reported");
+    assert_eq!(scan.suppressed[0].rule, rules::WALL_CLOCK_RULE);
+    assert!(!scan.suppressed[0].reason.is_empty());
+}
+
+#[test]
+fn rng_bad_fires_three_times() {
+    let lines = findings_for("rng_bad.rs", rules::RNG_RULE);
+    assert_eq!(lines.len(), 3, "thread_rng, from_entropy, OsRng: {lines:?}");
+}
+
+#[test]
+fn rng_clean_is_silent() {
+    let scan = scan_file("rng_clean.rs", &fixture("rng_clean.rs"), &Config::default());
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+}
+
+#[test]
+fn panic_bad_counts_every_category() {
+    let scan = scan_file("panic_bad.rs", &fixture("panic_bad.rs"), &Config::default());
+    assert_eq!(scan.counts.unwrap, 2);
+    assert_eq!(scan.counts.expect, 1);
+    assert_eq!(scan.counts.panics, 1);
+    assert_eq!(scan.counts.index, 2);
+    assert_eq!(scan.counts.total(), 6);
+}
+
+#[test]
+fn panic_clean_counts_nothing() {
+    let scan = scan_file(
+        "panic_clean.rs",
+        &fixture("panic_clean.rs"),
+        &Config::default(),
+    );
+    assert_eq!(scan.counts.total(), 0, "{:?}", scan.counts);
+    assert_eq!(scan.suppressed.len(), 1, "the index allow is reported");
+    assert_eq!(scan.suppressed[0].rule, rules::PANIC_RULE);
+}
+
+#[test]
+fn bad_fixtures_fail_a_check_and_clean_ones_pass() {
+    // End-to-end shape check: the bad corpus as a whole has findings,
+    // the clean corpus none.
+    for name in [
+        "guard_bad.rs",
+        "iter_bad.rs",
+        "wallclock_bad.rs",
+        "rng_bad.rs",
+    ] {
+        let scan = scan_file(name, &fixture(name), &Config::default());
+        assert!(!scan.findings.is_empty(), "{name} must produce findings");
+    }
+    for name in [
+        "guard_clean.rs",
+        "iter_clean.rs",
+        "wallclock_clean.rs",
+        "rng_clean.rs",
+        "panic_clean.rs",
+    ] {
+        let scan = scan_file(name, &fixture(name), &Config::default());
+        assert!(scan.findings.is_empty(), "{name} must be clean");
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: guard-across-blocking-call, known-bad.
+// Expected findings: 3 (recv under lock, join under lock, accept under
+// a write guard).
+
+fn recv_under_lock(rx_slot: &std::sync::Mutex<Receiver>, other: &Receiver) {
+    let _slot = rx_slot.lock().unwrap();
+    let _msg = other.recv();
+}
+
+fn join_under_lock(threads: &std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let mut held = threads.lock().unwrap();
+    for handle in held.drain(..) {
+        let _ = handle.join();
+    }
+}
+
+fn accept_under_write_guard(conns: &std::sync::RwLock<Vec<Conn>>, listener: &TcpListener) {
+    let mut table = conns.write().unwrap();
+    let (stream, _addr) = listener.accept().unwrap();
+    table.push(Conn::from(stream));
+}

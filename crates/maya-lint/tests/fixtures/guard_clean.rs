@@ -1,0 +1,37 @@
+// Fixture: guard-across-blocking-call, known-clean.
+// Condvar-idiomatic waits, blocking calls on the guarded resource
+// itself, early drops, and scope-narrowed guards must not fire.
+
+fn condvar_consumes_guard(m: &std::sync::Mutex<u32>, cond: &std::sync::Condvar) {
+    let mut state = m.lock().unwrap_or_else(|p| p.into_inner());
+    while *state == 0 {
+        state = cond.wait(state).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+fn blocking_on_the_guarded_resource(writer: &std::sync::Mutex<TcpStream>, payload: &[u8]) {
+    let mut w = writer.lock().unwrap();
+    w.write_all(payload).unwrap();
+}
+
+fn guard_dropped_before_blocking(m: &std::sync::Mutex<u32>, rx: &Receiver) {
+    let snapshot = *m.lock().unwrap();
+    let guard = m.lock().unwrap();
+    drop(guard);
+    let _ = (snapshot, rx.recv());
+}
+
+fn guard_scoped_before_blocking(threads: &std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let drained = {
+        let mut held = threads.lock().unwrap();
+        std::mem::take(&mut *held)
+    };
+    for handle in drained {
+        let _ = handle.join();
+    }
+}
+
+fn path_join_is_not_blocking(m: &std::sync::Mutex<u32>, dir: &std::path::Path) {
+    let _guard = m.lock().unwrap();
+    let _p = dir.join("snapshots");
+}

@@ -1,0 +1,20 @@
+// Fixture: nondeterministic-iteration, known-bad.
+// Expected findings: 2 (method-chain iteration and for-loop iteration
+// of hash collections inside serialization-shaped functions).
+
+struct Metrics {
+    counters: HashMap<String, u64>,
+    seen: HashSet<String>,
+}
+
+impl Metrics {
+    fn snapshot(&self) -> Vec<u64> {
+        self.counters.values().copied().collect()
+    }
+
+    fn emit(&self, out: &mut String) {
+        for name in &self.seen {
+            out.push_str(name);
+        }
+    }
+}

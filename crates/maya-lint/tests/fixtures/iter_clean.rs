@@ -1,0 +1,30 @@
+// Fixture: nondeterministic-iteration, known-clean.
+// Sorted-after-collect, BTreeMap rebuilds, and hash iteration outside
+// serialization contexts must not fire.
+
+struct Metrics {
+    counters: HashMap<String, u64>,
+    ordered: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> =
+            self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.ordered {
+            out.push_str(&format!("{k}={v},"));
+        }
+        out
+    }
+
+    fn total(&self) -> u64 {
+        // Not a serialization context: order-independent fold.
+        self.counters.values().sum()
+    }
+}

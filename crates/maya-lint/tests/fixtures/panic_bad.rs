@@ -1,0 +1,13 @@
+// Fixture: panic-budget, known-bad (for counting): 6 non-test panic
+// sites — 2 unwrap, 1 expect, 1 panic-family macro, 2 slice indexes.
+
+fn hot_path(frames: &[Frame], lookup: &HashMap<u64, Frame>) -> Frame {
+    let first = frames.first().unwrap();
+    let by_id = lookup.get(&first.id).unwrap();
+    let header = frames[0].header();
+    let tail = &frames[1..];
+    if tail.is_empty() {
+        panic!("no tail");
+    }
+    by_id.merge(header).expect("compatible frames")
+}

@@ -1,0 +1,22 @@
+// Fixture: panic-budget, known-clean: 0 countable sites. Typed errors
+// on the non-test path; test code and reasoned allows are exempt.
+
+fn hot_path(frames: &[Frame]) -> Result<Header, FrameError> {
+    let first = frames.first().ok_or(FrameError::Empty)?;
+    Ok(first.header())
+}
+
+fn checked_pair(v: &[u8]) -> Option<(u8, u8)> {
+    // lint:allow(panic-budget): fixture exercising the allow path — indexes guarded by the len check above
+    if v.len() >= 2 { Some((v[0], v[1])) } else { None }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_freely() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        v.first().unwrap();
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: unseeded-randomness, known-bad.
+// Expected findings: 3 (thread_rng, from_entropy, OsRng).
+
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+fn init_population() -> Population {
+    let rng = SmallRng::from_entropy();
+    Population::sample(rng)
+}
+
+fn token() -> [u8; 16] {
+    let mut buf = [0u8; 16];
+    OsRng.fill_bytes(&mut buf);
+    buf
+}

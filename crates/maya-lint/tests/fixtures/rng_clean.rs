@@ -1,0 +1,14 @@
+// Fixture: unseeded-randomness, known-clean.
+// Explicitly seeded construction (the only kind this workspace
+// permits) must not fire.
+
+fn search_rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
+}
+
+fn derived_streams(base: u64) -> (Rng, Rng) {
+    (
+        Rng::seed_from_u64(base),
+        Rng::seed_from_u64(base.wrapping_add(1)),
+    )
+}

@@ -1,0 +1,13 @@
+// Fixture: wall-clock-in-output, known-bad.
+// Expected findings: 2 (Instant::now and SystemTime in a module that
+// is not on the telemetry allowlist).
+
+fn stamp_report(report: &mut Report) {
+    report.generated_at = SystemTime::now();
+}
+
+fn measure_and_embed(report: &mut Report) {
+    let t0 = Instant::now();
+    run();
+    report.elapsed = t0.elapsed();
+}

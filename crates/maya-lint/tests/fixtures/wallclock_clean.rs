@@ -1,0 +1,13 @@
+// Fixture: wall-clock-in-output, known-clean.
+// Virtual time from the simulator and a reasoned allow must not fire.
+
+fn advance(clock: &mut SimClock, dt: Ticks) {
+    clock.now = clock.now + dt;
+}
+
+fn trace_span(report: &mut Report) {
+    // lint:allow(wall-clock-in-output): span telemetry anchor — never part of the deterministic payload
+    let t0 = Instant::now();
+    run();
+    report.telemetry.span = t0.elapsed();
+}

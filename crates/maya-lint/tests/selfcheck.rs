@@ -1,0 +1,64 @@
+//! Self-check: the committed workspace must be lint-clean under the
+//! committed `lint-budget.toml`. This is the same gate CI runs via
+//! `cargo run -p maya-lint -- --check`, embedded as a test so a plain
+//! `cargo test` catches regressions too.
+
+use std::path::PathBuf;
+
+use maya_lint::config::Config;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/maya-lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn committed_workspace_is_lint_clean() {
+    let root = workspace_root();
+    let budget = std::fs::read_to_string(root.join("lint-budget.toml"))
+        .expect("lint-budget.toml is committed at the workspace root");
+    let cfg = Config::parse(&budget).expect("committed budget parses");
+    let report = maya_lint::run_workspace(&root, &cfg).expect("workspace scans");
+    assert!(
+        !report.failed(),
+        "workspace has lint findings or budget violations:\n{}",
+        report.render_text()
+    );
+    assert!(report.files > 100, "walker found the workspace sources");
+    // Every suppression in the committed tree carries a reason; the
+    // scanner enforces this at parse time, so just assert none slipped
+    // through empty.
+    assert!(report.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn budget_has_no_unexplained_slack() {
+    // The ratchet only bites if committed caps track reality: a cap
+    // more than 0 above the measured count means someone deleted panic
+    // sites without ratcheting. Fail so the budget gets rewritten.
+    let root = workspace_root();
+    let budget = std::fs::read_to_string(root.join("lint-budget.toml"))
+        .expect("lint-budget.toml is committed at the workspace root");
+    let cfg = Config::parse(&budget).expect("committed budget parses");
+    let report = maya_lint::run_workspace(&root, &cfg).expect("workspace scans");
+    let slack: Vec<String> = report
+        .budgets
+        .iter()
+        .filter(|b| b.slack() > 0)
+        .map(|b| {
+            format!(
+                "{} (cap {}, used {})",
+                b.krate,
+                b.cap.unwrap_or(0),
+                b.counts.total()
+            )
+        })
+        .collect();
+    assert!(
+        slack.is_empty(),
+        "budget slack — run `cargo run -p maya-lint -- --write-budget`: {slack:?}"
+    );
+}

@@ -536,6 +536,7 @@ impl<'a> TrialScheduler<'a> {
         seed: u64,
         batched: bool,
     ) -> SearchResult {
+        // lint:allow(wall-clock-in-output): wall_time telemetry field only — trial selection is seed-driven
         let t0 = Instant::now();
         if kind == AlgorithmKind::Grid {
             // Grid walks the actual discrete knob space (not a unit-cube
@@ -620,6 +621,7 @@ impl<'a> TrialScheduler<'a> {
     /// Exhaustively evaluates the whole space (the paper's grid-search
     /// reference for Fig. 11b).
     pub fn run_grid(mut self) -> SearchResult {
+        // lint:allow(wall-clock-in-output): wall_time telemetry field only — enumeration order is deterministic
         let t0 = Instant::now();
         self.early_stop_patience = None;
         for c in self.space.enumerate() {
@@ -635,6 +637,7 @@ impl<'a> TrialScheduler<'a> {
     /// Exhaustive grid evaluation with speculative batching; result is
     /// identical to [`TrialScheduler::run_grid`], only faster.
     pub fn run_grid_batched(mut self) -> SearchResult {
+        // lint:allow(wall-clock-in-output): wall_time telemetry field only — enumeration order is deterministic
         let t0 = Instant::now();
         self.early_stop_patience = None;
         let configs = self.space.enumerate();

@@ -252,6 +252,7 @@ impl AdmissionQueue {
         match state.entries.iter().filter_map(|e| e.job.expires).min() {
             None => cond.wait(state).unwrap_or_else(|p| p.into_inner()),
             Some(at) => {
+                // lint:allow(wall-clock-in-output): deadline scheduling — bounds the condvar wait, never serialized
                 let until = at.saturating_duration_since(Instant::now());
                 if until.is_zero() {
                     return state; // already due: let the caller purge
@@ -386,6 +387,7 @@ impl AdmissionQueue {
     /// (age-promoted class, remaining budget, admission seq), skipping
     /// tenants at their in-flight cap. `None` when nothing is eligible.
     fn select(&self, state: &QueueState) -> Option<usize> {
+        // lint:allow(wall-clock-in-output): deadline/aging eligibility — scheduling input, never serialized
         let now = Instant::now();
         let guard = self
             .config
@@ -422,6 +424,7 @@ impl AdmissionQueue {
     /// elapsed or cancelled — delivering its verdict and releasing its
     /// slot *now*, not when a worker happens to dequeue it.
     fn purge_dead(&self, state: &mut QueueState) {
+        // lint:allow(wall-clock-in-output): deadline expiry check — scheduling input, never serialized
         let now = Instant::now();
         let mut removed = false;
         let mut idx = 0;

@@ -329,7 +329,9 @@ impl ServiceBuilder {
             let mut names: Vec<&String> = targets.keys().collect();
             names.sort();
             for name in names {
-                let spec = &targets[name];
+                let Some(spec) = targets.get(name) else {
+                    continue; // names came from this map's own keys
+                };
                 let path = snapshot_file(dir, name);
                 if !path.exists() {
                     continue;
@@ -415,26 +417,43 @@ impl ServiceBuilder {
             },
             queue_obs,
         ));
-        let workers: Vec<JoinHandle<()>> = (0..self.workers)
-            .map(|idx| {
-                let shared = Arc::clone(&shared);
-                let queue = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name(format!("maya-serve-{idx}"))
-                    .spawn(move || worker_loop(idx, &shared, &queue))
-                    .expect("spawn service worker")
-            })
-            .collect();
+        // Thread spawn can fail under resource exhaustion; a service
+        // that cannot field its full worker pool reports the typed
+        // `Stopped` (no worker will ever answer) instead of panicking
+        // mid-build. The partial pool is closed and joined first so
+        // the error path leaks nothing.
+        let abort_pool = |workers: Vec<JoinHandle<()>>| {
+            queue.close();
+            for handle in workers {
+                let _ = handle.join();
+            }
+            ServeError::Stopped
+        };
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(self.workers);
+        for idx in 0..self.workers {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            match std::thread::Builder::new()
+                .name(format!("maya-serve-{idx}"))
+                .spawn(move || worker_loop(idx, &shared, &queue))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(_) => return Err(abort_pool(workers)),
+            }
+        }
         // The sweeper delivers expired/cancelled-while-queued verdicts
         // on time even when every worker above is busy on a long job
         // (workers only purge when they touch the queue). It exits
         // when the queue closes and joins with the pool at shutdown.
         let sweeper = {
             let queue = Arc::clone(&queue);
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name("maya-serve-sweep".into())
                 .spawn(move || queue.sweep())
-                .expect("spawn service sweeper")
+            {
+                Ok(handle) => handle,
+                Err(_) => return Err(abort_pool(workers)),
+            }
         };
         Ok(MayaService {
             shared,
@@ -494,7 +513,8 @@ fn snapshot_file(dir: &Path, target: &str) -> PathBuf {
             b'a'..=b'z' | b'0'..=b'9' | b'-' => safe.push(b as char),
             _ => {
                 use std::fmt::Write;
-                write!(safe, "_{b:02x}").expect("write to String");
+                // Writing into a String cannot fail.
+                let _ = write!(safe, "_{b:02x}");
             }
         }
     }
@@ -515,6 +535,7 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
         // between selection and pickup is shed *here*, before any
         // engine or pipeline work — load shedding at its cheapest
         // point.
+        // lint:allow(wall-clock-in-output): deadline shedding — load-shedding input, never serialized
         if work.expires.is_some_and(|d| Instant::now() >= d) {
             shared.expired.inc();
             work.core.finish(JobState::Expired);
@@ -548,6 +569,7 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
         } = work;
         let label = format!("{} on {:?}", req.kind(), req.target());
         let exec_core = Arc::clone(&core);
+        // lint:allow(wall-clock-in-output): span-recorder telemetry anchor — timings are telemetry, not payload
         let exec_started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute(idx, shared, req, enqueued, &exec_core, expires)
@@ -555,7 +577,7 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
         match result {
             // A dropped outcome receiver just means the client lost
             // interest.
-            Ok(outcome) => {
+            Ok(Ok(outcome)) => {
                 let state = outcome.state();
                 let counter = match state {
                     JobState::Done => &shared.served,
@@ -586,6 +608,15 @@ fn worker_loop(idx: usize, shared: &Shared, queue: &AdmissionQueue) {
                 // them.
                 queue.finished(tenant.as_deref(), state, service_time);
                 let _ = outcome_tx.send(outcome);
+            }
+            // An invariant breach surfaced as a typed error: abandon
+            // the job (the waiter gets `ServeError::Stopped`) and keep
+            // the worker alive.
+            Ok(Err(err)) => {
+                eprintln!("[maya-serve] worker {idx}: request {label} failed: {err}");
+                core.abandon();
+                drop(outcome_tx);
+                queue.finished(tenant.as_deref(), JobState::Failed, None);
             }
             Err(panic) => {
                 shared.panicked.inc();
@@ -643,6 +674,7 @@ impl SearchObserver for ProgressForwarder {
         // budget stops at the next commit boundary — promptly, but
         // without ever interrupting a trial mid-flight, so the partial
         // result is a deterministic prefix.
+        // lint:allow(wall-clock-in-output): wave-boundary deadline enforcement — commit prefix stays deterministic
         if self.expires.is_some_and(|d| Instant::now() >= d) && !self.core.cancel.is_cancelled() {
             self.deadline_fired.store(true, Ordering::SeqCst);
             self.core.cancel.cancel();
@@ -676,7 +708,10 @@ fn job_span_tree(queue_wait: Duration, service_time: Duration, stages: &StageTim
         .with_child(execute)
 }
 
-/// Runs one request against its target's engine.
+/// Runs one request against its target's engine. `Err` is the typed
+/// escape for invariant breaches (an unknown target slipping past
+/// submit validation) — the worker maps it to an abandoned job rather
+/// than letting a panicking index take down the request.
 fn execute(
     worker: usize,
     shared: &Shared,
@@ -684,14 +719,19 @@ fn execute(
     enqueued: Instant,
     core: &Arc<JobCore>,
     expires: Option<Instant>,
-) -> JobOutcome {
+) -> Result<JobOutcome, ServeError> {
     // Queue wait ends the moment a worker picks the request up; the
     // (possibly expensive, first-use) lazy engine build that follows
     // is counted as service time, not congestion.
     let queue_wait = enqueued.elapsed();
+    // lint:allow(wall-clock-in-output): service_time telemetry anchor — reported in Telemetry, not in predictions
     let started = Instant::now();
-    // Target existence was validated at submit.
-    let spec = &shared.targets[req.target()];
+    // Target existence was validated at submit; the map is immutable
+    // after build, so this miss is unreachable short of a bug — which
+    // is exactly when a typed error beats a worker panic.
+    let Some(spec) = shared.targets.get(req.target()) else {
+        return Err(ServeError::UnknownTarget(req.target().to_string()));
+    };
     let engine = shared.registry.engine(spec);
     let cache_before = engine.cache_stats();
     let target = req.target().to_string();
@@ -767,13 +807,13 @@ fn execute(
         },
         payload,
     };
-    if deadline_fired.load(Ordering::SeqCst) {
+    Ok(if deadline_fired.load(Ordering::SeqCst) {
         JobOutcome::Expired(Some(response))
     } else if core.cancel.is_cancelled() {
         JobOutcome::Cancelled(Some(response))
     } else {
         JobOutcome::Done(response)
-    }
+    })
 }
 
 /// The pre-job-API name for the submission ticket, kept for one
@@ -935,6 +975,7 @@ impl MayaService {
         // Lets a cancel wake the scheduler so a still-queued job's
         // verdict is delivered promptly.
         core.attach_queue(Arc::downgrade(&self.queue));
+        // lint:allow(wall-clock-in-output): queue_wait telemetry anchor and deadline base — never in payloads
         let enqueued = Instant::now();
         let JobOptions {
             deadline,
@@ -1153,7 +1194,15 @@ impl MayaService {
             return Ok(0);
         };
         let mut written = 0;
-        for (name, spec) in &self.shared.targets {
+        // Walk targets in name order: HashMap iteration order would
+        // make the write sequence (and any partial-failure prefix)
+        // differ run to run.
+        let mut names: Vec<&String> = self.shared.targets.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let Some(spec) = self.shared.targets.get(name) else {
+                continue;
+            };
             if let Some(engine) = self.shared.registry.built_engine(spec) {
                 let scope = self
                     .shared

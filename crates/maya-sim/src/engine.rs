@@ -456,6 +456,7 @@ impl<'a> Simulator<'a> {
         job: &JobTrace,
         scratch: &mut SimScratch,
     ) -> Result<SimReport, SimError> {
+        // lint:allow(wall-clock-in-output): obs stage timing, only taken when an observer is attached — SimReport itself is wall-clock-free
         let run_started = self.obs.map(|_| std::time::Instant::now());
         let st = scratch;
         st.reset(job);

@@ -440,6 +440,7 @@ impl WireClient {
                 message: "job deadline expired before the service admitted the request".to_string(),
             })
         }
+        // lint:allow(wall-clock-in-output): client-side retry budget deadline — local scheduling, never serialized
         let expires = opts.deadline.map(|d| std::time::Instant::now() + d);
         let attempts = backoff.attempts.max(1);
         let mut delay = backoff.initial;
@@ -452,6 +453,7 @@ impl WireClient {
                     // the budget caps this delay, and a budget that is
                     // already gone ends the loop with the typed
                     // expired verdict.
+                    // lint:allow(wall-clock-in-output): retry budget bookkeeping — caps the backoff sleep
                     let remaining = expires.saturating_duration_since(std::time::Instant::now());
                     if remaining.is_zero() {
                         return Err(budget_exhausted());
@@ -465,6 +467,7 @@ impl WireClient {
             }
             let attempt_opts = match expires {
                 Some(expires) => {
+                    // lint:allow(wall-clock-in-output): remaining deadline forwarded to the server — deadlines are wall-clock by contract
                     let remaining = expires.saturating_duration_since(std::time::Instant::now());
                     if remaining.is_zero() {
                         return Err(budget_exhausted());
@@ -481,7 +484,10 @@ impl WireClient {
                 verdict => return verdict,
             }
         }
-        Err(last.expect("at least one overloaded attempt"))
+        // `attempts >= 1`, and the only way out of the loop without
+        // returning is an overloaded verdict stored in `last`; the
+        // fallback covers the unreachable None without a panic path.
+        Err(last.unwrap_or_else(budget_exhausted))
     }
 
     /// Half-closes the write side: the server sees end-of-requests,

@@ -313,21 +313,26 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Option<Frame>, Rea
     if !read_exact_or_eof(r, &mut header)? {
         return Ok(None);
     }
-    let magic: [u8; 4] = header[0..4].try_into().expect("4-byte slice");
+    // Destructure the fixed-size header once: every field extraction
+    // below is infallible by construction (no slice-length expects on
+    // the per-frame hot path).
+    let [m0, m1, m2, m3, v0, v1, kind_code, reserved, i0, i1, i2, i3, i4, i5, i6, i7, l0, l1, l2, l3] =
+        header;
+    let magic = [m0, m1, m2, m3];
     if magic != MAGIC {
         return Err(ReadError::Protocol(ProtocolError::BadMagic(magic)));
     }
-    let version = u16::from_be_bytes(header[4..6].try_into().expect("2-byte slice"));
+    let version = u16::from_be_bytes([v0, v1]);
     if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ReadError::Protocol(ProtocolError::Version(version)));
     }
-    let kind = FrameKind::from_code(header[6])
-        .ok_or(ReadError::Protocol(ProtocolError::UnknownKind(header[6])))?;
-    if header[7] != 0 {
-        return Err(ReadError::Protocol(ProtocolError::Reserved(header[7])));
+    let kind = FrameKind::from_code(kind_code)
+        .ok_or(ReadError::Protocol(ProtocolError::UnknownKind(kind_code)))?;
+    if reserved != 0 {
+        return Err(ReadError::Protocol(ProtocolError::Reserved(reserved)));
     }
-    let id = u64::from_be_bytes(header[8..16].try_into().expect("8-byte slice"));
-    let len = u32::from_be_bytes(header[16..20].try_into().expect("4-byte slice"));
+    let id = u64::from_be_bytes([i0, i1, i2, i3, i4, i5, i6, i7]);
+    let len = u32::from_be_bytes([l0, l1, l2, l3]);
     if len > max_len {
         return Err(ReadError::Protocol(ProtocolError::Oversized {
             len,

@@ -266,23 +266,35 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             .name("maya-wire-conn".into())
             .spawn(move || connection_loop(conn_id, stream, &shared_for_conn))
             .expect("spawn connection thread");
-        let mut threads = shared
-            .conn_threads
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
         // Reap finished connections here rather than only at shutdown,
         // so a long-running server's handle list tracks *concurrent*
-        // connections, not every connection ever served.
-        let mut alive = Vec::with_capacity(threads.len() + 1);
-        for handle in threads.drain(..) {
-            if handle.is_finished() {
-                let _ = handle.join();
-            } else {
-                alive.push(handle);
+        // connections, not every connection ever served. Partition
+        // under the lock but join() outside it: is_finished() means
+        // the join cannot block for long, but "cannot block for long"
+        // held across a Mutex is exactly the discipline maya-lint's
+        // guard-across-blocking-call rule forbids — a descheduled
+        // exiting thread would stall every other conn_threads user.
+        let finished: Vec<std::thread::JoinHandle<()>> = {
+            let mut threads = shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            let mut alive = Vec::with_capacity(threads.len() + 1);
+            let mut done = Vec::new();
+            for handle in threads.drain(..) {
+                if handle.is_finished() {
+                    done.push(handle);
+                } else {
+                    alive.push(handle);
+                }
             }
+            alive.push(conn);
+            *threads = alive;
+            done
+        };
+        for handle in finished {
+            let _ = handle.join();
         }
-        alive.push(conn);
-        *threads = alive;
     }
 }
 
@@ -360,6 +372,7 @@ fn pump_job(
         }
     }
     let verdict = handle.wait_outcome();
+    // lint:allow(wall-clock-in-output): reply-latency telemetry anchor — timing is observability, not payload
     let reply_started = std::time::Instant::now();
     let frame = match &verdict {
         Ok(outcome) => outcome_frame(id, outcome, peer_version.load(Ordering::Relaxed)),

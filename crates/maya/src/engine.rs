@@ -269,6 +269,7 @@ impl PredictionEngine {
         job: &TrainingJob,
         emulation_threads: usize,
     ) -> Result<Prediction, MayaError> {
+        // lint:allow(wall-clock-in-output): stage timing telemetry — predicted runtimes come from the simulator, not this clock
         let t0 = Instant::now();
         let emulated = self.emulate_with(job, emulation_threads)?;
         let emulation = t0.elapsed();
@@ -309,6 +310,7 @@ impl PredictionEngine {
         emulation: std::time::Duration,
     ) -> Result<Prediction, MayaError> {
         let workers_emulated = job_trace.workers.len();
+        // lint:allow(wall-clock-in-output): stage timing telemetry — collation output is trace-derived
         let t1 = Instant::now();
         // Dedup folds ranks with identical traces onto one
         // representative — unsound once per-rank state matters: a
@@ -336,6 +338,7 @@ impl PredictionEngine {
         // memoized there too. Across trials the cache persists — a warm
         // search loop pays estimation cost only for shapes it has never
         // seen.
+        // lint:allow(wall-clock-in-output): stage timing telemetry — estimates come from the memoized estimator
         let t2 = Instant::now();
         let est: &dyn RuntimeEstimator = self.cache.as_ref();
         for w in &reduced.workers {
@@ -358,6 +361,7 @@ impl PredictionEngine {
         // and `reduce_job` preserves validity (asserted by its tests).
         // Skipping re-validation here is what makes a search loop pay
         // the O(events) structural check once instead of per trial.
+        // lint:allow(wall-clock-in-output): stage timing telemetry — the sim result is wall-clock-free
         let t3 = Instant::now();
         let report = self.with_sim_scratch(|scratch| {
             Simulator::new(est, &self.spec.cluster)
