@@ -239,12 +239,11 @@ fn wire_scenario(smoke: bool) -> ScenarioResult {
     })
 }
 
-/// Full maya-lint workspace scan, reported as files/sec: the analyzer
-/// runs on every CI build, so its cost is tracked like any other
-/// subsystem's.
-fn lint_scenario(smoke: bool) -> ScenarioResult {
-    // perf_report runs from the workspace root in CI; fall back to the
-    // manifest-relative root for `cargo run -p maya-bench`.
+/// Workspace root and budget config for the lint scenarios.
+///
+/// perf_report runs from the workspace root in CI; fall back to the
+/// manifest-relative root for `cargo run -p maya-bench`.
+fn lint_setup() -> (std::path::PathBuf, maya_lint::config::Config) {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
@@ -254,12 +253,35 @@ fn lint_scenario(smoke: bool) -> ScenarioResult {
         .ok()
         .and_then(|t| maya_lint::config::Config::parse(&t).ok())
         .unwrap_or_default();
-    let files = maya_lint::run_workspace(&root, &cfg)
+    (root, cfg)
+}
+
+/// Phase-1 maya-lint scan (per-file rules only), reported as
+/// files/sec: the analyzer runs on every CI build, so its cost is
+/// tracked like any other subsystem's.
+fn lint_scenario(smoke: bool) -> ScenarioResult {
+    let (root, cfg) = lint_setup();
+    let files = maya_lint::run_workspace_phase1(&root, &cfg)
         .map(|r| r.files as f64)
         .unwrap_or(0.0);
     let iters = if smoke { 2 } else { 10 };
     measure("lint_scan", "files/sec", iters, files, || {
-        let report = maya_lint::run_workspace(&root, &cfg).expect("lint scan");
+        let report = maya_lint::run_workspace_phase1(&root, &cfg).expect("lint scan");
+        assert!(report.files > 0, "lint scan found no files");
+    })
+}
+
+/// Full two-phase maya-lint run (per-file rules plus the item index,
+/// call graph, lock-order and codec checks), so the interprocedural
+/// layer's cost is visible separately from `lint_scan`.
+fn lint_interproc_scenario(smoke: bool) -> ScenarioResult {
+    let (root, cfg) = lint_setup();
+    let files = maya_lint::run_workspace(&root, &cfg)
+        .map(|r| r.files as f64)
+        .unwrap_or(0.0);
+    let iters = if smoke { 2 } else { 10 };
+    measure("lint_interproc", "files/sec", iters, files, || {
+        let report = maya_lint::run_workspace(&root, &cfg).expect("lint interproc scan");
         assert!(report.files > 0, "lint scan found no files");
     })
 }
@@ -317,6 +339,7 @@ fn main() {
     scenarios.extend(search_scenarios(smoke));
     scenarios.push(wire_scenario(smoke));
     scenarios.push(lint_scenario(smoke));
+    scenarios.push(lint_interproc_scenario(smoke));
 
     println!(
         "{:<22} {:>14} {:<16} {:>12} {:>12}",

@@ -18,7 +18,7 @@ use std::time::Instant;
 /// layout or the required scenario set changes, and regenerate the
 /// committed artifact under the new name (`BENCH_<version>.json`); it
 /// never decreases (see `schema_version_is_monotonic`).
-pub const SCHEMA_VERSION: u32 = 9;
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// Value of the report's `schema` discriminator field.
 pub const SCHEMA_NAME: &str = "maya-perf-report";
@@ -38,6 +38,7 @@ pub const REQUIRED_SCENARIOS: &[&str] = &[
     "wire_loopback",
     "obs_overhead",
     "lint_scan",
+    "lint_interproc",
 ];
 
 /// The default report path at the repo root.

@@ -1,0 +1,819 @@
+//! Phase-2 wire-codec drift checking.
+//!
+//! The workspace's codecs are hand-written twins: a `Serialize` impl
+//! (or `encode_x`/`write_x` free function) emits fields in declaration
+//! order, and the matching `Deserialize` impl (or `decode_x`/`read_x`)
+//! reads them back. Nothing ties the two halves together at compile
+//! time, so a field added on one side silently corrupts every later
+//! field on the wire. This module cross-checks the halves:
+//!
+//! - **tag symmetry** — string tags written via `w.tag(...)` must
+//!   equal the set matched by the reader (`"x" => ...` arms);
+//! - **field sequences** — for straight-line bodies (no branching on
+//!   either side), the `.serialize(w)` sequence must match the
+//!   `T::deserialize(r)?` sequence in count and (where attributable)
+//!   field name, positionally;
+//! - **version-gate tail position** — a *presence* gate (an
+//!   `if <version test>` where exactly one branch performs codec ops)
+//!   makes fields optional on the wire, which only works when nothing
+//!   unconditional follows it; *format* gates (both branches read) are
+//!   exempt;
+//! - **version-const coherence** — every `u16` `*VERSION*` const must
+//!   sit inside `MIN_VERSION..=VERSION`, and literal `version >= N`
+//!   style gates must be neither vacuous (always true for supported
+//!   peers) nor unreachable.
+//!
+//! All checks are scoped to "codec files": files that mention the
+//! vendored serde machinery (`serde`, `Serialize`, `Deserialize`,
+//! `Reader`, `Writer`) at token level. Benchmarks and other code that
+//! happen to have a `version` variable stay out of scope.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{FnItem, ItemIndex, SourceUnit};
+use crate::lexer::{TokKind, Token};
+use crate::rules::{self, match_delim, Finding};
+
+/// Entry point: all codec-drift findings for the workspace.
+pub fn check(units: &[SourceUnit], index: &ItemIndex) -> Vec<Finding> {
+    let codec = codec_files(units);
+    let mut findings = Vec::new();
+    for (ser, de, label) in pairs(index, &codec) {
+        check_pair(units, index, ser, de, &label, &mut findings);
+    }
+    for (fi, f) in index.fns.iter().enumerate() {
+        let _ = fi;
+        if f.is_test || !codec.contains(&f.file) {
+            continue;
+        }
+        check_gate_tail(units, f, &mut findings);
+    }
+    check_version_consts(units, index, &codec, &mut findings);
+    findings
+}
+
+/// Files that touch the codec machinery at all.
+fn codec_files(units: &[SourceUnit]) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    for (i, unit) in units.iter().enumerate() {
+        let hit = unit.tokens.iter().any(|t| {
+            t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "serde" | "Serialize" | "Deserialize" | "Reader" | "Writer"
+                )
+        });
+        if hit {
+            out.insert(i);
+        }
+    }
+    out
+}
+
+/// Encoder/decoder pairs: `serialize`/`deserialize` methods of the
+/// same type, and `encode_x`/`decode_x` (or `write_x`/`read_x`) free
+/// functions. Only unambiguous one-to-one pairs are checked.
+fn pairs(index: &ItemIndex, codec: &BTreeSet<usize>) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut seen_types = BTreeSet::new();
+    for f in &index.fns {
+        if f.name != "serialize" || f.is_test {
+            continue;
+        }
+        let Some(ty) = f.impl_type.clone() else {
+            continue;
+        };
+        if !seen_types.insert(ty.clone()) {
+            continue;
+        }
+        let ser = index.methods_of(&ty, "serialize");
+        let de = index.methods_of(&ty, "deserialize");
+        if let (&[s], &[d]) = (ser.as_slice(), de.as_slice()) {
+            if codec.contains(&index.fns.get(s).map(|f| f.file).unwrap_or(usize::MAX)) {
+                out.push((s, d, ty));
+            }
+        }
+    }
+    let prefixes = [("encode_", "decode_"), ("write_", "read_")];
+    for (enc_prefix, dec_prefix) in prefixes {
+        for f in &index.fns {
+            if f.is_test || f.impl_type.is_some() {
+                continue;
+            }
+            let Some(suffix) = f.name.strip_prefix(enc_prefix) else {
+                continue;
+            };
+            let enc = index.free_fns(&f.name);
+            let dec = index.free_fns(&format!("{dec_prefix}{suffix}"));
+            if let (&[e], &[d]) = (enc.as_slice(), dec.as_slice()) {
+                if codec.contains(&index.fns.get(e).map(|f| f.file).unwrap_or(usize::MAX)) {
+                    out.push((e, d, f.name.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Body token range of `f`, or `None` when it has no body.
+fn body_range(f: &FnItem) -> Option<(usize, usize)> {
+    let (open, end) = f.body;
+    (end > open + 1).then_some((open + 1, end))
+}
+
+fn check_pair(
+    units: &[SourceUnit],
+    index: &ItemIndex,
+    ser: usize,
+    de: usize,
+    label: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let _ = index;
+    let (Some(sf), Some(df)) = (index.fns.get(ser), index.fns.get(de)) else {
+        return;
+    };
+    let (Some(su), Some(du)) = (units.get(sf.file), units.get(df.file)) else {
+        return;
+    };
+    // Tag symmetry.
+    let ser_tags = written_tags(&su.tokens, sf);
+    let de_tags = matched_tags(&du.tokens, df);
+    if !ser_tags.is_empty() && !de_tags.is_empty() && ser_tags != de_tags {
+        let only_ser: Vec<&str> = ser_tags.difference(&de_tags).map(String::as_str).collect();
+        let only_de: Vec<&str> = de_tags.difference(&ser_tags).map(String::as_str).collect();
+        let mut parts = Vec::new();
+        if !only_ser.is_empty() {
+            parts.push(format!(
+                "written but never matched: {}",
+                only_ser.join(", ")
+            ));
+        }
+        if !only_de.is_empty() {
+            parts.push(format!("matched but never written: {}", only_de.join(", ")));
+        }
+        findings.push(Finding {
+            file: su.path.clone(),
+            line: sf.line,
+            rule: rules::CODEC_RULE,
+            message: format!("codec tag drift for `{label}`: {}", parts.join("; ")),
+        });
+    }
+    // Straight-line field sequences.
+    if branchy(&su.tokens, sf) || branchy(&du.tokens, df) {
+        return;
+    }
+    let writes = serialize_sequence(&su.tokens, sf);
+    let reads = deserialize_sequence(&du.tokens, df);
+    if writes.is_empty() || reads.is_empty() {
+        return;
+    }
+    if writes.len() != reads.len() {
+        findings.push(Finding {
+            file: su.path.clone(),
+            line: sf.line,
+            rule: rules::CODEC_RULE,
+            message: format!(
+                "codec field drift for `{label}`: serializer writes {} fields but \
+                 deserializer reads {}",
+                writes.len(),
+                reads.len()
+            ),
+        });
+        return;
+    }
+    for (pos, (w, r)) in writes.iter().zip(reads.iter()).enumerate() {
+        let (Some(w), Some(r)) = (w, r) else { continue };
+        if w != r {
+            findings.push(Finding {
+                file: su.path.clone(),
+                line: sf.line,
+                rule: rules::CODEC_RULE,
+                message: format!(
+                    "codec field drift for `{label}`: position {} writes `{w}` but reads `{r}`",
+                    pos + 1
+                ),
+            });
+            return;
+        }
+    }
+}
+
+/// Whether `f`'s body contains any control flow (gate, loop, match).
+fn branchy(tokens: &[Token], f: &FnItem) -> bool {
+    let Some((start, end)) = body_range(f) else {
+        return false;
+    };
+    tokens
+        .get(start..end)
+        .unwrap_or(&[])
+        .iter()
+        .any(|t| matches!(t.kind, TokKind::Ident if matches!(t.text.as_str(), "if" | "match" | "while" | "loop" | "for")))
+}
+
+/// String tags written via `.tag("...")` calls.
+fn written_tags(tokens: &[Token], f: &FnItem) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Some((start, end)) = body_range(f) else {
+        return out;
+    };
+    let mut i = start;
+    while i + 1 < end {
+        let is_tag_call = tokens.get(i).is_some_and(|t| t.is_ident("tag"))
+            && tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct('.'))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_tag_call {
+            let span_end = match_delim(tokens, i + 1, '(', ')').min(end);
+            for t in tokens.get(i + 2..span_end).unwrap_or(&[]) {
+                if t.kind == TokKind::Str {
+                    out.insert(t.text.clone());
+                }
+            }
+            i = span_end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// String tags matched by the reader: `"x" =>` arms and `"x" | "y"`
+/// alternations.
+fn matched_tags(tokens: &[Token], f: &FnItem) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Some((start, end)) = body_range(f) else {
+        return out;
+    };
+    for i in start..end {
+        let Some(t) = tokens.get(i).filter(|t| t.kind == TokKind::Str) else {
+            continue;
+        };
+        let arm = (tokens.get(i + 1).is_some_and(|p| p.is_punct('='))
+            && tokens.get(i + 2).is_some_and(|p| p.is_punct('>')))
+            || tokens.get(i + 1).is_some_and(|p| p.is_punct('|'))
+            || tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct('|'));
+        if arm {
+            out.insert(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Field names fed to `.serialize(w)` in body order; `None` for
+/// receivers that are not a plain identifier.
+fn serialize_sequence(tokens: &[Token], f: &FnItem) -> Vec<Option<String>> {
+    let mut out = Vec::new();
+    let Some((start, end)) = body_range(f) else {
+        return out;
+    };
+    for i in start..end {
+        let is_call = tokens.get(i).is_some_and(|t| t.is_ident("serialize"))
+            && tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct('.'))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_call {
+            out.push(
+                tokens
+                    .get(i.wrapping_sub(2))
+                    .filter(|t| t.kind == TokKind::Ident && t.text != "self")
+                    .map(|t| t.text.clone()),
+            );
+        }
+    }
+    out
+}
+
+/// Field names receiving `T::deserialize(r)?` results in body order:
+/// the nearest preceding struct-literal key (`name:`) or `let` binding
+/// within the same statement; `None` when unattributable.
+fn deserialize_sequence(tokens: &[Token], f: &FnItem) -> Vec<Option<String>> {
+    let mut out = Vec::new();
+    let Some((start, end)) = body_range(f) else {
+        return out;
+    };
+    for i in start..end {
+        let is_call = tokens.get(i).is_some_and(|t| t.is_ident("deserialize"))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_call {
+            continue;
+        }
+        let mut name = None;
+        let floor = start.max(i.saturating_sub(24));
+        let mut j = i;
+        while j > floor {
+            j -= 1;
+            let Some(t) = tokens.get(j) else { break };
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.is_ident("let") {
+                let mut n = j + 1;
+                if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                name = tokens
+                    .get(n)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                break;
+            }
+            let literal_key = t.kind == TokKind::Ident
+                && tokens.get(j + 1).is_some_and(|p| p.is_punct(':'))
+                && !tokens.get(j + 2).is_some_and(|p| p.is_punct(':'))
+                && !tokens
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(|p| p.is_punct(':'));
+            if literal_key {
+                name = Some(t.text.clone());
+                break;
+            }
+        }
+        out.push(name);
+    }
+    out
+}
+
+/// Codec-op token indices: serialize/deserialize/raw-token calls.
+fn codec_ops(tokens: &[Token], start: usize, end: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in start..end {
+        let is_op = tokens.get(i).is_some_and(|t| {
+            t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "serialize" | "deserialize" | "raw_token" | "str_token"
+                )
+        }) && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_op {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Whether an identifier smells like a protocol-version value.
+fn version_ish(text: &str) -> bool {
+    text == "version" || text.contains("VERSION")
+}
+
+/// A version gate: the `if`-chain token range plus branch op counts.
+struct Gate {
+    start: usize,
+    end: usize,
+    line: u32,
+    /// One branch performs codec ops and the other does not.
+    presence: bool,
+}
+
+/// Finds `if <version test>` chains in `f`'s body. `flags` seeds the
+/// version-ish identifier set with locals like
+/// `let with_spans = version >= 5;`.
+fn version_gates(tokens: &[Token], f: &FnItem) -> Vec<Gate> {
+    let Some((start, end)) = body_range(f) else {
+        return Vec::new();
+    };
+    let mut flags: BTreeSet<String> = BTreeSet::new();
+    let mut i = start;
+    while i + 1 < end {
+        if tokens.get(i).is_some_and(|t| t.is_ident("let")) {
+            let mut n = i + 1;
+            if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            let name = tokens.get(n).filter(|t| t.kind == TokKind::Ident);
+            let eq = tokens.get(n + 1).is_some_and(|p| p.is_punct('='));
+            if let (Some(name), true) = (name, eq) {
+                let mut j = n + 2;
+                let mut versionish = false;
+                while j < end && !tokens.get(j).is_some_and(|t| t.is_punct(';')) {
+                    if tokens
+                        .get(j)
+                        .is_some_and(|t| t.kind == TokKind::Ident && version_ish(&t.text))
+                    {
+                        versionish = true;
+                    }
+                    j += 1;
+                }
+                if versionish {
+                    flags.insert(name.text.clone());
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let mut gates = Vec::new();
+    let mut i = start;
+    while i + 1 < end {
+        if !tokens.get(i).is_some_and(|t| t.is_ident("if")) {
+            i += 1;
+            continue;
+        }
+        // Condition runs to the first depth-0 `{`.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut gated = false;
+        let mut j = i + 1;
+        while j < end {
+            let Some(t) = tokens.get(j) else { break };
+            if depth == 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            if t.kind == TokKind::Ident && (version_ish(&t.text) || flags.contains(&t.text)) {
+                gated = true;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        if !gated {
+            i = open + 1;
+            continue;
+        }
+        let if_end = match_delim(tokens, open, '{', '}').min(end);
+        let if_ops = codec_ops(tokens, open, if_end).len();
+        // Walk the else-chain.
+        let mut chain_end = if_end;
+        let mut else_ops = 0usize;
+        while tokens.get(chain_end).is_some_and(|t| t.is_ident("else")) {
+            let mut k = chain_end + 1;
+            if tokens.get(k).is_some_and(|t| t.is_ident("if")) {
+                // `else if <cond> {` — find its block.
+                while k < end && !tokens.get(k).is_some_and(|t| t.is_punct('{')) {
+                    k += 1;
+                }
+            }
+            if !tokens.get(k).is_some_and(|t| t.is_punct('{')) {
+                break;
+            }
+            let blk_end = match_delim(tokens, k, '{', '}').min(end);
+            else_ops += codec_ops(tokens, k, blk_end).len();
+            chain_end = blk_end;
+        }
+        gates.push(Gate {
+            start: i,
+            end: chain_end,
+            line: tokens.get(i).map(|t| t.line).unwrap_or(0),
+            presence: (if_ops > 0) != (else_ops > 0),
+        });
+        i = open + 1;
+    }
+    gates
+}
+
+/// Presence gates make trailing fields optional — nothing
+/// unconditional may follow them.
+fn check_gate_tail(units: &[SourceUnit], f: &FnItem, findings: &mut Vec<Finding>) {
+    let Some(unit) = units.get(f.file) else {
+        return;
+    };
+    let Some((start, end)) = body_range(f) else {
+        return;
+    };
+    let gates = version_gates(&unit.tokens, f);
+    let Some(first) = gates.iter().filter(|g| g.presence).min_by_key(|g| g.end) else {
+        return;
+    };
+    for op in codec_ops(&unit.tokens, start, end) {
+        if op <= first.end {
+            continue;
+        }
+        if gates.iter().any(|g| op > g.start && op < g.end) {
+            continue;
+        }
+        let line = unit.tokens.get(op).map(|t| t.line).unwrap_or(0);
+        findings.push(Finding {
+            file: unit.path.clone(),
+            line,
+            rule: rules::CODEC_RULE,
+            message: format!(
+                "version-gated field in `{}` is not in tail position: unconditional \
+                 codec op at line {line} follows the presence gate at line {}",
+                f.name, first.line
+            ),
+        });
+        return;
+    }
+}
+
+/// Cross-crate `VERSION`/`MIN_VERSION` coherence plus literal-gate
+/// range checks.
+fn check_version_consts(
+    units: &[SourceUnit],
+    index: &ItemIndex,
+    codec: &BTreeSet<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let by_name: BTreeMap<&str, Vec<&crate::items::VersionConst>> = index
+        .version_consts
+        .iter()
+        .fold(BTreeMap::new(), |mut m, c| {
+            m.entry(c.name.as_str()).or_default().push(c);
+            m
+        });
+    let unique = |name: &str| -> Option<&crate::items::VersionConst> {
+        match by_name.get(name).map(Vec::as_slice) {
+            Some(&[c]) => Some(c),
+            _ => None,
+        }
+    };
+    let (Some(vmax), Some(vmin)) = (unique("VERSION"), unique("MIN_VERSION")) else {
+        return;
+    };
+    let (lo, hi) = (vmin.value, vmax.value);
+    if lo > hi {
+        findings.push(Finding {
+            file: units
+                .get(vmin.file)
+                .map(|u| u.path.clone())
+                .unwrap_or_default(),
+            line: vmin.line,
+            rule: rules::CODEC_RULE,
+            message: format!("MIN_VERSION ({lo}) exceeds VERSION ({hi})"),
+        });
+    }
+    for c in &index.version_consts {
+        if c.name == "VERSION" || c.name == "MIN_VERSION" {
+            continue;
+        }
+        if c.value < lo || c.value > hi {
+            findings.push(Finding {
+                file: units
+                    .get(c.file)
+                    .map(|u| u.path.clone())
+                    .unwrap_or_default(),
+                line: c.line,
+                rule: rules::CODEC_RULE,
+                message: format!(
+                    "version const `{}` (= {}) is outside MIN_VERSION..=VERSION ({lo}..={hi})",
+                    c.name, c.value
+                ),
+            });
+        }
+    }
+    // Literal gates: `version >= N` and friends in codec files.
+    for &fi in codec {
+        let Some(unit) = units.get(fi) else { continue };
+        let tokens = &unit.tokens;
+        for i in 0..tokens.len() {
+            if unit.is_exempt(i) {
+                continue;
+            }
+            if !tokens.get(i).is_some_and(|t| t.is_ident("version")) {
+                continue;
+            }
+            let (op, operand_idx) = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                (Some(a), Some(b)) if a.is_punct('>') && b.is_punct('=') => (">=", i + 3),
+                (Some(a), Some(b)) if a.is_punct('<') && b.is_punct('=') => ("<=", i + 3),
+                (Some(a), _) if a.is_punct('>') => (">", i + 2),
+                (Some(a), _) if a.is_punct('<') => ("<", i + 2),
+                _ => continue,
+            };
+            let n = match tokens.get(operand_idx) {
+                Some(t) if t.kind == TokKind::Num => {
+                    // Integer literals only; floats are not protocol
+                    // versions.
+                    if t.text.bytes().all(|b| b.is_ascii_digit()) && !t.text.is_empty() {
+                        t.text.parse::<u64>().ok()
+                    } else {
+                        None
+                    }
+                }
+                Some(t) if t.kind == TokKind::Ident && version_ish(&t.text) => {
+                    unique(&t.text).map(|c| c.value)
+                }
+                _ => None,
+            };
+            let Some(n) = n else { continue };
+            let ok = match op {
+                ">=" | "<" => lo < n && n <= hi,
+                _ => lo <= n && n < hi,
+            };
+            if !ok {
+                let line = tokens.get(i).map(|t| t.line).unwrap_or(0);
+                findings.push(Finding {
+                    file: unit.path.clone(),
+                    line,
+                    rule: rules::CODEC_RULE,
+                    message: format!(
+                        "version gate `version {op} {n}` is vacuous or unreachable for \
+                         the supported range {lo}..={hi}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::ItemIndex;
+
+    fn check_src(files: &[(&str, &str)]) -> Vec<Finding> {
+        let units: Vec<SourceUnit> = files.iter().map(|(p, s)| SourceUnit::parse(p, s)).collect();
+        let index = ItemIndex::build(&units);
+        check(&units, &index)
+    }
+
+    #[test]
+    fn symmetric_codec_is_clean() {
+        let findings = check_src(&[(
+            "crates/demo/src/serdes.rs",
+            r#"
+            use serde::{Deserialize, Reader, Serialize, Writer};
+            impl Serialize for Spec {
+                fn serialize(&self, w: &mut Writer) {
+                    let Self { alpha, beta } = self;
+                    alpha.serialize(w);
+                    beta.serialize(w);
+                }
+            }
+            impl<'de> Deserialize<'de> for Spec {
+                fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+                    Ok(Spec {
+                        alpha: f64::deserialize(r)?,
+                        beta: u32::deserialize(r)?,
+                    })
+                }
+            }
+            "#,
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_read_is_field_count_drift() {
+        let findings = check_src(&[(
+            "crates/demo/src/serdes.rs",
+            r#"
+            use serde::{Deserialize, Reader, Serialize, Writer};
+            impl Serialize for Spec {
+                fn serialize(&self, w: &mut Writer) {
+                    let Self { alpha, beta } = self;
+                    alpha.serialize(w);
+                    beta.serialize(w);
+                }
+            }
+            impl<'de> Deserialize<'de> for Spec {
+                fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+                    Ok(Spec {
+                        alpha: f64::deserialize(r)?,
+                        beta: 0,
+                    })
+                }
+            }
+            "#,
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings.first().is_some_and(
+            |f| f.message.contains("writes 2 fields") && f.message.contains("reads 1")
+        ));
+    }
+
+    #[test]
+    fn reordered_fields_are_drift() {
+        let findings = check_src(&[(
+            "crates/demo/src/serdes.rs",
+            r#"
+            use serde::{Deserialize, Reader, Serialize, Writer};
+            impl Serialize for Spec {
+                fn serialize(&self, w: &mut Writer) {
+                    let Self { alpha, beta } = self;
+                    alpha.serialize(w);
+                    beta.serialize(w);
+                }
+            }
+            impl<'de> Deserialize<'de> for Spec {
+                fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+                    let beta = u32::deserialize(r)?;
+                    let alpha = f64::deserialize(r)?;
+                    Ok(Spec { alpha, beta })
+                }
+            }
+            "#,
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings
+            .first()
+            .is_some_and(|f| f.message.contains("writes `alpha` but reads `beta`")));
+    }
+
+    #[test]
+    fn tag_drift_is_flagged_both_ways() {
+        let findings = check_src(&[(
+            "crates/demo/src/serdes.rs",
+            r#"
+            use serde::{Deserialize, Reader, Serialize, Writer};
+            impl Serialize for Mode {
+                fn serialize(&self, w: &mut Writer) {
+                    match self {
+                        Mode::Fast => w.tag("fast"),
+                        Mode::Slow => w.tag("slow"),
+                    }
+                }
+            }
+            impl<'de> Deserialize<'de> for Mode {
+                fn deserialize(r: &mut Reader<'de>) -> Result<Self, Error> {
+                    match r.raw_token()? {
+                        "fast" => Ok(Mode::Fast),
+                        "careful" => Ok(Mode::Slow),
+                        t => Err(Error::parse(t, "mode (fast|careful)")),
+                    }
+                }
+            }
+            "#,
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let msg = findings.first().map(|f| f.message.as_str()).unwrap_or("");
+        assert!(msg.contains("never matched: slow") && msg.contains("never written: careful"));
+    }
+
+    #[test]
+    fn non_tail_version_gate_is_flagged() {
+        let findings = check_src(&[(
+            "crates/demo/src/serdes.rs",
+            r#"
+            use serde::{Deserialize, Reader};
+            pub fn decode_spec(r: &mut Reader<'_>, version: u16) -> Result<Spec, Error> {
+                let alpha = f64::deserialize(r)?;
+                let extra = if version >= 4 { Some(u32::deserialize(r)?) } else { None };
+                let beta = u32::deserialize(r)?;
+                Ok(Spec { alpha, extra, beta })
+            }
+            "#,
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings
+            .first()
+            .is_some_and(|f| f.message.contains("not in tail position")));
+    }
+
+    #[test]
+    fn tail_gate_and_format_gate_are_clean() {
+        let findings = check_src(&[(
+            "crates/demo/src/serdes.rs",
+            r#"
+            use serde::{Deserialize, Reader};
+            pub fn decode_spec(r: &mut Reader<'_>, version: u16) -> Result<Spec, Error> {
+                let opts = if version <= 2 {
+                    Opts { deadline: f64::deserialize(r)?, ..Opts::default() }
+                } else {
+                    Opts::deserialize(r)?
+                };
+                let beta = u32::deserialize(r)?;
+                let extra = if version >= 4 { Some(u32::deserialize(r)?) } else { None };
+                Ok(Spec { opts, beta, extra })
+            }
+            "#,
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn version_consts_and_literal_gates_are_range_checked() {
+        let findings = check_src(&[
+            (
+                "crates/demo/src/frame.rs",
+                "
+                use serde::Reader;
+                pub const VERSION: u16 = 5;
+                pub const MIN_VERSION: u16 = 2;
+                ",
+            ),
+            (
+                "crates/other/src/serdes.rs",
+                r#"
+                use serde::{Deserialize, Reader};
+                pub const TAIL_VERSION: u16 = 7;
+                pub fn decode(r: &mut Reader<'_>, version: u16) -> Result<u32, Error> {
+                    if version >= 2 {
+                        u32::deserialize(r)
+                    } else {
+                        u32::deserialize(r)
+                    }
+                }
+                "#,
+            ),
+        ]);
+        // TAIL_VERSION=7 is outside 2..=5, and `version >= 2` is
+        // vacuously true for every supported peer.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("outside")));
+        assert!(findings.iter().any(|f| f.message.contains("vacuous")));
+    }
+}

@@ -14,8 +14,10 @@
 //! mandatory, and a suppression without one is reported as a finding
 //! by the engine rather than silently honored.
 
-/// What a token is. The scanner keeps literal *kinds* but drops most
-/// literal *content* — no rule cares what is inside a string.
+/// What a token is. The scanner keeps literal *content* for strings
+/// and numbers (the codec-drift rule compares wire tags and version
+/// literals) but drops it for chars and lifetimes — no rule looks
+/// inside those.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword (`let`, `fn`, `lock`, ...).
@@ -23,11 +25,12 @@ pub enum TokKind {
     /// One punctuation character (`.`, `(`, `{`, `!`, ...). Multi-char
     /// operators arrive as consecutive single-char tokens.
     Punct,
-    /// String literal (regular, raw, byte or byte-raw), content dropped.
+    /// String literal (regular, raw, byte or byte-raw); `text` holds
+    /// the raw content between the quotes, escapes unprocessed.
     Str,
     /// Char or byte literal, content dropped.
     Char,
-    /// Numeric literal, content dropped.
+    /// Numeric literal; `text` holds the raw digits/suffix.
     Num,
     /// A lifetime (`'a`), name dropped.
     Lifetime,
@@ -39,7 +42,8 @@ pub struct Token {
     /// The token's kind.
     pub kind: TokKind,
     /// The token text: the identifier itself, the punctuation
-    /// character, or empty for literals/lifetimes.
+    /// character, string/number content, or empty for chars and
+    /// lifetimes.
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -136,8 +140,8 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == b'*' => self.block_comment(),
                 b'"' => self.string(),
                 b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => {
-                    if self.raw_string_at(1) {
-                        self.push(TokKind::Str, "", line);
+                    if let Some(text) = self.raw_string_at(1) {
+                        self.push(TokKind::Str, &text, line);
                     } else {
                         self.ident();
                     }
@@ -151,8 +155,8 @@ impl<'a> Lexer<'a> {
                     self.char_lit();
                 }
                 b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
-                    if self.raw_string_at(2) {
-                        self.push(TokKind::Str, "", line);
+                    if let Some(text) = self.raw_string_at(2) {
+                        self.push(TokKind::Str, &text, line);
                     } else {
                         self.ident();
                     }
@@ -261,34 +265,53 @@ impl<'a> Lexer<'a> {
     fn string(&mut self) {
         let line = self.line;
         self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.src.len();
         while self.pos < self.src.len() {
             match self.bump() {
                 b'\\' => {
                     self.bump();
                 }
-                b'"' => break,
+                b'"' => {
+                    end = self.pos - 1;
+                    break;
+                }
                 _ => {}
             }
         }
-        self.push(TokKind::Str, "", line);
+        let text = self.text_between(start, end);
+        self.push(TokKind::Str, &text, line);
+    }
+
+    /// Source text in `start..end` as a string, empty when the range
+    /// is out of bounds or not UTF-8.
+    fn text_between(&self, start: usize, end: usize) -> String {
+        self.src
+            .get(start..end)
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+            .unwrap_or_default()
     }
 
     /// Tries to consume a raw string whose `r` sits at `self.pos` and
-    /// whose hashes/quote start `offset` bytes later. Returns false
-    /// (consuming nothing) if it is not actually a raw string — e.g.
-    /// the identifier `r#loop` (a raw identifier) or plain `r#` usage.
-    fn raw_string_at(&mut self, offset: usize) -> bool {
+    /// whose hashes/quote start `offset` bytes later. Returns the
+    /// content (consuming nothing on `None`) — `None` means it is not
+    /// actually a raw string, e.g. the identifier `r#loop` (a raw
+    /// identifier) or plain `r#` usage.
+    fn raw_string_at(&mut self, offset: usize) -> Option<String> {
         let mut hashes = 0usize;
         while self.peek(offset + hashes) == b'#' {
             hashes += 1;
         }
         if self.peek(offset + hashes) != b'"' {
-            return false;
+            return None;
         }
         for _ in 0..offset + hashes + 1 {
             self.bump();
         }
-        // Scan for `"` followed by `hashes` hashes.
+        let start = self.pos;
+        // Scan for `"` followed by `hashes` hashes. An unterminated
+        // raw string ends at EOF.
+        let mut end = self.src.len();
         while self.pos < self.src.len() {
             if self.bump() == b'"' {
                 let mut seen = 0usize;
@@ -297,11 +320,12 @@ impl<'a> Lexer<'a> {
                     seen += 1;
                 }
                 if seen == hashes {
-                    return true;
+                    end = self.pos - 1 - hashes;
+                    break;
                 }
             }
         }
-        true // unterminated raw string: EOF ends it
+        Some(self.text_between(start, end))
     }
 
     fn char_lit(&mut self) {
@@ -348,6 +372,7 @@ impl<'a> Lexer<'a> {
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.pos;
         self.bump();
         loop {
             let b = self.peek(0);
@@ -360,7 +385,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        self.push(TokKind::Num, "", line);
+        let text = self.text_between(start, self.pos);
+        self.push(TokKind::Num, &text, line);
     }
 
     fn ident(&mut self) {

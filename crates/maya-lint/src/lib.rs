@@ -5,20 +5,35 @@
 //! (the PR-5 bug class), no hash-ordered iteration in serialization
 //! paths, no wall-clock or ambient entropy in deterministic outputs,
 //! and a panic budget per crate that only ratchets down. See
-//! [`rules`] for the five rules, [`config`] for `lint-budget.toml`,
+//! [`rules`] for the rule list, [`config`] for `lint-budget.toml`,
 //! and the README "Static analysis" section for the allow syntax.
 //!
-//! The scanner is a hand-rolled comment/string-aware lexer
-//! ([`lexer`]) — the workspace is registry-free, so no `syn`. The
-//! trade is precision for zero dependencies: rules are heuristic and
-//! per-file, tuned to the idioms this codebase actually uses, with
+//! The analyzer runs in two phases:
+//!
+//! 1. **per-file** — the hand-rolled comment/string-aware lexer
+//!    ([`lexer`]) feeds the original token-local rules;
+//! 2. **workspace** — the same token streams are parsed into an item
+//!    index ([`items`]) and a conservative name-resolved call graph
+//!    ([`callgraph`]), over which the interprocedural rules run:
+//!    lock-order cycle detection and transitive
+//!    guard-across-blocking-call ([`interproc`]), and wire-codec
+//!    drift checking ([`codec_check`]). Vendored code is scanned in
+//!    phase 1 but excluded from phase 2.
+//!
+//! The workspace is registry-free, so no `syn`. The trade is
+//! precision for zero dependencies: rules are heuristic, tuned to the
+//! idioms this codebase actually uses, with
 //! `// lint:allow(<rule>): <reason>` as the escape hatch (reason
 //! mandatory, every use counted in the JSON report).
 //!
 //! Entry point: [`run_workspace`]; CLI in `src/main.rs`
 //! (`cargo run -p maya-lint -- --check`).
 
+pub mod callgraph;
+pub mod codec_check;
 pub mod config;
+pub mod interproc;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -26,8 +41,10 @@ pub mod rules;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use config::Config;
-use lexer::{lex, Allow};
+use items::{ItemIndex, SourceUnit};
+use lexer::{lex, Allow, Lexed};
 use report::{BudgetLine, Report, Suppressed};
 use rules::{FileCtx, Finding, PanicCounts};
 
@@ -114,9 +131,13 @@ pub struct FileScan {
     pub lines: u64,
 }
 
-/// Scans one file's source against all rules.
+/// Scans one file's source against the per-file rules.
 pub fn scan_file(rel: &str, source: &str, cfg: &Config) -> FileScan {
-    let lexed = lex(source);
+    scan_lexed(rel, &lex(source), cfg)
+}
+
+/// Phase-1 core: runs the per-file rules over an already-lexed file.
+fn scan_lexed(rel: &str, lexed: &Lexed, cfg: &Config) -> FileScan {
     let mut exempt = rules::test_ranges(&lexed.tokens);
 
     // Lines covered by a panic-budget allow are exempt from counting;
@@ -222,24 +243,69 @@ pub fn scan_file(rel: &str, source: &str, cfg: &Config) -> FileScan {
     }
 }
 
-/// Scans the whole workspace rooted at `root` against `cfg`.
-pub fn run_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
-    let files = collect_files(root)?;
+/// Scans a set of in-memory sources (`(workspace-relative path,
+/// content)` pairs). Phase 1 runs the per-file rules on every file;
+/// when `interproc` is set, phase 2 builds the workspace item index
+/// and call graph over the non-vendored files and runs the
+/// interprocedural rules. Phase-2 findings honor the same
+/// `lint:allow` comments as phase 1.
+pub fn run_sources(sources: &[(String, String)], cfg: &Config, interproc: bool) -> Report {
     let mut report = Report::default();
     let mut per_crate: BTreeMap<String, PanicCounts> = BTreeMap::new();
-    for rel in &files {
+    let mut units: Vec<SourceUnit> = Vec::new();
+    let mut unit_allows: Vec<Vec<Allow>> = Vec::new();
+    for (rel, source) in sources {
         let krate = match crate_name_for(rel) {
             Some(k) => k,
             None => continue,
         };
-        let source = std::fs::read_to_string(root.join(rel))?;
-        let scan = scan_file(rel, &source, cfg);
+        let lexed = lex(source);
+        let scan = scan_lexed(rel, &lexed, cfg);
         report.findings.extend(scan.findings);
         report.suppressed.extend(scan.suppressed);
         report.lines += scan.lines;
         report.files += 1;
         per_crate.entry(krate).or_default().add(&scan.counts);
+        if interproc && !rel.starts_with("vendor/") {
+            let exempt = rules::test_ranges(&lexed.tokens);
+            units.push(SourceUnit {
+                path: rel.clone(),
+                tokens: lexed.tokens,
+                exempt,
+            });
+            unit_allows.push(lexed.allows);
+        }
     }
+
+    if interproc {
+        let index = ItemIndex::build(&units);
+        let graph = CallGraph::build(&units, &index);
+        let mut phase2 = interproc::check(&units, &index, &graph);
+        phase2.extend(codec_check::check(&units, &index));
+        let by_path: BTreeMap<&str, usize> = units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.path.as_str(), i))
+            .collect();
+        for f in phase2 {
+            let allow = by_path
+                .get(f.file.as_str())
+                .and_then(|&i| unit_allows.get(i))
+                .into_iter()
+                .flatten()
+                .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+            match allow {
+                Some(a) => report.suppressed.push(Suppressed {
+                    file: f.file,
+                    line: f.line,
+                    rule: f.rule,
+                    reason: a.reason.clone(),
+                }),
+                None => report.findings.push(f),
+            }
+        }
+    }
+
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -256,7 +322,31 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
         }
         report.budgets.push(BudgetLine { krate, counts, cap });
     }
-    Ok(report)
+    report
+}
+
+/// Reads every scannable file under `root` into memory.
+fn read_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let files = collect_files(root)?;
+    let mut out = Vec::with_capacity(files.len());
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        out.push((rel, source));
+    }
+    Ok(out)
+}
+
+/// Scans the whole workspace rooted at `root` against `cfg`: both the
+/// per-file rules and the interprocedural phase.
+pub fn run_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    Ok(run_sources(&read_sources(root)?, cfg, true))
+}
+
+/// Phase 1 only: the per-file rules, without the workspace item
+/// index or call graph. The perf harness benchmarks this separately
+/// from the full [`run_workspace`] scan.
+pub fn run_workspace_phase1(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    Ok(run_sources(&read_sources(root)?, cfg, false))
 }
 
 /// Recomputes the budget table from actual counts (the ratchet write

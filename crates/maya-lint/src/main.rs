@@ -1,9 +1,10 @@
 //! maya-lint CLI.
 //!
 //! ```text
-//! cargo run -p maya-lint -- --check           # gate: exit 1 on any finding
-//! cargo run -p maya-lint -- --check --json    # machine-readable report
-//! cargo run -p maya-lint -- --write-budget    # regenerate lint-budget.toml
+//! cargo run -p maya-lint -- --check                  # gate: exit 1 on any finding
+//! cargo run -p maya-lint -- --check --format json    # machine-readable report
+//! cargo run -p maya-lint -- --check --format sarif   # SARIF 2.1.0 for code scanning
+//! cargo run -p maya-lint -- --write-budget           # regenerate lint-budget.toml
 //! ```
 //!
 //! The workspace root is located from `CARGO_MANIFEST_DIR` (set by
@@ -15,10 +16,18 @@ use std::process::ExitCode;
 
 use maya_lint::config::Config;
 
-const USAGE: &str = "usage: maya-lint [--check] [--json] [--write-budget] [--root PATH]";
+const USAGE: &str =
+    "usage: maya-lint [--check] [--format text|json|sarif] [--write-budget] [--root PATH]";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut write_budget = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -27,7 +36,17 @@ fn main() -> ExitCode {
             // --check is the default (and only) analysis mode; accept
             // it explicitly so the CI invocation reads as a gate.
             "--check" => {}
-            "--json" => json = true,
+            // Back-compat alias for `--format json`.
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--write-budget" => write_budget = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
@@ -85,10 +104,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_text());
+    match format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Sarif => print!("{}", report.render_sarif()),
     }
     if report.failed() {
         ExitCode::from(1)

@@ -48,6 +48,12 @@ pub const PANIC_RULE: &str = "panic-budget";
 /// Reported when a `lint:allow` comment itself is malformed (missing
 /// rule or reason).
 pub const SUPPRESSION_RULE: &str = "bad-suppression";
+/// Interprocedural: a cycle in the workspace lock-order graph (see
+/// [`crate::interproc`]).
+pub const LOCK_ORDER_RULE: &str = "lock-order-cycle";
+/// Interprocedural: encoder/decoder asymmetry in a serdes module (see
+/// [`crate::codec_check`]).
+pub const CODEC_RULE: &str = "wire-codec-drift";
 
 /// Every rule name, for validation and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -57,6 +63,8 @@ pub const ALL_RULES: &[&str] = &[
     RNG_RULE,
     PANIC_RULE,
     SUPPRESSION_RULE,
+    LOCK_ORDER_RULE,
+    CODEC_RULE,
 ];
 
 /// One rule hit at a source location.
@@ -199,7 +207,7 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
 
 /// Index just past the delimiter at `open_idx`'s matching closer.
 /// `open_idx` must point at the opener; unbalanced streams end at EOF.
-fn match_delim(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+pub(crate) fn match_delim(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
     let mut depth = 0usize;
     let mut i = open_idx;
     while let Some(t) = tokens.get(i) {
@@ -223,7 +231,7 @@ fn match_delim(tokens: &[Token], open_idx: usize, open: char, close: char) -> us
 /// Method names treated as blocking when called with a guard live.
 /// `join` and `accept` only count with an empty argument list
 /// (`Path::join(arg)` and iterator adapters stay clean).
-const BLOCKING: &[&str] = &[
+pub(crate) const BLOCKING: &[&str] = &[
     "recv",
     "recv_timeout",
     "recv_deadline",
@@ -291,22 +299,22 @@ pub fn guard_across_blocking(ctx: &FileCtx) -> Vec<Finding> {
         }
         // `let [mut] NAME = <expr ending in .lock()/.read()/.write()>;`
         if t.is_ident("let") {
-            if let Some((name, kind, line, next)) = parse_guard_let(ctx, i) {
+            if let Some(g) = parse_guard_let(ctx.tokens, i) {
                 if let Some(frame) = scopes.last_mut() {
                     frame.push(Guard {
-                        name: Some(name),
-                        acquired: kind,
-                        line,
+                        name: Some(g.name),
+                        acquired: g.kind,
+                        line: g.line,
                     });
                 }
-                i = next;
+                i = g.next;
                 continue;
             }
         }
         // `for PAT in <expr containing .lock()/.read()/.write()> {` —
         // the guard is an unnamed temporary living for the loop body.
         if t.is_ident("for") {
-            if let Some((kind, line, body_open)) = parse_guard_for(ctx, i) {
+            if let Some((kind, line, body_open)) = parse_guard_for(ctx.tokens, i) {
                 // Findings inside the body can never name the guard, so
                 // receiver/argument exemptions do not apply.
                 scopes.push(vec![Guard {
@@ -321,7 +329,7 @@ pub fn guard_across_blocking(ctx: &FileCtx) -> Vec<Finding> {
             }
         }
         // A blocking call while guards are live?
-        if let Some((callee, args_open)) = blocking_call_at(ctx, i) {
+        if let Some((callee, args_open)) = blocking_call_at(ctx.tokens, i) {
             let live: Vec<&Guard> = scopes.iter().flatten().collect();
             if !live.is_empty() {
                 let args_end = match_delim(ctx.tokens, args_open, '(', ')');
@@ -369,14 +377,28 @@ pub fn guard_across_blocking(ctx: &FileCtx) -> Vec<Finding> {
     findings
 }
 
-/// If `i` points at `let` binding a fresh guard, returns
-/// `(name, lock_kind, line, index past the statement's ';')`.
-fn parse_guard_let(ctx: &FileCtx, i: usize) -> Option<(String, &'static str, u32, usize)> {
+/// A recognized `let`-bound guard acquisition.
+pub(crate) struct GuardLet {
+    /// The bound name.
+    pub name: String,
+    /// `"lock"`, `"read"` or `"write"`.
+    pub kind: &'static str,
+    /// Line of the binding.
+    pub line: u32,
+    /// Token index of the `.` before the acquiring method — the
+    /// receiver chain ends just before it.
+    pub dot: usize,
+    /// Index past the statement's `;`.
+    pub next: usize,
+}
+
+/// If `i` points at `let` binding a fresh guard, describes it.
+pub(crate) fn parse_guard_let(tokens: &[Token], i: usize) -> Option<GuardLet> {
     let mut j = i + 1;
-    if matches!(ctx.tok(j), Some(t) if t.is_ident("mut")) {
+    if matches!(tokens.get(j), Some(t) if t.is_ident("mut")) {
         j += 1;
     }
-    let name_tok = ctx.tok(j)?;
+    let name_tok = tokens.get(j)?;
     if name_tok.kind != TokKind::Ident {
         return None;
     }
@@ -386,10 +408,10 @@ fn parse_guard_let(ctx: &FileCtx, i: usize) -> Option<(String, &'static str, u32
     // Optional `: Type` annotation — skip to the `=` at depth 0.
     let mut depth = 0i32;
     loop {
-        let t = ctx.tok(j)?;
+        let t = tokens.get(j)?;
         if depth == 0 && t.is_punct('=') {
             // Reject `==`, `=>`, `<=` style (not a plain assign).
-            if matches!(ctx.tok(j + 1), Some(n) if n.is_punct('=') || n.is_punct('>')) {
+            if matches!(tokens.get(j + 1), Some(n) if n.is_punct('=') || n.is_punct('>')) {
                 return None;
             }
             j += 1;
@@ -407,16 +429,15 @@ fn parse_guard_let(ctx: &FileCtx, i: usize) -> Option<(String, &'static str, u32
     }
     // `let v = *m.lock().unwrap();` copies the value out — the guard
     // is a temporary dropped at the end of the statement, not bound.
-    if matches!(ctx.tok(j), Some(t) if t.is_punct('*')) {
+    if matches!(tokens.get(j), Some(t) if t.is_punct('*')) {
         return None;
     }
     // Scan the initializer to its terminating `;` at depth 0, looking
     // for a lock acquisition that is the *final* call of the chain.
-    let mut kind: Option<&'static str> = None;
+    let mut found: Option<(&'static str, usize)> = None;
     let mut depth = 0i32;
-    let init_start = j;
     loop {
-        let t = ctx.tok(j)?;
+        let t = tokens.get(j)?;
         if depth == 0 && t.is_punct(';') {
             break;
         }
@@ -431,68 +452,84 @@ fn parse_guard_let(ctx: &FileCtx, i: usize) -> Option<(String, &'static str, u32
         // `.lock()` / `.read()` / `.write()` with EMPTY parens at the
         // initializer's top level.
         if depth == 0 && t.is_punct('.') {
-            if let Some(m) = ctx.tok(j + 1) {
-                let lk = match m.text.as_str() {
-                    "lock" => Some("lock"),
-                    "read" => Some("read"),
-                    "write" => Some("write"),
-                    _ => None,
-                };
-                if lk.is_some()
-                    && matches!(ctx.tok(j + 2), Some(t) if t.is_punct('('))
-                    && matches!(ctx.tok(j + 3), Some(t) if t.is_punct(')'))
-                {
-                    // Check the suffix: only unwrap/expect/
-                    // unwrap_or_else/`?` may follow before the `;`.
-                    let mut k = j + 4;
-                    let ok = loop {
-                        let s = match ctx.tok(k) {
-                            Some(s) => s,
+            if let Some(lk) = lock_method_at(tokens, j) {
+                // Check the suffix: only unwrap/expect/
+                // unwrap_or_else/`?` may follow before the `;`.
+                let mut k = j + 4;
+                let ok = loop {
+                    let s = match tokens.get(k) {
+                        Some(s) => s,
+                        None => break false,
+                    };
+                    if s.is_punct(';') {
+                        break true;
+                    }
+                    if s.is_punct('?') {
+                        k += 1;
+                        continue;
+                    }
+                    if s.is_punct('.') {
+                        let m2 = match tokens.get(k + 1) {
+                            Some(m2) => m2,
                             None => break false,
                         };
-                        if s.is_punct(';') {
-                            break true;
-                        }
-                        if s.is_punct('?') {
-                            k += 1;
+                        if matches!(m2.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                            && matches!(tokens.get(k + 2), Some(t) if t.is_punct('('))
+                        {
+                            k = match_delim(tokens, k + 2, '(', ')');
                             continue;
                         }
-                        if s.is_punct('.') {
-                            let m2 = match ctx.tok(k + 1) {
-                                Some(m2) => m2,
-                                None => break false,
-                            };
-                            if matches!(m2.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
-                                && matches!(ctx.tok(k + 2), Some(t) if t.is_punct('('))
-                            {
-                                k = match_delim(ctx.tokens, k + 2, '(', ')');
-                                continue;
-                            }
-                        }
-                        break false;
-                    };
-                    if ok {
-                        kind = lk;
                     }
+                    break false;
+                };
+                if ok {
+                    found = Some((lk, j));
                 }
             }
         }
         j += 1;
     }
-    let _ = init_start;
-    kind.map(|k| (name, k, line, j + 1))
+    found.map(|(kind, dot)| GuardLet {
+        name,
+        kind,
+        line,
+        dot,
+        next: j + 1,
+    })
+}
+
+/// If the `.` at `i` starts `.lock()`/`.read()`/`.write()` with empty
+/// parens, names the acquisition kind.
+pub(crate) fn lock_method_at(tokens: &[Token], i: usize) -> Option<&'static str> {
+    if !matches!(tokens.get(i), Some(t) if t.is_punct('.')) {
+        return None;
+    }
+    let m = tokens.get(i + 1)?;
+    let lk = match m.text.as_str() {
+        "lock" => "lock",
+        "read" => "read",
+        "write" => "write",
+        _ => return None,
+    };
+    if matches!(tokens.get(i + 2), Some(t) if t.is_punct('('))
+        && matches!(tokens.get(i + 3), Some(t) if t.is_punct(')'))
+    {
+        Some(lk)
+    } else {
+        None
+    }
 }
 
 /// If `i` points at a `for` whose header acquires a lock, returns
 /// `(lock_kind, line, index of the body '{')`.
-fn parse_guard_for(ctx: &FileCtx, i: usize) -> Option<(&'static str, u32, usize)> {
+pub(crate) fn parse_guard_for(tokens: &[Token], i: usize) -> Option<(&'static str, u32, usize)> {
     let mut depth = 0i32;
     let mut j = i + 1;
     let mut kind: Option<&'static str> = None;
     loop {
-        let t = ctx.tok(j)?;
+        let t = tokens.get(j)?;
         if depth == 0 && t.is_punct('{') {
-            return kind.map(|k| (k, ctx.line(i), j));
+            return kind.map(|k| (k, tokens.get(i).map(|t| t.line).unwrap_or(0), j));
         }
         if t.is_punct('(') || t.is_punct('[') {
             depth += 1;
@@ -501,21 +538,8 @@ fn parse_guard_for(ctx: &FileCtx, i: usize) -> Option<(&'static str, u32, usize)
         } else if t.is_punct(';') {
             return None; // not a for-loop header after all
         }
-        if t.is_punct('.') {
-            if let Some(m) = ctx.tok(j + 1) {
-                let lk = match m.text.as_str() {
-                    "lock" => Some("lock"),
-                    "read" => Some("read"),
-                    "write" => Some("write"),
-                    _ => None,
-                };
-                if lk.is_some()
-                    && matches!(ctx.tok(j + 2), Some(t) if t.is_punct('('))
-                    && matches!(ctx.tok(j + 3), Some(t) if t.is_punct(')'))
-                {
-                    kind = lk;
-                }
-            }
+        if kind.is_none() {
+            kind = lock_method_at(tokens, j);
         }
         j += 1;
     }
@@ -523,16 +547,16 @@ fn parse_guard_for(ctx: &FileCtx, i: usize) -> Option<(&'static str, u32, usize)
 
 /// If `i` points at the `.` (or `::`-tail ident) of a blocking call,
 /// returns `(method name, index of its '(')`.
-fn blocking_call_at(ctx: &FileCtx, i: usize) -> Option<(String, usize)> {
-    let t = ctx.tok(i)?;
+pub(crate) fn blocking_call_at(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let t = tokens.get(i)?;
     // `.recv(` — method-call style.
     if t.is_punct('.') {
-        let m = ctx.tok(i + 1)?;
+        let m = tokens.get(i + 1)?;
         if m.kind == TokKind::Ident && BLOCKING.contains(&m.text.as_str()) {
             let open = i + 2;
-            if matches!(ctx.tok(open), Some(t) if t.is_punct('(')) {
+            if matches!(tokens.get(open), Some(t) if t.is_punct('(')) {
                 if BLOCKING_NEEDS_EMPTY_ARGS.contains(&m.text.as_str())
-                    && !matches!(ctx.tok(open + 1), Some(t) if t.is_punct(')'))
+                    && !matches!(tokens.get(open + 1), Some(t) if t.is_punct(')'))
                 {
                     return None;
                 }
@@ -544,8 +568,8 @@ fn blocking_call_at(ctx: &FileCtx, i: usize) -> Option<(String, usize)> {
     // `thread::sleep(` — path-call style (sleep only; the rest are
     // methods in practice).
     if t.is_ident("sleep")
-        && matches!(ctx.tok(i.wrapping_sub(1)), Some(p) if p.is_punct(':'))
-        && matches!(ctx.tok(i + 1), Some(t) if t.is_punct('('))
+        && matches!(tokens.get(i.wrapping_sub(1)), Some(p) if p.is_punct(':'))
+        && matches!(tokens.get(i + 1), Some(t) if t.is_punct('('))
     {
         return Some(("sleep".to_string(), i + 1));
     }

@@ -4,7 +4,7 @@
 
 use maya_lint::config::Config;
 use maya_lint::rules;
-use maya_lint::scan_file;
+use maya_lint::{run_sources, scan_file};
 
 fn fixture(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -12,6 +12,25 @@ fn fixture(name: &str) -> String {
         .join(name);
     std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Runs the full two-phase analyzer over a set of fixtures, each
+/// mounted at a synthetic crate path so the workspace phase treats
+/// them as first-party code, and returns the finding lines for
+/// `rule`.
+fn phase2_findings(fixtures: &[&str], rule: &str) -> Vec<(String, u32)> {
+    let sources: Vec<(String, String)> = fixtures
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (format!("crates/fix{i}/src/lib.rs"), fixture(name)))
+        .collect();
+    let report = run_sources(&sources, &Config::default(), true);
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.file.clone(), f.line))
+        .collect()
 }
 
 fn findings_for(name: &str, rule: &str) -> Vec<u32> {
@@ -106,6 +125,61 @@ fn panic_clean_counts_nothing() {
     assert_eq!(scan.counts.total(), 0, "{:?}", scan.counts);
     assert_eq!(scan.suppressed.len(), 1, "the index allow is reported");
     assert_eq!(scan.suppressed[0].rule, rules::PANIC_RULE);
+}
+
+#[test]
+fn lockorder_bad_finds_the_cycle_and_the_self_loop() {
+    let hits = phase2_findings(&["lockorder_bad.rs"], rules::LOCK_ORDER_RULE);
+    assert_eq!(hits.len(), 2, "opposite-order pair + re-lock: {hits:?}");
+}
+
+#[test]
+fn lockorder_clean_is_silent() {
+    let hits = phase2_findings(&["lockorder_clean.rs"], rules::LOCK_ORDER_RULE);
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn guard_transitive_bad_fires_at_both_depths() {
+    let hits = phase2_findings(&["guard_transitive_bad.rs"], rules::GUARD_RULE);
+    assert_eq!(hits.len(), 2, "depth-1 and depth-2 chains: {hits:?}");
+}
+
+#[test]
+fn guard_transitive_clean_is_silent() {
+    let hits = phase2_findings(&["guard_transitive_clean.rs"], rules::GUARD_RULE);
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn codec_bad_finds_tag_field_and_gate_drift() {
+    let hits = phase2_findings(&["codec_bad.rs"], rules::CODEC_RULE);
+    assert_eq!(
+        hits.len(),
+        3,
+        "tag drift + dropped field + non-tail gate: {hits:?}"
+    );
+}
+
+#[test]
+fn codec_clean_is_silent() {
+    let hits = phase2_findings(&["codec_clean.rs"], rules::CODEC_RULE);
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn cross_crate_cycle_resolves_across_fixture_files() {
+    // The two halves are clean in isolation; the cycle only exists
+    // once the call graph links them.
+    for half in ["xcrate/alpha.rs", "xcrate/beta.rs"] {
+        let hits = phase2_findings(&[half], rules::LOCK_ORDER_RULE);
+        assert!(hits.is_empty(), "{half} alone must be clean: {hits:?}");
+    }
+    let hits = phase2_findings(
+        &["xcrate/alpha.rs", "xcrate/beta.rs"],
+        rules::LOCK_ORDER_RULE,
+    );
+    assert_eq!(hits.len(), 1, "one cycle across the two crates: {hits:?}");
 }
 
 #[test]

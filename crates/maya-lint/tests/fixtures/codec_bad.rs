@@ -1,0 +1,65 @@
+//! Seeded wire-codec drift: a tag written that the reader never
+//! matches (and vice versa), a field the reader drops, and a
+//! version-gated field that is not in tail position.
+
+use serde::{compact, Deserialize, Reader, Serialize, Writer};
+
+pub enum Mode {
+    Fast,
+    Careful,
+}
+
+impl Serialize for Mode {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            Mode::Fast => w.tag("fast"),
+            Mode::Careful => w.tag("careful"),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Mode {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "fast" => Mode::Fast,
+            "slow" => Mode::Careful,
+            t => return Err(compact::Error::parse(t, "mode (fast|slow)")),
+        })
+    }
+}
+
+pub struct Packet {
+    seq: u64,
+    len: u32,
+}
+
+impl Serialize for Packet {
+    fn serialize(&self, w: &mut Writer) {
+        let Self { seq, len } = self;
+        seq.serialize(w);
+        len.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for Packet {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(Packet {
+            seq: u64::deserialize(r)?,
+            len: 0,
+        })
+    }
+}
+
+pub fn decode_tail(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<(u64, Option<u32>, u32), compact::Error> {
+    let base = u64::deserialize(r)?;
+    let extra = if version >= 4 {
+        Some(u32::deserialize(r)?)
+    } else {
+        None
+    };
+    let trailing = u32::deserialize(r)?;
+    Ok((base, extra, trailing))
+}

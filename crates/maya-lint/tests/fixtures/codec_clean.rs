@@ -1,0 +1,67 @@
+//! A symmetric codec: tags match, field sequences agree, the
+//! version-gated field sits in tail position, and every version
+//! constant and literal gate is inside the supported range.
+
+use serde::{compact, Deserialize, Reader, Serialize, Writer};
+
+pub const VERSION: u16 = 3;
+pub const MIN_VERSION: u16 = 1;
+
+pub enum Mode {
+    Fast,
+    Careful,
+}
+
+impl Serialize for Mode {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            Mode::Fast => w.tag("fast"),
+            Mode::Careful => w.tag("careful"),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Mode {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(match r.raw_token()? {
+            "fast" => Mode::Fast,
+            "careful" => Mode::Careful,
+            t => return Err(compact::Error::parse(t, "mode (fast|careful)")),
+        })
+    }
+}
+
+pub struct Packet {
+    seq: u64,
+    len: u32,
+}
+
+impl Serialize for Packet {
+    fn serialize(&self, w: &mut Writer) {
+        let Self { seq, len } = self;
+        seq.serialize(w);
+        len.serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for Packet {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, compact::Error> {
+        Ok(Packet {
+            seq: u64::deserialize(r)?,
+            len: u32::deserialize(r)?,
+        })
+    }
+}
+
+pub fn decode_tail(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<(u64, Option<u32>), compact::Error> {
+    let base = u64::deserialize(r)?;
+    let extra = if version >= 2 {
+        Some(u32::deserialize(r)?)
+    } else {
+        None
+    };
+    Ok((base, extra))
+}

@@ -1,0 +1,33 @@
+//! Guards held across calls that block one and two levels down the
+//! call graph — invisible to the per-file rule, caught by the
+//! interprocedural phase.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pump {
+    state: Mutex<u32>,
+    rx: Receiver<u32>,
+}
+
+impl Pump {
+    pub fn depth_one(&self) {
+        let g = self.state.lock().unwrap();
+        self.pull();
+        drop(g);
+    }
+
+    pub fn depth_two(&self) {
+        let g = self.state.lock().unwrap();
+        self.relay();
+        drop(g);
+    }
+
+    fn relay(&self) {
+        self.pull();
+    }
+
+    fn pull(&self) {
+        let _ = self.rx.recv();
+    }
+}

@@ -1,0 +1,34 @@
+//! Transitive-guard situations that are fine: the guard is dropped
+//! before the blocking helper runs, or moves into the helper (the
+//! condvar idiom, one call level out).
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub struct Gate {
+    state: Mutex<u32>,
+    ready: Condvar,
+    rx: Receiver<u32>,
+}
+
+impl Gate {
+    pub fn drop_then_pull(&self) {
+        let g = self.state.lock().unwrap();
+        drop(g);
+        self.pull();
+    }
+
+    pub fn wait_ready(&self) {
+        let mut g = self.state.lock().unwrap();
+        g = self.block_on(g);
+        drop(g);
+    }
+
+    fn block_on<'a>(&self, g: MutexGuard<'a, u32>) -> MutexGuard<'a, u32> {
+        self.ready.wait(g).unwrap()
+    }
+
+    fn pull(&self) {
+        let _ = self.rx.recv();
+    }
+}

@@ -1,0 +1,41 @@
+//! Seeded lock-order deadlocks: two functions acquiring the same pair
+//! of mutexes in opposite orders, and a transitive re-acquisition of a
+//! non-reentrant lock (a self-loop in the order graph).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.second.lock().unwrap();
+        let a = self.first.lock().unwrap();
+        *a - *b
+    }
+}
+
+pub struct Recur {
+    state: Mutex<u32>,
+}
+
+impl Recur {
+    pub fn outer(&self) {
+        let g = self.state.lock().unwrap();
+        self.inner();
+        drop(g);
+    }
+
+    fn inner(&self) {
+        let g = self.state.lock().unwrap();
+        drop(g);
+    }
+}

@@ -1,0 +1,34 @@
+//! One-directional lock order: every path acquires `first` before
+//! `second`, including the path that goes through a helper, so the
+//! order graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn both_inline(&self) -> u32 {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn both_via_helper(&self) -> u32 {
+        let a = self.first.lock().unwrap();
+        let b = self.grab_second();
+        *a + b
+    }
+
+    fn grab_second(&self) -> u32 {
+        let b = self.second.lock().unwrap();
+        *b
+    }
+
+    pub fn second_alone(&self) -> u32 {
+        let b = self.second.lock().unwrap();
+        *b
+    }
+}

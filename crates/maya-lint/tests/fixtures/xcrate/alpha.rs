@@ -1,0 +1,26 @@
+//! Half of the cross-crate lock-order fixture: `Alpha.a` is acquired
+//! before `Beta.b` on this side, via a free-function hop so the cycle
+//! only appears once calls resolve across files.
+
+use std::sync::Mutex;
+
+pub struct Alpha {
+    pub a: Mutex<u32>,
+}
+
+impl Alpha {
+    pub fn lock_a_then_b(&self, beta: &Beta) {
+        let g = self.a.lock().unwrap();
+        cross_grab(beta);
+        drop(g);
+    }
+
+    pub fn reach(&self) {
+        let g = self.a.lock().unwrap();
+        drop(g);
+    }
+}
+
+pub fn cross_grab(beta: &Beta) {
+    beta.grab();
+}

@@ -1,0 +1,22 @@
+//! The other half of the cross-crate lock-order fixture: `Beta.b`
+//! before `Alpha.a`, closing the cycle through a method on the other
+//! crate's type.
+
+use std::sync::Mutex;
+
+pub struct Beta {
+    pub b: Mutex<u32>,
+}
+
+impl Beta {
+    pub fn grab(&self) {
+        let g = self.b.lock().unwrap();
+        drop(g);
+    }
+
+    pub fn lock_b_then_a(&self, alpha: &Alpha) {
+        let g = self.b.lock().unwrap();
+        alpha.reach();
+        drop(g);
+    }
+}
